@@ -1,0 +1,52 @@
+//! # wedge-baselines
+//!
+//! End-to-end implementations of the three prior approaches WedgeBlock is
+//! evaluated against in the paper's §6.3 / Table 1:
+//!
+//! - [`OclSystem`] — **on-chain logging**: raw entries written directly to a
+//!   smart contract; committed when the transaction confirms.
+//! - [`SoclSystem`] — **synchronous off-chain logging**: raw entries off
+//!   chain, digest on-chain, but the client *waits* for the digest before
+//!   trusting anything.
+//! - [`RhlSystem`] — **rollup-inspired hybrid logging**: fast off-chain
+//!   acknowledgement, but all operations are also posted on-chain to enable
+//!   fraud-proof challenges, with finality delayed by the challenge window.
+//!
+//! Timing convention: on-chain waits are reported in **simulated seconds**
+//! (the chain runs on a compressible clock), off-chain compute in **real
+//! seconds**. Both approximate real-world durations; EXPERIMENTS.md
+//! discusses the convention.
+
+#![warn(missing_docs)]
+
+mod ocl;
+mod rhl;
+mod socl;
+
+pub use ocl::{OclConfig, OclOutcome, OclSystem};
+pub use rhl::{RhlConfig, RhlOutcome, RhlSystem};
+pub use socl::{SoclOutcome, SoclSystem};
+
+use wedge_chain::Wei;
+
+/// A common cost/size summary for one committed workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommitCosts {
+    /// Total raw payload bytes committed.
+    pub bytes: u64,
+    /// Number of operations committed.
+    pub operations: u64,
+    /// Total on-chain fees paid.
+    pub fees: Wei,
+}
+
+impl CommitCosts {
+    /// Fee per operation in wei.
+    pub fn cost_per_op(&self) -> Wei {
+        if self.operations == 0 {
+            Wei::ZERO
+        } else {
+            Wei(self.fees.0 / self.operations as u128)
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! OCL: on-chain logging. Every raw entry is written into contract storage;
+//! an operation is committed only when its transaction confirms. Slow and
+//! expensive by construction — the paper's strawman.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wedge_chain::{Address, Chain, Gas, Wei};
+use wedge_contracts::OclLog;
+use wedge_core::CoreError;
+use wedge_crypto::signer::Identity;
+
+use crate::CommitCosts;
+
+/// OCL tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct OclConfig {
+    /// Entries grouped into one transaction. Raw storage is so expensive
+    /// (~700k gas per 1 KB entry) that only a handful fit under the block
+    /// gas limit.
+    pub entries_per_tx: usize,
+}
+
+impl Default for OclConfig {
+    fn default() -> Self {
+        OclConfig { entries_per_tx: 20 }
+    }
+}
+
+/// Result of an OCL commit run.
+#[derive(Clone, Debug)]
+pub struct OclOutcome {
+    /// Cost summary.
+    pub costs: CommitCosts,
+    /// Simulated time from first submission to last confirmed receipt.
+    pub commit_latency: Duration,
+    /// Transactions used.
+    pub transactions: u64,
+}
+
+impl OclOutcome {
+    /// Committed throughput in MB per (simulated) second.
+    pub fn throughput_mb_s(&self) -> f64 {
+        if self.commit_latency.is_zero() {
+            return 0.0;
+        }
+        self.costs.bytes as f64 / 1e6 / self.commit_latency.as_secs_f64()
+    }
+}
+
+/// The OCL system: a writer identity and its on-chain log contract.
+pub struct OclSystem {
+    chain: Arc<Chain>,
+    writer: Identity,
+    contract: Address,
+    config: OclConfig,
+}
+
+impl OclSystem {
+    /// Deploys the OCL contract and returns the system handle.
+    pub fn deploy(
+        chain: Arc<Chain>,
+        writer: Identity,
+        config: OclConfig,
+    ) -> Result<OclSystem, CoreError> {
+        let (contract, tx) = chain.deploy(
+            writer.secret_key(),
+            Box::new(OclLog::new()),
+            Wei::ZERO,
+            OclLog::CODE_LEN,
+        )?;
+        chain.wait_for_receipt(tx)?;
+        Ok(OclSystem { chain, writer, contract, config })
+    }
+
+    /// The deployed contract address.
+    pub fn contract(&self) -> Address {
+        self.contract
+    }
+
+    /// Writes `payloads` on-chain, waiting for every receipt (the paper's
+    /// commit criterion for OCL). Requires a running miner.
+    pub fn append_and_commit(&self, payloads: &[Vec<u8>]) -> Result<OclOutcome, CoreError> {
+        let clock = self.chain.clock().clone();
+        let started = clock.now();
+        let mut costs = CommitCosts::default();
+        let mut transactions = 0u64;
+        let mut pending = Vec::new();
+        for chunk in payloads.chunks(self.config.entries_per_tx.max(1)) {
+            let calldata = OclLog::append_calldata(chunk);
+            // Storage dominates: ~20k per 32B word, plus calldata + base.
+            let words: u64 = chunk.iter().map(|e| e.len().div_ceil(32) as u64).sum();
+            let gas_limit = Gas(100_000 + 30 * calldata.len() as u64 + 21_000 * words);
+            let hash = self.chain.call_contract(
+                self.writer.secret_key(),
+                self.contract,
+                Wei::ZERO,
+                calldata,
+                gas_limit,
+            )?;
+            transactions += 1;
+            costs.operations += chunk.len() as u64;
+            costs.bytes += chunk.iter().map(|e| e.len() as u64).sum::<u64>();
+            pending.push(hash);
+        }
+        for hash in pending {
+            let receipt = self.chain.wait_for_receipt(hash)?;
+            if !receipt.status.is_success() {
+                return Err(CoreError::RequestRejected("OCL append reverted"));
+            }
+            costs.fees = costs
+                .fees
+                .checked_add(receipt.fee)
+                .expect("fee overflow");
+        }
+        Ok(OclOutcome {
+            costs,
+            commit_latency: clock.now().since(started),
+            transactions,
+        })
+    }
+
+    /// Reads one entry back (integrity check helper).
+    pub fn read(&self, idx: u64) -> Result<Vec<u8>, CoreError> {
+        Ok(self.chain.view(self.contract, &OclLog::get_calldata(idx))?)
+    }
+}

@@ -1,0 +1,92 @@
+//! Criterion benches for the chain substrate: transaction signing +
+//! submission, block execution throughput, and view-call latency.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wedge_chain::{Chain, Gas, Wei};
+use wedge_contracts::RootRecord;
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::Keypair;
+use wedge_sim::Clock;
+
+fn funded_chain() -> (Arc<Chain>, Keypair) {
+    let chain = Chain::with_defaults(Clock::manual());
+    let user = Keypair::from_seed(b"chain-bench");
+    chain.fund(user.address, Wei::from_eth(1_000_000_000));
+    (chain, user)
+}
+
+fn bench_submit(c: &mut Criterion) {
+    let (chain, user) = funded_chain();
+    let bob = Keypair::from_seed(b"chain-bench-bob").address;
+    c.bench_function("tx_sign_and_submit", |b| {
+        b.iter(|| chain.transfer(&user.secret, bob, Wei(1)).unwrap())
+    });
+    // Drain what we queued so the fixture doesn't grow unboundedly.
+    while chain.pending_count() > 0 {
+        chain.mine_block();
+    }
+}
+
+fn bench_block_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine_block");
+    group.sample_size(20);
+    for tx_count in [10usize, 100, 500] {
+        group.throughput(Throughput::Elements(tx_count as u64));
+        group.bench_with_input(
+            BenchmarkId::new("transfers", tx_count),
+            &tx_count,
+            |b, &tx_count| {
+                b.iter_batched(
+                    || {
+                        let (chain, user) = funded_chain();
+                        let bob = Keypair::from_seed(b"bb").address;
+                        for _ in 0..tx_count {
+                            chain.transfer(&user.secret, bob, Wei(1)).unwrap();
+                        }
+                        chain
+                    },
+                    |chain| chain.mine_block(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_view_calls(c: &mut Criterion) {
+    let (chain, user) = funded_chain();
+    let (addr, _) = chain
+        .deploy(
+            &user.secret,
+            Box::new(RootRecord::new(user.address)),
+            Wei::ZERO,
+            RootRecord::CODE_LEN,
+        )
+        .unwrap();
+    chain.mine_block();
+    let roots: Vec<Hash32> = (0..64).map(|i| Hash32([i as u8 + 1; 32])).collect();
+    chain
+        .call_contract(
+            &user.secret,
+            addr,
+            Wei::ZERO,
+            RootRecord::update_records_calldata(0, &roots),
+            Gas(10_000_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    c.bench_function("view_get_root_at_index", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let out = chain.view(addr, &RootRecord::get_root_calldata(i % 64)).unwrap();
+            i += 1;
+            out
+        })
+    });
+}
+
+criterion_group!(benches, bench_submit, bench_block_execution, bench_view_calls);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the cryptographic hot path: hashing, signing,
+//! verification, recovery — and the parallel-signing ablation (the paper's
+//! prototype parallelizes ECDSA across all cores).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wedge_crypto::ecdsa::{recover_prehashed, sign_prehashed, verify_prehashed};
+use wedge_crypto::hash::{keccak256, sha256};
+use wedge_crypto::{sign_batch_parallel, Keypair};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    for size in [32usize, 1088, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("keccak256", size), &data, |b, d| {
+            b.iter(|| keccak256(d))
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ecdsa(c: &mut Criterion) {
+    let kp = Keypair::from_seed(b"bench");
+    let hash = keccak256(b"bench message");
+    let sig = sign_prehashed(&kp.secret, &hash);
+    let mut group = c.benchmark_group("ecdsa");
+    group.bench_function("sign", |b| b.iter(|| sign_prehashed(&kp.secret, &hash)));
+    group.bench_function("verify", |b| {
+        b.iter(|| verify_prehashed(&kp.public, &hash, &sig).unwrap())
+    });
+    group.bench_function("recover", |b| {
+        b.iter(|| recover_prehashed(&hash, &sig).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_parallel_signing(c: &mut Criterion) {
+    // Ablation: single-threaded vs multi-core batch signing, the design
+    // choice the paper's §5 calls out.
+    let kp = Keypair::from_seed(b"parallel");
+    let hashes: Vec<[u8; 32]> = (0..256u32)
+        .map(|i| keccak256(&i.to_be_bytes()))
+        .collect();
+    let mut group = c.benchmark_group("batch_sign_256");
+    group.throughput(Throughput::Elements(hashes.len() as u64));
+    for threads in [1usize, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| sign_batch_parallel(&kp.secret, &hashes, threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_ecdsa, bench_parallel_signing);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion benches for the Merkle substrate: tree construction at the
+//! paper's batch sizes, proof generation, verification, and the
+//! range-proof-vs-per-leaf audit ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wedge_merkle::{MerkleTree, RangeProof};
+
+fn leaves(n: usize, size: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            let mut l = format!("leaf-{i}-").into_bytes();
+            l.resize(size, 0x7F);
+            l
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build_1kb_leaves");
+    group.sample_size(10);
+    for n in [500usize, 2000, 10_000] {
+        let data = leaves(n, 1088);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| MerkleTree::from_leaves(d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_prove_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proofs");
+    for n in [500usize, 2000, 10_000] {
+        let data = leaves(n, 1088);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let root = tree.root();
+        let proof = tree.prove(n / 2).unwrap();
+        group.bench_with_input(BenchmarkId::new("prove", n), &tree, |b, t| {
+            b.iter(|| t.prove(n / 2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("verify", n), &proof, |b, p| {
+            b.iter(|| p.verify(&data[n / 2], &root).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_audit_strategies(c: &mut Criterion) {
+    // Ablation: verifying a 500-entry scan with per-leaf proofs vs one
+    // range multiproof.
+    let n = 2000;
+    let data = leaves(n, 1088);
+    let tree = MerkleTree::from_leaves(&data).unwrap();
+    let root = tree.root();
+    let span = 500;
+    let per_leaf: Vec<_> = (0..span).map(|i| tree.prove(i).unwrap()).collect();
+    let range = RangeProof::generate(&tree, 0, span).unwrap();
+    let mut group = c.benchmark_group("audit_500_of_2000");
+    group.bench_function("per_leaf_proofs", |b| {
+        b.iter(|| {
+            for (i, proof) in per_leaf.iter().enumerate() {
+                proof.verify(&data[i], &root).unwrap();
+            }
+        })
+    });
+    group.bench_function("range_multiproof", |b| {
+        b.iter(|| range.verify(&data[..span], &root).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_proof_generation_strategies(c: &mut Criterion) {
+    // Ablation (DESIGN.md §6): the node retains each batch's full tree so
+    // read-path proofs are O(log n) lookups. The alternative — keeping only
+    // the leaf hashes and rebuilding on demand — saves ~2× memory but pays
+    // a full O(n) rebuild per proof.
+    let n = 2000;
+    let data = leaves(n, 1088);
+    let tree = MerkleTree::from_leaves(&data).unwrap();
+    let leaf_hashes: Vec<_> = (0..n)
+        .map(|i| wedge_merkle::hash_leaf(&data[i]))
+        .collect();
+    let mut group = c.benchmark_group("proof_generation_strategy_2000_leaves");
+    group.bench_function("retained_tree", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let proof = tree.prove(i % n).unwrap();
+            i += 1;
+            proof
+        })
+    });
+    group.bench_function("rebuild_from_leaf_hashes", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let rebuilt = MerkleTree::from_leaf_hashes(leaf_hashes.clone()).unwrap();
+            let proof = rebuilt.prove(i % n).unwrap();
+            i += 1;
+            proof
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_prove_verify,
+    bench_audit_strategies,
+    bench_proof_generation_strategies
+);
+criterion_main!(benches);

@@ -1,0 +1,626 @@
+//! Experiment implementations — one function per paper table/figure.
+//!
+//! Every function returns a [`Table`] whose rows mirror the series the paper
+//! plots, and prints nothing itself; the `repro` binary handles output.
+//! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use wedge_baselines::{OclConfig, OclSystem, RhlConfig, RhlSystem, SoclSystem};
+use wedge_chain::Wei;
+use wedge_core::{Auditor, NodeConfig, Reader};
+use wedge_crypto::signer::Identity;
+use wedge_core::AppendRequest;
+
+use crate::workload::{kv_payloads, Profile, World, KEY_SIZE, VALUE_SIZE};
+
+/// A printable result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. "Figure 3".
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Renders as GitHub markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    if d >= Duration::from_secs(1) {
+        format!("{:.2} s", d.as_secs_f64())
+    } else {
+        format!("{:.1} ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+fn fmt_eth(wei: Wei) -> String {
+    format!("{:.3e}", wei.as_eth_f64())
+}
+
+/// Formats a throughput with sensible precision across magnitudes.
+fn fmt_rate(v: f64) -> String {
+    if v >= 0.01 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// The batch sizes swept by Figures 3/4 (paper values).
+pub const BATCH_SIZES: [usize; 6] = [500, 1000, 2000, 4000, 8000, 10_000];
+/// The value sizes swept by Figures 5/6 and Table 1.
+pub const VALUE_SIZES: [usize; 4] = [512, 1024, 2048, 4096];
+
+/// One throughput/cost run: appends `n` entries of `value_size` through a
+/// node batching at `batch_size` with `replicas`, returning
+/// (ops/s, MB/s, cost-per-op, publisher latencies, stage-2 mean).
+struct RunResult {
+    ops_per_sec: f64,
+    mb_per_sec: f64,
+    cost_per_op: Wei,
+    first_response: Duration,
+    last_response: Duration,
+    stage1_commit: Duration,
+    stage2_mean: Duration,
+}
+
+fn run_append(
+    tag: &str,
+    batch_size: usize,
+    value_size: usize,
+    n: usize,
+    replicas: usize,
+) -> RunResult {
+    let config = NodeConfig {
+        batch_size,
+        batch_linger: Duration::from_millis(30),
+        replicas,
+        ..Default::default()
+    };
+    let mut world = World::new(tag, config, 2000.0);
+    let payloads = kv_payloads(n, KEY_SIZE, value_size, 42);
+    let bytes: usize = payloads.iter().map(|p| p.len()).sum();
+    let outcome = world.publisher.append_batch(payloads).expect("append");
+    world.settle();
+    let stats = world.node.stats();
+    // Node-side ingestion throughput: ops over the time the node was
+    // actively serving (submission to last response).
+    let elapsed = outcome.last_response.as_secs_f64().max(1e-9);
+    RunResult {
+        ops_per_sec: n as f64 / elapsed,
+        mb_per_sec: bytes as f64 / 1e6 / elapsed,
+        cost_per_op: stats.cost_per_op(),
+        first_response: outcome.first_response,
+        last_response: outcome.last_response,
+        stage1_commit: outcome.stage1_commit,
+        stage2_mean: stats.mean_stage2_latency().unwrap_or_default(),
+    }
+}
+
+/// Figure 3: Offchain Node throughput (with and without replication) and
+/// monetary cost per operation, varying the batch size.
+pub fn fig3(profile: Profile) -> Table {
+    let mut table = Table {
+        title: "Figure 3 — throughput and cost per op vs batch size (1088 B entries)".into(),
+        headers: vec![
+            "batch size".into(),
+            "throughput (ops/s)".into(),
+            "throughput, 2 replicas (ops/s)".into(),
+            "cost per op (ETH)".into(),
+            "stage-2 mean (sim)".into(),
+        ],
+        rows: Vec::new(),
+    };
+    for &batch_size in &BATCH_SIZES {
+        let n = profile.scale(batch_size * 10, (batch_size * 2).max(4000));
+        let solo = run_append(&format!("fig3-{batch_size}"), batch_size, VALUE_SIZE, n, 0);
+        let repl = run_append(&format!("fig3r-{batch_size}"), batch_size, VALUE_SIZE, n, 2);
+        table.rows.push(vec![
+            batch_size.to_string(),
+            format!("{:.0}", solo.ops_per_sec),
+            format!("{:.0}", repl.ops_per_sec),
+            fmt_eth(solo.cost_per_op),
+            fmt_dur(solo.stage2_mean),
+        ]);
+    }
+    table
+}
+
+/// Figure 4: publisher latency vs batch size (first / last / stage-1
+/// commitment delay).
+pub fn fig4(profile: Profile) -> Table {
+    let mut table = Table {
+        title: "Figure 4 — publisher latency vs batch size".into(),
+        headers: vec![
+            "batch size".into(),
+            "first op delay".into(),
+            "last op delay".into(),
+            "stage-1 commitment delay".into(),
+            "stage-2 mean (sim)".into(),
+        ],
+        rows: Vec::new(),
+    };
+    for &batch_size in &BATCH_SIZES {
+        // The paper's publisher sends 10 000 operations regardless of the
+        // node's batch size.
+        let n = 10_000;
+        let _ = profile;
+        let run = run_append(&format!("fig4-{batch_size}"), batch_size, VALUE_SIZE, n, 0);
+        table.rows.push(vec![
+            batch_size.to_string(),
+            fmt_dur(run.first_response),
+            fmt_dur(run.last_response),
+            fmt_dur(run.stage1_commit),
+            fmt_dur(run.stage2_mean),
+        ]);
+    }
+    table
+}
+
+/// Figure 5: throughput (MB/s, ± replication) and cost per op vs value
+/// size, batch size fixed at 2000.
+pub fn fig5(profile: Profile) -> Table {
+    let mut table = Table {
+        title: "Figure 5 — throughput and cost per op vs value size (batch = 2000)".into(),
+        headers: vec![
+            "value size (B)".into(),
+            "throughput (MB/s)".into(),
+            "throughput, 2 replicas (MB/s)".into(),
+            "cost per op (ETH)".into(),
+        ],
+        rows: Vec::new(),
+    };
+    for &value_size in &VALUE_SIZES {
+        let n = profile.scale(20_000, 4000);
+        let solo = run_append(&format!("fig5-{value_size}"), 2000, value_size, n, 0);
+        let repl = run_append(&format!("fig5r-{value_size}"), 2000, value_size, n, 2);
+        table.rows.push(vec![
+            value_size.to_string(),
+            fmt_rate(solo.mb_per_sec),
+            fmt_rate(repl.mb_per_sec),
+            fmt_eth(solo.cost_per_op),
+        ]);
+    }
+    table
+}
+
+/// Figure 6: publisher latency vs value size, batch size fixed at 2000.
+pub fn fig6(profile: Profile) -> Table {
+    let mut table = Table {
+        title: "Figure 6 — publisher latency vs value size (batch = 2000)".into(),
+        headers: vec![
+            "value size (B)".into(),
+            "first op delay".into(),
+            "last op delay".into(),
+            "stage-1 commitment delay".into(),
+        ],
+        rows: Vec::new(),
+    };
+    for &value_size in &VALUE_SIZES {
+        let n = profile.scale(10_000, 4000);
+        let run = run_append(&format!("fig6-{value_size}"), 2000, value_size, n, 0);
+        table.rows.push(vec![
+            value_size.to_string(),
+            fmt_dur(run.first_response),
+            fmt_dur(run.last_response),
+            fmt_dur(run.stage1_commit),
+        ]);
+    }
+    table
+}
+
+/// Figure 7: stage-1 commit throughput vs offered request frequency
+/// (open-loop load).
+pub fn fig7(profile: Profile) -> Table {
+    // First estimate the node's capacity with a closed-loop burst.
+    let burst_n = profile.scale(20_000, 4000);
+    let capacity = run_append("fig7-cap", 2000, VALUE_SIZE, burst_n, 0).ops_per_sec;
+
+    let mut table = Table {
+        title: "Figure 7 — stage-1 throughput vs offered request frequency".into(),
+        headers: vec![
+            "offered rate (req/s)".into(),
+            "stage-1 throughput (ops/s)".into(),
+            "of capacity".into(),
+        ],
+        rows: Vec::new(),
+    };
+    // A longer window amortizes the final batch's drain tail, so the
+    // sub-capacity points track the offered rate closely.
+    let window = Duration::from_secs(profile.scale(20, 8) as u64);
+    for fraction in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4] {
+        let rate = (capacity * fraction).max(1.0);
+        let n = (rate * window.as_secs_f64()) as usize;
+        let config = NodeConfig {
+            batch_size: 2000,
+            batch_linger: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let world = World::new(&format!("fig7-{fraction}"), config, 2000.0);
+        // Pre-sign requests so client-side signing doesn't gate the offered
+        // rate.
+        let publisher_id = Identity::from_seed(b"fig7-publisher");
+        let payloads = kv_payloads(n, KEY_SIZE, VALUE_SIZE, 7);
+        let requests: Vec<AppendRequest> = {
+            let items: Vec<(u64, Vec<u8>)> = (0..).zip(payloads).collect();
+            wedge_core::parallel_map(&items, 16, |(seq, payload)| {
+                AppendRequest::new(publisher_id.secret_key(), *seq, payload.clone())
+            })
+        };
+        let (reply_tx, reply_rx) = unbounded();
+        let started = Instant::now();
+        // Paced submission: 100 ticks/s.
+        let tick = Duration::from_millis(10);
+        let per_tick = (rate * tick.as_secs_f64()).max(1.0) as usize;
+        let node = Arc::clone(&world.node);
+        let submitter = std::thread::spawn(move || {
+            let mut sent = 0usize;
+            let mut next_tick = Instant::now();
+            for request in requests {
+                node.submit(request, reply_tx.clone()).expect("submit");
+                sent += 1;
+                if sent % per_tick == 0 {
+                    next_tick += tick;
+                    let now = Instant::now();
+                    if next_tick > now {
+                        std::thread::sleep(next_tick - now);
+                    }
+                }
+            }
+        });
+        let mut received = 0usize;
+        while received < n {
+            match reply_rx.recv_timeout(Duration::from_secs(60)) {
+                Ok(_) => received += 1,
+                Err(_) => break,
+            }
+        }
+        submitter.join().unwrap();
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        let throughput = received as f64 / elapsed;
+        table.rows.push(vec![
+            format!("{rate:.0}"),
+            format!("{throughput:.0}"),
+            format!("{:.0}%", fraction * 100.0),
+        ]);
+    }
+    table
+}
+
+/// Table 1: commitment throughput and cost per operation of OCL, SOCL, RHL
+/// and WedgeBlock at 1024 B and 2048 B values.
+pub fn table1(profile: Profile) -> Table {
+    let mut table = Table {
+        title: "Table 1 — commitment throughput and cost vs prior approaches".into(),
+        headers: vec![
+            "value size / system".into(),
+            "throughput (MB/s)".into(),
+            "cost per op (ETH)".into(),
+            "commit latency".into(),
+        ],
+        rows: Vec::new(),
+    };
+    for &value_size in &[1024usize, 2048] {
+        // --- OCL: raw entries on-chain; commit = confirmed receipt.
+        {
+            let world = World::new(&format!("t1-ocl-{value_size}"), NodeConfig::default(), 2000.0);
+            let ocl = OclSystem::deploy(
+                Arc::clone(&world.chain),
+                world.node_identity.clone(),
+                OclConfig::default(),
+            )
+            .expect("deploy ocl");
+            let n = profile.scale(200, 40);
+            let payloads = kv_payloads(n, KEY_SIZE, value_size, 1);
+            let out = ocl.append_and_commit(&payloads).expect("ocl commit");
+            table.rows.push(vec![
+                format!("{value_size} (OCL)"),
+                fmt_rate(out.throughput_mb_s()),
+                fmt_eth(out.costs.cost_per_op()),
+                format!("{} (sim)", fmt_dur(out.commit_latency)),
+            ]);
+        }
+        // --- SOCL: off-chain + digest, but commit waits for the chain.
+        {
+            let config = NodeConfig {
+                batch_size: 2000,
+                batch_linger: Duration::from_millis(30),
+                ..Default::default()
+            };
+            let world = World::new(&format!("t1-socl-{value_size}"), config, 2000.0);
+            let client = Identity::from_seed(b"t1-socl-client");
+            world.chain.fund(client.address(), Wei::from_eth(1000));
+            let mut socl = SoclSystem::new(
+                Arc::clone(&world.chain),
+                Arc::clone(&world.node),
+                client,
+                world.root_record,
+            );
+            let n = profile.scale(10_000, 2000);
+            let payloads = kv_payloads(n, KEY_SIZE, value_size, 2);
+            let out = socl.append_and_commit(payloads).expect("socl commit");
+            table.rows.push(vec![
+                format!("{value_size} (SOCL)"),
+                fmt_rate(out.throughput_mb_s()),
+                fmt_eth(out.costs.cost_per_op()),
+                format!("{} (sim)", fmt_dur(out.commit_latency)),
+            ]);
+        }
+        // --- RHL: fast stage-1 ack; ops posted on-chain; day-long finality.
+        {
+            let world = World::new(&format!("t1-rhl-{value_size}"), NodeConfig::default(), 2000.0);
+            let rhl = RhlSystem::deploy(
+                Arc::clone(&world.chain),
+                world.node_identity.clone(),
+                RhlConfig::default(),
+            )
+            .expect("deploy rhl");
+            let n = profile.scale(200, 40);
+            let payloads = kv_payloads(n, KEY_SIZE, value_size, 3);
+            let out = rhl.append_and_commit(&payloads).expect("rhl commit");
+            table.rows.push(vec![
+                format!("{value_size} (RHL)"),
+                fmt_rate(out.stage1_throughput_mb_s()),
+                fmt_eth(out.costs.cost_per_op()),
+                format!("{} stage-1; finality {} (sim)",
+                    fmt_dur(out.stage1_wall), fmt_dur(out.finality_latency)),
+            ]);
+        }
+        // --- WB: stage-1 commit is the receipt (lazy trust).
+        {
+            let n = profile.scale(10_000, 2000);
+            let run = run_append(&format!("t1-wb-{value_size}"), 2000, value_size, n, 0);
+            table.rows.push(vec![
+                format!("{value_size} (WB)"),
+                fmt_rate(run.mb_per_sec),
+                fmt_eth(run.cost_per_op),
+                format!("{} stage-1 (real)", fmt_dur(run.stage1_commit)),
+            ]);
+        }
+    }
+    table
+}
+
+/// Builds a preloaded world for the read experiments. Request verification
+/// is disabled during preload (all requests are self-generated); reads still
+/// verify everything.
+fn preloaded_world(tag: &str, batch_size: usize, entries: usize) -> (World, Identity) {
+    let config = NodeConfig {
+        batch_size,
+        batch_linger: Duration::from_millis(30),
+        verify_requests: false,
+        ..Default::default()
+    };
+    let mut world = World::new(tag, config, 2000.0);
+    let mut remaining = entries;
+    while remaining > 0 {
+        let chunk = remaining.min(20_000);
+        let payloads = kv_payloads(chunk, KEY_SIZE, VALUE_SIZE, remaining as u64);
+        world.publisher.append_batch(payloads).expect("preload");
+        remaining -= chunk;
+    }
+    world.settle();
+    let publisher_id = Identity::from_seed(format!("bench-client-{tag}").as_bytes());
+    (world, publisher_id)
+}
+
+/// Figure 8: random-key read throughput vs the batch size the log was
+/// stored with.
+pub fn fig8(profile: Profile) -> Table {
+    use rand::{Rng, SeedableRng};
+    let entries = profile.scale(10_000_000, 40_000);
+    let reads = profile.scale(50_000, 4_000);
+    let mut table = Table {
+        title: format!(
+            "Figure 8 — random read throughput vs store batch size \
+             ({entries} entries preloaded, {reads} reads incl. verification)"
+        ),
+        headers: vec!["store batch size".into(), "read throughput (ops/s)".into()],
+        rows: Vec::new(),
+    };
+    for &batch_size in &BATCH_SIZES {
+        let (world, publisher_id) =
+            preloaded_world(&format!("fig8-{batch_size}"), batch_size, entries);
+        let reader = Reader::new(
+            Arc::clone(&world.node),
+            Arc::clone(&world.chain),
+            world.root_record,
+        );
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(88);
+        let sequences: Vec<u64> =
+            (0..reads).map(|_| rng.gen_range(0..entries as u64)).collect();
+        let started = Instant::now();
+        for &seq in &sequences {
+            let entry = reader
+                .read_by_sequence(publisher_id.address(), seq)
+                .expect("read");
+            std::hint::black_box(&entry);
+        }
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        table.rows.push(vec![
+            batch_size.to_string(),
+            format!("{:.0}", reads as f64 / elapsed),
+        ]);
+    }
+    table
+}
+
+/// Figure 9: audit latency (total vs verification share) for growing
+/// numbers of audited operations; plus the range-proof extension.
+pub fn fig9(profile: Profile) -> Table {
+    let budgets_full = [10_000usize, 50_000, 100_000, 200_000];
+    let budgets_quick = [2_000usize, 5_000, 10_000, 20_000];
+    let budgets = match profile {
+        Profile::Full => budgets_full,
+        Profile::Quick => budgets_quick,
+    };
+    let entries = *budgets.last().expect("non-empty");
+    let (world, _publisher) = preloaded_world("fig9", 2000, entries);
+    let auditor = Auditor::new(
+        Arc::clone(&world.node),
+        Arc::clone(&world.chain),
+        world.root_record,
+    );
+    let mut table = Table {
+        title: "Figure 9 — audit latency vs number of operations".into(),
+        headers: vec![
+            "operations".into(),
+            "total latency".into(),
+            "verification time".into(),
+            "verify share".into(),
+            "range-proof audit (ext.)".into(),
+        ],
+        rows: Vec::new(),
+    };
+    for &budget in &budgets {
+        let report = auditor.audit(0, budget).expect("audit");
+        assert!(report.is_clean(), "audit must be clean");
+        let range = auditor
+            .audit_with_range_proofs(0, budget)
+            .expect("range audit");
+        assert!(range.is_clean());
+        table.rows.push(vec![
+            budget.to_string(),
+            fmt_dur(report.total_time),
+            fmt_dur(report.verify_time),
+            format!("{:.0}%", report.verify_fraction() * 100.0),
+            fmt_dur(range.total_time),
+        ]);
+    }
+    table
+}
+
+/// Extra (not in the paper): how simulated network latency shifts the
+/// publisher-visible latencies — the term separating our in-process numbers
+/// from the paper's RPC numbers.
+pub fn latency_ablation(profile: Profile) -> Table {
+    use wedge_sim::LatencyModel;
+    let n = profile.scale(10_000, 4000);
+    let mut table = Table {
+        title: "Network-latency ablation — publisher latencies (batch = 2000, 1 KB entries)"
+            .into(),
+        headers: vec![
+            "request/response link".into(),
+            "first op delay".into(),
+            "last op delay".into(),
+            "stage-1 commitment delay".into(),
+        ],
+        rows: Vec::new(),
+    };
+    let links: [(&str, LatencyModel, LatencyModel); 3] = [
+        ("none (in-process)", LatencyModel::Zero, LatencyModel::Zero),
+        (
+            "LAN: 0.2 ms + 10 µs/KB",
+            LatencyModel::Link {
+                base: Duration::from_micros(200),
+                per_kb: Duration::from_micros(10),
+            },
+            LatencyModel::Link {
+                base: Duration::from_micros(200),
+                per_kb: Duration::from_micros(10),
+            },
+        ),
+        (
+            "WAN: 20 ms + 80 µs/KB",
+            LatencyModel::Link {
+                base: Duration::from_millis(20),
+                per_kb: Duration::from_micros(80),
+            },
+            LatencyModel::Link {
+                base: Duration::from_millis(20),
+                per_kb: Duration::from_micros(80),
+            },
+        ),
+    ];
+    for (label, request_model, response_model) in links {
+        let config = NodeConfig {
+            batch_size: 2000,
+            batch_linger: Duration::from_millis(30),
+            response_latency: response_model,
+            ..Default::default()
+        };
+        let world = World::new(&format!("lat-{label}"), config, 2000.0);
+        // Rebind the publisher with the request-side link model.
+        let client = Identity::from_seed(format!("bench-client-lat-{label}").as_bytes());
+        world.chain.fund(client.address(), Wei::from_eth(1000));
+        let mut publisher = wedge_core::Publisher::new(
+            client,
+            std::sync::Arc::clone(&world.node),
+            std::sync::Arc::clone(&world.chain),
+            world.root_record,
+            None,
+        )
+        .with_request_latency(request_model);
+        let outcome = publisher
+            .append_batch(kv_payloads(n, KEY_SIZE, VALUE_SIZE, 5))
+            .expect("append");
+        table.rows.push(vec![
+            label.into(),
+            fmt_dur(outcome.first_response),
+            fmt_dur(outcome.last_response),
+            fmt_dur(outcome.stage1_commit),
+        ]);
+    }
+    table
+}
+
+/// Extra (not in the paper): end-to-end punishment cost — what a client pays
+/// in gas to prove a lie, and what it recovers.
+pub fn punishment_economics() -> Table {
+    use wedge_core::NodeBehavior;
+    let config = NodeConfig {
+        batch_size: 100,
+        batch_linger: Duration::from_millis(10),
+        behavior: NodeBehavior::CommitWrongRoot { from_log: 0 },
+        ..Default::default()
+    };
+    let mut world = World::new("punish-econ", config, 2000.0);
+    let outcome = world
+        .publisher
+        .append_batch(kv_payloads(100, KEY_SIZE, VALUE_SIZE, 9))
+        .expect("append");
+    world.settle();
+    let receipt = world
+        .publisher
+        .verify_all_and_punish(&outcome.responses)
+        .expect("punish path")
+        .expect("mismatch found");
+    Table {
+        title: "Punishment economics (extension)".into(),
+        headers: vec!["metric".into(), "value".into()],
+        rows: vec![
+            vec!["gas to prove the lie".into(), format!("{}", receipt.gas_used)],
+            vec!["fee paid by client".into(), format!("{}", receipt.fee)],
+            vec!["escrow recovered".into(), "32 ETH".into()],
+            vec![
+                "evidence size (bytes)".into(),
+                format!(
+                    "{}",
+                    outcome.responses[0].proof.to_bytes().len()
+                        + outcome.responses[0].leaf.len()
+                        + 65
+                        + 40
+                ),
+            ],
+        ],
+    }
+}

@@ -1,0 +1,11 @@
+//! # wedge-bench
+//!
+//! Shared experiment harness for regenerating every table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index). The
+//! `repro` binary drives the experiments; Criterion benches cover the hot
+//! primitives.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod workload;

@@ -1,0 +1,113 @@
+//! Blocks, receipts, and event logs.
+
+use wedge_crypto::hash::{keccak256, Hash32};
+
+use crate::encoding::Encoder;
+use crate::types::{Address, BlockNumber, Gas, TxHash, Wei};
+
+/// An event emitted by a contract (the push-notification mechanism of
+/// paper §2.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventLog {
+    /// Emitting contract.
+    pub contract: Address,
+    /// Event name (e.g. `"DepositInsufficient"`).
+    pub name: &'static str,
+    /// ABI-encoded event payload.
+    pub data: Vec<u8>,
+}
+
+/// Outcome of executing a transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecStatus {
+    /// Executed successfully.
+    Success,
+    /// Reverted with a reason; state rolled back, fee still charged.
+    Reverted(String),
+}
+
+impl ExecStatus {
+    /// True for [`ExecStatus::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, ExecStatus::Success)
+    }
+}
+
+/// The receipt of a mined transaction.
+#[derive(Clone, Debug)]
+pub struct Receipt {
+    /// Hash of the transaction.
+    pub tx_hash: TxHash,
+    /// Execution outcome.
+    pub status: ExecStatus,
+    /// Gas consumed.
+    pub gas_used: Gas,
+    /// Fee paid (`gas_used * gas_price`).
+    pub fee: Wei,
+    /// Block that included the transaction.
+    pub block_number: BlockNumber,
+    /// Return data from a contract call.
+    pub output: Vec<u8>,
+    /// Events emitted.
+    pub logs: Vec<EventLog>,
+    /// For deploys: the created contract's address.
+    pub contract_address: Option<Address>,
+}
+
+/// A mined block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Height (genesis = 0).
+    pub number: BlockNumber,
+    /// Timestamp in simulated seconds since chain start.
+    pub timestamp: u64,
+    /// Parent block hash.
+    pub parent: Hash32,
+    /// Included transaction hashes, in execution order.
+    pub tx_hashes: Vec<TxHash>,
+    /// Total gas used.
+    pub gas_used: Gas,
+    /// This block's hash.
+    pub hash: Hash32,
+}
+
+impl Block {
+    /// Computes a block hash committing to header fields and transactions.
+    pub fn compute_hash(
+        number: BlockNumber,
+        timestamp: u64,
+        parent: &Hash32,
+        tx_hashes: &[TxHash],
+    ) -> Hash32 {
+        let mut enc = Encoder::with_capacity(64 + tx_hashes.len() * 36);
+        enc.u64(number).u64(timestamp).bytes(parent.as_bytes());
+        for tx in tx_hashes {
+            enc.bytes(tx.as_bytes());
+        }
+        Hash32(keccak256(&enc.finish()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_hash_commits_to_contents() {
+        let parent = Hash32([1; 32]);
+        let txs = vec![Hash32([2; 32]), Hash32([3; 32])];
+        let h1 = Block::compute_hash(5, 100, &parent, &txs);
+        assert_eq!(h1, Block::compute_hash(5, 100, &parent, &txs));
+        assert_ne!(h1, Block::compute_hash(6, 100, &parent, &txs));
+        assert_ne!(h1, Block::compute_hash(5, 101, &parent, &txs));
+        assert_ne!(h1, Block::compute_hash(5, 100, &Hash32([9; 32]), &txs));
+        let reordered = vec![Hash32([3; 32]), Hash32([2; 32])];
+        assert_ne!(h1, Block::compute_hash(5, 100, &parent, &reordered));
+    }
+
+    #[test]
+    fn exec_status() {
+        assert!(ExecStatus::Success.is_success());
+        assert!(!ExecStatus::Reverted("x".into()).is_success());
+    }
+}

@@ -1,0 +1,409 @@
+//! The contract host: how Rust-native "smart contracts" execute inside the
+//! simulated chain.
+//!
+//! Contracts are Rust state machines implementing [`Contract`]. They receive
+//! ABI-encoded calldata (so intrinsic gas sees realistic byte counts) and a
+//! [`CallContext`] through which every externally visible effect flows:
+//! balance transfers, event emission, storage-gas charging, and read-only
+//! cross-contract calls. The executor snapshots contract + balances before a
+//! call and rolls both back on revert, so contracts get transactional
+//! semantics just like the EVM.
+
+use std::collections::HashMap;
+
+use crate::block::EventLog;
+use crate::gas::GasSchedule;
+use crate::types::{Address, Gas, Wei};
+
+/// A revert: execution failed, all effects are rolled back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Revert {
+    /// Human-readable reason (mirrors Solidity's revert strings).
+    pub reason: String,
+}
+
+impl Revert {
+    /// Creates a revert with the given reason.
+    pub fn new(reason: impl Into<String>) -> Revert {
+        Revert { reason: reason.into() }
+    }
+}
+
+impl core::fmt::Display for Revert {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "revert: {}", self.reason)
+    }
+}
+
+/// A deployable contract.
+pub trait Contract: Send {
+    /// Short type name for logs and receipts.
+    fn type_name(&self) -> &'static str;
+
+    /// Handles one call. `input` is the ABI-encoded calldata; the returned
+    /// bytes are the ABI-encoded result.
+    fn call(&mut self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, Revert>;
+
+    /// Clones the contract state (used for revert snapshots and view calls).
+    fn clone_box(&self) -> Box<dyn Contract>;
+}
+
+/// Account balances and nonces.
+#[derive(Default, Clone, Debug)]
+pub struct WorldState {
+    balances: HashMap<Address, Wei>,
+    nonces: HashMap<Address, u64>,
+}
+
+impl WorldState {
+    /// Balance of `addr` (zero if untouched).
+    pub fn balance(&self, addr: Address) -> Wei {
+        self.balances.get(&addr).copied().unwrap_or(Wei::ZERO)
+    }
+
+    /// Next nonce for `addr`.
+    pub fn nonce(&self, addr: Address) -> u64 {
+        self.nonces.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Credits `addr` with `amount`.
+    pub fn credit(&mut self, addr: Address, amount: Wei) {
+        let entry = self.balances.entry(addr).or_insert(Wei::ZERO);
+        *entry = entry.checked_add(amount).expect("balance overflow");
+    }
+
+    /// Debits `addr`, failing if the balance is insufficient.
+    pub fn debit(&mut self, addr: Address, amount: Wei) -> Result<(), (Wei, Wei)> {
+        let available = self.balance(addr);
+        match available.checked_sub(amount) {
+            Some(rest) => {
+                self.balances.insert(addr, rest);
+                Ok(())
+            }
+            None => Err((amount, available)),
+        }
+    }
+
+    /// Increments and returns the previous nonce.
+    pub fn bump_nonce(&mut self, addr: Address) -> u64 {
+        let entry = self.nonces.entry(addr).or_insert(0);
+        let prev = *entry;
+        *entry += 1;
+        prev
+    }
+
+    /// Snapshot for revert handling.
+    pub(crate) fn snapshot(&self) -> WorldState {
+        self.clone()
+    }
+}
+
+/// The registry of deployed contracts.
+pub type ContractRegistry = HashMap<Address, Box<dyn Contract>>;
+
+/// Everything a contract can see and touch during one call.
+pub struct CallContext<'a> {
+    /// The calling account (`Txn.sender` in the paper's algorithms).
+    pub sender: Address,
+    /// Wei attached to the call (already credited to the contract).
+    pub value: Wei,
+    /// The contract's own address.
+    pub contract: Address,
+    /// Number of the block executing this call.
+    pub block_number: u64,
+    /// Block timestamp in simulated seconds (the paper's Payment contract
+    /// reads exactly this).
+    pub timestamp: u64,
+    /// Gas schedule for metered operations.
+    pub schedule: &'a GasSchedule,
+    /// Gas consumed so far (starts at the intrinsic cost).
+    gas_used: Gas,
+    /// Gas ceiling.
+    gas_limit: Gas,
+    /// Shared account state.
+    state: &'a mut WorldState,
+    /// All *other* contracts (the executing one is temporarily removed),
+    /// for read-only cross-contract calls.
+    others: &'a mut ContractRegistry,
+    /// Events emitted by this call (discarded on revert).
+    logs: Vec<EventLog>,
+    /// True inside view calls: all mutation attempts revert.
+    view_only: bool,
+    /// Nesting depth (cross-contract view calls).
+    depth: u32,
+}
+
+impl<'a> CallContext<'a> {
+    /// Builds a context (host-internal).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        sender: Address,
+        value: Wei,
+        contract: Address,
+        block_number: u64,
+        timestamp: u64,
+        schedule: &'a GasSchedule,
+        intrinsic: Gas,
+        gas_limit: Gas,
+        state: &'a mut WorldState,
+        others: &'a mut ContractRegistry,
+        view_only: bool,
+    ) -> CallContext<'a> {
+        CallContext {
+            sender,
+            value,
+            contract,
+            block_number,
+            timestamp,
+            schedule,
+            gas_used: intrinsic,
+            gas_limit,
+            state,
+            others,
+            logs: Vec::new(),
+            view_only,
+            depth: 0,
+        }
+    }
+
+    /// Charges `gas`, reverting on exhaustion.
+    pub fn charge(&mut self, gas: Gas) -> Result<(), Revert> {
+        self.gas_used = self.gas_used.saturating_add(gas);
+        if self.gas_used > self.gas_limit {
+            Err(Revert::new("out of gas"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charges for `words` fresh storage words.
+    pub fn charge_storage_set(&mut self, words: usize) -> Result<(), Revert> {
+        let gas = self.schedule.storage_set(words);
+        self.charge(gas)
+    }
+
+    /// Charges for rewriting `words` existing storage words.
+    pub fn charge_storage_reset(&mut self, words: usize) -> Result<(), Revert> {
+        let gas = self.schedule.storage_reset(words);
+        self.charge(gas)
+    }
+
+    /// Charges for reading `words` storage words.
+    pub fn charge_storage_read(&mut self, words: usize) -> Result<(), Revert> {
+        let gas = self.schedule.storage_read(words);
+        self.charge(gas)
+    }
+
+    /// Emits an event (buffered; lands in the receipt on success).
+    pub fn emit(&mut self, name: &'static str, data: Vec<u8>) -> Result<(), Revert> {
+        let gas = self.schedule.log(data.len());
+        self.charge(gas)?;
+        if self.view_only {
+            return Err(Revert::new("event emission in view call"));
+        }
+        self.logs.push(EventLog { contract: self.contract, name, data });
+        Ok(())
+    }
+
+    /// The contract's own balance.
+    pub fn contract_balance(&self) -> Wei {
+        self.state.balance(self.contract)
+    }
+
+    /// Any account's balance.
+    pub fn balance_of(&self, addr: Address) -> Wei {
+        self.state.balance(addr)
+    }
+
+    /// Transfers `amount` out of the contract's balance (the
+    /// `clientAddress.call{value: ...}` pattern of Algorithm 2).
+    pub fn transfer_out(&mut self, to: Address, amount: Wei) -> Result<(), Revert> {
+        if self.view_only {
+            return Err(Revert::new("transfer in view call"));
+        }
+        self.charge(Gas(self.schedule.call_value))?;
+        self.state
+            .debit(self.contract, amount)
+            .map_err(|(needed, available)| {
+                Revert::new(format!(
+                    "contract balance too low: need {needed}, have {available}"
+                ))
+            })?;
+        self.state.credit(to, amount);
+        Ok(())
+    }
+
+    /// Read-only call into another contract (the Punishment contract calling
+    /// `rootContract.getRootAtIndex`, Algorithm 2 line 5).
+    ///
+    /// Executes against a clone of the target, so any mutation the target
+    /// attempts is discarded; gas is charged to this call.
+    pub fn call_view(&mut self, target: Address, input: &[u8]) -> Result<Vec<u8>, Revert> {
+        if self.depth >= 4 {
+            return Err(Revert::new("call depth exceeded"));
+        }
+        self.charge(Gas(700))?; // CALL base cost
+        let callee = self
+            .others
+            .get(&target)
+            .ok_or_else(|| Revert::new(format!("no contract at {target}")))?;
+        let mut clone = callee.clone_box();
+        let mut sub = CallContext {
+            sender: self.contract,
+            value: Wei::ZERO,
+            contract: target,
+            block_number: self.block_number,
+            timestamp: self.timestamp,
+            schedule: self.schedule,
+            gas_used: self.gas_used,
+            gas_limit: self.gas_limit,
+            state: self.state,
+            others: self.others,
+            logs: Vec::new(),
+            view_only: true,
+            depth: self.depth + 1,
+        };
+        let result = clone.call(&mut sub, input);
+        let sub_gas = sub.gas_used;
+        self.gas_used = sub_gas;
+        result
+    }
+
+    /// Gas consumed so far.
+    pub fn gas_used(&self) -> Gas {
+        self.gas_used
+    }
+
+    /// Takes the buffered event logs (host-internal).
+    pub(crate) fn take_logs(&mut self) -> Vec<EventLog> {
+        std::mem::take(&mut self.logs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal counter contract used to exercise the host.
+    #[derive(Clone, Default)]
+    struct Counter {
+        count: u64,
+    }
+
+    impl Contract for Counter {
+        fn type_name(&self) -> &'static str {
+            "Counter"
+        }
+        fn call(&mut self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, Revert> {
+            match input.first() {
+                Some(1) => {
+                    ctx.charge_storage_reset(1)?;
+                    self.count += 1;
+                    ctx.emit("Incremented", self.count.to_be_bytes().to_vec())?;
+                    Ok(self.count.to_be_bytes().to_vec())
+                }
+                Some(2) => Ok(self.count.to_be_bytes().to_vec()),
+                _ => Err(Revert::new("unknown selector")),
+            }
+        }
+        fn clone_box(&self) -> Box<dyn Contract> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn harness() -> (WorldState, ContractRegistry, GasSchedule) {
+        (WorldState::default(), ContractRegistry::new(), GasSchedule::default())
+    }
+
+    #[test]
+    fn charge_respects_limit() {
+        let (mut state, mut others, schedule) = harness();
+        let mut ctx = CallContext::new(
+            Address([1; 20]),
+            Wei::ZERO,
+            Address([2; 20]),
+            1,
+            10,
+            &schedule,
+            Gas(21_000),
+            Gas(22_000),
+            &mut state,
+            &mut others,
+            false,
+        );
+        assert!(ctx.charge(Gas(900)).is_ok());
+        assert!(ctx.charge(Gas(200)).is_err());
+    }
+
+    #[test]
+    fn transfer_out_moves_balance() {
+        let (mut state, mut others, schedule) = harness();
+        let contract = Address([2; 20]);
+        let user = Address([3; 20]);
+        state.credit(contract, Wei(1000));
+        let mut ctx = CallContext::new(
+            user, Wei::ZERO, contract, 1, 10, &schedule, Gas::ZERO, Gas(1_000_000),
+            &mut state, &mut others, false,
+        );
+        ctx.transfer_out(user, Wei(400)).unwrap();
+        assert_eq!(ctx.contract_balance(), Wei(600));
+        assert_eq!(ctx.balance_of(user), Wei(400));
+        assert!(ctx.transfer_out(user, Wei(601)).is_err());
+    }
+
+    #[test]
+    fn view_context_blocks_mutation() {
+        let (mut state, mut others, schedule) = harness();
+        let contract = Address([2; 20]);
+        state.credit(contract, Wei(1000));
+        let mut ctx = CallContext::new(
+            Address([1; 20]), Wei::ZERO, contract, 1, 10, &schedule, Gas::ZERO,
+            Gas(1_000_000), &mut state, &mut others, true,
+        );
+        assert!(ctx.transfer_out(Address([3; 20]), Wei(1)).is_err());
+        assert!(ctx.emit("X", vec![]).is_err());
+    }
+
+    #[test]
+    fn cross_contract_view_reads_state() {
+        let (mut state, mut others, schedule) = harness();
+        let counter_addr = Address([9; 20]);
+        let mut counter = Counter::default();
+        counter.count = 42;
+        others.insert(counter_addr, Box::new(counter));
+        let mut ctx = CallContext::new(
+            Address([1; 20]), Wei::ZERO, Address([2; 20]), 1, 10, &schedule,
+            Gas::ZERO, Gas(1_000_000), &mut state, &mut others, false,
+        );
+        let out = ctx.call_view(counter_addr, &[2]).unwrap();
+        assert_eq!(out, 42u64.to_be_bytes());
+        // Mutating through a view call is discarded: increment then re-read.
+        let _ = ctx.call_view(counter_addr, &[1]);
+        let out = ctx.call_view(counter_addr, &[2]).unwrap();
+        assert_eq!(out, 42u64.to_be_bytes(), "view mutation must not persist");
+    }
+
+    #[test]
+    fn missing_view_target_reverts() {
+        let (mut state, mut others, schedule) = harness();
+        let mut ctx = CallContext::new(
+            Address([1; 20]), Wei::ZERO, Address([2; 20]), 1, 10, &schedule,
+            Gas::ZERO, Gas(1_000_000), &mut state, &mut others, false,
+        );
+        assert!(ctx.call_view(Address([0xEE; 20]), &[2]).is_err());
+    }
+
+    #[test]
+    fn world_state_accounting() {
+        let mut state = WorldState::default();
+        let a = Address([1; 20]);
+        state.credit(a, Wei(50));
+        assert_eq!(state.balance(a), Wei(50));
+        assert!(state.debit(a, Wei(60)).is_err());
+        state.debit(a, Wei(20)).unwrap();
+        assert_eq!(state.balance(a), Wei(30));
+        assert_eq!(state.bump_nonce(a), 0);
+        assert_eq!(state.bump_nonce(a), 1);
+        assert_eq!(state.nonce(a), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Canonical byte encoding for signed structures.
+//!
+//! A minimal, deterministic, length-prefixed format (in the spirit of RLP
+//! but simpler): every field is written as `len (u32 BE) || bytes`, integers
+//! big-endian fixed-width. Used for transaction hashing/signing and for the
+//! signed request/response tuples of the WedgeBlock protocol, so that two
+//! parties always hash identical bytes.
+
+/// An append-only canonical encoder.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Creates an encoder with a capacity hint.
+    pub fn with_capacity(cap: usize) -> Encoder {
+        Encoder { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(&(v.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Writes a fixed-width u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Writes a fixed-width u128.
+    pub fn u128(&mut self, v: u128) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Writes a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Finishes, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A cursor over canonically encoded bytes.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Decoding failure (truncated or malformed input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset at which decoding failed.
+    pub at: usize,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "malformed encoding at byte {}", self.at)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError { at: self.pos });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len_bytes = self.take(4)?;
+        let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed byte string into a fixed array.
+    pub fn bytes_fixed<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let at = self.pos;
+        let slice = self.bytes()?;
+        slice.try_into().map_err(|_| DecodeError { at })
+    }
+
+    /// Reads a fixed-width u64.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a fixed-width u128.
+    pub fn u128(&mut self) -> Result<u128, DecodeError> {
+        Ok(u128::from_be_bytes(self.take(16)?.try_into().expect("16 bytes")))
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Ensures the input is fully consumed.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError { at: self.pos })
+        }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_fields() {
+        let mut enc = Encoder::new();
+        enc.u64(42).bytes(b"payload").u8(7).u128(1 << 100).bytes(b"");
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.u64().unwrap(), 42);
+        assert_eq!(dec.bytes().unwrap(), b"payload");
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u128().unwrap(), 1 << 100);
+        assert_eq!(dec.bytes().unwrap(), b"");
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_detected() {
+        let mut enc = Encoder::new();
+        enc.bytes(b"hello");
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf[..buf.len() - 1]);
+        assert!(dec.bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut enc = Encoder::new();
+        enc.u8(1);
+        let mut buf = enc.finish();
+        buf.push(0xFF);
+        let mut dec = Decoder::new(&buf);
+        dec.u8().unwrap();
+        assert!(dec.finish().is_err());
+    }
+
+    #[test]
+    fn fixed_array_length_enforced() {
+        let mut enc = Encoder::new();
+        enc.bytes(&[1, 2, 3]);
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf);
+        assert!(dec.bytes_fixed::<4>().is_err());
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.bytes_fixed::<3>().unwrap(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn encoding_is_unambiguous() {
+        // ("ab", "c") and ("a", "bc") must encode differently.
+        let mut e1 = Encoder::new();
+        e1.bytes(b"ab").bytes(b"c");
+        let mut e2 = Encoder::new();
+        e2.bytes(b"a").bytes(b"bc");
+        assert_ne!(e1.finish(), e2.finish());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the simulated chain.
+
+use std::fmt;
+
+use crate::types::{Address, Gas, TxHash, Wei};
+
+/// Errors surfaced by chain operations (submission, execution, queries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// Transaction signature invalid or sender mismatch.
+    BadSignature {
+        /// Offending transaction.
+        tx: TxHash,
+    },
+    /// Transaction nonce below the account's next nonce.
+    NonceTooLow {
+        /// Next valid nonce.
+        expected: u64,
+        /// Nonce supplied.
+        got: u64,
+    },
+    /// Sender cannot cover `value + gas_limit * gas_price`.
+    InsufficientBalance {
+        /// The account.
+        address: Address,
+        /// Wei required.
+        needed: Wei,
+        /// Wei available.
+        available: Wei,
+    },
+    /// Call target has no deployed contract.
+    UnknownContract(Address),
+    /// A view call reverted.
+    Reverted(String),
+    /// Execution exceeded the transaction gas limit.
+    OutOfGas {
+        /// The configured limit.
+        limit: Gas,
+    },
+    /// `wait_for_receipt` gave up (no miner running?).
+    ReceiptTimeout(TxHash),
+    /// A deploy transaction's predicted address did not match.
+    DeployAddressMismatch,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::BadSignature { tx } => write!(f, "bad signature on tx {tx}"),
+            ChainError::NonceTooLow { expected, got } => {
+                write!(f, "nonce too low: expected {expected}, got {got}")
+            }
+            ChainError::InsufficientBalance { address, needed, available } => write!(
+                f,
+                "insufficient balance for {address}: need {needed}, have {available}"
+            ),
+            ChainError::UnknownContract(addr) => write!(f, "no contract at {addr}"),
+            ChainError::Reverted(reason) => write!(f, "execution reverted: {reason}"),
+            ChainError::OutOfGas { limit } => write!(f, "out of gas (limit {limit})"),
+            ChainError::ReceiptTimeout(tx) => {
+                write!(f, "timed out waiting for receipt of {tx} (is a miner running?)")
+            }
+            ChainError::DeployAddressMismatch => write!(f, "deploy address mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}

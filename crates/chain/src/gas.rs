@@ -1,0 +1,151 @@
+//! Gas schedule calibrated to Ethereum's published costs.
+//!
+//! The paper's monetary results (Figures 3/5, Table 1) are driven entirely
+//! by how many bytes land in calldata and how many 32-byte words land in
+//! contract storage. Those are the costs this schedule reproduces:
+//!
+//! | Operation | Gas | Source |
+//! |---|---|---|
+//! | transaction base | 21 000 | Ethereum yellow paper `G_transaction` |
+//! | calldata, non-zero byte | 16 | EIP-2028 |
+//! | calldata, zero byte | 4 | EIP-2028 |
+//! | storage word, first write | 20 000 | `G_sset` |
+//! | storage word, rewrite | 5 000 | `G_sreset` |
+//! | storage read | 800 | `G_sload` (Istanbul) |
+//! | log base / per byte | 375 / 8 | `G_log`, `G_logdata` |
+//! | value transfer to a contract | 9 000 | `G_callvalue` |
+//! | contract deployment | 32 000 + 200/byte | `G_create`, `G_codedeposit` |
+//!
+//! Gas price defaults to 100 gwei — a deliberately fixed stand-in for the
+//! fluctuating Ropsten fee the paper observed (§6 notes cost irregularities
+//! were "mostly a reflection of the fluctuation in the Ropsten network's
+//! transaction fee"). Absolute ETH numbers therefore differ from Table 1;
+//! every ratio the paper reports is preserved.
+
+use crate::types::{Gas, Wei};
+
+/// Per-operation gas costs (see module docs for calibration sources).
+#[derive(Clone, Copy, Debug)]
+pub struct GasSchedule {
+    /// Base cost of any transaction.
+    pub tx_base: u64,
+    /// Per non-zero calldata byte.
+    pub calldata_nonzero_byte: u64,
+    /// Per zero calldata byte.
+    pub calldata_zero_byte: u64,
+    /// First write to a storage word.
+    pub sstore_set: u64,
+    /// Rewrite of an existing storage word.
+    pub sstore_reset: u64,
+    /// Read of a storage word.
+    pub sload: u64,
+    /// Base cost of emitting an event.
+    pub log_base: u64,
+    /// Per byte of event data.
+    pub log_data_byte: u64,
+    /// Surcharge for transferring value into a contract call.
+    pub call_value: u64,
+    /// Base cost of deploying a contract.
+    pub create_base: u64,
+    /// Per byte of deployed code.
+    pub code_deposit_byte: u64,
+}
+
+impl Default for GasSchedule {
+    fn default() -> Self {
+        GasSchedule {
+            tx_base: 21_000,
+            calldata_nonzero_byte: 16,
+            calldata_zero_byte: 4,
+            sstore_set: 20_000,
+            sstore_reset: 5_000,
+            sload: 800,
+            log_base: 375,
+            log_data_byte: 8,
+            call_value: 9_000,
+            create_base: 32_000,
+            code_deposit_byte: 200,
+        }
+    }
+}
+
+impl GasSchedule {
+    /// Intrinsic gas of a transaction carrying `data` as calldata.
+    pub fn intrinsic(&self, data: &[u8]) -> Gas {
+        let mut gas = self.tx_base;
+        for &b in data {
+            gas += if b == 0 { self.calldata_zero_byte } else { self.calldata_nonzero_byte };
+        }
+        Gas(gas)
+    }
+
+    /// Gas for writing `words` fresh 32-byte storage words.
+    pub fn storage_set(&self, words: usize) -> Gas {
+        Gas(self.sstore_set.saturating_mul(words as u64))
+    }
+
+    /// Gas for rewriting `words` existing storage words.
+    pub fn storage_reset(&self, words: usize) -> Gas {
+        Gas(self.sstore_reset.saturating_mul(words as u64))
+    }
+
+    /// Gas for reading `words` storage words.
+    pub fn storage_read(&self, words: usize) -> Gas {
+        Gas(self.sload.saturating_mul(words as u64))
+    }
+
+    /// Gas for emitting an event with `data_len` bytes of payload.
+    pub fn log(&self, data_len: usize) -> Gas {
+        Gas(self.log_base + self.log_data_byte.saturating_mul(data_len as u64))
+    }
+
+    /// Gas for deploying a contract whose notional code is `code_len` bytes.
+    pub fn deploy(&self, code_len: usize) -> Gas {
+        Gas(self.create_base + self.code_deposit_byte.saturating_mul(code_len as u64))
+    }
+}
+
+/// The default gas price used across benchmarks (100 gwei).
+pub const DEFAULT_GAS_PRICE: Wei = Wei::from_gwei(100);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_counts_zero_and_nonzero() {
+        let s = GasSchedule::default();
+        assert_eq!(s.intrinsic(&[]), Gas(21_000));
+        // 2 non-zero + 2 zero bytes.
+        assert_eq!(s.intrinsic(&[1, 0, 2, 0]), Gas(21_000 + 16 * 2 + 4 * 2));
+    }
+
+    #[test]
+    fn storage_costs_scale() {
+        let s = GasSchedule::default();
+        assert_eq!(s.storage_set(2), Gas(40_000));
+        assert_eq!(s.storage_reset(3), Gas(15_000));
+        assert_eq!(s.storage_read(2), Gas(1_600));
+    }
+
+    #[test]
+    fn log_and_deploy() {
+        let s = GasSchedule::default();
+        assert_eq!(s.log(10), Gas(375 + 80));
+        assert_eq!(s.deploy(100), Gas(32_000 + 20_000));
+    }
+
+    #[test]
+    fn a_raw_1kb_write_costs_orders_more_than_a_digest() {
+        // The economic heart of the paper: on-chain cost of a 1 KB entry
+        // (OCL) vs a 32-byte digest amortized over a 2000-entry batch (WB).
+        let s = GasSchedule::default();
+        let entry = vec![0xABu8; 1088];
+        let ocl = s.intrinsic(&entry).0 + s.storage_set(1088usize.div_ceil(32)).0;
+        let digest = vec![0xCDu8; 32];
+        let wb_batch = s.intrinsic(&digest).0 + s.storage_set(1).0;
+        let wb_per_op = wb_batch as f64 / 2000.0;
+        let ratio = ocl as f64 / wb_per_op;
+        assert!(ratio > 100.0, "expected >100x cost gap, got {ratio:.0}x");
+    }
+}

@@ -1,0 +1,31 @@
+//! # wedge-chain
+//!
+//! A simulated Ethereum-style blockchain substrate: funded accounts, signed
+//! nonce-ordered transactions, a gas schedule calibrated to Ethereum's
+//! published costs, block production on a (compressible) simulation clock,
+//! confirmations, receipts, contract events — and a contract host that runs
+//! Rust-native smart contracts with transactional (snapshot/rollback)
+//! semantics.
+//!
+//! This replaces the Ropsten test network used by the paper; see DESIGN.md
+//! §1 for the substitution argument.
+
+#![warn(missing_docs)]
+
+mod block;
+mod chain;
+mod contract;
+mod encoding;
+mod error;
+mod gas;
+mod tx;
+mod types;
+
+pub use block::{Block, EventLog, ExecStatus, Receipt};
+pub use chain::{Chain, ChainConfig, MinerHandle};
+pub use contract::{CallContext, Contract, ContractRegistry, Revert, WorldState};
+pub use encoding::{DecodeError, Decoder, Encoder};
+pub use error::ChainError;
+pub use gas::{GasSchedule, DEFAULT_GAS_PRICE};
+pub use tx::{contract_address, SignedTransaction, Transaction, TxKind};
+pub use types::{Address, BlockNumber, Gas, Hash32, TxHash, Wei};

@@ -1,0 +1,174 @@
+//! Transactions: signed, nonce-ordered state transitions.
+
+use wedge_crypto::ecdsa::{recover_prehashed, sign_prehashed, Signature};
+use wedge_crypto::hash::{keccak256, Hash32};
+use wedge_crypto::keys::{Address, SecretKey};
+
+use crate::encoding::Encoder;
+use crate::error::ChainError;
+use crate::types::{Gas, TxHash, Wei};
+
+/// What a transaction acts on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxKind {
+    /// Plain value transfer to an account (or a contract's receive hook).
+    Transfer,
+    /// Call a deployed contract; `data` is the ABI-encoded input.
+    Call,
+    /// Deploy a contract (the contract object travels out-of-band in the
+    /// simulator; `data` stands in for init code so intrinsic gas is
+    /// realistic).
+    Deploy,
+}
+
+/// An unsigned transaction body.
+#[derive(Clone, Debug)]
+pub struct Transaction {
+    /// Sender's account nonce.
+    pub nonce: u64,
+    /// Call/transfer target. For deploys this is the *predicted* contract
+    /// address (assigned by the sender from `keccak(sender || nonce)`).
+    pub to: Address,
+    /// Wei transferred to the target.
+    pub value: Wei,
+    /// Calldata (or notional init code for deploys).
+    pub data: Vec<u8>,
+    /// Gas ceiling for execution.
+    pub gas_limit: Gas,
+    /// Price per unit of gas.
+    pub gas_price: Wei,
+    /// Kind of state transition.
+    pub kind: TxKind,
+}
+
+impl Transaction {
+    /// The canonical signing payload.
+    fn signing_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(64 + self.data.len());
+        enc.u64(self.nonce)
+            .bytes(self.to.as_bytes())
+            .u128(self.value.0)
+            .bytes(&self.data)
+            .u64(self.gas_limit.0)
+            .u128(self.gas_price.0)
+            .u8(match self.kind {
+                TxKind::Transfer => 0,
+                TxKind::Call => 1,
+                TxKind::Deploy => 2,
+            });
+        enc.finish()
+    }
+
+    /// The hash signed by the sender.
+    pub fn signing_hash(&self) -> [u8; 32] {
+        keccak256(&self.signing_bytes())
+    }
+
+    /// Signs the transaction with `key`.
+    pub fn sign(self, key: &SecretKey) -> SignedTransaction {
+        let signing_hash = self.signing_hash();
+        let signature = sign_prehashed(key, &signing_hash);
+        let from = key.public_key().address();
+        // The tx hash commits to the signature as well.
+        let mut enc = Encoder::with_capacity(96);
+        enc.bytes(&signing_hash).bytes(&signature.to_bytes());
+        let hash = Hash32(keccak256(&enc.finish()));
+        SignedTransaction { tx: self, signature, from, hash }
+    }
+}
+
+/// A signed transaction with its cached sender and hash.
+#[derive(Clone, Debug)]
+pub struct SignedTransaction {
+    /// The transaction body.
+    pub tx: Transaction,
+    /// Sender's signature over [`Transaction::signing_hash`].
+    pub signature: Signature,
+    /// Sender address (cached at signing; re-derived on submission).
+    pub from: Address,
+    /// Transaction hash.
+    pub hash: TxHash,
+}
+
+impl SignedTransaction {
+    /// Verifies the signature and that the cached sender matches the
+    /// recovered one. The chain runs this on submission — a mismatched or
+    /// forged sender is rejected before reaching the mempool.
+    pub fn verify(&self) -> Result<(), ChainError> {
+        let recovered = recover_prehashed(&self.tx.signing_hash(), &self.signature)
+            .map_err(|_| ChainError::BadSignature { tx: self.hash })?;
+        if recovered.address() != self.from {
+            return Err(ChainError::BadSignature { tx: self.hash });
+        }
+        Ok(())
+    }
+}
+
+/// Computes the deterministic contract address for a deployment by
+/// `deployer` at `nonce` (Ethereum-style `keccak(sender || nonce)[12..]`).
+pub fn contract_address(deployer: Address, nonce: u64) -> Address {
+    let mut enc = Encoder::with_capacity(32);
+    enc.bytes(deployer.as_bytes()).u64(nonce);
+    let digest = keccak256(&enc.finish());
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&digest[12..]);
+    Address(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wedge_crypto::keys::Keypair;
+
+    fn tx(nonce: u64) -> Transaction {
+        Transaction {
+            nonce,
+            to: Address([7; 20]),
+            value: Wei(100),
+            data: vec![1, 2, 3],
+            gas_limit: Gas(50_000),
+            gas_price: Wei::from_gwei(100),
+            kind: TxKind::Transfer,
+        }
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let kp = Keypair::from_seed(b"sender");
+        let signed = tx(0).sign(&kp.secret);
+        assert_eq!(signed.from, kp.address);
+        signed.verify().unwrap();
+    }
+
+    #[test]
+    fn forged_sender_rejected() {
+        let kp = Keypair::from_seed(b"honest");
+        let mut signed = tx(0).sign(&kp.secret);
+        signed.from = Address([9; 20]);
+        assert!(matches!(signed.verify(), Err(ChainError::BadSignature { .. })));
+    }
+
+    #[test]
+    fn tampered_body_rejected() {
+        let kp = Keypair::from_seed(b"body");
+        let mut signed = tx(0).sign(&kp.secret);
+        signed.tx.value = Wei(1_000_000);
+        assert!(signed.verify().is_err());
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_hashes() {
+        let kp = Keypair::from_seed(b"nonce");
+        let a = tx(0).sign(&kp.secret);
+        let b = tx(1).sign(&kp.secret);
+        assert_ne!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn contract_addresses_are_deterministic() {
+        let d = Address([1; 20]);
+        assert_eq!(contract_address(d, 5), contract_address(d, 5));
+        assert_ne!(contract_address(d, 5), contract_address(d, 6));
+        assert_ne!(contract_address(d, 5), contract_address(Address([2; 20]), 5));
+    }
+}

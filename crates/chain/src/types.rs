@@ -1,0 +1,156 @@
+//! Monetary and identity newtypes for the simulated chain.
+
+use std::fmt;
+use std::iter::Sum;
+
+pub use wedge_crypto::hash::Hash32;
+pub use wedge_crypto::keys::Address;
+
+/// An amount of currency in wei (10^-18 ETH), the unit the paper's Payment
+/// contract is denominated in.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Wei(pub u128);
+
+impl Wei {
+    /// Zero wei.
+    pub const ZERO: Wei = Wei(0);
+
+    /// Constructs from whole gwei (10^9 wei).
+    pub const fn from_gwei(gwei: u128) -> Wei {
+        Wei(gwei * 1_000_000_000)
+    }
+
+    /// Constructs from whole ETH (10^18 wei).
+    pub const fn from_eth(eth: u128) -> Wei {
+        Wei(eth * 1_000_000_000_000_000_000)
+    }
+
+    /// Constructs from a fractional ETH amount (benchmark convenience; not
+    /// for ledger arithmetic).
+    pub fn from_eth_f64(eth: f64) -> Wei {
+        Wei((eth * 1e18) as u128)
+    }
+
+    /// This amount as fractional ETH (lossy; for reporting only).
+    pub fn as_eth_f64(&self) -> f64 {
+        self.0 as f64 / 1e18
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Wei) -> Option<Wei> {
+        self.0.checked_add(rhs.0).map(Wei)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Wei) -> Option<Wei> {
+        self.0.checked_sub(rhs.0).map(Wei)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Wei) -> Wei {
+        Wei(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies by a scalar count (e.g. gas × price).
+    pub fn saturating_mul(self, count: u128) -> Wei {
+        Wei(self.0.saturating_mul(count))
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Sum for Wei {
+    fn sum<I: Iterator<Item = Wei>>(iter: I) -> Wei {
+        Wei(iter.map(|w| w.0).sum())
+    }
+}
+
+impl fmt::Debug for Wei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Wei({})", self.0)
+    }
+}
+
+impl fmt::Display for Wei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            return write!(f, "0 ETH");
+        }
+        write!(f, "{:.9} ETH", self.as_eth_f64())
+    }
+}
+
+/// An amount of gas.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Gas(pub u64);
+
+impl Gas {
+    /// Zero gas.
+    pub const ZERO: Gas = Gas(0);
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Gas) -> Gas {
+        Gas(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies gas by a wei-per-gas price.
+    pub fn cost_at(self, price: Wei) -> Wei {
+        price.saturating_mul(self.0 as u128)
+    }
+}
+
+impl Sum for Gas {
+    fn sum<I: Iterator<Item = Gas>>(iter: I) -> Gas {
+        Gas(iter.map(|g| g.0).sum())
+    }
+}
+
+impl fmt::Display for Gas {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} gas", self.0)
+    }
+}
+
+/// A transaction hash.
+pub type TxHash = Hash32;
+
+/// A block number (0 = genesis).
+pub type BlockNumber = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wei_conversions() {
+        assert_eq!(Wei::from_gwei(1), Wei(1_000_000_000));
+        assert_eq!(Wei::from_eth(2), Wei(2_000_000_000_000_000_000));
+        assert!((Wei::from_eth(1).as_eth_f64() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wei_checked_math() {
+        let a = Wei(100);
+        assert_eq!(a.checked_add(Wei(20)), Some(Wei(120)));
+        assert_eq!(a.checked_sub(Wei(120)), None);
+        assert_eq!(a.saturating_sub(Wei(120)), Wei::ZERO);
+        assert_eq!(Wei(u128::MAX).checked_add(Wei(1)), None);
+    }
+
+    #[test]
+    fn gas_cost() {
+        let g = Gas(21_000);
+        let price = Wei::from_gwei(100);
+        assert_eq!(g.cost_at(price), Wei(2_100_000_000_000_000));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Wei::ZERO.to_string(), "0 ETH");
+        assert!(Wei::from_eth(1).to_string().starts_with("1.0"));
+        assert_eq!(Gas(5).to_string(), "5 gas");
+    }
+}

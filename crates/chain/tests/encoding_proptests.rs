@@ -1,0 +1,106 @@
+//! Property-based tests for the canonical encoding: arbitrary field
+//! sequences roundtrip, truncation is always detected, and encodings are
+//! prefix-free per field sequence.
+
+use proptest::prelude::*;
+use wedge_chain::{Decoder, Encoder};
+
+/// A field to encode.
+#[derive(Clone, Debug)]
+enum Field {
+    Bytes(Vec<u8>),
+    U64(u64),
+    U128(u128),
+    U8(u8),
+}
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(Field::Bytes),
+        any::<u64>().prop_map(Field::U64),
+        any::<u128>().prop_map(Field::U128),
+        any::<u8>().prop_map(Field::U8),
+    ]
+}
+
+fn encode(fields: &[Field]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    for field in fields {
+        match field {
+            Field::Bytes(b) => {
+                enc.bytes(b);
+            }
+            Field::U64(v) => {
+                enc.u64(*v);
+            }
+            Field::U128(v) => {
+                enc.u128(*v);
+            }
+            Field::U8(v) => {
+                enc.u8(*v);
+            }
+        }
+    }
+    enc.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip(fields in prop::collection::vec(arb_field(), 0..16)) {
+        let buf = encode(&fields);
+        let mut dec = Decoder::new(&buf);
+        for field in &fields {
+            match field {
+                Field::Bytes(b) => prop_assert_eq!(dec.bytes().unwrap(), b.as_slice()),
+                Field::U64(v) => prop_assert_eq!(dec.u64().unwrap(), *v),
+                Field::U128(v) => prop_assert_eq!(dec.u128().unwrap(), *v),
+                Field::U8(v) => prop_assert_eq!(dec.u8().unwrap(), *v),
+            }
+        }
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_always_detected(fields in prop::collection::vec(arb_field(), 1..8), cut in 1usize..32) {
+        let buf = encode(&fields);
+        prop_assume!(cut < buf.len());
+        let truncated = &buf[..buf.len() - cut];
+        let mut dec = Decoder::new(truncated);
+        // Decoding the same schema must fail at some field OR leave the
+        // final finish() unsatisfied — it can never silently succeed.
+        let mut failed = false;
+        for field in &fields {
+            let ok = match field {
+                Field::Bytes(b) => dec.bytes().map(|x| x == b.as_slice()).unwrap_or_else(|_| { failed = true; true }),
+                Field::U64(v) => dec.u64().map(|x| x == *v).unwrap_or_else(|_| { failed = true; true }),
+                Field::U128(v) => dec.u128().map(|x| x == *v).unwrap_or_else(|_| { failed = true; true }),
+                Field::U8(v) => dec.u8().map(|x| x == *v).unwrap_or_else(|_| { failed = true; true }),
+            };
+            prop_assert!(ok, "decoded value changed under truncation");
+            if failed {
+                break;
+            }
+        }
+        prop_assert!(failed || dec.finish().is_err(), "truncation went unnoticed");
+    }
+
+    #[test]
+    fn appended_garbage_detected(fields in prop::collection::vec(arb_field(), 0..8), tail in prop::collection::vec(any::<u8>(), 1..16)) {
+        let mut buf = encode(&fields);
+        buf.extend_from_slice(&tail);
+        let mut dec = Decoder::new(&buf);
+        for field in &fields {
+            match field {
+                Field::Bytes(b) => { let _ = b; let _ = dec.bytes(); }
+                Field::U64(_) => { let _ = dec.u64(); }
+                Field::U128(_) => { let _ = dec.u128(); }
+                Field::U8(_) => { let _ = dec.u8(); }
+            }
+        }
+        // Either a field decode consumed garbage bytes as a length prefix
+        // and failed, or finish() flags the leftovers.
+        prop_assert!(dec.remaining() == 0 || dec.finish().is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! The canonical signed-response digest shared between the Offchain Node
+//! and the Punishment contract.
+//!
+//! Algorithm 2 line 1 computes `msgHash ← hash(index, merkleRoot,
+//! merkleProof, rawData)` and recovers the signer from the client-supplied
+//! signature. The Offchain Node must sign *exactly* these bytes when it
+//! off-chain-commits a response (paper §4.1's tuple `R`), so the encoding
+//! lives here, in one place, used by both sides.
+
+use wedge_chain::Encoder;
+use wedge_crypto::hash::{keccak256, Hash32};
+
+/// Computes the digest the Offchain Node signs for one response `R`:
+/// the promise "`raw_data` lives at `index` under Merkle root `merkle_root`,
+/// provable by `proof_bytes`".
+pub fn response_digest(
+    index: u64,
+    merkle_root: &Hash32,
+    proof_bytes: &[u8],
+    raw_data: &[u8],
+) -> [u8; 32] {
+    let mut enc = Encoder::with_capacity(64 + proof_bytes.len() + raw_data.len());
+    enc.u64(index)
+        .bytes(merkle_root.as_bytes())
+        .bytes(proof_bytes)
+        .bytes(raw_data);
+    keccak256(&enc.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic() {
+        let root = Hash32([1; 32]);
+        let a = response_digest(5, &root, b"proof", b"data");
+        let b = response_digest(5, &root, b"proof", b"data");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digest_binds_every_field() {
+        let root = Hash32([1; 32]);
+        let base = response_digest(5, &root, b"proof", b"data");
+        assert_ne!(base, response_digest(6, &root, b"proof", b"data"));
+        assert_ne!(base, response_digest(5, &Hash32([2; 32]), b"proof", b"data"));
+        assert_ne!(base, response_digest(5, &root, b"proofX", b"data"));
+        assert_ne!(base, response_digest(5, &root, b"proof", b"dataX"));
+    }
+
+    #[test]
+    fn field_boundaries_are_unambiguous() {
+        let root = Hash32([0; 32]);
+        // Moving a byte between proof and data must change the digest.
+        let a = response_digest(0, &root, b"ab", b"c");
+        let b = response_digest(0, &root, b"a", b"bc");
+        assert_ne!(a, b);
+    }
+}

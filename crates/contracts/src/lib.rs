@@ -1,0 +1,35 @@
+//! # wedge-contracts
+//!
+//! The WedgeBlock smart contracts (paper §4.4–4.5), transcribed from the
+//! paper's Algorithms 1–3 and run by the `wedge-chain` contract host:
+//!
+//! - [`RootRecord`] — the on-chain digest store (Algorithm 1).
+//! - [`Punishment`] — escrow + AoN punishment via `recoverSigner`
+//!   (Algorithm 2).
+//! - [`Payment`] — the logging-as-a-service subscription stream
+//!   (Algorithm 3).
+//!
+//! Plus the two baseline contracts the evaluation compares against:
+//!
+//! - [`OclLog`] — raw on-chain logging (OCL).
+//! - [`RhlRollup`] — rollup-inspired hybrid logging with fraud-proof
+//!   challenges (RHL).
+//!
+//! [`response_digest`] defines the exact bytes an Offchain Node signs in a
+//! stage-1 response, shared with the Punishment contract's verification.
+
+#![warn(missing_docs)]
+
+mod digest;
+mod ocl_log;
+mod payment;
+mod punishment;
+mod rhl_rollup;
+mod root_record;
+
+pub use digest::response_digest;
+pub use ocl_log::OclLog;
+pub use payment::{Payment, PaymentStatus, PaymentTerms};
+pub use punishment::{Punishment, PunishmentStatus};
+pub use rhl_rollup::{BatchStatus, RhlRollup};
+pub use root_record::RootRecord;

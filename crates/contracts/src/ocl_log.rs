@@ -1,0 +1,105 @@
+//! On-chain logging contract — the OCL baseline (paper §6.3).
+//!
+//! Raw log entries are written directly into contract storage, exactly as
+//! the "writing directly on chain" strawman the paper compares against. Cost
+//! scales with entry bytes (calldata + one storage word per 32 bytes), which
+//! is what produces OCL's ~310× cost disadvantage in Table 1.
+
+use wedge_chain::{CallContext, Contract, Decoder, Encoder, Revert};
+
+/// Method selectors.
+mod selector {
+    /// Appends a batch of raw entries.
+    pub const APPEND: u8 = 0x01;
+    /// Reads one entry.
+    pub const GET: u8 = 0x02;
+    /// Returns the log length.
+    pub const LEN: u8 = 0x03;
+}
+
+/// The OCL contract: an on-chain append-only log of raw entries.
+#[derive(Clone, Default)]
+pub struct OclLog {
+    entries: Vec<Vec<u8>>,
+}
+
+impl OclLog {
+    /// Notional deployed-code size for gas realism.
+    pub const CODE_LEN: usize = 800;
+
+    /// Creates an empty log.
+    pub fn new() -> OclLog {
+        OclLog::default()
+    }
+
+    /// Encodes an append of raw `entries`.
+    pub fn append_calldata<D: AsRef<[u8]>>(entries: &[D]) -> Vec<u8> {
+        let total: usize = entries.iter().map(|e| e.as_ref().len() + 4).sum();
+        let mut enc = Encoder::with_capacity(9 + total);
+        enc.u8(selector::APPEND).u64(entries.len() as u64);
+        for e in entries {
+            enc.bytes(e.as_ref());
+        }
+        enc.finish()
+    }
+
+    /// Encodes a read of entry `idx`.
+    pub fn get_calldata(idx: u64) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(9);
+        enc.u8(selector::GET).u64(idx);
+        enc.finish()
+    }
+
+    /// Encodes the length getter.
+    pub fn len_calldata() -> Vec<u8> {
+        vec![selector::LEN]
+    }
+}
+
+impl Contract for OclLog {
+    fn type_name(&self) -> &'static str {
+        "OclLog"
+    }
+
+    fn call(&mut self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, Revert> {
+        let mut dec = Decoder::new(input);
+        let sel = dec.u8().map_err(|_| Revert::new("empty calldata"))?;
+        match sel {
+            selector::APPEND => {
+                let count = dec.u64().map_err(|e| Revert::new(e.to_string()))?;
+                if count > dec.remaining() as u64 {
+                    return Err(Revert::new("entry count exceeds calldata"));
+                }
+                let mut total_words = 0usize;
+                let mut batch = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let entry = dec.bytes().map_err(|e| Revert::new(e.to_string()))?;
+                    total_words += entry.len().div_ceil(32);
+                    batch.push(entry.to_vec());
+                }
+                dec.finish().map_err(|e| Revert::new(e.to_string()))?;
+                // Every 32-byte word of raw data is a fresh storage word.
+                ctx.charge_storage_set(total_words)?;
+                // Plus the length-slot rewrite.
+                ctx.charge_storage_reset(1)?;
+                self.entries.extend(batch);
+                Ok((self.entries.len() as u64).to_be_bytes().to_vec())
+            }
+            selector::GET => {
+                let idx = dec.u64().map_err(|e| Revert::new(e.to_string()))? as usize;
+                let entry = self.entries.get(idx).ok_or_else(|| Revert::new("no such entry"))?;
+                ctx.charge_storage_read(entry.len().div_ceil(32))?;
+                Ok(entry.clone())
+            }
+            selector::LEN => {
+                ctx.charge_storage_read(1)?;
+                Ok((self.entries.len() as u64).to_be_bytes().to_vec())
+            }
+            other => Err(Revert::new(format!("unknown selector 0x{other:02x}"))),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Contract> {
+        Box::new(self.clone())
+    }
+}

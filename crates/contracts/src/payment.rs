@@ -1,0 +1,308 @@
+//! The Payment smart contract (paper §4.5, Algorithm 3): a subscription
+//! micro-payment channel for the DApp-logging-as-a-service model.
+//!
+//! The client deposits ether; once `startPayment` runs, the deposit
+//! *virtually* streams to the Offchain Node at `payment_per_period` wei per
+//! `period` seconds. Nothing moves in the background — the division of the
+//! balance is computed retrospectively from block timestamps whenever
+//! `updatePaymentStatus` runs (it runs implicitly before any withdrawal, so
+//! overdraws are impossible).
+//!
+//! Events (paper names):
+//! - `PaymentStateUpdated(remaining_periods)` — deposit healthy.
+//! - `DepositInsufficient(overdue_periods)` — client is behind.
+//! - `ContractViolated` — overdue beyond `max_overdue_periods`; the whole
+//!   balance is paid to the node and the contract terminates.
+
+use wedge_chain::{CallContext, Contract, Decoder, Encoder, Revert, Wei};
+use wedge_crypto::keys::Address;
+
+/// Method selectors.
+mod selector {
+    /// Client starts the payment stream.
+    pub const START_PAYMENT: u8 = 0x01;
+    /// Recomputes the deposit split (Algorithm 3).
+    pub const UPDATE_PAYMENT_STATUS: u8 = 0x02;
+    /// Offchain Node withdraws its reserved amount.
+    pub const WITHDRAW_EDGE: u8 = 0x03;
+    /// Client withdraws unreserved deposit.
+    pub const WITHDRAW_CLIENT: u8 = 0x04;
+    /// Client terminates the subscription.
+    pub const TERMINATE: u8 = 0x05;
+    /// Status getter.
+    pub const GET_STATUS: u8 = 0x06;
+}
+
+/// Immutable subscription terms fixed at deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct PaymentTerms {
+    /// The service provider being paid.
+    pub offchain_address: Address,
+    /// The paying client (a shared address if there are many publishers).
+    pub client_address: Address,
+    /// Billing period in (simulated) seconds.
+    pub period: u64,
+    /// Wei owed per period.
+    pub payment_per_period: Wei,
+    /// Overdue periods tolerated before the contract declares violation.
+    pub max_overdue_periods: u64,
+}
+
+/// Decoded status snapshot (see [`Payment::decode_status`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PaymentStatus {
+    /// `startPayment` has run.
+    pub started: bool,
+    /// Stream ended (violation or client termination).
+    pub terminated: bool,
+    /// Wei withdrawable only by the Offchain Node.
+    pub reserved_for_edge: Wei,
+    /// Total contract balance.
+    pub balance: Wei,
+    /// Anchor timestamp of the current stream window.
+    pub payment_start_time: u64,
+}
+
+/// The Payment contract state.
+#[derive(Clone)]
+pub struct Payment {
+    terms: PaymentTerms,
+    /// `amount_reserved_for_edge` in the paper.
+    reserved_for_edge: Wei,
+    /// `payment_start_time` in the paper.
+    payment_start_time: u64,
+    started: bool,
+    terminated: bool,
+}
+
+impl Payment {
+    /// Notional deployed-code size for gas realism.
+    pub const CODE_LEN: usize = 2_000;
+
+    /// Creates the contract with its immutable terms.
+    pub fn new(terms: PaymentTerms) -> Payment {
+        assert!(terms.period > 0, "period must be positive");
+        assert!(!terms.payment_per_period.is_zero(), "payment_per_period must be positive");
+        Payment {
+            terms,
+            reserved_for_edge: Wei::ZERO,
+            payment_start_time: 0,
+            started: false,
+            terminated: false,
+        }
+    }
+
+    /// Calldata builders (one per method).
+    pub fn start_payment_calldata() -> Vec<u8> {
+        vec![selector::START_PAYMENT]
+    }
+    /// `updatePaymentStatus` calldata.
+    pub fn update_status_calldata() -> Vec<u8> {
+        vec![selector::UPDATE_PAYMENT_STATUS]
+    }
+    /// Node withdrawal calldata.
+    pub fn withdraw_edge_calldata() -> Vec<u8> {
+        vec![selector::WITHDRAW_EDGE]
+    }
+    /// Client withdrawal calldata.
+    pub fn withdraw_client_calldata(amount: Wei) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(17);
+        enc.u8(selector::WITHDRAW_CLIENT).u128(amount.0);
+        enc.finish()
+    }
+    /// Client termination calldata.
+    pub fn terminate_calldata() -> Vec<u8> {
+        vec![selector::TERMINATE]
+    }
+    /// Status getter calldata.
+    pub fn status_calldata() -> Vec<u8> {
+        vec![selector::GET_STATUS]
+    }
+
+    /// Decodes the status getter output.
+    pub fn decode_status(output: &[u8]) -> Option<PaymentStatus> {
+        let mut dec = Decoder::new(output);
+        let started = dec.u8().ok()? == 1;
+        let terminated = dec.u8().ok()? == 1;
+        let reserved = Wei(dec.u128().ok()?);
+        let balance = Wei(dec.u128().ok()?);
+        let start_time = dec.u64().ok()?;
+        dec.finish().ok()?;
+        Some(PaymentStatus {
+            started,
+            terminated,
+            reserved_for_edge: reserved,
+            balance,
+            payment_start_time: start_time,
+        })
+    }
+
+    /// Algorithm 3: recompute `amount_reserved_for_edge` from elapsed block
+    /// time, emitting the appropriate event. Safe to call by anyone.
+    fn update_payment_status(&mut self, ctx: &mut CallContext<'_>) -> Result<(), Revert> {
+        if !self.started || self.terminated {
+            return Ok(()); // nothing streams before start or after end
+        }
+        let now = ctx.timestamp;
+        let elapsed = now.saturating_sub(self.payment_start_time);
+        let periods_elapsed = elapsed / self.terms.period;
+        if periods_elapsed == 0 {
+            return Ok(());
+        }
+        let owed = self
+            .terms
+            .payment_per_period
+            .saturating_mul(periods_elapsed as u128);
+        let client_funds = ctx.contract_balance().saturating_sub(self.reserved_for_edge);
+        ctx.charge_storage_reset(2)?; // reserved + start_time rewrites
+
+        if owed <= client_funds {
+            // Deposit healthy: reserve what is owed and advance the anchor
+            // by whole periods (partial-period progress is retained).
+            self.reserved_for_edge = self
+                .reserved_for_edge
+                .checked_add(owed)
+                .ok_or_else(|| Revert::new("reserve overflow"))?;
+            self.payment_start_time += periods_elapsed * self.terms.period;
+            let remaining_periods =
+                (client_funds.0 - owed.0) / self.terms.payment_per_period.0;
+            // Line 17: PaymentStateUpdated(periods the deposit still covers).
+            ctx.emit("PaymentStateUpdated", (remaining_periods as u64).to_be_bytes().to_vec())?;
+        } else {
+            // Client is behind: reserve every wei it can still cover.
+            let payable_periods = client_funds.0 / self.terms.payment_per_period.0;
+            let overdue = periods_elapsed - payable_periods as u64;
+            let covered = self
+                .terms
+                .payment_per_period
+                .saturating_mul(payable_periods);
+            self.reserved_for_edge = self
+                .reserved_for_edge
+                .checked_add(covered)
+                .ok_or_else(|| Revert::new("reserve overflow"))?;
+            self.payment_start_time += payable_periods as u64 * self.terms.period;
+            if overdue > self.terms.max_overdue_periods {
+                // Line 14: violation — everything to the node, then die.
+                let balance = ctx.contract_balance();
+                self.reserved_for_edge = Wei::ZERO;
+                self.terminated = true;
+                ctx.transfer_out(self.terms.offchain_address, balance)?;
+                ctx.emit("ContractViolated", overdue.to_be_bytes().to_vec())?;
+            } else {
+                // Line 10: remind the client.
+                ctx.emit("DepositInsufficient", overdue.to_be_bytes().to_vec())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Contract for Payment {
+    fn type_name(&self) -> &'static str {
+        "Payment"
+    }
+
+    fn call(&mut self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, Revert> {
+        let mut dec = Decoder::new(input);
+        let sel = dec.u8().map_err(|_| Revert::new("empty calldata"))?;
+        match sel {
+            selector::START_PAYMENT => {
+                if ctx.sender != self.terms.client_address {
+                    return Err(Revert::new("only the client may start payments"));
+                }
+                if self.started {
+                    return Err(Revert::new("payments already started"));
+                }
+                if self.terminated {
+                    return Err(Revert::new("contract terminated"));
+                }
+                ctx.charge_storage_set(2)?;
+                self.started = true;
+                self.payment_start_time = ctx.timestamp;
+                ctx.emit("PaymentStarted", ctx.timestamp.to_be_bytes().to_vec())?;
+                Ok(Vec::new())
+            }
+            selector::UPDATE_PAYMENT_STATUS => {
+                self.update_payment_status(ctx)?;
+                Ok(Vec::new())
+            }
+            selector::WITHDRAW_EDGE => {
+                if ctx.sender != self.terms.offchain_address {
+                    return Err(Revert::new("only the offchain node may withdraw"));
+                }
+                self.update_payment_status(ctx)?;
+                let amount = self.reserved_for_edge;
+                if amount.is_zero() {
+                    return Err(Revert::new("nothing reserved to withdraw"));
+                }
+                self.reserved_for_edge = Wei::ZERO;
+                // Paper: withdrawal resets the payment anchor to this block's
+                // timestamp.
+                if !self.terminated {
+                    self.payment_start_time = ctx.timestamp;
+                }
+                ctx.charge_storage_reset(2)?;
+                ctx.transfer_out(self.terms.offchain_address, amount)?;
+                ctx.emit("EdgeWithdrawal", amount.0.to_be_bytes().to_vec())?;
+                Ok(Vec::new())
+            }
+            selector::WITHDRAW_CLIENT => {
+                if ctx.sender != self.terms.client_address {
+                    return Err(Revert::new("only the client may withdraw"));
+                }
+                let amount = Wei(dec.u128().map_err(|e| Revert::new(e.to_string()))?);
+                self.update_payment_status(ctx)?;
+                let free = ctx.contract_balance().saturating_sub(self.reserved_for_edge);
+                if amount > free {
+                    return Err(Revert::new(format!(
+                        "overdraw prevented: {amount} requested, {free} unreserved"
+                    )));
+                }
+                ctx.transfer_out(self.terms.client_address, amount)?;
+                ctx.emit("ClientWithdrawal", amount.0.to_be_bytes().to_vec())?;
+                Ok(Vec::new())
+            }
+            selector::TERMINATE => {
+                if ctx.sender != self.terms.client_address {
+                    return Err(Revert::new("only the client may terminate"));
+                }
+                if self.terminated {
+                    return Err(Revert::new("already terminated"));
+                }
+                // Settle up to now, pay the node its reserve, refund the rest.
+                self.update_payment_status(ctx)?;
+                if self.terminated {
+                    return Ok(Vec::new()); // update escalated to violation
+                }
+                self.terminated = true;
+                ctx.charge_storage_reset(1)?;
+                let to_edge = self.reserved_for_edge;
+                self.reserved_for_edge = Wei::ZERO;
+                if !to_edge.is_zero() {
+                    ctx.transfer_out(self.terms.offchain_address, to_edge)?;
+                }
+                let refund = ctx.contract_balance();
+                if !refund.is_zero() {
+                    ctx.transfer_out(self.terms.client_address, refund)?;
+                }
+                ctx.emit("SubscriptionTerminated", to_edge.0.to_be_bytes().to_vec())?;
+                Ok(Vec::new())
+            }
+            selector::GET_STATUS => {
+                ctx.charge_storage_read(3)?;
+                let mut enc = Encoder::with_capacity(42);
+                enc.u8(self.started as u8)
+                    .u8(self.terminated as u8)
+                    .u128(self.reserved_for_edge.0)
+                    .u128(ctx.contract_balance().0)
+                    .u64(self.payment_start_time);
+                Ok(enc.finish())
+            }
+            other => Err(Revert::new(format!("unknown selector 0x{other:02x}"))),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Contract> {
+        Box::new(self.clone())
+    }
+}

@@ -1,0 +1,207 @@
+//! Rollup-inspired hybrid logging contract — the RHL baseline (paper §6.3).
+//!
+//! Modelled on Ethereum optimistic rollups, adapted to logging: the off-chain
+//! node posts each batch's *operations* on-chain together with a claimed
+//! digest. Anyone may challenge a batch during the challenge window; the
+//! contract recomputes the digest from the posted operations and, on
+//! mismatch, pays the poster's escrow to the challenger (a fraud proof).
+//! A batch finalizes only after its window closes — which is why RHL's
+//! stage-2 latency is "hours to days" while its cost matches OCL's (all raw
+//! operations hit calldata and storage).
+
+use std::collections::HashMap;
+
+use wedge_chain::{CallContext, Contract, Decoder, Encoder, Revert};
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::keys::Address;
+use wedge_merkle::MerkleTree;
+
+/// Method selectors.
+mod selector {
+    /// Posts a batch (operations + claimed digest).
+    pub const SUBMIT_BATCH: u8 = 0x01;
+    /// Challenges a posted batch.
+    pub const CHALLENGE: u8 = 0x02;
+    /// Queries a batch's status.
+    pub const BATCH_STATUS: u8 = 0x03;
+}
+
+/// Status of a posted batch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BatchStatus {
+    /// Inside the challenge window.
+    Pending,
+    /// Window elapsed; final.
+    Finalized,
+    /// Successfully challenged; escrow seized.
+    Fraudulent,
+}
+
+#[derive(Clone)]
+struct PostedBatch {
+    operations: Vec<Vec<u8>>,
+    claimed_digest: Hash32,
+    posted_at: u64,
+    fraudulent: bool,
+}
+
+/// The RHL contract.
+#[derive(Clone)]
+pub struct RhlRollup {
+    /// The posting off-chain node.
+    poster: Address,
+    /// Challenge window in (simulated) seconds. Real rollups use days; the
+    /// comparison experiments configure this.
+    challenge_window: u64,
+    batches: HashMap<u64, PostedBatch>,
+    next_batch: u64,
+}
+
+impl RhlRollup {
+    /// Notional deployed-code size for gas realism.
+    pub const CODE_LEN: usize = 3_000;
+
+    /// Creates the contract; escrow is the deploy endowment.
+    pub fn new(poster: Address, challenge_window: u64) -> RhlRollup {
+        RhlRollup { poster, challenge_window, batches: HashMap::new(), next_batch: 0 }
+    }
+
+    /// Encodes a batch submission.
+    pub fn submit_calldata<D: AsRef<[u8]>>(operations: &[D], digest: &Hash32) -> Vec<u8> {
+        let total: usize = operations.iter().map(|o| o.as_ref().len() + 4).sum();
+        let mut enc = Encoder::with_capacity(45 + total);
+        enc.u8(selector::SUBMIT_BATCH)
+            .bytes(digest.as_bytes())
+            .u64(operations.len() as u64);
+        for op in operations {
+            enc.bytes(op.as_ref());
+        }
+        enc.finish()
+    }
+
+    /// Encodes a challenge of `batch_id`.
+    pub fn challenge_calldata(batch_id: u64) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(9);
+        enc.u8(selector::CHALLENGE).u64(batch_id);
+        enc.finish()
+    }
+
+    /// Encodes a status query of `batch_id`.
+    pub fn status_calldata(batch_id: u64) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(9);
+        enc.u8(selector::BATCH_STATUS).u64(batch_id);
+        enc.finish()
+    }
+
+    /// Decodes a status query output.
+    pub fn decode_status(output: &[u8]) -> Option<BatchStatus> {
+        match output.first()? {
+            0 => Some(BatchStatus::Pending),
+            1 => Some(BatchStatus::Finalized),
+            2 => Some(BatchStatus::Fraudulent),
+            _ => None,
+        }
+    }
+
+    /// The canonical digest over a batch's operations (a Merkle root, the
+    /// same construction the honest node uses).
+    pub fn compute_digest<D: AsRef<[u8]>>(operations: &[D]) -> Result<Hash32, Revert> {
+        MerkleTree::from_leaves(operations)
+            .map(|t| t.root())
+            .map_err(|e| Revert::new(e.to_string()))
+    }
+}
+
+impl Contract for RhlRollup {
+    fn type_name(&self) -> &'static str {
+        "RhlRollup"
+    }
+
+    fn call(&mut self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, Revert> {
+        let mut dec = Decoder::new(input);
+        let sel = dec.u8().map_err(|_| Revert::new("empty calldata"))?;
+        match sel {
+            selector::SUBMIT_BATCH => {
+                if ctx.sender != self.poster {
+                    return Err(Revert::new("caller is not the rollup poster"));
+                }
+                let digest: [u8; 32] =
+                    dec.bytes_fixed().map_err(|e| Revert::new(e.to_string()))?;
+                let count = dec.u64().map_err(|e| Revert::new(e.to_string()))?;
+                if count > dec.remaining() as u64 {
+                    return Err(Revert::new("operation count exceeds calldata"));
+                }
+                let mut operations = Vec::with_capacity(count as usize);
+                let mut total_words = 1; // digest word
+                for _ in 0..count {
+                    let op = dec.bytes().map_err(|e| Revert::new(e.to_string()))?;
+                    total_words += op.len().div_ceil(32);
+                    operations.push(op.to_vec());
+                }
+                dec.finish().map_err(|e| Revert::new(e.to_string()))?;
+                if operations.is_empty() {
+                    return Err(Revert::new("empty batch"));
+                }
+                // The rollup's defining cost: raw operations land in storage.
+                ctx.charge_storage_set(total_words)?;
+                ctx.charge_storage_reset(1)?;
+                let id = self.next_batch;
+                self.next_batch += 1;
+                self.batches.insert(
+                    id,
+                    PostedBatch {
+                        operations,
+                        claimed_digest: Hash32(digest),
+                        posted_at: ctx.timestamp,
+                        fraudulent: false,
+                    },
+                );
+                ctx.emit("BatchPosted", id.to_be_bytes().to_vec())?;
+                Ok(id.to_be_bytes().to_vec())
+            }
+            selector::CHALLENGE => {
+                let id = dec.u64().map_err(|e| Revert::new(e.to_string()))?;
+                let batch =
+                    self.batches.get_mut(&id).ok_or_else(|| Revert::new("no such batch"))?;
+                if batch.fraudulent {
+                    return Err(Revert::new("already proven fraudulent"));
+                }
+                if ctx.timestamp >= batch.posted_at + self.challenge_window {
+                    return Err(Revert::new("challenge window closed"));
+                }
+                // Fraud proof: recompute the digest from the on-chain ops.
+                ctx.charge_storage_read(
+                    batch.operations.iter().map(|o| o.len().div_ceil(32)).sum(),
+                )?;
+                let actual = RhlRollup::compute_digest(&batch.operations)?;
+                if actual == batch.claimed_digest {
+                    return Err(Revert::new("digest is correct; challenge failed"));
+                }
+                batch.fraudulent = true;
+                let escrow = ctx.contract_balance();
+                ctx.transfer_out(ctx.sender, escrow)?;
+                ctx.emit("FraudProven", id.to_be_bytes().to_vec())?;
+                Ok(vec![1])
+            }
+            selector::BATCH_STATUS => {
+                let id = dec.u64().map_err(|e| Revert::new(e.to_string()))?;
+                let batch =
+                    self.batches.get(&id).ok_or_else(|| Revert::new("no such batch"))?;
+                ctx.charge_storage_read(1)?;
+                let status = if batch.fraudulent {
+                    2
+                } else if ctx.timestamp >= batch.posted_at + self.challenge_window {
+                    1
+                } else {
+                    0
+                };
+                Ok(vec![status])
+            }
+            other => Err(Revert::new(format!("unknown selector 0x{other:02x}"))),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Contract> {
+        Box::new(self.clone())
+    }
+}

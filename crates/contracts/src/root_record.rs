@@ -1,0 +1,319 @@
+//! The Root Record smart contract (paper §4.4, Algorithm 1).
+//!
+//! An on-chain store mapping log positions to Merkle-root digests. Three
+//! invariants drive WedgeBlock's blockchain-committed safety (Definition
+//! 3.2):
+//!
+//! 1. only the configured `offchain_address` may write,
+//! 2. roots are written strictly sequentially (`start_idx == tail_idx`),
+//! 3. each position is written **at most once** — there is no update path.
+
+use std::collections::HashMap;
+
+use wedge_chain::{CallContext, Contract, Decoder, Encoder, Revert};
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::keys::Address;
+
+/// Method selectors.
+mod selector {
+    /// `Update-Records` (Algorithm 1).
+    pub const UPDATE_RECORDS: u8 = 0x01;
+    /// `Get-Root-At-Index`.
+    pub const GET_ROOT_AT_INDEX: u8 = 0x02;
+    /// Returns `tail_idx`.
+    pub const GET_TAIL: u8 = 0x03;
+}
+
+/// The Root Record contract state.
+#[derive(Clone)]
+pub struct RootRecord {
+    /// The only address allowed to append digests (immutable).
+    offchain_address: Address,
+    /// `record_map`: log position → MRoot.
+    record_map: HashMap<u64, Hash32>,
+    /// Next position to be written.
+    tail_idx: u64,
+}
+
+impl RootRecord {
+    /// Notional deployed-code size, for deploy-gas realism (a comparable
+    /// Solidity contract compiles to roughly this many bytes).
+    pub const CODE_LEN: usize = 1_200;
+
+    /// Creates the contract bound to its Offchain Node.
+    pub fn new(offchain_address: Address) -> RootRecord {
+        RootRecord { offchain_address, record_map: HashMap::new(), tail_idx: 0 }
+    }
+
+    /// Encodes `Update-Records(start_idx, roots)` calldata.
+    pub fn update_records_calldata(start_idx: u64, roots: &[Hash32]) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(16 + roots.len() * 36);
+        enc.u8(selector::UPDATE_RECORDS).u64(start_idx).u64(roots.len() as u64);
+        for root in roots {
+            enc.bytes(root.as_bytes());
+        }
+        enc.finish()
+    }
+
+    /// Encodes `Get-Root-At-Index(idx)` calldata.
+    pub fn get_root_calldata(idx: u64) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(9);
+        enc.u8(selector::GET_ROOT_AT_INDEX).u64(idx);
+        enc.finish()
+    }
+
+    /// Encodes `tail_idx` getter calldata.
+    pub fn get_tail_calldata() -> Vec<u8> {
+        vec![selector::GET_TAIL]
+    }
+
+    /// Decodes the output of `Get-Root-At-Index`: `None` when the position
+    /// has no digest yet.
+    pub fn decode_root(output: &[u8]) -> Option<Hash32> {
+        if output.len() != 32 {
+            return None;
+        }
+        let mut h = [0u8; 32];
+        h.copy_from_slice(output);
+        let h = Hash32(h);
+        if h.is_zero() {
+            None
+        } else {
+            Some(h)
+        }
+    }
+
+    /// Decodes the output of the tail getter.
+    pub fn decode_tail(output: &[u8]) -> Option<u64> {
+        Some(u64::from_be_bytes(output.try_into().ok()?))
+    }
+
+    /// Algorithm 1, transcribed.
+    fn update_records(
+        &mut self,
+        ctx: &mut CallContext<'_>,
+        input: &mut Decoder<'_>,
+    ) -> Result<Vec<u8>, Revert> {
+        // Line 1: if Txn.sender != offchain_address then fail.
+        if ctx.sender != self.offchain_address {
+            return Err(Revert::new("caller is not the offchain node"));
+        }
+        let start_idx = input.u64().map_err(|e| Revert::new(e.to_string()))?;
+        let count = input.u64().map_err(|e| Revert::new(e.to_string()))?;
+        // Line 4: if start_idx != tail_idx then fail.
+        if start_idx != self.tail_idx {
+            return Err(Revert::new(format!(
+                "non-sequential write: start_idx {start_idx} != tail_idx {}",
+                self.tail_idx
+            )));
+        }
+        // Lines 7-9: record_map[start_idx + i] <- root_i.
+        // Guard the allocation: every digest consumes >= 36 calldata bytes,
+        // so a count beyond the remaining input is hostile.
+        if count > input.remaining() as u64 {
+            return Err(Revert::new("digest count exceeds calldata"));
+        }
+        let mut roots = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let root: [u8; 32] =
+                input.bytes_fixed().map_err(|e| Revert::new(e.to_string()))?;
+            roots.push(Hash32(root));
+        }
+        input.finish().map_err(|e| Revert::new(e.to_string()))?;
+        // One fresh storage word per digest.
+        ctx.charge_storage_set(roots.len())?;
+        for (i, root) in roots.into_iter().enumerate() {
+            let position = start_idx + i as u64;
+            debug_assert!(!self.record_map.contains_key(&position), "single-write invariant");
+            self.record_map.insert(position, root);
+        }
+        // Line 10: tail_idx <- start_idx + n (one rewritten word).
+        ctx.charge_storage_reset(1)?;
+        self.tail_idx = start_idx + count;
+        ctx.emit("RecordsUpdated", {
+            let mut enc = Encoder::with_capacity(16);
+            enc.u64(start_idx).u64(count);
+            enc.finish()
+        })?;
+        Ok(Vec::new())
+    }
+}
+
+impl Contract for RootRecord {
+    fn type_name(&self) -> &'static str {
+        "RootRecord"
+    }
+
+    fn call(&mut self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, Revert> {
+        let mut dec = Decoder::new(input);
+        let selector = dec.u8().map_err(|_| Revert::new("empty calldata"))?;
+        match selector {
+            selector::UPDATE_RECORDS => self.update_records(ctx, &mut dec),
+            selector::GET_ROOT_AT_INDEX => {
+                let idx = dec.u64().map_err(|e| Revert::new(e.to_string()))?;
+                ctx.charge_storage_read(1)?;
+                // Missing entries read as the zero word, as in Solidity.
+                let root = self.record_map.get(&idx).copied().unwrap_or(Hash32::ZERO);
+                Ok(root.as_bytes().to_vec())
+            }
+            selector::GET_TAIL => {
+                ctx.charge_storage_read(1)?;
+                Ok(self.tail_idx.to_be_bytes().to_vec())
+            }
+            other => Err(Revert::new(format!("unknown selector 0x{other:02x}"))),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Contract> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wedge_chain::{Chain, Gas, Wei};
+    use wedge_crypto::Keypair;
+    use wedge_sim::Clock;
+
+    fn setup() -> (Arc<Chain>, Keypair, Keypair, Address) {
+        let chain = Chain::with_defaults(Clock::manual());
+        let node = Keypair::from_seed(b"offchain-node");
+        let stranger = Keypair::from_seed(b"stranger");
+        chain.fund(node.address, Wei::from_eth(100));
+        chain.fund(stranger.address, Wei::from_eth(100));
+        let (addr, _) = chain
+            .deploy(
+                &node.secret,
+                Box::new(RootRecord::new(node.address)),
+                Wei::ZERO,
+                RootRecord::CODE_LEN,
+            )
+            .unwrap();
+        chain.mine_block();
+        (chain, node, stranger, addr)
+    }
+
+    fn roots(n: u8) -> Vec<Hash32> {
+        (1..=n).map(|i| Hash32([i; 32])).collect()
+    }
+
+    #[test]
+    fn sequential_updates_accepted() {
+        let (chain, node, _, addr) = setup();
+        let tx = chain
+            .call_contract(
+                &node.secret, addr, Wei::ZERO,
+                RootRecord::update_records_calldata(0, &roots(3)),
+                Gas(200_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        assert!(chain.receipt(tx).unwrap().status.is_success());
+        for i in 0..3u64 {
+            let out = chain.view(addr, &RootRecord::get_root_calldata(i)).unwrap();
+            assert_eq!(RootRecord::decode_root(&out), Some(Hash32([i as u8 + 1; 32])));
+        }
+        let tail = chain.view(addr, &RootRecord::get_tail_calldata()).unwrap();
+        assert_eq!(RootRecord::decode_tail(&tail), Some(3));
+    }
+
+    #[test]
+    fn non_offchain_caller_rejected() {
+        let (chain, _, stranger, addr) = setup();
+        let tx = chain
+            .call_contract(
+                &stranger.secret, addr, Wei::ZERO,
+                RootRecord::update_records_calldata(0, &roots(1)),
+                Gas(200_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        let receipt = chain.receipt(tx).unwrap();
+        assert!(!receipt.status.is_success());
+        let out = chain.view(addr, &RootRecord::get_root_calldata(0)).unwrap();
+        assert_eq!(RootRecord::decode_root(&out), None);
+    }
+
+    #[test]
+    fn gap_rejected() {
+        let (chain, node, _, addr) = setup();
+        let tx = chain
+            .call_contract(
+                &node.secret, addr, Wei::ZERO,
+                RootRecord::update_records_calldata(5, &roots(1)),
+                Gas(200_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        assert!(!chain.receipt(tx).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn rewrite_rejected_single_write_invariant() {
+        let (chain, node, _, addr) = setup();
+        chain
+            .call_contract(
+                &node.secret, addr, Wei::ZERO,
+                RootRecord::update_records_calldata(0, &roots(2)),
+                Gas(200_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        // Attempting to overwrite position 0 fails the sequential check.
+        let tx = chain
+            .call_contract(
+                &node.secret, addr, Wei::ZERO,
+                RootRecord::update_records_calldata(0, &[Hash32([0xEE; 32])]),
+                Gas(200_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        assert!(!chain.receipt(tx).unwrap().status.is_success());
+        let out = chain.view(addr, &RootRecord::get_root_calldata(0)).unwrap();
+        assert_eq!(RootRecord::decode_root(&out), Some(Hash32([1; 32])), "original intact");
+    }
+
+    #[test]
+    fn batched_digest_write_amortizes_gas() {
+        // Core of the paper's Figure 3 (right): per-digest gas falls as more
+        // digests share one transaction's base cost.
+        let (chain, node, _, addr) = setup();
+        let single = chain
+            .call_contract(
+                &node.secret, addr, Wei::ZERO,
+                RootRecord::update_records_calldata(0, &roots(1)),
+                Gas(10_000_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        let g1 = chain.receipt(single).unwrap().gas_used.0;
+        let ten: Vec<Hash32> = (10..20).map(|i| Hash32([i; 32])).collect();
+        let batch = chain
+            .call_contract(
+                &node.secret, addr, Wei::ZERO,
+                RootRecord::update_records_calldata(1, &ten),
+                Gas(10_000_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        let g10 = chain.receipt(batch).unwrap().gas_used.0;
+        assert!((g10 as f64 / 10.0) < g1 as f64 * 0.6, "per-digest gas {g1} vs {}", g10 / 10);
+    }
+
+    #[test]
+    fn missing_root_reads_as_none() {
+        let (chain, _, _, addr) = setup();
+        let out = chain.view(addr, &RootRecord::get_root_calldata(99)).unwrap();
+        assert_eq!(RootRecord::decode_root(&out), None);
+    }
+
+    #[test]
+    fn malformed_calldata_reverts() {
+        let (chain, _, _, addr) = setup();
+        assert!(chain.view(addr, &[]).is_err());
+        assert!(chain.view(addr, &[0x99]).is_err());
+        assert!(chain.view(addr, &[selector::GET_ROOT_AT_INDEX, 1, 2]).is_err());
+    }
+}

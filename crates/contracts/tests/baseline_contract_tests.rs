@@ -1,0 +1,280 @@
+//! Tests for the baseline contracts: OCL raw logging and RHL rollup with
+//! fraud-proof challenges.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wedge_chain::{Chain, Gas, Wei};
+use wedge_contracts::{BatchStatus, OclLog, RhlRollup, RootRecord};
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::Keypair;
+use wedge_sim::Clock;
+
+fn setup() -> (Arc<Chain>, Clock, Keypair) {
+    let clock = Clock::manual();
+    let chain = Chain::with_defaults(clock.clone());
+    let user = Keypair::from_seed(b"baseline-user");
+    chain.fund(user.address, Wei::from_eth(10_000));
+    (chain, clock, user)
+}
+
+fn entries(n: usize, size: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            let mut e = format!("op-{i}-").into_bytes();
+            e.resize(size, 0xAB);
+            e
+        })
+        .collect()
+}
+
+#[test]
+fn ocl_append_and_read() {
+    let (chain, _, user) = setup();
+    let (addr, _) = chain
+        .deploy(&user.secret, Box::new(OclLog::new()), Wei::ZERO, OclLog::CODE_LEN)
+        .unwrap();
+    chain.mine_block();
+    let batch = entries(5, 64);
+    let tx = chain
+        .call_contract(
+            &user.secret, addr, Wei::ZERO,
+            OclLog::append_calldata(&batch),
+            Gas(10_000_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    assert!(chain.receipt(tx).unwrap().status.is_success());
+    assert_eq!(chain.view(addr, &OclLog::get_calldata(2)).unwrap(), batch[2]);
+    assert_eq!(
+        chain.view(addr, &OclLog::len_calldata()).unwrap(),
+        5u64.to_be_bytes()
+    );
+    assert!(chain.view(addr, &OclLog::get_calldata(9)).is_err());
+}
+
+#[test]
+fn ocl_cost_scales_with_raw_bytes_while_root_record_does_not() {
+    // The Table-1 cost story at contract level.
+    let (chain, _, user) = setup();
+    let (ocl, _) = chain
+        .deploy(&user.secret, Box::new(OclLog::new()), Wei::ZERO, OclLog::CODE_LEN)
+        .unwrap();
+    let (rr, _) = chain
+        .deploy(
+            &user.secret,
+            Box::new(RootRecord::new(user.address)),
+            Wei::ZERO,
+            RootRecord::CODE_LEN,
+        )
+        .unwrap();
+    chain.mine_block();
+    let batch = entries(20, 1024);
+    let ocl_tx = chain
+        .call_contract(
+            &user.secret, ocl, Wei::ZERO,
+            OclLog::append_calldata(&batch),
+            Gas(30_000_000),
+        )
+        .unwrap();
+    let root = wedge_merkle::MerkleTree::from_leaves(&batch).unwrap().root();
+    let rr_tx = chain
+        .call_contract(
+            &user.secret, rr, Wei::ZERO,
+            RootRecord::update_records_calldata(0, &[root]),
+            Gas(1_000_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    let ocl_gas = chain.receipt(ocl_tx).unwrap().gas_used.0;
+    let rr_gas = chain.receipt(rr_tx).unwrap().gas_used.0;
+    assert!(
+        ocl_gas > rr_gas * 100,
+        "raw logging ({ocl_gas}) must dwarf digest logging ({rr_gas})"
+    );
+}
+
+#[test]
+fn rhl_honest_batch_finalizes_after_window() {
+    let (chain, clock, poster) = setup();
+    let window = 86_400; // one simulated day, as optimistic rollups suggest
+    let (addr, _) = chain
+        .deploy(
+            &poster.secret,
+            Box::new(RhlRollup::new(poster.address, window)),
+            Wei::from_eth(5),
+            RhlRollup::CODE_LEN,
+        )
+        .unwrap();
+    chain.mine_block();
+    let ops = entries(8, 128);
+    let digest = RhlRollup::compute_digest(&ops).unwrap();
+    let tx = chain
+        .call_contract(
+            &poster.secret, addr, Wei::ZERO,
+            RhlRollup::submit_calldata(&ops, &digest),
+            Gas(10_000_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    assert!(chain.receipt(tx).unwrap().status.is_success());
+    let st = RhlRollup::decode_status(&chain.view(addr, &RhlRollup::status_calldata(0)).unwrap());
+    assert_eq!(st, Some(BatchStatus::Pending));
+    clock.advance(Duration::from_secs(window + 1));
+    let st = RhlRollup::decode_status(&chain.view(addr, &RhlRollup::status_calldata(0)).unwrap());
+    assert_eq!(st, Some(BatchStatus::Finalized));
+}
+
+#[test]
+fn rhl_fraud_proof_seizes_escrow() {
+    let (chain, _, poster) = setup();
+    let challenger = Keypair::from_seed(b"challenger");
+    chain.fund(challenger.address, Wei::from_eth(10));
+    let escrow = Wei::from_eth(5);
+    let (addr, _) = chain
+        .deploy(
+            &poster.secret,
+            Box::new(RhlRollup::new(poster.address, 86_400)),
+            escrow,
+            RhlRollup::CODE_LEN,
+        )
+        .unwrap();
+    chain.mine_block();
+    // Poster lies: digest does not match the posted operations.
+    let ops = entries(8, 128);
+    let wrong_digest = Hash32([0x66; 32]);
+    chain
+        .call_contract(
+            &poster.secret, addr, Wei::ZERO,
+            RhlRollup::submit_calldata(&ops, &wrong_digest),
+            Gas(10_000_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    let before = chain.balance(challenger.address);
+    let tx = chain
+        .call_contract(
+            &challenger.secret, addr, Wei::ZERO,
+            RhlRollup::challenge_calldata(0),
+            Gas(10_000_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    let receipt = chain.receipt(tx).unwrap();
+    assert!(receipt.status.is_success());
+    assert_eq!(
+        RhlRollup::decode_status(&chain.view(addr, &RhlRollup::status_calldata(0)).unwrap()),
+        Some(BatchStatus::Fraudulent)
+    );
+    let gained = chain
+        .balance(challenger.address)
+        .checked_add(receipt.fee)
+        .unwrap()
+        .checked_sub(before)
+        .unwrap();
+    assert_eq!(gained, escrow);
+}
+
+#[test]
+fn rhl_honest_batch_survives_challenge() {
+    let (chain, _, poster) = setup();
+    let challenger = Keypair::from_seed(b"challenger-2");
+    chain.fund(challenger.address, Wei::from_eth(10));
+    let (addr, _) = chain
+        .deploy(
+            &poster.secret,
+            Box::new(RhlRollup::new(poster.address, 86_400)),
+            Wei::from_eth(5),
+            RhlRollup::CODE_LEN,
+        )
+        .unwrap();
+    chain.mine_block();
+    let ops = entries(8, 128);
+    let digest = RhlRollup::compute_digest(&ops).unwrap();
+    chain
+        .call_contract(
+            &poster.secret, addr, Wei::ZERO,
+            RhlRollup::submit_calldata(&ops, &digest),
+            Gas(10_000_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    let tx = chain
+        .call_contract(
+            &challenger.secret, addr, Wei::ZERO,
+            RhlRollup::challenge_calldata(0),
+            Gas(10_000_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    assert!(!chain.receipt(tx).unwrap().status.is_success(), "honest digest: challenge fails");
+    assert_eq!(chain.balance(addr), Wei::from_eth(5), "escrow intact");
+}
+
+#[test]
+fn rhl_challenge_window_closes() {
+    let (chain, clock, poster) = setup();
+    let challenger = Keypair::from_seed(b"late-challenger");
+    chain.fund(challenger.address, Wei::from_eth(10));
+    let (addr, _) = chain
+        .deploy(
+            &poster.secret,
+            Box::new(RhlRollup::new(poster.address, 3600)),
+            Wei::from_eth(5),
+            RhlRollup::CODE_LEN,
+        )
+        .unwrap();
+    chain.mine_block();
+    let ops = entries(4, 64);
+    let wrong = Hash32([0x77; 32]);
+    chain
+        .call_contract(
+            &poster.secret, addr, Wei::ZERO,
+            RhlRollup::submit_calldata(&ops, &wrong),
+            Gas(10_000_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    clock.advance(Duration::from_secs(3601));
+    let tx = chain
+        .call_contract(
+            &challenger.secret, addr, Wei::ZERO,
+            RhlRollup::challenge_calldata(0),
+            Gas(10_000_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    // Too late: even a fraudulent batch is final (the rollup trade-off).
+    assert!(!chain.receipt(tx).unwrap().status.is_success());
+    assert_eq!(
+        RhlRollup::decode_status(&chain.view(addr, &RhlRollup::status_calldata(0)).unwrap()),
+        Some(BatchStatus::Finalized)
+    );
+}
+
+#[test]
+fn rhl_only_poster_submits() {
+    let (chain, _, poster) = setup();
+    let stranger = Keypair::from_seed(b"rhl-stranger");
+    chain.fund(stranger.address, Wei::from_eth(10));
+    let (addr, _) = chain
+        .deploy(
+            &poster.secret,
+            Box::new(RhlRollup::new(poster.address, 3600)),
+            Wei::from_eth(1),
+            RhlRollup::CODE_LEN,
+        )
+        .unwrap();
+    chain.mine_block();
+    let ops = entries(2, 32);
+    let digest = RhlRollup::compute_digest(&ops).unwrap();
+    let tx = chain
+        .call_contract(
+            &stranger.secret, addr, Wei::ZERO,
+            RhlRollup::submit_calldata(&ops, &digest),
+            Gas(10_000_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    assert!(!chain.receipt(tx).unwrap().status.is_success());
+}

@@ -1,0 +1,376 @@
+//! Payment-contract lifecycle tests (Algorithm 3) on a manual clock, so
+//! period accounting is fully deterministic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wedge_chain::{Chain, Gas, Wei};
+use wedge_contracts::{Payment, PaymentTerms};
+use wedge_crypto::Keypair;
+use wedge_sim::Clock;
+
+struct Harness {
+    chain: Arc<Chain>,
+    clock: Clock,
+    node: Keypair,
+    client: Keypair,
+    payment: wedge_chain::Address,
+}
+
+/// 100 wei per 60-second period, 3 overdue periods tolerated.
+fn terms(node: &Keypair, client: &Keypair) -> PaymentTerms {
+    PaymentTerms {
+        offchain_address: node.address,
+        client_address: client.address,
+        period: 60,
+        payment_per_period: Wei(100),
+        max_overdue_periods: 3,
+    }
+}
+
+fn setup(deposit: Wei) -> Harness {
+    let clock = Clock::manual();
+    let chain = Chain::with_defaults(clock.clone());
+    let node = Keypair::from_seed(b"pay-node");
+    let client = Keypair::from_seed(b"pay-client");
+    chain.fund(node.address, Wei::from_eth(100));
+    chain.fund(client.address, Wei::from_eth(100));
+    let (payment, _) = chain
+        .deploy(
+            &node.secret,
+            Box::new(Payment::new(terms(&node, &client))),
+            Wei::ZERO,
+            Payment::CODE_LEN,
+        )
+        .unwrap();
+    chain.mine_block();
+    // Client deposits by plain transfer, then starts the stream.
+    chain.transfer(&client.secret, payment, deposit).unwrap();
+    chain.mine_block();
+    chain
+        .call_contract(
+            &client.secret,
+            payment,
+            Wei::ZERO,
+            Payment::start_payment_calldata(),
+            Gas(200_000),
+        )
+        .unwrap();
+    chain.mine_block();
+    Harness { chain, clock, node, client, payment }
+}
+
+fn advance_and_update(h: &Harness, secs: u64) -> wedge_chain::Receipt {
+    h.clock.advance(Duration::from_secs(secs));
+    let tx = h
+        .chain
+        .call_contract(
+            &h.client.secret,
+            h.payment,
+            Wei::ZERO,
+            Payment::update_status_calldata(),
+            Gas(500_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    h.chain.receipt(tx).unwrap()
+}
+
+fn status(h: &Harness) -> wedge_contracts::PaymentStatus {
+    Payment::decode_status(&h.chain.view(h.payment, &Payment::status_calldata()).unwrap())
+        .unwrap()
+}
+
+#[test]
+fn deposit_streams_per_period() {
+    let h = setup(Wei(1000)); // covers 10 periods
+    // After 2.5 periods, exactly 2 periods' worth is reserved.
+    let receipt = advance_and_update(&h, 150);
+    assert!(receipt.status.is_success());
+    let s = status(&h);
+    assert_eq!(s.reserved_for_edge, Wei(200));
+    assert!(s.started && !s.terminated);
+    // PaymentStateUpdated should report 8 remaining periods.
+    let log = receipt
+        .logs
+        .iter()
+        .find(|l| l.name == "PaymentStateUpdated")
+        .expect("healthy update emits PaymentStateUpdated");
+    assert_eq!(log.data, 8u64.to_be_bytes());
+}
+
+#[test]
+fn partial_period_progress_is_retained() {
+    let h = setup(Wei(1000));
+    advance_and_update(&h, 90); // 1.5 periods -> 1 reserved
+    assert_eq!(status(&h).reserved_for_edge, Wei(100));
+    advance_and_update(&h, 30); // the half period completes
+    assert_eq!(status(&h).reserved_for_edge, Wei(200));
+}
+
+#[test]
+fn node_withdraws_only_reserved_amount() {
+    let h = setup(Wei(1000));
+    h.clock.advance(Duration::from_secs(300)); // 5 periods
+    let node_before = h.chain.balance(h.node.address);
+    let tx = h
+        .chain
+        .call_contract(
+            &h.node.secret,
+            h.payment,
+            Wei::ZERO,
+            Payment::withdraw_edge_calldata(),
+            Gas(500_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    let receipt = h.chain.receipt(tx).unwrap();
+    assert!(receipt.status.is_success());
+    let gained = h
+        .chain
+        .balance(h.node.address)
+        .checked_add(receipt.fee)
+        .unwrap()
+        .checked_sub(node_before)
+        .unwrap();
+    assert_eq!(gained, Wei(500), "exactly 5 periods of pay");
+    let s = status(&h);
+    assert_eq!(s.reserved_for_edge, Wei::ZERO);
+    assert_eq!(s.balance, Wei(500));
+}
+
+#[test]
+fn client_cannot_overdraw_reserved_funds() {
+    let h = setup(Wei(1000));
+    h.clock.advance(Duration::from_secs(300)); // 5 periods reserved on touch
+    // 600 > 500 unreserved: must revert.
+    let tx = h
+        .chain
+        .call_contract(
+            &h.client.secret,
+            h.payment,
+            Wei::ZERO,
+            Payment::withdraw_client_calldata(Wei(600)),
+            Gas(500_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    assert!(!h.chain.receipt(tx).unwrap().status.is_success());
+    // 500 is fine.
+    let tx = h
+        .chain
+        .call_contract(
+            &h.client.secret,
+            h.payment,
+            Wei::ZERO,
+            Payment::withdraw_client_calldata(Wei(500)),
+            Gas(500_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    assert!(h.chain.receipt(tx).unwrap().status.is_success());
+    assert_eq!(status(&h).balance, Wei(500));
+}
+
+#[test]
+fn insufficient_deposit_emits_reminder() {
+    let h = setup(Wei(250)); // covers 2.5 periods
+    // 4 periods elapse; only 2 coverable -> 2 overdue (within tolerance 3).
+    let receipt = advance_and_update(&h, 240);
+    assert!(receipt.status.is_success());
+    let log = receipt
+        .logs
+        .iter()
+        .find(|l| l.name == "DepositInsufficient")
+        .expect("overdue update emits DepositInsufficient");
+    assert_eq!(log.data, 2u64.to_be_bytes());
+    let s = status(&h);
+    assert_eq!(s.reserved_for_edge, Wei(200));
+    assert!(!s.terminated);
+}
+
+#[test]
+fn prolonged_nonpayment_violates_contract() {
+    let h = setup(Wei(250));
+    // 10 periods elapse; 2 coverable -> 8 overdue > 3: violation.
+    let node_before = h.chain.balance(h.node.address);
+    let receipt = advance_and_update(&h, 600);
+    assert!(receipt.status.is_success());
+    assert!(receipt.logs.iter().any(|l| l.name == "ContractViolated"));
+    let s = status(&h);
+    assert!(s.terminated);
+    assert_eq!(s.balance, Wei::ZERO);
+    // Entire balance went to the node.
+    assert_eq!(
+        h.chain.balance(h.node.address).checked_sub(node_before).unwrap(),
+        Wei(250)
+    );
+}
+
+#[test]
+fn client_termination_settles_both_sides() {
+    let h = setup(Wei(1000));
+    h.clock.advance(Duration::from_secs(180)); // 3 periods owed
+    let node_before = h.chain.balance(h.node.address);
+    let client_before = h.chain.balance(h.client.address);
+    let tx = h
+        .chain
+        .call_contract(
+            &h.client.secret,
+            h.payment,
+            Wei::ZERO,
+            Payment::terminate_calldata(),
+            Gas(500_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    let receipt = h.chain.receipt(tx).unwrap();
+    assert!(receipt.status.is_success());
+    let s = status(&h);
+    assert!(s.terminated);
+    assert_eq!(s.balance, Wei::ZERO);
+    assert_eq!(
+        h.chain.balance(h.node.address).checked_sub(node_before).unwrap(),
+        Wei(300),
+        "node paid for 3 elapsed periods"
+    );
+    let client_gained = h
+        .chain
+        .balance(h.client.address)
+        .checked_add(receipt.fee)
+        .unwrap()
+        .checked_sub(client_before)
+        .unwrap();
+    assert_eq!(client_gained, Wei(700), "client refunded the remainder");
+}
+
+#[test]
+fn stranger_cannot_start_or_withdraw() {
+    let h = setup(Wei(1000));
+    let stranger = Keypair::from_seed(b"pay-stranger");
+    h.chain.fund(stranger.address, Wei::from_eth(1));
+    h.clock.advance(Duration::from_secs(120));
+    for calldata in [
+        Payment::withdraw_edge_calldata(),
+        Payment::withdraw_client_calldata(Wei(1)),
+        Payment::terminate_calldata(),
+        Payment::start_payment_calldata(),
+    ] {
+        let tx = h
+            .chain
+            .call_contract(&stranger.secret, h.payment, Wei::ZERO, calldata, Gas(500_000))
+            .unwrap();
+        h.chain.mine_block();
+        assert!(!h.chain.receipt(tx).unwrap().status.is_success());
+    }
+}
+
+#[test]
+fn double_start_rejected() {
+    let h = setup(Wei(1000));
+    let tx = h
+        .chain
+        .call_contract(
+            &h.client.secret,
+            h.payment,
+            Wei::ZERO,
+            Payment::start_payment_calldata(),
+            Gas(200_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    assert!(!h.chain.receipt(tx).unwrap().status.is_success());
+}
+
+#[test]
+fn withdraw_resets_payment_anchor() {
+    let h = setup(Wei(1000));
+    h.clock.advance(Duration::from_secs(90)); // 1.5 periods
+    h.chain
+        .call_contract(
+            &h.node.secret,
+            h.payment,
+            Wei::ZERO,
+            Payment::withdraw_edge_calldata(),
+            Gas(500_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    // Anchor reset to "now": the half-period progress is discarded (paper:
+    // "essentially resetting the payment calculation").
+    let s = status(&h);
+    assert_eq!(s.payment_start_time, h.clock.now().as_secs());
+    advance_and_update(&h, 30); // only half a period since reset
+    assert_eq!(status(&h).reserved_for_edge, Wei::ZERO);
+}
+
+#[test]
+fn update_before_start_is_a_noop() {
+    let h = setup(Wei(1000));
+    // setup() already started; build a fresh un-started contract instead.
+    let fresh = Keypair::from_seed(b"fresh-pay-node");
+    h.chain.fund(fresh.address, Wei::from_eth(1));
+    let (addr, _) = h
+        .chain
+        .deploy(
+            &fresh.secret,
+            Box::new(Payment::new(terms(&fresh, &h.client))),
+            Wei::ZERO,
+            Payment::CODE_LEN,
+        )
+        .unwrap();
+    h.chain.mine_block();
+    h.clock.advance(Duration::from_secs(600));
+    let tx = h
+        .chain
+        .call_contract(
+            &h.client.secret,
+            addr,
+            Wei::ZERO,
+            Payment::update_status_calldata(),
+            Gas(300_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    // Succeeds but reserves nothing: the stream has not started.
+    assert!(h.chain.receipt(tx).unwrap().status.is_success());
+    let status =
+        Payment::decode_status(&h.chain.view(addr, &Payment::status_calldata()).unwrap())
+            .unwrap();
+    assert!(!status.started);
+    assert_eq!(status.reserved_for_edge, Wei::ZERO);
+}
+
+#[test]
+fn terminated_contract_rejects_restart_and_withdrawals() {
+    let h = setup(Wei(1000));
+    h.clock.advance(Duration::from_secs(60));
+    h.chain
+        .call_contract(
+            &h.client.secret,
+            h.payment,
+            Wei::ZERO,
+            Payment::terminate_calldata(),
+            Gas(500_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    assert!(status(&h).terminated);
+    for calldata in [
+        Payment::start_payment_calldata(),
+        Payment::terminate_calldata(),
+        Payment::withdraw_edge_calldata(),
+    ] {
+        let sender = if calldata == Payment::withdraw_edge_calldata() {
+            &h.node.secret
+        } else {
+            &h.client.secret
+        };
+        let tx = h
+            .chain
+            .call_contract(sender, h.payment, Wei::ZERO, calldata, Gas(500_000))
+            .unwrap();
+        h.chain.mine_block();
+        assert!(!h.chain.receipt(tx).unwrap().status.is_success());
+    }
+}

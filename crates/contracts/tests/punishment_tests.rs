@@ -1,0 +1,317 @@
+//! Adversarial tests for the Punishment contract: every clause of
+//! Algorithm 2 exercised against a live chain with real ECDSA signatures
+//! and Merkle proofs.
+
+use std::sync::Arc;
+
+use wedge_chain::{Chain, Gas, Wei};
+use wedge_contracts::{response_digest, Punishment, PunishmentStatus, RootRecord};
+use wedge_crypto::ecdsa::sign_prehashed;
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::{Keypair, Signature};
+use wedge_merkle::MerkleTree;
+use wedge_sim::Clock;
+
+struct Harness {
+    chain: Arc<Chain>,
+    node: Keypair,
+    client: Keypair,
+    root_record: wedge_chain::Address,
+    punishment: wedge_chain::Address,
+}
+
+const ESCROW: Wei = Wei::from_eth(10);
+
+fn setup() -> Harness {
+    let chain = Chain::with_defaults(Clock::manual());
+    let node = Keypair::from_seed(b"punish-node");
+    let client = Keypair::from_seed(b"punish-client");
+    chain.fund(node.address, Wei::from_eth(100));
+    chain.fund(client.address, Wei::from_eth(100));
+    let (root_record, _) = chain
+        .deploy(
+            &node.secret,
+            Box::new(RootRecord::new(node.address)),
+            Wei::ZERO,
+            RootRecord::CODE_LEN,
+        )
+        .unwrap();
+    let (punishment, _) = chain
+        .deploy(
+            &node.secret,
+            Box::new(Punishment::new(client.address, node.address, root_record)),
+            ESCROW,
+            Punishment::CODE_LEN,
+        )
+        .unwrap();
+    chain.mine_block();
+    Harness { chain, node, client, root_record, punishment }
+}
+
+/// Builds a batch, blockchain-commits its root at index 0, and returns the
+/// tree plus batch data.
+fn commit_batch(h: &Harness, batch: &[Vec<u8>]) -> MerkleTree {
+    let tree = MerkleTree::from_leaves(batch).unwrap();
+    h.chain
+        .call_contract(
+            &h.node.secret,
+            h.root_record,
+            Wei::ZERO,
+            RootRecord::update_records_calldata(0, &[tree.root()]),
+            Gas(1_000_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    tree
+}
+
+/// Signs a response tuple exactly as the honest/malicious node would.
+fn sign_response(
+    node: &Keypair,
+    index: u64,
+    root: &Hash32,
+    proof_bytes: &[u8],
+    raw: &[u8],
+) -> Signature {
+    sign_prehashed(&node.secret, &response_digest(index, root, proof_bytes, raw))
+}
+
+fn invoke(h: &Harness, calldata: Vec<u8>) -> wedge_chain::Receipt {
+    let tx = h
+        .chain
+        .call_contract(&h.client.secret, h.punishment, Wei::ZERO, calldata, Gas(5_000_000))
+        .unwrap();
+    h.chain.mine_block();
+    h.chain.receipt(tx).unwrap()
+}
+
+fn status(h: &Harness) -> PunishmentStatus {
+    let out = h.chain.view(h.punishment, &Punishment::status_calldata()).unwrap();
+    Punishment::decode_status(&out).unwrap()
+}
+
+#[test]
+fn honest_response_is_not_punished() {
+    let h = setup();
+    let batch: Vec<Vec<u8>> = (0..8).map(|i| format!("entry-{i}").into_bytes()).collect();
+    let tree = commit_batch(&h, &batch);
+    let proof = tree.prove(3).unwrap().to_bytes();
+    let sig = sign_response(&h.node, 0, &tree.root(), &proof, &batch[3]);
+    let receipt = invoke(
+        &h,
+        Punishment::invoke_calldata(0, &tree.root(), &proof, &batch[3], &sig),
+    );
+    assert!(receipt.status.is_success());
+    assert_eq!(Punishment::decode_invoke_result(&receipt.output), Some(false));
+    assert_eq!(status(&h), PunishmentStatus::Active);
+    assert_eq!(h.chain.balance(h.punishment), ESCROW, "escrow intact");
+}
+
+#[test]
+fn equivocation_drains_escrow_to_client() {
+    // The node signed a response for root R' but blockchain-committed R.
+    let h = setup();
+    let honest: Vec<Vec<u8>> = (0..8).map(|i| format!("entry-{i}").into_bytes()).collect();
+    commit_batch(&h, &honest);
+    // The lie: a different batch, consistent within itself.
+    let forged: Vec<Vec<u8>> = (0..8).map(|i| format!("forged-{i}").into_bytes()).collect();
+    let forged_tree = MerkleTree::from_leaves(&forged).unwrap();
+    let proof = forged_tree.prove(3).unwrap().to_bytes();
+    let sig = sign_response(&h.node, 0, &forged_tree.root(), &proof, &forged[3]);
+
+    let client_before = h.chain.balance(h.client.address);
+    let receipt = invoke(
+        &h,
+        Punishment::invoke_calldata(0, &forged_tree.root(), &proof, &forged[3], &sig),
+    );
+    assert!(receipt.status.is_success());
+    assert_eq!(Punishment::decode_invoke_result(&receipt.output), Some(true));
+    assert_eq!(status(&h), PunishmentStatus::Punished);
+    assert_eq!(h.chain.balance(h.punishment), Wei::ZERO);
+    // Client received the full escrow (minus its own gas fee).
+    let gained = h
+        .chain
+        .balance(h.client.address)
+        .checked_add(receipt.fee)
+        .unwrap()
+        .checked_sub(client_before)
+        .unwrap();
+    assert_eq!(gained, ESCROW);
+    assert!(receipt.logs.iter().any(|l| l.name == "Punished"));
+}
+
+#[test]
+fn bogus_proof_drains_escrow() {
+    // The node signed a (root, proof, data) tuple whose proof does not
+    // reproduce the root.
+    let h = setup();
+    let batch: Vec<Vec<u8>> = (0..8).map(|i| format!("entry-{i}").into_bytes()).collect();
+    let tree = commit_batch(&h, &batch);
+    // Proof for leaf 3 but data from leaf 4: reconstruction mismatches.
+    let proof = tree.prove(3).unwrap().to_bytes();
+    let sig = sign_response(&h.node, 0, &tree.root(), &proof, &batch[4]);
+    let receipt = invoke(
+        &h,
+        Punishment::invoke_calldata(0, &tree.root(), &proof, &batch[4], &sig),
+    );
+    assert!(receipt.status.is_success());
+    assert_eq!(Punishment::decode_invoke_result(&receipt.output), Some(true));
+    assert_eq!(status(&h), PunishmentStatus::Punished);
+}
+
+#[test]
+fn forged_signature_cannot_trigger_punishment() {
+    // A malicious *client* fabricates a response and signs it itself.
+    let h = setup();
+    let batch: Vec<Vec<u8>> = (0..8).map(|i| format!("entry-{i}").into_bytes()).collect();
+    commit_batch(&h, &batch);
+    let forged_root = Hash32([0xEE; 32]);
+    let fake_tree = MerkleTree::from_leaves(&[b"fake".to_vec()]).unwrap();
+    let proof = fake_tree.prove(0).unwrap().to_bytes();
+    // Signed by the CLIENT, not the node.
+    let sig = sign_prehashed(
+        &h.client.secret,
+        &response_digest(0, &forged_root, &proof, b"fake"),
+    );
+    let receipt = invoke(
+        &h,
+        Punishment::invoke_calldata(0, &forged_root, &proof, b"fake", &sig),
+    );
+    assert!(!receipt.status.is_success(), "must revert: wrong signer");
+    assert_eq!(status(&h), PunishmentStatus::Active);
+    assert_eq!(h.chain.balance(h.punishment), ESCROW);
+}
+
+#[test]
+fn replayed_signature_over_different_fields_fails() {
+    // Take an honest signature but swap the raw data: recovery yields a
+    // different address, so the contract rejects it.
+    let h = setup();
+    let batch: Vec<Vec<u8>> = (0..8).map(|i| format!("entry-{i}").into_bytes()).collect();
+    let tree = commit_batch(&h, &batch);
+    let proof = tree.prove(3).unwrap().to_bytes();
+    let sig = sign_response(&h.node, 0, &tree.root(), &proof, &batch[3]);
+    let receipt = invoke(
+        &h,
+        Punishment::invoke_calldata(0, &tree.root(), &proof, b"swapped data", &sig),
+    );
+    assert!(!receipt.status.is_success());
+    assert_eq!(status(&h), PunishmentStatus::Active);
+}
+
+#[test]
+fn uncommitted_index_cannot_be_punished() {
+    // Stage 2 has not happened for index 7; punishing would penalize mere
+    // latency, so the contract reverts.
+    let h = setup();
+    let batch: Vec<Vec<u8>> = (0..4).map(|i| format!("e{i}").into_bytes()).collect();
+    let tree = MerkleTree::from_leaves(&batch).unwrap();
+    let proof = tree.prove(0).unwrap().to_bytes();
+    let sig = sign_response(&h.node, 7, &tree.root(), &proof, &batch[0]);
+    let receipt = invoke(
+        &h,
+        Punishment::invoke_calldata(7, &tree.root(), &proof, &batch[0], &sig),
+    );
+    assert!(!receipt.status.is_success());
+    assert!(matches!(
+        receipt.status,
+        wedge_chain::ExecStatus::Reverted(ref r) if r.contains("not yet blockchain-committed")
+    ));
+}
+
+#[test]
+fn punishment_fires_only_once() {
+    let h = setup();
+    let honest: Vec<Vec<u8>> = (0..4).map(|i| format!("e{i}").into_bytes()).collect();
+    commit_batch(&h, &honest);
+    let forged_tree = MerkleTree::from_leaves(&[b"lie".to_vec()]).unwrap();
+    let proof = forged_tree.prove(0).unwrap().to_bytes();
+    let sig = sign_response(&h.node, 0, &forged_tree.root(), &proof, b"lie");
+    let calldata = Punishment::invoke_calldata(0, &forged_tree.root(), &proof, b"lie", &sig);
+    let first = invoke(&h, calldata.clone());
+    assert!(first.status.is_success());
+    // AoN: the contract is dead; a second invocation reverts.
+    let second = invoke(&h, calldata);
+    assert!(!second.status.is_success());
+}
+
+#[test]
+fn clean_termination_refunds_escrow_to_node() {
+    let h = setup();
+    // Client ends the engagement.
+    let tx = h
+        .chain
+        .call_contract(
+            &h.client.secret,
+            h.punishment,
+            Wei::ZERO,
+            Punishment::terminate_calldata(),
+            Gas(200_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    assert!(h.chain.receipt(tx).unwrap().status.is_success());
+    assert_eq!(status(&h), PunishmentStatus::Terminated);
+    // Node reclaims the escrow.
+    let node_before = h.chain.balance(h.node.address);
+    let tx = h
+        .chain
+        .call_contract(
+            &h.node.secret,
+            h.punishment,
+            Wei::ZERO,
+            Punishment::withdraw_calldata(),
+            Gas(200_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    let receipt = h.chain.receipt(tx).unwrap();
+    assert!(receipt.status.is_success());
+    assert_eq!(status(&h), PunishmentStatus::Refunded);
+    let gained = h
+        .chain
+        .balance(h.node.address)
+        .checked_add(receipt.fee)
+        .unwrap()
+        .checked_sub(node_before)
+        .unwrap();
+    assert_eq!(gained, ESCROW);
+}
+
+#[test]
+fn node_cannot_withdraw_before_termination() {
+    let h = setup();
+    let tx = h
+        .chain
+        .call_contract(
+            &h.node.secret,
+            h.punishment,
+            Wei::ZERO,
+            Punishment::withdraw_calldata(),
+            Gas(200_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    assert!(!h.chain.receipt(tx).unwrap().status.is_success());
+    assert_eq!(h.chain.balance(h.punishment), ESCROW);
+}
+
+#[test]
+fn stranger_cannot_terminate() {
+    let h = setup();
+    let stranger = Keypair::from_seed(b"stranger-terminate");
+    h.chain.fund(stranger.address, Wei::from_eth(1));
+    let tx = h
+        .chain
+        .call_contract(
+            &stranger.secret,
+            h.punishment,
+            Wei::ZERO,
+            Punishment::terminate_calldata(),
+            Gas(200_000),
+        )
+        .unwrap();
+    h.chain.mine_block();
+    assert!(!h.chain.receipt(tx).unwrap().status.is_success());
+    assert_eq!(status(&h), PunishmentStatus::Active);
+}

@@ -1,0 +1,103 @@
+//! The transport-agnostic logging-service interface (paper §3.1).
+//!
+//! [`LogService`] is the surface the three client roles program against. It
+//! is implemented by [`crate::node::OffchainNode`] for in-process use and by
+//! `wedge_net::RemoteNode` for TCP access, so a `Publisher`, `Reader` or
+//! `Auditor` works identically against a local node or one across the
+//! network.
+
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::keys::Address;
+use wedge_crypto::PublicKey;
+use wedge_merkle::RangeProof;
+
+use crate::error::CoreError;
+use crate::node::{OffchainNode, ReplyFn};
+use crate::types::{AppendRequest, EntryId, SignedResponse};
+
+/// The WedgeBlock logging service: append (stage-1 commit) plus the read
+/// and audit paths.
+pub trait LogService: Send + Sync {
+    /// The serving node's public key, for response verification.
+    fn node_public_key(&self) -> PublicKey;
+
+    /// Submits one append request; `reply` fires when the containing batch
+    /// flushes (off-chain commitment).
+    fn submit_request(&self, request: AppendRequest, reply: ReplyFn) -> Result<(), CoreError>;
+
+    /// Reads one entry as a freshly signed response.
+    fn read_entry(&self, id: EntryId) -> Result<SignedResponse, CoreError>;
+
+    /// Reads a group of entries in one operation (paper §4.2). The default
+    /// loops over [`LogService::read_entry`]; network transports override it
+    /// with a single round trip.
+    fn read_entries(&self, ids: &[EntryId]) -> Vec<Result<SignedResponse, CoreError>> {
+        ids.iter().map(|id| self.read_entry(*id)).collect()
+    }
+
+    /// Looks an entry up by `(publisher, sequence)`.
+    fn read_entry_by_sequence(
+        &self,
+        publisher: Address,
+        sequence: u64,
+    ) -> Result<SignedResponse, CoreError>;
+
+    /// Reads every entry of one log position.
+    fn read_position(&self, log_id: u64) -> Result<Vec<SignedResponse>, CoreError>;
+
+    /// Number of entries in one log position, if it exists.
+    fn position_len(&self, log_id: u64) -> Option<u32>;
+
+    /// Range scan with a single multiproof (audit fast path).
+    fn scan(
+        &self,
+        log_id: u64,
+        start: u32,
+        count: u32,
+    ) -> Result<(Vec<Vec<u8>>, RangeProof, Hash32), CoreError>;
+
+    /// Number of flushed log positions.
+    fn positions(&self) -> u64;
+
+    /// Total entries stored.
+    fn entries(&self) -> u64;
+}
+
+impl LogService for OffchainNode {
+    fn node_public_key(&self) -> PublicKey {
+        self.public_key()
+    }
+    fn submit_request(&self, request: AppendRequest, reply: ReplyFn) -> Result<(), CoreError> {
+        self.submit_with(request, reply)
+    }
+    fn read_entry(&self, id: EntryId) -> Result<SignedResponse, CoreError> {
+        self.read(id)
+    }
+    fn read_entry_by_sequence(
+        &self,
+        publisher: Address,
+        sequence: u64,
+    ) -> Result<SignedResponse, CoreError> {
+        self.read_by_sequence(publisher, sequence)
+    }
+    fn read_position(&self, log_id: u64) -> Result<Vec<SignedResponse>, CoreError> {
+        self.read_log_position(log_id)
+    }
+    fn position_len(&self, log_id: u64) -> Option<u32> {
+        self.read_log_position_len(log_id)
+    }
+    fn scan(
+        &self,
+        log_id: u64,
+        start: u32,
+        count: u32,
+    ) -> Result<(Vec<Vec<u8>>, RangeProof, Hash32), CoreError> {
+        self.scan_range(log_id, start, count)
+    }
+    fn positions(&self) -> u64 {
+        self.log_positions()
+    }
+    fn entries(&self) -> u64 {
+        self.entry_count()
+    }
+}

@@ -1,0 +1,12 @@
+//! Client roles (paper §4.2): [`Publisher`], [`Reader`] (the paper's User),
+//! and [`Auditor`].
+
+mod auditor;
+mod publisher;
+mod reader;
+mod receipts;
+
+pub use auditor::{AuditReport, Auditor, Evidence, EvidenceKind};
+pub use publisher::{AppendOutcome, PendingSweep, Publisher, Stage2Verdict};
+pub use reader::{Reader, VerifiedEntry};
+pub use receipts::ReceiptStore;

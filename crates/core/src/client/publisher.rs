@@ -1,0 +1,355 @@
+//! The Publisher role (paper §4.2): signs append requests, collects and
+//! verifies stage-1 responses, later verifies stage-2 commitment against the
+//! Root Record contract, and invokes the Punishment contract on any
+//! inconsistency (links #1, #4 and #5 of Figure 2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wedge_chain::{Address, Chain, Gas, Receipt, Wei};
+use wedge_contracts::{Punishment, RootRecord};
+use wedge_crypto::signer::Identity;
+use wedge_crypto::PublicKey;
+
+use crate::error::CoreError;
+use crate::api::LogService;
+use crate::types::{AppendRequest, SignedResponse};
+use crate::util::parallel_map;
+
+/// Stage-2 verification verdict for one response.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage2Verdict {
+    /// The on-chain digest matches the signed response.
+    Committed,
+    /// No digest on-chain yet for this log position.
+    NotYet,
+    /// On-chain digest differs from the signed root — provable malice.
+    Mismatch,
+}
+
+/// Latency breakdown of one publisher append batch (the Figure 4/6
+/// measurements).
+#[derive(Clone, Debug)]
+pub struct AppendOutcome {
+    /// Verified stage-1 responses, in request order.
+    pub responses: Vec<SignedResponse>,
+    /// Wall time until the first response arrived ("First operation
+    /// delay").
+    pub first_response: Duration,
+    /// Wall time until the last response arrived ("Last operation delay").
+    pub last_response: Duration,
+    /// Wall time until all responses were received *and verified*
+    /// ("Stage 1 commitment delay").
+    pub stage1_commit: Duration,
+}
+
+/// A publisher client bound to one Offchain Node.
+pub struct Publisher {
+    identity: Identity,
+    service: Arc<dyn LogService>,
+    node_public: PublicKey,
+    chain: Arc<Chain>,
+    root_record: Address,
+    punishment: Option<Address>,
+    next_sequence: u64,
+    /// Worker threads for parallel signing/verification.
+    worker_threads: usize,
+    rng: SmallRng,
+    /// Simulated request-network delay (one message per append batch).
+    request_latency: wedge_sim::LatencyModel,
+    /// Optional durable store for issued responses (punishment evidence).
+    receipts: Option<super::receipts::ReceiptStore>,
+}
+
+/// Result of a [`Publisher::verify_pending`] sweep.
+#[derive(Debug, Default)]
+pub struct PendingSweep {
+    /// Receipts newly confirmed blockchain-committed.
+    pub verified: usize,
+    /// Receipts whose positions are not yet committed.
+    pub still_pending: usize,
+    /// Set when a mismatch was found and punished.
+    pub punished: Option<Receipt>,
+}
+
+impl Publisher {
+    /// Creates a publisher talking to `node`, verifying against
+    /// `root_record`, and (optionally) armed with a Punishment contract.
+    pub fn new(
+        identity: Identity,
+        service: Arc<impl LogService + 'static>,
+        chain: Arc<Chain>,
+        root_record: Address,
+        punishment: Option<Address>,
+    ) -> Publisher {
+        let service: Arc<dyn LogService> = service;
+        let node_public = service.node_public_key();
+        Publisher {
+            identity,
+            service,
+            node_public,
+            chain,
+            root_record,
+            punishment,
+            next_sequence: 0,
+            worker_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            rng: SmallRng::seed_from_u64(0x7075_626c_6973_6865),
+            request_latency: wedge_sim::LatencyModel::Zero,
+            receipts: None,
+        }
+    }
+
+    /// Overrides the simulated request-link latency.
+    pub fn with_request_latency(mut self, model: wedge_sim::LatencyModel) -> Publisher {
+        self.request_latency = model;
+        self
+    }
+
+    /// Starts sequence numbering at `sequence` — required when a publisher
+    /// restarts and must not collide with its own already-logged entries.
+    pub fn with_starting_sequence(mut self, sequence: u64) -> Publisher {
+        self.next_sequence = sequence;
+        self
+    }
+
+    /// Attaches a durable [`super::receipts::ReceiptStore`]: every stage-1
+    /// response is persisted, and [`Publisher::verify_pending`] sweeps
+    /// unverified ones against the chain — across restarts. The response
+    /// *is* the punishment evidence, so a careful publisher never holds it
+    /// only in memory.
+    pub fn with_receipt_store(
+        mut self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<Publisher, CoreError> {
+        let store = super::receipts::ReceiptStore::open(dir)?;
+        // Resume sequence numbering after the newest stored receipt.
+        let resume = store
+            .pending()
+            .ok()
+            .and_then(|pending| {
+                pending
+                    .iter()
+                    .filter_map(|r| r.request().ok().map(|q| q.sequence + 1))
+                    .max()
+            })
+            .unwrap_or(0)
+            .max(self.next_sequence);
+        self.next_sequence = resume;
+        self.receipts = Some(store);
+        Ok(self)
+    }
+
+    /// The attached receipt store, if any.
+    pub fn receipt_store(&self) -> Option<&super::receipts::ReceiptStore> {
+        self.receipts.as_ref()
+    }
+
+    /// Sweeps all unverified stored receipts: committed ones advance the
+    /// watermark; the first mismatch triggers punishment (AoN — further
+    /// sweeping is pointless once the escrow is seized). Returns a summary.
+    pub fn verify_pending(&self) -> Result<PendingSweep, CoreError> {
+        let store = self
+            .receipts
+            .as_ref()
+            .ok_or(CoreError::RequestRejected("no receipt store attached"))?;
+        let base = store.verified_watermark();
+        let pending = store.pending()?;
+        let mut sweep = PendingSweep::default();
+        for (i, response) in pending.iter().enumerate() {
+            match self.verify_blockchain_commit(response)? {
+                Stage2Verdict::Committed => {
+                    sweep.verified += 1;
+                    store.mark_verified(base + i as u64 + 1)?;
+                }
+                Stage2Verdict::NotYet => {
+                    sweep.still_pending = pending.len() - i;
+                    break; // later positions commit strictly after this one
+                }
+                Stage2Verdict::Mismatch => {
+                    let receipt = self.punish(response)?;
+                    sweep.punished = Some(receipt);
+                    store.mark_verified(base + i as u64 + 1)?;
+                    break;
+                }
+            }
+        }
+        Ok(sweep)
+    }
+
+    /// The publisher's address.
+    pub fn address(&self) -> Address {
+        self.identity.address()
+    }
+
+    /// The next sequence number this publisher will assign.
+    pub fn next_sequence(&self) -> u64 {
+        self.next_sequence
+    }
+
+    /// Appends a list of payloads: signs each as an [`AppendRequest`] with a
+    /// fresh sequence number, submits them as one message, then collects and
+    /// verifies every response (completing stage-1 commitment).
+    pub fn append_batch(&mut self, payloads: Vec<Vec<u8>>) -> Result<AppendOutcome, CoreError> {
+        if payloads.is_empty() {
+            return Ok(AppendOutcome {
+                responses: Vec::new(),
+                first_response: Duration::ZERO,
+                last_response: Duration::ZERO,
+                stage1_commit: Duration::ZERO,
+            });
+        }
+        let n = payloads.len();
+        let first_seq = self.next_sequence;
+        self.next_sequence += n as u64;
+        // Sign requests in parallel (paper: ECDSA across all cores).
+        let key = *self.identity.secret_key();
+        let numbered: Vec<(u64, Vec<u8>)> = (first_seq..)
+            .zip(payloads)
+            .collect();
+        let requests: Vec<AppendRequest> =
+            parallel_map(&numbered, self.worker_threads, |(seq, payload)| {
+                AppendRequest::new(&key, *seq, payload.clone())
+            });
+        let by_sequence: HashMap<u64, &AppendRequest> =
+            requests.iter().map(|r| (r.sequence, r)).collect();
+
+        let started = Instant::now();
+        // One message to the node; the link delay applies once.
+        let total_bytes: usize = requests.iter().map(|r| r.payload.len()).sum();
+        let delay = self.request_latency.sample(&mut self.rng, total_bytes);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let (reply_tx, reply_rx) = unbounded();
+        for request in &requests {
+            let tx = reply_tx.clone();
+            self.service.submit_request(
+                request.clone(),
+                Box::new(move |outcome| {
+                    let _ = tx.send(outcome);
+                }),
+            )?;
+        }
+        drop(reply_tx);
+
+        // Collect responses one by one, timing first and last arrivals.
+        let mut responses = Vec::with_capacity(n);
+        let mut first_response = Duration::ZERO;
+        for i in 0..n {
+            let reply = reply_rx
+                .recv()
+                .map_err(|_| CoreError::NodeStopped)?
+                .map_err(|_| CoreError::RequestRejected("node rejected request"))?;
+            if i == 0 {
+                first_response = started.elapsed();
+            }
+            responses.push(reply);
+        }
+        let last_response = started.elapsed();
+
+        // Verify all responses (parallel), matching each to its request.
+        let node_public = self.node_public;
+        let verdicts = parallel_map(&responses, self.worker_threads, |resp| {
+            let req = match resp.request() {
+                Ok(r) => r,
+                Err(_) => return false,
+            };
+            by_sequence
+                .get(&req.sequence)
+                .map(|orig| resp.verify_for_request(&node_public, orig).is_ok())
+                .unwrap_or(false)
+        });
+        if let Some(bad) = verdicts.iter().position(|ok| !ok) {
+            return Err(CoreError::ProofInvalid { entry_id: responses[bad].entry_id });
+        }
+        let stage1_commit = started.elapsed();
+        // Return responses in request (sequence) order.
+        responses.sort_by_key(|r| r.request().map(|q| q.sequence).unwrap_or(u64::MAX));
+        // Persist the evidence before handing it out.
+        if let Some(store) = &self.receipts {
+            store.save_all(&responses)?;
+        }
+        Ok(AppendOutcome { responses, first_response, last_response, stage1_commit })
+    }
+
+    /// Link #4 of Figure 2: checks a signed response against the Root
+    /// Record contract.
+    pub fn verify_blockchain_commit(
+        &self,
+        response: &SignedResponse,
+    ) -> Result<Stage2Verdict, CoreError> {
+        let out = self
+            .chain
+            .view(self.root_record, &RootRecord::get_root_calldata(response.entry_id.log_id))?;
+        Ok(match RootRecord::decode_root(&out) {
+            None => Stage2Verdict::NotYet,
+            Some(root) if root == response.merkle_root => Stage2Verdict::Committed,
+            Some(_) => Stage2Verdict::Mismatch,
+        })
+    }
+
+    /// Polls until the response's log position is blockchain-committed (or
+    /// mismatched), up to `timeout` of simulated time.
+    pub fn wait_blockchain_commit(
+        &self,
+        response: &SignedResponse,
+        timeout: Duration,
+    ) -> Result<Stage2Verdict, CoreError> {
+        let clock = self.chain.clock().clone();
+        let start = clock.now();
+        loop {
+            match self.verify_blockchain_commit(response)? {
+                Stage2Verdict::NotYet => {}
+                verdict => return Ok(verdict),
+            }
+            if clock.now().since(start) > timeout {
+                return Ok(Stage2Verdict::NotYet);
+            }
+            clock.sleep(Duration::from_millis(500));
+        }
+    }
+
+    /// Link #5 of Figure 2: submits the signed response to the Punishment
+    /// contract. Returns the receipt; on a proven lie the escrow has been
+    /// transferred to this client.
+    pub fn punish(&self, response: &SignedResponse) -> Result<Receipt, CoreError> {
+        let punishment = self
+            .punishment
+            .ok_or(CoreError::RequestRejected("no punishment contract configured"))?;
+        let calldata = Punishment::invoke_calldata(
+            response.entry_id.log_id,
+            &response.merkle_root,
+            &response.proof.to_bytes(),
+            &response.leaf,
+            &response.signature,
+        );
+        let hash = self.chain.call_contract(
+            self.identity.secret_key(),
+            punishment,
+            Wei::ZERO,
+            calldata,
+            Gas(5_000_000),
+        )?;
+        Ok(self.chain.wait_for_receipt(hash)?)
+    }
+
+    /// Convenience: verify stage 2 for every response and punish the first
+    /// mismatch found. Returns the punished entry's receipt, if any.
+    pub fn verify_all_and_punish(
+        &self,
+        responses: &[SignedResponse],
+    ) -> Result<Option<Receipt>, CoreError> {
+        for response in responses {
+            if self.verify_blockchain_commit(response)? == Stage2Verdict::Mismatch {
+                return Ok(Some(self.punish(response)?));
+            }
+        }
+        Ok(None)
+    }
+}

@@ -1,0 +1,123 @@
+//! Offchain Node configuration and (for adversarial testing) malicious
+//! behaviour injection.
+
+use std::time::Duration;
+
+use wedge_sim::LatencyModel;
+use wedge_storage::StoreConfig;
+
+/// Malicious behaviours an Offchain Node can be configured with.
+///
+/// The byzantine model (paper §3.3) allows arbitrary behaviour; these are
+/// the representative attack vectors the paper discusses, wired in so tests
+/// and experiments can demonstrate detection + punishment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum NodeBehavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Signs honest stage-1 responses but blockchain-commits a *different*
+    /// root for log positions `>= from_log` (the equivocation of Definition
+    /// 3.1's clause 2).
+    CommitWrongRoot {
+        /// First affected log position.
+        from_log: u64,
+    },
+    /// Tampers with the leaf payload in responses for log positions
+    /// `>= from_log`. The signed proof then fails to reproduce the signed
+    /// root — punishable under Algorithm 2 line 10.
+    TamperResponses {
+        /// First affected log position.
+        from_log: u64,
+    },
+    /// Silently drops stage-2 commitment for log positions `>= from_log`
+    /// (an omission attack, §4.7).
+    OmitStage2 {
+        /// First affected log position.
+        from_log: u64,
+    },
+}
+
+impl NodeBehavior {
+    /// Whether this behaviour affects `log_id`.
+    pub fn affects(&self, log_id: u64) -> bool {
+        match *self {
+            NodeBehavior::Honest => false,
+            NodeBehavior::CommitWrongRoot { from_log }
+            | NodeBehavior::TamperResponses { from_log }
+            | NodeBehavior::OmitStage2 { from_log } => log_id >= from_log,
+        }
+    }
+}
+
+/// Offchain Node configuration.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Append requests per batch (paper default: 2000).
+    pub batch_size: usize,
+    /// Flush a partial batch after this much wall time without reaching
+    /// `batch_size`.
+    pub batch_linger: Duration,
+    /// Verify publisher signatures before accepting requests.
+    pub verify_requests: bool,
+    /// Worker threads for parallel signing/verification (the paper's
+    /// prototype uses all cores).
+    pub worker_threads: usize,
+    /// Behaviour (honest or one of the attack modes).
+    pub behavior: NodeBehavior,
+    /// Maximum roots grouped into one `Update-Records` transaction.
+    pub stage2_max_group: usize,
+    /// Simulated network delay applied to each inbound request message.
+    pub request_latency: LatencyModel,
+    /// Simulated network delay applied to each outbound response batch.
+    pub response_latency: LatencyModel,
+    /// Replicas to fan batches out to before responding (0 = none; the
+    /// paper's red curves use 2).
+    pub replicas: usize,
+    /// Per-batch link delay towards each replica.
+    pub replica_link_delay: Duration,
+    /// Storage engine settings.
+    pub store: StoreConfig,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            batch_size: 2000,
+            batch_linger: Duration::from_millis(20),
+            verify_requests: true,
+            worker_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            behavior: NodeBehavior::Honest,
+            stage2_max_group: 16,
+            request_latency: LatencyModel::Zero,
+            response_latency: LatencyModel::Zero,
+            replicas: 0,
+            replica_link_delay: Duration::from_micros(200),
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_ranges() {
+        assert!(!NodeBehavior::Honest.affects(0));
+        let b = NodeBehavior::CommitWrongRoot { from_log: 5 };
+        assert!(!b.affects(4));
+        assert!(b.affects(5));
+        assert!(b.affects(100));
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = NodeConfig::default();
+        assert_eq!(c.batch_size, 2000);
+        assert!(c.verify_requests);
+        assert_eq!(c.behavior, NodeBehavior::Honest);
+    }
+}

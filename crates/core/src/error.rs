@@ -1,0 +1,142 @@
+//! Error type for the WedgeBlock protocol layer.
+
+use std::fmt;
+
+use wedge_chain::{ChainError, DecodeError};
+use wedge_crypto::keys::Address;
+use wedge_storage::StorageError;
+
+use crate::types::EntryId;
+
+/// Errors from node and client protocol operations.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A publisher's request signature failed verification.
+    BadRequestSignature {
+        /// Claimed publisher.
+        publisher: Address,
+    },
+    /// The node's response signature failed verification.
+    BadResponseSignature {
+        /// Entry the response was for.
+        entry_id: EntryId,
+    },
+    /// A response's proof index disagreed with its claimed entry id.
+    ProofPositionMismatch {
+        /// Claimed entry id.
+        entry_id: EntryId,
+        /// Index the proof actually proves.
+        proof_index: u64,
+    },
+    /// A response's Merkle proof did not reproduce its root.
+    ProofInvalid {
+        /// Entry the response was for.
+        entry_id: EntryId,
+    },
+    /// A response's leaf differs from the request the client sent.
+    LeafMismatch {
+        /// Entry the response was for.
+        entry_id: EntryId,
+    },
+    /// The requested entry does not exist.
+    EntryNotFound(EntryId),
+    /// No entry recorded for `(publisher, sequence)`.
+    SequenceNotFound {
+        /// Publisher address.
+        publisher: Address,
+        /// Requested sequence number.
+        sequence: u64,
+    },
+    /// The node rejected an append (e.g. signature verification on).
+    RequestRejected(&'static str),
+    /// The node is shutting down.
+    NodeStopped,
+    /// An error reported by a remote node over the network transport.
+    Remote(String),
+    /// On-chain digest disagrees with the signed response — the malicious
+    /// case the client should punish.
+    BlockchainMismatch {
+        /// Entry whose verification failed.
+        entry_id: EntryId,
+    },
+    /// Stage 2 has not yet committed this log position.
+    NotYetBlockchainCommitted {
+        /// The log position.
+        log_id: u64,
+    },
+    /// Wrapped storage failure.
+    Storage(StorageError),
+    /// Wrapped chain failure.
+    Chain(ChainError),
+    /// Wrapped decoding failure.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadRequestSignature { publisher } => {
+                write!(f, "invalid request signature from {publisher}")
+            }
+            CoreError::BadResponseSignature { entry_id } => {
+                write!(f, "invalid node signature on response for {entry_id}")
+            }
+            CoreError::ProofPositionMismatch { entry_id, proof_index } => write!(
+                f,
+                "proof position {proof_index} does not match entry {entry_id}"
+            ),
+            CoreError::ProofInvalid { entry_id } => {
+                write!(f, "merkle proof invalid for {entry_id}")
+            }
+            CoreError::LeafMismatch { entry_id } => {
+                write!(f, "response leaf differs from the submitted request for {entry_id}")
+            }
+            CoreError::EntryNotFound(id) => write!(f, "entry {id} not found"),
+            CoreError::SequenceNotFound { publisher, sequence } => {
+                write!(f, "no entry for publisher {publisher} sequence {sequence}")
+            }
+            CoreError::RequestRejected(why) => write!(f, "request rejected: {why}"),
+            CoreError::NodeStopped => write!(f, "offchain node has stopped"),
+            CoreError::Remote(message) => write!(f, "remote node error: {message}"),
+            CoreError::BlockchainMismatch { entry_id } => write!(
+                f,
+                "on-chain digest mismatch for {entry_id}: offchain node lied (punishable)"
+            ),
+            CoreError::NotYetBlockchainCommitted { log_id } => {
+                write!(f, "log position {log_id} not yet blockchain-committed")
+            }
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Chain(e) => write!(f, "chain: {e}"),
+            CoreError::Decode(e) => write!(f, "decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Chain(e) => Some(e),
+            CoreError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<ChainError> for CoreError {
+    fn from(e: ChainError) -> Self {
+        CoreError::Chain(e)
+    }
+}
+
+impl From<DecodeError> for CoreError {
+    fn from(e: DecodeError) -> Self {
+        CoreError::Decode(e)
+    }
+}

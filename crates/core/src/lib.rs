@@ -1,0 +1,39 @@
+//! # wedge-core
+//!
+//! The WedgeBlock system itself (paper §3–4): the **Lazy-Minimum Trust**
+//! secure logging protocol.
+//!
+//! - [`node::OffchainNode`] — batched stage-1 ingestion (Merkle tree +
+//!   local persistence + signed responses), asynchronous stage-2 digest
+//!   commitment to the Root Record contract, verified reads/audits, and
+//!   injectable malicious behaviours for adversarial testing.
+//! - [`client::Publisher`] / [`client::Reader`] / [`client::Auditor`] — the
+//!   three client roles of §4.2, including stage-2 verification and the
+//!   punishment trigger.
+//! - [`service`] — the DApp-logging-as-a-service deployment glue (§4.5).
+//!
+//! The safety definitions 3.1 and 3.2 are exercised end-to-end by the
+//! workspace integration tests (`tests/` at the repository root).
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod node;
+pub mod service;
+pub mod types;
+mod util;
+
+pub use api::LogService;
+pub use client::{
+    AppendOutcome, AuditReport, Auditor, Evidence, EvidenceKind, PendingSweep, Publisher,
+    Reader, ReceiptStore, Stage2Verdict, VerifiedEntry,
+};
+pub use config::{NodeBehavior, NodeConfig};
+pub use error::CoreError;
+pub use node::{NodeStats, OffchainNode};
+pub use service::{deploy_service, ServiceConfig, ServiceDeployment, Subscription};
+pub use types::{AppendRequest, CommitPhase, EntryId, SignedResponse, Stage2Record};
+pub use util::parallel_map;

@@ -1,0 +1,197 @@
+//! The batching + stage-1 pipeline (paper §4.3, append requests).
+//!
+//! Requests accumulate into the *current batch*; a batch flushes when it
+//! reaches `batch_size` or after `batch_linger` of quiet. Flushing:
+//!
+//! 1. verify publisher signatures (parallel),
+//! 2. build the batch's Merkle tree,
+//! 3. persist header + leaves to the local store (link #2 of Figure 2),
+//! 4. fan the batch out to replicas (if configured),
+//! 5. sign one response per request (parallel) and deliver them
+//!    (completing link #1 — stage-1 / off-chain commitment),
+//! 6. hand the `(log_id, MRoot)` pair to the stage-2 committer (link #3).
+
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wedge_merkle::MerkleTree;
+
+use crate::config::NodeBehavior;
+use crate::types::{EntryId, SignedResponse};
+use crate::util::parallel_map;
+
+use super::state::{encode_header, encode_leaf, BatchMeta};
+use super::{tamper, IngestMsg, Shared};
+use super::stage2::Stage2Task;
+
+/// Batcher main loop.
+pub(crate) fn run(shared: Arc<Shared>, rx: Receiver<IngestMsg>, stage2: Sender<Stage2Task>) {
+    let mut current: Vec<IngestMsg> = Vec::with_capacity(shared.config.batch_size);
+    let mut rng = SmallRng::seed_from_u64(0x5745_4447_4542_4c4b); // "WEDGEBLK"
+    loop {
+        match rx.recv_timeout(shared.config.batch_linger) {
+            Ok(msg) => {
+                current.push(msg);
+                if current.len() >= shared.config.batch_size {
+                    flush(&shared, &mut current, &stage2, &mut rng);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if !current.is_empty() {
+                    flush(&shared, &mut current, &stage2, &mut rng);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                if !current.is_empty() {
+                    flush(&shared, &mut current, &stage2, &mut rng);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Flushes one batch through the stage-1 pipeline.
+fn flush(
+    shared: &Shared,
+    current: &mut Vec<IngestMsg>,
+    stage2: &Sender<Stage2Task>,
+    rng: &mut SmallRng,
+) {
+    let mut batch = std::mem::take(current);
+
+    // 1. Verify publisher signatures in parallel; reject invalid requests.
+    if shared.config.verify_requests {
+        let requests: Vec<&crate::types::AppendRequest> =
+            batch.iter().map(|m| &m.request).collect();
+        let verdicts = parallel_map(&requests, shared.config.worker_threads, |req| {
+            req.verify().is_ok()
+        });
+        let mut kept = Vec::with_capacity(batch.len());
+        let mut rejected = Vec::new();
+        for (msg, ok) in batch.into_iter().zip(verdicts) {
+            if ok {
+                kept.push(msg);
+            } else {
+                rejected.push(msg);
+            }
+        }
+        if !rejected.is_empty() {
+            // Count before replying so observers never see a rejection
+            // reply ahead of its counter.
+            shared.stats.lock().requests_rejected += rejected.len() as u64;
+            for msg in rejected {
+                (msg.reply)(Err("invalid request signature".into()));
+            }
+        }
+        batch = kept;
+    }
+    if batch.is_empty() {
+        return;
+    }
+
+    // 2. Merkle tree over the leaf encodings.
+    let leaves: Vec<Vec<u8>> = batch.iter().map(|m| m.request.leaf_bytes()).collect();
+    let tree = MerkleTree::from_leaves(&leaves).expect("non-empty batch");
+    let root = tree.root();
+
+    // Reserve the next log position.
+    let log_id = shared.state.read().batches.len() as u64;
+
+    // 3. Persist: header record first, then one record per leaf.
+    let mut records = Vec::with_capacity(leaves.len() + 1);
+    records.push(encode_header(log_id, leaves.len() as u32, &root));
+    records.extend(leaves.iter().map(|l| encode_leaf(l)));
+    let header_record = shared
+        .store
+        .append_batch(&records)
+        .expect("local log append failed — storage is the node's ground truth");
+    let first_record = header_record + 1;
+
+    // 4. Replicate before acknowledging (the paper's stronger-liveness
+    //    configuration waits for replica acks).
+    if let Some(replicator) = &shared.replicator {
+        let acked = replicator.replicate_sync(records);
+        if acked < replicator.replica_count() {
+            shared.stats.lock().replication_shortfalls += 1;
+        }
+    }
+
+    // 5. Sign responses in parallel and deliver.
+    let tampering = matches!(shared.config.behavior, NodeBehavior::TamperResponses { .. })
+        && shared.config.behavior.affects(log_id);
+    let node_key = *shared.identity.secret_key();
+    let responses: Vec<SignedResponse> = {
+        let tree = &tree;
+        let items: Vec<(usize, &crate::types::AppendRequest)> =
+            batch.iter().map(|m| &m.request).enumerate().collect();
+        parallel_map(&items, shared.config.worker_threads, move |(offset, request)| {
+            let mut leaf = request.leaf_bytes();
+            if tampering {
+                tamper(&mut leaf);
+            }
+            let proof = tree.prove(*offset).expect("offset in range");
+            SignedResponse::sign(
+                &node_key,
+                EntryId { log_id, offset: *offset as u32 },
+                root,
+                proof,
+                leaf,
+            )
+        })
+    };
+
+    // Optional simulated response-network delay (one message per flush).
+    let delay = {
+        use rand::Rng as _;
+        let _ = rng.gen::<u8>(); // keep rng state moving even for Zero
+        shared
+            .config
+            .response_latency
+            .sample(rng, responses.iter().map(|r| r.leaf.len()).sum())
+    };
+    if !delay.is_zero() {
+        std::thread::sleep(delay);
+    }
+
+    // 6. Register state BEFORE replying so reads issued immediately after a
+    //    response always succeed, and queue stage-2 work.
+    {
+        let mut state = shared.state.write();
+        for (offset, msg) in batch.iter().enumerate() {
+            state.seq_index.insert(
+                (msg.request.publisher, msg.request.sequence),
+                EntryId { log_id, offset: offset as u32 },
+            );
+        }
+        state.batches.push(BatchMeta {
+            log_id,
+            first_record,
+            count: batch.len() as u32,
+            tree,
+        });
+    }
+    {
+        let mut stats = shared.stats.lock();
+        stats.entries_ingested += batch.len() as u64;
+        stats.bytes_ingested += batch.iter().map(|m| m.request.payload.len() as u64).sum::<u64>();
+        stats.batches_flushed += 1;
+    }
+
+    for (msg, response) in batch.into_iter().zip(responses) {
+        (msg.reply)(Ok(response));
+    }
+
+    // Stage 2 hand-off (omitted under the omission attack).
+    let Some(stage2_root) = super::stage2::stage2_root_for(shared.config.behavior, log_id, root)
+    else {
+        return;
+    };
+    let _ = stage2.send(Stage2Task {
+        log_id,
+        root: stage2_root,
+        stage1_done: shared.chain.clock().now(),
+    });
+}

@@ -1,0 +1,422 @@
+//! The Offchain Node (paper §4.3): batched stage-1 ingestion, asynchronous
+//! stage-2 digest commitment, and the verified read/audit service.
+
+mod batcher;
+mod stage2;
+mod state;
+mod stats;
+
+pub use stats::NodeStats;
+
+use std::path::Path;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
+use wedge_chain::{Address, Chain};
+use wedge_crypto::signer::Identity;
+use wedge_crypto::PublicKey;
+use wedge_merkle::RangeProof;
+use wedge_storage::{LogStore, Replicator};
+
+use crate::config::{NodeBehavior, NodeConfig};
+use crate::error::CoreError;
+use crate::types::{AppendRequest, CommitPhase, EntryId, SignedResponse};
+use state::{CommitInfo, NodeState};
+
+/// How a stage-1 outcome is delivered back to the submitter: invoked exactly
+/// once, either with the signed response or a rejection reason. A callback
+/// (rather than a channel) lets transports tag and route replies — the TCP
+/// server forwards them onto sockets, local publishers into channels.
+pub type ReplyFn = Box<dyn FnOnce(Result<SignedResponse, String>) + Send>;
+
+/// A queued append with its reply continuation.
+pub(crate) struct IngestMsg {
+    pub request: AppendRequest,
+    pub reply: ReplyFn,
+}
+
+/// State shared between the node's public API and its worker threads.
+pub(crate) struct Shared {
+    pub identity: Identity,
+    pub config: NodeConfig,
+    pub store: LogStore,
+    pub state: RwLock<NodeState>,
+    pub chain: Arc<Chain>,
+    pub root_record: Address,
+    pub stats: Mutex<NodeStats>,
+    pub replicator: Option<Replicator>,
+}
+
+/// The Offchain Node. Create with [`OffchainNode::start`]; share via `Arc`.
+///
+/// Dropping the node flushes any partial batch, drains the stage-2 queue,
+/// and joins the worker threads.
+pub struct OffchainNode {
+    shared: Arc<Shared>,
+    ingest: Option<Sender<IngestMsg>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl OffchainNode {
+    /// Starts an Offchain Node: opens (or recovers) the store under
+    /// `data_dir`, restores in-memory state from disk, and spawns the
+    /// batcher and stage-2 committer threads.
+    ///
+    /// `root_record` must be a deployed [`wedge_contracts::RootRecord`]
+    /// whose `offchain_address` is this node's identity.
+    pub fn start(
+        identity: Identity,
+        config: NodeConfig,
+        chain: Arc<Chain>,
+        root_record: Address,
+        data_dir: impl AsRef<Path>,
+    ) -> Result<OffchainNode, CoreError> {
+        let data_dir = data_dir.as_ref();
+        let store = LogStore::open(data_dir.join("log"), config.store.clone())?;
+        let state = state::rebuild_state(&store)?;
+        let replicator = if config.replicas > 0 {
+            Some(Replicator::spawn(
+                data_dir.join("replicas"),
+                config.replicas,
+                config.store.clone(),
+                config.replica_link_delay,
+            )?)
+        } else {
+            None
+        };
+        let shared = Arc::new(Shared {
+            identity,
+            config,
+            store,
+            state: RwLock::new(state),
+            chain,
+            root_record,
+            stats: Mutex::new(NodeStats::default()),
+            replicator,
+        });
+
+        let (ingest_tx, ingest_rx) = unbounded::<IngestMsg>();
+        let (stage2_tx, stage2_rx) = unbounded::<stage2::Stage2Task>();
+
+        // Stage-2 resynchronization after a restart: positions the Root
+        // Record already holds are marked committed; recovered-but-
+        // uncommitted positions are re-queued for commitment (without this,
+        // a crash between stage 1 and stage 2 would leave entries off-chain
+        // forever).
+        {
+            use wedge_contracts::RootRecord;
+            let onchain_tail = shared
+                .chain
+                .view(root_record, &RootRecord::get_tail_calldata())
+                .ok()
+                .and_then(|out| RootRecord::decode_tail(&out))
+                .unwrap_or(0);
+            let now = shared.chain.clock().now();
+            let mut state = shared.state.write();
+            let recovered = state.batches.len() as u64;
+            for log_id in 0..recovered.min(onchain_tail) {
+                state.commits.entry(log_id).or_insert(state::CommitInfo {
+                    tx_hash: wedge_crypto::Hash32::ZERO, // pre-restart tx, unknown
+                    block_number: 0,
+                    stage2_latency: Duration::ZERO,
+                });
+            }
+            for log_id in onchain_tail..recovered {
+                let honest_root = state.batches[log_id as usize].tree.root();
+                if let Some(root) =
+                    stage2::stage2_root_for(shared.config.behavior, log_id, honest_root)
+                {
+                    let _ = stage2_tx.send(stage2::Stage2Task {
+                        log_id,
+                        root,
+                        stage1_done: now,
+                    });
+                }
+            }
+        }
+
+        let batcher_shared = Arc::clone(&shared);
+        let batcher = std::thread::Builder::new()
+            .name("wedge-batcher".into())
+            .spawn(move || batcher::run(batcher_shared, ingest_rx, stage2_tx))
+            .expect("spawn batcher");
+        let committer_shared = Arc::clone(&shared);
+        let committer = std::thread::Builder::new()
+            .name("wedge-stage2".into())
+            .spawn(move || stage2::run(committer_shared, stage2_rx))
+            .expect("spawn committer");
+
+        Ok(OffchainNode {
+            shared,
+            ingest: Some(ingest_tx),
+            handles: vec![batcher, committer],
+        })
+    }
+
+    /// The node's address (must match the Root Record's
+    /// `offchain_address`).
+    pub fn address(&self) -> Address {
+        self.shared.identity.address()
+    }
+
+    /// The node's public key, for client-side response verification.
+    pub fn public_key(&self) -> PublicKey {
+        *self.shared.identity.public_key()
+    }
+
+    /// Submits one append request; the signed response (or a rejection
+    /// string) is delivered on `reply` once the containing batch flushes.
+    pub fn submit(
+        &self,
+        request: AppendRequest,
+        reply: Sender<Result<SignedResponse, String>>,
+    ) -> Result<(), CoreError> {
+        self.submit_with(
+            request,
+            Box::new(move |outcome| {
+                let _ = reply.send(outcome);
+            }),
+        )
+    }
+
+    /// Submits one append request with an arbitrary reply continuation
+    /// (invoked exactly once at flush time).
+    pub fn submit_with(&self, request: AppendRequest, reply: ReplyFn) -> Result<(), CoreError> {
+        self.ingest
+            .as_ref()
+            .ok_or(CoreError::NodeStopped)?
+            .send(IngestMsg { request, reply })
+            .map_err(|_| CoreError::NodeStopped)
+    }
+
+    /// Reads one entry, returning a freshly signed response (paper §4.3,
+    /// read requests carry the same tuple format as append responses).
+    pub fn read(&self, id: EntryId) -> Result<SignedResponse, CoreError> {
+        let state = self.shared.state.read();
+        let meta = state
+            .batches
+            .get(id.log_id as usize)
+            .ok_or(CoreError::EntryNotFound(id))?;
+        if id.offset >= meta.count {
+            return Err(CoreError::EntryNotFound(id));
+        }
+        let record = self.shared.store.read(meta.first_record + id.offset as u64)?;
+        let mut leaf = state::decode_leaf(&record)?;
+        let proof = meta
+            .tree
+            .prove(id.offset as usize)
+            .map_err(|_| CoreError::EntryNotFound(id))?;
+        let root = meta.tree.root();
+        drop(state);
+        if let NodeBehavior::TamperResponses { .. } = self.shared.config.behavior {
+            if self.shared.config.behavior.affects(id.log_id) {
+                tamper(&mut leaf);
+            }
+        }
+        Ok(SignedResponse::sign(
+            self.shared.identity.secret_key(),
+            id,
+            root,
+            proof,
+            leaf,
+        ))
+    }
+
+    /// Reads a group of entries in one operation (paper §4.2: "a group of
+    /// indices together in one operation").
+    pub fn read_many(&self, ids: &[EntryId]) -> Vec<Result<SignedResponse, CoreError>> {
+        ids.iter().map(|id| self.read(*id)).collect()
+    }
+
+    /// Looks an entry up by `(publisher, sequence)` (the paper's sequence
+    /// number read path).
+    pub fn read_by_sequence(
+        &self,
+        publisher: Address,
+        sequence: u64,
+    ) -> Result<SignedResponse, CoreError> {
+        let id = {
+            let state = self.shared.state.read();
+            *state
+                .seq_index
+                .get(&(publisher, sequence))
+                .ok_or(CoreError::SequenceNotFound { publisher, sequence })?
+        };
+        self.read(id)
+    }
+
+    /// Reads every entry of one log position (the auditor's scan unit).
+    pub fn read_log_position(&self, log_id: u64) -> Result<Vec<SignedResponse>, CoreError> {
+        let count = {
+            let state = self.shared.state.read();
+            state
+                .batches
+                .get(log_id as usize)
+                .ok_or(CoreError::EntryNotFound(EntryId { log_id, offset: 0 }))?
+                .count
+        };
+        (0..count)
+            .map(|offset| self.read(EntryId { log_id, offset }))
+            .collect()
+    }
+
+    /// Number of entries in one log position, if it exists.
+    pub fn read_log_position_len(&self, log_id: u64) -> Option<u32> {
+        self.shared
+            .state
+            .read()
+            .batches
+            .get(log_id as usize)
+            .map(|b| b.count)
+    }
+
+    /// Extension API: scans `[start, start+count)` within one log position
+    /// returning the raw leaves plus a single [`RangeProof`] — far cheaper
+    /// to verify than per-entry proofs for large audits.
+    pub fn scan_range(
+        &self,
+        log_id: u64,
+        start: u32,
+        count: u32,
+    ) -> Result<(Vec<Vec<u8>>, RangeProof, wedge_crypto::Hash32), CoreError> {
+        let state = self.shared.state.read();
+        let meta = state
+            .batches
+            .get(log_id as usize)
+            .ok_or(CoreError::EntryNotFound(EntryId { log_id, offset: start }))?;
+        if start + count > meta.count || count == 0 {
+            return Err(CoreError::EntryNotFound(EntryId { log_id, offset: start + count }));
+        }
+        let proof = RangeProof::generate(&meta.tree, start as usize, count as usize)
+            .map_err(|_| CoreError::EntryNotFound(EntryId { log_id, offset: start }))?;
+        let root = meta.tree.root();
+        let first = meta.first_record;
+        drop(state);
+        let mut leaves = Vec::with_capacity(count as usize);
+        for offset in start..start + count {
+            leaves.push(state::decode_leaf(&self.shared.store.read(first + offset as u64)?)?);
+        }
+        Ok((leaves, proof, root))
+    }
+
+    /// The commit phase of a log position.
+    pub fn commit_phase(&self, log_id: u64) -> CommitPhase {
+        let state = self.shared.state.read();
+        if state.commits.contains_key(&log_id) {
+            CommitPhase::BlockchainCommitted
+        } else if (log_id as usize) < state.batches.len() {
+            CommitPhase::OffchainCommitted
+        } else {
+            CommitPhase::Pending
+        }
+    }
+
+    /// Stage-2 info for a committed position.
+    pub fn commit_info(&self, log_id: u64) -> Option<CommitInfo> {
+        self.shared.state.read().commits.get(&log_id).copied()
+    }
+
+    /// Number of flushed log positions.
+    pub fn log_positions(&self) -> u64 {
+        self.shared.state.read().batches.len() as u64
+    }
+
+    /// Total entries stored.
+    pub fn entry_count(&self) -> u64 {
+        self.shared.state.read().entry_count()
+    }
+
+    /// The replica fan-out, when configured (exposed for liveness tests and
+    /// fault injection).
+    pub fn replicator(&self) -> Option<&Replicator> {
+        self.shared.replicator.as_ref()
+    }
+
+    /// Snapshot of the node's metrics.
+    pub fn stats(&self) -> NodeStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Blocks until every flushed log position up to the current tail is
+    /// blockchain-committed (or `timeout` of *simulated* time passes).
+    pub fn wait_stage2_idle(&self, timeout: Duration) -> Result<(), CoreError> {
+        let clock = self.shared.chain.clock().clone();
+        let start = clock.now();
+        loop {
+            {
+                let state = self.shared.state.read();
+                let flushed = state.batches.len() as u64;
+                let committed = state.commits.len() as u64;
+                let omitted = match self.shared.config.behavior {
+                    NodeBehavior::OmitStage2 { from_log } => flushed.saturating_sub(from_log),
+                    _ => 0,
+                };
+                if committed + omitted >= flushed {
+                    return Ok(());
+                }
+            }
+            if clock.now().since(start) > timeout {
+                return Err(CoreError::NotYetBlockchainCommitted {
+                    log_id: self.shared.state.read().commits.len() as u64,
+                });
+            }
+            clock.sleep(Duration::from_millis(200));
+        }
+    }
+
+    /// Simulates the paper's extreme omission attack (§4.7): destroys the
+    /// newest `entries` from local storage and memory. For liveness tests.
+    pub fn destroy_tail(&self, entries: u64) -> Result<(), CoreError> {
+        let mut state = self.shared.state.write();
+        let mut remaining = entries;
+        while remaining > 0 {
+            let Some(last) = state.batches.last() else { break };
+            let take = (last.count as u64).min(remaining);
+            if take == last.count as u64 {
+                // Drop the whole batch (+1 for its header record).
+                self.shared.store.truncate_tail(take + 1)?;
+                let removed = state.batches.pop().expect("checked");
+                state.commits.remove(&removed.log_id);
+                state
+                    .seq_index
+                    .retain(|_, id| id.log_id != removed.log_id);
+            } else {
+                // Partial destruction of a batch is modelled as dropping the
+                // whole batch too (simpler and strictly worse for the node).
+                self.shared.store.truncate_tail(last.count as u64 + 1)?;
+                let removed = state.batches.pop().expect("checked");
+                state.commits.remove(&removed.log_id);
+                state.seq_index.retain(|_, id| id.log_id != removed.log_id);
+            }
+            remaining = remaining.saturating_sub(take);
+        }
+        Ok(())
+    }
+
+    /// Stops the node: flushes the partial batch, completes queued stage-2
+    /// work, joins threads. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.ingest = None; // closes the channel; batcher drains and exits
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        let _ = self.shared.store.sync();
+    }
+}
+
+impl Drop for OffchainNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Flips a payload byte — the canonical "tamper" used by
+/// [`NodeBehavior::TamperResponses`].
+pub(crate) fn tamper(leaf: &mut [u8]) {
+    if let Some(last) = leaf.last_mut() {
+        *last ^= 0xFF;
+    }
+}

@@ -1,0 +1,119 @@
+//! The stage-2 committer (paper §4.3, blockchain commitment).
+//!
+//! Runs lazily in the background: drains `(log_id, MRoot)` pairs from the
+//! batcher, groups contiguous runs into a single `Update-Records`
+//! transaction (amortizing the 21k base cost — the minimum-writing lever of
+//! Figure 3 right), submits, and waits for the confirmed receipt before
+//! recording the position as blockchain-committed.
+
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use wedge_chain::Gas;
+use wedge_contracts::RootRecord;
+use wedge_crypto::hash::Hash32;
+use wedge_sim::SimInstant;
+
+use super::state::CommitInfo;
+use super::Shared;
+
+/// One batch's pending stage-2 commitment.
+pub(crate) struct Stage2Task {
+    pub log_id: u64,
+    pub root: Hash32,
+    pub stage1_done: SimInstant,
+}
+
+/// The root a (possibly malicious) node will blockchain-commit for
+/// `log_id`, given the honest root. Shared by the live batcher and the
+/// restart-recovery path so a configured behaviour survives restarts.
+pub(crate) fn stage2_root_for(
+    behavior: crate::config::NodeBehavior,
+    log_id: u64,
+    honest_root: Hash32,
+) -> Option<Hash32> {
+    use crate::config::NodeBehavior;
+    match behavior {
+        NodeBehavior::OmitStage2 { .. } if behavior.affects(log_id) => None,
+        NodeBehavior::CommitWrongRoot { .. } if behavior.affects(log_id) => Some(Hash32::keccak(
+            &[honest_root.as_bytes().as_slice(), b"equivocation"].concat(),
+        )),
+        _ => Some(honest_root),
+    }
+}
+
+/// Committer main loop: exits when the batcher hangs up and the queue is
+/// drained.
+pub(crate) fn run(shared: Arc<Shared>, rx: Receiver<Stage2Task>) {
+    while let Ok(first) = rx.recv() {
+        let mut group = vec![first];
+        while group.len() < shared.config.stage2_max_group {
+            match rx.try_recv() {
+                Ok(task) => {
+                    // Only contiguous runs share a transaction (the contract
+                    // enforces sequential writes).
+                    let contiguous =
+                        task.log_id == group.last().expect("non-empty").log_id + 1;
+                    group.push(task);
+                    if !contiguous {
+                        // Defensive: should not happen with a single batcher.
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        commit_group(&shared, group);
+    }
+}
+
+/// Submits one `Update-Records` transaction for a contiguous group and
+/// waits for its confirmed receipt.
+fn commit_group(shared: &Shared, group: Vec<Stage2Task>) {
+    let start_idx = group[0].log_id;
+    let roots: Vec<Hash32> = group.iter().map(|t| t.root).collect();
+    let calldata = RootRecord::update_records_calldata(start_idx, &roots);
+    // 21k base + calldata + 20k per fresh word + margin.
+    let gas_limit = Gas(120_000 + 25_000 * roots.len() as u64);
+    shared.stats.lock().stage2_txs_submitted += 1;
+    let submit = shared.chain.call_contract(
+        shared.identity.secret_key(),
+        shared.root_record,
+        wedge_chain::Wei::ZERO,
+        calldata,
+        gas_limit,
+    );
+    let receipt = match submit.and_then(|hash| shared.chain.wait_for_receipt(hash)) {
+        Ok(receipt) if receipt.status.is_success() => receipt,
+        _ => {
+            shared.stats.lock().stage2_failed += group.len() as u64;
+            return;
+        }
+    };
+    let committed_at = shared.chain.clock().now();
+    {
+        let mut state = shared.state.write();
+        for task in &group {
+            state.commits.insert(
+                task.log_id,
+                CommitInfo {
+                    tx_hash: receipt.tx_hash,
+                    block_number: receipt.block_number,
+                    stage2_latency: committed_at.since(task.stage1_done),
+                },
+            );
+        }
+    }
+    let mut stats = shared.stats.lock();
+    stats.stage2_committed += group.len() as u64;
+    stats.stage2_gas = stats.stage2_gas.saturating_add(receipt.gas_used);
+    stats.stage2_fees = stats
+        .stage2_fees
+        .checked_add(receipt.fee)
+        .expect("fee total overflow");
+    for task in &group {
+        stats
+            .stage2_latencies
+            .push(committed_at.since(task.stage1_done));
+    }
+}

@@ -1,0 +1,180 @@
+//! In-memory node state: per-batch metadata, the sequence index, and the
+//! on-disk batch encoding used for recovery.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use wedge_chain::{Decoder, Encoder, TxHash};
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::keys::Address;
+use wedge_merkle::MerkleTree;
+use wedge_storage::LogStore;
+
+use crate::error::CoreError;
+use crate::types::{AppendRequest, EntryId};
+
+/// Record-type tags in the backing store.
+const TAG_HEADER: u8 = 0x01;
+const TAG_LEAF: u8 = 0x02;
+
+/// Metadata for one flushed batch (log position).
+pub struct BatchMeta {
+    /// The log position id.
+    pub log_id: u64,
+    /// Storage record id of the batch's first leaf.
+    pub first_record: u64,
+    /// Number of entries.
+    pub count: u32,
+    /// The batch's Merkle tree, retained for O(log n) proof generation on
+    /// reads.
+    pub tree: MerkleTree,
+}
+
+/// Stage-2 commitment bookkeeping for one log position.
+#[derive(Clone, Copy, Debug)]
+pub struct CommitInfo {
+    /// The `Update-Records` transaction.
+    pub tx_hash: TxHash,
+    /// Block in which it was mined.
+    pub block_number: u64,
+    /// Simulated latency from stage-1 completion to confirmed stage-2.
+    pub stage2_latency: Duration,
+}
+
+/// Mutable node state behind the RwLock.
+#[derive(Default)]
+pub struct NodeState {
+    /// Batch metadata, indexed by `log_id`.
+    pub batches: Vec<BatchMeta>,
+    /// `(publisher, sequence)` → entry locator.
+    pub seq_index: HashMap<(Address, u64), EntryId>,
+    /// Blockchain-committed positions.
+    pub commits: HashMap<u64, CommitInfo>,
+}
+
+impl NodeState {
+    /// Total entries across all batches.
+    pub fn entry_count(&self) -> u64 {
+        self.batches.iter().map(|b| b.count as u64).sum()
+    }
+}
+
+/// Encodes a batch-header record: `(tag, log_id, count, root)`.
+pub fn encode_header(log_id: u64, count: u32, root: &Hash32) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(53);
+    enc.u8(TAG_HEADER).u64(log_id).u64(count as u64).bytes(root.as_bytes());
+    enc.finish()
+}
+
+/// Encodes a leaf record.
+pub fn encode_leaf(leaf: &[u8]) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(1 + leaf.len());
+    enc.u8(TAG_LEAF).bytes(leaf);
+    enc.finish()
+}
+
+/// Decodes a leaf record back to its leaf bytes.
+pub fn decode_leaf(record: &[u8]) -> Result<Vec<u8>, CoreError> {
+    let mut dec = Decoder::new(record);
+    let tag = dec.u8().map_err(CoreError::Decode)?;
+    if tag != TAG_LEAF {
+        return Err(CoreError::RequestRejected("expected leaf record"));
+    }
+    let leaf = dec.bytes().map_err(CoreError::Decode)?.to_vec();
+    dec.finish().map_err(CoreError::Decode)?;
+    Ok(leaf)
+}
+
+/// Decoded batch header.
+pub struct Header {
+    /// Log position id.
+    pub log_id: u64,
+    /// Entries in the batch.
+    pub count: u32,
+    /// The persisted Merkle root (re-derived and checked at recovery).
+    pub root: Hash32,
+}
+
+/// Decodes a header record, returning `None` for non-header records.
+pub fn decode_header(record: &[u8]) -> Option<Header> {
+    let mut dec = Decoder::new(record);
+    if dec.u8().ok()? != TAG_HEADER {
+        return None;
+    }
+    let log_id = dec.u64().ok()?;
+    let count = dec.u64().ok()? as u32;
+    let root: [u8; 32] = dec.bytes_fixed().ok()?;
+    dec.finish().ok()?;
+    Some(Header { log_id, count, root: Hash32(root) })
+}
+
+/// Rebuilds the in-memory state from a recovered [`LogStore`] (the node
+/// restart path). An incomplete trailing batch (header persisted, some
+/// leaves torn away) is dropped, mirroring the store's torn-tail semantics.
+pub fn rebuild_state(store: &LogStore) -> Result<NodeState, CoreError> {
+    let mut state = NodeState::default();
+    let total = store.len();
+    let mut cursor = 0u64;
+    while cursor < total {
+        let record = store.read(cursor)?;
+        let Some(header) = decode_header(&record) else {
+            return Err(CoreError::RequestRejected("expected batch header during recovery"));
+        };
+        let first_record = cursor + 1;
+        if first_record + header.count as u64 > total {
+            break; // incomplete trailing batch
+        }
+        let mut leaves = Vec::with_capacity(header.count as usize);
+        for i in 0..header.count as u64 {
+            leaves.push(decode_leaf(&store.read(first_record + i)?)?);
+        }
+        let tree = MerkleTree::from_leaf_hashes(
+            leaves.iter().map(|l| wedge_merkle::hash_leaf(l)).collect(),
+        )
+        .map_err(|_| CoreError::RequestRejected("empty batch during recovery"))?;
+        if tree.root() != header.root {
+            return Err(CoreError::RequestRejected("recovered root mismatch"));
+        }
+        for (offset, leaf) in leaves.iter().enumerate() {
+            if let Ok(req) = AppendRequest::from_leaf_bytes(leaf) {
+                state.seq_index.insert(
+                    (req.publisher, req.sequence),
+                    EntryId { log_id: header.log_id, offset: offset as u32 },
+                );
+            }
+        }
+        state.batches.push(BatchMeta {
+            log_id: header.log_id,
+            first_record,
+            count: header.count,
+            tree,
+        });
+        cursor = first_record + header.count as u64;
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let root = Hash32([7; 32]);
+        let encoded = encode_header(42, 100, &root);
+        let header = decode_header(&encoded).unwrap();
+        assert_eq!(header.log_id, 42);
+        assert_eq!(header.count, 100);
+        assert_eq!(header.root, root);
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let encoded = encode_leaf(b"leaf-data");
+        assert_eq!(decode_leaf(&encoded).unwrap(), b"leaf-data");
+        // Headers are not leaves.
+        let header = encode_header(0, 1, &Hash32::ZERO);
+        assert!(decode_leaf(&header).is_err());
+        assert!(decode_header(&encode_leaf(b"x")).is_none());
+    }
+}

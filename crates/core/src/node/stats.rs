@@ -1,0 +1,69 @@
+//! Node-side metrics, the raw material for the paper's figures.
+
+use std::time::Duration;
+
+use wedge_chain::{Gas, Wei};
+
+/// Counters and samples collected by the Offchain Node.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStats {
+    /// Append requests accepted into batches.
+    pub entries_ingested: u64,
+    /// Raw payload bytes accepted.
+    pub bytes_ingested: u64,
+    /// Requests dropped for invalid signatures.
+    pub requests_rejected: u64,
+    /// Batches flushed (log positions created).
+    pub batches_flushed: u64,
+    /// `Update-Records` transactions submitted.
+    pub stage2_txs_submitted: u64,
+    /// Log positions confirmed on-chain.
+    pub stage2_committed: u64,
+    /// Stage-2 transactions that failed (reverted / timed out).
+    pub stage2_failed: u64,
+    /// Per-position simulated stage-1→stage-2 latencies.
+    pub stage2_latencies: Vec<Duration>,
+    /// Total gas spent on stage-2 commitments.
+    pub stage2_gas: Gas,
+    /// Total fees spent on stage-2 commitments.
+    pub stage2_fees: Wei,
+    /// Batches that received fewer replica acknowledgements than
+    /// configured (a replica is down or lagging).
+    pub replication_shortfalls: u64,
+}
+
+impl NodeStats {
+    /// Mean stage-2 latency (simulated), if any commitments completed.
+    pub fn mean_stage2_latency(&self) -> Option<Duration> {
+        if self.stage2_latencies.is_empty() {
+            return None;
+        }
+        let total: Duration = self.stage2_latencies.iter().sum();
+        Some(total / self.stage2_latencies.len() as u32)
+    }
+
+    /// On-chain cost per ingested operation, in wei.
+    pub fn cost_per_op(&self) -> Wei {
+        if self.entries_ingested == 0 {
+            return Wei::ZERO;
+        }
+        Wei(self.stage2_fees.0 / self.entries_ingested as u128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = NodeStats::default();
+        assert!(s.mean_stage2_latency().is_none());
+        assert_eq!(s.cost_per_op(), Wei::ZERO);
+        s.stage2_latencies = vec![Duration::from_secs(40), Duration::from_secs(46)];
+        assert_eq!(s.mean_stage2_latency(), Some(Duration::from_secs(43)));
+        s.entries_ingested = 1000;
+        s.stage2_fees = Wei(5_000_000);
+        assert_eq!(s.cost_per_op(), Wei(5_000));
+    }
+}

@@ -1,0 +1,181 @@
+//! DApp-logging-as-a-service deployment glue (paper §4.5).
+//!
+//! Bundles the three-contract setup the paper describes: the Offchain Node
+//! deploys the Root Record, Punishment (with escrow), and Payment contracts,
+//! the client deposits and starts the subscription, and both sides interact
+//! through the [`ServiceDeployment`] handle.
+
+use std::sync::Arc;
+
+use wedge_chain::{Address, Chain, Gas, Wei};
+use wedge_contracts::{Payment, PaymentStatus, PaymentTerms, Punishment, RootRecord};
+use wedge_crypto::signer::Identity;
+
+use crate::error::CoreError;
+
+/// Addresses of a full WedgeBlock service deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceDeployment {
+    /// The Root Record contract.
+    pub root_record: Address,
+    /// The Punishment contract (holding the node's escrow).
+    pub punishment: Address,
+    /// The Payment contract (subscription stream), if service mode is on.
+    pub payment: Option<Address>,
+}
+
+/// Parameters for a service deployment.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Escrow the node locks in the Punishment contract. Must be large
+    /// enough to outweigh any gain from lying (paper §3.3).
+    pub escrow: Wei,
+    /// Payment terms; `None` disables the logging-as-a-service contract.
+    pub payment_terms: Option<PaymentTerms>,
+}
+
+/// Deploys the contract suite as the Offchain Node (the initialization step
+/// of §3.4). Mines happen via the chain's miner; this call submits the
+/// deploys and waits for their receipts.
+pub fn deploy_service(
+    chain: &Arc<Chain>,
+    node: &Identity,
+    client: Address,
+    config: &ServiceConfig,
+) -> Result<ServiceDeployment, CoreError> {
+    let (root_record, tx1) = chain.deploy(
+        node.secret_key(),
+        Box::new(RootRecord::new(node.address())),
+        Wei::ZERO,
+        RootRecord::CODE_LEN,
+    )?;
+    let (punishment, tx2) = chain.deploy(
+        node.secret_key(),
+        Box::new(Punishment::new(client, node.address(), root_record)),
+        config.escrow,
+        Punishment::CODE_LEN,
+    )?;
+    let payment = match &config.payment_terms {
+        Some(terms) => {
+            let (addr, tx3) = chain.deploy(
+                node.secret_key(),
+                Box::new(Payment::new(*terms)),
+                Wei::ZERO,
+                Payment::CODE_LEN,
+            )?;
+            chain.wait_for_receipt(tx3)?;
+            Some(addr)
+        }
+        None => None,
+    };
+    chain.wait_for_receipt(tx1)?;
+    chain.wait_for_receipt(tx2)?;
+    Ok(ServiceDeployment { root_record, punishment, payment })
+}
+
+/// Client-side subscription handle for the Payment contract.
+pub struct Subscription {
+    chain: Arc<Chain>,
+    client: Identity,
+    payment: Address,
+}
+
+impl Subscription {
+    /// Wraps an existing Payment contract.
+    pub fn new(chain: Arc<Chain>, client: Identity, payment: Address) -> Subscription {
+        Subscription { chain, client, payment }
+    }
+
+    /// Deposits `amount` and starts the payment stream ("After verifying the
+    /// Offchain Node has completed Stage 2 Commitment, the Client node
+    /// deposits ... and invokes the startPayment method").
+    pub fn deposit_and_start(&self, amount: Wei) -> Result<(), CoreError> {
+        let tx = self
+            .chain
+            .transfer(self.client.secret_key(), self.payment, amount)?;
+        self.chain.wait_for_receipt(tx)?;
+        let tx = self.chain.call_contract(
+            self.client.secret_key(),
+            self.payment,
+            Wei::ZERO,
+            Payment::start_payment_calldata(),
+            Gas(300_000),
+        )?;
+        let receipt = self.chain.wait_for_receipt(tx)?;
+        if !receipt.status.is_success() {
+            return Err(CoreError::RequestRejected("startPayment reverted"));
+        }
+        Ok(())
+    }
+
+    /// Tops the deposit up.
+    pub fn top_up(&self, amount: Wei) -> Result<(), CoreError> {
+        let tx = self
+            .chain
+            .transfer(self.client.secret_key(), self.payment, amount)?;
+        self.chain.wait_for_receipt(tx)?;
+        Ok(())
+    }
+
+    /// Triggers `updatePaymentStatus` (anyone may; typically driven by the
+    /// node or a keeper).
+    pub fn update_status(&self) -> Result<(), CoreError> {
+        let tx = self.chain.call_contract(
+            self.client.secret_key(),
+            self.payment,
+            Wei::ZERO,
+            Payment::update_status_calldata(),
+            Gas(500_000),
+        )?;
+        self.chain.wait_for_receipt(tx)?;
+        Ok(())
+    }
+
+    /// Ends the subscription, settling both sides.
+    pub fn terminate(&self) -> Result<(), CoreError> {
+        let tx = self.chain.call_contract(
+            self.client.secret_key(),
+            self.payment,
+            Wei::ZERO,
+            Payment::terminate_calldata(),
+            Gas(500_000),
+        )?;
+        let receipt = self.chain.wait_for_receipt(tx)?;
+        if !receipt.status.is_success() {
+            return Err(CoreError::RequestRejected("terminate reverted"));
+        }
+        Ok(())
+    }
+
+    /// Reads the contract's status snapshot.
+    pub fn status(&self) -> Result<PaymentStatus, CoreError> {
+        let out = self.chain.view(self.payment, &Payment::status_calldata())?;
+        Payment::decode_status(&out)
+            .ok_or(CoreError::RequestRejected("malformed payment status"))
+    }
+}
+
+/// Node-side withdrawal of earned service fees.
+pub fn withdraw_earnings(
+    chain: &Arc<Chain>,
+    node: &Identity,
+    payment: Address,
+) -> Result<Wei, CoreError> {
+    let before = chain.balance(node.address());
+    let tx = chain.call_contract(
+        node.secret_key(),
+        payment,
+        Wei::ZERO,
+        Payment::withdraw_edge_calldata(),
+        Gas(500_000),
+    )?;
+    let receipt = chain.wait_for_receipt(tx)?;
+    if !receipt.status.is_success() {
+        return Err(CoreError::RequestRejected("withdrawal reverted"));
+    }
+    let after = chain.balance(node.address());
+    Ok(after
+        .checked_add(receipt.fee)
+        .and_then(|w| w.checked_sub(before))
+        .unwrap_or(Wei::ZERO))
+}

@@ -1,0 +1,385 @@
+//! The WedgeBlock protocol data model (paper §4.1).
+//!
+//! - [`AppendRequest`] — the paper's tuple `A = (S_p, [n, X])`: a payload
+//!   `X` with a client-side sequence number `n`, signed by the publisher.
+//! - [`SignedResponse`] — the paper's tuple `R = (S_o, [X, P, i])`: the
+//!   Offchain Node's off-chain-commit promise, carrying the stage-1 proof.
+//! - [`EntryId`] — the paper's index `i`: a log position (batch) plus the
+//!   entry's offset inside the batch.
+//! - [`Stage2Record`] — the paper's tuple `V = (i, R_f)` committed to the
+//!   Root Record contract.
+
+use wedge_chain::{Decoder, Encoder};
+use wedge_contracts::response_digest;
+use wedge_crypto::ecdsa::Signature;
+use wedge_crypto::hash::{keccak256, Hash32};
+use wedge_crypto::keys::Address;
+use wedge_crypto::{recover_prehashed, sign_prehashed, verify_prehashed, PublicKey, SecretKey};
+use wedge_merkle::MerkleProof;
+
+use crate::error::CoreError;
+
+/// Identifies one log entry: which log position (batch) it belongs to and
+/// where it sits inside the batch's Data List.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EntryId {
+    /// The monotonically increasing log position (paper's Log ID).
+    pub log_id: u64,
+    /// Offset within the batch.
+    pub offset: u32,
+}
+
+impl core::fmt::Display for EntryId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}", self.log_id, self.offset)
+    }
+}
+
+/// Commit progress of a log position (paper §3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CommitPhase {
+    /// Received, not yet flushed into a batch.
+    Pending,
+    /// Stage 1 complete: persisted locally, signed response issued.
+    OffchainCommitted,
+    /// Stage 2 complete: digest confirmed in the Root Record contract.
+    BlockchainCommitted,
+}
+
+/// The paper's append tuple `A = (S_p, [n, X])`.
+#[derive(Clone, Debug)]
+pub struct AppendRequest {
+    /// The publisher's address (recoverable from the signature; carried for
+    /// cheap indexing).
+    pub publisher: Address,
+    /// Client-side monotonically increasing sequence number `n`.
+    pub sequence: u64,
+    /// The data object `X`.
+    pub payload: Vec<u8>,
+    /// Publisher's signature `S_p` over `(n, X)`.
+    pub signature: Signature,
+}
+
+impl AppendRequest {
+    /// The bytes the publisher signs: `(sequence, payload)`.
+    fn signing_digest(sequence: u64, payload: &[u8]) -> [u8; 32] {
+        let mut enc = Encoder::with_capacity(12 + payload.len());
+        enc.u64(sequence).bytes(payload);
+        keccak256(&enc.finish())
+    }
+
+    /// Builds and signs an append request.
+    pub fn new(key: &SecretKey, sequence: u64, payload: Vec<u8>) -> AppendRequest {
+        let digest = Self::signing_digest(sequence, &payload);
+        let signature = sign_prehashed(key, &digest);
+        AppendRequest {
+            publisher: key.public_key().address(),
+            sequence,
+            payload,
+            signature,
+        }
+    }
+
+    /// Verifies the publisher's signature and address binding.
+    pub fn verify(&self) -> Result<(), CoreError> {
+        let digest = Self::signing_digest(self.sequence, &self.payload);
+        let recovered = recover_prehashed(&digest, &self.signature)
+            .map_err(|_| CoreError::BadRequestSignature { publisher: self.publisher })?;
+        if recovered.address() != self.publisher {
+            return Err(CoreError::BadRequestSignature { publisher: self.publisher });
+        }
+        Ok(())
+    }
+
+    /// The canonical Merkle-leaf bytes: the *entire* signed tuple, so the
+    /// on-chain digest commits to payload, ordering and attribution.
+    pub fn leaf_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(110 + self.payload.len());
+        enc.bytes(self.publisher.as_bytes())
+            .u64(self.sequence)
+            .bytes(&self.payload)
+            .bytes(&self.signature.to_bytes());
+        enc.finish()
+    }
+
+    /// Parses leaf bytes back into a request (used by auditors scanning the
+    /// raw log).
+    pub fn from_leaf_bytes(bytes: &[u8]) -> Result<AppendRequest, CoreError> {
+        let mut dec = Decoder::new(bytes);
+        let addr: [u8; 20] = dec.bytes_fixed().map_err(CoreError::Decode)?;
+        let sequence = dec.u64().map_err(CoreError::Decode)?;
+        let payload = dec.bytes().map_err(CoreError::Decode)?.to_vec();
+        let sig: [u8; 65] = dec.bytes_fixed().map_err(CoreError::Decode)?;
+        dec.finish().map_err(CoreError::Decode)?;
+        let signature = Signature::from_bytes(&sig)
+            .map_err(|_| CoreError::BadRequestSignature { publisher: Address(addr) })?;
+        Ok(AppendRequest { publisher: Address(addr), sequence, payload, signature })
+    }
+}
+
+/// The paper's response tuple `R = (S_o, [X, P, i])`: the Offchain Node's
+/// signed off-chain-commit promise for one entry.
+#[derive(Clone, Debug)]
+pub struct SignedResponse {
+    /// Where the entry was placed.
+    pub entry_id: EntryId,
+    /// The batch's Merkle root `R_f` the node promises to commit on-chain.
+    pub merkle_root: Hash32,
+    /// Inclusion proof of the entry's leaf under `merkle_root`.
+    pub proof: MerkleProof,
+    /// The leaf bytes (the full signed request tuple).
+    pub leaf: Vec<u8>,
+    /// The node's signature `S_o` over
+    /// [`response_digest`]`(log_id, merkle_root, proof, leaf)`.
+    pub signature: Signature,
+}
+
+impl SignedResponse {
+    /// The digest the node signs — shared byte-for-byte with the Punishment
+    /// contract (Algorithm 2 line 1).
+    pub fn digest(&self) -> [u8; 32] {
+        response_digest(
+            self.entry_id.log_id,
+            &self.merkle_root,
+            &self.proof.to_bytes(),
+            &self.leaf,
+        )
+    }
+
+    /// Signs a response tuple as the Offchain Node.
+    pub fn sign(
+        node_key: &SecretKey,
+        entry_id: EntryId,
+        merkle_root: Hash32,
+        proof: MerkleProof,
+        leaf: Vec<u8>,
+    ) -> SignedResponse {
+        let digest =
+            response_digest(entry_id.log_id, &merkle_root, &proof.to_bytes(), &leaf);
+        let signature = sign_prehashed(node_key, &digest);
+        SignedResponse { entry_id, merkle_root, proof, leaf, signature }
+    }
+
+    /// Full client-side stage-1 verification:
+    /// 1. the node's signature is valid,
+    /// 2. the proof reproduces the signed root from the leaf,
+    /// 3. the proof's position matches the claimed entry id.
+    pub fn verify(&self, node_public: &PublicKey) -> Result<(), CoreError> {
+        verify_prehashed(node_public, &self.digest(), &self.signature)
+            .map_err(|_| CoreError::BadResponseSignature { entry_id: self.entry_id })?;
+        if self.proof.leaf_index != self.entry_id.offset as u64 {
+            return Err(CoreError::ProofPositionMismatch {
+                entry_id: self.entry_id,
+                proof_index: self.proof.leaf_index,
+            });
+        }
+        self.proof
+            .verify(&self.leaf, &self.merkle_root)
+            .map_err(|_| CoreError::ProofInvalid { entry_id: self.entry_id })?;
+        Ok(())
+    }
+
+    /// Like [`SignedResponse::verify`], additionally checking that the leaf
+    /// is exactly the request the client sent (detects payload tampering).
+    pub fn verify_for_request(
+        &self,
+        node_public: &PublicKey,
+        request: &AppendRequest,
+    ) -> Result<(), CoreError> {
+        self.verify(node_public)?;
+        if self.leaf != request.leaf_bytes() {
+            return Err(CoreError::LeafMismatch { entry_id: self.entry_id });
+        }
+        Ok(())
+    }
+
+    /// The embedded request (decoded from the leaf).
+    pub fn request(&self) -> Result<AppendRequest, CoreError> {
+        AppendRequest::from_leaf_bytes(&self.leaf)
+    }
+
+    /// Wire serialization (used by the TCP transport).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let proof_bytes = self.proof.to_bytes();
+        let mut enc = Encoder::with_capacity(128 + proof_bytes.len() + self.leaf.len());
+        enc.u64(self.entry_id.log_id)
+            .u64(self.entry_id.offset as u64)
+            .bytes(self.merkle_root.as_bytes())
+            .bytes(&proof_bytes)
+            .bytes(&self.leaf)
+            .bytes(&self.signature.to_bytes());
+        enc.finish()
+    }
+
+    /// Parses the wire form. The signature is structurally validated; full
+    /// verification still requires [`SignedResponse::verify`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<SignedResponse, CoreError> {
+        let mut dec = Decoder::new(bytes);
+        let log_id = dec.u64().map_err(CoreError::Decode)?;
+        let offset = dec.u64().map_err(CoreError::Decode)? as u32;
+        let root: [u8; 32] = dec.bytes_fixed().map_err(CoreError::Decode)?;
+        let proof_bytes = dec.bytes().map_err(CoreError::Decode)?;
+        let proof = merkle_proof_from_bytes(proof_bytes)?;
+        let leaf = dec.bytes().map_err(CoreError::Decode)?.to_vec();
+        let sig: [u8; 65] = dec.bytes_fixed().map_err(CoreError::Decode)?;
+        dec.finish().map_err(CoreError::Decode)?;
+        let entry_id = EntryId { log_id, offset };
+        let signature = Signature::from_bytes(&sig)
+            .map_err(|_| CoreError::BadResponseSignature { entry_id })?;
+        Ok(SignedResponse {
+            entry_id,
+            merkle_root: Hash32(root),
+            proof,
+            leaf,
+            signature,
+        })
+    }
+}
+
+/// Parses a Merkle proof, mapping the error into this crate's type.
+fn merkle_proof_from_bytes(bytes: &[u8]) -> Result<MerkleProof, CoreError> {
+    MerkleProof::from_bytes(bytes)
+        .map_err(|_| CoreError::RequestRejected("malformed merkle proof"))
+}
+
+/// The paper's stage-2 record `V = (i, R_f)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Stage2Record {
+    /// Log position.
+    pub log_id: u64,
+    /// The batch digest committed on-chain.
+    pub merkle_root: Hash32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wedge_crypto::Keypair;
+    use wedge_merkle::MerkleTree;
+
+    fn request(seq: u64) -> (Keypair, AppendRequest) {
+        let kp = Keypair::from_seed(b"types-publisher");
+        let req = AppendRequest::new(&kp.secret, seq, format!("payload-{seq}").into_bytes());
+        (kp, req)
+    }
+
+    #[test]
+    fn append_request_roundtrip() {
+        let (_, req) = request(7);
+        req.verify().unwrap();
+        let parsed = AppendRequest::from_leaf_bytes(&req.leaf_bytes()).unwrap();
+        assert_eq!(parsed.sequence, 7);
+        assert_eq!(parsed.payload, req.payload);
+        assert_eq!(parsed.publisher, req.publisher);
+        parsed.verify().unwrap();
+    }
+
+    #[test]
+    fn tampered_request_detected() {
+        let (_, mut req) = request(1);
+        req.payload.push(b'!');
+        assert!(req.verify().is_err());
+        let (_, mut req) = request(1);
+        req.sequence = 2;
+        assert!(req.verify().is_err());
+        let (_, mut req) = request(1);
+        req.publisher = Address([9; 20]);
+        assert!(req.verify().is_err());
+    }
+
+    #[test]
+    fn response_sign_verify_roundtrip() {
+        let node = Keypair::from_seed(b"types-node");
+        let (_, req) = request(3);
+        let leaves = vec![req.leaf_bytes(), b"other".to_vec()];
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        let response = SignedResponse::sign(
+            &node.secret,
+            EntryId { log_id: 5, offset: 0 },
+            tree.root(),
+            tree.prove(0).unwrap(),
+            req.leaf_bytes(),
+        );
+        response.verify(&node.public).unwrap();
+        response.verify_for_request(&node.public, &req).unwrap();
+        assert_eq!(response.request().unwrap().sequence, 3);
+    }
+
+    #[test]
+    fn response_detects_payload_swap() {
+        let node = Keypair::from_seed(b"types-node");
+        let (kp, req) = request(3);
+        let other = AppendRequest::new(&kp.secret, 4, b"other payload".to_vec());
+        let leaves = vec![req.leaf_bytes(), other.leaf_bytes()];
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        // Node responds with the WRONG entry for this request.
+        let response = SignedResponse::sign(
+            &node.secret,
+            EntryId { log_id: 5, offset: 1 },
+            tree.root(),
+            tree.prove(1).unwrap(),
+            other.leaf_bytes(),
+        );
+        // Structurally valid...
+        response.verify(&node.public).unwrap();
+        // ...but not for the client's request.
+        assert!(matches!(
+            response.verify_for_request(&node.public, &req),
+            Err(CoreError::LeafMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn response_detects_wrong_signer() {
+        let node = Keypair::from_seed(b"types-node");
+        let impostor = Keypair::from_seed(b"impostor");
+        let (_, req) = request(1);
+        let tree = MerkleTree::from_leaves(&[req.leaf_bytes()]).unwrap();
+        let response = SignedResponse::sign(
+            &impostor.secret,
+            EntryId { log_id: 0, offset: 0 },
+            tree.root(),
+            tree.prove(0).unwrap(),
+            req.leaf_bytes(),
+        );
+        assert!(response.verify(&node.public).is_err());
+    }
+
+    #[test]
+    fn response_detects_position_mismatch() {
+        let node = Keypair::from_seed(b"types-node");
+        let (_, req) = request(1);
+        let leaves = vec![req.leaf_bytes(), b"x".to_vec()];
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        // Claimed offset 1 but proof is for leaf 0.
+        let response = SignedResponse::sign(
+            &node.secret,
+            EntryId { log_id: 0, offset: 1 },
+            tree.root(),
+            tree.prove(0).unwrap(),
+            req.leaf_bytes(),
+        );
+        assert!(matches!(
+            response.verify(&node.public),
+            Err(CoreError::ProofPositionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn response_detects_tampered_proof() {
+        let node = Keypair::from_seed(b"types-node");
+        let (_, req) = request(1);
+        let leaves = vec![req.leaf_bytes(), b"x".to_vec()];
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        let mut response = SignedResponse::sign(
+            &node.secret,
+            EntryId { log_id: 0, offset: 0 },
+            tree.root(),
+            tree.prove(0).unwrap(),
+            req.leaf_bytes(),
+        );
+        // Tamper with the root after signing: signature check fails first.
+        response.merkle_root = Hash32([0xAA; 32]);
+        assert!(response.verify(&node.public).is_err());
+    }
+}

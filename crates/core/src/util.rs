@@ -1,0 +1,51 @@
+//! Small concurrency utilities.
+
+/// Applies `f` to every element of `items` across `threads` scoped workers,
+/// preserving order. Falls back to inline execution for tiny inputs.
+///
+/// This is the parallel-ECDSA pattern of the paper's prototype ("executed
+/// concurrently using all available CPU cores", §5).
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if threads <= 1 || items.len() < 4 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (input, output) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (item, slot) in input.iter().zip(output.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("parallel_map worker panicked");
+    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        let doubled = parallel_map(&items, 8, |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_tiny_inputs() {
+        assert_eq!(parallel_map(&[1, 2, 3], 1, |x| x + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map::<u32, u32, _>(&[], 8, |x| *x), Vec::<u32>::new());
+        assert_eq!(parallel_map(&[7], 8, |x| x * x), vec![49]);
+    }
+}

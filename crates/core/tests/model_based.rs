@@ -1,0 +1,167 @@
+//! Model-based testing: a long random sequence of appends, reads,
+//! sequence-lookups, audits and node restarts is executed against the real
+//! system AND an in-memory reference model; after every step the two must
+//! agree.
+//!
+//! This is the "many small correct steps compose" check that unit tests
+//! can't give: restarts interleave with appends, reads hit every region of
+//! the log, and verified phases must be monotone (an entry seen
+//! blockchain-committed can never regress).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wedge_chain::{Chain, ChainConfig, Wei};
+use wedge_core::{
+    deploy_service, CommitPhase, EntryId, NodeConfig, OffchainNode, Publisher, Reader,
+    ServiceConfig,
+};
+use wedge_crypto::signer::Identity;
+use wedge_sim::Clock;
+
+/// The reference model: what the log must contain.
+#[derive(Default)]
+struct Model {
+    /// All payloads in append order (global entry order).
+    entries: Vec<Vec<u8>>,
+    /// `(publisher_idx, sequence)` → global entry index.
+    by_sequence: HashMap<(usize, u64), usize>,
+    /// Next sequence per publisher.
+    next_seq: Vec<u64>,
+}
+
+const BATCH: usize = 16;
+
+fn entry_id_for(global: usize) -> EntryId {
+    EntryId { log_id: (global / BATCH) as u64, offset: (global % BATCH) as u32 }
+}
+
+#[test]
+fn random_workload_agrees_with_model() {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let clock = Clock::compressed(2000.0);
+    let chain = Chain::new(clock, ChainConfig::default());
+    let node_id = Identity::from_seed(b"model-node");
+    chain.fund(node_id.address(), Wei::from_eth(10_000));
+    let _miner = chain.start_miner();
+
+    let publishers: Vec<Identity> = (0..3)
+        .map(|i| Identity::from_seed(format!("model-pub-{i}").as_bytes()))
+        .collect();
+    for p in &publishers {
+        chain.fund(p.address(), Wei::from_eth(10));
+    }
+    let deployment = deploy_service(
+        &chain,
+        &node_id,
+        publishers[0].address(),
+        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+    )
+    .unwrap();
+    let dir = std::env::temp_dir().join(format!("wedge-model-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = || NodeConfig {
+        batch_size: BATCH,
+        batch_linger: Duration::from_millis(5),
+        ..Default::default()
+    };
+    let mut node = Arc::new(
+        OffchainNode::start(node_id.clone(), config(), Arc::clone(&chain), deployment.root_record, &dir)
+            .unwrap(),
+    );
+
+    let mut model = Model { next_seq: vec![0; publishers.len()], ..Default::default() };
+
+    for step in 0..60 {
+        match rng.gen_range(0..100) {
+            // ---- append a full batch from a random publisher (70%).
+            0..=69 => {
+                let who = rng.gen_range(0..publishers.len());
+                let payloads: Vec<Vec<u8>> = (0..BATCH)
+                    .map(|i| format!("step{step}-p{who}-e{i}-{}", rng.gen::<u32>()).into_bytes())
+                    .collect();
+                let mut publisher = Publisher::new(
+                    publishers[who].clone(),
+                    Arc::clone(&node),
+                    Arc::clone(&chain),
+                    deployment.root_record,
+                    None,
+                )
+                .with_starting_sequence(model.next_seq[who]);
+                let outcome = publisher.append_batch(payloads.clone()).unwrap();
+                assert_eq!(outcome.responses.len(), BATCH, "step {step}");
+                for payload in payloads {
+                    let global = model.entries.len();
+                    model.by_sequence.insert((who, model.next_seq[who]), global);
+                    model.next_seq[who] += 1;
+                    model.entries.push(payload);
+                }
+            }
+            // ---- random verified read by entry id (15%).
+            70..=84 => {
+                if model.entries.is_empty() {
+                    continue;
+                }
+                node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
+                let reader =
+                    Reader::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+                let global = rng.gen_range(0..model.entries.len());
+                let entry = reader.read(entry_id_for(global)).unwrap();
+                assert_eq!(
+                    entry.request.payload, model.entries[global],
+                    "step {step}: entry {global} diverged"
+                );
+                assert_eq!(entry.phase, CommitPhase::BlockchainCommitted);
+            }
+            // ---- random read by (publisher, sequence) (10%).
+            85..=94 => {
+                if model.by_sequence.is_empty() {
+                    continue;
+                }
+                let reader =
+                    Reader::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+                let (&(who, seq), &global) =
+                    model.by_sequence.iter().nth(rng.gen_range(0..model.by_sequence.len())).unwrap();
+                let entry = reader
+                    .read_lazy_by_sequence(publishers[who].address(), seq)
+                    .unwrap();
+                assert_eq!(entry.request.payload, model.entries[global], "step {step}");
+            }
+            // ---- restart the node (5%).
+            _ => {
+                node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
+                drop(node);
+                node = Arc::new(
+                    OffchainNode::start(
+                        node_id.clone(),
+                        config(),
+                        Arc::clone(&chain),
+                        deployment.root_record,
+                        &dir,
+                    )
+                    .unwrap(),
+                );
+                assert_eq!(
+                    node.entry_count(),
+                    model.entries.len() as u64,
+                    "step {step}: restart lost entries"
+                );
+            }
+        }
+        // Global invariants after every step.
+        assert_eq!(node.entry_count(), model.entries.len() as u64);
+        assert_eq!(node.log_positions(), (model.entries.len() / BATCH) as u64);
+    }
+
+    // Final sweep: every model entry is served verbatim and verified.
+    node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
+    let reader = Reader::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    for (global, payload) in model.entries.iter().enumerate() {
+        let entry = reader.read(entry_id_for(global)).unwrap();
+        assert_eq!(&entry.request.payload, payload);
+    }
+}

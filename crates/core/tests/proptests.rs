@@ -1,0 +1,105 @@
+//! Property-based tests for the protocol types: arbitrary payloads
+//! roundtrip through requests/leaves/responses, and every single-field
+//! tampering of a response is detected.
+
+use proptest::prelude::*;
+use wedge_core::types::{AppendRequest, EntryId, SignedResponse};
+use wedge_crypto::Keypair;
+use wedge_merkle::MerkleTree;
+
+fn arb_payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..256), 1..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn request_leaf_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..512), seq in any::<u64>()) {
+        let kp = Keypair::from_seed(b"prop-publisher");
+        let req = AppendRequest::new(&kp.secret, seq, payload.clone());
+        req.verify().unwrap();
+        let parsed = AppendRequest::from_leaf_bytes(&req.leaf_bytes()).unwrap();
+        parsed.verify().unwrap();
+        prop_assert_eq!(parsed.sequence, seq);
+        prop_assert_eq!(parsed.payload, payload);
+    }
+
+    #[test]
+    fn batch_responses_all_verify(payloads in arb_payloads(), log_id in 0u64..1000) {
+        let publisher = Keypair::from_seed(b"prop-pub2");
+        let node = Keypair::from_seed(b"prop-node");
+        let requests: Vec<AppendRequest> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| AppendRequest::new(&publisher.secret, i as u64, p.clone()))
+            .collect();
+        let leaves: Vec<Vec<u8>> = requests.iter().map(|r| r.leaf_bytes()).collect();
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        for (offset, request) in requests.iter().enumerate() {
+            let response = SignedResponse::sign(
+                &node.secret,
+                EntryId { log_id, offset: offset as u32 },
+                tree.root(),
+                tree.prove(offset).unwrap(),
+                leaves[offset].clone(),
+            );
+            response.verify(&node.public).unwrap();
+            response.verify_for_request(&node.public, request).unwrap();
+        }
+    }
+
+    #[test]
+    fn any_tampered_response_field_is_detected(
+        payloads in arb_payloads(),
+        which in 0usize..4,
+        flip in any::<u8>(),
+    ) {
+        prop_assume!(flip != 0);
+        let publisher = Keypair::from_seed(b"prop-pub3");
+        let node = Keypair::from_seed(b"prop-node3");
+        let requests: Vec<AppendRequest> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| AppendRequest::new(&publisher.secret, i as u64, p.clone()))
+            .collect();
+        let leaves: Vec<Vec<u8>> = requests.iter().map(|r| r.leaf_bytes()).collect();
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        let mut response = SignedResponse::sign(
+            &node.secret,
+            EntryId { log_id: 1, offset: 0 },
+            tree.root(),
+            tree.prove(0).unwrap(),
+            leaves[0].clone(),
+        );
+        match which {
+            0 => {
+                // Tamper with the leaf bytes.
+                let idx = (flip as usize) % response.leaf.len().max(1);
+                if response.leaf.is_empty() { return Ok(()); }
+                response.leaf[idx] ^= flip;
+            }
+            1 => {
+                // Tamper with the root.
+                response.merkle_root.0[(flip as usize) % 32] ^= flip;
+            }
+            2 => {
+                // Tamper with the claimed index.
+                response.entry_id = EntryId { log_id: 1, offset: 1 };
+            }
+            _ => {
+                // Tamper with the proof path (when one exists).
+                if response.proof.path.is_empty() { return Ok(()); }
+                let i = (flip as usize) % response.proof.path.len();
+                response.proof.path[i].hash.0[0] ^= flip;
+            }
+        }
+        prop_assert!(
+            response.verify(&node.public).is_err()
+                || response
+                    .verify_for_request(&node.public, &requests[0])
+                    .is_err(),
+            "tampering must be detected (case {which})"
+        );
+    }
+}

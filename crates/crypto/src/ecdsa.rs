@@ -1,0 +1,378 @@
+//! ECDSA over secp256k1 with RFC 6979 deterministic nonces and Ethereum-style
+//! public-key recovery.
+//!
+//! Recovery is the primitive behind the Punishment contract's
+//! `recoverSigner` (paper, Algorithm 2): given a signed off-chain response,
+//! the contract recovers the signing address on-chain without needing the
+//! public key in calldata.
+
+use crate::error::CryptoError;
+use crate::hash::HmacSha256;
+use crate::keys::{Address, PublicKey, SecretKey};
+use crate::secp256k1::scalar::N;
+use crate::secp256k1::{mul_generator, mul_point, Affine, Fe, Scalar};
+
+/// A recoverable ECDSA signature `(r, s, v)` with `s` normalized to the low
+/// half of the order (malleability protection, as enforced by Ethereum).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// x-coordinate of the nonce point, mod n.
+    pub r: Scalar,
+    /// Proof scalar, always in the low half.
+    pub s: Scalar,
+    /// Recovery id in 0..=3: bit 0 = parity of the nonce point's y; bit 1 =
+    /// whether the nonce point's x overflowed the group order.
+    pub v: u8,
+}
+
+impl Signature {
+    /// Serialized length: `r (32) || s (32) || v (1)`.
+    pub const LEN: usize = 65;
+
+    /// Serializes to 65 bytes.
+    pub fn to_bytes(&self) -> [u8; 65] {
+        let mut out = [0u8; 65];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..64].copy_from_slice(&self.s.to_be_bytes());
+        out[64] = self.v;
+        out
+    }
+
+    /// Parses from 65 bytes, enforcing canonical (low-s, in-range) form.
+    pub fn from_bytes(bytes: &[u8; 65]) -> Result<Signature, CryptoError> {
+        let mut rb = [0u8; 32];
+        let mut sb = [0u8; 32];
+        rb.copy_from_slice(&bytes[..32]);
+        sb.copy_from_slice(&bytes[32..64]);
+        let r = Scalar::from_be_bytes_checked(&rb).ok_or(CryptoError::InvalidSignature)?;
+        let s = Scalar::from_be_bytes_checked(&sb).ok_or(CryptoError::InvalidSignature)?;
+        let v = bytes[64];
+        if r.is_zero() || s.is_zero() || s.is_high() || v > 3 {
+            return Err(CryptoError::InvalidSignature);
+        }
+        Ok(Signature { r, s, v })
+    }
+}
+
+impl core::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Signature(r=0x{}…, s=0x{}…, v={})",
+            &self.r.to_u256().to_hex()[..8],
+            &self.s.to_u256().to_hex()[..8],
+            self.v
+        )
+    }
+}
+
+/// Derives the RFC 6979 deterministic nonce for `(secret, msg_hash)`.
+///
+/// Returns candidate scalars; the caller loops until one yields a valid
+/// signature (the first candidate virtually always does).
+struct Rfc6979 {
+    k: [u8; 32],
+    v: [u8; 32],
+}
+
+impl Rfc6979 {
+    fn new(secret: &SecretKey, msg_hash: &[u8; 32]) -> Rfc6979 {
+        // bits2octets(h1): reduce the hash mod n, then serialize.
+        let h_reduced = Scalar::from_be_bytes_reduced(msg_hash).to_be_bytes();
+        let x = secret.to_bytes();
+        let mut k = [0u8; 32];
+        let mut v = [1u8; 32];
+        // K = HMAC_K(V || 0x00 || x || h)
+        let mut mac = HmacSha256::new(&k);
+        mac.update(&v);
+        mac.update(&[0x00]);
+        mac.update(&x);
+        mac.update(&h_reduced);
+        k = mac.finalize();
+        // V = HMAC_K(V)
+        v = crate::hash::hmac_sha256(&k, &v);
+        // K = HMAC_K(V || 0x01 || x || h)
+        let mut mac = HmacSha256::new(&k);
+        mac.update(&v);
+        mac.update(&[0x01]);
+        mac.update(&x);
+        mac.update(&h_reduced);
+        k = mac.finalize();
+        v = crate::hash::hmac_sha256(&k, &v);
+        Rfc6979 { k, v }
+    }
+
+    /// Produces the next candidate nonce.
+    fn next(&mut self) -> Option<Scalar> {
+        self.v = crate::hash::hmac_sha256(&self.k, &self.v);
+        let candidate = Scalar::from_be_bytes_checked(&self.v);
+        // Prepare state for a potential retry.
+        let mut mac = HmacSha256::new(&self.k);
+        mac.update(&self.v);
+        mac.update(&[0x00]);
+        self.k = mac.finalize();
+        self.v = crate::hash::hmac_sha256(&self.k, &self.v);
+        match candidate {
+            Some(k) if !k.is_zero() => Some(k),
+            _ => None,
+        }
+    }
+}
+
+/// Signs a prehashed 32-byte message, returning a recoverable signature.
+pub fn sign_prehashed(secret: &SecretKey, msg_hash: &[u8; 32]) -> Signature {
+    let z = Scalar::from_be_bytes_reduced(msg_hash);
+    let d = secret.scalar();
+    let mut nonce_gen = Rfc6979::new(secret, msg_hash);
+    loop {
+        let Some(k) = nonce_gen.next() else { continue };
+        let point = mul_generator(&k).to_affine();
+        if point.infinity {
+            continue;
+        }
+        let x_int = point.x.to_u256();
+        let r = Scalar::from_u256(x_int);
+        if r.is_zero() {
+            continue;
+        }
+        let k_inv = k.invert().expect("nonce is non-zero");
+        let mut s = k_inv.mul(&z.add(&r.mul(d)));
+        if s.is_zero() {
+            continue;
+        }
+        let mut v = point.y.is_odd() as u8;
+        if x_int >= N {
+            v |= 2;
+        }
+        if s.is_high() {
+            // Normalizing s to the low half negates the nonce point's y.
+            s = s.neg();
+            v ^= 1;
+        }
+        return Signature { r, s, v };
+    }
+}
+
+/// Verifies a signature over a prehashed message against a public key.
+pub fn verify_prehashed(
+    public: &PublicKey,
+    msg_hash: &[u8; 32],
+    sig: &Signature,
+) -> Result<(), CryptoError> {
+    if sig.r.is_zero() || sig.s.is_zero() || sig.s.is_high() {
+        return Err(CryptoError::InvalidSignature);
+    }
+    let z = Scalar::from_be_bytes_reduced(msg_hash);
+    let s_inv = sig.s.invert().ok_or(CryptoError::InvalidSignature)?;
+    let u1 = z.mul(&s_inv);
+    let u2 = sig.r.mul(&s_inv);
+    let point = mul_generator(&u1)
+        .add(&mul_point(public.point(), &u2))
+        .to_affine();
+    if point.infinity {
+        return Err(CryptoError::VerificationFailed);
+    }
+    let r_candidate = Scalar::from_u256(point.x.to_u256());
+    if r_candidate == sig.r {
+        Ok(())
+    } else {
+        Err(CryptoError::VerificationFailed)
+    }
+}
+
+/// Recovers the signer's public key from a signature over a prehashed
+/// message.
+pub fn recover_prehashed(
+    msg_hash: &[u8; 32],
+    sig: &Signature,
+) -> Result<PublicKey, CryptoError> {
+    if sig.r.is_zero() || sig.s.is_zero() || sig.v > 3 {
+        return Err(CryptoError::InvalidSignature);
+    }
+    // Reconstruct the nonce point's x as a field element; add n back if the
+    // recovery id says it overflowed.
+    let mut x_int = sig.r.to_u256();
+    if sig.v & 2 != 0 {
+        let (sum, carry) = x_int.overflowing_add(&N);
+        // x + n must still be a valid field element (< p); since p > n this
+        // only fails for a vanishingly small range, which we reject.
+        if carry || sum >= crate::secp256k1::field::P {
+            return Err(CryptoError::RecoveryFailed);
+        }
+        x_int = sum;
+    }
+    let x = Fe::from_u256(x_int);
+    let nonce_point =
+        Affine::lift_x(x, sig.v & 1 == 1).ok_or(CryptoError::RecoveryFailed)?;
+    let z = Scalar::from_be_bytes_reduced(msg_hash);
+    let r_inv = sig.r.invert().ok_or(CryptoError::InvalidSignature)?;
+    // Q = r^-1 (s*R - z*G)
+    let s_r = mul_point(&nonce_point, &sig.s);
+    let z_g = mul_generator(&z.neg());
+    let q = s_r.add(&z_g);
+    let q_affine = mul_point(&q.to_affine(), &r_inv).to_affine();
+    if q_affine.infinity {
+        return Err(CryptoError::RecoveryFailed);
+    }
+    PublicKey::from_point(q_affine)
+}
+
+/// Recovers the signer's address — the on-chain `recoverSigner` primitive.
+pub fn recover_address(msg_hash: &[u8; 32], sig: &Signature) -> Result<Address, CryptoError> {
+    Ok(recover_prehashed(msg_hash, sig)?.address())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::keccak256;
+    use crate::keys::Keypair;
+
+    fn hash(msg: &[u8]) -> [u8; 32] {
+        keccak256(msg)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = Keypair::from_seed(b"signer");
+        let h = hash(b"hello wedgeblock");
+        let sig = sign_prehashed(&kp.secret, &h);
+        verify_prehashed(&kp.public, &h, &sig).unwrap();
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let kp = Keypair::from_seed(b"det");
+        let h = hash(b"same message");
+        assert_eq!(
+            sign_prehashed(&kp.secret, &h).to_bytes(),
+            sign_prehashed(&kp.secret, &h).to_bytes()
+        );
+    }
+
+    #[test]
+    fn wrong_message_fails() {
+        let kp = Keypair::from_seed(b"wm");
+        let sig = sign_prehashed(&kp.secret, &hash(b"a"));
+        assert_eq!(
+            verify_prehashed(&kp.public, &hash(b"b"), &sig),
+            Err(CryptoError::VerificationFailed)
+        );
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp1 = Keypair::from_seed(b"k1");
+        let kp2 = Keypair::from_seed(b"k2");
+        let h = hash(b"msg");
+        let sig = sign_prehashed(&kp1.secret, &h);
+        assert!(verify_prehashed(&kp2.public, &h, &sig).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let kp = Keypair::from_seed(b"tamper");
+        let h = hash(b"msg");
+        let sig = sign_prehashed(&kp.secret, &h);
+        let tampered = Signature { r: sig.r.add(&Scalar::ONE), ..sig };
+        assert!(verify_prehashed(&kp.public, &h, &tampered).is_err());
+    }
+
+    #[test]
+    fn recovery_returns_signer() {
+        for seed in [b"r1".as_slice(), b"r2", b"r3", b"r4", b"r5"] {
+            let kp = Keypair::from_seed(seed);
+            let h = hash(seed);
+            let sig = sign_prehashed(&kp.secret, &h);
+            let recovered = recover_prehashed(&h, &sig).unwrap();
+            assert_eq!(recovered, kp.public, "seed {seed:?}");
+            assert_eq!(recover_address(&h, &sig).unwrap(), kp.address);
+        }
+    }
+
+    #[test]
+    fn recovery_with_flipped_v_gives_other_key() {
+        let kp = Keypair::from_seed(b"flip");
+        let h = hash(b"m");
+        let sig = sign_prehashed(&kp.secret, &h);
+        let flipped = Signature { v: sig.v ^ 1, ..sig };
+        // Either recovery fails or it yields a different key.
+        match recover_prehashed(&h, &flipped) {
+            Ok(pk) => assert_ne!(pk, kp.public),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn signature_serialization_roundtrip() {
+        let kp = Keypair::from_seed(b"ser");
+        let h = hash(b"sermsg");
+        let sig = sign_prehashed(&kp.secret, &h);
+        let bytes = sig.to_bytes();
+        let parsed = Signature::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, sig);
+    }
+
+    #[test]
+    fn high_s_rejected_on_parse() {
+        let kp = Keypair::from_seed(b"hs");
+        let h = hash(b"m");
+        let sig = sign_prehashed(&kp.secret, &h);
+        // Re-encode with s' = n - s (the high twin).
+        let mut bytes = sig.to_bytes();
+        let s_high = sig.s.neg();
+        bytes[32..64].copy_from_slice(&s_high.to_be_bytes());
+        assert_eq!(Signature::from_bytes(&bytes), Err(CryptoError::InvalidSignature));
+    }
+
+    #[test]
+    fn produced_signatures_are_low_s() {
+        for i in 0..20u32 {
+            let kp = Keypair::from_seed(&i.to_be_bytes());
+            let sig = sign_prehashed(&kp.secret, &hash(&i.to_le_bytes()));
+            assert!(!sig.s.is_high());
+            assert!(sig.v <= 3);
+        }
+    }
+
+    #[test]
+    fn malformed_signature_bytes_rejected() {
+        // r = 0
+        let mut bytes = [0u8; 65];
+        bytes[63] = 1; // s = 1
+        assert!(Signature::from_bytes(&bytes).is_err());
+        // v out of range
+        let kp = Keypair::from_seed(b"vrange");
+        let mut good = sign_prehashed(&kp.secret, &hash(b"x")).to_bytes();
+        good[64] = 4;
+        assert!(Signature::from_bytes(&good).is_err());
+    }
+
+    #[test]
+    fn cross_message_recovery_mismatch() {
+        // A signature recovered against the wrong message hash yields a key
+        // that does not verify the original message — the property the
+        // punishment contract relies on.
+        let kp = Keypair::from_seed(b"cross");
+        let h1 = hash(b"committed entry");
+        let h2 = hash(b"forged entry");
+        let sig = sign_prehashed(&kp.secret, &h1);
+        if let Ok(pk) = recover_prehashed(&h2, &sig) {
+            assert_ne!(pk.address(), kp.address);
+        }
+    }
+
+    #[test]
+    fn known_key_signature_verifies_with_generator_pubkey() {
+        // secret = 1 → pubkey = G; exercise the minimal scalar path.
+        let mut one = [0u8; 32];
+        one[31] = 1;
+        let sk = SecretKey::from_bytes(&one).unwrap();
+        let pk = sk.public_key();
+        assert_eq!(*pk.point(), Affine::GENERATOR);
+        let h = hash(b"unit key");
+        let sig = sign_prehashed(&sk, &h);
+        verify_prehashed(&pk, &h, &sig).unwrap();
+        assert_eq!(recover_prehashed(&h, &sig).unwrap(), pk);
+    }
+}

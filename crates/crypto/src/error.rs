@@ -1,0 +1,44 @@
+//! Error type for cryptographic operations.
+
+use std::fmt;
+
+/// Errors produced by key handling, signing, verification and recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The secret key is zero or not less than the group order.
+    InvalidSecretKey,
+    /// The encoded public key is not a valid curve point.
+    InvalidPublicKey,
+    /// A signature component (`r` or `s`) is zero or not less than the
+    /// group order, or the recovery id is out of range.
+    InvalidSignature,
+    /// Signature verification failed (the signature does not match the
+    /// message/key).
+    VerificationFailed,
+    /// Public-key recovery failed (no valid point for the given signature).
+    RecoveryFailed,
+    /// Input had an unexpected length.
+    InvalidLength {
+        /// Expected byte length.
+        expected: usize,
+        /// Actual byte length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidSecretKey => write!(f, "invalid secret key"),
+            CryptoError::InvalidPublicKey => write!(f, "invalid public key encoding"),
+            CryptoError::InvalidSignature => write!(f, "malformed signature"),
+            CryptoError::VerificationFailed => write!(f, "signature verification failed"),
+            CryptoError::RecoveryFailed => write!(f, "public key recovery failed"),
+            CryptoError::InvalidLength { expected, actual } => {
+                write!(f, "invalid input length: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,51 @@
+//! # wedge-crypto
+//!
+//! From-scratch cryptographic substrate for the WedgeBlock reproduction:
+//!
+//! - **Hashes**: Keccak-256 (Ethereum flavour), SHA-256, HMAC-SHA256.
+//! - **secp256k1**: base-field and scalar arithmetic over hand-rolled 256-bit
+//!   integers, Jacobian point operations, windowed scalar multiplication.
+//! - **ECDSA**: RFC 6979 deterministic signing, verification, and — crucially
+//!   for the Punishment contract's `recoverSigner` — public-key recovery.
+//! - **Keys**: secret/public keypairs and Ethereum-style 20-byte addresses.
+//! - **Batch helpers**: parallel signing/verification mirroring the paper's
+//!   multi-core prototype.
+//!
+//! Nothing here depends on external crypto crates; every primitive is
+//! implemented in this crate and validated against published test vectors
+//! (FIPS 180-4, RFC 4231, the Bitcoin-ecosystem RFC 6979 secp256k1 vectors)
+//! plus property-based tests.
+//!
+//! # Security scope
+//!
+//! This implementation targets *functional* correctness for a research
+//! reproduction. It is **not** hardened against side channels: scalar
+//! multiplication is not constant-time, and secrets are not zeroized on
+//! drop. Do not use it to protect real funds.
+//!
+//! ```
+//! use wedge_crypto::{Identity, recover_message_signer};
+//!
+//! let node = Identity::from_seed(b"offchain-node");
+//! let sig = node.sign(b"log entry digest");
+//! assert_eq!(recover_message_signer(b"log entry digest", &sig).unwrap(), node.address());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ecdsa;
+pub mod error;
+pub mod hash;
+pub mod keys;
+pub mod secp256k1;
+pub mod signer;
+pub mod uint;
+
+pub use ecdsa::{recover_address, recover_prehashed, sign_prehashed, verify_prehashed, Signature};
+pub use error::CryptoError;
+pub use hash::{keccak256, sha256, Hash32};
+pub use keys::{Address, Keypair, PublicKey, SecretKey};
+pub use signer::{
+    recover_message_signer, sign_batch_parallel, sign_message, verify_batch_parallel,
+    verify_message, Identity,
+};

@@ -1,0 +1,305 @@
+//! Arithmetic in the secp256k1 base field GF(p), with
+//! `p = 2^256 - 2^32 - 977`.
+//!
+//! Reduction exploits the Mersenne-like shape of `p`: for a 512-bit product
+//! `hi·2^256 + lo`, we have `2^256 ≡ C (mod p)` with `C = 2^32 + 977`, so the
+//! product reduces to `hi·C + lo` in two cheap folding passes.
+
+use crate::uint::U256;
+
+/// The field modulus `p`.
+pub const P: U256 = U256::from_be_hex(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+);
+
+/// `2^256 mod p = 2^32 + 977`.
+const C: u64 = 0x1_0000_03D1;
+
+/// An element of GF(p), kept fully reduced (`0 <= value < p`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Fe(U256);
+
+impl Fe {
+    /// Additive identity.
+    pub const ZERO: Fe = Fe(U256::ZERO);
+    /// Multiplicative identity.
+    pub const ONE: Fe = Fe(U256::ONE);
+
+    /// The curve equation constant `b = 7` in `y^2 = x^3 + 7`.
+    pub const SEVEN: Fe = Fe(U256::from_limbs([7, 0, 0, 0]));
+
+    /// Builds a field element, reducing mod p if necessary.
+    pub fn from_u256(v: U256) -> Fe {
+        let mut v = v;
+        while v >= P {
+            v = v.wrapping_sub(&P);
+        }
+        Fe(v)
+    }
+
+    /// Builds from big-endian bytes; values >= p are reduced.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Fe {
+        Fe::from_u256(U256::from_be_bytes(bytes))
+    }
+
+    /// Parses a 64-nibble big-endian hex constant.
+    pub const fn from_be_hex(s: &str) -> Fe {
+        // Constants must already be < p; checked in tests.
+        Fe(U256::from_be_hex(s))
+    }
+
+    /// Builds from a small integer.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe(U256::from_u64(v))
+    }
+
+    /// The canonical integer representative.
+    #[inline]
+    pub fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// Big-endian byte serialization.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// True iff zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// True iff the canonical representative is odd.
+    #[inline]
+    pub fn is_odd(&self) -> bool {
+        self.0.is_odd()
+    }
+
+    /// Field addition.
+    #[inline]
+    pub fn add(&self, rhs: &Fe) -> Fe {
+        let (sum, carry) = self.0.overflowing_add(&rhs.0);
+        let mut v = sum;
+        if carry || v >= P {
+            v = v.wrapping_sub(&P);
+        }
+        Fe(v)
+    }
+
+    /// Field negation.
+    #[inline]
+    pub fn neg(&self) -> Fe {
+        if self.is_zero() {
+            Fe::ZERO
+        } else {
+            Fe(P.wrapping_sub(&self.0))
+        }
+    }
+
+    /// Field subtraction.
+    #[inline]
+    pub fn sub(&self, rhs: &Fe) -> Fe {
+        self.add(&rhs.neg())
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, rhs: &Fe) -> Fe {
+        let wide = self.0.mul_wide(&rhs.0);
+        Fe(reduce_wide(wide.split()))
+    }
+
+    /// Field squaring.
+    #[inline]
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiplies by a small constant.
+    pub fn mul_u64(&self, k: u64) -> Fe {
+        let (lo, hi) = self.0.mul_u64(k);
+        Fe(reduce_wide((lo, U256::from_u64(hi))))
+    }
+
+    /// Doubles the element.
+    #[inline]
+    pub fn double(&self) -> Fe {
+        self.add(self)
+    }
+
+    /// Exponentiation by an arbitrary 256-bit exponent (square-and-multiply).
+    pub fn pow(&self, exp: &U256) -> Fe {
+        let mut result = Fe::ONE;
+        let bits = exp.bits();
+        for i in (0..bits).rev() {
+            result = result.square();
+            if exp.bit(i) {
+                result = result.mul(self);
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`a^(p-2)`).
+    ///
+    /// Returns `None` for zero.
+    pub fn invert(&self) -> Option<Fe> {
+        if self.is_zero() {
+            return None;
+        }
+        let p_minus_2 = P.wrapping_sub(&U256::from_u64(2));
+        Some(self.pow(&p_minus_2))
+    }
+
+    /// Square root, if one exists. Since `p ≡ 3 (mod 4)`, the candidate is
+    /// `a^((p+1)/4)`; we verify and return `None` for non-residues.
+    pub fn sqrt(&self) -> Option<Fe> {
+        // p + 1 never overflows: p < 2^256 - 1.
+        let exp = P.wrapping_add(&U256::ONE).shr(2);
+        let candidate = self.pow(&exp);
+        if candidate.square() == *self {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+}
+
+/// Reduces a 512-bit value `(lo, hi)` to a canonical field element using
+/// `2^256 ≡ C (mod p)`.
+fn reduce_wide((lo, hi): (U256, U256)) -> U256 {
+    // Fold 1: acc = lo + hi * C. hi*C < 2^289, so acc < 2^290; track the
+    // overflow limbs exactly.
+    let (hi_c, hi_c_carry) = hi.mul_u64(C);
+    let (acc, carry1) = lo.overflowing_add(&hi_c);
+    // overflow beyond 256 bits: hi_c_carry + carry1 (both small).
+    let overflow = hi_c_carry + carry1 as u64; // < 2^34
+
+    // Fold 2: acc += overflow * C. overflow*C < 2^98 fits well within U256.
+    let (of_c_lo, of_c_hi) = U256::from_u64(overflow).mul_u64(C);
+    debug_assert_eq!(of_c_hi, 0);
+    let (mut acc, carry2) = acc.overflowing_add(&of_c_lo);
+    if carry2 {
+        // Extremely rare: one more fold of a single 2^256 ≡ C.
+        acc = acc.wrapping_add(&U256::from_u64(C));
+    }
+    while acc >= P {
+        acc = acc.wrapping_sub(&P);
+    }
+    acc
+}
+
+impl core::fmt::Debug for Fe {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fe(0x{})", self.0.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(v: u64) -> Fe {
+        Fe::from_u64(v)
+    }
+
+    #[test]
+    fn modulus_shape() {
+        // p = 2^256 - C exactly.
+        let (sum, carry) = P.overflowing_add(&U256::from_u64(C));
+        assert!(carry);
+        assert!(sum.is_zero());
+    }
+
+    #[test]
+    fn add_wraps_modulus() {
+        let p_minus_1 = Fe::from_u256(P.wrapping_sub(&U256::ONE));
+        assert_eq!(p_minus_1.add(&Fe::ONE), Fe::ZERO);
+        assert_eq!(p_minus_1.add(&fe(2)), Fe::ONE);
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let a = fe(5);
+        let b = fe(9);
+        // 5 - 9 = -4 = p - 4
+        let expect = Fe::from_u256(P.wrapping_sub(&U256::from_u64(4)));
+        assert_eq!(a.sub(&b), expect);
+        assert_eq!(a.sub(&b).add(&b), a);
+        assert_eq!(a.neg().add(&a), Fe::ZERO);
+        assert_eq!(Fe::ZERO.neg(), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_repeated_addition() {
+        let a = Fe::from_be_hex(
+            "00000000000000000000000000000000000000000000000000000000deadbeef",
+        );
+        let mut sum = Fe::ZERO;
+        for _ in 0..1000 {
+            sum = sum.add(&a);
+        }
+        assert_eq!(a.mul_u64(1000), sum);
+        assert_eq!(a.mul(&fe(1000)), sum);
+    }
+
+    #[test]
+    fn mul_near_modulus() {
+        // (p-1)^2 mod p = 1
+        let p_minus_1 = Fe::from_u256(P.wrapping_sub(&U256::ONE));
+        assert_eq!(p_minus_1.mul(&p_minus_1), Fe::ONE);
+        // (p-1) * 2 = p - 2
+        assert_eq!(
+            p_minus_1.double(),
+            Fe::from_u256(P.wrapping_sub(&U256::from_u64(2)))
+        );
+    }
+
+    #[test]
+    fn invert() {
+        let a = Fe::from_be_hex(
+            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+        );
+        let inv = a.invert().unwrap();
+        assert_eq!(a.mul(&inv), Fe::ONE);
+        assert!(Fe::ZERO.invert().is_none());
+        assert_eq!(Fe::ONE.invert().unwrap(), Fe::ONE);
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        let a = fe(1234567);
+        let sq = a.square();
+        let root = sq.sqrt().expect("square must be a residue");
+        assert!(root == a || root == a.neg());
+    }
+
+    #[test]
+    fn sqrt_non_residue() {
+        // For p ≡ 3 mod 4, exactly one of (a, -a) is a residue when a != 0;
+        // find a non-residue and check it fails.
+        let a = fe(5);
+        let sq = a.square();
+        assert!(sq.sqrt().is_some());
+        // 7 is the curve b; y^2 = 7 has solutions iff 7 is a residue. Either
+        // way, sqrt of a residue squared must verify; check a known
+        // non-residue: p-1 (i.e. -1) is a non-residue when p ≡ 3 mod 4.
+        let minus_one = Fe::ONE.neg();
+        assert!(minus_one.sqrt().is_none());
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let a = fe(3);
+        assert_eq!(a.pow(&U256::ZERO), Fe::ONE);
+        assert_eq!(a.pow(&U256::ONE), a);
+        assert_eq!(a.pow(&U256::from_u64(5)), fe(243));
+    }
+
+    #[test]
+    fn from_u256_reduces() {
+        assert_eq!(Fe::from_u256(P), Fe::ZERO);
+        assert_eq!(Fe::from_u256(P.wrapping_add(&U256::ONE)), Fe::ONE);
+        assert_eq!(Fe::from_u256(U256::MAX), Fe::from_u64(C - 1));
+    }
+}

@@ -1,0 +1,11 @@
+//! A from-scratch implementation of the secp256k1 elliptic curve:
+//! base-field and scalar arithmetic, Jacobian point operations, and the
+//! windowed scalar multiplications ECDSA needs.
+
+pub mod field;
+pub mod point;
+pub mod scalar;
+
+pub use field::Fe;
+pub use point::{mul_double, mul_generator, mul_point, Affine, Jacobian};
+pub use scalar::Scalar;

@@ -1,0 +1,456 @@
+//! Group arithmetic on the secp256k1 curve `y^2 = x^3 + 7` over GF(p).
+//!
+//! Points are manipulated in Jacobian projective coordinates
+//! (`x = X/Z^2, y = Y/Z^3`) to avoid per-operation field inversions; a single
+//! inversion converts back to affine. Scalar multiplication uses a 4-bit
+//! fixed window; multiplications by the generator use a lazily built
+//! precomputed window table.
+
+use std::sync::OnceLock;
+
+use super::field::Fe;
+use super::scalar::Scalar;
+
+/// Generator x-coordinate.
+const GX: Fe = Fe::from_be_hex(
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+);
+/// Generator y-coordinate.
+const GY: Fe = Fe::from_be_hex(
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
+);
+
+/// A point in affine coordinates, or the point at infinity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Affine {
+    /// x-coordinate (meaningless when `infinity`).
+    pub x: Fe,
+    /// y-coordinate (meaningless when `infinity`).
+    pub y: Fe,
+    /// Marker for the group identity.
+    pub infinity: bool,
+}
+
+/// A point in Jacobian projective coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct Jacobian {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+}
+
+impl Affine {
+    /// The group identity.
+    pub const INFINITY: Affine = Affine { x: Fe::ZERO, y: Fe::ZERO, infinity: true };
+
+    /// The standard generator G.
+    pub const GENERATOR: Affine = Affine { x: GX, y: GY, infinity: false };
+
+    /// Constructs a point from coordinates, verifying the curve equation.
+    pub fn new(x: Fe, y: Fe) -> Option<Affine> {
+        let p = Affine { x, y, infinity: false };
+        if p.is_on_curve() {
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    /// Checks `y^2 = x^3 + 7`.
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        let lhs = self.y.square();
+        let rhs = self.x.square().mul(&self.x).add(&Fe::SEVEN);
+        lhs == rhs
+    }
+
+    /// Recovers a point from an x-coordinate and the parity of y.
+    ///
+    /// Returns `None` if `x^3 + 7` is a non-residue (x not on the curve).
+    pub fn lift_x(x: Fe, y_is_odd: bool) -> Option<Affine> {
+        let y2 = x.square().mul(&x).add(&Fe::SEVEN);
+        let mut y = y2.sqrt()?;
+        if y.is_odd() != y_is_odd {
+            y = y.neg();
+        }
+        Some(Affine { x, y, infinity: false })
+    }
+
+    /// Point negation.
+    pub fn neg(&self) -> Affine {
+        Affine { x: self.x, y: self.y.neg(), infinity: self.infinity }
+    }
+
+    /// Serializes as 64 uncompressed bytes `x || y` (no 0x04 prefix, the
+    /// Ethereum convention for address derivation).
+    pub fn to_bytes_uncompressed(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.x.to_be_bytes());
+        out[32..].copy_from_slice(&self.y.to_be_bytes());
+        out
+    }
+
+    /// Parses 64 uncompressed bytes, verifying the curve equation.
+    pub fn from_bytes_uncompressed(bytes: &[u8; 64]) -> Option<Affine> {
+        let mut xb = [0u8; 32];
+        let mut yb = [0u8; 32];
+        xb.copy_from_slice(&bytes[..32]);
+        yb.copy_from_slice(&bytes[32..]);
+        Affine::new(Fe::from_be_bytes(&xb), Fe::from_be_bytes(&yb))
+    }
+
+    /// Serializes as 33 compressed bytes (`02/03 || x`).
+    pub fn to_bytes_compressed(&self) -> [u8; 33] {
+        let mut out = [0u8; 33];
+        out[0] = if self.y.is_odd() { 0x03 } else { 0x02 };
+        out[1..].copy_from_slice(&self.x.to_be_bytes());
+        out
+    }
+
+    /// Parses 33 compressed bytes.
+    pub fn from_bytes_compressed(bytes: &[u8; 33]) -> Option<Affine> {
+        let y_is_odd = match bytes[0] {
+            0x02 => false,
+            0x03 => true,
+            _ => return None,
+        };
+        let mut xb = [0u8; 32];
+        xb.copy_from_slice(&bytes[1..]);
+        Affine::lift_x(Fe::from_be_bytes(&xb), y_is_odd)
+    }
+
+    /// Converts to Jacobian coordinates.
+    pub fn to_jacobian(&self) -> Jacobian {
+        if self.infinity {
+            Jacobian::INFINITY
+        } else {
+            Jacobian { x: self.x, y: self.y, z: Fe::ONE }
+        }
+    }
+}
+
+impl Jacobian {
+    /// The group identity (Z = 0 convention).
+    pub const INFINITY: Jacobian = Jacobian { x: Fe::ONE, y: Fe::ONE, z: Fe::ZERO };
+
+    /// True iff the identity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts back to affine (one field inversion).
+    pub fn to_affine(&self) -> Affine {
+        if self.is_infinity() {
+            return Affine::INFINITY;
+        }
+        let z_inv = self.z.invert().expect("non-zero z");
+        let z_inv2 = z_inv.square();
+        let z_inv3 = z_inv2.mul(&z_inv);
+        Affine { x: self.x.mul(&z_inv2), y: self.y.mul(&z_inv3), infinity: false }
+    }
+
+    /// Point doubling (a = 0 curve; standard dbl-2009-l formulas).
+    pub fn double(&self) -> Jacobian {
+        if self.is_infinity() || self.y.is_zero() {
+            return Jacobian::INFINITY;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        // D = 2*((X+B)^2 - A - C)
+        let d = self.x.add(&b).square().sub(&a).sub(&c).double();
+        let e = a.mul_u64(3);
+        let f = e.square();
+        let x3 = f.sub(&d.double());
+        let y3 = e.mul(&d.sub(&x3)).sub(&c.mul_u64(8));
+        let z3 = self.y.mul(&self.z).double();
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// General Jacobian + Jacobian addition.
+    pub fn add(&self, rhs: &Jacobian) -> Jacobian {
+        if self.is_infinity() {
+            return *rhs;
+        }
+        if rhs.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = rhs.z.square();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = rhs.x.mul(&z1z1);
+        let s1 = self.y.mul(&z2z2).mul(&rhs.z);
+        let s2 = rhs.y.mul(&z1z1).mul(&self.z);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Jacobian::INFINITY;
+        }
+        let h = u2.sub(&u1);
+        let i = h.double().square();
+        let j = h.mul(&i);
+        let r = s2.sub(&s1).double();
+        let v = u1.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v.double());
+        let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
+        let z3 = self.z.add(&rhs.z).square().sub(&z1z1).sub(&z2z2).mul(&h);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// Mixed addition with an affine point (cheaper: Z2 = 1).
+    pub fn add_affine(&self, rhs: &Affine) -> Jacobian {
+        if rhs.infinity {
+            return *self;
+        }
+        if self.is_infinity() {
+            return rhs.to_jacobian();
+        }
+        let z1z1 = self.z.square();
+        let u2 = rhs.x.mul(&z1z1);
+        let s2 = rhs.y.mul(&z1z1).mul(&self.z);
+        if self.x == u2 {
+            if self.y == s2 {
+                return self.double();
+            }
+            return Jacobian::INFINITY;
+        }
+        let h = u2.sub(&self.x);
+        let hh = h.square();
+        let i = hh.double().double();
+        let j = h.mul(&i);
+        let r = s2.sub(&self.y).double();
+        let v = self.x.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v.double());
+        let y3 = r.mul(&v.sub(&x3)).sub(&self.y.mul(&j).double());
+        let z3 = self.z.add(&h).square().sub(&z1z1).sub(&hh);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+}
+
+/// Window width (bits) for scalar multiplication.
+const WINDOW: usize = 4;
+/// Table entries per window: odd multiples not needed for fixed window —
+/// we store 1..=15 multiples.
+const TABLE_LEN: usize = (1 << WINDOW) - 1;
+
+/// Multiplies an arbitrary point by a scalar (4-bit fixed window).
+pub fn mul_point(point: &Affine, k: &Scalar) -> Jacobian {
+    if point.infinity || k.is_zero() {
+        return Jacobian::INFINITY;
+    }
+    // Build 1P..15P on the fly.
+    let mut table = [Jacobian::INFINITY; TABLE_LEN];
+    table[0] = point.to_jacobian();
+    for i in 1..TABLE_LEN {
+        table[i] = table[i - 1].add_affine(point);
+    }
+    let bytes = k.to_be_bytes();
+    let mut acc = Jacobian::INFINITY;
+    for byte in bytes {
+        for nibble in [byte >> 4, byte & 0x0F] {
+            for _ in 0..WINDOW {
+                acc = acc.double();
+            }
+            if nibble != 0 {
+                acc = acc.add(&table[(nibble - 1) as usize]);
+            }
+        }
+    }
+    acc
+}
+
+/// Precomputed window table for the generator: for each of the 64 nibble
+/// positions, the affine points `d * 16^w * G` for digit `d` in 1..=15.
+struct GenTable {
+    windows: Vec<[Affine; TABLE_LEN]>,
+}
+
+fn gen_table() -> &'static GenTable {
+    static TABLE: OnceLock<GenTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut windows = Vec::with_capacity(64);
+        let mut base = Affine::GENERATOR.to_jacobian();
+        for _ in 0..64 {
+            let mut entries = [Affine::INFINITY; TABLE_LEN];
+            let mut acc = base;
+            for slot in entries.iter_mut() {
+                *slot = acc.to_affine();
+                acc = acc.add(&base);
+            }
+            // Advance base to 16 * base: acc currently is 16*base.
+            base = acc;
+            windows.push(entries);
+        }
+        GenTable { windows }
+    })
+}
+
+/// Multiplies the generator by a scalar using the precomputed table
+/// (64 mixed additions, no doublings).
+pub fn mul_generator(k: &Scalar) -> Jacobian {
+    if k.is_zero() {
+        return Jacobian::INFINITY;
+    }
+    let table = gen_table();
+    let bytes = k.to_be_bytes();
+    let mut acc = Jacobian::INFINITY;
+    // Window w covers nibble w counting from the least-significant nibble.
+    for w in 0..64 {
+        let byte = bytes[31 - w / 2];
+        let nibble = if w % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+        if nibble != 0 {
+            acc = acc.add_affine(&table.windows[w][(nibble - 1) as usize]);
+        }
+    }
+    acc
+}
+
+/// Computes `a*G + b*Q` (the ECDSA verification combination).
+pub fn mul_double(a: &Scalar, b: &Scalar, q: &Affine) -> Jacobian {
+    mul_generator(a).add(&mul_point(q, b))
+}
+
+/// Returns the generator order-related helper: x-coordinate of `k*G` as an
+/// integer (used by ECDSA signing for `r`).
+pub fn generator_x(k: &Scalar) -> Option<(Fe, bool, bool)> {
+    let point = mul_generator(k).to_affine();
+    if point.infinity {
+        return None;
+    }
+    // Returns (x, y_is_odd, x_overflows_n) — everything sign/recover need.
+    let x_int = point.x.to_u256();
+    let overflow = x_int >= super::scalar::N;
+    Some((point.x, point.y.is_odd(), overflow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2G, a classic known-answer vector.
+    const G2X: &str = "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5";
+    const G2Y: &str = "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a";
+
+    #[test]
+    fn generator_on_curve() {
+        assert!(Affine::GENERATOR.is_on_curve());
+    }
+
+    #[test]
+    fn double_generator_known_answer() {
+        let g2 = Affine::GENERATOR.to_jacobian().double().to_affine();
+        assert_eq!(g2.x, Fe::from_be_hex(G2X));
+        assert_eq!(g2.y, Fe::from_be_hex(G2Y));
+        assert!(g2.is_on_curve());
+    }
+
+    #[test]
+    fn add_equals_double() {
+        let g = Affine::GENERATOR;
+        let via_add = g.to_jacobian().add(&g.to_jacobian()).to_affine();
+        let via_mixed = g.to_jacobian().add_affine(&g).to_affine();
+        let via_double = g.to_jacobian().double().to_affine();
+        assert_eq!(via_add, via_double);
+        assert_eq!(via_mixed, via_double);
+    }
+
+    #[test]
+    fn scalar_mul_small_multiples() {
+        let g = Affine::GENERATOR;
+        // 2G via mul matches doubling.
+        let two = mul_point(&g, &Scalar::from_u64(2)).to_affine();
+        assert_eq!(two.x, Fe::from_be_hex(G2X));
+        // 5G = 2G + 2G + G
+        let g2 = g.to_jacobian().double();
+        let five_manual = g2.add(&g2).add_affine(&g).to_affine();
+        let five = mul_point(&g, &Scalar::from_u64(5)).to_affine();
+        assert_eq!(five, five_manual);
+    }
+
+    #[test]
+    fn generator_table_matches_generic_mul() {
+        for k in [1u64, 2, 3, 15, 16, 17, 255, 256, 1 << 40] {
+            let s = Scalar::from_u64(k);
+            assert_eq!(
+                mul_generator(&s).to_affine(),
+                mul_point(&Affine::GENERATOR, &s).to_affine(),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn generator_times_large_scalar() {
+        let s = Scalar::from_be_bytes_reduced(&[0xA5; 32]);
+        let a = mul_generator(&s).to_affine();
+        let b = mul_point(&Affine::GENERATOR, &s).to_affine();
+        assert_eq!(a, b);
+        assert!(a.is_on_curve());
+    }
+
+    #[test]
+    fn order_times_generator_is_infinity() {
+        // (n-1)G + G = infinity.
+        let n_minus_1 = Scalar::from_u64(1).neg();
+        let p = mul_generator(&n_minus_1).add_affine(&Affine::GENERATOR);
+        assert!(p.is_infinity());
+    }
+
+    #[test]
+    fn point_plus_negation_is_infinity() {
+        let p = mul_generator(&Scalar::from_u64(7)).to_affine();
+        let sum = p.to_jacobian().add_affine(&p.neg());
+        assert!(sum.is_infinity());
+    }
+
+    #[test]
+    fn lift_x_parity() {
+        let p = mul_generator(&Scalar::from_u64(9)).to_affine();
+        let lifted = Affine::lift_x(p.x, p.y.is_odd()).unwrap();
+        assert_eq!(lifted, p);
+        let flipped = Affine::lift_x(p.x, !p.y.is_odd()).unwrap();
+        assert_eq!(flipped, p.neg());
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let p = mul_generator(&Scalar::from_u64(12345)).to_affine();
+        let unc = p.to_bytes_uncompressed();
+        assert_eq!(Affine::from_bytes_uncompressed(&unc).unwrap(), p);
+        let comp = p.to_bytes_compressed();
+        assert_eq!(Affine::from_bytes_compressed(&comp).unwrap(), p);
+    }
+
+    #[test]
+    fn invalid_points_rejected() {
+        // x = y = 1 is not on the curve.
+        assert!(Affine::new(Fe::ONE, Fe::ONE).is_none());
+        let mut bad = [1u8; 64];
+        bad[0] = 9;
+        assert!(Affine::from_bytes_uncompressed(&bad).is_none());
+        assert!(Affine::from_bytes_compressed(&[0x05; 33]).is_none());
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        // (a+b)G == aG + bG
+        let a = Scalar::from_u64(0xDEADBEEF);
+        let b = Scalar::from_u64(0xFEEDFACE);
+        let lhs = mul_generator(&a.add(&b)).to_affine();
+        let rhs = mul_generator(&a).add(&mul_generator(&b)).to_affine();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn infinity_handling() {
+        assert!(mul_point(&Affine::INFINITY, &Scalar::from_u64(3)).is_infinity());
+        assert!(mul_generator(&Scalar::ZERO).is_infinity());
+        let g = Affine::GENERATOR.to_jacobian();
+        assert_eq!(g.add(&Jacobian::INFINITY).to_affine(), Affine::GENERATOR);
+        assert_eq!(Jacobian::INFINITY.add(&g).to_affine(), Affine::GENERATOR);
+        assert_eq!(Jacobian::INFINITY.to_affine(), Affine::INFINITY);
+    }
+}

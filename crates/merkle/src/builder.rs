@@ -1,0 +1,93 @@
+//! Incremental tree construction.
+//!
+//! The batcher accumulates entries one at a time; [`TreeBuilder`] lets it
+//! hash each leaf as it arrives (spreading the hashing cost across the
+//! batch window instead of paying it all at flush time) and then build the
+//! tree from the precomputed leaf hashes.
+
+use wedge_crypto::hash::Hash32;
+
+use crate::tree::{hash_leaf, MerkleTree};
+use crate::MerkleError;
+
+/// Accumulates leaf hashes incrementally, then builds a [`MerkleTree`].
+#[derive(Clone, Debug, Default)]
+pub struct TreeBuilder {
+    hashes: Vec<Hash32>,
+}
+
+impl TreeBuilder {
+    /// An empty builder.
+    pub fn new() -> TreeBuilder {
+        TreeBuilder::default()
+    }
+
+    /// Pre-allocates for `capacity` leaves (use the configured batch size).
+    pub fn with_capacity(capacity: usize) -> TreeBuilder {
+        TreeBuilder { hashes: Vec::with_capacity(capacity) }
+    }
+
+    /// Hashes and appends one leaf, returning its index.
+    pub fn push(&mut self, leaf_data: &[u8]) -> usize {
+        self.hashes.push(hash_leaf(leaf_data));
+        self.hashes.len() - 1
+    }
+
+    /// Appends a precomputed leaf hash.
+    pub fn push_hash(&mut self, hash: Hash32) -> usize {
+        self.hashes.push(hash);
+        self.hashes.len() - 1
+    }
+
+    /// Leaves accumulated so far.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True when no leaves have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Consumes the builder, producing the tree.
+    pub fn build(self) -> Result<MerkleTree, MerkleError> {
+        MerkleTree::from_leaf_hashes(self.hashes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_batch_construction() {
+        let data: Vec<Vec<u8>> = (0..37).map(|i| format!("leaf-{i}").into_bytes()).collect();
+        let mut builder = TreeBuilder::with_capacity(data.len());
+        for (i, leaf) in data.iter().enumerate() {
+            assert_eq!(builder.push(leaf), i);
+        }
+        assert_eq!(builder.len(), 37);
+        let incremental = builder.build().unwrap();
+        let batch = MerkleTree::from_leaves(&data).unwrap();
+        assert_eq!(incremental.root(), batch.root());
+        // Proofs agree too.
+        let p1 = incremental.prove(20).unwrap();
+        p1.verify(&data[20], &batch.root()).unwrap();
+    }
+
+    #[test]
+    fn mixed_push_and_push_hash() {
+        let mut builder = TreeBuilder::new();
+        builder.push(b"raw");
+        builder.push_hash(hash_leaf(b"prehashed"));
+        let tree = builder.build().unwrap();
+        let reference = MerkleTree::from_leaves(&[b"raw".as_slice(), b"prehashed"]).unwrap();
+        assert_eq!(tree.root(), reference.root());
+    }
+
+    #[test]
+    fn empty_builder_fails_cleanly() {
+        assert!(matches!(TreeBuilder::new().build(), Err(MerkleError::EmptyTree)));
+        assert!(TreeBuilder::new().is_empty());
+    }
+}

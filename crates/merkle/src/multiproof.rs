@@ -1,0 +1,236 @@
+//! Range (multi-)proofs for auditor scans.
+//!
+//! An auditor reading a contiguous range of entries from one batch would
+//! waste bandwidth on per-leaf proofs: adjacent leaves share most of their
+//! sibling paths. A [`RangeProof`] carries each needed sibling exactly once;
+//! verification reconstructs the root from the claimed leaf range plus the
+//! sibling stream.
+
+use wedge_crypto::hash::Hash32;
+
+use crate::tree::{hash_leaf, hash_node, MerkleTree};
+use crate::MerkleError;
+
+/// A proof that a contiguous run of leaves belongs to a tree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RangeProof {
+    /// Index of the first proven leaf.
+    pub start: u64,
+    /// Number of proven leaves.
+    pub count: u64,
+    /// Total leaves in the tree (fixes the tree shape).
+    pub leaf_count: u64,
+    /// Sibling digests in deterministic (level-major, index-ascending)
+    /// consumption order.
+    pub siblings: Vec<Hash32>,
+}
+
+impl RangeProof {
+    /// Generates a proof for leaves `[start, start + count)` of `tree`.
+    pub fn generate(tree: &MerkleTree, start: usize, count: usize) -> Result<RangeProof, MerkleError> {
+        let leaf_count = tree.leaf_count();
+        if count == 0 {
+            return Err(MerkleError::EmptyRange);
+        }
+        if start + count > leaf_count {
+            return Err(MerkleError::LeafOutOfRange {
+                index: start + count - 1,
+                leaf_count,
+            });
+        }
+        let mut siblings = Vec::new();
+        let mut lo = start;
+        let mut hi = start + count;
+        let mut depth = 0;
+        let mut size = leaf_count;
+        while size > 1 {
+            let level = tree.level(depth).expect("level exists");
+            debug_assert_eq!(level.len(), size);
+            let parent_lo = lo / 2;
+            let parent_hi = hi.div_ceil(2);
+            for p in parent_lo..parent_hi {
+                for c in [2 * p, 2 * p + 1] {
+                    if c >= size {
+                        continue; // promoted odd node: no right child
+                    }
+                    let covered = c >= lo && c < hi;
+                    if !covered {
+                        siblings.push(level[c]);
+                    }
+                }
+            }
+            lo = parent_lo;
+            hi = parent_hi;
+            size = size / 2 + (size & 1);
+            depth += 1;
+        }
+        Ok(RangeProof {
+            start: start as u64,
+            count: count as u64,
+            leaf_count: leaf_count as u64,
+            siblings,
+        })
+    }
+
+    /// Recomputes the root implied by `leaf_data` (the claimed range
+    /// contents, in order) under this proof.
+    pub fn compute_root<D: AsRef<[u8]>>(&self, leaf_data: &[D]) -> Result<Hash32, MerkleError> {
+        if leaf_data.len() as u64 != self.count {
+            return Err(MerkleError::MalformedProof("range length mismatch"));
+        }
+        if self.count == 0 || self.start + self.count > self.leaf_count {
+            return Err(MerkleError::MalformedProof("range out of bounds"));
+        }
+        let mut covered: Vec<Hash32> =
+            leaf_data.iter().map(|d| hash_leaf(d.as_ref())).collect();
+        let mut lo = self.start as usize;
+        let mut hi = lo + self.count as usize;
+        let mut size = self.leaf_count as usize;
+        let mut stream = self.siblings.iter();
+        while size > 1 {
+            let parent_lo = lo / 2;
+            let parent_hi = hi.div_ceil(2);
+            let mut next = Vec::with_capacity(parent_hi - parent_lo);
+            for p in parent_lo..parent_hi {
+                let mut children: [Option<Hash32>; 2] = [None, None];
+                for (slot, c) in children.iter_mut().zip([2 * p, 2 * p + 1]) {
+                    if c >= size {
+                        continue;
+                    }
+                    let h = if c >= lo && c < hi {
+                        covered[c - lo]
+                    } else {
+                        *stream
+                            .next()
+                            .ok_or(MerkleError::MalformedProof("sibling stream exhausted"))?
+                    };
+                    *slot = Some(h);
+                }
+                let parent = match children {
+                    [Some(l), Some(r)] => hash_node(&l, &r),
+                    [Some(l), None] => l, // promoted odd node
+                    _ => return Err(MerkleError::MalformedProof("missing left child")),
+                };
+                next.push(parent);
+            }
+            covered = next;
+            lo = parent_lo;
+            hi = parent_hi;
+            size = size / 2 + (size & 1);
+        }
+        if stream.next().is_some() {
+            return Err(MerkleError::MalformedProof("extra siblings"));
+        }
+        Ok(covered[0])
+    }
+
+    /// Verifies the claimed range against a trusted root.
+    pub fn verify<D: AsRef<[u8]>>(&self, leaf_data: &[D], root: &Hash32) -> Result<(), MerkleError> {
+        let computed = self.compute_root(leaf_data)?;
+        if computed == *root {
+            Ok(())
+        } else {
+            Err(MerkleError::RootMismatch { computed, expected: *root })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("audit-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn full_range_verifies_with_no_siblings() {
+        let data = leaves(8);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let proof = RangeProof::generate(&tree, 0, 8).unwrap();
+        assert!(proof.siblings.is_empty());
+        proof.verify(&data, &tree.root()).unwrap();
+    }
+
+    #[test]
+    fn all_subranges_verify() {
+        for n in [1usize, 2, 3, 5, 8, 13, 16, 33] {
+            let data = leaves(n);
+            let tree = MerkleTree::from_leaves(&data).unwrap();
+            let root = tree.root();
+            for start in 0..n {
+                for count in 1..=(n - start) {
+                    let proof = RangeProof::generate(&tree, start, count).unwrap();
+                    proof
+                        .verify(&data[start..start + count], &root)
+                        .unwrap_or_else(|e| panic!("n={n} start={start} count={count}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_entry_fails() {
+        let data = leaves(20);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let proof = RangeProof::generate(&tree, 4, 6).unwrap();
+        let mut window: Vec<Vec<u8>> = data[4..10].to_vec();
+        window[2] = b"forged".to_vec();
+        assert!(proof.verify(&window, &tree.root()).is_err());
+    }
+
+    #[test]
+    fn shifted_range_fails() {
+        // Claiming leaves 5..11 under a proof for 4..10 must fail.
+        let data = leaves(20);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let proof = RangeProof::generate(&tree, 4, 6).unwrap();
+        assert!(proof.verify(&data[5..11], &tree.root()).is_err());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let data = leaves(10);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let proof = RangeProof::generate(&tree, 0, 4).unwrap();
+        assert!(matches!(
+            proof.verify(&data[0..5], &tree.root()),
+            Err(MerkleError::MalformedProof(_))
+        ));
+    }
+
+    #[test]
+    fn empty_or_oob_range_rejected() {
+        let tree = MerkleTree::from_leaves(&leaves(4)).unwrap();
+        assert!(matches!(RangeProof::generate(&tree, 0, 0), Err(MerkleError::EmptyRange)));
+        assert!(RangeProof::generate(&tree, 2, 3).is_err());
+    }
+
+    #[test]
+    fn truncated_sibling_stream_rejected() {
+        let data = leaves(16);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let mut proof = RangeProof::generate(&tree, 3, 2).unwrap();
+        proof.siblings.pop();
+        assert!(proof.verify(&data[3..5], &tree.root()).is_err());
+    }
+
+    #[test]
+    fn extra_siblings_rejected() {
+        let data = leaves(16);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let mut proof = RangeProof::generate(&tree, 3, 2).unwrap();
+        proof.siblings.push(Hash32([1; 32]));
+        assert!(proof.verify(&data[3..5], &tree.root()).is_err());
+    }
+
+    #[test]
+    fn range_proof_smaller_than_individual_proofs() {
+        let data = leaves(1024);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let range = RangeProof::generate(&tree, 100, 200).unwrap();
+        let individual: usize =
+            (100..300).map(|i| tree.prove(i).unwrap().path.len()).sum();
+        assert!(range.siblings.len() * 4 < individual);
+    }
+}

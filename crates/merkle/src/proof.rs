@@ -1,0 +1,222 @@
+//! Merkle inclusion proofs (the "green nodes" of the paper's Figure 1).
+//!
+//! A proof carries the sibling hashes from a leaf to the root. Verification
+//! recomputes the root and compares it with the trusted `MRoot` — either one
+//! received in a stage-1 response or one read from the Root Record contract.
+//! Proofs serialize to a compact byte format so they can travel inside
+//! signed responses and punishment-contract calldata.
+
+use wedge_crypto::hash::Hash32;
+
+use crate::tree::{hash_leaf, hash_node};
+use crate::MerkleError;
+
+/// Which side of the running hash a sibling joins from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Side {
+    /// Sibling is the left child: parent = H(sibling, acc).
+    Left,
+    /// Sibling is the right child: parent = H(acc, sibling).
+    Right,
+}
+
+/// One step of a proof path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProofNode {
+    /// The sibling digest.
+    pub hash: Hash32,
+    /// The sibling's side.
+    pub side: Side,
+}
+
+/// An inclusion proof for a single leaf.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MerkleProof {
+    /// Position of the proven leaf in the batch.
+    pub leaf_index: u64,
+    /// Total number of leaves in the tree (binds the proof to a shape).
+    pub leaf_count: u64,
+    /// Sibling path, leaf level first.
+    pub path: Vec<ProofNode>,
+}
+
+impl MerkleProof {
+    /// Recomputes the root implied by `leaf_data` under this proof.
+    pub fn compute_root(&self, leaf_data: &[u8]) -> Hash32 {
+        self.compute_root_from_hash(hash_leaf(leaf_data))
+    }
+
+    /// Recomputes the root starting from a leaf hash.
+    pub fn compute_root_from_hash(&self, leaf_hash: Hash32) -> Hash32 {
+        let mut acc = leaf_hash;
+        for node in &self.path {
+            acc = match node.side {
+                Side::Left => hash_node(&node.hash, &acc),
+                Side::Right => hash_node(&acc, &node.hash),
+            };
+        }
+        acc
+    }
+
+    /// Verifies `leaf_data` against a trusted root.
+    pub fn verify(&self, leaf_data: &[u8], root: &Hash32) -> Result<(), MerkleError> {
+        let computed = self.compute_root(leaf_data);
+        if computed == *root {
+            Ok(())
+        } else {
+            Err(MerkleError::RootMismatch { computed, expected: *root })
+        }
+    }
+
+    /// Serialized byte length.
+    pub fn encoded_len(&self) -> usize {
+        8 + 8 + 2 + self.path.len() * 33
+    }
+
+    /// Serializes to bytes:
+    /// `leaf_index (8 BE) || leaf_count (8 BE) || path_len (2 BE) ||
+    ///  (side_byte || hash)*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&self.leaf_index.to_be_bytes());
+        out.extend_from_slice(&self.leaf_count.to_be_bytes());
+        out.extend_from_slice(&(self.path.len() as u16).to_be_bytes());
+        for node in &self.path {
+            out.push(match node.side {
+                Side::Left => 0,
+                Side::Right => 1,
+            });
+            out.extend_from_slice(node.hash.as_bytes());
+        }
+        out
+    }
+
+    /// Parses the serialized form.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MerkleProof, MerkleError> {
+        if bytes.len() < 18 {
+            return Err(MerkleError::MalformedProof("header truncated"));
+        }
+        let leaf_index = u64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let leaf_count = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let path_len = u16::from_be_bytes(bytes[16..18].try_into().expect("2 bytes")) as usize;
+        let body = &bytes[18..];
+        if body.len() != path_len * 33 {
+            return Err(MerkleError::MalformedProof("path length mismatch"));
+        }
+        let mut path = Vec::with_capacity(path_len);
+        for chunk in body.chunks_exact(33) {
+            let side = match chunk[0] {
+                0 => Side::Left,
+                1 => Side::Right,
+                _ => return Err(MerkleError::MalformedProof("bad side byte")),
+            };
+            let mut hash = [0u8; 32];
+            hash.copy_from_slice(&chunk[1..]);
+            path.push(ProofNode { hash: Hash32(hash), side });
+        }
+        Ok(MerkleProof { leaf_index, leaf_count, path })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::MerkleTree;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("entry-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn every_leaf_verifies() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 31, 64, 100] {
+            let data = leaves(n);
+            let tree = MerkleTree::from_leaves(&data).unwrap();
+            let root = tree.root();
+            for (i, leaf) in data.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                proof.verify(leaf, &root).unwrap_or_else(|e| {
+                    panic!("n={n}, leaf {i}: {e}");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_fails() {
+        let data = leaves(16);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let proof = tree.prove(5).unwrap();
+        assert!(proof.verify(b"tampered", &tree.root()).is_err());
+    }
+
+    #[test]
+    fn proof_for_wrong_position_fails() {
+        let data = leaves(16);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let proof = tree.prove(5).unwrap();
+        // Leaf 6's data under leaf 5's proof must not verify.
+        assert!(proof.verify(&data[6], &tree.root()).is_err());
+    }
+
+    #[test]
+    fn tampered_path_fails() {
+        let data = leaves(8);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let mut proof = tree.prove(3).unwrap();
+        proof.path[1].hash = Hash32([0xAA; 32]);
+        assert!(proof.verify(&data[3], &tree.root()).is_err());
+    }
+
+    #[test]
+    fn flipped_side_fails() {
+        let data = leaves(8);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let mut proof = tree.prove(3).unwrap();
+        proof.path[0].side = match proof.path[0].side {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        };
+        assert!(proof.verify(&data[3], &tree.root()).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let data = leaves(33);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        for i in [0usize, 1, 16, 31, 32] {
+            let proof = tree.prove(i).unwrap();
+            let bytes = proof.to_bytes();
+            assert_eq!(bytes.len(), proof.encoded_len());
+            let parsed = MerkleProof::from_bytes(&bytes).unwrap();
+            assert_eq!(parsed, proof);
+            parsed.verify(&data[i], &tree.root()).unwrap();
+        }
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(MerkleProof::from_bytes(&[]).is_err());
+        assert!(MerkleProof::from_bytes(&[0; 17]).is_err());
+        // Valid header claiming 1 path node but no body.
+        let mut bytes = vec![0u8; 18];
+        bytes[17] = 1;
+        assert!(MerkleProof::from_bytes(&bytes).is_err());
+        // Bad side byte.
+        let data = leaves(4);
+        let tree = MerkleTree::from_leaves(&data).unwrap();
+        let mut good = tree.prove(0).unwrap().to_bytes();
+        good[18] = 7;
+        assert!(MerkleProof::from_bytes(&good).is_err());
+    }
+
+    #[test]
+    fn proof_size_grows_logarithmically() {
+        let t1 = MerkleTree::from_leaves(&leaves(500)).unwrap();
+        let t2 = MerkleTree::from_leaves(&leaves(10_000)).unwrap();
+        let p1 = t1.prove(0).unwrap().path.len();
+        let p2 = t2.prove(0).unwrap().path.len();
+        assert_eq!(p1, 9); // ceil(log2(500))
+        assert_eq!(p2, 14); // ceil(log2(10000))
+    }
+}

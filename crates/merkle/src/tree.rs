@@ -1,0 +1,218 @@
+//! Merkle tree construction (paper §2.1).
+//!
+//! The tree is built over the hashes of a batch's data objects; the root
+//! (`MRoot`) is the digest committed on-chain by stage-2 commitment. All
+//! levels are retained so per-leaf proof generation is O(log n) with no
+//! rehashing — the hot path for stage-1 responses.
+//!
+//! Hashing is domain-separated (`0x00 || data` for leaves, `0x01 || l || r`
+//! for internal nodes) to rule out second-preimage splices between levels.
+//! An odd trailing node is promoted unchanged to the next level.
+
+use wedge_crypto::hash::{Hash32, Keccak256};
+
+use crate::proof::{MerkleProof, ProofNode, Side};
+use crate::MerkleError;
+
+/// Domain tag for leaf hashes.
+pub(crate) const LEAF_TAG: u8 = 0x00;
+/// Domain tag for internal-node hashes.
+pub(crate) const NODE_TAG: u8 = 0x01;
+
+/// Hashes a leaf's raw data.
+pub fn hash_leaf(data: &[u8]) -> Hash32 {
+    let mut h = Keccak256::new();
+    h.update(&[LEAF_TAG]);
+    h.update(data);
+    Hash32(h.finalize())
+}
+
+/// Hashes two child digests into their parent.
+pub fn hash_node(left: &Hash32, right: &Hash32) -> Hash32 {
+    let mut h = Keccak256::new();
+    h.update(&[NODE_TAG]);
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    Hash32(h.finalize())
+}
+
+/// An immutable Merkle tree with all levels retained.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf hashes; the last level has exactly one node (the
+    /// root).
+    levels: Vec<Vec<Hash32>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree from raw leaf data.
+    ///
+    /// Returns [`MerkleError::EmptyTree`] for an empty batch — WedgeBlock
+    /// never commits an empty log position.
+    pub fn from_leaves<D: AsRef<[u8]>>(leaves: &[D]) -> Result<MerkleTree, MerkleError> {
+        let hashes: Vec<Hash32> = leaves.iter().map(|d| hash_leaf(d.as_ref())).collect();
+        MerkleTree::from_leaf_hashes(hashes)
+    }
+
+    /// Builds a tree from precomputed leaf hashes.
+    pub fn from_leaf_hashes(hashes: Vec<Hash32>) -> Result<MerkleTree, MerkleError> {
+        if hashes.is_empty() {
+            return Err(MerkleError::EmptyTree);
+        }
+        let mut levels = vec![hashes];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut chunks = prev.chunks_exact(2);
+            for pair in chunks.by_ref() {
+                next.push(hash_node(&pair[0], &pair[1]));
+            }
+            if let [odd] = chunks.remainder() {
+                // Odd trailing node is promoted unchanged.
+                next.push(*odd);
+            }
+            levels.push(next);
+        }
+        Ok(MerkleTree { levels })
+    }
+
+    /// The Merkle root (`MRoot`).
+    pub fn root(&self) -> Hash32 {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The hash of leaf `index`.
+    pub fn leaf_hash(&self, index: usize) -> Option<Hash32> {
+        self.levels[0].get(index).copied()
+    }
+
+    /// Tree height (number of levels including the leaf level).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Generates the inclusion proof for leaf `index`.
+    pub fn prove(&self, index: usize) -> Result<MerkleProof, MerkleError> {
+        let leaf_count = self.leaf_count();
+        if index >= leaf_count {
+            return Err(MerkleError::LeafOutOfRange { index, leaf_count });
+        }
+        let mut path = Vec::with_capacity(self.height());
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = i ^ 1;
+            if sibling < level.len() {
+                let side = if sibling < i { Side::Left } else { Side::Right };
+                path.push(ProofNode { hash: level[sibling], side });
+            }
+            // Promoted odd nodes keep their position at index/2 with no
+            // sibling contribution.
+            i /= 2;
+        }
+        Ok(MerkleProof { leaf_index: index as u64, leaf_count: leaf_count as u64, path })
+    }
+
+    /// Generates proofs for every leaf (the stage-1 response fan-out).
+    pub fn prove_all(&self) -> Vec<MerkleProof> {
+        (0..self.leaf_count())
+            .map(|i| self.prove(i).expect("index in range"))
+            .collect()
+    }
+
+    /// Read access to a whole level (testing/inspection).
+    pub fn level(&self, depth: usize) -> Option<&[Hash32]> {
+        self.levels.get(depth).map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            MerkleTree::from_leaves::<&[u8]>(&[]),
+            Err(MerkleError::EmptyTree)
+        ));
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let tree = MerkleTree::from_leaves(&[b"only".as_slice()]).unwrap();
+        assert_eq!(tree.root(), hash_leaf(b"only"));
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn two_leaves_root() {
+        let tree = MerkleTree::from_leaves(&[b"a".as_slice(), b"b"]).unwrap();
+        let expect = hash_node(&hash_leaf(b"a"), &hash_leaf(b"b"));
+        assert_eq!(tree.root(), expect);
+    }
+
+    #[test]
+    fn odd_leaf_promotion() {
+        // Three leaves: root = H(H(l0,l1), l2) with l2 promoted.
+        let tree = MerkleTree::from_leaves(&leaves(3)).unwrap();
+        let l: Vec<Hash32> = leaves(3).iter().map(|d| hash_leaf(d)).collect();
+        let expect = hash_node(&hash_node(&l[0], &l[1]), &l[2]);
+        assert_eq!(tree.root(), expect);
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let base = MerkleTree::from_leaves(&leaves(8)).unwrap();
+        for i in 0..8 {
+            let mut data = leaves(8);
+            data[i].push(b'!');
+            let tree = MerkleTree::from_leaves(&data).unwrap();
+            assert_ne!(tree.root(), base.root(), "leaf {i} change must alter root");
+        }
+    }
+
+    #[test]
+    fn root_changes_with_order() {
+        // Order captured by concatenation (paper §2.1).
+        let a = MerkleTree::from_leaves(&[b"x".as_slice(), b"y"]).unwrap();
+        let b = MerkleTree::from_leaves(&[b"y".as_slice(), b"x"]).unwrap();
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn leaf_and_node_domains_differ() {
+        // A leaf holding exactly "0x01 || h || h" must not collide with the
+        // internal node over (h, h).
+        let h = hash_leaf(b"inner");
+        let mut fake = vec![NODE_TAG];
+        fake.extend_from_slice(h.as_bytes());
+        fake.extend_from_slice(h.as_bytes());
+        assert_ne!(hash_leaf(&fake), hash_node(&h, &h));
+    }
+
+    #[test]
+    fn heights() {
+        for (n, h) in [(1, 1), (2, 2), (3, 3), (4, 3), (5, 4), (1000, 11)] {
+            let tree = MerkleTree::from_leaves(&leaves(n)).unwrap();
+            assert_eq!(tree.height(), h, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_proof_rejected() {
+        let tree = MerkleTree::from_leaves(&leaves(4)).unwrap();
+        assert!(matches!(
+            tree.prove(4),
+            Err(MerkleError::LeafOutOfRange { index: 4, leaf_count: 4 })
+        ));
+    }
+}

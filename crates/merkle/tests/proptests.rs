@@ -1,0 +1,78 @@
+//! Property-based tests: any leaf of any tree proves against the root; any
+//! tampering is detected; range proofs agree with per-leaf proofs.
+
+use proptest::prelude::*;
+use wedge_merkle::{MerkleProof, MerkleTree, RangeProof};
+
+fn arb_leaves() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_leaf_proves(leaves in arb_leaves(), idx_seed in any::<usize>()) {
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        let root = tree.root();
+        let i = idx_seed % leaves.len();
+        let proof = tree.prove(i).unwrap();
+        prop_assert!(proof.verify(&leaves[i], &root).is_ok());
+    }
+
+    #[test]
+    fn tampered_leaf_detected(leaves in arb_leaves(), idx_seed in any::<usize>(), extra in any::<u8>()) {
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        let i = idx_seed % leaves.len();
+        let proof = tree.prove(i).unwrap();
+        let mut forged = leaves[i].clone();
+        forged.push(extra);
+        prop_assert!(proof.verify(&forged, &tree.root()).is_err());
+    }
+
+    #[test]
+    fn proof_bytes_roundtrip(leaves in arb_leaves(), idx_seed in any::<usize>()) {
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        let i = idx_seed % leaves.len();
+        let proof = tree.prove(i).unwrap();
+        let parsed = MerkleProof::from_bytes(&proof.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, proof);
+    }
+
+    #[test]
+    fn reordering_changes_root(leaves in arb_leaves(), a_seed in any::<usize>(), b_seed in any::<usize>()) {
+        prop_assume!(leaves.len() >= 2);
+        let a = a_seed % leaves.len();
+        let b = b_seed % leaves.len();
+        prop_assume!(a != b && leaves[a] != leaves[b]);
+        let root = MerkleTree::from_leaves(&leaves).unwrap().root();
+        let mut swapped = leaves.clone();
+        swapped.swap(a, b);
+        let swapped_root = MerkleTree::from_leaves(&swapped).unwrap().root();
+        prop_assert_ne!(root, swapped_root);
+    }
+
+    #[test]
+    fn range_proofs_verify(leaves in arb_leaves(), s_seed in any::<usize>(), c_seed in any::<usize>()) {
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        let start = s_seed % leaves.len();
+        let count = 1 + c_seed % (leaves.len() - start);
+        let proof = RangeProof::generate(&tree, start, count).unwrap();
+        prop_assert!(proof.verify(&leaves[start..start + count], &tree.root()).is_ok());
+    }
+
+    #[test]
+    fn range_and_leaf_proofs_agree(leaves in arb_leaves(), s_seed in any::<usize>()) {
+        // A range of length 1 must accept exactly the same (leaf, root) pair
+        // as the per-leaf proof.
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        let i = s_seed % leaves.len();
+        let leaf_root = tree.prove(i).unwrap().compute_root(&leaves[i]);
+        let range_root = RangeProof::generate(&tree, i, 1)
+            .unwrap()
+            .compute_root(&leaves[i..i + 1])
+            .unwrap();
+        prop_assert_eq!(leaf_root, range_root);
+        prop_assert_eq!(leaf_root, tree.root());
+    }
+}

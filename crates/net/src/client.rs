@@ -1,0 +1,273 @@
+//! The client-side connection: a [`RemoteNode`] implements
+//! [`LogService`] over TCP, so `Publisher`/`Reader`/`Auditor` work against a
+//! networked Offchain Node exactly as they do in-process.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use wedge_core::node::ReplyFn;
+use wedge_core::{AppendRequest, CoreError, EntryId, LogService, SignedResponse};
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::keys::Address;
+use wedge_crypto::PublicKey;
+use wedge_merkle::RangeProof;
+
+use crate::wire::{recv_reply, send_request, Reply, Request};
+
+/// How a pending request wants its reply delivered.
+enum PendingSlot {
+    /// Synchronous caller blocked on a channel.
+    Channel(Sender<Reply>),
+    /// Asynchronous append continuation.
+    Append(ReplyFn),
+}
+
+struct Shared {
+    pending: Mutex<HashMap<u64, PendingSlot>>,
+}
+
+/// A connection to a remote WedgeBlock node.
+///
+/// One TCP connection is multiplexed across all operations; a background
+/// reader thread dispatches tagged replies. Dropping the `RemoteNode`
+/// closes the connection (outstanding appends get an error reply).
+pub struct RemoteNode {
+    writer: Mutex<TcpStream>,
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    public_key: PublicKey,
+    timeout: Duration,
+    reader_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RemoteNode {
+    /// Connects and performs the hello handshake (fetching the node's
+    /// public key for client-side verification).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<RemoteNode> {
+        RemoteNode::connect_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connects with a custom per-operation timeout.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> std::io::Result<RemoteNode> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader_stream = stream.try_clone()?;
+        let shared = Arc::new(Shared { pending: Mutex::new(HashMap::new()) });
+        let reader_shared = Arc::clone(&shared);
+        let reader_thread = std::thread::Builder::new()
+            .name("wedge-net-client-reader".into())
+            .spawn(move || {
+                let mut reader = BufReader::new(reader_stream);
+                loop {
+                    match recv_reply(&mut reader) {
+                        Ok((req_id, reply)) => {
+                            let slot = reader_shared.pending.lock().remove(&req_id);
+                            match slot {
+                                Some(PendingSlot::Channel(tx)) => {
+                                    let _ = tx.send(reply);
+                                }
+                                Some(PendingSlot::Append(callback)) => match reply {
+                                    Reply::Response(response) => callback(Ok(response)),
+                                    Reply::Error(message) => callback(Err(message)),
+                                    other => callback(Err(format!(
+                                        "unexpected append reply: {other:?}"
+                                    ))),
+                                },
+                                None => {} // late reply for a timed-out caller
+                            }
+                        }
+                        Err(_) => break, // connection closed
+                    }
+                }
+                // Fail everything still pending.
+                let mut pending = reader_shared.pending.lock();
+                for (_, slot) in pending.drain() {
+                    if let PendingSlot::Append(callback) = slot {
+                        callback(Err("connection closed".into()));
+                    }
+                }
+            })
+            .expect("spawn client reader");
+
+        let mut node = RemoteNode {
+            writer: Mutex::new(stream),
+            shared,
+            next_id: AtomicU64::new(1),
+            // A syntactically valid placeholder; the handshake below
+            // overwrites it before `connect` returns.
+            public_key: wedge_crypto::Keypair::from_seed(b"handshake-pending").public,
+            timeout,
+            reader_thread: Some(reader_thread),
+        };
+        // Handshake.
+        match node.round_trip(Request::Hello)? {
+            Reply::Hello { public_key } => {
+                node.public_key = PublicKey::from_bytes(&public_key).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad node key")
+                })?;
+            }
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad hello reply: {other:?}"),
+                ))
+            }
+        }
+        Ok(node)
+    }
+
+    fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sends `request` and blocks for its tagged reply.
+    fn round_trip(&self, request: Request) -> std::io::Result<Reply> {
+        let req_id = self.next_id();
+        let (tx, rx) = bounded(1);
+        self.shared.pending.lock().insert(req_id, PendingSlot::Channel(tx));
+        {
+            let mut writer = self.writer.lock();
+            if let Err(e) = send_request(&mut *writer, req_id, &request) {
+                self.shared.pending.lock().remove(&req_id);
+                return Err(e);
+            }
+        }
+        rx.recv_timeout(self.timeout).map_err(|_| {
+            self.shared.pending.lock().remove(&req_id);
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "request timed out")
+        })
+    }
+
+    fn rpc(&self, request: Request) -> Result<Reply, CoreError> {
+        match self.round_trip(request) {
+            Ok(Reply::Error(message)) => Err(remote_error(message)),
+            Ok(reply) => Ok(reply),
+            Err(_) => Err(CoreError::NodeStopped),
+        }
+    }
+}
+
+/// Maps a remote error string back into a client-side error. "Not found"
+/// errors keep their variant so callers can dispatch on them.
+fn remote_error(message: String) -> CoreError {
+    if message.contains("not found") {
+        CoreError::EntryNotFound(EntryId { log_id: u64::MAX, offset: u32::MAX })
+    } else {
+        CoreError::Remote(message)
+    }
+}
+
+impl LogService for RemoteNode {
+    fn node_public_key(&self) -> PublicKey {
+        self.public_key
+    }
+
+    fn submit_request(&self, request: AppendRequest, reply: ReplyFn) -> Result<(), CoreError> {
+        let req_id = self.next_id();
+        self.shared.pending.lock().insert(req_id, PendingSlot::Append(reply));
+        let mut writer = self.writer.lock();
+        if send_request(&mut *writer, req_id, &Request::Append(request)).is_err() {
+            // Reclaim and fail the continuation.
+            if let Some(PendingSlot::Append(callback)) =
+                self.shared.pending.lock().remove(&req_id)
+            {
+                callback(Err("connection closed".into()));
+            }
+            return Err(CoreError::NodeStopped);
+        }
+        Ok(())
+    }
+
+    fn read_entry(&self, id: EntryId) -> Result<SignedResponse, CoreError> {
+        match self.rpc(Request::Read(id))? {
+            Reply::Response(response) => Ok(response),
+            _ => Err(CoreError::RequestRejected("unexpected reply")),
+        }
+    }
+
+    fn read_entries(&self, ids: &[EntryId]) -> Vec<Result<SignedResponse, CoreError>> {
+        match self.rpc(Request::ReadMany(ids.to_vec())) {
+            Ok(Reply::ManyResults(results)) if results.len() == ids.len() => results
+                .into_iter()
+                .map(|r| r.map_err(remote_error))
+                .collect(),
+            Ok(_) | Err(_) => ids
+                .iter()
+                .map(|_| Err(CoreError::Remote("read-many failed".into())))
+                .collect(),
+        }
+    }
+
+    fn read_entry_by_sequence(
+        &self,
+        publisher: Address,
+        sequence: u64,
+    ) -> Result<SignedResponse, CoreError> {
+        match self.rpc(Request::ReadSeq(publisher, sequence))? {
+            Reply::Response(response) => Ok(response),
+            _ => Err(CoreError::RequestRejected("unexpected reply")),
+        }
+    }
+
+    fn read_position(&self, log_id: u64) -> Result<Vec<SignedResponse>, CoreError> {
+        match self.rpc(Request::ReadPosition(log_id))? {
+            Reply::Responses(responses) => Ok(responses),
+            _ => Err(CoreError::RequestRejected("unexpected reply")),
+        }
+    }
+
+    fn position_len(&self, log_id: u64) -> Option<u32> {
+        match self.rpc(Request::Meta { log_id }) {
+            Ok(Reply::Meta { position_len, .. }) if position_len != u32::MAX => {
+                Some(position_len)
+            }
+            _ => None,
+        }
+    }
+
+    fn scan(
+        &self,
+        log_id: u64,
+        start: u32,
+        count: u32,
+    ) -> Result<(Vec<Vec<u8>>, RangeProof, Hash32), CoreError> {
+        match self.rpc(Request::Scan { log_id, start, count })? {
+            Reply::Scan { leaves, proof, root } => Ok((leaves, proof, root)),
+            _ => Err(CoreError::RequestRejected("unexpected reply")),
+        }
+    }
+
+    fn positions(&self) -> u64 {
+        match self.rpc(Request::Meta { log_id: u64::MAX }) {
+            Ok(Reply::Meta { positions, .. }) => positions,
+            _ => 0,
+        }
+    }
+
+    fn entries(&self) -> u64 {
+        match self.rpc(Request::Meta { log_id: u64::MAX }) {
+            Ok(Reply::Meta { entries, .. }) => entries,
+            _ => 0,
+        }
+    }
+}
+
+impl Drop for RemoteNode {
+    fn drop(&mut self) {
+        // Closing the write half drops the connection; the reader thread
+        // exits on EOF.
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+        if let Some(handle) = self.reader_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}

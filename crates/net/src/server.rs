@@ -1,0 +1,249 @@
+//! The node-side TCP server: exposes a [`LogService`] to remote clients.
+//!
+//! One thread per connection reads request frames; replies go out through a
+//! per-connection writer thread so that asynchronous append replies (which
+//! fire at batch-flush time, from the node's batcher thread) interleave
+//! safely with synchronous read replies.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use wedge_core::LogService;
+
+use crate::wire::{decode_request_frame, send_reply, Reply, Request};
+
+/// A running WedgeBlock TCP endpoint. Stops (and joins its threads) on drop.
+pub struct NodeServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NodeServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves `service`.
+    pub fn bind(
+        addr: &str,
+        service: Arc<dyn LogService>,
+    ) -> std::io::Result<NodeServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("wedge-net-accept".into())
+            .spawn(move || {
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let service = Arc::clone(&service);
+                            let stop = Arc::clone(&stop_flag);
+                            workers.push(
+                                std::thread::Builder::new()
+                                    .name("wedge-net-conn".into())
+                                    .spawn(move || serve_connection(stream, service, stop))
+                                    .expect("spawn connection handler"),
+                            );
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                    // Reap finished workers.
+                    workers.retain(|w| !w.is_finished());
+                }
+                for worker in workers {
+                    let _ = worker.join();
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(NodeServer { local_addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and joins the accept thread. Existing connections
+    /// close once their clients hang up.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NodeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Handles one client connection until EOF or shutdown.
+fn serve_connection(stream: TcpStream, service: Arc<dyn LogService>, stop: Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    // Reads time out periodically so the handler notices shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // All replies (sync and async) funnel through one writer thread.
+    let (reply_tx, reply_rx) = unbounded::<(u64, Reply)>();
+    let writer = std::thread::Builder::new()
+        .name("wedge-net-writer".into())
+        .spawn(move || {
+            let mut w = writer_stream;
+            while let Ok((req_id, reply)) = reply_rx.recv() {
+                if send_reply(&mut w, req_id, &reply).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn writer");
+
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = match read_frame_interruptible(&mut reader, &stop) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // clean shutdown between frames
+            Err(_) => break,   // EOF or protocol violation
+        };
+        let (req_id, request) = match decode_request_frame(&frame) {
+            Ok(decoded) => decoded,
+            Err(_) => break,
+        };
+        handle(&service, req_id, request, &reply_tx);
+    }
+    drop(reply_tx); // writer drains and exits
+    let _ = writer.join();
+}
+
+/// Reads one length-prefixed frame. Read timeouts *between* frames are
+/// shutdown-check points (returning `Ok(None)` once `stop` is set); a
+/// timeout mid-frame never desynchronizes — partial bytes are retained and
+/// the read resumes.
+fn read_frame_interruptible(
+    reader: &mut impl std::io::Read,
+    stop: &AtomicBool,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    if !read_full(reader, &mut len_bytes, stop, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if !(9..=crate::wire::MAX_FRAME).contains(&len) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "bad frame length",
+        ));
+    }
+    let mut frame = vec![0u8; len];
+    // Mid-frame: ignore the stop flag so framing stays intact.
+    read_full(reader, &mut frame, stop, false)?;
+    Ok(Some(frame))
+}
+
+/// Fills `buf`, tolerating timeouts. With `abortable` set, a timeout before
+/// the first byte arrives returns `Ok(false)` when `stop` is set.
+fn read_full(
+    reader: &mut impl std::io::Read,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    abortable: bool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                if abortable && filled == 0 && stop.load(Ordering::Relaxed) {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Dispatches one request; errors become [`Reply::Error`] frames.
+fn handle(
+    service: &Arc<dyn LogService>,
+    req_id: u64,
+    request: Request,
+    reply_tx: &Sender<(u64, Reply)>,
+) {
+    let reply = match request {
+        Request::Hello => Reply::Hello { public_key: service.node_public_key().to_bytes() },
+        Request::Append(append) => {
+            // Asynchronous: the callback fires at batch flush, on the
+            // batcher thread, and routes through the writer channel.
+            let tx = reply_tx.clone();
+            let outcome = service.submit_request(
+                append,
+                Box::new(move |result| {
+                    let reply = match result {
+                        Ok(response) => Reply::Response(response),
+                        Err(message) => Reply::Error(message),
+                    };
+                    let _ = tx.send((req_id, reply));
+                }),
+            );
+            match outcome {
+                Ok(()) => return, // reply comes later
+                Err(e) => Reply::Error(e.to_string()),
+            }
+        }
+        Request::Read(id) => match service.read_entry(id) {
+            Ok(response) => Reply::Response(response),
+            Err(e) => Reply::Error(e.to_string()),
+        },
+        Request::ReadSeq(publisher, sequence) => {
+            match service.read_entry_by_sequence(publisher, sequence) {
+                Ok(response) => Reply::Response(response),
+                Err(e) => Reply::Error(e.to_string()),
+            }
+        }
+        Request::ReadPosition(log_id) => match service.read_position(log_id) {
+            Ok(responses) => Reply::Responses(responses),
+            Err(e) => Reply::Error(e.to_string()),
+        },
+        Request::ReadMany(ids) => Reply::ManyResults(
+            service
+                .read_entries(&ids)
+                .into_iter()
+                .map(|r| r.map_err(|e| e.to_string()))
+                .collect(),
+        ),
+        Request::Scan { log_id, start, count } => match service.scan(log_id, start, count) {
+            Ok((leaves, proof, root)) => Reply::Scan { leaves, proof, root },
+            Err(e) => Reply::Error(e.to_string()),
+        },
+        Request::Meta { log_id } => Reply::Meta {
+            positions: service.positions(),
+            entries: service.entries(),
+            position_len: service.position_len(log_id).unwrap_or(u32::MAX),
+        },
+    };
+    let _ = reply_tx.send((req_id, reply));
+}

@@ -1,0 +1,521 @@
+//! The wire protocol: length-prefixed frames carrying canonical-encoded
+//! messages.
+//!
+//! Frame layout: `len (u32 BE) || kind (u8) || req_id (u64 BE) || body`.
+//! Every client message carries a `req_id` the server echoes, so replies —
+//! including append replies, which arrive asynchronously at batch-flush
+//! time — can be routed back to their callers over one multiplexed
+//! connection.
+
+use std::io::{self, Read, Write};
+
+use wedge_chain::{Decoder, Encoder};
+use wedge_core::{AppendRequest, EntryId, SignedResponse};
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::keys::Address;
+use wedge_merkle::RangeProof;
+
+/// Maximum accepted frame size (guards against hostile length prefixes).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Client → server messages.
+#[derive(Debug)]
+pub enum Request {
+    /// Fetch the node's public key and log shape.
+    Hello,
+    /// Submit one append request.
+    Append(AppendRequest),
+    /// Read one entry.
+    Read(EntryId),
+    /// Read by `(publisher, sequence)`.
+    ReadSeq(Address, u64),
+    /// Read a group of entries in one round trip.
+    ReadMany(Vec<EntryId>),
+    /// Read a whole log position.
+    ReadPosition(u64),
+    /// Range scan with multiproof.
+    Scan {
+        /// Log position.
+        log_id: u64,
+        /// First offset.
+        start: u32,
+        /// Entries to scan.
+        count: u32,
+    },
+    /// Log shape: positions, entries, and one position's length.
+    Meta {
+        /// Position whose length to report (`u64::MAX` for none).
+        log_id: u64,
+    },
+}
+
+/// Server → client messages.
+#[derive(Debug)]
+pub enum Reply {
+    /// Hello reply: node public key (uncompressed) + shape.
+    Hello {
+        /// The node's public key bytes.
+        public_key: [u8; 64],
+    },
+    /// A signed response (append/read/read-seq).
+    Response(SignedResponse),
+    /// A batch of signed responses (read-position).
+    Responses(Vec<SignedResponse>),
+    /// Per-entry results of a `ReadMany`.
+    ManyResults(Vec<Result<SignedResponse, String>>),
+    /// A range scan result.
+    Scan {
+        /// The raw leaves.
+        leaves: Vec<Vec<u8>>,
+        /// The multiproof.
+        proof: RangeProof,
+        /// The position's root.
+        root: Hash32,
+    },
+    /// Log shape.
+    Meta {
+        /// Flushed log positions.
+        positions: u64,
+        /// Total entries.
+        entries: u64,
+        /// Length of the requested position (`u32::MAX` if absent).
+        position_len: u32,
+    },
+    /// The operation failed.
+    Error(String),
+}
+
+mod kind {
+    pub const HELLO: u8 = 0x01;
+    pub const APPEND: u8 = 0x02;
+    pub const READ: u8 = 0x03;
+    pub const READ_SEQ: u8 = 0x04;
+    pub const READ_POSITION: u8 = 0x05;
+    pub const READ_MANY: u8 = 0x08;
+    pub const SCAN: u8 = 0x06;
+    pub const META: u8 = 0x07;
+
+    pub const R_HELLO: u8 = 0x81;
+    pub const R_RESPONSE: u8 = 0x82;
+    pub const R_RESPONSES: u8 = 0x83;
+    pub const R_SCAN: u8 = 0x84;
+    pub const R_META: u8 = 0x85;
+    pub const R_MANY: u8 = 0x86;
+    pub const R_ERROR: u8 = 0xFF;
+}
+
+fn io_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Encodes a range proof for the wire.
+fn encode_range_proof(enc: &mut Encoder, proof: &RangeProof) {
+    enc.u64(proof.start).u64(proof.count).u64(proof.leaf_count);
+    enc.u64(proof.siblings.len() as u64);
+    for sibling in &proof.siblings {
+        enc.bytes(sibling.as_bytes());
+    }
+}
+
+fn decode_range_proof(dec: &mut Decoder<'_>) -> io::Result<RangeProof> {
+    let start = dec.u64().map_err(|_| io_err("proof.start"))?;
+    let count = dec.u64().map_err(|_| io_err("proof.count"))?;
+    let leaf_count = dec.u64().map_err(|_| io_err("proof.leaf_count"))?;
+    let n = dec.u64().map_err(|_| io_err("proof.siblings"))?;
+    if n > dec.remaining() as u64 {
+        return Err(io_err("sibling count exceeds frame"));
+    }
+    let mut siblings = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let h: [u8; 32] = dec.bytes_fixed().map_err(|_| io_err("sibling"))?;
+        siblings.push(Hash32(h));
+    }
+    Ok(RangeProof { start, count, leaf_count, siblings })
+}
+
+impl Request {
+    /// Encodes kind + body (without the frame header).
+    fn encode(&self) -> (u8, Vec<u8>) {
+        let mut enc = Encoder::new();
+        let kind = match self {
+            Request::Hello => kind::HELLO,
+            Request::Append(request) => {
+                enc.bytes(&request.leaf_bytes());
+                kind::APPEND
+            }
+            Request::Read(id) => {
+                enc.u64(id.log_id).u64(id.offset as u64);
+                kind::READ
+            }
+            Request::ReadSeq(addr, seq) => {
+                enc.bytes(addr.as_bytes()).u64(*seq);
+                kind::READ_SEQ
+            }
+            Request::ReadPosition(log_id) => {
+                enc.u64(*log_id);
+                kind::READ_POSITION
+            }
+            Request::ReadMany(ids) => {
+                enc.u64(ids.len() as u64);
+                for id in ids {
+                    enc.u64(id.log_id).u64(id.offset as u64);
+                }
+                kind::READ_MANY
+            }
+            Request::Scan { log_id, start, count } => {
+                enc.u64(*log_id).u64(*start as u64).u64(*count as u64);
+                kind::SCAN
+            }
+            Request::Meta { log_id } => {
+                enc.u64(*log_id);
+                kind::META
+            }
+        };
+        (kind, enc.finish())
+    }
+
+    /// Decodes from kind + body.
+    fn decode(kind: u8, body: &[u8]) -> io::Result<Request> {
+        let mut dec = Decoder::new(body);
+        let request = match kind {
+            kind::HELLO => Request::Hello,
+            kind::APPEND => {
+                let leaf = dec.bytes().map_err(|_| io_err("append leaf"))?;
+                let request = AppendRequest::from_leaf_bytes(leaf)
+                    .map_err(|_| io_err("append request"))?;
+                Request::Append(request)
+            }
+            kind::READ => Request::Read(EntryId {
+                log_id: dec.u64().map_err(|_| io_err("log_id"))?,
+                offset: dec.u64().map_err(|_| io_err("offset"))? as u32,
+            }),
+            kind::READ_SEQ => {
+                let addr: [u8; 20] = dec.bytes_fixed().map_err(|_| io_err("addr"))?;
+                let seq = dec.u64().map_err(|_| io_err("seq"))?;
+                Request::ReadSeq(Address(addr), seq)
+            }
+            kind::READ_POSITION => {
+                Request::ReadPosition(dec.u64().map_err(|_| io_err("log_id"))?)
+            }
+            kind::READ_MANY => {
+                let n = dec.u64().map_err(|_| io_err("count"))?;
+                if n > 1_000_000 {
+                    return Err(io_err("read-many too large"));
+                }
+                let mut ids = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    ids.push(EntryId {
+                        log_id: dec.u64().map_err(|_| io_err("log_id"))?,
+                        offset: dec.u64().map_err(|_| io_err("offset"))? as u32,
+                    });
+                }
+                Request::ReadMany(ids)
+            }
+            kind::SCAN => Request::Scan {
+                log_id: dec.u64().map_err(|_| io_err("log_id"))?,
+                start: dec.u64().map_err(|_| io_err("start"))? as u32,
+                count: dec.u64().map_err(|_| io_err("count"))? as u32,
+            },
+            kind::META => Request::Meta { log_id: dec.u64().map_err(|_| io_err("log_id"))? },
+            other => return Err(io_err(&format!("unknown request kind 0x{other:02x}"))),
+        };
+        dec.finish().map_err(|_| io_err("trailing bytes"))?;
+        Ok(request)
+    }
+}
+
+impl Reply {
+    fn encode(&self) -> (u8, Vec<u8>) {
+        let mut enc = Encoder::new();
+        let kind = match self {
+            Reply::Hello { public_key } => {
+                enc.bytes(public_key);
+                kind::R_HELLO
+            }
+            Reply::Response(response) => {
+                enc.bytes(&response.to_bytes());
+                kind::R_RESPONSE
+            }
+            Reply::Responses(responses) => {
+                enc.u64(responses.len() as u64);
+                for response in responses {
+                    enc.bytes(&response.to_bytes());
+                }
+                kind::R_RESPONSES
+            }
+            Reply::ManyResults(results) => {
+                enc.u64(results.len() as u64);
+                for result in results {
+                    match result {
+                        Ok(response) => {
+                            enc.u8(1).bytes(&response.to_bytes());
+                        }
+                        Err(message) => {
+                            enc.u8(0).bytes(message.as_bytes());
+                        }
+                    }
+                }
+                kind::R_MANY
+            }
+            Reply::Scan { leaves, proof, root } => {
+                enc.u64(leaves.len() as u64);
+                for leaf in leaves {
+                    enc.bytes(leaf);
+                }
+                encode_range_proof(&mut enc, proof);
+                enc.bytes(root.as_bytes());
+                kind::R_SCAN
+            }
+            Reply::Meta { positions, entries, position_len } => {
+                enc.u64(*positions).u64(*entries).u64(*position_len as u64);
+                kind::R_META
+            }
+            Reply::Error(message) => {
+                enc.bytes(message.as_bytes());
+                kind::R_ERROR
+            }
+        };
+        (kind, enc.finish())
+    }
+
+    fn decode(kind: u8, body: &[u8]) -> io::Result<Reply> {
+        let mut dec = Decoder::new(body);
+        let reply = match kind {
+            kind::R_HELLO => {
+                let pk: [u8; 64] = dec.bytes_fixed().map_err(|_| io_err("public key"))?;
+                Reply::Hello { public_key: pk }
+            }
+            kind::R_RESPONSE => {
+                let bytes = dec.bytes().map_err(|_| io_err("response"))?;
+                Reply::Response(
+                    SignedResponse::from_bytes(bytes).map_err(|_| io_err("response body"))?,
+                )
+            }
+            kind::R_RESPONSES => {
+                let n = dec.u64().map_err(|_| io_err("count"))?;
+                if n > dec.remaining() as u64 {
+                    return Err(io_err("count exceeds frame"));
+                }
+                let mut responses = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let bytes = dec.bytes().map_err(|_| io_err("response"))?;
+                    responses.push(
+                        SignedResponse::from_bytes(bytes)
+                            .map_err(|_| io_err("response body"))?,
+                    );
+                }
+                Reply::Responses(responses)
+            }
+            kind::R_SCAN => {
+                let n = dec.u64().map_err(|_| io_err("leaf count"))?;
+                if n > dec.remaining() as u64 {
+                    return Err(io_err("count exceeds frame"));
+                }
+                let mut leaves = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    leaves.push(dec.bytes().map_err(|_| io_err("leaf"))?.to_vec());
+                }
+                let proof = decode_range_proof(&mut dec)?;
+                let root: [u8; 32] = dec.bytes_fixed().map_err(|_| io_err("root"))?;
+                Reply::Scan { leaves, proof, root: Hash32(root) }
+            }
+            kind::R_MANY => {
+                let n = dec.u64().map_err(|_| io_err("count"))?;
+                if n > dec.remaining() as u64 {
+                    return Err(io_err("count exceeds frame"));
+                }
+                let mut results = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let ok = dec.u8().map_err(|_| io_err("flag"))?;
+                    let body = dec.bytes().map_err(|_| io_err("body"))?;
+                    results.push(match ok {
+                        1 => Ok(SignedResponse::from_bytes(body)
+                            .map_err(|_| io_err("response body"))?),
+                        0 => Err(String::from_utf8_lossy(body).into_owned()),
+                        _ => return Err(io_err("bad result flag")),
+                    });
+                }
+                Reply::ManyResults(results)
+            }
+            kind::R_META => Reply::Meta {
+                positions: dec.u64().map_err(|_| io_err("positions"))?,
+                entries: dec.u64().map_err(|_| io_err("entries"))?,
+                position_len: dec.u64().map_err(|_| io_err("len"))? as u32,
+            },
+            kind::R_ERROR => {
+                let msg = dec.bytes().map_err(|_| io_err("error message"))?;
+                Reply::Error(String::from_utf8_lossy(msg).into_owned())
+            }
+            other => return Err(io_err(&format!("unknown reply kind 0x{other:02x}"))),
+        };
+        dec.finish().map_err(|_| io_err("trailing bytes"))?;
+        Ok(reply)
+    }
+}
+
+/// Writes one frame.
+fn write_frame(w: &mut impl Write, kind: u8, req_id: u64, body: &[u8]) -> io::Result<()> {
+    let len = 1 + 8 + body.len();
+    if len > MAX_FRAME {
+        return Err(io_err("frame too large"));
+    }
+    w.write_all(&(len as u32).to_be_bytes())?;
+    w.write_all(&[kind])?;
+    w.write_all(&req_id.to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame: `(kind, req_id, body)`.
+fn read_frame(r: &mut impl Read) -> io::Result<(u8, u64, Vec<u8>)> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if !(9..=MAX_FRAME).contains(&len) {
+        return Err(io_err("bad frame length"));
+    }
+    let mut frame = vec![0u8; len];
+    r.read_exact(&mut frame)?;
+    let kind = frame[0];
+    let req_id = u64::from_be_bytes(frame[1..9].try_into().expect("8 bytes"));
+    Ok((kind, req_id, frame[9..].to_vec()))
+}
+
+/// Decodes a request from a raw frame (everything after the length prefix):
+/// `kind (1) || req_id (8) || body`. Used by servers that manage framing
+/// themselves (e.g. with interruptible reads).
+pub fn decode_request_frame(frame: &[u8]) -> io::Result<(u64, Request)> {
+    if frame.len() < 9 {
+        return Err(io_err("frame too short"));
+    }
+    let kind = frame[0];
+    let req_id = u64::from_be_bytes(frame[1..9].try_into().expect("8 bytes"));
+    Ok((req_id, Request::decode(kind, &frame[9..])?))
+}
+
+/// Sends a request frame.
+pub fn send_request(w: &mut impl Write, req_id: u64, request: &Request) -> io::Result<()> {
+    let (kind, body) = request.encode();
+    write_frame(w, kind, req_id, &body)
+}
+
+/// Receives a request frame.
+pub fn recv_request(r: &mut impl Read) -> io::Result<(u64, Request)> {
+    let (kind, req_id, body) = read_frame(r)?;
+    Ok((req_id, Request::decode(kind, &body)?))
+}
+
+/// Sends a reply frame.
+pub fn send_reply(w: &mut impl Write, req_id: u64, reply: &Reply) -> io::Result<()> {
+    let (kind, body) = reply.encode();
+    write_frame(w, kind, req_id, &body)
+}
+
+/// Receives a reply frame.
+pub fn recv_reply(r: &mut impl Read) -> io::Result<(u64, Reply)> {
+    let (kind, req_id, body) = read_frame(r)?;
+    Ok((req_id, Reply::decode(kind, &body)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wedge_crypto::Keypair;
+    use wedge_merkle::MerkleTree;
+
+    #[test]
+    fn request_frames_roundtrip() {
+        let kp = Keypair::from_seed(b"wire");
+        let append = AppendRequest::new(&kp.secret, 7, b"wire-payload".to_vec());
+        let requests = vec![
+            Request::Hello,
+            Request::Append(append),
+            Request::Read(EntryId { log_id: 3, offset: 9 }),
+            Request::ReadSeq(kp.address, 42),
+            Request::ReadPosition(5),
+            Request::Scan { log_id: 1, start: 2, count: 3 },
+            Request::Meta { log_id: u64::MAX },
+        ];
+        let mut buf = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            send_request(&mut buf, i as u64, request).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for (i, original) in requests.iter().enumerate() {
+            let (req_id, decoded) = recv_request(&mut cursor).unwrap();
+            assert_eq!(req_id, i as u64);
+            assert_eq!(format!("{decoded:?}"), format!("{original:?}"));
+        }
+    }
+
+    #[test]
+    fn reply_frames_roundtrip() {
+        let node = Keypair::from_seed(b"wire-node");
+        let kp = Keypair::from_seed(b"wire-pub");
+        let request = AppendRequest::new(&kp.secret, 0, b"x".to_vec());
+        let leaves = vec![request.leaf_bytes(), b"other".to_vec()];
+        let tree = MerkleTree::from_leaves(&leaves).unwrap();
+        let response = SignedResponse::sign(
+            &node.secret,
+            EntryId { log_id: 0, offset: 0 },
+            tree.root(),
+            tree.prove(0).unwrap(),
+            leaves[0].clone(),
+        );
+        let scan_proof = RangeProof::generate(&tree, 0, 2).unwrap();
+        let replies = vec![
+            Reply::Hello { public_key: node.public.to_bytes() },
+            Reply::Response(response.clone()),
+            Reply::Responses(vec![response.clone(), response.clone()]),
+            Reply::Scan { leaves: leaves.clone(), proof: scan_proof, root: tree.root() },
+            Reply::Meta { positions: 1, entries: 2, position_len: 2 },
+            Reply::Error("nope".into()),
+        ];
+        let mut buf = Vec::new();
+        for (i, reply) in replies.iter().enumerate() {
+            send_reply(&mut buf, i as u64, reply).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for (i, _) in replies.iter().enumerate() {
+            let (req_id, decoded) = recv_reply(&mut cursor).unwrap();
+            assert_eq!(req_id, i as u64);
+            // Deep checks for the interesting ones.
+            match (i, decoded) {
+                (0, Reply::Hello { public_key }) => {
+                    assert_eq!(public_key, node.public.to_bytes())
+                }
+                (1, Reply::Response(r)) => {
+                    r.verify(&node.public).unwrap();
+                    assert_eq!(r.leaf, leaves[0]);
+                }
+                (2, Reply::Responses(rs)) => assert_eq!(rs.len(), 2),
+                (3, Reply::Scan { leaves: l, proof, root }) => {
+                    proof.verify(&l, &root).unwrap();
+                }
+                (4, Reply::Meta { positions, entries, position_len }) => {
+                    assert_eq!((positions, entries, position_len), (1, 2, 2));
+                }
+                (5, Reply::Error(msg)) => assert_eq!(msg, "nope"),
+                (i, other) => panic!("reply {i} decoded wrong: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_frames_rejected() {
+        // Oversized length prefix.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        assert!(recv_request(&mut std::io::Cursor::new(buf)).is_err());
+        // Unknown kind.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x77, 0, b"").unwrap();
+        assert!(recv_request(&mut std::io::Cursor::new(buf)).is_err());
+        // Truncated body.
+        let mut buf = Vec::new();
+        send_request(&mut buf, 1, &Request::Read(EntryId { log_id: 0, offset: 0 })).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(recv_request(&mut std::io::Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Latency models for simulated links and block-production jitter.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// A distribution over durations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// No delay.
+    Zero,
+    /// A fixed delay.
+    Constant(Duration),
+    /// Uniform over `[min, max]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: Duration,
+        /// Upper bound (inclusive).
+        max: Duration,
+    },
+    /// Constant base plus per-byte transmission time (a simple
+    /// bandwidth/propagation link model).
+    Link {
+        /// Propagation delay.
+        base: Duration,
+        /// Transmission time per kilobyte of payload.
+        per_kb: Duration,
+    },
+}
+
+impl LatencyModel {
+    /// Samples a delay for a message of `payload_bytes` using `rng`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, payload_bytes: usize) -> Duration {
+        match *self {
+            LatencyModel::Zero => Duration::ZERO,
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                debug_assert!(min <= max);
+                if min == max {
+                    min
+                } else {
+                    let span = (max - min).as_nanos() as u64;
+                    min + Duration::from_nanos(rng.gen_range(0..=span))
+                }
+            }
+            LatencyModel::Link { base, per_kb } => {
+                let kb = payload_bytes.div_ceil(1024) as u32;
+                base + per_kb * kb
+            }
+        }
+    }
+
+    /// The mean delay for a message of `payload_bytes` (for analytical
+    /// expectations in benches).
+    pub fn mean(&self, payload_bytes: usize) -> Duration {
+        match *self {
+            LatencyModel::Zero => Duration::ZERO,
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => (min + max) / 2,
+            LatencyModel::Link { base, per_kb } => {
+                base + per_kb * payload_bytes.div_ceil(1024) as u32
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Zero
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_and_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(LatencyModel::Zero.sample(&mut rng, 100), Duration::ZERO);
+        let c = LatencyModel::Constant(Duration::from_millis(7));
+        assert_eq!(c.sample(&mut rng, 0), Duration::from_millis(7));
+        assert_eq!(c.mean(0), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let model = LatencyModel::Uniform {
+            min: Duration::from_millis(10),
+            max: Duration::from_millis(20),
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let d = model.sample(&mut rng, 0);
+            assert!(d >= Duration::from_millis(10) && d <= Duration::from_millis(20));
+        }
+        assert_eq!(model.mean(0), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn uniform_degenerate() {
+        let d = Duration::from_millis(5);
+        let model = LatencyModel::Uniform { min: d, max: d };
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(model.sample(&mut rng, 0), d);
+    }
+
+    #[test]
+    fn link_scales_with_payload() {
+        let model = LatencyModel::Link {
+            base: Duration::from_millis(1),
+            per_kb: Duration::from_micros(100),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = model.sample(&mut rng, 512);
+        let large = model.sample(&mut rng, 512 * 1024);
+        assert_eq!(small, Duration::from_millis(1) + Duration::from_micros(100));
+        assert!(large > small);
+        assert_eq!(large, Duration::from_millis(1) + Duration::from_micros(100) * 512);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the simulation clock and latency models.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use wedge_sim::{Clock, LatencyModel, SimInstant};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn manual_clock_advances_exactly(steps in prop::collection::vec(0u64..10_000, 1..20)) {
+        let clock = Clock::manual();
+        let mut expected = Duration::ZERO;
+        for step in steps {
+            clock.advance(Duration::from_millis(step));
+            expected += Duration::from_millis(step);
+            prop_assert_eq!(clock.now().elapsed(), expected);
+        }
+    }
+
+    #[test]
+    fn sim_instant_ordering_is_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let ia = SimInstant::EPOCH.add(Duration::from_micros(a));
+        let ib = SimInstant::EPOCH.add(Duration::from_micros(b));
+        prop_assert_eq!(ia < ib, a < b);
+        // since() is saturating: never panics, zero when earlier >= later.
+        if a >= b {
+            prop_assert_eq!(ib.since(ia), Duration::ZERO);
+            prop_assert_eq!(ia.since(ib), Duration::from_micros(a - b));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_within_bounds(lo in 0u64..5_000, span in 0u64..5_000, payload in 0usize..1_000_000) {
+        use rand::SeedableRng;
+        let model = LatencyModel::Uniform {
+            min: Duration::from_micros(lo),
+            max: Duration::from_micros(lo + span),
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(lo ^ span as u64);
+        for _ in 0..32 {
+            let d = model.sample(&mut rng, payload);
+            prop_assert!(d >= Duration::from_micros(lo));
+            prop_assert!(d <= Duration::from_micros(lo + span));
+        }
+        // Mean is inside the bounds too.
+        let mean = model.mean(payload);
+        prop_assert!(mean >= Duration::from_micros(lo) && mean <= Duration::from_micros(lo + span));
+    }
+
+    #[test]
+    fn link_latency_is_monotone_in_payload(base in 0u64..1000, per_kb in 0u64..1000, small in 0usize..10_000, extra in 1usize..100_000) {
+        use rand::SeedableRng;
+        let model = LatencyModel::Link {
+            base: Duration::from_micros(base),
+            per_kb: Duration::from_nanos(per_kb),
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = model.sample(&mut rng, small);
+        let b = model.sample(&mut rng, small + extra);
+        prop_assert!(b >= a, "more bytes must never be faster");
+    }
+}
+
+#[test]
+fn compressed_clock_ratios_hold() {
+    // Two compressed clocks at different factors measure the same wall
+    // interval; their simulated elapsed times must scale accordingly.
+    let fast = Clock::compressed(2000.0);
+    let slow = Clock::compressed(200.0);
+    let f0 = fast.now();
+    let s0 = slow.now();
+    std::thread::sleep(Duration::from_millis(20));
+    let f = fast.now().since(f0).as_secs_f64();
+    let s = slow.now().since(s0).as_secs_f64();
+    let ratio = f / s;
+    assert!((8.0..12.0).contains(&ratio), "expected ~10x, got {ratio:.2}");
+}

@@ -1,0 +1,65 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+use std::io;
+
+/// Errors from the append-only log store.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A record id beyond the current tail was requested.
+    RecordNotFound {
+        /// Requested record id.
+        id: u64,
+        /// Records currently stored.
+        len: u64,
+    },
+    /// A stored record failed its checksum — on-disk corruption that is
+    /// *not* at the tail (torn tails are silently truncated at recovery).
+    Corrupt {
+        /// Record id of the damaged record.
+        id: u64,
+        /// Human-readable cause.
+        what: &'static str,
+    },
+    /// A record exceeded the configured maximum payload size.
+    RecordTooLarge {
+        /// Payload size requested.
+        size: usize,
+        /// Configured ceiling.
+        max: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::RecordNotFound { id, len } => {
+                write!(f, "record {id} not found (store holds {len} records)")
+            }
+            StorageError::Corrupt { id, what } => {
+                write!(f, "record {id} is corrupt: {what}")
+            }
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

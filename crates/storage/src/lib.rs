@@ -1,0 +1,19 @@
+//! # wedge-storage
+//!
+//! Durable storage substrate for the Offchain Node: a segmented, CRC-checked
+//! append-only record log with crash recovery ([`LogStore`]), plus the
+//! replica fan-out used for the paper's replicated-liveness experiments
+//! ([`Replicator`]).
+
+#![warn(missing_docs)]
+
+mod crc32;
+mod error;
+mod replication;
+mod segment;
+mod store;
+
+pub use crc32::crc32;
+pub use error::StorageError;
+pub use replication::Replicator;
+pub use store::{LogStore, StoreConfig, SyncPolicy};

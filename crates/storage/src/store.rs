@@ -1,0 +1,495 @@
+//! The append-only log store: sequential records across rotating segments,
+//! with crash recovery and an in-memory locator index.
+//!
+//! This is the durable backing for the Offchain Node's log ("The log entry
+//! is then persisted to local storage", paper §4.3). Records are addressed
+//! by a dense `u64` sequence number assigned at append time.
+
+use std::path::{Path, PathBuf};
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::StorageError;
+use crate::segment::{
+    read_record_at, scan_segment, segment_path, SegmentId, SegmentWriter, HEADER_LEN,
+};
+
+/// When appended records are made durable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SyncPolicy {
+    /// fsync after every append (safest, slowest).
+    Always,
+    /// Flush to the OS after every append, fsync only on rotation/close.
+    #[default]
+    OnRotate,
+    /// Leave flushing to the OS entirely (fastest; loses the tail on crash).
+    Never,
+}
+
+/// Configuration for a [`LogStore`].
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Rotate to a new segment once the current one exceeds this size.
+    pub max_segment_bytes: u64,
+    /// Reject payloads larger than this.
+    pub max_record_bytes: usize,
+    /// Durability policy.
+    pub sync: SyncPolicy,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_segment_bytes: 64 * 1024 * 1024,
+            max_record_bytes: 16 * 1024 * 1024,
+            sync: SyncPolicy::OnRotate,
+        }
+    }
+}
+
+/// Locates a record on disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Locator {
+    segment: SegmentId,
+    offset: u64,
+}
+
+/// Append side: the active segment writer.
+struct Tail {
+    writer: SegmentWriter,
+}
+
+/// A durable append-only record log.
+///
+/// Appends are serialized; reads are concurrent and lock the index only
+/// briefly (each read opens its own file handle, so readers never contend
+/// with the writer on file position).
+pub struct LogStore {
+    dir: PathBuf,
+    config: StoreConfig,
+    index: RwLock<Vec<Locator>>,
+    tail: Mutex<Tail>,
+}
+
+impl LogStore {
+    /// Opens (or creates) a store in `dir`, recovering any existing
+    /// segments. Torn tail records are truncated away.
+    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> Result<LogStore, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        // Discover existing segments.
+        let mut segment_ids: Vec<SegmentId> = std::fs::read_dir(&dir)?
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name().into_string().ok()?;
+                let id = name.strip_prefix("seg-")?.strip_suffix(".wlog")?;
+                id.parse::<SegmentId>().ok()
+            })
+            .collect();
+        segment_ids.sort_unstable();
+
+        let mut index = Vec::new();
+        let mut tail_writer = None;
+        if let Some((&last, fully_sealed)) = segment_ids.split_last() {
+            for &id in fully_sealed {
+                let scan = scan_segment(&dir, id)?;
+                // Non-tail segments must be fully intact: mid-log corruption
+                // cannot be silently dropped without creating a hole.
+                if scan.torn_tail {
+                    return Err(StorageError::Corrupt {
+                        id: id as u64,
+                        what: "corruption in a sealed (non-tail) segment",
+                    });
+                }
+                index.extend(scan.records.iter().map(|&(offset, _)| Locator { segment: id, offset }));
+            }
+            let scan = scan_segment(&dir, last)?;
+            index.extend(scan.records.iter().map(|&(offset, _)| Locator { segment: last, offset }));
+            tail_writer = Some(SegmentWriter::open_at(&dir, last, scan.valid_len)?);
+        }
+        let writer = match tail_writer {
+            Some(w) => w,
+            None => SegmentWriter::create(&dir, 0)?,
+        };
+        Ok(LogStore {
+            dir,
+            config,
+            index: RwLock::new(index),
+            tail: Mutex::new(Tail { writer }),
+        })
+    }
+
+    /// Appends a record; returns its sequence number.
+    pub fn append(&self, payload: &[u8]) -> Result<u64, StorageError> {
+        if payload.len() > self.config.max_record_bytes {
+            return Err(StorageError::RecordTooLarge {
+                size: payload.len(),
+                max: self.config.max_record_bytes,
+            });
+        }
+        let mut tail = self.tail.lock();
+        // Rotate if the current segment is full (never rotate an empty one —
+        // a single oversized record may exceed max_segment_bytes).
+        if tail.writer.len() + (HEADER_LEN + payload.len()) as u64 > self.config.max_segment_bytes
+            && !tail.writer.is_empty()
+        {
+            tail.writer.sync()?;
+            let next_id = tail.writer.id() + 1;
+            tail.writer = SegmentWriter::create(&self.dir, next_id)?;
+        }
+        let offset = tail.writer.append(payload)?;
+        match self.config.sync {
+            SyncPolicy::Always => tail.writer.sync()?,
+            SyncPolicy::OnRotate => tail.writer.flush()?,
+            SyncPolicy::Never => {}
+        }
+        let locator = Locator { segment: tail.writer.id(), offset };
+        let mut index = self.index.write();
+        index.push(locator);
+        Ok(index.len() as u64 - 1)
+    }
+
+    /// Appends several records as one batch, flushing once. Returns the
+    /// sequence number of the first record.
+    pub fn append_batch<D: AsRef<[u8]>>(&self, payloads: &[D]) -> Result<u64, StorageError> {
+        let mut tail = self.tail.lock();
+        let mut locators = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let payload = payload.as_ref();
+            if payload.len() > self.config.max_record_bytes {
+                return Err(StorageError::RecordTooLarge {
+                    size: payload.len(),
+                    max: self.config.max_record_bytes,
+                });
+            }
+            if tail.writer.len() + (HEADER_LEN + payload.len()) as u64
+                > self.config.max_segment_bytes
+                && !tail.writer.is_empty()
+            {
+                tail.writer.sync()?;
+                let next_id = tail.writer.id() + 1;
+                tail.writer = SegmentWriter::create(&self.dir, next_id)?;
+            }
+            let offset = tail.writer.append(payload)?;
+            locators.push(Locator { segment: tail.writer.id(), offset });
+        }
+        match self.config.sync {
+            SyncPolicy::Always => tail.writer.sync()?,
+            SyncPolicy::OnRotate => tail.writer.flush()?,
+            SyncPolicy::Never => {}
+        }
+        let mut index = self.index.write();
+        let first = index.len() as u64;
+        index.extend(locators);
+        Ok(first)
+    }
+
+    /// Reads record `id`.
+    pub fn read(&self, id: u64) -> Result<Vec<u8>, StorageError> {
+        let locator = {
+            let index = self.index.read();
+            *index.get(id as usize).ok_or(StorageError::RecordNotFound {
+                id,
+                len: index.len() as u64,
+            })?
+        };
+        // The tail segment may still hold this record in its write buffer;
+        // flush before reading if it is the active segment.
+        {
+            let mut tail = self.tail.lock();
+            if tail.writer.id() == locator.segment {
+                tail.writer.flush()?;
+            }
+        }
+        read_record_at(&self.dir, locator.segment, locator.offset)
+    }
+
+    /// Reads records `[start, start + count)` in order.
+    pub fn read_range(&self, start: u64, count: u64) -> Result<Vec<Vec<u8>>, StorageError> {
+        (start..start + count).map(|id| self.read(id)).collect()
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> u64 {
+        self.index.read().len() as u64
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.read().is_empty()
+    }
+
+    /// Forces the tail to stable storage.
+    pub fn sync(&self) -> Result<(), StorageError> {
+        self.tail.lock().writer.sync()
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of segment files currently on disk.
+    pub fn segment_count(&self) -> u32 {
+        self.tail.lock().writer.id() + 1
+    }
+
+    /// Iterates over all records in sequence order. Each item re-reads from
+    /// disk (no large resident buffers); errors surface per record.
+    pub fn iter(&self) -> impl Iterator<Item = Result<Vec<u8>, StorageError>> + '_ {
+        (0..self.len()).map(move |id| self.read(id))
+    }
+
+    /// Simulates the paper's extreme omission attack for tests: removes the
+    /// newest `count` records from the index *and* truncates them from disk.
+    /// Returns the new length.
+    pub fn truncate_tail(&self, count: u64) -> Result<u64, StorageError> {
+        let mut index = self.index.write();
+        let new_len = index.len().saturating_sub(count as usize);
+        let removed: Vec<Locator> = index.drain(new_len..).collect();
+        if let Some(first_removed) = removed.first() {
+            let mut tail = self.tail.lock();
+            // Only supports truncation within the active segment; earlier
+            // segments would need deletion (not required by tests).
+            if first_removed.segment == tail.writer.id() {
+                tail.writer.sync()?;
+                let id = tail.writer.id();
+                let keep = first_removed.offset;
+                tail.writer = SegmentWriter::open_at(&self.dir, id, keep)?;
+            } else {
+                // Remove whole later segments, then truncate within the one
+                // holding the first removed record.
+                for seg in (first_removed.segment + 1)..=tail.writer.id() {
+                    let _ = std::fs::remove_file(segment_path(&self.dir, seg));
+                }
+                tail.writer = SegmentWriter::open_at(
+                    &self.dir,
+                    first_removed.segment,
+                    first_removed.offset,
+                )?;
+            }
+        }
+        Ok(new_len as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wedge-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let store = LogStore::open(tempdir("rt"), StoreConfig::default()).unwrap();
+        let a = store.append(b"alpha").unwrap();
+        let b = store.append(b"beta").unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(store.read(0).unwrap(), b"alpha");
+        assert_eq!(store.read(1).unwrap(), b"beta");
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn missing_record_is_error() {
+        let store = LogStore::open(tempdir("miss"), StoreConfig::default()).unwrap();
+        assert!(matches!(
+            store.read(0),
+            Err(StorageError::RecordNotFound { id: 0, len: 0 })
+        ));
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let config = StoreConfig { max_record_bytes: 8, ..Default::default() };
+        let store = LogStore::open(tempdir("big"), config).unwrap();
+        assert!(matches!(
+            store.append(b"123456789"),
+            Err(StorageError::RecordTooLarge { size: 9, max: 8 })
+        ));
+    }
+
+    #[test]
+    fn rotation_spreads_segments() {
+        let config = StoreConfig { max_segment_bytes: 64, ..Default::default() };
+        let dir = tempdir("rot");
+        let store = LogStore::open(&dir, config).unwrap();
+        for i in 0..20u32 {
+            store.append(format!("record-number-{i:04}").as_bytes()).unwrap();
+        }
+        assert!(store.segment_count() > 1, "expected rotation");
+        for i in 0..20u32 {
+            assert_eq!(store.read(i as u64).unwrap(), format!("record-number-{i:04}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn batch_append_is_dense_and_ordered() {
+        let store = LogStore::open(tempdir("batch"), StoreConfig::default()).unwrap();
+        store.append(b"pre").unwrap();
+        let first = store
+            .append_batch(&[b"b0".as_slice(), b"b1", b"b2"])
+            .unwrap();
+        assert_eq!(first, 1);
+        assert_eq!(store.read(2).unwrap(), b"b1");
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn recovery_restores_index() {
+        let dir = tempdir("rec");
+        let config = StoreConfig { max_segment_bytes: 128, ..Default::default() };
+        {
+            let store = LogStore::open(&dir, config.clone()).unwrap();
+            for i in 0..30u32 {
+                store.append(format!("persisted-{i}").as_bytes()).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let store = LogStore::open(&dir, config).unwrap();
+        assert_eq!(store.len(), 30);
+        for i in 0..30u32 {
+            assert_eq!(store.read(i as u64).unwrap(), format!("persisted-{i}").as_bytes());
+        }
+        // And appends continue from the recovered tail.
+        assert_eq!(store.append(b"after-recovery").unwrap(), 30);
+    }
+
+    #[test]
+    fn recovery_truncates_torn_tail() {
+        let dir = tempdir("torn");
+        let config = StoreConfig::default();
+        {
+            let store = LogStore::open(&dir, config.clone()).unwrap();
+            store.append(b"complete-1").unwrap();
+            store.append(b"complete-2").unwrap();
+            store.append(b"torn-record").unwrap();
+            store.sync().unwrap();
+        }
+        // Tear the last record.
+        let seg = segment_path(&dir, 0);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+        let store = LogStore::open(&dir, config).unwrap();
+        assert_eq!(store.len(), 2, "torn record dropped");
+        // The torn slot is reused by the next append.
+        assert_eq!(store.append(b"rewritten").unwrap(), 2);
+        assert_eq!(store.read(2).unwrap(), b"rewritten");
+    }
+
+    #[test]
+    fn sealed_segment_corruption_fails_open() {
+        let dir = tempdir("sealed");
+        let config = StoreConfig { max_segment_bytes: 64, ..Default::default() };
+        {
+            let store = LogStore::open(&dir, config.clone()).unwrap();
+            for i in 0..10u32 {
+                store.append(format!("record-number-{i:04}").as_bytes()).unwrap();
+            }
+            store.sync().unwrap();
+            assert!(store.segment_count() > 1);
+        }
+        // Corrupt a byte in the middle of segment 0 (sealed).
+        let seg = segment_path(&dir, 0);
+        let mut data = std::fs::read(&seg).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        std::fs::write(&seg, &data).unwrap();
+        assert!(matches!(
+            LogStore::open(&dir, config),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn sync_policies_all_roundtrip() {
+        for sync in [SyncPolicy::Always, SyncPolicy::OnRotate, SyncPolicy::Never] {
+            let config = StoreConfig { sync, ..Default::default() };
+            let store = LogStore::open(tempdir(&format!("sp-{sync:?}")), config).unwrap();
+            store.append(b"x").unwrap();
+            assert_eq!(store.read(0).unwrap(), b"x");
+        }
+    }
+
+    #[test]
+    fn truncate_tail_removes_records() {
+        let dir = tempdir("trunc");
+        let config = StoreConfig::default();
+        let store = LogStore::open(&dir, config.clone()).unwrap();
+        for i in 0..10u32 {
+            store.append(format!("e{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(store.truncate_tail(4).unwrap(), 6);
+        assert_eq!(store.len(), 6);
+        assert!(store.read(6).is_err());
+        assert_eq!(store.read(5).unwrap(), b"e5");
+        // Truncation is durable across recovery.
+        drop(store);
+        let store = LogStore::open(&dir, config).unwrap();
+        assert_eq!(store.len(), 6);
+    }
+
+    #[test]
+    fn concurrent_reads_while_appending() {
+        let store = std::sync::Arc::new(
+            LogStore::open(tempdir("conc"), StoreConfig::default()).unwrap(),
+        );
+        for i in 0..100u32 {
+            store.append(format!("seed-{i}").as_bytes()).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    let data = store.read(i).unwrap();
+                    assert_eq!(data, format!("seed-{i}").as_bytes(), "thread {t}");
+                }
+            }));
+        }
+        for i in 100..200u32 {
+            store.append(format!("seed-{i}").as_bytes()).unwrap();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 200);
+    }
+}
+
+#[cfg(test)]
+mod iter_tests {
+    use super::*;
+
+    #[test]
+    fn iterator_yields_all_records_in_order() {
+        let dir = std::env::temp_dir().join(format!(
+            "wedge-store-iter-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = LogStore::open(&dir, StoreConfig::default()).unwrap();
+        for i in 0..25u32 {
+            store.append(format!("it-{i}").as_bytes()).unwrap();
+        }
+        let collected: Vec<Vec<u8>> = store.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(collected.len(), 25);
+        for (i, record) in collected.iter().enumerate() {
+            assert_eq!(record, format!("it-{i}").as_bytes());
+        }
+        // Empty store yields nothing.
+        let empty_dir = dir.join("empty");
+        let empty = LogStore::open(&empty_dir, StoreConfig::default()).unwrap();
+        assert_eq!(empty.iter().count(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! A third-party audit service: periodically scans the log for punishable
+//! inconsistencies and, on detection, the wronged client turns the evidence
+//! into compensation on-chain.
+//!
+//! Run with: `cargo run --example auditor_watchdog`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wedgeblock::chain::{Chain, ChainConfig, Wei};
+use wedgeblock::core::{
+    deploy_service, Auditor, EvidenceKind, NodeBehavior, NodeConfig, OffchainNode, Publisher,
+    ServiceConfig,
+};
+use wedgeblock::crypto::Identity;
+use wedgeblock::sim::Clock;
+
+fn main() {
+    let clock = Clock::compressed(1000.0);
+    let chain = Chain::new(clock, ChainConfig::default());
+    let _miner = chain.start_miner();
+
+    let node_identity = Identity::from_seed(b"watchdog-demo-node");
+    let client_identity = Identity::from_seed(b"watchdog-demo-client");
+    chain.fund(node_identity.address(), Wei::from_eth(200));
+    chain.fund(client_identity.address(), Wei::from_eth(200));
+    let deployment = deploy_service(
+        &chain,
+        &node_identity,
+        client_identity.address(),
+        &ServiceConfig { escrow: Wei::from_eth(16), payment_terms: None },
+    )
+    .expect("deploy");
+
+    // The node turns malicious from log position 2 onward.
+    let data_dir = std::env::temp_dir().join("wedgeblock-watchdog");
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let node = Arc::new(
+        OffchainNode::start(
+            node_identity,
+            NodeConfig {
+                batch_size: 50,
+                behavior: NodeBehavior::CommitWrongRoot { from_log: 2 },
+                ..Default::default()
+            },
+            Arc::clone(&chain),
+            deployment.root_record,
+            &data_dir,
+        )
+        .expect("start node"),
+    );
+    let mut publisher = Publisher::new(
+        client_identity,
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+        Some(deployment.punishment),
+    );
+
+    // Four batches land in log positions 0..4; positions 2 and 3 are
+    // equivocated on-chain.
+    for round in 0..4 {
+        let entries = (0..50)
+            .map(|i| format!("round-{round}-entry-{i}").into_bytes())
+            .collect();
+        publisher.append_batch(entries).expect("append");
+    }
+    node.wait_stage2_idle(Duration::from_secs(600)).expect("stage 2");
+    println!("log has {} positions committed on-chain", node.log_positions());
+
+    // The watchdog sweep: an independent auditor with no special access —
+    // only the public read API and the public chain.
+    let auditor = Auditor::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    match auditor.find_evidence(0, u64::MAX).expect("scan") {
+        None => println!("watchdog: all positions consistent"),
+        Some(evidence) => {
+            let kind = match evidence.kind {
+                EvidenceKind::RootMismatch => "committed root ≠ signed root",
+                EvidenceKind::BogusProof => "signed proof does not reproduce signed root",
+            };
+            println!(
+                "watchdog: PUNISHABLE inconsistency at entry {} ({kind})",
+                evidence.response.entry_id
+            );
+            // Hand the signed response to the client with the punishment
+            // contract; one transaction later the escrow is theirs.
+            let before = chain.balance(publisher.address());
+            let receipt = publisher.punish(&evidence.response).expect("punish");
+            assert!(receipt.status.is_success());
+            let gained = chain
+                .balance(publisher.address())
+                .checked_add(receipt.fee)
+                .unwrap()
+                .checked_sub(before)
+                .unwrap();
+            println!(
+                "punishment executed in block {}: {gained} recovered for {} of gas",
+                receipt.block_number, receipt.fee
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! DApp-logging-as-a-service (paper §4.5): the Payment contract lifecycle.
+//!
+//! Walks the full subscription state machine on a manually driven clock:
+//! deposit → startPayment → healthy streaming (PaymentStateUpdated) →
+//! operator withdrawal → underfunded reminders (DepositInsufficient) →
+//! top-up → graceful termination with settlement.
+//!
+//! Run with: `cargo run --example logging_as_a_service`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wedgeblock::chain::{Chain, ChainConfig, Gas, Wei};
+use wedgeblock::contracts::{Payment, PaymentTerms};
+use wedgeblock::crypto::Identity;
+use wedgeblock::sim::Clock;
+
+fn mine(chain: &Arc<Chain>, clock: &Clock) {
+    clock.advance(Duration::from_secs(13));
+    chain.mine_block();
+    chain.mine_block(); // confirmation depth
+    chain.mine_block();
+}
+
+fn main() {
+    // Manual clock: we are the timekeeper, so period math is exact.
+    let clock = Clock::manual();
+    let chain = Chain::new(clock.clone(), ChainConfig::default());
+    let operator = Identity::from_seed(b"laas-operator");
+    let dapp = Identity::from_seed(b"laas-dapp");
+    chain.fund(operator.address(), Wei::from_eth(100));
+    chain.fund(dapp.address(), Wei::from_eth(100));
+
+    // Terms: 100 gwei per 60-second period, 120 overdue periods tolerated
+    // (the paper's worked example).
+    let terms = PaymentTerms {
+        offchain_address: operator.address(),
+        client_address: dapp.address(),
+        period: 60,
+        payment_per_period: Wei::from_gwei(100),
+        max_overdue_periods: 120,
+    };
+    let (payment, _) = chain
+        .deploy(operator.secret_key(), Box::new(Payment::new(terms)), Wei::ZERO, Payment::CODE_LEN)
+        .expect("deploy");
+    mine(&chain, &clock);
+    println!("Payment contract at {payment}: 100 gwei / 60 s, 120 periods grace");
+
+    // Subscribe to contract events like a real off-chain service would.
+    let events = chain.subscribe_events();
+
+    // Deposit enough for 30 periods and start.
+    chain
+        .transfer(dapp.secret_key(), payment, Wei::from_gwei(3000))
+        .expect("deposit");
+    mine(&chain, &clock);
+    chain
+        .call_contract(dapp.secret_key(), payment, Wei::ZERO, Payment::start_payment_calldata(), Gas(300_000))
+        .expect("start");
+    mine(&chain, &clock);
+    println!("dapp deposited 3000 gwei (30 periods) and started the stream");
+
+    // 10 periods of healthy streaming.
+    clock.advance(Duration::from_secs(600));
+    chain
+        .call_contract(dapp.secret_key(), payment, Wei::ZERO, Payment::update_status_calldata(), Gas(300_000))
+        .expect("update");
+    mine(&chain, &clock);
+    while let Ok(event) = events.try_recv() {
+        if event.name == "PaymentStateUpdated" {
+            let remaining = u64::from_be_bytes(event.data.clone().try_into().unwrap());
+            println!("event PaymentStateUpdated: deposit covers {remaining} more periods");
+        }
+    }
+
+    // Operator withdraws earnings so far.
+    let before = chain.balance(operator.address());
+    chain
+        .call_contract(operator.secret_key(), payment, Wei::ZERO, Payment::withdraw_edge_calldata(), Gas(300_000))
+        .expect("withdraw");
+    mine(&chain, &clock);
+    let receipt_fees = chain.total_fees_paid(operator.address());
+    let _ = receipt_fees;
+    println!(
+        "operator withdrew earnings (balance {} → {})",
+        before,
+        chain.balance(operator.address())
+    );
+
+    // Let the deposit run dry: 25 more periods on a ~20-period balance.
+    clock.advance(Duration::from_secs(25 * 60));
+    chain
+        .call_contract(dapp.secret_key(), payment, Wei::ZERO, Payment::update_status_calldata(), Gas(300_000))
+        .expect("update");
+    mine(&chain, &clock);
+    while let Ok(event) = events.try_recv() {
+        if event.name == "DepositInsufficient" {
+            let overdue = u64::from_be_bytes(event.data.clone().try_into().unwrap());
+            println!("event DepositInsufficient: {overdue} periods overdue — topping up");
+        }
+    }
+
+    // Top up and finally terminate gracefully.
+    chain
+        .transfer(dapp.secret_key(), payment, Wei::from_gwei(5000))
+        .expect("top up");
+    mine(&chain, &clock);
+    chain
+        .call_contract(dapp.secret_key(), payment, Wei::ZERO, Payment::terminate_calldata(), Gas(500_000))
+        .expect("terminate");
+    mine(&chain, &clock);
+    let status = Payment::decode_status(
+        &chain.view(payment, &Payment::status_calldata()).unwrap(),
+    )
+    .unwrap();
+    assert!(status.terminated);
+    assert!(status.balance.is_zero());
+    println!(
+        "subscription terminated: operator paid in full, remainder refunded \
+         to the dapp; contract balance is {}",
+        status.balance
+    );
+}

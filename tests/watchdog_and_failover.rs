@@ -1,0 +1,215 @@
+//! Extension scenarios built from the paper's §4.7 mitigations:
+//!
+//! 1. **Watchdog**: a third-party auditor scans the log, finds punishable
+//!    evidence against an equivocating node, and a client cashes it in.
+//! 2. **Replica promotion**: after an extreme omission attack destroys the
+//!    primary, a fresh node is started over a replica's store and serves
+//!    reads that still verify against the on-chain digests.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wedgeblock::chain::{Chain, ChainConfig, Wei};
+use wedgeblock::core::{
+    deploy_service, Auditor, CommitPhase, EvidenceKind, NodeBehavior, NodeConfig, OffchainNode,
+    Publisher, Reader, ServiceConfig,
+};
+use wedgeblock::crypto::Identity;
+use wedgeblock::sim::Clock;
+
+fn payloads(n: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|i| format!("wf-{i}").into_bytes()).collect()
+}
+
+#[test]
+fn auditor_watchdog_finds_and_monetizes_evidence() {
+    let clock = Clock::compressed(2000.0);
+    let chain = Chain::new(clock, ChainConfig::default());
+    let node_id = Identity::from_seed(b"watchdog-node");
+    let client_id = Identity::from_seed(b"watchdog-client");
+    chain.fund(node_id.address(), Wei::from_eth(1000));
+    chain.fund(client_id.address(), Wei::from_eth(1000));
+    let _miner = chain.start_miner();
+    let deployment = deploy_service(
+        &chain,
+        &node_id,
+        client_id.address(),
+        &ServiceConfig { escrow: Wei::from_eth(16), payment_terms: None },
+    )
+    .unwrap();
+    let dir = std::env::temp_dir().join(format!("wedge-watchdog-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let node = Arc::new(
+        OffchainNode::start(
+            node_id,
+            NodeConfig {
+                batch_size: 20,
+                batch_linger: Duration::from_millis(5),
+                behavior: NodeBehavior::CommitWrongRoot { from_log: 1 },
+                ..Default::default()
+            },
+            Arc::clone(&chain),
+            deployment.root_record,
+            &dir,
+        )
+        .unwrap(),
+    );
+    let mut publisher = Publisher::new(
+        client_id,
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+        Some(deployment.punishment),
+    );
+    // Two batches: log 0 honest, log 1 equivocated.
+    publisher.append_batch(payloads(20)).unwrap();
+    publisher.append_batch(payloads(20)).unwrap();
+    node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
+
+    // An independent auditor (no punishment contract of its own) scans.
+    let auditor = Auditor::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    let evidence = auditor
+        .find_evidence(0, u64::MAX)
+        .unwrap()
+        .expect("equivocation must surface evidence");
+    assert_eq!(evidence.kind, EvidenceKind::RootMismatch);
+    assert_eq!(evidence.response.entry_id.log_id, 1, "log 0 was honest");
+
+    // The client (beneficiary of the punishment contract) cashes it in.
+    let receipt = publisher.punish(&evidence.response).unwrap();
+    assert!(receipt.status.is_success());
+    assert_eq!(chain.balance(deployment.punishment), Wei::ZERO, "escrow seized");
+}
+
+#[test]
+fn watchdog_finds_nothing_on_honest_node() {
+    let clock = Clock::compressed(2000.0);
+    let chain = Chain::new(clock, ChainConfig::default());
+    let node_id = Identity::from_seed(b"honest-watch-node");
+    let client_id = Identity::from_seed(b"honest-watch-client");
+    chain.fund(node_id.address(), Wei::from_eth(100));
+    chain.fund(client_id.address(), Wei::from_eth(100));
+    let _miner = chain.start_miner();
+    let deployment = deploy_service(
+        &chain,
+        &node_id,
+        client_id.address(),
+        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+    )
+    .unwrap();
+    let dir = std::env::temp_dir().join(format!("wedge-honest-watch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let node = Arc::new(
+        OffchainNode::start(
+            node_id,
+            NodeConfig { batch_size: 20, batch_linger: Duration::from_millis(5), ..Default::default() },
+            Arc::clone(&chain),
+            deployment.root_record,
+            &dir,
+        )
+        .unwrap(),
+    );
+    let mut publisher = Publisher::new(
+        client_id,
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+        None,
+    );
+    publisher.append_batch(payloads(40)).unwrap();
+    node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
+    let auditor = Auditor::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    assert!(auditor.find_evidence(0, u64::MAX).unwrap().is_none());
+}
+
+#[test]
+fn replica_promotion_survives_total_primary_loss() {
+    let clock = Clock::compressed(2000.0);
+    let chain = Chain::new(clock, ChainConfig::default());
+    let node_id = Identity::from_seed(b"failover-node");
+    let client_id = Identity::from_seed(b"failover-client");
+    chain.fund(node_id.address(), Wei::from_eth(1000));
+    chain.fund(client_id.address(), Wei::from_eth(1000));
+    let _miner = chain.start_miner();
+    let deployment = deploy_service(
+        &chain,
+        &node_id,
+        client_id.address(),
+        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+    )
+    .unwrap();
+    let dir = std::env::temp_dir().join(format!("wedge-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let data = payloads(60);
+    {
+        let node = Arc::new(
+            OffchainNode::start(
+                node_id,
+                NodeConfig {
+                    batch_size: 30,
+                    batch_linger: Duration::from_millis(5),
+                    replicas: 1,
+                    ..Default::default()
+                },
+                Arc::clone(&chain),
+                deployment.root_record,
+                &dir,
+            )
+            .unwrap(),
+        );
+        let mut publisher = Publisher::new(
+            client_id.clone(),
+            Arc::clone(&node),
+            Arc::clone(&chain),
+            deployment.root_record,
+            None,
+        );
+        publisher.append_batch(data.clone()).unwrap();
+        node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
+        // The primary is then wholly destroyed (node dropped, directory
+        // removed) — the extreme omission attack of §4.7.
+    }
+    let _ = std::fs::remove_dir_all(dir.join("log"));
+
+    // Promote the replica: a *witness* operator starts a node over the
+    // replica's store. Its identity differs from the original node's — the
+    // data's authenticity comes from the on-chain digests, not from who
+    // serves it.
+    let witness_id = Identity::from_seed(b"witness-operator");
+    let witness_dir = dir.join("replicas").join("replica-0");
+    // The node's store lives under <dir>/log; point the witness at a dir
+    // whose `log` subdirectory is the replica store.
+    let promoted_root = dir.join("promoted");
+    std::fs::create_dir_all(&promoted_root).unwrap();
+    std::fs::rename(&witness_dir, promoted_root.join("log")).unwrap();
+    let witness = Arc::new(
+        OffchainNode::start(
+            witness_id,
+            NodeConfig {
+                batch_size: 30,
+                // The witness serves reads only; it must not re-commit.
+                behavior: NodeBehavior::OmitStage2 { from_log: 0 },
+                ..Default::default()
+            },
+            Arc::clone(&chain),
+            deployment.root_record,
+            &promoted_root,
+        )
+        .unwrap(),
+    );
+    assert_eq!(witness.entry_count(), 60, "replica held the full log");
+
+    // Reads through the witness still verify as blockchain-committed: the
+    // proofs check out against the digests the ORIGINAL node committed.
+    let reader = Reader::new(Arc::clone(&witness), Arc::clone(&chain), deployment.root_record);
+    for (i, payload) in data.iter().enumerate().step_by(7) {
+        let entry = reader
+            .read(wedgeblock::core::EntryId {
+                log_id: (i / 30) as u64,
+                offset: (i % 30) as u32,
+            })
+            .unwrap();
+        assert_eq!(&entry.request.payload, payload);
+        assert_eq!(entry.phase, CommitPhase::BlockchainCommitted);
+    }
+}
