@@ -17,6 +17,7 @@
 //! seconds**. Both approximate real-world durations; EXPERIMENTS.md
 //! discusses the convention.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ocl;

@@ -70,7 +70,12 @@ impl OclSystem {
             OclLog::CODE_LEN,
         )?;
         chain.wait_for_receipt(tx)?;
-        Ok(OclSystem { chain, writer, contract, config })
+        Ok(OclSystem {
+            chain,
+            writer,
+            contract,
+            config,
+        })
     }
 
     /// The deployed contract address.
@@ -108,10 +113,7 @@ impl OclSystem {
             if !receipt.status.is_success() {
                 return Err(CoreError::RequestRejected("OCL append reverted"));
             }
-            costs.fees = costs
-                .fees
-                .checked_add(receipt.fee)
-                .expect("fee overflow");
+            costs.fees = costs.fees.checked_add(receipt.fee).expect("fee overflow");
         }
         Ok(OclOutcome {
             costs,

@@ -85,7 +85,12 @@ impl RhlSystem {
             RhlRollup::CODE_LEN,
         )?;
         chain.wait_for_receipt(tx)?;
-        Ok(RhlSystem { chain, poster, contract, config })
+        Ok(RhlSystem {
+            chain,
+            poster,
+            contract,
+            config,
+        })
     }
 
     /// The deployed contract address.
@@ -103,7 +108,9 @@ impl RhlSystem {
     /// signed per-op acknowledgement carrying the op's inclusion proof.
     pub fn append_and_commit(&self, payloads: &[Vec<u8>]) -> Result<RhlOutcome, CoreError> {
         let clock = self.chain.clock().clone();
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         // Clients sign their requests before submission (outside the node's
         // stage-1 timer, as in the WedgeBlock measurements).
         let client = Identity::from_seed(b"rhl-client");
@@ -117,9 +124,7 @@ impl RhlSystem {
         let mut digests = Vec::new();
         for chunk in requests.chunks(self.config.ops_per_batch.max(1)) {
             // Verify client signatures (parallel), as the honest node must.
-            let ok = wedge_core::parallel_map(&chunk.to_vec(), threads, |req| {
-                req.verify().is_ok()
-            });
+            let ok = wedge_core::parallel_map(chunk, threads, |req| req.verify().is_ok());
             if ok.iter().any(|v| !v) {
                 return Err(CoreError::RequestRejected("bad client signature"));
             }
@@ -127,14 +132,11 @@ impl RhlSystem {
             let tree = MerkleTree::from_leaves(&leaves)
                 .map_err(|_| CoreError::RequestRejected("empty RHL batch"))?;
             let key = *self.poster.secret_key();
-            let acks = wedge_core::parallel_map(
-                &(0..chunk.len()).collect::<Vec<_>>(),
-                threads,
-                |&i| {
+            let acks =
+                wedge_core::parallel_map(&(0..chunk.len()).collect::<Vec<_>>(), threads, |&i| {
                     let proof = tree.prove(i).expect("in range");
                     wedge_crypto::sign_message(&key, &proof.to_bytes())
-                },
-            );
+                });
             std::hint::black_box(&acks);
             digests.push(tree.root());
         }
@@ -148,7 +150,10 @@ impl RhlSystem {
             fees: Wei::ZERO,
         };
         let mut pending = Vec::new();
-        for (chunk, digest) in payloads.chunks(self.config.ops_per_batch.max(1)).zip(&digests) {
+        for (chunk, digest) in payloads
+            .chunks(self.config.ops_per_batch.max(1))
+            .zip(&digests)
+        {
             let calldata = RhlRollup::submit_calldata(chunk, digest);
             let words: u64 = chunk.iter().map(|e| e.len().div_ceil(32) as u64).sum();
             let gas_limit = Gas(120_000 + 30 * calldata.len() as u64 + 21_000 * words);

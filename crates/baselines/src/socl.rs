@@ -53,9 +53,18 @@ impl SoclSystem {
         client: Identity,
         root_record: Address,
     ) -> SoclSystem {
-        let publisher =
-            Publisher::new(client, Arc::clone(&node), Arc::clone(&chain), root_record, None);
-        SoclSystem { chain, node, publisher }
+        let publisher = Publisher::new(
+            client,
+            Arc::clone(&node),
+            Arc::clone(&chain),
+            root_record,
+            None,
+        );
+        SoclSystem {
+            chain,
+            node,
+            publisher,
+        }
     }
 
     /// Appends `payloads` and blocks until every log position they landed in
@@ -78,12 +87,17 @@ impl SoclSystem {
         // one response per distinct log position).
         let mut last_verdict = Stage2Verdict::NotYet;
         if let Some(last) = outcome.responses.last() {
-            last_verdict =
-                self.publisher.wait_blockchain_commit(last, Duration::from_secs(3600))?;
+            last_verdict = self
+                .publisher
+                .wait_blockchain_commit(last, Duration::from_secs(3600))?;
         }
         if last_verdict != Stage2Verdict::Committed {
             return Err(CoreError::NotYetBlockchainCommitted {
-                log_id: outcome.responses.last().map(|r| r.entry_id.log_id).unwrap_or(0),
+                log_id: outcome
+                    .responses
+                    .last()
+                    .map(|r| r.entry_id.log_id)
+                    .unwrap_or(0),
             });
         }
         for response in &outcome.responses {

@@ -37,7 +37,10 @@ fn ocl_commits_and_charges_heavily() {
     let outcome = ocl.append_and_commit(&data).unwrap();
     assert_eq!(outcome.costs.operations, 40);
     assert!(outcome.costs.fees > Wei::ZERO);
-    assert!(outcome.commit_latency >= Duration::from_secs(13), "must span blocks");
+    assert!(
+        outcome.commit_latency >= Duration::from_secs(13),
+        "must span blocks"
+    );
     // Entries are really on-chain.
     assert_eq!(ocl.read(7).unwrap(), data[7]);
     // ~700k gas/KB at 100 gwei ≈ 0.07 ETH per op: enormous.
@@ -53,7 +56,10 @@ fn socl_commit_waits_for_chain_but_costs_like_wedgeblock() {
         &chain,
         &node_id,
         client.address(),
-        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(1),
+            payment_terms: None,
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("wedge-socl-{}", std::process::id()));
@@ -61,7 +67,11 @@ fn socl_commit_waits_for_chain_but_costs_like_wedgeblock() {
     let node = Arc::new(
         OffchainNode::start(
             node_id,
-            NodeConfig { batch_size: 50, batch_linger: Duration::from_millis(5), ..Default::default() },
+            NodeConfig {
+                batch_size: 50,
+                batch_linger: Duration::from_millis(5),
+                ..Default::default()
+            },
             Arc::clone(&chain),
             deployment.root_record,
             &dir,
@@ -120,7 +130,10 @@ fn table1_orderings_hold() {
         &chain,
         &node_id,
         client.address(),
-        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(1),
+            payment_terms: None,
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("wedge-t1-{}", std::process::id()));
@@ -128,7 +141,11 @@ fn table1_orderings_hold() {
     let node = Arc::new(
         OffchainNode::start(
             node_id,
-            NodeConfig { batch_size: 40, batch_linger: Duration::from_millis(5), ..Default::default() },
+            NodeConfig {
+                batch_size: 40,
+                batch_linger: Duration::from_millis(5),
+                ..Default::default()
+            },
             Arc::clone(&chain),
             deployment.root_record,
             &dir,
@@ -147,8 +164,14 @@ fn table1_orderings_hold() {
     let wb_socl_cost = socl_out.costs.cost_per_op().0 as f64;
     let ocl_cost = ocl_out.costs.cost_per_op().0 as f64;
     let rhl_cost = rhl_out.costs.cost_per_op().0 as f64;
-    assert!(ocl_cost / wb_socl_cost > 50.0, "OCL {ocl_cost} vs WB/SOCL {wb_socl_cost}");
-    assert!(rhl_cost / wb_socl_cost > 50.0, "RHL {rhl_cost} vs WB/SOCL {wb_socl_cost}");
+    assert!(
+        ocl_cost / wb_socl_cost > 50.0,
+        "OCL {ocl_cost} vs WB/SOCL {wb_socl_cost}"
+    );
+    assert!(
+        rhl_cost / wb_socl_cost > 50.0,
+        "RHL {rhl_cost} vs WB/SOCL {wb_socl_cost}"
+    );
 
     // Latency ordering: stage-1 (real, sub-second) vs chain commit (tens of
     // simulated seconds).

@@ -81,12 +81,19 @@ fn bench_view_calls(c: &mut Criterion) {
     c.bench_function("view_get_root_at_index", |b| {
         let mut i = 0u64;
         b.iter(|| {
-            let out = chain.view(addr, &RootRecord::get_root_calldata(i % 64)).unwrap();
+            let out = chain
+                .view(addr, &RootRecord::get_root_calldata(i % 64))
+                .unwrap();
             i += 1;
             out
         })
     });
 }
 
-criterion_group!(benches, bench_submit, bench_block_execution, bench_view_calls);
+criterion_group!(
+    benches,
+    bench_submit,
+    bench_block_execution,
+    bench_view_calls
+);
 criterion_main!(benches);

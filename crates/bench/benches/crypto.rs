@@ -41,9 +41,7 @@ fn bench_parallel_signing(c: &mut Criterion) {
     // Ablation: single-threaded vs multi-core batch signing, the design
     // choice the paper's §5 calls out.
     let kp = Keypair::from_seed(b"parallel");
-    let hashes: Vec<[u8; 32]> = (0..256u32)
-        .map(|i| keccak256(&i.to_be_bytes()))
-        .collect();
+    let hashes: Vec<[u8; 32]> = (0..256u32).map(|i| keccak256(&i.to_be_bytes())).collect();
     let mut group = c.benchmark_group("batch_sign_256");
     group.throughput(Throughput::Elements(hashes.len() as u64));
     for threads in [1usize, 4, 8, 16] {

@@ -77,9 +77,7 @@ fn bench_proof_generation_strategies(c: &mut Criterion) {
     let n = 2000;
     let data = leaves(n, 1088);
     let tree = MerkleTree::from_leaves(&data).unwrap();
-    let leaf_hashes: Vec<_> = (0..n)
-        .map(|i| wedge_merkle::hash_leaf(&data[i]))
-        .collect();
+    let leaf_hashes: Vec<_> = (0..n).map(|i| wedge_merkle::hash_leaf(&data[i])).collect();
     let mut group = c.benchmark_group("proof_generation_strategy_2000_leaves");
     group.bench_function("retained_tree", |b| {
         let mut i = 0;

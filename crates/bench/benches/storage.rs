@@ -22,7 +22,10 @@ fn bench_append_sync_policies(c: &mut Criterion) {
     ] {
         let store = LogStore::open(
             scratch(name),
-            StoreConfig { sync, ..Default::default() },
+            StoreConfig {
+                sync,
+                ..Default::default()
+            },
         )
         .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &store, |b, s| {
@@ -45,7 +48,9 @@ fn bench_batch_append(c: &mut Criterion) {
 fn bench_point_reads(c: &mut Criterion) {
     let store = LogStore::open(scratch("reads"), StoreConfig::default()).unwrap();
     for i in 0..10_000u32 {
-        store.append(format!("record-{i}-{}", "x".repeat(1000)).as_bytes()).unwrap();
+        store
+            .append(format!("record-{i}-{}", "x".repeat(1000)).as_bytes())
+            .unwrap();
     }
     store.sync().unwrap();
     let mut group = c.benchmark_group("point_read_1kb");
@@ -60,5 +65,10 @@ fn bench_point_reads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_append_sync_policies, bench_batch_append, bench_point_reads);
+criterion_group!(
+    benches,
+    bench_append_sync_policies,
+    bench_batch_append,
+    bench_point_reads
+);
 criterion_main!(benches);

@@ -40,7 +40,10 @@ fn run(name: &str, profile: Profile) {
         }
     };
     println!("{}", table.to_markdown());
-    println!("[{name} completed in {:.1} s]\n", started.elapsed().as_secs_f64());
+    println!(
+        "[{name} completed in {:.1} s]\n",
+        started.elapsed().as_secs_f64()
+    );
     write_result(name, &table);
 }
 

@@ -11,9 +11,9 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::unbounded;
 use wedge_baselines::{OclConfig, OclSystem, RhlConfig, RhlSystem, SoclSystem};
 use wedge_chain::Wei;
+use wedge_core::AppendRequest;
 use wedge_core::{Auditor, NodeConfig, Reader};
 use wedge_crypto::signer::Identity;
-use wedge_core::AppendRequest;
 
 use crate::workload::{kv_payloads, Profile, World, KEY_SIZE, VALUE_SIZE};
 
@@ -278,7 +278,7 @@ pub fn fig7(profile: Profile) -> Table {
             for request in requests {
                 node.submit(request, reply_tx.clone()).expect("submit");
                 sent += 1;
-                if sent % per_tick == 0 {
+                if sent.is_multiple_of(per_tick) {
                     next_tick += tick;
                     let now = Instant::now();
                     if next_tick > now {
@@ -322,7 +322,11 @@ pub fn table1(profile: Profile) -> Table {
     for &value_size in &[1024usize, 2048] {
         // --- OCL: raw entries on-chain; commit = confirmed receipt.
         {
-            let world = World::new(&format!("t1-ocl-{value_size}"), NodeConfig::default(), 2000.0);
+            let world = World::new(
+                &format!("t1-ocl-{value_size}"),
+                NodeConfig::default(),
+                2000.0,
+            );
             let ocl = OclSystem::deploy(
                 Arc::clone(&world.chain),
                 world.node_identity.clone(),
@@ -367,7 +371,11 @@ pub fn table1(profile: Profile) -> Table {
         }
         // --- RHL: fast stage-1 ack; ops posted on-chain; day-long finality.
         {
-            let world = World::new(&format!("t1-rhl-{value_size}"), NodeConfig::default(), 2000.0);
+            let world = World::new(
+                &format!("t1-rhl-{value_size}"),
+                NodeConfig::default(),
+                2000.0,
+            );
             let rhl = RhlSystem::deploy(
                 Arc::clone(&world.chain),
                 world.node_identity.clone(),
@@ -381,8 +389,11 @@ pub fn table1(profile: Profile) -> Table {
                 format!("{value_size} (RHL)"),
                 fmt_rate(out.stage1_throughput_mb_s()),
                 fmt_eth(out.costs.cost_per_op()),
-                format!("{} stage-1; finality {} (sim)",
-                    fmt_dur(out.stage1_wall), fmt_dur(out.finality_latency)),
+                format!(
+                    "{} stage-1; finality {} (sim)",
+                    fmt_dur(out.stage1_wall),
+                    fmt_dur(out.finality_latency)
+                ),
             ]);
         }
         // --- WB: stage-1 commit is the receipt (lazy trust).
@@ -446,8 +457,9 @@ pub fn fig8(profile: Profile) -> Table {
             world.root_record,
         );
         let mut rng = rand::rngs::SmallRng::seed_from_u64(88);
-        let sequences: Vec<u64> =
-            (0..reads).map(|_| rng.gen_range(0..entries as u64)).collect();
+        let sequences: Vec<u64> = (0..reads)
+            .map(|_| rng.gen_range(0..entries as u64))
+            .collect();
         let started = Instant::now();
         for &seq in &sequences {
             let entry = reader
@@ -516,8 +528,7 @@ pub fn latency_ablation(profile: Profile) -> Table {
     use wedge_sim::LatencyModel;
     let n = profile.scale(10_000, 4000);
     let mut table = Table {
-        title: "Network-latency ablation — publisher latencies (batch = 2000, 1 KB entries)"
-            .into(),
+        title: "Network-latency ablation — publisher latencies (batch = 2000, 1 KB entries)".into(),
         headers: vec![
             "request/response link".into(),
             "first op delay".into(),
@@ -608,7 +619,10 @@ pub fn punishment_economics() -> Table {
         title: "Punishment economics (extension)".into(),
         headers: vec!["metric".into(), "value".into()],
         rows: vec![
-            vec!["gas to prove the lie".into(), format!("{}", receipt.gas_used)],
+            vec![
+                "gas to prove the lie".into(),
+                format!("{}", receipt.gas_used),
+            ],
             vec!["fee paid by client".into(), format!("{}", receipt.fee)],
             vec!["escrow recovered".into(), "32 ETH".into()],
             vec![

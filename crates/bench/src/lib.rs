@@ -5,6 +5,7 @@
 //! `repro` binary drives the experiments; Criterion benches cover the hot
 //! primitives.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;

@@ -66,13 +66,13 @@ impl World {
             &chain,
             &node_identity,
             client_identity.address(),
-            &ServiceConfig { escrow: Wei::from_eth(32), payment_terms: None },
+            &ServiceConfig {
+                escrow: Wei::from_eth(32),
+                payment_terms: None,
+            },
         )
         .expect("deploy service");
-        let dir = std::env::temp_dir().join(format!(
-            "wedge-bench-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("wedge-bench-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let node = Arc::new(
             OffchainNode::start(

@@ -266,7 +266,7 @@ impl Chain {
             // Synthetic non-zero init-code bytes so intrinsic gas scales
             // with the declared code size.
             data: vec![0xC5; code_len],
-            gas_limit: Gas(3_000_000 + 200 * code_len as u64),
+            gas_limit: Gas(3_000_000u64.saturating_add((code_len as u64).saturating_mul(200))),
             gas_price: self.effective_gas_price(),
             kind: TxKind::Deploy,
         };
@@ -293,6 +293,7 @@ impl Chain {
         let mut inner = self.inner.lock();
         let timestamp = self.clock.now().as_secs();
         let number = inner.blocks.len() as BlockNumber;
+        // lint: allow(panic) — `blocks` starts with genesis and only grows
         let parent = inner.blocks.last().expect("genesis exists").hash;
 
         let mut tx_hashes = Vec::new();
@@ -304,7 +305,9 @@ impl Chain {
             {
                 break; // block full; head-of-line waits for the next block
             }
-            let signed = inner.pending.pop_front().expect("front checked");
+            let Some(signed) = inner.pending.pop_front() else {
+                break;
+            };
             let receipt = self.execute(&mut inner, &signed, number, timestamp);
             block_gas = block_gas.saturating_add(receipt.gas_used);
             all_logs.extend(receipt.logs.iter().cloned());
@@ -378,6 +381,8 @@ impl Chain {
         let intrinsic = schedule.intrinsic(&tx.data);
         let (status, gas_used, output, logs, created) = match tx.kind {
             TxKind::Transfer => {
+                // lint: allow(panic) — solvency verified by the upfront
+                // check at the top of execute()
                 inner.state.debit(from, tx.value).expect("upfront-checked");
                 inner.state.credit(tx.to, tx.value);
                 (ExecStatus::Success, intrinsic, Vec::new(), Vec::new(), None)
@@ -386,10 +391,18 @@ impl Chain {
                 let gas = intrinsic.saturating_add(schedule.deploy(tx.data.len()));
                 match inner.pending_deploys.remove(&signed.hash) {
                     Some(contract) => {
+                        // lint: allow(panic) — solvency verified by the
+                        // upfront check at the top of execute()
                         inner.state.debit(from, tx.value).expect("upfront-checked");
                         inner.state.credit(tx.to, tx.value);
                         inner.contracts.insert(tx.to, contract);
-                        (ExecStatus::Success, gas, Vec::new(), Vec::new(), Some(tx.to))
+                        (
+                            ExecStatus::Success,
+                            gas,
+                            Vec::new(),
+                            Vec::new(),
+                            Some(tx.to),
+                        )
                     }
                     None => (
                         ExecStatus::Reverted("deploy object missing".into()),
@@ -414,6 +427,8 @@ impl Chain {
                         let state_snapshot = inner.state.snapshot();
                         let contract_snapshot = contract.clone_box();
                         // Value moves before the call, as on Ethereum.
+                        // lint: allow(panic) — solvency verified by the
+                        // upfront check at the top of execute()
                         inner.state.debit(from, tx.value).expect("upfront-checked");
                         inner.state.credit(tx.to, tx.value);
                         let mut base = intrinsic;
@@ -464,9 +479,11 @@ impl Chain {
         inner
             .state
             .debit(from, fee)
+            // lint: allow(panic) — `gas_used <= gas_limit`, so the fee is
+            // covered by the upfront `gas_limit × price + value` check
             .expect("fee covered by upfront check");
         let paid = inner.fees_paid.entry(from).or_insert(Wei::ZERO);
-        *paid = paid.checked_add(fee).expect("fee total overflow");
+        *paid = paid.saturating_add(fee);
 
         Receipt {
             tx_hash: signed.hash,
@@ -500,8 +517,13 @@ impl Chain {
                     chain.mine_block();
                 }
             })
+            // lint: allow(panic) — thread spawn fails only under resource
+            // exhaustion at startup; no miner means no chain progress anyway
             .expect("spawn miner");
-        MinerHandle { stop, handle: Some(handle) }
+        MinerHandle {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     // ------------------------------------------------------------- queries
@@ -528,7 +550,12 @@ impl Chain {
 
     /// Cumulative fees paid by `addr` (the bench monetary-cost metric).
     pub fn total_fees_paid(&self, addr: Address) -> Wei {
-        self.inner.lock().fees_paid.get(&addr).copied().unwrap_or(Wei::ZERO)
+        self.inner
+            .lock()
+            .fees_paid
+            .get(&addr)
+            .copied()
+            .unwrap_or(Wei::ZERO)
     }
 
     /// Total gas consumed across all blocks.
@@ -661,7 +688,10 @@ impl Chain {
     /// Subscribes to all contract events (fired at mining time).
     pub fn subscribe_events(&self) -> Receiver<EventLog> {
         let (tx, rx) = unbounded();
-        self.subscribers.lock().push(Subscriber { filter: None, sender: tx });
+        self.subscribers.lock().push(Subscriber {
+            filter: None,
+            sender: tx,
+        });
         rx
     }
 
@@ -670,15 +700,22 @@ impl Chain {
     /// on-chain smart contracts to off-chain subscribers").
     pub fn subscribe_contract_events(&self, contract: Address) -> Receiver<EventLog> {
         let (tx, rx) = unbounded();
-        self.subscribers
-            .lock()
-            .push(Subscriber { filter: Some(contract), sender: tx });
+        self.subscribers.lock().push(Subscriber {
+            filter: Some(contract),
+            sender: tx,
+        });
         rx
     }
 
     /// The current head block.
     pub fn head(&self) -> Block {
-        self.inner.lock().blocks.last().expect("genesis exists").clone()
+        self.inner
+            .lock()
+            .blocks
+            .last()
+            // lint: allow(panic) — `blocks` starts with genesis, only grows
+            .expect("genesis exists")
+            .clone()
     }
 
     /// Historical blocks in `[from, to]`, clamped to the chain (an
@@ -687,7 +724,11 @@ impl Chain {
         let inner = self.inner.lock();
         let hi = (to as usize + 1).min(inner.blocks.len());
         let lo = (from as usize).min(hi);
-        inner.blocks[lo..hi].to_vec()
+        inner
+            .blocks
+            .get(lo..hi)
+            .map(<[Block]>::to_vec)
+            .unwrap_or_default()
     }
 
     /// All receipts of a block, in execution order (explorer view).

@@ -25,7 +25,9 @@ pub struct Revert {
 impl Revert {
     /// Creates a revert with the given reason.
     pub fn new(reason: impl Into<String>) -> Revert {
-        Revert { reason: reason.into() }
+        Revert {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -66,10 +68,11 @@ impl WorldState {
         self.nonces.get(&addr).copied().unwrap_or(0)
     }
 
-    /// Credits `addr` with `amount`.
+    /// Credits `addr` with `amount`, saturating at the `u128` ceiling (the
+    /// simulated economy mints nowhere near it).
     pub fn credit(&mut self, addr: Address, amount: Wei) {
         let entry = self.balances.entry(addr).or_insert(Wei::ZERO);
-        *entry = entry.checked_add(amount).expect("balance overflow");
+        *entry = entry.saturating_add(amount);
     }
 
     /// Debits `addr`, failing if the balance is insufficient.
@@ -201,7 +204,11 @@ impl<'a> CallContext<'a> {
         if self.view_only {
             return Err(Revert::new("event emission in view call"));
         }
-        self.logs.push(EventLog { contract: self.contract, name, data });
+        self.logs.push(EventLog {
+            contract: self.contract,
+            name,
+            data,
+        });
         Ok(())
     }
 
@@ -312,7 +319,11 @@ mod tests {
     }
 
     fn harness() -> (WorldState, ContractRegistry, GasSchedule) {
-        (WorldState::default(), ContractRegistry::new(), GasSchedule::default())
+        (
+            WorldState::default(),
+            ContractRegistry::new(),
+            GasSchedule::default(),
+        )
     }
 
     #[test]
@@ -342,8 +353,17 @@ mod tests {
         let user = Address([3; 20]);
         state.credit(contract, Wei(1000));
         let mut ctx = CallContext::new(
-            user, Wei::ZERO, contract, 1, 10, &schedule, Gas::ZERO, Gas(1_000_000),
-            &mut state, &mut others, false,
+            user,
+            Wei::ZERO,
+            contract,
+            1,
+            10,
+            &schedule,
+            Gas::ZERO,
+            Gas(1_000_000),
+            &mut state,
+            &mut others,
+            false,
         );
         ctx.transfer_out(user, Wei(400)).unwrap();
         assert_eq!(ctx.contract_balance(), Wei(600));
@@ -357,8 +377,17 @@ mod tests {
         let contract = Address([2; 20]);
         state.credit(contract, Wei(1000));
         let mut ctx = CallContext::new(
-            Address([1; 20]), Wei::ZERO, contract, 1, 10, &schedule, Gas::ZERO,
-            Gas(1_000_000), &mut state, &mut others, true,
+            Address([1; 20]),
+            Wei::ZERO,
+            contract,
+            1,
+            10,
+            &schedule,
+            Gas::ZERO,
+            Gas(1_000_000),
+            &mut state,
+            &mut others,
+            true,
         );
         assert!(ctx.transfer_out(Address([3; 20]), Wei(1)).is_err());
         assert!(ctx.emit("X", vec![]).is_err());
@@ -368,12 +397,20 @@ mod tests {
     fn cross_contract_view_reads_state() {
         let (mut state, mut others, schedule) = harness();
         let counter_addr = Address([9; 20]);
-        let mut counter = Counter::default();
-        counter.count = 42;
+        let counter = Counter { count: 42 };
         others.insert(counter_addr, Box::new(counter));
         let mut ctx = CallContext::new(
-            Address([1; 20]), Wei::ZERO, Address([2; 20]), 1, 10, &schedule,
-            Gas::ZERO, Gas(1_000_000), &mut state, &mut others, false,
+            Address([1; 20]),
+            Wei::ZERO,
+            Address([2; 20]),
+            1,
+            10,
+            &schedule,
+            Gas::ZERO,
+            Gas(1_000_000),
+            &mut state,
+            &mut others,
+            false,
         );
         let out = ctx.call_view(counter_addr, &[2]).unwrap();
         assert_eq!(out, 42u64.to_be_bytes());
@@ -387,8 +424,17 @@ mod tests {
     fn missing_view_target_reverts() {
         let (mut state, mut others, schedule) = harness();
         let mut ctx = CallContext::new(
-            Address([1; 20]), Wei::ZERO, Address([2; 20]), 1, 10, &schedule,
-            Gas::ZERO, Gas(1_000_000), &mut state, &mut others, false,
+            Address([1; 20]),
+            Wei::ZERO,
+            Address([2; 20]),
+            1,
+            10,
+            &schedule,
+            Gas::ZERO,
+            Gas(1_000_000),
+            &mut state,
+            &mut others,
+            false,
         );
         assert!(ctx.call_view(Address([0xEE; 20]), &[2]).is_err());
     }

@@ -20,7 +20,9 @@ impl Encoder {
 
     /// Creates an encoder with a capacity hint.
     pub fn with_capacity(cap: usize) -> Encoder {
-        Encoder { buf: Vec::with_capacity(cap) }
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Writes a length-prefixed byte string.
@@ -92,18 +94,27 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.buf.len() {
-            return Err(DecodeError { at: self.pos });
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(DecodeError { at: self.pos })?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(DecodeError { at: self.pos })?;
+        self.pos = end;
         Ok(slice)
+    }
+
+    /// Reads exactly `N` bytes into a fixed array.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let at = self.pos;
+        self.take(N)?.try_into().map_err(|_| DecodeError { at })
     }
 
     /// Reads a length-prefixed byte string.
     pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
-        let len_bytes = self.take(4)?;
-        let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        let len = u32::from_be_bytes(self.take_array::<4>()?) as usize;
         self.take(len)
     }
 
@@ -116,12 +127,12 @@ impl<'a> Decoder<'a> {
 
     /// Reads a fixed-width u64.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(self.take_array::<8>()?))
     }
 
     /// Reads a fixed-width u128.
     pub fn u128(&mut self) -> Result<u128, DecodeError> {
-        Ok(u128::from_be_bytes(self.take(16)?.try_into().expect("16 bytes")))
+        Ok(u128::from_be_bytes(self.take_array::<16>()?))
     }
 
     /// Reads a single byte.
@@ -151,7 +162,11 @@ mod tests {
     #[test]
     fn roundtrip_mixed_fields() {
         let mut enc = Encoder::new();
-        enc.u64(42).bytes(b"payload").u8(7).u128(1 << 100).bytes(b"");
+        enc.u64(42)
+            .bytes(b"payload")
+            .u8(7)
+            .u128(1 << 100)
+            .bytes(b"");
         let buf = enc.finish();
         let mut dec = Decoder::new(&buf);
         assert_eq!(dec.u64().unwrap(), 42);

@@ -50,7 +50,11 @@ impl fmt::Display for ChainError {
             ChainError::NonceTooLow { expected, got } => {
                 write!(f, "nonce too low: expected {expected}, got {got}")
             }
-            ChainError::InsufficientBalance { address, needed, available } => write!(
+            ChainError::InsufficientBalance {
+                address,
+                needed,
+                available,
+            } => write!(
                 f,
                 "insufficient balance for {address}: need {needed}, have {available}"
             ),
@@ -58,7 +62,10 @@ impl fmt::Display for ChainError {
             ChainError::Reverted(reason) => write!(f, "execution reverted: {reason}"),
             ChainError::OutOfGas { limit } => write!(f, "out of gas (limit {limit})"),
             ChainError::ReceiptTimeout(tx) => {
-                write!(f, "timed out waiting for receipt of {tx} (is a miner running?)")
+                write!(
+                    f,
+                    "timed out waiting for receipt of {tx} (is a miner running?)"
+                )
             }
             ChainError::DeployAddressMismatch => write!(f, "deploy address mismatch"),
         }

@@ -74,7 +74,12 @@ impl GasSchedule {
     pub fn intrinsic(&self, data: &[u8]) -> Gas {
         let mut gas = self.tx_base;
         for &b in data {
-            gas += if b == 0 { self.calldata_zero_byte } else { self.calldata_nonzero_byte };
+            let byte_cost = if b == 0 {
+                self.calldata_zero_byte
+            } else {
+                self.calldata_nonzero_byte
+            };
+            gas = gas.saturating_add(byte_cost);
         }
         Gas(gas)
     }
@@ -96,12 +101,16 @@ impl GasSchedule {
 
     /// Gas for emitting an event with `data_len` bytes of payload.
     pub fn log(&self, data_len: usize) -> Gas {
-        Gas(self.log_base + self.log_data_byte.saturating_mul(data_len as u64))
+        Gas(self
+            .log_base
+            .saturating_add(self.log_data_byte.saturating_mul(data_len as u64)))
     }
 
     /// Gas for deploying a contract whose notional code is `code_len` bytes.
     pub fn deploy(&self, code_len: usize) -> Gas {
-        Gas(self.create_base + self.code_deposit_byte.saturating_mul(code_len as u64))
+        Gas(self
+            .create_base
+            .saturating_add(self.code_deposit_byte.saturating_mul(code_len as u64)))
     }
 }
 

@@ -10,6 +10,7 @@
 //! This replaces the Ropsten test network used by the paper; see DESIGN.md
 //! §1 for the substitution argument.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod block;

@@ -73,7 +73,12 @@ impl Transaction {
         let mut enc = Encoder::with_capacity(96);
         enc.bytes(&signing_hash).bytes(&signature.to_bytes());
         let hash = Hash32(keccak256(&enc.finish()));
-        SignedTransaction { tx: self, signature, from, hash }
+        SignedTransaction {
+            tx: self,
+            signature,
+            from,
+            hash,
+        }
     }
 }
 
@@ -111,6 +116,7 @@ pub fn contract_address(deployer: Address, nonce: u64) -> Address {
     enc.bytes(deployer.as_bytes()).u64(nonce);
     let digest = keccak256(&enc.finish());
     let mut out = [0u8; 20];
+    // lint: allow(panic) — a keccak digest is always exactly 32 bytes
     out.copy_from_slice(&digest[12..]);
     Address(out)
 }
@@ -145,7 +151,10 @@ mod tests {
         let kp = Keypair::from_seed(b"honest");
         let mut signed = tx(0).sign(&kp.secret);
         signed.from = Address([9; 20]);
-        assert!(matches!(signed.verify(), Err(ChainError::BadSignature { .. })));
+        assert!(matches!(
+            signed.verify(),
+            Err(ChainError::BadSignature { .. })
+        ));
     }
 
     #[test]
@@ -169,6 +178,9 @@ mod tests {
         let d = Address([1; 20]);
         assert_eq!(contract_address(d, 5), contract_address(d, 5));
         assert_ne!(contract_address(d, 5), contract_address(d, 6));
-        assert_ne!(contract_address(d, 5), contract_address(Address([2; 20]), 5));
+        assert_ne!(
+            contract_address(d, 5),
+            contract_address(Address([2; 20]), 5)
+        );
     }
 }

@@ -17,17 +17,19 @@ impl Wei {
 
     /// Constructs from whole gwei (10^9 wei).
     pub const fn from_gwei(gwei: u128) -> Wei {
-        Wei(gwei * 1_000_000_000)
+        Wei(gwei.saturating_mul(1_000_000_000))
     }
 
     /// Constructs from whole ETH (10^18 wei).
     pub const fn from_eth(eth: u128) -> Wei {
-        Wei(eth * 1_000_000_000_000_000_000)
+        Wei(eth.saturating_mul(1_000_000_000_000_000_000))
     }
 
     /// Constructs from a fractional ETH amount (benchmark convenience; not
     /// for ledger arithmetic).
     pub fn from_eth_f64(eth: f64) -> Wei {
+        // lint: allow(arith) — float scaling for benchmark display, not
+        // ledger arithmetic
         Wei((eth * 1e18) as u128)
     }
 
@@ -44,6 +46,11 @@ impl Wei {
     /// Checked subtraction.
     pub fn checked_sub(self, rhs: Wei) -> Option<Wei> {
         self.0.checked_sub(rhs.0).map(Wei)
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Wei) -> Wei {
+        Wei(self.0.saturating_add(rhs.0))
     }
 
     /// Saturating subtraction.

@@ -123,7 +123,13 @@ fn deploy_and_call_roundtrip() {
     assert!(chain.contract_exists(addr));
 
     let call = chain
-        .call_contract(&user.secret, addr, Wei::ZERO, vec![0x01, 7, 42], Gas(100_000))
+        .call_contract(
+            &user.secret,
+            addr,
+            Wei::ZERO,
+            vec![0x01, 7, 42],
+            Gas(100_000),
+        )
         .unwrap();
     chain.mine_block();
     assert!(chain.receipt(call).unwrap().status.is_success());
@@ -150,7 +156,10 @@ fn revert_rolls_back_contract_state_but_charges_fee() {
     assert_eq!(chain.view(addr, &[0x02, 0xFF]).unwrap(), vec![0]);
     // Fee was still charged.
     assert!(chain.balance(user.address) < before);
-    assert_eq!(receipt.fee, receipt.gas_used.cost_at(chain.config().gas_price));
+    assert_eq!(
+        receipt.fee,
+        receipt.gas_used.cost_at(chain.config().gas_price)
+    );
 }
 
 #[test]
@@ -161,7 +170,13 @@ fn value_attached_to_reverted_call_is_returned() {
         .unwrap();
     chain.mine_block();
     let call = chain
-        .call_contract(&user.secret, addr, Wei::from_eth(5), vec![0x03], Gas(100_000))
+        .call_contract(
+            &user.secret,
+            addr,
+            Wei::from_eth(5),
+            vec![0x03],
+            Gas(100_000),
+        )
         .unwrap();
     chain.mine_block();
     assert!(!chain.receipt(call).unwrap().status.is_success());
@@ -172,7 +187,12 @@ fn value_attached_to_reverted_call_is_returned() {
 fn contract_can_pay_out_its_balance() {
     let (chain, user) = setup();
     let (addr, _) = chain
-        .deploy(&user.secret, Box::new(Vault::default()), Wei::from_eth(1), 100)
+        .deploy(
+            &user.secret,
+            Box::new(Vault::default()),
+            Wei::from_eth(1),
+            100,
+        )
         .unwrap();
     chain.mine_block();
     assert_eq!(chain.balance(addr), Wei::from_eth(1));
@@ -184,7 +204,10 @@ fn contract_can_pay_out_its_balance() {
         .unwrap();
     chain.mine_block();
     assert_eq!(chain.balance(payee), Wei(100));
-    assert_eq!(chain.balance(addr), Wei::from_eth(1).checked_sub(Wei(100)).unwrap());
+    assert_eq!(
+        chain.balance(addr),
+        Wei::from_eth(1).checked_sub(Wei(100)).unwrap()
+    );
 }
 
 #[test]
@@ -308,7 +331,10 @@ fn replay_rejected() {
 fn block_gas_limit_defers_overflow_txs() {
     let clock = Clock::manual();
     // The transfer helper reserves a 30k gas limit per tx; two fit in 70k.
-    let config = ChainConfig { block_gas_limit: Gas(70_000), ..Default::default() };
+    let config = ChainConfig {
+        block_gas_limit: Gas(70_000),
+        ..Default::default()
+    };
     let chain = Chain::new(clock, config);
     let user = Keypair::from_seed(b"full-block");
     chain.fund(user.address, Wei::from_eth(10));
@@ -489,7 +515,10 @@ fn wait_for_receipt_times_out_without_miner() {
 
 #[test]
 fn gas_price_jitter_wobbles_fees_within_bounds() {
-    let config = ChainConfig { gas_price_jitter: 0.2, ..Default::default() };
+    let config = ChainConfig {
+        gas_price_jitter: 0.2,
+        ..Default::default()
+    };
     let chain = Chain::new(Clock::manual(), config);
     let user = Keypair::from_seed(b"jitter");
     chain.fund(user.address, Wei::from_eth(100));
@@ -506,7 +535,10 @@ fn gas_price_jitter_wobbles_fees_within_bounds() {
         let ratio = fee.0 as f64 / base_fee.0 as f64;
         assert!((0.79..=1.21).contains(&ratio), "fee ratio {ratio}");
     }
-    assert!(fees.windows(2).any(|w| w[0] != w[1]), "jitter must vary fees");
+    assert!(
+        fees.windows(2).any(|w| w[0] != w[1]),
+        "jitter must vary fees"
+    );
     // With jitter off, fees are exact.
     let chain2 = Chain::with_defaults(Clock::manual());
     chain2.fund(user.address, Wei::from_eth(1));

@@ -42,19 +42,36 @@ impl Contract for Sink {
 
 #[derive(Clone, Debug)]
 enum Op {
-    Transfer { from: usize, to: usize, amount: u64 },
-    Deploy { from: usize, endowment: u64 },
-    Call { from: usize, selector: u8, value: u64 },
+    Transfer {
+        from: usize,
+        to: usize,
+        amount: u64,
+    },
+    Deploy {
+        from: usize,
+        endowment: u64,
+    },
+    Call {
+        from: usize,
+        selector: u8,
+        value: u64,
+    },
     Mine,
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0usize..3, 0usize..3, 0u64..1_000_000)
-            .prop_map(|(from, to, amount)| Op::Transfer { from, to, amount }),
+        (0usize..3, 0usize..3, 0u64..1_000_000).prop_map(|(from, to, amount)| Op::Transfer {
+            from,
+            to,
+            amount
+        }),
         (0usize..3, 0u64..1_000_000).prop_map(|(from, endowment)| Op::Deploy { from, endowment }),
-        (0usize..3, 0u8..4, 0u64..1_000_000)
-            .prop_map(|(from, selector, value)| Op::Call { from, selector, value }),
+        (0usize..3, 0u8..4, 0u64..1_000_000).prop_map(|(from, selector, value)| Op::Call {
+            from,
+            selector,
+            value
+        }),
         Just(Op::Mine),
     ]
 }

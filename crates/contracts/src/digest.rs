@@ -44,7 +44,10 @@ mod tests {
         let root = Hash32([1; 32]);
         let base = response_digest(5, &root, b"proof", b"data");
         assert_ne!(base, response_digest(6, &root, b"proof", b"data"));
-        assert_ne!(base, response_digest(5, &Hash32([2; 32]), b"proof", b"data"));
+        assert_ne!(
+            base,
+            response_digest(5, &Hash32([2; 32]), b"proof", b"data")
+        );
         assert_ne!(base, response_digest(5, &root, b"proofX", b"data"));
         assert_ne!(base, response_digest(5, &root, b"proof", b"dataX"));
     }

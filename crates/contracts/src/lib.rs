@@ -18,6 +18,7 @@
 //! [`response_digest`] defines the exact bytes an Offchain Node signs in a
 //! stage-1 response, shared with the Punishment contract's verification.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod digest;

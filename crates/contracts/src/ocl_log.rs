@@ -87,7 +87,10 @@ impl Contract for OclLog {
             }
             selector::GET => {
                 let idx = dec.u64().map_err(|e| Revert::new(e.to_string()))? as usize;
-                let entry = self.entries.get(idx).ok_or_else(|| Revert::new("no such entry"))?;
+                let entry = self
+                    .entries
+                    .get(idx)
+                    .ok_or_else(|| Revert::new("no such entry"))?;
                 ctx.charge_storage_read(entry.len().div_ceil(32))?;
                 Ok(entry.clone())
             }

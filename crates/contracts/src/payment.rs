@@ -82,7 +82,10 @@ impl Payment {
     /// Creates the contract with its immutable terms.
     pub fn new(terms: PaymentTerms) -> Payment {
         assert!(terms.period > 0, "period must be positive");
-        assert!(!terms.payment_per_period.is_zero(), "payment_per_period must be positive");
+        assert!(
+            !terms.payment_per_period.is_zero(),
+            "payment_per_period must be positive"
+        );
         Payment {
             terms,
             reserved_for_edge: Wei::ZERO,
@@ -153,7 +156,9 @@ impl Payment {
             .terms
             .payment_per_period
             .saturating_mul(periods_elapsed as u128);
-        let client_funds = ctx.contract_balance().saturating_sub(self.reserved_for_edge);
+        let client_funds = ctx
+            .contract_balance()
+            .saturating_sub(self.reserved_for_edge);
         ctx.charge_storage_reset(2)?; // reserved + start_time rewrites
 
         if owed <= client_funds {
@@ -164,10 +169,12 @@ impl Payment {
                 .checked_add(owed)
                 .ok_or_else(|| Revert::new("reserve overflow"))?;
             self.payment_start_time += periods_elapsed * self.terms.period;
-            let remaining_periods =
-                (client_funds.0 - owed.0) / self.terms.payment_per_period.0;
+            let remaining_periods = (client_funds.0 - owed.0) / self.terms.payment_per_period.0;
             // Line 17: PaymentStateUpdated(periods the deposit still covers).
-            ctx.emit("PaymentStateUpdated", (remaining_periods as u64).to_be_bytes().to_vec())?;
+            ctx.emit(
+                "PaymentStateUpdated",
+                (remaining_periods as u64).to_be_bytes().to_vec(),
+            )?;
         } else {
             // Client is behind: reserve every wei it can still cover.
             let payable_periods = client_funds.0 / self.terms.payment_per_period.0;
@@ -252,7 +259,9 @@ impl Contract for Payment {
                 }
                 let amount = Wei(dec.u128().map_err(|e| Revert::new(e.to_string()))?);
                 self.update_payment_status(ctx)?;
-                let free = ctx.contract_balance().saturating_sub(self.reserved_for_edge);
+                let free = ctx
+                    .contract_balance()
+                    .saturating_sub(self.reserved_for_edge);
                 if amount > free {
                     return Err(Revert::new(format!(
                         "overdraw prevented: {amount} requested, {free} unreserved"

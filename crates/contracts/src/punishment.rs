@@ -66,7 +66,11 @@ impl Punishment {
 
     /// Creates the contract; the escrow is the deploy endowment (plus any
     /// later plain transfers).
-    pub fn new(client_address: Address, offchain_address: Address, root_contract: Address) -> Punishment {
+    pub fn new(
+        client_address: Address,
+        offchain_address: Address,
+        root_contract: Address,
+    ) -> Punishment {
         Punishment {
             client_address,
             offchain_address,
@@ -84,8 +88,7 @@ impl Punishment {
         raw_data: &[u8],
         signature: &Signature,
     ) -> Vec<u8> {
-        let mut enc =
-            Encoder::with_capacity(128 + proof_bytes.len() + raw_data.len());
+        let mut enc = Encoder::with_capacity(128 + proof_bytes.len() + raw_data.len());
         enc.u8(selector::INVOKE_PUNISHMENT)
             .u64(index)
             .bytes(merkle_root.as_bytes())
@@ -155,13 +158,21 @@ impl Punishment {
             return Err(Revert::new("punishment contract is not active"));
         }
         let index = input.u64().map_err(|e| Revert::new(e.to_string()))?;
-        let merkle_root: [u8; 32] =
-            input.bytes_fixed().map_err(|e| Revert::new(e.to_string()))?;
+        let merkle_root: [u8; 32] = input
+            .bytes_fixed()
+            .map_err(|e| Revert::new(e.to_string()))?;
         let merkle_root = Hash32(merkle_root);
-        let proof_bytes = input.bytes().map_err(|e| Revert::new(e.to_string()))?.to_vec();
-        let raw_data = input.bytes().map_err(|e| Revert::new(e.to_string()))?.to_vec();
-        let sig_bytes: [u8; 65] =
-            input.bytes_fixed().map_err(|e| Revert::new(e.to_string()))?;
+        let proof_bytes = input
+            .bytes()
+            .map_err(|e| Revert::new(e.to_string()))?
+            .to_vec();
+        let raw_data = input
+            .bytes()
+            .map_err(|e| Revert::new(e.to_string()))?
+            .to_vec();
+        let sig_bytes: [u8; 65] = input
+            .bytes_fixed()
+            .map_err(|e| Revert::new(e.to_string()))?;
         input.finish().map_err(|e| Revert::new(e.to_string()))?;
         let signature = Signature::from_bytes(&sig_bytes)
             .map_err(|e| Revert::new(format!("malformed signature: {e}")))?;

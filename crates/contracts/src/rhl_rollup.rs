@@ -63,7 +63,12 @@ impl RhlRollup {
 
     /// Creates the contract; escrow is the deploy endowment.
     pub fn new(poster: Address, challenge_window: u64) -> RhlRollup {
-        RhlRollup { poster, challenge_window, batches: HashMap::new(), next_batch: 0 }
+        RhlRollup {
+            poster,
+            challenge_window,
+            batches: HashMap::new(),
+            next_batch: 0,
+        }
     }
 
     /// Encodes a batch submission.
@@ -125,8 +130,7 @@ impl Contract for RhlRollup {
                 if ctx.sender != self.poster {
                     return Err(Revert::new("caller is not the rollup poster"));
                 }
-                let digest: [u8; 32] =
-                    dec.bytes_fixed().map_err(|e| Revert::new(e.to_string()))?;
+                let digest: [u8; 32] = dec.bytes_fixed().map_err(|e| Revert::new(e.to_string()))?;
                 let count = dec.u64().map_err(|e| Revert::new(e.to_string()))?;
                 if count > dec.remaining() as u64 {
                     return Err(Revert::new("operation count exceeds calldata"));
@@ -161,8 +165,10 @@ impl Contract for RhlRollup {
             }
             selector::CHALLENGE => {
                 let id = dec.u64().map_err(|e| Revert::new(e.to_string()))?;
-                let batch =
-                    self.batches.get_mut(&id).ok_or_else(|| Revert::new("no such batch"))?;
+                let batch = self
+                    .batches
+                    .get_mut(&id)
+                    .ok_or_else(|| Revert::new("no such batch"))?;
                 if batch.fraudulent {
                     return Err(Revert::new("already proven fraudulent"));
                 }
@@ -185,8 +191,10 @@ impl Contract for RhlRollup {
             }
             selector::BATCH_STATUS => {
                 let id = dec.u64().map_err(|e| Revert::new(e.to_string()))?;
-                let batch =
-                    self.batches.get(&id).ok_or_else(|| Revert::new("no such batch"))?;
+                let batch = self
+                    .batches
+                    .get(&id)
+                    .ok_or_else(|| Revert::new("no such batch"))?;
                 ctx.charge_storage_read(1)?;
                 let status = if batch.fraudulent {
                     2

@@ -42,13 +42,19 @@ impl RootRecord {
 
     /// Creates the contract bound to its Offchain Node.
     pub fn new(offchain_address: Address) -> RootRecord {
-        RootRecord { offchain_address, record_map: HashMap::new(), tail_idx: 0 }
+        RootRecord {
+            offchain_address,
+            record_map: HashMap::new(),
+            tail_idx: 0,
+        }
     }
 
     /// Encodes `Update-Records(start_idx, roots)` calldata.
     pub fn update_records_calldata(start_idx: u64, roots: &[Hash32]) -> Vec<u8> {
         let mut enc = Encoder::with_capacity(16 + roots.len() * 36);
-        enc.u8(selector::UPDATE_RECORDS).u64(start_idx).u64(roots.len() as u64);
+        enc.u8(selector::UPDATE_RECORDS)
+            .u64(start_idx)
+            .u64(roots.len() as u64);
         for root in roots {
             enc.bytes(root.as_bytes());
         }
@@ -115,8 +121,9 @@ impl RootRecord {
         }
         let mut roots = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            let root: [u8; 32] =
-                input.bytes_fixed().map_err(|e| Revert::new(e.to_string()))?;
+            let root: [u8; 32] = input
+                .bytes_fixed()
+                .map_err(|e| Revert::new(e.to_string()))?;
             roots.push(Hash32(root));
         }
         input.finish().map_err(|e| Revert::new(e.to_string()))?;
@@ -124,7 +131,10 @@ impl RootRecord {
         ctx.charge_storage_set(roots.len())?;
         for (i, root) in roots.into_iter().enumerate() {
             let position = start_idx + i as u64;
-            debug_assert!(!self.record_map.contains_key(&position), "single-write invariant");
+            debug_assert!(
+                !self.record_map.contains_key(&position),
+                "single-write invariant"
+            );
             self.record_map.insert(position, root);
         }
         // Line 10: tail_idx <- start_idx + n (one rewritten word).
@@ -204,7 +214,9 @@ mod tests {
         let (chain, node, _, addr) = setup();
         let tx = chain
             .call_contract(
-                &node.secret, addr, Wei::ZERO,
+                &node.secret,
+                addr,
+                Wei::ZERO,
                 RootRecord::update_records_calldata(0, &roots(3)),
                 Gas(200_000),
             )
@@ -213,7 +225,10 @@ mod tests {
         assert!(chain.receipt(tx).unwrap().status.is_success());
         for i in 0..3u64 {
             let out = chain.view(addr, &RootRecord::get_root_calldata(i)).unwrap();
-            assert_eq!(RootRecord::decode_root(&out), Some(Hash32([i as u8 + 1; 32])));
+            assert_eq!(
+                RootRecord::decode_root(&out),
+                Some(Hash32([i as u8 + 1; 32]))
+            );
         }
         let tail = chain.view(addr, &RootRecord::get_tail_calldata()).unwrap();
         assert_eq!(RootRecord::decode_tail(&tail), Some(3));
@@ -224,7 +239,9 @@ mod tests {
         let (chain, _, stranger, addr) = setup();
         let tx = chain
             .call_contract(
-                &stranger.secret, addr, Wei::ZERO,
+                &stranger.secret,
+                addr,
+                Wei::ZERO,
                 RootRecord::update_records_calldata(0, &roots(1)),
                 Gas(200_000),
             )
@@ -241,7 +258,9 @@ mod tests {
         let (chain, node, _, addr) = setup();
         let tx = chain
             .call_contract(
-                &node.secret, addr, Wei::ZERO,
+                &node.secret,
+                addr,
+                Wei::ZERO,
                 RootRecord::update_records_calldata(5, &roots(1)),
                 Gas(200_000),
             )
@@ -255,7 +274,9 @@ mod tests {
         let (chain, node, _, addr) = setup();
         chain
             .call_contract(
-                &node.secret, addr, Wei::ZERO,
+                &node.secret,
+                addr,
+                Wei::ZERO,
                 RootRecord::update_records_calldata(0, &roots(2)),
                 Gas(200_000),
             )
@@ -264,7 +285,9 @@ mod tests {
         // Attempting to overwrite position 0 fails the sequential check.
         let tx = chain
             .call_contract(
-                &node.secret, addr, Wei::ZERO,
+                &node.secret,
+                addr,
+                Wei::ZERO,
                 RootRecord::update_records_calldata(0, &[Hash32([0xEE; 32])]),
                 Gas(200_000),
             )
@@ -272,7 +295,11 @@ mod tests {
         chain.mine_block();
         assert!(!chain.receipt(tx).unwrap().status.is_success());
         let out = chain.view(addr, &RootRecord::get_root_calldata(0)).unwrap();
-        assert_eq!(RootRecord::decode_root(&out), Some(Hash32([1; 32])), "original intact");
+        assert_eq!(
+            RootRecord::decode_root(&out),
+            Some(Hash32([1; 32])),
+            "original intact"
+        );
     }
 
     #[test]
@@ -282,7 +309,9 @@ mod tests {
         let (chain, node, _, addr) = setup();
         let single = chain
             .call_contract(
-                &node.secret, addr, Wei::ZERO,
+                &node.secret,
+                addr,
+                Wei::ZERO,
                 RootRecord::update_records_calldata(0, &roots(1)),
                 Gas(10_000_000),
             )
@@ -292,20 +321,28 @@ mod tests {
         let ten: Vec<Hash32> = (10..20).map(|i| Hash32([i; 32])).collect();
         let batch = chain
             .call_contract(
-                &node.secret, addr, Wei::ZERO,
+                &node.secret,
+                addr,
+                Wei::ZERO,
                 RootRecord::update_records_calldata(1, &ten),
                 Gas(10_000_000),
             )
             .unwrap();
         chain.mine_block();
         let g10 = chain.receipt(batch).unwrap().gas_used.0;
-        assert!((g10 as f64 / 10.0) < g1 as f64 * 0.6, "per-digest gas {g1} vs {}", g10 / 10);
+        assert!(
+            (g10 as f64 / 10.0) < g1 as f64 * 0.6,
+            "per-digest gas {g1} vs {}",
+            g10 / 10
+        );
     }
 
     #[test]
     fn missing_root_reads_as_none() {
         let (chain, _, _, addr) = setup();
-        let out = chain.view(addr, &RootRecord::get_root_calldata(99)).unwrap();
+        let out = chain
+            .view(addr, &RootRecord::get_root_calldata(99))
+            .unwrap();
         assert_eq!(RootRecord::decode_root(&out), None);
     }
 
@@ -314,6 +351,8 @@ mod tests {
         let (chain, _, _, addr) = setup();
         assert!(chain.view(addr, &[]).is_err());
         assert!(chain.view(addr, &[0x99]).is_err());
-        assert!(chain.view(addr, &[selector::GET_ROOT_AT_INDEX, 1, 2]).is_err());
+        assert!(chain
+            .view(addr, &[selector::GET_ROOT_AT_INDEX, 1, 2])
+            .is_err());
     }
 }

@@ -32,20 +32,30 @@ fn entries(n: usize, size: usize) -> Vec<Vec<u8>> {
 fn ocl_append_and_read() {
     let (chain, _, user) = setup();
     let (addr, _) = chain
-        .deploy(&user.secret, Box::new(OclLog::new()), Wei::ZERO, OclLog::CODE_LEN)
+        .deploy(
+            &user.secret,
+            Box::new(OclLog::new()),
+            Wei::ZERO,
+            OclLog::CODE_LEN,
+        )
         .unwrap();
     chain.mine_block();
     let batch = entries(5, 64);
     let tx = chain
         .call_contract(
-            &user.secret, addr, Wei::ZERO,
+            &user.secret,
+            addr,
+            Wei::ZERO,
             OclLog::append_calldata(&batch),
             Gas(10_000_000),
         )
         .unwrap();
     chain.mine_block();
     assert!(chain.receipt(tx).unwrap().status.is_success());
-    assert_eq!(chain.view(addr, &OclLog::get_calldata(2)).unwrap(), batch[2]);
+    assert_eq!(
+        chain.view(addr, &OclLog::get_calldata(2)).unwrap(),
+        batch[2]
+    );
     assert_eq!(
         chain.view(addr, &OclLog::len_calldata()).unwrap(),
         5u64.to_be_bytes()
@@ -58,7 +68,12 @@ fn ocl_cost_scales_with_raw_bytes_while_root_record_does_not() {
     // The Table-1 cost story at contract level.
     let (chain, _, user) = setup();
     let (ocl, _) = chain
-        .deploy(&user.secret, Box::new(OclLog::new()), Wei::ZERO, OclLog::CODE_LEN)
+        .deploy(
+            &user.secret,
+            Box::new(OclLog::new()),
+            Wei::ZERO,
+            OclLog::CODE_LEN,
+        )
         .unwrap();
     let (rr, _) = chain
         .deploy(
@@ -72,15 +87,21 @@ fn ocl_cost_scales_with_raw_bytes_while_root_record_does_not() {
     let batch = entries(20, 1024);
     let ocl_tx = chain
         .call_contract(
-            &user.secret, ocl, Wei::ZERO,
+            &user.secret,
+            ocl,
+            Wei::ZERO,
             OclLog::append_calldata(&batch),
             Gas(30_000_000),
         )
         .unwrap();
-    let root = wedge_merkle::MerkleTree::from_leaves(&batch).unwrap().root();
+    let root = wedge_merkle::MerkleTree::from_leaves(&batch)
+        .unwrap()
+        .root();
     let rr_tx = chain
         .call_contract(
-            &user.secret, rr, Wei::ZERO,
+            &user.secret,
+            rr,
+            Wei::ZERO,
             RootRecord::update_records_calldata(0, &[root]),
             Gas(1_000_000),
         )
@@ -111,7 +132,9 @@ fn rhl_honest_batch_finalizes_after_window() {
     let digest = RhlRollup::compute_digest(&ops).unwrap();
     let tx = chain
         .call_contract(
-            &poster.secret, addr, Wei::ZERO,
+            &poster.secret,
+            addr,
+            Wei::ZERO,
             RhlRollup::submit_calldata(&ops, &digest),
             Gas(10_000_000),
         )
@@ -145,7 +168,9 @@ fn rhl_fraud_proof_seizes_escrow() {
     let wrong_digest = Hash32([0x66; 32]);
     chain
         .call_contract(
-            &poster.secret, addr, Wei::ZERO,
+            &poster.secret,
+            addr,
+            Wei::ZERO,
             RhlRollup::submit_calldata(&ops, &wrong_digest),
             Gas(10_000_000),
         )
@@ -154,7 +179,9 @@ fn rhl_fraud_proof_seizes_escrow() {
     let before = chain.balance(challenger.address);
     let tx = chain
         .call_contract(
-            &challenger.secret, addr, Wei::ZERO,
+            &challenger.secret,
+            addr,
+            Wei::ZERO,
             RhlRollup::challenge_calldata(0),
             Gas(10_000_000),
         )
@@ -193,7 +220,9 @@ fn rhl_honest_batch_survives_challenge() {
     let digest = RhlRollup::compute_digest(&ops).unwrap();
     chain
         .call_contract(
-            &poster.secret, addr, Wei::ZERO,
+            &poster.secret,
+            addr,
+            Wei::ZERO,
             RhlRollup::submit_calldata(&ops, &digest),
             Gas(10_000_000),
         )
@@ -201,13 +230,18 @@ fn rhl_honest_batch_survives_challenge() {
     chain.mine_block();
     let tx = chain
         .call_contract(
-            &challenger.secret, addr, Wei::ZERO,
+            &challenger.secret,
+            addr,
+            Wei::ZERO,
             RhlRollup::challenge_calldata(0),
             Gas(10_000_000),
         )
         .unwrap();
     chain.mine_block();
-    assert!(!chain.receipt(tx).unwrap().status.is_success(), "honest digest: challenge fails");
+    assert!(
+        !chain.receipt(tx).unwrap().status.is_success(),
+        "honest digest: challenge fails"
+    );
     assert_eq!(chain.balance(addr), Wei::from_eth(5), "escrow intact");
 }
 
@@ -229,7 +263,9 @@ fn rhl_challenge_window_closes() {
     let wrong = Hash32([0x77; 32]);
     chain
         .call_contract(
-            &poster.secret, addr, Wei::ZERO,
+            &poster.secret,
+            addr,
+            Wei::ZERO,
             RhlRollup::submit_calldata(&ops, &wrong),
             Gas(10_000_000),
         )
@@ -238,7 +274,9 @@ fn rhl_challenge_window_closes() {
     clock.advance(Duration::from_secs(3601));
     let tx = chain
         .call_contract(
-            &challenger.secret, addr, Wei::ZERO,
+            &challenger.secret,
+            addr,
+            Wei::ZERO,
             RhlRollup::challenge_calldata(0),
             Gas(10_000_000),
         )
@@ -270,7 +308,9 @@ fn rhl_only_poster_submits() {
     let digest = RhlRollup::compute_digest(&ops).unwrap();
     let tx = chain
         .call_contract(
-            &stranger.secret, addr, Wei::ZERO,
+            &stranger.secret,
+            addr,
+            Wei::ZERO,
             RhlRollup::submit_calldata(&ops, &digest),
             Gas(10_000_000),
         )

@@ -26,7 +26,12 @@ fn fixture() -> Fixture {
     chain.fund(user.address, Wei::from_eth(1000));
     chain.fund(client.address, Wei::from_eth(1000));
     let (root_record, _) = chain
-        .deploy(&user.secret, Box::new(RootRecord::new(user.address)), Wei::ZERO, 100)
+        .deploy(
+            &user.secret,
+            Box::new(RootRecord::new(user.address)),
+            Wei::ZERO,
+            100,
+        )
         .unwrap();
     let (punishment, _) = chain
         .deploy(
@@ -58,7 +63,15 @@ fn fixture() -> Fixture {
         )
         .unwrap();
     chain.mine_block();
-    Fixture { chain, user, root_record, punishment, payment, ocl, rhl }
+    Fixture {
+        chain,
+        user,
+        root_record,
+        punishment,
+        payment,
+        ocl,
+        rhl,
+    }
 }
 
 proptest! {

@@ -57,7 +57,13 @@ fn setup(deposit: Wei) -> Harness {
         )
         .unwrap();
     chain.mine_block();
-    Harness { chain, clock, node, client, payment }
+    Harness {
+        chain,
+        clock,
+        node,
+        client,
+        payment,
+    }
 }
 
 fn advance_and_update(h: &Harness, secs: u64) -> wedge_chain::Receipt {
@@ -77,14 +83,18 @@ fn advance_and_update(h: &Harness, secs: u64) -> wedge_chain::Receipt {
 }
 
 fn status(h: &Harness) -> wedge_contracts::PaymentStatus {
-    Payment::decode_status(&h.chain.view(h.payment, &Payment::status_calldata()).unwrap())
-        .unwrap()
+    Payment::decode_status(
+        &h.chain
+            .view(h.payment, &Payment::status_calldata())
+            .unwrap(),
+    )
+    .unwrap()
 }
 
 #[test]
 fn deposit_streams_per_period() {
     let h = setup(Wei(1000)); // covers 10 periods
-    // After 2.5 periods, exactly 2 periods' worth is reserved.
+                              // After 2.5 periods, exactly 2 periods' worth is reserved.
     let receipt = advance_and_update(&h, 150);
     assert!(receipt.status.is_success());
     let s = status(&h);
@@ -143,7 +153,7 @@ fn node_withdraws_only_reserved_amount() {
 fn client_cannot_overdraw_reserved_funds() {
     let h = setup(Wei(1000));
     h.clock.advance(Duration::from_secs(300)); // 5 periods reserved on touch
-    // 600 > 500 unreserved: must revert.
+                                               // 600 > 500 unreserved: must revert.
     let tx = h
         .chain
         .call_contract(
@@ -175,7 +185,7 @@ fn client_cannot_overdraw_reserved_funds() {
 #[test]
 fn insufficient_deposit_emits_reminder() {
     let h = setup(Wei(250)); // covers 2.5 periods
-    // 4 periods elapse; only 2 coverable -> 2 overdue (within tolerance 3).
+                             // 4 periods elapse; only 2 coverable -> 2 overdue (within tolerance 3).
     let receipt = advance_and_update(&h, 240);
     assert!(receipt.status.is_success());
     let log = receipt
@@ -202,7 +212,10 @@ fn prolonged_nonpayment_violates_contract() {
     assert_eq!(s.balance, Wei::ZERO);
     // Entire balance went to the node.
     assert_eq!(
-        h.chain.balance(h.node.address).checked_sub(node_before).unwrap(),
+        h.chain
+            .balance(h.node.address)
+            .checked_sub(node_before)
+            .unwrap(),
         Wei(250)
     );
 }
@@ -230,7 +243,10 @@ fn client_termination_settles_both_sides() {
     assert!(s.terminated);
     assert_eq!(s.balance, Wei::ZERO);
     assert_eq!(
-        h.chain.balance(h.node.address).checked_sub(node_before).unwrap(),
+        h.chain
+            .balance(h.node.address)
+            .checked_sub(node_before)
+            .unwrap(),
         Wei(300),
         "node paid for 3 elapsed periods"
     );
@@ -258,7 +274,13 @@ fn stranger_cannot_start_or_withdraw() {
     ] {
         let tx = h
             .chain
-            .call_contract(&stranger.secret, h.payment, Wei::ZERO, calldata, Gas(500_000))
+            .call_contract(
+                &stranger.secret,
+                h.payment,
+                Wei::ZERO,
+                calldata,
+                Gas(500_000),
+            )
             .unwrap();
         h.chain.mine_block();
         assert!(!h.chain.receipt(tx).unwrap().status.is_success());
@@ -335,8 +357,7 @@ fn update_before_start_is_a_noop() {
     // Succeeds but reserves nothing: the stream has not started.
     assert!(h.chain.receipt(tx).unwrap().status.is_success());
     let status =
-        Payment::decode_status(&h.chain.view(addr, &Payment::status_calldata()).unwrap())
-            .unwrap();
+        Payment::decode_status(&h.chain.view(addr, &Payment::status_calldata()).unwrap()).unwrap();
     assert!(!status.started);
     assert_eq!(status.reserved_for_edge, Wei::ZERO);
 }

@@ -45,7 +45,13 @@ fn setup() -> Harness {
         )
         .unwrap();
     chain.mine_block();
-    Harness { chain, node, client, root_record, punishment }
+    Harness {
+        chain,
+        node,
+        client,
+        root_record,
+        punishment,
+    }
 }
 
 /// Builds a batch, blockchain-commits its root at index 0, and returns the
@@ -73,20 +79,32 @@ fn sign_response(
     proof_bytes: &[u8],
     raw: &[u8],
 ) -> Signature {
-    sign_prehashed(&node.secret, &response_digest(index, root, proof_bytes, raw))
+    sign_prehashed(
+        &node.secret,
+        &response_digest(index, root, proof_bytes, raw),
+    )
 }
 
 fn invoke(h: &Harness, calldata: Vec<u8>) -> wedge_chain::Receipt {
     let tx = h
         .chain
-        .call_contract(&h.client.secret, h.punishment, Wei::ZERO, calldata, Gas(5_000_000))
+        .call_contract(
+            &h.client.secret,
+            h.punishment,
+            Wei::ZERO,
+            calldata,
+            Gas(5_000_000),
+        )
         .unwrap();
     h.chain.mine_block();
     h.chain.receipt(tx).unwrap()
 }
 
 fn status(h: &Harness) -> PunishmentStatus {
-    let out = h.chain.view(h.punishment, &Punishment::status_calldata()).unwrap();
+    let out = h
+        .chain
+        .view(h.punishment, &Punishment::status_calldata())
+        .unwrap();
     Punishment::decode_status(&out).unwrap()
 }
 
@@ -102,7 +120,10 @@ fn honest_response_is_not_punished() {
         Punishment::invoke_calldata(0, &tree.root(), &proof, &batch[3], &sig),
     );
     assert!(receipt.status.is_success());
-    assert_eq!(Punishment::decode_invoke_result(&receipt.output), Some(false));
+    assert_eq!(
+        Punishment::decode_invoke_result(&receipt.output),
+        Some(false)
+    );
     assert_eq!(status(&h), PunishmentStatus::Active);
     assert_eq!(h.chain.balance(h.punishment), ESCROW, "escrow intact");
 }
@@ -125,7 +146,10 @@ fn equivocation_drains_escrow_to_client() {
         Punishment::invoke_calldata(0, &forged_tree.root(), &proof, &forged[3], &sig),
     );
     assert!(receipt.status.is_success());
-    assert_eq!(Punishment::decode_invoke_result(&receipt.output), Some(true));
+    assert_eq!(
+        Punishment::decode_invoke_result(&receipt.output),
+        Some(true)
+    );
     assert_eq!(status(&h), PunishmentStatus::Punished);
     assert_eq!(h.chain.balance(h.punishment), Wei::ZERO);
     // Client received the full escrow (minus its own gas fee).
@@ -155,7 +179,10 @@ fn bogus_proof_drains_escrow() {
         Punishment::invoke_calldata(0, &tree.root(), &proof, &batch[4], &sig),
     );
     assert!(receipt.status.is_success());
-    assert_eq!(Punishment::decode_invoke_result(&receipt.output), Some(true));
+    assert_eq!(
+        Punishment::decode_invoke_result(&receipt.output),
+        Some(true)
+    );
     assert_eq!(status(&h), PunishmentStatus::Punished);
 }
 

@@ -10,8 +10,8 @@ use wedge_contracts::RootRecord;
 use wedge_crypto::hash::Hash32;
 use wedge_crypto::PublicKey;
 
-use crate::error::CoreError;
 use crate::api::LogService;
+use crate::error::CoreError;
 use crate::types::EntryId;
 
 /// Outcome of one audit scan.
@@ -79,7 +79,12 @@ impl Auditor {
     ) -> Auditor {
         let service: Arc<dyn LogService> = service;
         let node_public = service.node_public_key();
-        Auditor { service, node_public, chain, root_record }
+        Auditor {
+            service,
+            node_public,
+            chain,
+            root_record,
+        }
     }
 
     /// Fetches the on-chain digest for a log position (one view call per
@@ -134,11 +139,7 @@ impl Auditor {
     /// returned [`Evidence::response`] can be handed directly to
     /// [`crate::client::Publisher::punish`] (or any client with a
     /// punishment contract).
-    pub fn find_evidence(
-        &self,
-        from_log: u64,
-        to_log: u64,
-    ) -> Result<Option<Evidence>, CoreError> {
+    pub fn find_evidence(&self, from_log: u64, to_log: u64) -> Result<Option<Evidence>, CoreError> {
         let positions = self.service.positions().min(to_log);
         for log_id in from_log..positions {
             let onchain = self.onchain_root(log_id)?;
@@ -150,8 +151,7 @@ impl Auditor {
                 // Only node-signed responses are evidence; skip anything
                 // whose signature does not even recover to a valid signer.
                 let digest = response.digest();
-                let Ok(signer) =
-                    wedge_crypto::recover_prehashed(&digest, &response.signature)
+                let Ok(signer) = wedge_crypto::recover_prehashed(&digest, &response.signature)
                 else {
                     continue;
                 };
@@ -206,7 +206,10 @@ impl Auditor {
                     .map(|r| r.verify().is_ok())
                     .unwrap_or(false);
                 if !(proof_ok && publisher_ok) {
-                    report.failures.push(EntryId { log_id, offset: offset as u32 });
+                    report.failures.push(EntryId {
+                        log_id,
+                        offset: offset as u32,
+                    });
                 }
                 report.entries_checked += 1;
             }

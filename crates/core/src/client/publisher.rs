@@ -15,8 +15,8 @@ use wedge_contracts::{Punishment, RootRecord};
 use wedge_crypto::signer::Identity;
 use wedge_crypto::PublicKey;
 
-use crate::error::CoreError;
 use crate::api::LogService;
+use crate::error::CoreError;
 use crate::types::{AppendRequest, SignedResponse};
 use crate::util::parallel_map;
 
@@ -209,9 +209,7 @@ impl Publisher {
         self.next_sequence += n as u64;
         // Sign requests in parallel (paper: ECDSA across all cores).
         let key = *self.identity.secret_key();
-        let numbered: Vec<(u64, Vec<u8>)> = (first_seq..)
-            .zip(payloads)
-            .collect();
+        let numbered: Vec<(u64, Vec<u8>)> = (first_seq..).zip(payloads).collect();
         let requests: Vec<AppendRequest> =
             parallel_map(&numbered, self.worker_threads, |(seq, payload)| {
                 AppendRequest::new(&key, *seq, payload.clone())
@@ -266,7 +264,9 @@ impl Publisher {
                 .unwrap_or(false)
         });
         if let Some(bad) = verdicts.iter().position(|ok| !ok) {
-            return Err(CoreError::ProofInvalid { entry_id: responses[bad].entry_id });
+            return Err(CoreError::ProofInvalid {
+                entry_id: responses[bad].entry_id,
+            });
         }
         let stage1_commit = started.elapsed();
         // Return responses in request (sequence) order.
@@ -275,7 +275,12 @@ impl Publisher {
         if let Some(store) = &self.receipts {
             store.save_all(&responses)?;
         }
-        Ok(AppendOutcome { responses, first_response, last_response, stage1_commit })
+        Ok(AppendOutcome {
+            responses,
+            first_response,
+            last_response,
+            stage1_commit,
+        })
     }
 
     /// Link #4 of Figure 2: checks a signed response against the Root
@@ -284,9 +289,10 @@ impl Publisher {
         &self,
         response: &SignedResponse,
     ) -> Result<Stage2Verdict, CoreError> {
-        let out = self
-            .chain
-            .view(self.root_record, &RootRecord::get_root_calldata(response.entry_id.log_id))?;
+        let out = self.chain.view(
+            self.root_record,
+            &RootRecord::get_root_calldata(response.entry_id.log_id),
+        )?;
         Ok(match RootRecord::decode_root(&out) {
             None => Stage2Verdict::NotYet,
             Some(root) if root == response.merkle_root => Stage2Verdict::Committed,
@@ -319,9 +325,9 @@ impl Publisher {
     /// contract. Returns the receipt; on a proven lie the escrow has been
     /// transferred to this client.
     pub fn punish(&self, response: &SignedResponse) -> Result<Receipt, CoreError> {
-        let punishment = self
-            .punishment
-            .ok_or(CoreError::RequestRejected("no punishment contract configured"))?;
+        let punishment = self.punishment.ok_or(CoreError::RequestRejected(
+            "no punishment contract configured",
+        ))?;
         let calldata = Punishment::invoke_calldata(
             response.entry_id.log_id,
             &response.merkle_root,

@@ -8,8 +8,8 @@ use wedge_chain::{Address, Chain};
 use wedge_contracts::RootRecord;
 use wedge_crypto::PublicKey;
 
-use crate::error::CoreError;
 use crate::api::LogService;
+use crate::error::CoreError;
 use crate::types::{AppendRequest, CommitPhase, EntryId, SignedResponse};
 
 /// A verified read result.
@@ -59,7 +59,8 @@ impl Reader {
 
     /// Number of on-chain lookups this reader has performed (cache misses).
     pub fn chain_lookups(&self) -> u64 {
-        self.chain_lookups.load(std::sync::atomic::Ordering::Relaxed)
+        self.chain_lookups
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Reads and stage-1-verifies one entry: node signature, proof position,
@@ -100,9 +101,15 @@ impl Reader {
         if phase == CommitPhase::Pending {
             // Recorded digest exists but differs: the node lied. Surface it
             // as the punishable condition rather than a silent downgrade.
-            return Err(CoreError::BlockchainMismatch { entry_id: response.entry_id });
+            return Err(CoreError::BlockchainMismatch {
+                entry_id: response.entry_id,
+            });
         }
-        Ok(VerifiedEntry { entry_id: response.entry_id, request, phase })
+        Ok(VerifiedEntry {
+            entry_id: response.entry_id,
+            request,
+            phase,
+        })
     }
 
     /// Determines the on-chain phase of a response's log position, caching
@@ -149,7 +156,10 @@ impl Reader {
         self.verify_lazy(response)
     }
 
-    fn verify_lazy(&self, response: crate::types::SignedResponse) -> Result<VerifiedEntry, CoreError> {
+    fn verify_lazy(
+        &self,
+        response: crate::types::SignedResponse,
+    ) -> Result<VerifiedEntry, CoreError> {
         response.verify(&self.node_public)?;
         let request = response.request()?;
         request.verify()?;

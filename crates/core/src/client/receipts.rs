@@ -108,10 +108,7 @@ mod tests {
     use wedge_merkle::MerkleTree;
 
     fn scratch(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "wedge-receipts-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("wedge-receipts-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -124,7 +121,10 @@ mod tests {
         let tree = MerkleTree::from_leaves(&leaves).unwrap();
         SignedResponse::sign(
             &node.secret,
-            EntryId { log_id: i, offset: 0 },
+            EntryId {
+                log_id: i,
+                offset: 0,
+            },
             tree.root(),
             tree.prove(0).unwrap(),
             leaves[0].clone(),
@@ -151,7 +151,9 @@ mod tests {
         let dir = scratch("restart");
         {
             let store = ReceiptStore::open(&dir).unwrap();
-            store.save_all(&(0..4).map(response).collect::<Vec<_>>()).unwrap();
+            store
+                .save_all(&(0..4).map(response).collect::<Vec<_>>())
+                .unwrap();
             store.mark_verified(2).unwrap();
         }
         let store = ReceiptStore::open(&dir).unwrap();

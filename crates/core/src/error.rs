@@ -81,7 +81,10 @@ impl fmt::Display for CoreError {
             CoreError::BadResponseSignature { entry_id } => {
                 write!(f, "invalid node signature on response for {entry_id}")
             }
-            CoreError::ProofPositionMismatch { entry_id, proof_index } => write!(
+            CoreError::ProofPositionMismatch {
+                entry_id,
+                proof_index,
+            } => write!(
                 f,
                 "proof position {proof_index} does not match entry {entry_id}"
             ),
@@ -89,10 +92,16 @@ impl fmt::Display for CoreError {
                 write!(f, "merkle proof invalid for {entry_id}")
             }
             CoreError::LeafMismatch { entry_id } => {
-                write!(f, "response leaf differs from the submitted request for {entry_id}")
+                write!(
+                    f,
+                    "response leaf differs from the submitted request for {entry_id}"
+                )
             }
             CoreError::EntryNotFound(id) => write!(f, "entry {id} not found"),
-            CoreError::SequenceNotFound { publisher, sequence } => {
+            CoreError::SequenceNotFound {
+                publisher,
+                sequence,
+            } => {
                 write!(f, "no entry for publisher {publisher} sequence {sequence}")
             }
             CoreError::RequestRejected(why) => write!(f, "request rejected: {why}"),

@@ -15,6 +15,7 @@
 //! The safety definitions 3.1 and 3.2 are exercised end-to-end by the
 //! workspace integration tests (`tests/` at the repository root).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
@@ -28,8 +29,8 @@ mod util;
 
 pub use api::LogService;
 pub use client::{
-    AppendOutcome, AuditReport, Auditor, Evidence, EvidenceKind, PendingSweep, Publisher,
-    Reader, ReceiptStore, Stage2Verdict, VerifiedEntry,
+    AppendOutcome, AuditReport, Auditor, Evidence, EvidenceKind, PendingSweep, Publisher, Reader,
+    ReceiptStore, Stage2Verdict, VerifiedEntry,
 };
 pub use config::{NodeBehavior, NodeConfig};
 pub use error::CoreError;

@@ -22,9 +22,9 @@ use crate::config::NodeBehavior;
 use crate::types::{EntryId, SignedResponse};
 use crate::util::parallel_map;
 
+use super::stage2::Stage2Task;
 use super::state::{encode_header, encode_leaf, BatchMeta};
 use super::{tamper, IngestMsg, Shared};
-use super::stage2::Stage2Task;
 
 /// Batcher main loop.
 pub(crate) fn run(shared: Arc<Shared>, rx: Receiver<IngestMsg>, stage2: Sender<Stage2Task>) {
@@ -94,6 +94,8 @@ fn flush(
 
     // 2. Merkle tree over the leaf encodings.
     let leaves: Vec<Vec<u8>> = batch.iter().map(|m| m.request.leaf_bytes()).collect();
+    // lint: allow(panic) — `batch` (and hence `leaves`) was checked non-empty
+    // just above, the only failure mode of `from_leaves`
     let tree = MerkleTree::from_leaves(&leaves).expect("non-empty batch");
     let root = tree.root();
 
@@ -104,10 +106,19 @@ fn flush(
     let mut records = Vec::with_capacity(leaves.len() + 1);
     records.push(encode_header(log_id, leaves.len() as u32, &root));
     records.extend(leaves.iter().map(|l| encode_leaf(l)));
-    let header_record = shared
-        .store
-        .append_batch(&records)
-        .expect("local log append failed — storage is the node's ground truth");
+    let header_record = match shared.store.append_batch(&records) {
+        Ok(id) => id,
+        Err(err) => {
+            // Storage is the node's ground truth: without a durable copy no
+            // stage-1 response may be signed. Reject the batch instead of
+            // taking the node down.
+            shared.stats.lock().requests_rejected += batch.len() as u64;
+            for msg in batch {
+                (msg.reply)(Err(format!("local log append failed: {err}")));
+            }
+            return;
+        }
+    };
     let first_record = header_record + 1;
 
     // 4. Replicate before acknowledging (the paper's stronger-liveness
@@ -127,20 +138,29 @@ fn flush(
         let tree = &tree;
         let items: Vec<(usize, &crate::types::AppendRequest)> =
             batch.iter().map(|m| &m.request).enumerate().collect();
-        parallel_map(&items, shared.config.worker_threads, move |(offset, request)| {
-            let mut leaf = request.leaf_bytes();
-            if tampering {
-                tamper(&mut leaf);
-            }
-            let proof = tree.prove(*offset).expect("offset in range");
-            SignedResponse::sign(
-                &node_key,
-                EntryId { log_id, offset: *offset as u32 },
-                root,
-                proof,
-                leaf,
-            )
-        })
+        parallel_map(
+            &items,
+            shared.config.worker_threads,
+            move |(offset, request)| {
+                let mut leaf = request.leaf_bytes();
+                if tampering {
+                    tamper(&mut leaf);
+                }
+                // lint: allow(panic) — `offset` enumerates the same batch the
+                // tree was built from, so it is always in range
+                let proof = tree.prove(*offset).expect("offset in range");
+                SignedResponse::sign(
+                    &node_key,
+                    EntryId {
+                        log_id,
+                        offset: *offset as u32,
+                    },
+                    root,
+                    proof,
+                    leaf,
+                )
+            },
+        )
     };
 
     // Optional simulated response-network delay (one message per flush).
@@ -163,7 +183,10 @@ fn flush(
         for (offset, msg) in batch.iter().enumerate() {
             state.seq_index.insert(
                 (msg.request.publisher, msg.request.sequence),
-                EntryId { log_id, offset: offset as u32 },
+                EntryId {
+                    log_id,
+                    offset: offset as u32,
+                },
             );
         }
         state.batches.push(BatchMeta {
@@ -176,7 +199,10 @@ fn flush(
     {
         let mut stats = shared.stats.lock();
         stats.entries_ingested += batch.len() as u64;
-        stats.bytes_ingested += batch.iter().map(|m| m.request.payload.len() as u64).sum::<u64>();
+        stats.bytes_ingested += batch
+            .iter()
+            .map(|m| m.request.payload.len() as u64)
+            .sum::<u64>();
         stats.batches_flushed += 1;
     }
 

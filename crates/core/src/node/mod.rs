@@ -115,26 +115,34 @@ impl OffchainNode {
                 .and_then(|out| RootRecord::decode_tail(&out))
                 .unwrap_or(0);
             let now = shared.chain.clock().now();
-            let mut state = shared.state.write();
-            let recovered = state.batches.len() as u64;
-            for log_id in 0..recovered.min(onchain_tail) {
-                state.commits.entry(log_id).or_insert(state::CommitInfo {
-                    tx_hash: wedge_crypto::Hash32::ZERO, // pre-restart tx, unknown
-                    block_number: 0,
-                    stage2_latency: Duration::ZERO,
-                });
-            }
-            for log_id in onchain_tail..recovered {
-                let honest_root = state.batches[log_id as usize].tree.root();
-                if let Some(root) =
-                    stage2::stage2_root_for(shared.config.behavior, log_id, honest_root)
-                {
-                    let _ = stage2_tx.send(stage2::Stage2Task {
-                        log_id,
-                        root,
-                        stage1_done: now,
+            // Collect the re-queue work under the state guard, but send only
+            // after it is released: a send while holding `Shared.state` can
+            // deadlock against the committer and blocks every reader.
+            let tasks: Vec<stage2::Stage2Task> = {
+                let mut state = shared.state.write();
+                let recovered = state.batches.len() as u64;
+                for log_id in 0..recovered.min(onchain_tail) {
+                    state.commits.entry(log_id).or_insert(state::CommitInfo {
+                        tx_hash: wedge_crypto::Hash32::ZERO, // pre-restart tx, unknown
+                        block_number: 0,
+                        stage2_latency: Duration::ZERO,
                     });
                 }
+                (onchain_tail..recovered)
+                    .filter_map(|log_id| {
+                        let honest_root = state.batches[log_id as usize].tree.root();
+                        stage2::stage2_root_for(shared.config.behavior, log_id, honest_root).map(
+                            |root| stage2::Stage2Task {
+                                log_id,
+                                root,
+                                stage1_done: now,
+                            },
+                        )
+                    })
+                    .collect()
+            };
+            for task in tasks {
+                let _ = stage2_tx.send(task);
             }
         }
 
@@ -142,11 +150,15 @@ impl OffchainNode {
         let batcher = std::thread::Builder::new()
             .name("wedge-batcher".into())
             .spawn(move || batcher::run(batcher_shared, ingest_rx, stage2_tx))
+            // lint: allow(panic) — thread spawn fails only under resource
+            // exhaustion during node startup
             .expect("spawn batcher");
         let committer_shared = Arc::clone(&shared);
         let committer = std::thread::Builder::new()
             .name("wedge-stage2".into())
             .spawn(move || stage2::run(committer_shared, stage2_rx))
+            // lint: allow(panic) — thread spawn fails only under resource
+            // exhaustion during node startup
             .expect("spawn committer");
 
         Ok(OffchainNode {
@@ -203,7 +215,10 @@ impl OffchainNode {
         if id.offset >= meta.count {
             return Err(CoreError::EntryNotFound(id));
         }
-        let record = self.shared.store.read(meta.first_record + id.offset as u64)?;
+        let record = self
+            .shared
+            .store
+            .read(meta.first_record + id.offset as u64)?;
         let mut leaf = state::decode_leaf(&record)?;
         let proof = meta
             .tree
@@ -243,7 +258,10 @@ impl OffchainNode {
             *state
                 .seq_index
                 .get(&(publisher, sequence))
-                .ok_or(CoreError::SequenceNotFound { publisher, sequence })?
+                .ok_or(CoreError::SequenceNotFound {
+                    publisher,
+                    sequence,
+                })?
         };
         self.read(id)
     }
@@ -286,18 +304,31 @@ impl OffchainNode {
         let meta = state
             .batches
             .get(log_id as usize)
-            .ok_or(CoreError::EntryNotFound(EntryId { log_id, offset: start }))?;
+            .ok_or(CoreError::EntryNotFound(EntryId {
+                log_id,
+                offset: start,
+            }))?;
         if start + count > meta.count || count == 0 {
-            return Err(CoreError::EntryNotFound(EntryId { log_id, offset: start + count }));
+            return Err(CoreError::EntryNotFound(EntryId {
+                log_id,
+                offset: start + count,
+            }));
         }
-        let proof = RangeProof::generate(&meta.tree, start as usize, count as usize)
-            .map_err(|_| CoreError::EntryNotFound(EntryId { log_id, offset: start }))?;
+        let proof =
+            RangeProof::generate(&meta.tree, start as usize, count as usize).map_err(|_| {
+                CoreError::EntryNotFound(EntryId {
+                    log_id,
+                    offset: start,
+                })
+            })?;
         let root = meta.tree.root();
         let first = meta.first_record;
         drop(state);
         let mut leaves = Vec::with_capacity(count as usize);
         for offset in start..start + count {
-            leaves.push(state::decode_leaf(&self.shared.store.read(first + offset as u64)?)?);
+            leaves.push(state::decode_leaf(
+                &self.shared.store.read(first + offset as u64)?,
+            )?);
         }
         Ok((leaves, proof, root))
     }
@@ -373,24 +404,18 @@ impl OffchainNode {
         let mut state = self.shared.state.write();
         let mut remaining = entries;
         while remaining > 0 {
-            let Some(last) = state.batches.last() else { break };
-            let take = (last.count as u64).min(remaining);
-            if take == last.count as u64 {
-                // Drop the whole batch (+1 for its header record).
-                self.shared.store.truncate_tail(take + 1)?;
-                let removed = state.batches.pop().expect("checked");
-                state.commits.remove(&removed.log_id);
-                state
-                    .seq_index
-                    .retain(|_, id| id.log_id != removed.log_id);
-            } else {
-                // Partial destruction of a batch is modelled as dropping the
-                // whole batch too (simpler and strictly worse for the node).
-                self.shared.store.truncate_tail(last.count as u64 + 1)?;
-                let removed = state.batches.pop().expect("checked");
-                state.commits.remove(&removed.log_id);
-                state.seq_index.retain(|_, id| id.log_id != removed.log_id);
-            }
+            let Some((count, log_id)) = state.batches.last().map(|b| (b.count as u64, b.log_id))
+            else {
+                break;
+            };
+            let take = count.min(remaining);
+            // Partial destruction of a batch is modelled as dropping the
+            // whole batch (+1 for its header record) — simpler and strictly
+            // worse for the node.
+            self.shared.store.truncate_tail(count + 1)?;
+            state.batches.pop();
+            state.commits.remove(&log_id);
+            state.seq_index.retain(|_, id| id.log_id != log_id);
             remaining = remaining.saturating_sub(take);
         }
         Ok(())

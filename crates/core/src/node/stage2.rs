@@ -46,14 +46,15 @@ pub(crate) fn stage2_root_for(
 /// drained.
 pub(crate) fn run(shared: Arc<Shared>, rx: Receiver<Stage2Task>) {
     while let Ok(first) = rx.recv() {
+        let mut last_id = first.log_id;
         let mut group = vec![first];
         while group.len() < shared.config.stage2_max_group {
             match rx.try_recv() {
                 Ok(task) => {
                     // Only contiguous runs share a transaction (the contract
                     // enforces sequential writes).
-                    let contiguous =
-                        task.log_id == group.last().expect("non-empty").log_id + 1;
+                    let contiguous = task.log_id == last_id + 1;
+                    last_id = task.log_id;
                     group.push(task);
                     if !contiguous {
                         // Defensive: should not happen with a single batcher.
@@ -107,10 +108,7 @@ fn commit_group(shared: &Shared, group: Vec<Stage2Task>) {
     let mut stats = shared.stats.lock();
     stats.stage2_committed += group.len() as u64;
     stats.stage2_gas = stats.stage2_gas.saturating_add(receipt.gas_used);
-    stats.stage2_fees = stats
-        .stage2_fees
-        .checked_add(receipt.fee)
-        .expect("fee total overflow");
+    stats.stage2_fees = stats.stage2_fees.saturating_add(receipt.fee);
     for task in &group {
         stats
             .stage2_latencies

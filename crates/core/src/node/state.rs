@@ -62,7 +62,10 @@ impl NodeState {
 /// Encodes a batch-header record: `(tag, log_id, count, root)`.
 pub fn encode_header(log_id: u64, count: u32, root: &Hash32) -> Vec<u8> {
     let mut enc = Encoder::with_capacity(53);
-    enc.u8(TAG_HEADER).u64(log_id).u64(count as u64).bytes(root.as_bytes());
+    enc.u8(TAG_HEADER)
+        .u64(log_id)
+        .u64(count as u64)
+        .bytes(root.as_bytes());
     enc.finish()
 }
 
@@ -105,7 +108,11 @@ pub fn decode_header(record: &[u8]) -> Option<Header> {
     let count = dec.u64().ok()? as u32;
     let root: [u8; 32] = dec.bytes_fixed().ok()?;
     dec.finish().ok()?;
-    Some(Header { log_id, count, root: Hash32(root) })
+    Some(Header {
+        log_id,
+        count,
+        root: Hash32(root),
+    })
 }
 
 /// Rebuilds the in-memory state from a recovered [`LogStore`] (the node
@@ -118,7 +125,9 @@ pub fn rebuild_state(store: &LogStore) -> Result<NodeState, CoreError> {
     while cursor < total {
         let record = store.read(cursor)?;
         let Some(header) = decode_header(&record) else {
-            return Err(CoreError::RequestRejected("expected batch header during recovery"));
+            return Err(CoreError::RequestRejected(
+                "expected batch header during recovery",
+            ));
         };
         let first_record = cursor + 1;
         if first_record + header.count as u64 > total {
@@ -139,7 +148,10 @@ pub fn rebuild_state(store: &LogStore) -> Result<NodeState, CoreError> {
             if let Ok(req) = AppendRequest::from_leaf_bytes(leaf) {
                 state.seq_index.insert(
                     (req.publisher, req.sequence),
-                    EntryId { log_id: header.log_id, offset: offset as u32 },
+                    EntryId {
+                        log_id: header.log_id,
+                        offset: offset as u32,
+                    },
                 );
             }
         }

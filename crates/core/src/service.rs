@@ -70,7 +70,11 @@ pub fn deploy_service(
     };
     chain.wait_for_receipt(tx1)?;
     chain.wait_for_receipt(tx2)?;
-    Ok(ServiceDeployment { root_record, punishment, payment })
+    Ok(ServiceDeployment {
+        root_record,
+        punishment,
+        payment,
+    })
 }
 
 /// Client-side subscription handle for the Payment contract.
@@ -83,7 +87,11 @@ pub struct Subscription {
 impl Subscription {
     /// Wraps an existing Payment contract.
     pub fn new(chain: Arc<Chain>, client: Identity, payment: Address) -> Subscription {
-        Subscription { chain, client, payment }
+        Subscription {
+            chain,
+            client,
+            payment,
+        }
     }
 
     /// Deposits `amount` and starts the payment stream ("After verifying the
@@ -150,8 +158,7 @@ impl Subscription {
     /// Reads the contract's status snapshot.
     pub fn status(&self) -> Result<PaymentStatus, CoreError> {
         let out = self.chain.view(self.payment, &Payment::status_calldata())?;
-        Payment::decode_status(&out)
-            .ok_or(CoreError::RequestRejected("malformed payment status"))
+        Payment::decode_status(&out).ok_or(CoreError::RequestRejected("malformed payment status"))
     }
 }
 

@@ -83,10 +83,15 @@ impl AppendRequest {
     /// Verifies the publisher's signature and address binding.
     pub fn verify(&self) -> Result<(), CoreError> {
         let digest = Self::signing_digest(self.sequence, &self.payload);
-        let recovered = recover_prehashed(&digest, &self.signature)
-            .map_err(|_| CoreError::BadRequestSignature { publisher: self.publisher })?;
+        let recovered = recover_prehashed(&digest, &self.signature).map_err(|_| {
+            CoreError::BadRequestSignature {
+                publisher: self.publisher,
+            }
+        })?;
         if recovered.address() != self.publisher {
-            return Err(CoreError::BadRequestSignature { publisher: self.publisher });
+            return Err(CoreError::BadRequestSignature {
+                publisher: self.publisher,
+            });
         }
         Ok(())
     }
@@ -111,9 +116,16 @@ impl AppendRequest {
         let payload = dec.bytes().map_err(CoreError::Decode)?.to_vec();
         let sig: [u8; 65] = dec.bytes_fixed().map_err(CoreError::Decode)?;
         dec.finish().map_err(CoreError::Decode)?;
-        let signature = Signature::from_bytes(&sig)
-            .map_err(|_| CoreError::BadRequestSignature { publisher: Address(addr) })?;
-        Ok(AppendRequest { publisher: Address(addr), sequence, payload, signature })
+        let signature =
+            Signature::from_bytes(&sig).map_err(|_| CoreError::BadRequestSignature {
+                publisher: Address(addr),
+            })?;
+        Ok(AppendRequest {
+            publisher: Address(addr),
+            sequence,
+            payload,
+            signature,
+        })
     }
 }
 
@@ -154,10 +166,15 @@ impl SignedResponse {
         proof: MerkleProof,
         leaf: Vec<u8>,
     ) -> SignedResponse {
-        let digest =
-            response_digest(entry_id.log_id, &merkle_root, &proof.to_bytes(), &leaf);
+        let digest = response_digest(entry_id.log_id, &merkle_root, &proof.to_bytes(), &leaf);
         let signature = sign_prehashed(node_key, &digest);
-        SignedResponse { entry_id, merkle_root, proof, leaf, signature }
+        SignedResponse {
+            entry_id,
+            merkle_root,
+            proof,
+            leaf,
+            signature,
+        }
     }
 
     /// Full client-side stage-1 verification:
@@ -165,8 +182,11 @@ impl SignedResponse {
     /// 2. the proof reproduces the signed root from the leaf,
     /// 3. the proof's position matches the claimed entry id.
     pub fn verify(&self, node_public: &PublicKey) -> Result<(), CoreError> {
-        verify_prehashed(node_public, &self.digest(), &self.signature)
-            .map_err(|_| CoreError::BadResponseSignature { entry_id: self.entry_id })?;
+        verify_prehashed(node_public, &self.digest(), &self.signature).map_err(|_| {
+            CoreError::BadResponseSignature {
+                entry_id: self.entry_id,
+            }
+        })?;
         if self.proof.leaf_index != self.entry_id.offset as u64 {
             return Err(CoreError::ProofPositionMismatch {
                 entry_id: self.entry_id,
@@ -175,7 +195,9 @@ impl SignedResponse {
         }
         self.proof
             .verify(&self.leaf, &self.merkle_root)
-            .map_err(|_| CoreError::ProofInvalid { entry_id: self.entry_id })?;
+            .map_err(|_| CoreError::ProofInvalid {
+                entry_id: self.entry_id,
+            })?;
         Ok(())
     }
 
@@ -188,7 +210,9 @@ impl SignedResponse {
     ) -> Result<(), CoreError> {
         self.verify(node_public)?;
         if self.leaf != request.leaf_bytes() {
-            return Err(CoreError::LeafMismatch { entry_id: self.entry_id });
+            return Err(CoreError::LeafMismatch {
+                entry_id: self.entry_id,
+            });
         }
         Ok(())
     }
@@ -238,8 +262,7 @@ impl SignedResponse {
 
 /// Parses a Merkle proof, mapping the error into this crate's type.
 fn merkle_proof_from_bytes(bytes: &[u8]) -> Result<MerkleProof, CoreError> {
-    MerkleProof::from_bytes(bytes)
-        .map_err(|_| CoreError::RequestRejected("malformed merkle proof"))
+    MerkleProof::from_bytes(bytes).map_err(|_| CoreError::RequestRejected("malformed merkle proof"))
 }
 
 /// The paper's stage-2 record `V = (i, R_f)`.
@@ -295,7 +318,10 @@ mod tests {
         let tree = MerkleTree::from_leaves(&leaves).unwrap();
         let response = SignedResponse::sign(
             &node.secret,
-            EntryId { log_id: 5, offset: 0 },
+            EntryId {
+                log_id: 5,
+                offset: 0,
+            },
             tree.root(),
             tree.prove(0).unwrap(),
             req.leaf_bytes(),
@@ -315,7 +341,10 @@ mod tests {
         // Node responds with the WRONG entry for this request.
         let response = SignedResponse::sign(
             &node.secret,
-            EntryId { log_id: 5, offset: 1 },
+            EntryId {
+                log_id: 5,
+                offset: 1,
+            },
             tree.root(),
             tree.prove(1).unwrap(),
             other.leaf_bytes(),
@@ -337,7 +366,10 @@ mod tests {
         let tree = MerkleTree::from_leaves(&[req.leaf_bytes()]).unwrap();
         let response = SignedResponse::sign(
             &impostor.secret,
-            EntryId { log_id: 0, offset: 0 },
+            EntryId {
+                log_id: 0,
+                offset: 0,
+            },
             tree.root(),
             tree.prove(0).unwrap(),
             req.leaf_bytes(),
@@ -354,7 +386,10 @@ mod tests {
         // Claimed offset 1 but proof is for leaf 0.
         let response = SignedResponse::sign(
             &node.secret,
-            EntryId { log_id: 0, offset: 1 },
+            EntryId {
+                log_id: 0,
+                offset: 1,
+            },
             tree.root(),
             tree.prove(0).unwrap(),
             req.leaf_bytes(),
@@ -373,7 +408,10 @@ mod tests {
         let tree = MerkleTree::from_leaves(&leaves).unwrap();
         let mut response = SignedResponse::sign(
             &node.secret,
-            EntryId { log_id: 0, offset: 0 },
+            EntryId {
+                log_id: 0,
+                offset: 0,
+            },
             tree.root(),
             tree.prove(0).unwrap(),
             req.leaf_bytes(),

@@ -27,8 +27,12 @@ where
             });
         }
     })
+    // lint: allow(panic) — re-raises a worker thread's panic on the caller
     .expect("parallel_map worker panicked");
-    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+    out.into_iter()
+        // lint: allow(panic) — every slot is zipped 1:1 with an input chunk
+        .map(|v| v.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -45,7 +49,10 @@ mod tests {
     #[test]
     fn single_thread_and_tiny_inputs() {
         assert_eq!(parallel_map(&[1, 2, 3], 1, |x| x + 1), vec![2, 3, 4]);
-        assert_eq!(parallel_map::<u32, u32, _>(&[], 8, |x| *x), Vec::<u32>::new());
+        assert_eq!(
+            parallel_map::<u32, u32, _>(&[], 8, |x| *x),
+            Vec::<u32>::new()
+        );
         assert_eq!(parallel_map(&[7], 8, |x| x * x), vec![49]);
     }
 }

@@ -36,7 +36,10 @@ struct Model {
 const BATCH: usize = 16;
 
 fn entry_id_for(global: usize) -> EntryId {
-    EntryId { log_id: (global / BATCH) as u64, offset: (global % BATCH) as u32 }
+    EntryId {
+        log_id: (global / BATCH) as u64,
+        offset: (global % BATCH) as u32,
+    }
 }
 
 #[test]
@@ -58,7 +61,10 @@ fn random_workload_agrees_with_model() {
         &chain,
         &node_id,
         publishers[0].address(),
-        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(1),
+            payment_terms: None,
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("wedge-model-{}", std::process::id()));
@@ -70,11 +76,20 @@ fn random_workload_agrees_with_model() {
         ..Default::default()
     };
     let mut node = Arc::new(
-        OffchainNode::start(node_id.clone(), config(), Arc::clone(&chain), deployment.root_record, &dir)
-            .unwrap(),
+        OffchainNode::start(
+            node_id.clone(),
+            config(),
+            Arc::clone(&chain),
+            deployment.root_record,
+            &dir,
+        )
+        .unwrap(),
     );
 
-    let mut model = Model { next_seq: vec![0; publishers.len()], ..Default::default() };
+    let mut model = Model {
+        next_seq: vec![0; publishers.len()],
+        ..Default::default()
+    };
 
     for step in 0..60 {
         match rng.gen_range(0..100) {
@@ -107,8 +122,11 @@ fn random_workload_agrees_with_model() {
                     continue;
                 }
                 node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
-                let reader =
-                    Reader::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+                let reader = Reader::new(
+                    Arc::clone(&node),
+                    Arc::clone(&chain),
+                    deployment.root_record,
+                );
                 let global = rng.gen_range(0..model.entries.len());
                 let entry = reader.read(entry_id_for(global)).unwrap();
                 assert_eq!(
@@ -122,10 +140,16 @@ fn random_workload_agrees_with_model() {
                 if model.by_sequence.is_empty() {
                     continue;
                 }
-                let reader =
-                    Reader::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
-                let (&(who, seq), &global) =
-                    model.by_sequence.iter().nth(rng.gen_range(0..model.by_sequence.len())).unwrap();
+                let reader = Reader::new(
+                    Arc::clone(&node),
+                    Arc::clone(&chain),
+                    deployment.root_record,
+                );
+                let (&(who, seq), &global) = model
+                    .by_sequence
+                    .iter()
+                    .nth(rng.gen_range(0..model.by_sequence.len()))
+                    .unwrap();
                 let entry = reader
                     .read_lazy_by_sequence(publishers[who].address(), seq)
                     .unwrap();
@@ -159,7 +183,11 @@ fn random_workload_agrees_with_model() {
 
     // Final sweep: every model entry is served verbatim and verified.
     node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
-    let reader = Reader::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    let reader = Reader::new(
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+    );
     for (global, payload) in model.entries.iter().enumerate() {
         let entry = reader.read(entry_id_for(global)).unwrap();
         assert_eq!(&entry.request.payload, payload);

@@ -42,7 +42,10 @@ fn world(tag: &str, behavior: NodeBehavior, batch_size: usize) -> World {
         &chain,
         &node_identity,
         client_identity.address(),
-        &ServiceConfig { escrow: ESCROW, payment_terms: None },
+        &ServiceConfig {
+            escrow: ESCROW,
+            payment_terms: None,
+        },
     )
     .expect("deploy contracts");
 
@@ -71,8 +74,16 @@ fn world(tag: &str, behavior: NodeBehavior, batch_size: usize) -> World {
         deployment.root_record,
         Some(deployment.punishment),
     );
-    let reader = Reader::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
-    let auditor = Auditor::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    let reader = Reader::new(
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+    );
+    let auditor = Auditor::new(
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+    );
     World {
         chain,
         node,
@@ -144,10 +155,7 @@ fn reads_verify_through_all_paths() {
     assert_eq!(entry.phase, CommitPhase::BlockchainCommitted);
 
     // By (publisher, sequence).
-    let by_seq = w
-        .reader
-        .read_by_sequence(w.publisher.address(), 7)
-        .unwrap();
+    let by_seq = w.reader.read_by_sequence(w.publisher.address(), 7).unwrap();
     assert_eq!(by_seq.request.payload, entry.request.payload);
 
     // Lazy (stage-1-only) read.
@@ -155,7 +163,13 @@ fn reads_verify_through_all_paths() {
     assert_eq!(lazy.phase, CommitPhase::OffchainCommitted);
 
     // Missing entries fail cleanly.
-    assert!(w.reader.read(wedge_core::EntryId { log_id: 99, offset: 0 }).is_err());
+    assert!(w
+        .reader
+        .read(wedge_core::EntryId {
+            log_id: 99,
+            offset: 0
+        })
+        .is_err());
     assert!(w
         .reader
         .read_by_sequence(w.publisher.address(), 9999)
@@ -180,7 +194,11 @@ fn auditor_scans_clean_log() {
 
 #[test]
 fn equivocating_node_is_detected_and_punished() {
-    let mut w = world("equivocate", NodeBehavior::CommitWrongRoot { from_log: 0 }, 30);
+    let mut w = world(
+        "equivocate",
+        NodeBehavior::CommitWrongRoot { from_log: 0 },
+        30,
+    );
     let outcome = w.publisher.append_batch(payloads(30, 128)).unwrap();
     // Stage 1 looks perfectly honest.
     assert_eq!(outcome.responses.len(), 30);
@@ -195,7 +213,10 @@ fn equivocating_node_is_detected_and_punished() {
 
     // Reader's verified path refuses the entry.
     let err = w.reader.read(outcome.responses[0].entry_id).unwrap_err();
-    assert!(matches!(err, wedge_core::CoreError::BlockchainMismatch { .. }));
+    assert!(matches!(
+        err,
+        wedge_core::CoreError::BlockchainMismatch { .. }
+    ));
 
     // Punishment drains the escrow to the client.
     let client_before = w.chain.balance(w.publisher.address());
@@ -206,7 +227,9 @@ fn equivocating_node_is_detected_and_punished() {
         .expect("mismatch must trigger punishment");
     assert!(receipt.status.is_success());
     let status = Punishment::decode_status(
-        &w.chain.view(w.punishment, &Punishment::status_calldata()).unwrap(),
+        &w.chain
+            .view(w.punishment, &Punishment::status_calldata())
+            .unwrap(),
     )
     .unwrap();
     assert_eq!(status, PunishmentStatus::Punished);
@@ -236,7 +259,11 @@ fn tampering_node_is_detected_at_stage1() {
 #[test]
 fn tampered_read_is_punishable_after_commit() {
     // Honest at append time; tampers on the READ path.
-    let mut w = world("tamper-read", NodeBehavior::TamperResponses { from_log: 1 }, 10);
+    let mut w = world(
+        "tamper-read",
+        NodeBehavior::TamperResponses { from_log: 1 },
+        10,
+    );
     // Log 0 is unaffected; publish a batch into it honestly.
     w.publisher.append_batch(payloads(10, 64)).unwrap();
     // Next batch lands in log 1, where reads tamper.
@@ -246,7 +273,13 @@ fn tampered_read_is_punishable_after_commit() {
     w.node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
     // ...and a read of log 1 yields a signed-but-invalid response which,
     // after stage 2 committed the honest root, is punishable evidence.
-    let response = w.node.read(wedge_core::EntryId { log_id: 1, offset: 3 }).unwrap();
+    let response = w
+        .node
+        .read(wedge_core::EntryId {
+            log_id: 1,
+            offset: 3,
+        })
+        .unwrap();
     assert!(response.verify(&w.node.public_key()).is_err());
     let receipt = w.publisher.punish(&response).unwrap();
     assert!(receipt.status.is_success());
@@ -265,11 +298,15 @@ fn omission_attack_leaves_positions_uncommitted() {
     w.node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
     // Log 0 committed; log 1 never will be.
     assert_eq!(
-        w.publisher.verify_blockchain_commit(&first.responses[0]).unwrap(),
+        w.publisher
+            .verify_blockchain_commit(&first.responses[0])
+            .unwrap(),
         Stage2Verdict::Committed
     );
     assert_eq!(
-        w.publisher.verify_blockchain_commit(&second.responses[0]).unwrap(),
+        w.publisher
+            .verify_blockchain_commit(&second.responses[0])
+            .unwrap(),
         Stage2Verdict::NotYet
     );
     assert_eq!(w.node.commit_phase(1), CommitPhase::OffchainCommitted);
@@ -303,7 +340,10 @@ fn node_recovers_state_after_restart() {
     let node = Arc::new(
         OffchainNode::start(
             identity,
-            NodeConfig { batch_size: 25, ..Default::default() },
+            NodeConfig {
+                batch_size: 25,
+                ..Default::default()
+            },
             Arc::clone(&chain),
             root_record,
             &dir,
@@ -353,10 +393,7 @@ fn multiple_publishers_interleave_safely() {
     // Every publisher's entries are retrievable by sequence.
     for i in 0..3 {
         let identity = Identity::from_seed(format!("pub-{i}").as_bytes());
-        let entry = w
-            .reader
-            .read_by_sequence(identity.address(), 39)
-            .unwrap();
+        let entry = w.reader.read_by_sequence(identity.address(), 39).unwrap();
         assert_eq!(
             entry.request.payload,
             format!("publisher-{i}-entry-39").into_bytes()
@@ -386,9 +423,21 @@ fn destroy_tail_models_extreme_omission() {
     assert_eq!(w.node.entry_count(), 30);
     w.node.destroy_tail(10).unwrap();
     assert_eq!(w.node.entry_count(), 20);
-    assert!(w.node.read(wedge_core::EntryId { log_id: 2, offset: 0 }).is_err());
+    assert!(w
+        .node
+        .read(wedge_core::EntryId {
+            log_id: 2,
+            offset: 0
+        })
+        .is_err());
     // Earlier entries still verify at stage 1.
-    let response = w.node.read(wedge_core::EntryId { log_id: 0, offset: 5 }).unwrap();
+    let response = w
+        .node
+        .read(wedge_core::EntryId {
+            log_id: 0,
+            offset: 5,
+        })
+        .unwrap();
     response.verify(&w.node.public_key()).unwrap();
 }
 
@@ -400,7 +449,9 @@ fn stage2_resumes_after_crash_between_stages() {
     let outcome = w.publisher.append_batch(payloads(20, 64)).unwrap();
     // The "crash": the omitting node never committed anything.
     assert_eq!(
-        w.publisher.verify_blockchain_commit(&outcome.responses[0]).unwrap(),
+        w.publisher
+            .verify_blockchain_commit(&outcome.responses[0])
+            .unwrap(),
         Stage2Verdict::NotYet
     );
     let dir = w.dir.clone();
@@ -417,7 +468,10 @@ fn stage2_resumes_after_crash_between_stages() {
     let node = Arc::new(
         OffchainNode::start(
             identity,
-            NodeConfig { batch_size: 10, ..Default::default() },
+            NodeConfig {
+                batch_size: 10,
+                ..Default::default()
+            },
             Arc::clone(&chain),
             root_record,
             &dir,
@@ -453,7 +507,10 @@ fn restart_does_not_recommit_already_committed_positions() {
     let node = Arc::new(
         OffchainNode::start(
             identity,
-            NodeConfig { batch_size: 10, ..Default::default() },
+            NodeConfig {
+                batch_size: 10,
+                ..Default::default()
+            },
             Arc::clone(&chain),
             root_record,
             &dir,
@@ -477,7 +534,10 @@ fn reader_root_cache_eliminates_repeat_lookups() {
     // 50 reads across 2 log positions: at most 2 chain lookups (write-once
     // digests are cacheable forever).
     for i in 0..50u32 {
-        let id = wedge_core::EntryId { log_id: (i / 25) as u64, offset: i % 25 };
+        let id = wedge_core::EntryId {
+            log_id: (i / 25) as u64,
+            offset: i % 25,
+        };
         let entry = reader.read(id).unwrap();
         assert_eq!(entry.phase, CommitPhase::BlockchainCommitted);
     }
@@ -532,7 +592,11 @@ fn receipt_store_sweeps_and_survives_restart() {
 
 #[test]
 fn receipt_sweep_punishes_equivocation_found_after_restart() {
-    let w = world("receipts-evil", NodeBehavior::CommitWrongRoot { from_log: 0 }, 20);
+    let w = world(
+        "receipts-evil",
+        NodeBehavior::CommitWrongRoot { from_log: 0 },
+        20,
+    );
     let receipt_dir =
         std::env::temp_dir().join(format!("wedge-pub-receipts-evil-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&receipt_dir);
@@ -563,7 +627,9 @@ fn receipt_sweep_punishes_equivocation_found_after_restart() {
     .with_receipt_store(&receipt_dir)
     .unwrap();
     let sweep = publisher.verify_pending().unwrap();
-    let receipt = sweep.punished.expect("equivocation punished from recovered evidence");
+    let receipt = sweep
+        .punished
+        .expect("equivocation punished from recovered evidence");
     assert!(receipt.status.is_success());
     assert_eq!(w.chain.balance(w.punishment), Wei::ZERO);
 }

@@ -135,7 +135,7 @@ pub fn sign_prehashed(secret: &SecretKey, msg_hash: &[u8; 32]) -> Signature {
         if r.is_zero() {
             continue;
         }
-        let k_inv = k.invert().expect("nonce is non-zero");
+        let Some(k_inv) = k.invert() else { continue };
         let mut s = k_inv.mul(&z.add(&r.mul(d)));
         if s.is_zero() {
             continue;
@@ -173,7 +173,7 @@ pub fn verify_prehashed(
         return Err(CryptoError::VerificationFailed);
     }
     let r_candidate = Scalar::from_u256(point.x.to_u256());
-    if r_candidate == sig.r {
+    if crate::ct::ct_eq(&r_candidate.to_be_bytes(), &sig.r.to_be_bytes()) {
         Ok(())
     } else {
         Err(CryptoError::VerificationFailed)
@@ -182,10 +182,7 @@ pub fn verify_prehashed(
 
 /// Recovers the signer's public key from a signature over a prehashed
 /// message.
-pub fn recover_prehashed(
-    msg_hash: &[u8; 32],
-    sig: &Signature,
-) -> Result<PublicKey, CryptoError> {
+pub fn recover_prehashed(msg_hash: &[u8; 32], sig: &Signature) -> Result<PublicKey, CryptoError> {
     if sig.r.is_zero() || sig.s.is_zero() || sig.v > 3 {
         return Err(CryptoError::InvalidSignature);
     }
@@ -202,8 +199,7 @@ pub fn recover_prehashed(
         x_int = sum;
     }
     let x = Fe::from_u256(x_int);
-    let nonce_point =
-        Affine::lift_x(x, sig.v & 1 == 1).ok_or(CryptoError::RecoveryFailed)?;
+    let nonce_point = Affine::lift_x(x, sig.v & 1 == 1).ok_or(CryptoError::RecoveryFailed)?;
     let z = Scalar::from_be_bytes_reduced(msg_hash);
     let r_inv = sig.r.invert().ok_or(CryptoError::InvalidSignature)?;
     // Q = r^-1 (s*R - z*G)
@@ -274,7 +270,10 @@ mod tests {
         let kp = Keypair::from_seed(b"tamper");
         let h = hash(b"msg");
         let sig = sign_prehashed(&kp.secret, &h);
-        let tampered = Signature { r: sig.r.add(&Scalar::ONE), ..sig };
+        let tampered = Signature {
+            r: sig.r.add(&Scalar::ONE),
+            ..sig
+        };
         assert!(verify_prehashed(&kp.public, &h, &tampered).is_err());
     }
 
@@ -295,11 +294,13 @@ mod tests {
         let kp = Keypair::from_seed(b"flip");
         let h = hash(b"m");
         let sig = sign_prehashed(&kp.secret, &h);
-        let flipped = Signature { v: sig.v ^ 1, ..sig };
+        let flipped = Signature {
+            v: sig.v ^ 1,
+            ..sig
+        };
         // Either recovery fails or it yields a different key.
-        match recover_prehashed(&h, &flipped) {
-            Ok(pk) => assert_ne!(pk, kp.public),
-            Err(_) => {}
+        if let Ok(pk) = recover_prehashed(&h, &flipped) {
+            assert_ne!(pk, kp.public);
         }
     }
 
@@ -322,7 +323,10 @@ mod tests {
         let mut bytes = sig.to_bytes();
         let s_high = sig.s.neg();
         bytes[32..64].copy_from_slice(&s_high.to_be_bytes());
-        assert_eq!(Signature::from_bytes(&bytes), Err(CryptoError::InvalidSignature));
+        assert_eq!(
+            Signature::from_bytes(&bytes),
+            Err(CryptoError::InvalidSignature)
+        );
     }
 
     #[test]

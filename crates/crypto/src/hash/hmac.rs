@@ -38,7 +38,10 @@ impl HmacSha256 {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad);
-        HmacSha256 { inner, opad_key: opad }
+        HmacSha256 {
+            inner,
+            opad_key: opad,
+        }
     }
 
     /// Absorbs message bytes.
@@ -54,6 +57,23 @@ impl HmacSha256 {
         outer.update(&inner_digest);
         outer.finalize()
     }
+
+    /// Finishes and compares against an expected tag in constant time.
+    ///
+    /// Always prefer this over `finalize()` + `==`: slice equality
+    /// short-circuits and leaks how long a prefix of the tag matched.
+    #[must_use]
+    pub fn verify(self, expected_tag: &[u8; 32]) -> bool {
+        crate::ct::ct_eq(&self.finalize(), expected_tag)
+    }
+}
+
+/// One-shot constant-time verification of `HMAC-SHA256(key, message)`.
+#[must_use]
+pub fn hmac_sha256_verify(key: &[u8], message: &[u8], expected_tag: &[u8; 32]) -> bool {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.verify(expected_tag)
 }
 
 #[cfg(test)]
@@ -99,7 +119,10 @@ mod tests {
         // RFC 4231 case 6: 131-byte key, exercised through the key > block
         // path.
         let key = [0xaa; 131];
-        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

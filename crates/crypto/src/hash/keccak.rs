@@ -108,7 +108,11 @@ impl Default for Keccak256 {
 impl Keccak256 {
     /// Creates an empty hasher.
     pub fn new() -> Self {
-        Keccak256 { state: [0; 25], buf: [0; RATE], buf_len: 0 }
+        Keccak256 {
+            state: [0; 25],
+            buf: [0; RATE],
+            buf_len: 0,
+        }
     }
 
     /// Absorbs `data`.

@@ -5,7 +5,7 @@ mod hmac;
 mod keccak;
 mod sha256;
 
-pub use hmac::{hmac_sha256, HmacSha256};
+pub use hmac::{hmac_sha256, hmac_sha256_verify, HmacSha256};
 pub use keccak::{keccak256, Keccak256};
 pub use sha256::{sha256, Sha256};
 

@@ -5,8 +5,20 @@ use crate::hash::keccak256;
 use crate::secp256k1::{mul_generator, Affine, Scalar};
 
 /// A secp256k1 secret key (a non-zero scalar).
-#[derive(Clone, Copy, PartialEq, Eq)]
+///
+/// Equality is constant-time: see the manual [`PartialEq`] below.
+#[derive(Clone, Copy)]
 pub struct SecretKey(pub(crate) Scalar);
+
+impl PartialEq for SecretKey {
+    fn eq(&self, other: &SecretKey) -> bool {
+        // A derived implementation would short-circuit limb by limb and
+        // leak how much of the key matched; compare via ct_eq instead.
+        crate::ct::ct_eq(&self.to_bytes(), &other.to_bytes())
+    }
+}
+
+impl Eq for SecretKey {}
 
 /// A secp256k1 public key (a non-identity curve point).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -22,8 +34,7 @@ impl SecretKey {
     ///
     /// Rejects zero and values >= the group order.
     pub fn from_bytes(bytes: &[u8; 32]) -> Result<SecretKey, CryptoError> {
-        let scalar =
-            Scalar::from_be_bytes_checked(bytes).ok_or(CryptoError::InvalidSecretKey)?;
+        let scalar = Scalar::from_be_bytes_checked(bytes).ok_or(CryptoError::InvalidSecretKey)?;
         if scalar.is_zero() {
             return Err(CryptoError::InvalidSecretKey);
         }
@@ -88,8 +99,7 @@ impl PublicKey {
 
     /// Parses a 64-byte uncompressed encoding (`x || y`).
     pub fn from_bytes(bytes: &[u8; 64]) -> Result<PublicKey, CryptoError> {
-        let point =
-            Affine::from_bytes_uncompressed(bytes).ok_or(CryptoError::InvalidPublicKey)?;
+        let point = Affine::from_bytes_uncompressed(bytes).ok_or(CryptoError::InvalidPublicKey)?;
         PublicKey::from_point(point)
     }
 
@@ -105,8 +115,7 @@ impl PublicKey {
 
     /// Parses the 33-byte compressed encoding.
     pub fn from_bytes_compressed(bytes: &[u8; 33]) -> Result<PublicKey, CryptoError> {
-        let point =
-            Affine::from_bytes_compressed(bytes).ok_or(CryptoError::InvalidPublicKey)?;
+        let point = Affine::from_bytes_compressed(bytes).ok_or(CryptoError::InvalidPublicKey)?;
         PublicKey::from_point(point)
     }
 
@@ -137,7 +146,10 @@ impl Address {
     pub fn from_hex(s: &str) -> Result<Address, CryptoError> {
         let s = s.strip_prefix("0x").unwrap_or(s);
         if s.len() != 40 {
-            return Err(CryptoError::InvalidLength { expected: 40, actual: s.len() });
+            return Err(CryptoError::InvalidLength {
+                expected: 40,
+                actual: s.len(),
+            });
         }
         let mut out = [0u8; 20];
         for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
@@ -145,7 +157,12 @@ impl Address {
             let lo = (chunk[1] as char).to_digit(16);
             match (hi, lo) {
                 (Some(h), Some(l)) => out[i] = (h * 16 + l) as u8,
-                _ => return Err(CryptoError::InvalidLength { expected: 40, actual: s.len() }),
+                _ => {
+                    return Err(CryptoError::InvalidLength {
+                        expected: 40,
+                        actual: s.len(),
+                    })
+                }
             }
         }
         Ok(Address(out))
@@ -192,7 +209,11 @@ impl Keypair {
     pub fn from_secret(secret: SecretKey) -> Keypair {
         let public = secret.public_key();
         let address = public.address();
-        Keypair { secret, public, address }
+        Keypair {
+            secret,
+            public,
+            address,
+        }
     }
 
     /// Deterministic keypair from a seed label (see [`SecretKey::from_seed`]).
@@ -230,7 +251,10 @@ mod tests {
     #[test]
     fn order_key_rejected() {
         let n = crate::secp256k1::scalar::N.to_be_bytes();
-        assert_eq!(SecretKey::from_bytes(&n), Err(CryptoError::InvalidSecretKey));
+        assert_eq!(
+            SecretKey::from_bytes(&n),
+            Err(CryptoError::InvalidSecretKey)
+        );
     }
 
     #[test]
@@ -268,7 +292,10 @@ mod tests {
         let kp = Keypair::from_seed(b"compressed");
         let compact = kp.public.to_bytes_compressed();
         assert!(compact[0] == 0x02 || compact[0] == 0x03);
-        assert_eq!(PublicKey::from_bytes_compressed(&compact).unwrap(), kp.public);
+        assert_eq!(
+            PublicKey::from_bytes_compressed(&compact).unwrap(),
+            kp.public
+        );
         assert!(PublicKey::from_bytes_compressed(&[0xFF; 33]).is_err());
     }
 

@@ -31,8 +31,10 @@
 //! assert_eq!(recover_message_signer(b"log entry digest", &sig).unwrap(), node.address());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ct;
 pub mod ecdsa;
 pub mod error;
 pub mod hash;
@@ -41,6 +43,7 @@ pub mod secp256k1;
 pub mod signer;
 pub mod uint;
 
+pub use ct::ct_eq;
 pub use ecdsa::{recover_address, recover_prehashed, sign_prehashed, verify_prehashed, Signature};
 pub use error::CryptoError;
 pub use hash::{keccak256, sha256, Hash32};

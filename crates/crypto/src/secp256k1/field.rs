@@ -8,9 +8,8 @@
 use crate::uint::U256;
 
 /// The field modulus `p`.
-pub const P: U256 = U256::from_be_hex(
-    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-);
+pub const P: U256 =
+    U256::from_be_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
 
 /// `2^256 mod p = 2^32 + 977`.
 const C: u64 = 0x1_0000_03D1;
@@ -232,9 +231,7 @@ mod tests {
 
     #[test]
     fn mul_matches_repeated_addition() {
-        let a = Fe::from_be_hex(
-            "00000000000000000000000000000000000000000000000000000000deadbeef",
-        );
+        let a = Fe::from_be_hex("00000000000000000000000000000000000000000000000000000000deadbeef");
         let mut sum = Fe::ZERO;
         for _ in 0..1000 {
             sum = sum.add(&a);
@@ -257,9 +254,7 @@ mod tests {
 
     #[test]
     fn invert() {
-        let a = Fe::from_be_hex(
-            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
-        );
+        let a = Fe::from_be_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
         let inv = a.invert().unwrap();
         assert_eq!(a.mul(&inv), Fe::ONE);
         assert!(Fe::ZERO.invert().is_none());

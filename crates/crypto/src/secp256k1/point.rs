@@ -12,13 +12,9 @@ use super::field::Fe;
 use super::scalar::Scalar;
 
 /// Generator x-coordinate.
-const GX: Fe = Fe::from_be_hex(
-    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
-);
+const GX: Fe = Fe::from_be_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
 /// Generator y-coordinate.
-const GY: Fe = Fe::from_be_hex(
-    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
-);
+const GY: Fe = Fe::from_be_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
 
 /// A point in affine coordinates, or the point at infinity.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -41,14 +37,26 @@ pub struct Jacobian {
 
 impl Affine {
     /// The group identity.
-    pub const INFINITY: Affine = Affine { x: Fe::ZERO, y: Fe::ZERO, infinity: true };
+    pub const INFINITY: Affine = Affine {
+        x: Fe::ZERO,
+        y: Fe::ZERO,
+        infinity: true,
+    };
 
     /// The standard generator G.
-    pub const GENERATOR: Affine = Affine { x: GX, y: GY, infinity: false };
+    pub const GENERATOR: Affine = Affine {
+        x: GX,
+        y: GY,
+        infinity: false,
+    };
 
     /// Constructs a point from coordinates, verifying the curve equation.
     pub fn new(x: Fe, y: Fe) -> Option<Affine> {
-        let p = Affine { x, y, infinity: false };
+        let p = Affine {
+            x,
+            y,
+            infinity: false,
+        };
         if p.is_on_curve() {
             Some(p)
         } else {
@@ -75,12 +83,20 @@ impl Affine {
         if y.is_odd() != y_is_odd {
             y = y.neg();
         }
-        Some(Affine { x, y, infinity: false })
+        Some(Affine {
+            x,
+            y,
+            infinity: false,
+        })
     }
 
     /// Point negation.
     pub fn neg(&self) -> Affine {
-        Affine { x: self.x, y: self.y.neg(), infinity: self.infinity }
+        Affine {
+            x: self.x,
+            y: self.y.neg(),
+            infinity: self.infinity,
+        }
     }
 
     /// Serializes as 64 uncompressed bytes `x || y` (no 0x04 prefix, the
@@ -126,14 +142,22 @@ impl Affine {
         if self.infinity {
             Jacobian::INFINITY
         } else {
-            Jacobian { x: self.x, y: self.y, z: Fe::ONE }
+            Jacobian {
+                x: self.x,
+                y: self.y,
+                z: Fe::ONE,
+            }
         }
     }
 }
 
 impl Jacobian {
     /// The group identity (Z = 0 convention).
-    pub const INFINITY: Jacobian = Jacobian { x: Fe::ONE, y: Fe::ONE, z: Fe::ZERO };
+    pub const INFINITY: Jacobian = Jacobian {
+        x: Fe::ONE,
+        y: Fe::ONE,
+        z: Fe::ZERO,
+    };
 
     /// True iff the identity.
     pub fn is_infinity(&self) -> bool {
@@ -142,13 +166,17 @@ impl Jacobian {
 
     /// Converts back to affine (one field inversion).
     pub fn to_affine(&self) -> Affine {
-        if self.is_infinity() {
+        // `invert` only fails for z = 0, which is the infinity case.
+        let Some(z_inv) = self.z.invert() else {
             return Affine::INFINITY;
-        }
-        let z_inv = self.z.invert().expect("non-zero z");
+        };
         let z_inv2 = z_inv.square();
         let z_inv3 = z_inv2.mul(&z_inv);
-        Affine { x: self.x.mul(&z_inv2), y: self.y.mul(&z_inv3), infinity: false }
+        Affine {
+            x: self.x.mul(&z_inv2),
+            y: self.y.mul(&z_inv3),
+            infinity: false,
+        }
     }
 
     /// Point doubling (a = 0 curve; standard dbl-2009-l formulas).
@@ -166,7 +194,11 @@ impl Jacobian {
         let x3 = f.sub(&d.double());
         let y3 = e.mul(&d.sub(&x3)).sub(&c.mul_u64(8));
         let z3 = self.y.mul(&self.z).double();
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General Jacobian + Jacobian addition.
@@ -197,7 +229,11 @@ impl Jacobian {
         let x3 = r.square().sub(&j).sub(&v.double());
         let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
         let z3 = self.z.add(&rhs.z).square().sub(&z1z1).sub(&z2z2).mul(&h);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition with an affine point (cheaper: Z2 = 1).
@@ -226,7 +262,11 @@ impl Jacobian {
         let x3 = r.square().sub(&j).sub(&v.double());
         let y3 = r.mul(&v.sub(&x3)).sub(&self.y.mul(&j).double());
         let z3 = self.z.add(&h).square().sub(&z1z1).sub(&hh);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 }
 

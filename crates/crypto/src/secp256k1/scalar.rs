@@ -7,14 +7,12 @@
 use crate::uint::{U256, U512};
 
 /// The group order `n`.
-pub const N: U256 = U256::from_be_hex(
-    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141",
-);
+pub const N: U256 =
+    U256::from_be_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
 
 /// `D = 2^256 - n` (129 bits).
-const D: U256 = U256::from_be_hex(
-    "000000000000000000000000000000014551231950b75fc4402da1732fc9bebf",
-);
+const D: U256 =
+    U256::from_be_hex("000000000000000000000000000000014551231950b75fc4402da1732fc9bebf");
 
 /// A scalar modulo the group order, kept fully reduced.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -205,7 +203,9 @@ mod tests {
     fn reduce512_full_width() {
         // (n-1) * (n-1) exercised via mul; also reduce a max 512-bit value:
         // 2^512 - 1 mod n computed two ways.
-        let max = U512 { limbs: [u64::MAX; 8] };
+        let max = U512 {
+            limbs: [u64::MAX; 8],
+        };
         let r = reduce512(max);
         // Cross-check: (2^256-1)*(2^256-1) + 2*(2^256-1) = 2^512 - 1.
         let m = U256::MAX;

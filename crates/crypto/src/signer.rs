@@ -50,8 +50,13 @@ pub fn sign_batch_parallel(
             });
         }
     })
+    // lint: allow(panic) — re-raises a worker thread's panic in the caller;
+    // swallowing it would return signatures that were never computed
     .expect("signing worker panicked");
-    out.into_iter().map(|s| s.expect("all slots filled")).collect()
+    out.into_iter()
+        // lint: allow(panic) — every slot is zipped 1:1 with an input chunk
+        .map(|s| s.expect("all slots filled"))
+        .collect()
 }
 
 /// Verifies many prehashed signatures in parallel.
@@ -77,11 +82,12 @@ pub fn verify_batch_parallel(
     let chunk = items.len().div_ceil(threads);
     let mut failures: Vec<Option<usize>> = vec![None; threads];
     crossbeam::thread::scope(|scope| {
-        for (worker, (base, input)) in failures
-            .iter_mut()
-            .zip(items.chunks(chunk).enumerate().map(|(ci, c)| (ci * chunk, c)))
-            .map(|(f, bc)| (f, bc))
-        {
+        for (worker, (base, input)) in failures.iter_mut().zip(
+            items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, c)| (ci * chunk, c)),
+        ) {
             scope.spawn(move |_| {
                 for (i, item) in input.iter().enumerate() {
                     if check((base + i, item)).is_some() {
@@ -92,6 +98,7 @@ pub fn verify_batch_parallel(
             });
         }
     })
+    // lint: allow(panic) — re-raises a worker thread's panic in the caller
     .expect("verification worker panicked");
     match failures.into_iter().flatten().min() {
         None => Ok(()),
@@ -115,7 +122,9 @@ impl Identity {
 
     /// Deterministic identity from a seed label.
     pub fn from_seed(label: &[u8]) -> Identity {
-        Identity { keypair: Keypair::from_seed(label) }
+        Identity {
+            keypair: Keypair::from_seed(label),
+        }
     }
 
     /// The identity's address.
@@ -166,8 +175,7 @@ mod tests {
     #[test]
     fn batch_sign_matches_sequential() {
         let kp = Keypair::from_seed(b"batch");
-        let hashes: Vec<[u8; 32]> =
-            (0..37u32).map(|i| keccak256(&i.to_be_bytes())).collect();
+        let hashes: Vec<[u8; 32]> = (0..37u32).map(|i| keccak256(&i.to_be_bytes())).collect();
         let seq = sign_batch_parallel(&kp.secret, &hashes, 1);
         let par = sign_batch_parallel(&kp.secret, &hashes, 4);
         assert_eq!(seq.len(), par.len());
@@ -179,11 +187,9 @@ mod tests {
     #[test]
     fn batch_verify_accepts_and_locates_failure() {
         let kp = Keypair::from_seed(b"bv");
-        let hashes: Vec<[u8; 32]> =
-            (0..25u32).map(|i| keccak256(&i.to_be_bytes())).collect();
+        let hashes: Vec<[u8; 32]> = (0..25u32).map(|i| keccak256(&i.to_be_bytes())).collect();
         let sigs = sign_batch_parallel(&kp.secret, &hashes, 4);
-        let mut items: Vec<([u8; 32], Signature)> =
-            hashes.iter().copied().zip(sigs).collect();
+        let mut items: Vec<([u8; 32], Signature)> = hashes.iter().copied().zip(sigs).collect();
         assert_eq!(verify_batch_parallel(&kp.public, &items, 4), Ok(()));
         // Corrupt item 13: signature from a different message.
         items[13].1 = sign_message(&kp.secret, b"corrupted");
@@ -198,6 +204,9 @@ mod tests {
         let h = keccak256(b"one");
         let sigs = sign_batch_parallel(&kp.secret, &[h], 8);
         assert_eq!(sigs.len(), 1);
-        assert_eq!(verify_batch_parallel(&kp.public, &[(h, sigs[0])], 8), Ok(()));
+        assert_eq!(
+            verify_batch_parallel(&kp.public, &[(h, sigs[0])], 8),
+            Ok(())
+        );
     }
 }

@@ -24,14 +24,20 @@ impl U256 {
     /// The value zero.
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
     /// The value one.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
     /// The maximum representable value (2^256 - 1).
-    pub const MAX: U256 = U256 { limbs: [u64::MAX; 4] };
+    pub const MAX: U256 = U256 {
+        limbs: [u64::MAX; 4],
+    };
 
     /// Constructs from a `u64`.
     #[inline]
     pub const fn from_u64(v: u64) -> Self {
-        U256 { limbs: [v, 0, 0, 0] }
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
     }
 
     /// Constructs from little-endian limbs.
@@ -54,6 +60,8 @@ impl U256 {
                 b'0'..=b'9' => (c - b'0') as u64,
                 b'a'..=b'f' => (c - b'a' + 10) as u64,
                 b'A'..=b'F' => (c - b'A' + 10) as u64,
+                // lint: allow(panic) — const fn evaluated at compile time
+                // on curve-constant literals; a bad digit fails the build
                 _ => panic!("invalid hex character"),
             };
             // Nibble `i` (from the most significant end) lands in bit
@@ -99,10 +107,10 @@ impl U256 {
     pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *o = s2;
             carry = c1 | c2;
         }
         (U256 { limbs: out }, carry)
@@ -119,10 +127,10 @@ impl U256 {
     pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            out[i] = d2;
+            *o = d2;
             borrow = b1 | b2;
         }
         (U256 { limbs: out }, borrow)
@@ -140,9 +148,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let acc = out[i + j] as u128
-                    + (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
-                    + carry;
+                let acc =
+                    out[i + j] as u128 + (self.limbs[i] as u128) * (rhs.limbs[j] as u128) + carry;
                 out[i + j] = acc as u64;
                 carry = acc >> 64;
             }
@@ -162,9 +169,9 @@ impl U256 {
     pub fn mul_u64(&self, rhs: u64) -> (U256, u64) {
         let mut out = [0u64; 4];
         let mut carry = 0u128;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let acc = (self.limbs[i] as u128) * (rhs as u128) + carry;
-            out[i] = acc as u64;
+            *o = acc as u64;
             carry = acc >> 64;
         }
         (U256 { limbs: out }, carry as u64)
@@ -176,12 +183,12 @@ impl U256 {
         let limb_shift = n / 64;
         let bit_shift = n % 64;
         let mut out = [0u64; 4];
-        for i in 0..(4 - limb_shift) {
+        for (i, o) in out.iter_mut().enumerate().take(4 - limb_shift) {
             let mut v = self.limbs[i + limb_shift] >> bit_shift;
             if bit_shift != 0 && i + limb_shift + 1 < 4 {
                 v |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
             }
-            out[i] = v;
+            *o = v;
         }
         U256 { limbs: out }
     }
@@ -290,10 +297,10 @@ impl U512 {
     pub fn add(&self, rhs: &U512) -> U512 {
         let mut out = [0u64; 8];
         let mut carry = false;
-        for i in 0..8 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *o = s2;
             carry = c1 | c2;
         }
         debug_assert!(!carry, "U512 addition overflow");
@@ -314,10 +321,12 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        let v = U256::from_be_hex(
-            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+        let v =
+            U256::from_be_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+        assert_eq!(
+            v.to_hex(),
+            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"
         );
-        assert_eq!(v.to_hex(), "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
     }
 
     #[test]
@@ -365,9 +374,8 @@ mod tests {
 
     #[test]
     fn shifts() {
-        let v = U256::from_be_hex(
-            "000000000000000000000000000000000000000000000000ffffffffffffffff",
-        );
+        let v =
+            U256::from_be_hex("000000000000000000000000000000000000000000000000ffffffffffffffff");
         assert_eq!(v.shl(64).limbs, [0, u64::MAX, 0, 0]);
         assert_eq!(v.shl(1).limbs, [u64::MAX - 1, 1, 0, 0]);
         assert_eq!(v.shr(32).limbs, [0xFFFF_FFFF, 0, 0, 0]);

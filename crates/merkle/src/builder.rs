@@ -24,7 +24,9 @@ impl TreeBuilder {
 
     /// Pre-allocates for `capacity` leaves (use the configured batch size).
     pub fn with_capacity(capacity: usize) -> TreeBuilder {
-        TreeBuilder { hashes: Vec::with_capacity(capacity) }
+        TreeBuilder {
+            hashes: Vec::with_capacity(capacity),
+        }
     }
 
     /// Hashes and appends one leaf, returning its index.
@@ -87,7 +89,10 @@ mod tests {
 
     #[test]
     fn empty_builder_fails_cleanly() {
-        assert!(matches!(TreeBuilder::new().build(), Err(MerkleError::EmptyTree)));
+        assert!(matches!(
+            TreeBuilder::new().build(),
+            Err(MerkleError::EmptyTree)
+        ));
         assert!(TreeBuilder::new().is_empty());
     }
 }

@@ -20,6 +20,7 @@
 //! scan.verify(&batch, &root).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;

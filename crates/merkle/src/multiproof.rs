@@ -27,7 +27,11 @@ pub struct RangeProof {
 
 impl RangeProof {
     /// Generates a proof for leaves `[start, start + count)` of `tree`.
-    pub fn generate(tree: &MerkleTree, start: usize, count: usize) -> Result<RangeProof, MerkleError> {
+    pub fn generate(
+        tree: &MerkleTree,
+        start: usize,
+        count: usize,
+    ) -> Result<RangeProof, MerkleError> {
         let leaf_count = tree.leaf_count();
         if count == 0 {
             return Err(MerkleError::EmptyRange);
@@ -44,6 +48,8 @@ impl RangeProof {
         let mut depth = 0;
         let mut size = leaf_count;
         while size > 1 {
+            // lint: allow(panic) — `depth`/`size` track the builder's
+            // reduction exactly, so every visited level exists in the tree
             let level = tree.level(depth).expect("level exists");
             debug_assert_eq!(level.len(), size);
             let parent_lo = lo / 2;
@@ -81,8 +87,7 @@ impl RangeProof {
         if self.count == 0 || self.start + self.count > self.leaf_count {
             return Err(MerkleError::MalformedProof("range out of bounds"));
         }
-        let mut covered: Vec<Hash32> =
-            leaf_data.iter().map(|d| hash_leaf(d.as_ref())).collect();
+        let mut covered: Vec<Hash32> = leaf_data.iter().map(|d| hash_leaf(d.as_ref())).collect();
         let mut lo = self.start as usize;
         let mut hi = lo + self.count as usize;
         let mut size = self.leaf_count as usize;
@@ -125,12 +130,19 @@ impl RangeProof {
     }
 
     /// Verifies the claimed range against a trusted root.
-    pub fn verify<D: AsRef<[u8]>>(&self, leaf_data: &[D], root: &Hash32) -> Result<(), MerkleError> {
+    pub fn verify<D: AsRef<[u8]>>(
+        &self,
+        leaf_data: &[D],
+        root: &Hash32,
+    ) -> Result<(), MerkleError> {
         let computed = self.compute_root(leaf_data)?;
         if computed == *root {
             Ok(())
         } else {
-            Err(MerkleError::RootMismatch { computed, expected: *root })
+            Err(MerkleError::RootMismatch {
+                computed,
+                expected: *root,
+            })
         }
     }
 }
@@ -202,7 +214,10 @@ mod tests {
     #[test]
     fn empty_or_oob_range_rejected() {
         let tree = MerkleTree::from_leaves(&leaves(4)).unwrap();
-        assert!(matches!(RangeProof::generate(&tree, 0, 0), Err(MerkleError::EmptyRange)));
+        assert!(matches!(
+            RangeProof::generate(&tree, 0, 0),
+            Err(MerkleError::EmptyRange)
+        ));
         assert!(RangeProof::generate(&tree, 2, 3).is_err());
     }
 
@@ -229,8 +244,7 @@ mod tests {
         let data = leaves(1024);
         let tree = MerkleTree::from_leaves(&data).unwrap();
         let range = RangeProof::generate(&tree, 100, 200).unwrap();
-        let individual: usize =
-            (100..300).map(|i| tree.prove(i).unwrap().path.len()).sum();
+        let individual: usize = (100..300).map(|i| tree.prove(i).unwrap().path.len()).sum();
         assert!(range.siblings.len() * 4 < individual);
     }
 }

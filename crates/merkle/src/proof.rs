@@ -64,7 +64,10 @@ impl MerkleProof {
         if computed == *root {
             Ok(())
         } else {
-            Err(MerkleError::RootMismatch { computed, expected: *root })
+            Err(MerkleError::RootMismatch {
+                computed,
+                expected: *root,
+            })
         }
     }
 
@@ -93,13 +96,15 @@ impl MerkleProof {
 
     /// Parses the serialized form.
     pub fn from_bytes(bytes: &[u8]) -> Result<MerkleProof, MerkleError> {
-        if bytes.len() < 18 {
+        let (Some(leaf_index), Some(leaf_count), Some(path_len)) = (
+            be_u64(bytes),
+            bytes.get(8..).and_then(be_u64),
+            bytes.get(16..).and_then(be_u16),
+        ) else {
             return Err(MerkleError::MalformedProof("header truncated"));
-        }
-        let leaf_index = u64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"));
-        let leaf_count = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
-        let path_len = u16::from_be_bytes(bytes[16..18].try_into().expect("2 bytes")) as usize;
-        let body = &bytes[18..];
+        };
+        let path_len = path_len as usize;
+        let body = bytes.get(18..).unwrap_or_default();
         if body.len() != path_len * 33 {
             return Err(MerkleError::MalformedProof("path length mismatch"));
         }
@@ -112,10 +117,31 @@ impl MerkleProof {
             };
             let mut hash = [0u8; 32];
             hash.copy_from_slice(&chunk[1..]);
-            path.push(ProofNode { hash: Hash32(hash), side });
+            path.push(ProofNode {
+                hash: Hash32(hash),
+                side,
+            });
         }
-        Ok(MerkleProof { leaf_index, leaf_count, path })
+        Ok(MerkleProof {
+            leaf_index,
+            leaf_count,
+            path,
+        })
     }
+}
+
+/// Big-endian `u64` from the first 8 bytes of `src`; `None` if too short.
+fn be_u64(src: &[u8]) -> Option<u64> {
+    src.get(..8)
+        .and_then(|b| b.try_into().ok())
+        .map(u64::from_be_bytes)
+}
+
+/// Big-endian `u16` from the first 2 bytes of `src`; `None` if too short.
+fn be_u16(src: &[u8]) -> Option<u16> {
+    src.get(..2)
+        .and_then(|b| b.try_into().ok())
+        .map(u16::from_be_bytes)
 }
 
 #[cfg(test)]

@@ -59,11 +59,11 @@ impl MerkleTree {
         if hashes.is_empty() {
             return Err(MerkleError::EmptyTree);
         }
-        let mut levels = vec![hashes];
-        while levels.last().expect("non-empty").len() > 1 {
-            let prev = levels.last().expect("non-empty");
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            let mut chunks = prev.chunks_exact(2);
+        let mut levels = Vec::new();
+        let mut current = hashes;
+        while current.len() > 1 {
+            let mut next = Vec::with_capacity(current.len().div_ceil(2));
+            let mut chunks = current.chunks_exact(2);
             for pair in chunks.by_ref() {
                 next.push(hash_node(&pair[0], &pair[1]));
             }
@@ -71,14 +71,23 @@ impl MerkleTree {
                 // Odd trailing node is promoted unchanged.
                 next.push(*odd);
             }
-            levels.push(next);
+            levels.push(current);
+            current = next;
         }
+        levels.push(current);
         Ok(MerkleTree { levels })
     }
 
     /// The Merkle root (`MRoot`).
     pub fn root(&self) -> Hash32 {
-        self.levels.last().expect("non-empty")[0]
+        match self.levels.last().and_then(|top| top.first()) {
+            Some(h) => *h,
+            None => {
+                // lint: allow(panic) — constructors reject empty input, so a
+                // tree always carries at least the leaf level
+                unreachable!("tree has a root level")
+            }
+        }
     }
 
     /// Number of leaves.
@@ -108,18 +117,27 @@ impl MerkleTree {
             let sibling = i ^ 1;
             if sibling < level.len() {
                 let side = if sibling < i { Side::Left } else { Side::Right };
-                path.push(ProofNode { hash: level[sibling], side });
+                path.push(ProofNode {
+                    hash: level[sibling],
+                    side,
+                });
             }
             // Promoted odd nodes keep their position at index/2 with no
             // sibling contribution.
             i /= 2;
         }
-        Ok(MerkleProof { leaf_index: index as u64, leaf_count: leaf_count as u64, path })
+        Ok(MerkleProof {
+            leaf_index: index as u64,
+            leaf_count: leaf_count as u64,
+            path,
+        })
     }
 
     /// Generates proofs for every leaf (the stage-1 response fan-out).
     pub fn prove_all(&self) -> Vec<MerkleProof> {
         (0..self.leaf_count())
+            // lint: allow(panic) — iterating 0..leaf_count keeps every index
+            // in range by construction
             .map(|i| self.prove(i).expect("index in range"))
             .collect()
     }
@@ -212,7 +230,10 @@ mod tests {
         let tree = MerkleTree::from_leaves(&leaves(4)).unwrap();
         assert!(matches!(
             tree.prove(4),
-            Err(MerkleError::LeafOutOfRange { index: 4, leaf_count: 4 })
+            Err(MerkleError::LeafOutOfRange {
+                index: 4,
+                leaf_count: 4
+            })
         ));
     }
 }

@@ -61,31 +61,27 @@ impl RemoteNode {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader_stream = stream.try_clone()?;
-        let shared = Arc::new(Shared { pending: Mutex::new(HashMap::new()) });
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(HashMap::new()),
+        });
         let reader_shared = Arc::clone(&shared);
         let reader_thread = std::thread::Builder::new()
             .name("wedge-net-client-reader".into())
             .spawn(move || {
                 let mut reader = BufReader::new(reader_stream);
-                loop {
-                    match recv_reply(&mut reader) {
-                        Ok((req_id, reply)) => {
-                            let slot = reader_shared.pending.lock().remove(&req_id);
-                            match slot {
-                                Some(PendingSlot::Channel(tx)) => {
-                                    let _ = tx.send(reply);
-                                }
-                                Some(PendingSlot::Append(callback)) => match reply {
-                                    Reply::Response(response) => callback(Ok(response)),
-                                    Reply::Error(message) => callback(Err(message)),
-                                    other => callback(Err(format!(
-                                        "unexpected append reply: {other:?}"
-                                    ))),
-                                },
-                                None => {} // late reply for a timed-out caller
-                            }
+                // Reads until the connection closes (recv_reply errors).
+                while let Ok((req_id, reply)) = recv_reply(&mut reader) {
+                    let slot = reader_shared.pending.lock().remove(&req_id);
+                    match slot {
+                        Some(PendingSlot::Channel(tx)) => {
+                            let _ = tx.send(reply);
                         }
-                        Err(_) => break, // connection closed
+                        Some(PendingSlot::Append(callback)) => match reply {
+                            Reply::Response(response) => callback(Ok(response)),
+                            Reply::Error(message) => callback(Err(message)),
+                            other => callback(Err(format!("unexpected append reply: {other:?}"))),
+                        },
+                        None => {} // late reply for a timed-out caller
                     }
                 }
                 // Fail everything still pending.
@@ -133,7 +129,10 @@ impl RemoteNode {
     fn round_trip(&self, request: Request) -> std::io::Result<Reply> {
         let req_id = self.next_id();
         let (tx, rx) = bounded(1);
-        self.shared.pending.lock().insert(req_id, PendingSlot::Channel(tx));
+        self.shared
+            .pending
+            .lock()
+            .insert(req_id, PendingSlot::Channel(tx));
         {
             let mut writer = self.writer.lock();
             if let Err(e) = send_request(&mut *writer, req_id, &request) {
@@ -160,7 +159,10 @@ impl RemoteNode {
 /// errors keep their variant so callers can dispatch on them.
 fn remote_error(message: String) -> CoreError {
     if message.contains("not found") {
-        CoreError::EntryNotFound(EntryId { log_id: u64::MAX, offset: u32::MAX })
+        CoreError::EntryNotFound(EntryId {
+            log_id: u64::MAX,
+            offset: u32::MAX,
+        })
     } else {
         CoreError::Remote(message)
     }
@@ -173,12 +175,14 @@ impl LogService for RemoteNode {
 
     fn submit_request(&self, request: AppendRequest, reply: ReplyFn) -> Result<(), CoreError> {
         let req_id = self.next_id();
-        self.shared.pending.lock().insert(req_id, PendingSlot::Append(reply));
+        self.shared
+            .pending
+            .lock()
+            .insert(req_id, PendingSlot::Append(reply));
         let mut writer = self.writer.lock();
         if send_request(&mut *writer, req_id, &Request::Append(request)).is_err() {
             // Reclaim and fail the continuation.
-            if let Some(PendingSlot::Append(callback)) =
-                self.shared.pending.lock().remove(&req_id)
+            if let Some(PendingSlot::Append(callback)) = self.shared.pending.lock().remove(&req_id)
             {
                 callback(Err("connection closed".into()));
             }
@@ -227,9 +231,7 @@ impl LogService for RemoteNode {
 
     fn position_len(&self, log_id: u64) -> Option<u32> {
         match self.rpc(Request::Meta { log_id }) {
-            Ok(Reply::Meta { position_len, .. }) if position_len != u32::MAX => {
-                Some(position_len)
-            }
+            Ok(Reply::Meta { position_len, .. }) if position_len != u32::MAX => Some(position_len),
             _ => None,
         }
     }
@@ -240,8 +242,16 @@ impl LogService for RemoteNode {
         start: u32,
         count: u32,
     ) -> Result<(Vec<Vec<u8>>, RangeProof, Hash32), CoreError> {
-        match self.rpc(Request::Scan { log_id, start, count })? {
-            Reply::Scan { leaves, proof, root } => Ok((leaves, proof, root)),
+        match self.rpc(Request::Scan {
+            log_id,
+            start,
+            count,
+        })? {
+            Reply::Scan {
+                leaves,
+                proof,
+                root,
+            } => Ok((leaves, proof, root)),
             _ => Err(CoreError::RequestRejected("unexpected reply")),
         }
     }

@@ -14,6 +14,7 @@
 //! asynchronous append replies (issued at batch-flush time) interleave with
 //! synchronous reads.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;

@@ -26,10 +26,7 @@ pub struct NodeServer {
 
 impl NodeServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and serves `service`.
-    pub fn bind(
-        addr: &str,
-        service: Arc<dyn LogService>,
-    ) -> std::io::Result<NodeServer> {
+    pub fn bind(addr: &str, service: Arc<dyn LogService>) -> std::io::Result<NodeServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -64,7 +61,11 @@ impl NodeServer {
                 }
             })
             .expect("spawn accept thread");
-        Ok(NodeServer { local_addr, stop, accept_thread: Some(accept_thread) })
+        Ok(NodeServer {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address (with the resolved port).
@@ -194,7 +195,9 @@ fn handle(
     reply_tx: &Sender<(u64, Reply)>,
 ) {
     let reply = match request {
-        Request::Hello => Reply::Hello { public_key: service.node_public_key().to_bytes() },
+        Request::Hello => Reply::Hello {
+            public_key: service.node_public_key().to_bytes(),
+        },
         Request::Append(append) => {
             // Asynchronous: the callback fires at batch flush, on the
             // batcher thread, and routes through the writer channel.
@@ -235,8 +238,16 @@ fn handle(
                 .map(|r| r.map_err(|e| e.to_string()))
                 .collect(),
         ),
-        Request::Scan { log_id, start, count } => match service.scan(log_id, start, count) {
-            Ok((leaves, proof, root)) => Reply::Scan { leaves, proof, root },
+        Request::Scan {
+            log_id,
+            start,
+            count,
+        } => match service.scan(log_id, start, count) {
+            Ok((leaves, proof, root)) => Reply::Scan {
+                leaves,
+                proof,
+                root,
+            },
             Err(e) => Reply::Error(e.to_string()),
         },
         Request::Meta { log_id } => Reply::Meta {

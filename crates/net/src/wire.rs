@@ -130,7 +130,12 @@ fn decode_range_proof(dec: &mut Decoder<'_>) -> io::Result<RangeProof> {
         let h: [u8; 32] = dec.bytes_fixed().map_err(|_| io_err("sibling"))?;
         siblings.push(Hash32(h));
     }
-    Ok(RangeProof { start, count, leaf_count, siblings })
+    Ok(RangeProof {
+        start,
+        count,
+        leaf_count,
+        siblings,
+    })
 }
 
 impl Request {
@@ -162,7 +167,11 @@ impl Request {
                 }
                 kind::READ_MANY
             }
-            Request::Scan { log_id, start, count } => {
+            Request::Scan {
+                log_id,
+                start,
+                count,
+            } => {
                 enc.u64(*log_id).u64(*start as u64).u64(*count as u64);
                 kind::SCAN
             }
@@ -181,8 +190,8 @@ impl Request {
             kind::HELLO => Request::Hello,
             kind::APPEND => {
                 let leaf = dec.bytes().map_err(|_| io_err("append leaf"))?;
-                let request = AppendRequest::from_leaf_bytes(leaf)
-                    .map_err(|_| io_err("append request"))?;
+                let request =
+                    AppendRequest::from_leaf_bytes(leaf).map_err(|_| io_err("append request"))?;
                 Request::Append(request)
             }
             kind::READ => Request::Read(EntryId {
@@ -194,9 +203,7 @@ impl Request {
                 let seq = dec.u64().map_err(|_| io_err("seq"))?;
                 Request::ReadSeq(Address(addr), seq)
             }
-            kind::READ_POSITION => {
-                Request::ReadPosition(dec.u64().map_err(|_| io_err("log_id"))?)
-            }
+            kind::READ_POSITION => Request::ReadPosition(dec.u64().map_err(|_| io_err("log_id"))?),
             kind::READ_MANY => {
                 let n = dec.u64().map_err(|_| io_err("count"))?;
                 if n > 1_000_000 {
@@ -216,7 +223,9 @@ impl Request {
                 start: dec.u64().map_err(|_| io_err("start"))? as u32,
                 count: dec.u64().map_err(|_| io_err("count"))? as u32,
             },
-            kind::META => Request::Meta { log_id: dec.u64().map_err(|_| io_err("log_id"))? },
+            kind::META => Request::Meta {
+                log_id: dec.u64().map_err(|_| io_err("log_id"))?,
+            },
             other => return Err(io_err(&format!("unknown request kind 0x{other:02x}"))),
         };
         dec.finish().map_err(|_| io_err("trailing bytes"))?;
@@ -257,7 +266,11 @@ impl Reply {
                 }
                 kind::R_MANY
             }
-            Reply::Scan { leaves, proof, root } => {
+            Reply::Scan {
+                leaves,
+                proof,
+                root,
+            } => {
                 enc.u64(leaves.len() as u64);
                 for leaf in leaves {
                     enc.bytes(leaf);
@@ -266,7 +279,11 @@ impl Reply {
                 enc.bytes(root.as_bytes());
                 kind::R_SCAN
             }
-            Reply::Meta { positions, entries, position_len } => {
+            Reply::Meta {
+                positions,
+                entries,
+                position_len,
+            } => {
                 enc.u64(*positions).u64(*entries).u64(*position_len as u64);
                 kind::R_META
             }
@@ -300,8 +317,7 @@ impl Reply {
                 for _ in 0..n {
                     let bytes = dec.bytes().map_err(|_| io_err("response"))?;
                     responses.push(
-                        SignedResponse::from_bytes(bytes)
-                            .map_err(|_| io_err("response body"))?,
+                        SignedResponse::from_bytes(bytes).map_err(|_| io_err("response body"))?,
                     );
                 }
                 Reply::Responses(responses)
@@ -317,7 +333,11 @@ impl Reply {
                 }
                 let proof = decode_range_proof(&mut dec)?;
                 let root: [u8; 32] = dec.bytes_fixed().map_err(|_| io_err("root"))?;
-                Reply::Scan { leaves, proof, root: Hash32(root) }
+                Reply::Scan {
+                    leaves,
+                    proof,
+                    root: Hash32(root),
+                }
             }
             kind::R_MANY => {
                 let n = dec.u64().map_err(|_| io_err("count"))?;
@@ -427,13 +447,20 @@ mod tests {
     fn request_frames_roundtrip() {
         let kp = Keypair::from_seed(b"wire");
         let append = AppendRequest::new(&kp.secret, 7, b"wire-payload".to_vec());
-        let requests = vec![
+        let requests = [
             Request::Hello,
             Request::Append(append),
-            Request::Read(EntryId { log_id: 3, offset: 9 }),
+            Request::Read(EntryId {
+                log_id: 3,
+                offset: 9,
+            }),
             Request::ReadSeq(kp.address, 42),
             Request::ReadPosition(5),
-            Request::Scan { log_id: 1, start: 2, count: 3 },
+            Request::Scan {
+                log_id: 1,
+                start: 2,
+                count: 3,
+            },
             Request::Meta { log_id: u64::MAX },
         ];
         let mut buf = Vec::new();
@@ -457,18 +484,31 @@ mod tests {
         let tree = MerkleTree::from_leaves(&leaves).unwrap();
         let response = SignedResponse::sign(
             &node.secret,
-            EntryId { log_id: 0, offset: 0 },
+            EntryId {
+                log_id: 0,
+                offset: 0,
+            },
             tree.root(),
             tree.prove(0).unwrap(),
             leaves[0].clone(),
         );
         let scan_proof = RangeProof::generate(&tree, 0, 2).unwrap();
-        let replies = vec![
-            Reply::Hello { public_key: node.public.to_bytes() },
+        let replies = [
+            Reply::Hello {
+                public_key: node.public.to_bytes(),
+            },
             Reply::Response(response.clone()),
             Reply::Responses(vec![response.clone(), response.clone()]),
-            Reply::Scan { leaves: leaves.clone(), proof: scan_proof, root: tree.root() },
-            Reply::Meta { positions: 1, entries: 2, position_len: 2 },
+            Reply::Scan {
+                leaves: leaves.clone(),
+                proof: scan_proof,
+                root: tree.root(),
+            },
+            Reply::Meta {
+                positions: 1,
+                entries: 2,
+                position_len: 2,
+            },
             Reply::Error("nope".into()),
         ];
         let mut buf = Vec::new();
@@ -489,10 +529,24 @@ mod tests {
                     assert_eq!(r.leaf, leaves[0]);
                 }
                 (2, Reply::Responses(rs)) => assert_eq!(rs.len(), 2),
-                (3, Reply::Scan { leaves: l, proof, root }) => {
+                (
+                    3,
+                    Reply::Scan {
+                        leaves: l,
+                        proof,
+                        root,
+                    },
+                ) => {
                     proof.verify(&l, &root).unwrap();
                 }
-                (4, Reply::Meta { positions, entries, position_len }) => {
+                (
+                    4,
+                    Reply::Meta {
+                        positions,
+                        entries,
+                        position_len,
+                    },
+                ) => {
                     assert_eq!((positions, entries, position_len), (1, 2, 2));
                 }
                 (5, Reply::Error(msg)) => assert_eq!(msg, "nope"),
@@ -514,7 +568,15 @@ mod tests {
         assert!(recv_request(&mut std::io::Cursor::new(buf)).is_err());
         // Truncated body.
         let mut buf = Vec::new();
-        send_request(&mut buf, 1, &Request::Read(EntryId { log_id: 0, offset: 0 })).unwrap();
+        send_request(
+            &mut buf,
+            1,
+            &Request::Read(EntryId {
+                log_id: 0,
+                offset: 0,
+            }),
+        )
+        .unwrap();
         buf.truncate(buf.len() - 3);
         assert!(recv_request(&mut std::io::Cursor::new(buf)).is_err());
     }

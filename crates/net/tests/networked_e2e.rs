@@ -7,8 +7,8 @@ use std::time::Duration;
 
 use wedge_chain::{Chain, ChainConfig, Wei};
 use wedge_core::{
-    deploy_service, Auditor, CommitPhase, LogService, NodeConfig, OffchainNode, Publisher,
-    Reader, ServiceConfig,
+    deploy_service, Auditor, CommitPhase, LogService, NodeConfig, OffchainNode, Publisher, Reader,
+    ServiceConfig,
 };
 use wedge_crypto::signer::Identity;
 use wedge_net::{NodeServer, RemoteNode};
@@ -36,7 +36,10 @@ fn net_world(tag: &str, behavior: wedge_core::NodeBehavior) -> NetWorld {
         &chain,
         &node_id,
         client_identity.address(),
-        &ServiceConfig { escrow: Wei::from_eth(8), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(8),
+            payment_terms: None,
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("wedge-net-{tag}-{}", std::process::id()));
@@ -118,7 +121,10 @@ fn reads_and_audits_work_over_tcp() {
     let remote = Arc::new(RemoteNode::connect(w.server.local_addr()).unwrap());
     let reader = Reader::new(Arc::clone(&remote), Arc::clone(&w.chain), w.root_record);
     let entry = reader
-        .read(wedge_core::EntryId { log_id: 1, offset: 7 })
+        .read(wedge_core::EntryId {
+            log_id: 1,
+            offset: 7,
+        })
         .unwrap();
     assert_eq!(entry.request.payload, data[25 + 7]);
     assert_eq!(entry.phase, CommitPhase::BlockchainCommitted);
@@ -127,7 +133,12 @@ fn reads_and_audits_work_over_tcp() {
         .unwrap();
     assert_eq!(by_seq.request.payload, data[3]);
     // Missing entries come back as clean errors, not hangs.
-    assert!(reader.read(wedge_core::EntryId { log_id: 99, offset: 0 }).is_err());
+    assert!(reader
+        .read(wedge_core::EntryId {
+            log_id: 99,
+            offset: 0
+        })
+        .is_err());
 
     // Full audit over the wire — including the range-proof scan path.
     let auditor = Auditor::new(Arc::clone(&remote), Arc::clone(&w.chain), w.root_record);
@@ -176,12 +187,9 @@ fn concurrent_remote_clients_multiplex() {
             scope.spawn(move |_| {
                 let identity = Identity::from_seed(format!("net-multi-{i}").as_bytes());
                 let remote = Arc::new(RemoteNode::connect(addr).unwrap());
-                let mut publisher =
-                    Publisher::new(identity, remote, chain, root_record, None);
+                let mut publisher = Publisher::new(identity, remote, chain, root_record, None);
                 let outcome = publisher
-                    .append_batch(
-                        (0..30).map(|j| format!("c{i}-e{j}").into_bytes()).collect(),
-                    )
+                    .append_batch((0..30).map(|j| format!("c{i}-e{j}").into_bytes()).collect())
                     .unwrap();
                 assert_eq!(outcome.responses.len(), 30);
             });
@@ -221,13 +229,22 @@ fn read_many_is_one_round_trip_with_per_entry_results() {
     let remote = Arc::new(RemoteNode::connect(w.server.local_addr()).unwrap());
     // Mixed batch: two valid ids, one missing.
     let ids = [
-        wedge_core::EntryId { log_id: 0, offset: 3 },
-        wedge_core::EntryId { log_id: 99, offset: 0 },
-        wedge_core::EntryId { log_id: 0, offset: 7 },
+        wedge_core::EntryId {
+            log_id: 0,
+            offset: 3,
+        },
+        wedge_core::EntryId {
+            log_id: 99,
+            offset: 0,
+        },
+        wedge_core::EntryId {
+            log_id: 0,
+            offset: 7,
+        },
     ];
     let results = remote.read_entries(&ids);
     assert_eq!(results.len(), 3);
-    assert_eq!(results[0].as_ref().unwrap().leaf.len() > 0, true);
+    assert!(!results[0].as_ref().unwrap().leaf.is_empty());
     assert!(results[1].is_err());
     assert!(results[2].is_ok());
     // And through the Reader it verifies end-to-end.

@@ -53,7 +53,10 @@ enum Inner {
     /// Wall time scaled by `factor`.
     Scaled { start: Instant, factor: f64 },
     /// Manually advanced time.
-    Manual { state: Mutex<Duration>, waiters: Condvar },
+    Manual {
+        state: Mutex<Duration>,
+        waiters: Condvar,
+    },
 }
 
 /// A shareable simulation clock (cheap to clone).
@@ -71,8 +74,16 @@ impl Clock {
     /// A clock where simulated time advances `factor`× faster than wall
     /// time. `factor` must be positive and finite.
     pub fn compressed(factor: f64) -> Clock {
-        assert!(factor.is_finite() && factor > 0.0, "invalid compression factor");
-        Clock { inner: Arc::new(Inner::Scaled { start: Instant::now(), factor }) }
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid compression factor"
+        );
+        Clock {
+            inner: Arc::new(Inner::Scaled {
+                start: Instant::now(),
+                factor,
+            }),
+        }
     }
 
     /// A clock that only advances via [`Clock::advance`].
@@ -88,9 +99,9 @@ impl Clock {
     /// Current simulated time.
     pub fn now(&self) -> SimInstant {
         match &*self.inner {
-            Inner::Scaled { start, factor } => {
-                SimInstant(Duration::from_secs_f64(start.elapsed().as_secs_f64() * factor))
-            }
+            Inner::Scaled { start, factor } => SimInstant(Duration::from_secs_f64(
+                start.elapsed().as_secs_f64() * factor,
+            )),
             Inner::Manual { state, .. } => SimInstant(*state.lock()),
         }
     }

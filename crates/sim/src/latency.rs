@@ -5,9 +5,10 @@ use std::time::Duration;
 use rand::Rng;
 
 /// A distribution over durations.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum LatencyModel {
     /// No delay.
+    #[default]
     Zero,
     /// A fixed delay.
     Constant(Duration),
@@ -64,12 +65,6 @@ impl LatencyModel {
     }
 }
 
-impl Default for LatencyModel {
-    fn default() -> Self {
-        LatencyModel::Zero
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +113,9 @@ mod tests {
         let large = model.sample(&mut rng, 512 * 1024);
         assert_eq!(small, Duration::from_millis(1) + Duration::from_micros(100));
         assert!(large > small);
-        assert_eq!(large, Duration::from_millis(1) + Duration::from_micros(100) * 512);
+        assert_eq!(
+            large,
+            Duration::from_millis(1) + Duration::from_micros(100) * 512
+        );
     }
 }

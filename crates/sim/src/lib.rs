@@ -5,6 +5,7 @@
 //! millisecond-scale wall time while preserving every latency ratio, plus
 //! [`LatencyModel`] distributions for simulated network links.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod clock;

@@ -75,5 +75,8 @@ fn compressed_clock_ratios_hold() {
     let f = fast.now().since(f0).as_secs_f64();
     let s = slow.now().since(s0).as_secs_f64();
     let ratio = f / s;
-    assert!((8.0..12.0).contains(&ratio), "expected ~10x, got {ratio:.2}");
+    assert!(
+        (8.0..12.0).contains(&ratio),
+        "expected ~10x, got {ratio:.2}"
+    );
 }

@@ -15,10 +15,12 @@ pub enum StorageError {
         /// Records currently stored.
         len: u64,
     },
-    /// A stored record failed its checksum — on-disk corruption that is
-    /// *not* at the tail (torn tails are silently truncated at recovery).
-    Corrupt {
-        /// Record id of the damaged record.
+    /// A stored record failed its framing or checksum — on-disk corruption
+    /// rather than an incomplete (torn) write. Torn tails are silently
+    /// truncated at recovery; corrupt records are surfaced.
+    CorruptRecord {
+        /// Record id (or byte offset, for recovery-time findings) of the
+        /// damaged record.
         id: u64,
         /// Human-readable cause.
         what: &'static str,
@@ -39,7 +41,7 @@ impl fmt::Display for StorageError {
             StorageError::RecordNotFound { id, len } => {
                 write!(f, "record {id} not found (store holds {len} records)")
             }
-            StorageError::Corrupt { id, what } => {
+            StorageError::CorruptRecord { id, what } => {
                 write!(f, "record {id} is corrupt: {what}")
             }
             StorageError::RecordTooLarge { size, max } => {

@@ -5,6 +5,7 @@
 //! replica fan-out used for the paper's replicated-liveness experiments
 //! ([`Replicator`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod crc32;

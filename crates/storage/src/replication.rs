@@ -21,7 +21,10 @@ use crate::store::{LogStore, StoreConfig};
 type Batch = Arc<Vec<Vec<u8>>>;
 
 enum Command {
-    Replicate { batch: Batch, ack: Sender<Result<(), String>> },
+    Replicate {
+        batch: Batch,
+        ack: Sender<Result<(), String>>,
+    },
     Shutdown,
 }
 
@@ -72,11 +75,16 @@ impl Replicator {
                             Command::Shutdown => break,
                         }
                     }
-                })
-                .expect("spawn replica thread");
-            replicas.push(Replica { commands: tx, handle: Some(handle) });
+                })?;
+            replicas.push(Replica {
+                commands: tx,
+                handle: Some(handle),
+            });
         }
-        Ok(Replicator { replicas, link_delay })
+        Ok(Replicator {
+            replicas,
+            link_delay,
+        })
     }
 
     /// Ships a batch to every replica and waits for all acknowledgements.
@@ -89,7 +97,10 @@ impl Replicator {
             let (ack_tx, ack_rx) = bounded(1);
             if replica
                 .commands
-                .send(Command::Replicate { batch: batch.clone(), ack: ack_tx })
+                .send(Command::Replicate {
+                    batch: batch.clone(),
+                    ack: ack_tx,
+                })
                 .is_ok()
             {
                 acks.push(ack_rx);
@@ -105,9 +116,10 @@ impl Replicator {
         let batch: Batch = Arc::new(batch);
         for replica in &self.replicas {
             let (ack_tx, _ack_rx) = bounded(1);
-            let _ = replica
-                .commands
-                .send(Command::Replicate { batch: batch.clone(), ack: ack_tx });
+            let _ = replica.commands.send(Command::Replicate {
+                batch: batch.clone(),
+                ack: ack_tx,
+            });
         }
     }
 
@@ -148,10 +160,7 @@ mod tests {
     use super::*;
 
     fn tempdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "wedge-repl-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("wedge-repl-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -159,15 +168,14 @@ mod tests {
     #[test]
     fn sync_replication_acks_all() {
         let dir = tempdir("sync");
-        let repl =
-            Replicator::spawn(&dir, 2, StoreConfig::default(), Duration::ZERO).unwrap();
+        let repl = Replicator::spawn(&dir, 2, StoreConfig::default(), Duration::ZERO).unwrap();
         let acked = repl.replicate_sync(vec![b"r0".to_vec(), b"r1".to_vec()]);
         assert_eq!(acked, 2);
         drop(repl);
         // Each replica persisted the batch.
         for i in 0..2 {
-            let store = LogStore::open(dir.join(format!("replica-{i}")), StoreConfig::default())
-                .unwrap();
+            let store =
+                LogStore::open(dir.join(format!("replica-{i}")), StoreConfig::default()).unwrap();
             assert_eq!(store.len(), 2);
             assert_eq!(store.read(1).unwrap(), b"r1");
         }
@@ -176,19 +184,17 @@ mod tests {
     #[test]
     fn async_replication_eventually_lands() {
         let dir = tempdir("async");
-        let repl =
-            Replicator::spawn(&dir, 1, StoreConfig::default(), Duration::ZERO).unwrap();
+        let repl = Replicator::spawn(&dir, 1, StoreConfig::default(), Duration::ZERO).unwrap();
         repl.replicate_async(vec![b"lazy".to_vec()]);
         drop(repl); // drop joins threads, draining the queue
-        let store =
-            LogStore::open(dir.join("replica-0"), StoreConfig::default()).unwrap();
+        let store = LogStore::open(dir.join("replica-0"), StoreConfig::default()).unwrap();
         assert_eq!(store.len(), 1);
     }
 
     #[test]
     fn zero_replicas_is_noop() {
-        let repl = Replicator::spawn(tempdir("zero"), 0, StoreConfig::default(), Duration::ZERO)
-            .unwrap();
+        let repl =
+            Replicator::spawn(tempdir("zero"), 0, StoreConfig::default(), Duration::ZERO).unwrap();
         assert_eq!(repl.replicate_sync(vec![b"x".to_vec()]), 0);
         assert_eq!(repl.replica_count(), 0);
     }
@@ -196,15 +202,13 @@ mod tests {
     #[test]
     fn multiple_batches_ordered() {
         let dir = tempdir("order");
-        let repl =
-            Replicator::spawn(&dir, 1, StoreConfig::default(), Duration::ZERO).unwrap();
+        let repl = Replicator::spawn(&dir, 1, StoreConfig::default(), Duration::ZERO).unwrap();
         for b in 0..5u32 {
             let batch = (0..3).map(|i| format!("b{b}-{i}").into_bytes()).collect();
             assert_eq!(repl.replicate_sync(batch), 1);
         }
         drop(repl);
-        let store =
-            LogStore::open(dir.join("replica-0"), StoreConfig::default()).unwrap();
+        let store = LogStore::open(dir.join("replica-0"), StoreConfig::default()).unwrap();
         assert_eq!(store.len(), 15);
         assert_eq!(store.read(7).unwrap(), b"b2-1");
     }

@@ -48,7 +48,11 @@ impl SegmentWriter {
             .write(true)
             .truncate(true)
             .open(segment_path(dir, id))?;
-        Ok(SegmentWriter { id, file: BufWriter::new(file), len: 0 })
+        Ok(SegmentWriter {
+            id,
+            file: BufWriter::new(file),
+            len: 0,
+        })
     }
 
     /// Opens an existing segment for appending at `offset` (recovery path).
@@ -58,7 +62,11 @@ impl SegmentWriter {
         file.set_len(offset)?;
         let mut file = file;
         file.seek(SeekFrom::Start(offset))?;
-        Ok(SegmentWriter { id, file: BufWriter::new(file), len: offset })
+        Ok(SegmentWriter {
+            id,
+            file: BufWriter::new(file),
+            len: offset,
+        })
     }
 
     /// Appends one framed record; returns its starting offset.
@@ -109,16 +117,43 @@ pub fn read_record_at(dir: &Path, id: SegmentId, offset: u64) -> Result<Vec<u8>,
     file.read_exact(&mut header)?;
     let magic = u16::from_be_bytes([header[0], header[1]]);
     if magic != MAGIC {
-        return Err(StorageError::Corrupt { id: offset, what: "bad magic" });
+        return Err(StorageError::CorruptRecord {
+            id: offset,
+            what: "bad magic",
+        });
     }
     let len = u32::from_be_bytes([header[2], header[3], header[4], header[5]]) as usize;
     let expected_crc = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
     let mut payload = vec![0u8; len];
     file.read_exact(&mut payload)?;
     if crc32(&payload) != expected_crc {
-        return Err(StorageError::Corrupt { id: offset, what: "checksum mismatch" });
+        return Err(StorageError::CorruptRecord {
+            id: offset,
+            what: "checksum mismatch",
+        });
     }
     Ok(payload)
+}
+
+/// How a segment scan terminated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TailState {
+    /// The scan consumed the file exactly: every byte belongs to an intact
+    /// record.
+    Clean,
+    /// The file ends mid-record (partial header, or a payload running past
+    /// EOF). This is the signature of an interrupted write and is safe to
+    /// truncate away at recovery.
+    Torn,
+    /// Bytes that are present but wrong: a full header with bad magic, or a
+    /// complete payload whose CRC does not match. This is corruption, not a
+    /// crash artifact, and must not be silently dropped.
+    Corrupt {
+        /// Byte offset of the damaged record.
+        offset: u64,
+        /// Human-readable cause.
+        what: &'static str,
+    },
 }
 
 /// The outcome of scanning a segment during recovery.
@@ -128,43 +163,65 @@ pub struct SegmentScan {
     /// Offset of the first byte after the last intact record — the safe
     /// truncation/append point.
     pub valid_len: u64,
-    /// True if trailing bytes after `valid_len` were found (torn write).
-    pub torn_tail: bool,
+    /// Why the scan stopped (or that it cleanly consumed the file).
+    pub tail: TailState,
+}
+
+impl SegmentScan {
+    /// True if trailing bytes after `valid_len` were found, whatever their
+    /// cause.
+    pub fn has_trailing_bytes(&self) -> bool {
+        self.tail != TailState::Clean
+    }
 }
 
 /// Scans a segment from the start, stopping at the first torn/corrupt
-/// record. Everything before the stop point is intact.
+/// record. Everything before the stop point is intact; [`SegmentScan::tail`]
+/// distinguishes a torn write from genuine corruption.
 pub fn scan_segment(dir: &Path, id: SegmentId) -> Result<SegmentScan, StorageError> {
     let mut file = File::open(segment_path(dir, id))?;
     let file_len = file.metadata()?.len();
     let mut records = Vec::new();
     let mut offset = 0u64;
-    loop {
+    let tail = loop {
+        if offset == file_len {
+            break TailState::Clean;
+        }
         if offset + HEADER_LEN as u64 > file_len {
-            break;
+            break TailState::Torn; // partial header
         }
         let mut header = [0u8; HEADER_LEN];
         file.seek(SeekFrom::Start(offset))?;
         file.read_exact(&mut header)?;
         let magic = u16::from_be_bytes([header[0], header[1]]);
         if magic != MAGIC {
-            break;
+            break TailState::Corrupt {
+                offset,
+                what: "bad magic",
+            };
         }
         let len = u32::from_be_bytes([header[2], header[3], header[4], header[5]]);
         let expected_crc = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
         let end = offset + HEADER_LEN as u64 + len as u64;
         if end > file_len {
-            break; // torn payload
+            break TailState::Torn; // payload runs past EOF
         }
         let mut payload = vec![0u8; len as usize];
         file.read_exact(&mut payload)?;
         if crc32(&payload) != expected_crc {
-            break; // torn or corrupt record: stop here
+            break TailState::Corrupt {
+                offset,
+                what: "checksum mismatch",
+            };
         }
         records.push((offset, len));
         offset = end;
-    }
-    Ok(SegmentScan { records, valid_len: offset, torn_tail: offset < file_len })
+    };
+    Ok(SegmentScan {
+        records,
+        valid_len: offset,
+        tail,
+    })
 }
 
 #[cfg(test)]
@@ -212,7 +269,7 @@ mod tests {
         w.flush().unwrap();
         let scan = scan_segment(&dir, 3).unwrap();
         assert_eq!(scan.records.len(), 10);
-        assert!(!scan.torn_tail);
+        assert_eq!(scan.tail, TailState::Clean);
         assert_eq!(scan.valid_len, w.len());
     }
 
@@ -232,7 +289,7 @@ mod tests {
         file.set_len(full - 5).unwrap();
         let scan = scan_segment(&dir, 1).unwrap();
         assert_eq!(scan.records.len(), 2);
-        assert!(scan.torn_tail);
+        assert_eq!(scan.tail, TailState::Torn);
     }
 
     #[test]
@@ -252,7 +309,13 @@ mod tests {
         std::fs::write(&path, &data).unwrap();
         let scan = scan_segment(&dir, 2).unwrap();
         assert_eq!(scan.records, vec![(o0, 4)]);
-        assert!(scan.torn_tail);
+        assert_eq!(
+            scan.tail,
+            TailState::Corrupt {
+                offset: o1,
+                what: "checksum mismatch"
+            }
+        );
     }
 
     #[test]
@@ -271,7 +334,7 @@ mod tests {
         assert_eq!(read_record_at(&dir, 0, o).unwrap(), b"replacement");
         let scan = scan_segment(&dir, 0).unwrap();
         assert_eq!(scan.records.len(), 2);
-        assert!(!scan.torn_tail);
+        assert_eq!(scan.tail, TailState::Clean);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::error::StorageError;
 use crate::segment::{
-    read_record_at, scan_segment, segment_path, SegmentId, SegmentWriter, HEADER_LEN,
+    read_record_at, scan_segment, segment_path, SegmentId, SegmentWriter, TailState, HEADER_LEN,
 };
 
 /// When appended records are made durable.
@@ -73,7 +73,9 @@ pub struct LogStore {
 
 impl LogStore {
     /// Opens (or creates) a store in `dir`, recovering any existing
-    /// segments. Torn tail records are truncated away.
+    /// segments. A torn tail record (interrupted write) is truncated away;
+    /// genuine corruption — bad magic or a CRC mismatch on a fully present
+    /// record — fails the open with [`StorageError::CorruptRecord`].
     pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> Result<LogStore, StorageError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
@@ -94,16 +96,29 @@ impl LogStore {
                 let scan = scan_segment(&dir, id)?;
                 // Non-tail segments must be fully intact: mid-log corruption
                 // cannot be silently dropped without creating a hole.
-                if scan.torn_tail {
-                    return Err(StorageError::Corrupt {
+                if scan.has_trailing_bytes() {
+                    return Err(StorageError::CorruptRecord {
                         id: id as u64,
                         what: "corruption in a sealed (non-tail) segment",
                     });
                 }
-                index.extend(scan.records.iter().map(|&(offset, _)| Locator { segment: id, offset }));
+                index.extend(scan.records.iter().map(|&(offset, _)| Locator {
+                    segment: id,
+                    offset,
+                }));
             }
             let scan = scan_segment(&dir, last)?;
-            index.extend(scan.records.iter().map(|&(offset, _)| Locator { segment: last, offset }));
+            // A torn write at the tail is the expected crash artifact and is
+            // truncated; corrupt bytes (bad magic / CRC mismatch with the
+            // payload fully present) mean tampering or bit rot and fail the
+            // open rather than silently shortening the log.
+            if let TailState::Corrupt { offset, what } = scan.tail {
+                return Err(StorageError::CorruptRecord { id: offset, what });
+            }
+            index.extend(scan.records.iter().map(|&(offset, _)| Locator {
+                segment: last,
+                offset,
+            }));
             tail_writer = Some(SegmentWriter::open_at(&dir, last, scan.valid_len)?);
         }
         let writer = match tail_writer {
@@ -142,7 +157,10 @@ impl LogStore {
             SyncPolicy::OnRotate => tail.writer.flush()?,
             SyncPolicy::Never => {}
         }
-        let locator = Locator { segment: tail.writer.id(), offset };
+        let locator = Locator {
+            segment: tail.writer.id(),
+            offset,
+        };
         let mut index = self.index.write();
         index.push(locator);
         Ok(index.len() as u64 - 1)
@@ -170,7 +188,10 @@ impl LogStore {
                 tail.writer = SegmentWriter::create(&self.dir, next_id)?;
             }
             let offset = tail.writer.append(payload)?;
-            locators.push(Locator { segment: tail.writer.id(), offset });
+            locators.push(Locator {
+                segment: tail.writer.id(),
+                offset,
+            });
         }
         match self.config.sync {
             SyncPolicy::Always => tail.writer.sync()?,
@@ -261,11 +282,8 @@ impl LogStore {
                 for seg in (first_removed.segment + 1)..=tail.writer.id() {
                     let _ = std::fs::remove_file(segment_path(&self.dir, seg));
                 }
-                tail.writer = SegmentWriter::open_at(
-                    &self.dir,
-                    first_removed.segment,
-                    first_removed.offset,
-                )?;
+                tail.writer =
+                    SegmentWriter::open_at(&self.dir, first_removed.segment, first_removed.offset)?;
             }
         }
         Ok(new_len as u64)
@@ -308,7 +326,10 @@ mod tests {
 
     #[test]
     fn oversized_record_rejected() {
-        let config = StoreConfig { max_record_bytes: 8, ..Default::default() };
+        let config = StoreConfig {
+            max_record_bytes: 8,
+            ..Default::default()
+        };
         let store = LogStore::open(tempdir("big"), config).unwrap();
         assert!(matches!(
             store.append(b"123456789"),
@@ -318,15 +339,23 @@ mod tests {
 
     #[test]
     fn rotation_spreads_segments() {
-        let config = StoreConfig { max_segment_bytes: 64, ..Default::default() };
+        let config = StoreConfig {
+            max_segment_bytes: 64,
+            ..Default::default()
+        };
         let dir = tempdir("rot");
         let store = LogStore::open(&dir, config).unwrap();
         for i in 0..20u32 {
-            store.append(format!("record-number-{i:04}").as_bytes()).unwrap();
+            store
+                .append(format!("record-number-{i:04}").as_bytes())
+                .unwrap();
         }
         assert!(store.segment_count() > 1, "expected rotation");
         for i in 0..20u32 {
-            assert_eq!(store.read(i as u64).unwrap(), format!("record-number-{i:04}").as_bytes());
+            assert_eq!(
+                store.read(i as u64).unwrap(),
+                format!("record-number-{i:04}").as_bytes()
+            );
         }
     }
 
@@ -345,7 +374,10 @@ mod tests {
     #[test]
     fn recovery_restores_index() {
         let dir = tempdir("rec");
-        let config = StoreConfig { max_segment_bytes: 128, ..Default::default() };
+        let config = StoreConfig {
+            max_segment_bytes: 128,
+            ..Default::default()
+        };
         {
             let store = LogStore::open(&dir, config.clone()).unwrap();
             for i in 0..30u32 {
@@ -356,7 +388,10 @@ mod tests {
         let store = LogStore::open(&dir, config).unwrap();
         assert_eq!(store.len(), 30);
         for i in 0..30u32 {
-            assert_eq!(store.read(i as u64).unwrap(), format!("persisted-{i}").as_bytes());
+            assert_eq!(
+                store.read(i as u64).unwrap(),
+                format!("persisted-{i}").as_bytes()
+            );
         }
         // And appends continue from the recovered tail.
         assert_eq!(store.append(b"after-recovery").unwrap(), 30);
@@ -389,11 +424,16 @@ mod tests {
     #[test]
     fn sealed_segment_corruption_fails_open() {
         let dir = tempdir("sealed");
-        let config = StoreConfig { max_segment_bytes: 64, ..Default::default() };
+        let config = StoreConfig {
+            max_segment_bytes: 64,
+            ..Default::default()
+        };
         {
             let store = LogStore::open(&dir, config.clone()).unwrap();
             for i in 0..10u32 {
-                store.append(format!("record-number-{i:04}").as_bytes()).unwrap();
+                store
+                    .append(format!("record-number-{i:04}").as_bytes())
+                    .unwrap();
             }
             store.sync().unwrap();
             assert!(store.segment_count() > 1);
@@ -406,14 +446,73 @@ mod tests {
         std::fs::write(&seg, &data).unwrap();
         assert!(matches!(
             LogStore::open(&dir, config),
-            Err(StorageError::Corrupt { .. })
+            Err(StorageError::CorruptRecord { .. })
         ));
+    }
+
+    #[test]
+    fn garbage_tail_fails_open() {
+        // Regression: garbage appended to a segment (full header's worth of
+        // bytes with a bad magic) must fail recovery with `CorruptRecord`,
+        // not be dropped like a torn write.
+        let dir = tempdir("garbage");
+        let config = StoreConfig::default();
+        {
+            let store = LogStore::open(&dir, config.clone()).unwrap();
+            store.append(b"intact-1").unwrap();
+            store.append(b"intact-2").unwrap();
+            store.sync().unwrap();
+        }
+        let seg = segment_path(&dir, 0);
+        let mut data = std::fs::read(&seg).unwrap();
+        data.extend_from_slice(&[
+            0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66,
+        ]);
+        std::fs::write(&seg, &data).unwrap();
+        assert!(matches!(
+            LogStore::open(&dir, config),
+            Err(StorageError::CorruptRecord {
+                what: "bad magic",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn crc_mismatched_tail_fails_open() {
+        // Regression: a fully present tail record whose CRC does not match
+        // is corruption, not a torn write — recovery must refuse it.
+        let dir = tempdir("crcmm");
+        let config = StoreConfig::default();
+        {
+            let store = LogStore::open(&dir, config.clone()).unwrap();
+            store.append(b"intact").unwrap();
+            store.append(b"to-be-flipped").unwrap();
+            store.sync().unwrap();
+        }
+        let seg = segment_path(&dir, 0);
+        let mut data = std::fs::read(&seg).unwrap();
+        let tail_offset = (HEADER_LEN + b"intact".len()) as u64;
+        // Flip a byte inside the second record's payload.
+        let idx = tail_offset as usize + HEADER_LEN;
+        data[idx] ^= 0xFF;
+        std::fs::write(&seg, &data).unwrap();
+        match LogStore::open(&dir, config) {
+            Err(StorageError::CorruptRecord { id, what }) => {
+                assert_eq!(id, tail_offset);
+                assert_eq!(what, "checksum mismatch");
+            }
+            other => panic!("expected CorruptRecord, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]
     fn sync_policies_all_roundtrip() {
         for sync in [SyncPolicy::Always, SyncPolicy::OnRotate, SyncPolicy::Never] {
-            let config = StoreConfig { sync, ..Default::default() };
+            let config = StoreConfig {
+                sync,
+                ..Default::default()
+            };
             let store = LogStore::open(tempdir(&format!("sp-{sync:?}")), config).unwrap();
             store.append(b"x").unwrap();
             assert_eq!(store.read(0).unwrap(), b"x");
@@ -440,9 +539,8 @@ mod tests {
 
     #[test]
     fn concurrent_reads_while_appending() {
-        let store = std::sync::Arc::new(
-            LogStore::open(tempdir("conc"), StoreConfig::default()).unwrap(),
-        );
+        let store =
+            std::sync::Arc::new(LogStore::open(tempdir("conc"), StoreConfig::default()).unwrap());
         for i in 0..100u32 {
             store.append(format!("seed-{i}").as_bytes()).unwrap();
         }

@@ -1,0 +1,62 @@
+//! CLI entry point: `cargo run -p xtask -- lint [--root <path>]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> workspace root is two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let command = args.next();
+    let mut root = workspace_root();
+    let mut rest: Vec<String> = args.collect();
+    if let Some(pos) = rest.iter().position(|a| a == "--root") {
+        if pos + 1 < rest.len() {
+            root = PathBuf::from(rest.remove(pos + 1));
+            rest.remove(pos);
+        } else {
+            eprintln!("--root requires a path");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match command.as_deref() {
+        Some("lint") => {
+            let diags = match xtask::lint_workspace(&root) {
+                Ok(diags) => diags,
+                Err(err) => {
+                    eprintln!(
+                        "error: failed to read sources under {}: {err}",
+                        root.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            for diag in &diags {
+                println!("{diag}");
+            }
+            if diags.is_empty() {
+                println!("wedge-lint: clean (L1–L5)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("wedge-lint: {} violation(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--root <path>]");
+            eprintln!();
+            eprintln!("  lint    run the wedge-lint static-analysis pass (L1–L5)");
+            ExitCode::FAILURE
+        }
+    }
+}

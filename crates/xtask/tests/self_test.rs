@@ -1,0 +1,187 @@
+//! End-to-end self-tests for the `xtask lint` binary.
+//!
+//! Each test materialises a miniature workspace in a temp directory, runs
+//! the real binary against it with `--root`, and asserts on the exit status
+//! and diagnostics. A final test runs the binary against this repository
+//! itself and requires a clean pass.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Output;
+
+/// Creates (or wipes) a per-test fixture directory under the system temp dir.
+fn fixture_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("wedge-lint-selftest-{}-{name}", std::process::id()));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(root: &Path, rel: &str, text: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().unwrap()).unwrap();
+    fs::write(path, text).unwrap();
+}
+
+fn run_lint(root: &Path) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(root)
+        .output()
+        .unwrap()
+}
+
+const FORBID: &str = "#![forbid(unsafe_code)]\n";
+
+/// Lays down a workspace skeleton where every linted crate root exists and
+/// carries the L4 header; tests then overwrite individual files.
+fn skeleton(root: &Path) {
+    write(root, "src/lib.rs", FORBID);
+    for krate in ["crypto", "core", "chain", "storage", "merkle"] {
+        write(root, &format!("crates/{krate}/src/lib.rs"), FORBID);
+    }
+}
+
+#[test]
+fn seeded_violations_fail_with_diagnostics() {
+    let root = fixture_dir("seeded");
+    skeleton(&root);
+    // L1 (unwrap) + L4 (missing forbid header) in the crypto crate root,
+    // plus an L3 secret comparison.
+    write(
+        &root,
+        "crates/crypto/src/lib.rs",
+        "pub fn open(x: Option<u8>, secret: &[u8], other: &[u8]) -> u8 {\n\
+         \x20   if secret == other {\n\
+         \x20       return 0;\n\
+         \x20   }\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    );
+    // L2: bare arithmetic on a balance line in the chain crate.
+    write(
+        &root,
+        "crates/chain/src/fees.rs",
+        "pub fn total(balance: u128, fee: u128) -> u128 {\n\
+         \x20   balance + fee\n\
+         }\n",
+    );
+    // L5: channel send while a Shared.state guard is held, in the node dir.
+    write(
+        &root,
+        "crates/core/src/node/mod.rs",
+        "fn requeue(shared: &Shared, tx: Sender<u64>) {\n\
+         \x20   let state = shared.state.write();\n\
+         \x20   let _ = tx.send(state.len() as u64);\n\
+         }\n",
+    );
+
+    let out = run_lint(&root);
+    assert!(!out.status.success(), "seeded workspace must fail the lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for code in ["[L1]", "[L2]", "[L3]", "[L4]", "[L5]"] {
+        assert!(
+            stdout.contains(code),
+            "missing {code} diagnostic in:\n{stdout}"
+        );
+    }
+    assert!(
+        stderr.contains("violation(s)"),
+        "stderr summary missing:\n{stderr}"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let root = fixture_dir("clean");
+    skeleton(&root);
+    // Same shapes as the seeded test, but written the way the lint demands:
+    // checked arithmetic, ct_eq, no guard across send, allow() escape hatch.
+    write(
+        &root,
+        "crates/crypto/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn open(x: Option<u8>, secret: &[u8], other: &[u8]) -> u8 {\n\
+         \x20   if secret.ct_eq(other) {\n\
+         \x20       return 0;\n\
+         \x20   }\n\
+         \x20   // lint: allow(panic) — fixture exercising the escape hatch\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    );
+    write(
+        &root,
+        "crates/chain/src/fees.rs",
+        "pub fn total(balance: u128, fee: u128) -> u128 {\n\
+         \x20   balance.saturating_add(fee)\n\
+         }\n",
+    );
+    write(
+        &root,
+        "crates/core/src/node/mod.rs",
+        "fn requeue(shared: &Shared, tx: Sender<u64>) {\n\
+         \x20   let len = { shared.state.write().len() as u64 };\n\
+         \x20   let _ = tx.send(len);\n\
+         }\n",
+    );
+
+    let out = run_lint(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "clean fixture must pass, got:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("wedge-lint: clean"),
+        "missing clean banner:\n{stdout}"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn missing_allow_reason_is_rejected() {
+    let root = fixture_dir("noreason");
+    skeleton(&root);
+    // An allow marker with no reason after the dash must NOT suppress.
+    write(
+        &root,
+        "crates/merkle/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn f(x: Option<u8>) -> u8 {\n\
+         \x20   // lint: allow(panic)\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    );
+    let out = run_lint(&root);
+    assert!(!out.status.success(), "reason-less allow must not suppress");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("[L1]"),
+        "expected the unwrap to be flagged:\n{stdout}"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn this_workspace_is_clean() {
+    // crates/xtask/tests -> workspace root is two levels above the manifest.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap();
+    let out = run_lint(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "the repository itself must pass wedge-lint:\n{stdout}"
+    );
+}

@@ -28,7 +28,10 @@ fn main() {
         &chain,
         &node_identity,
         client_identity.address(),
-        &ServiceConfig { escrow: Wei::from_eth(16), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(16),
+            payment_terms: None,
+        },
     )
     .expect("deploy");
 
@@ -65,12 +68,20 @@ fn main() {
             .collect();
         publisher.append_batch(entries).expect("append");
     }
-    node.wait_stage2_idle(Duration::from_secs(600)).expect("stage 2");
-    println!("log has {} positions committed on-chain", node.log_positions());
+    node.wait_stage2_idle(Duration::from_secs(600))
+        .expect("stage 2");
+    println!(
+        "log has {} positions committed on-chain",
+        node.log_positions()
+    );
 
     // The watchdog sweep: an independent auditor with no special access —
     // only the public read API and the public chain.
-    let auditor = Auditor::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    let auditor = Auditor::new(
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+    );
     match auditor.find_evidence(0, u64::MAX).expect("scan") {
         None => println!("watchdog: all positions consistent"),
         Some(evidence) => {

@@ -14,8 +14,7 @@ use std::time::Duration;
 use wedgeblock::chain::{Chain, ChainConfig, Wei};
 use wedgeblock::contracts::{Punishment, PunishmentStatus};
 use wedgeblock::core::{
-    deploy_service, NodeBehavior, NodeConfig, OffchainNode, Publisher, ServiceConfig,
-    Stage2Verdict,
+    deploy_service, NodeBehavior, NodeConfig, OffchainNode, Publisher, ServiceConfig, Stage2Verdict,
 };
 use wedgeblock::crypto::Identity;
 use wedgeblock::sim::Clock;
@@ -35,7 +34,10 @@ fn main() {
         &chain,
         &node_identity,
         client_identity.address(),
-        &ServiceConfig { escrow, payment_terms: None },
+        &ServiceConfig {
+            escrow,
+            payment_terms: None,
+        },
     )
     .expect("deploy");
     println!("node escrowed {escrow} in the Punishment contract");
@@ -67,12 +69,18 @@ fn main() {
     );
 
     // Stage 1 looks perfectly honest — the responses verify.
-    let entries: Vec<Vec<u8>> = (0..50).map(|i| format!("asset-transfer-{i}").into_bytes()).collect();
+    let entries: Vec<Vec<u8>> = (0..50)
+        .map(|i| format!("asset-transfer-{i}").into_bytes())
+        .collect();
     let outcome = publisher.append_batch(entries).expect("append");
-    println!("stage 1: {} signed responses, all verified ✓", outcome.responses.len());
+    println!(
+        "stage 1: {} signed responses, all verified ✓",
+        outcome.responses.len()
+    );
 
     // Stage 2 exposes the lie.
-    node.wait_stage2_idle(Duration::from_secs(600)).expect("stage 2");
+    node.wait_stage2_idle(Duration::from_secs(600))
+        .expect("stage 2");
     let verdict = publisher
         .verify_blockchain_commit(&outcome.responses[0])
         .expect("verify");

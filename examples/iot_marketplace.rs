@@ -43,7 +43,10 @@ fn main() {
         &chain,
         &operator,
         cohort.address(),
-        &ServiceConfig { escrow: Wei::from_eth(50), payment_terms: Some(terms) },
+        &ServiceConfig {
+            escrow: Wei::from_eth(50),
+            payment_terms: Some(terms),
+        },
     )
     .expect("deploy service");
     let payment = deployment.payment.expect("payment contract");
@@ -61,7 +64,10 @@ fn main() {
     let node = Arc::new(
         OffchainNode::start(
             operator.clone(),
-            NodeConfig { batch_size: 200, ..Default::default() },
+            NodeConfig {
+                batch_size: 200,
+                ..Default::default()
+            },
             Arc::clone(&chain),
             deployment.root_record,
             &data_dir,
@@ -81,8 +87,7 @@ fn main() {
             let root_record = deployment.root_record;
             handles.push(scope.spawn(move |_| {
                 let device = Identity::from_seed(sensor.as_bytes());
-                let mut publisher =
-                    Publisher::new(device, node, chain, root_record, None);
+                let mut publisher = Publisher::new(device, node, chain, root_record, None);
                 let readings: Vec<Vec<u8>> = (0..300)
                     .map(|i| format!("{sensor}: sample {i} = {}", i * 7 % 100).into_bytes())
                     .collect();
@@ -99,7 +104,8 @@ fn main() {
     .unwrap();
     println!("marketplace ingested {total} readings across 3 devices");
 
-    node.wait_stage2_idle(Duration::from_secs(600)).expect("stage 2");
+    node.wait_stage2_idle(Duration::from_secs(600))
+        .expect("stage 2");
     println!(
         "stage-2: {} log positions anchored on-chain for {}",
         node.stats().stage2_committed,
@@ -107,7 +113,11 @@ fn main() {
     );
 
     // A consumer fetches a verified reading from the power meter.
-    let reader = Reader::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    let reader = Reader::new(
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+    );
     let meter = Identity::from_seed(b"power-meter");
     let entry = reader
         .read_by_sequence(meter.address(), 123)

@@ -41,7 +41,12 @@ fn main() {
         max_overdue_periods: 120,
     };
     let (payment, _) = chain
-        .deploy(operator.secret_key(), Box::new(Payment::new(terms)), Wei::ZERO, Payment::CODE_LEN)
+        .deploy(
+            operator.secret_key(),
+            Box::new(Payment::new(terms)),
+            Wei::ZERO,
+            Payment::CODE_LEN,
+        )
         .expect("deploy");
     mine(&chain, &clock);
     println!("Payment contract at {payment}: 100 gwei / 60 s, 120 periods grace");
@@ -55,7 +60,13 @@ fn main() {
         .expect("deposit");
     mine(&chain, &clock);
     chain
-        .call_contract(dapp.secret_key(), payment, Wei::ZERO, Payment::start_payment_calldata(), Gas(300_000))
+        .call_contract(
+            dapp.secret_key(),
+            payment,
+            Wei::ZERO,
+            Payment::start_payment_calldata(),
+            Gas(300_000),
+        )
         .expect("start");
     mine(&chain, &clock);
     println!("dapp deposited 3000 gwei (30 periods) and started the stream");
@@ -63,7 +74,13 @@ fn main() {
     // 10 periods of healthy streaming.
     clock.advance(Duration::from_secs(600));
     chain
-        .call_contract(dapp.secret_key(), payment, Wei::ZERO, Payment::update_status_calldata(), Gas(300_000))
+        .call_contract(
+            dapp.secret_key(),
+            payment,
+            Wei::ZERO,
+            Payment::update_status_calldata(),
+            Gas(300_000),
+        )
         .expect("update");
     mine(&chain, &clock);
     while let Ok(event) = events.try_recv() {
@@ -76,7 +93,13 @@ fn main() {
     // Operator withdraws earnings so far.
     let before = chain.balance(operator.address());
     chain
-        .call_contract(operator.secret_key(), payment, Wei::ZERO, Payment::withdraw_edge_calldata(), Gas(300_000))
+        .call_contract(
+            operator.secret_key(),
+            payment,
+            Wei::ZERO,
+            Payment::withdraw_edge_calldata(),
+            Gas(300_000),
+        )
         .expect("withdraw");
     mine(&chain, &clock);
     let receipt_fees = chain.total_fees_paid(operator.address());
@@ -90,7 +113,13 @@ fn main() {
     // Let the deposit run dry: 25 more periods on a ~20-period balance.
     clock.advance(Duration::from_secs(25 * 60));
     chain
-        .call_contract(dapp.secret_key(), payment, Wei::ZERO, Payment::update_status_calldata(), Gas(300_000))
+        .call_contract(
+            dapp.secret_key(),
+            payment,
+            Wei::ZERO,
+            Payment::update_status_calldata(),
+            Gas(300_000),
+        )
         .expect("update");
     mine(&chain, &clock);
     while let Ok(event) = events.try_recv() {
@@ -106,13 +135,17 @@ fn main() {
         .expect("top up");
     mine(&chain, &clock);
     chain
-        .call_contract(dapp.secret_key(), payment, Wei::ZERO, Payment::terminate_calldata(), Gas(500_000))
+        .call_contract(
+            dapp.secret_key(),
+            payment,
+            Wei::ZERO,
+            Payment::terminate_calldata(),
+            Gas(500_000),
+        )
         .expect("terminate");
     mine(&chain, &clock);
-    let status = Payment::decode_status(
-        &chain.view(payment, &Payment::status_calldata()).unwrap(),
-    )
-    .unwrap();
+    let status =
+        Payment::decode_status(&chain.view(payment, &Payment::status_calldata()).unwrap()).unwrap();
     assert!(status.terminated);
     assert!(status.balance.is_zero());
     println!(

@@ -33,7 +33,10 @@ fn main() {
         &chain,
         &game_server,
         alice.address(),
-        &ServiceConfig { escrow: Wei::from_eth(20), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(20),
+            payment_terms: None,
+        },
     )
     .expect("deploy");
 
@@ -81,7 +84,9 @@ fn main() {
         b"bob: open chest #77".to_vec(),
         b"bob: claim sword-of-testing (NFT #9001)".to_vec(),
     ];
-    let a = alice_pub.append_batch(alice_actions).expect("alice publish");
+    let a = alice_pub
+        .append_batch(alice_actions)
+        .expect("alice publish");
     let b = bob_pub.append_batch(bob_actions).expect("bob publish");
 
     // The log's order is (log_id, offset): whoever's claim has the smaller
@@ -100,8 +105,13 @@ fn main() {
 
     // Anchor on-chain; the ordering is now immutable — an auditor (e.g. a
     // dispute-resolution service) replays and verifies the whole log.
-    node.wait_stage2_idle(Duration::from_secs(600)).expect("stage 2");
-    let auditor = Auditor::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    node.wait_stage2_idle(Duration::from_secs(600))
+        .expect("stage 2");
+    let auditor = Auditor::new(
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+    );
     let report = auditor.audit(0, 6).expect("audit");
     assert!(report.is_clean());
     println!(

@@ -35,7 +35,10 @@ fn main() {
         &chain,
         &node_identity,
         publisher_identity.address(),
-        &ServiceConfig { escrow: Wei::from_eth(10), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(10),
+            payment_terms: None,
+        },
     )
     .expect("deploy contracts");
     println!("Root Record contract: {}", deployment.root_record);
@@ -47,7 +50,10 @@ fn main() {
     let node = Arc::new(
         OffchainNode::start(
             node_identity,
-            NodeConfig { batch_size: 100, ..Default::default() },
+            NodeConfig {
+                batch_size: 100,
+                ..Default::default()
+            },
             Arc::clone(&chain),
             deployment.root_record,
             &data_dir,
@@ -77,7 +83,8 @@ fn main() {
 
     // Stage 2 happens lazily in the background; wait for it here to show
     // the full lifecycle.
-    node.wait_stage2_idle(Duration::from_secs(600)).expect("stage 2");
+    node.wait_stage2_idle(Duration::from_secs(600))
+        .expect("stage 2");
     let verdict = publisher
         .verify_blockchain_commit(&outcome.responses[0])
         .expect("verify");
@@ -93,7 +100,11 @@ fn main() {
     println!("on-chain cost per operation: {}", stats.cost_per_op());
 
     // Verified reads.
-    let reader = Reader::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    let reader = Reader::new(
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+    );
     let entry = reader
         .read_by_sequence(publisher.address(), 42)
         .expect("read");

@@ -28,7 +28,10 @@ fn main() {
         &chain,
         &node_identity,
         client_identity.address(),
-        &ServiceConfig { escrow: Wei::from_eth(10), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(10),
+            payment_terms: None,
+        },
     )
     .expect("deploy");
 
@@ -38,7 +41,10 @@ fn main() {
     let node = Arc::new(
         OffchainNode::start(
             node_identity,
-            NodeConfig { batch_size: 100, ..Default::default() },
+            NodeConfig {
+                batch_size: 100,
+                ..Default::default()
+            },
             Arc::clone(&chain),
             deployment.root_record,
             &data_dir,
@@ -67,11 +73,16 @@ fn main() {
         outcome.stage1_commit, outcome.first_response
     );
 
-    node.wait_stage2_idle(Duration::from_secs(600)).expect("stage 2");
+    node.wait_stage2_idle(Duration::from_secs(600))
+        .expect("stage 2");
 
     // --- the "user process": a second connection reads and verifies.
     let remote2 = Arc::new(RemoteNode::connect(server.local_addr()).expect("connect"));
-    let reader = Reader::new(Arc::clone(&remote2), Arc::clone(&chain), deployment.root_record);
+    let reader = Reader::new(
+        Arc::clone(&remote2),
+        Arc::clone(&chain),
+        deployment.root_record,
+    );
     let entry = reader
         .read_by_sequence(client_identity.address(), 150)
         .expect("read over TCP");

@@ -19,6 +19,8 @@
 //! See `examples/quickstart.rs` for the fastest way in, and `DESIGN.md` for
 //! the full architecture and per-experiment index.
 
+#![forbid(unsafe_code)]
+
 pub use wedge_baselines as baselines;
 pub use wedge_chain as chain;
 pub use wedge_contracts as contracts;

@@ -6,15 +6,16 @@ use std::time::Duration;
 
 use wedgeblock::chain::{Chain, ChainConfig, Wei};
 use wedgeblock::core::{
-    deploy_service, NodeBehavior, NodeConfig, OffchainNode, Publisher, ServiceConfig,
-    Stage2Verdict,
+    deploy_service, NodeBehavior, NodeConfig, OffchainNode, Publisher, ServiceConfig, Stage2Verdict,
 };
 use wedgeblock::crypto::Identity;
 use wedgeblock::sim::Clock;
 use wedgeblock::storage::{LogStore, StoreConfig};
 
 fn payloads(n: usize) -> Vec<Vec<u8>> {
-    (0..n).map(|i| format!("liveness-{i}").into_bytes()).collect()
+    (0..n)
+        .map(|i| format!("liveness-{i}").into_bytes())
+        .collect()
 }
 
 #[test]
@@ -33,7 +34,10 @@ fn replicas_hold_the_data_after_an_extreme_omission_attack() {
         &chain,
         &node_id,
         client_id.address(),
-        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(1),
+            payment_terms: None,
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("wedge-liveness-{}", std::process::id()));
@@ -93,7 +97,10 @@ fn stage2_omission_is_observable_not_hanging() {
         &chain,
         &node_id,
         client_id.address(),
-        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(1),
+            payment_terms: None,
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("wedge-omission-{}", std::process::id()));
@@ -146,16 +153,17 @@ fn node_throughput_survives_replication() {
         &chain,
         &node_id,
         client_id.address(),
-        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(1),
+            payment_terms: None,
+        },
     )
     .unwrap();
 
     let mut times = Vec::new();
     for replicas in [0usize, 2] {
-        let dir = std::env::temp_dir().join(format!(
-            "wedge-repl-tp-{replicas}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("wedge-repl-tp-{replicas}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let node = Arc::new(
             OffchainNode::start(
@@ -207,7 +215,10 @@ fn replica_failure_is_detected_not_fatal() {
         &chain,
         &node_id,
         client_id.address(),
-        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(1),
+            payment_terms: None,
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("wedge-shortfall-{}", std::process::id()));

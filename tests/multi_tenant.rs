@@ -8,8 +8,7 @@ use std::time::Duration;
 use wedgeblock::chain::{Chain, ChainConfig, Wei};
 use wedgeblock::contracts::{Punishment, PunishmentStatus};
 use wedgeblock::core::{
-    deploy_service, NodeBehavior, NodeConfig, OffchainNode, Publisher, ServiceConfig,
-    Stage2Verdict,
+    deploy_service, NodeBehavior, NodeConfig, OffchainNode, Publisher, ServiceConfig, Stage2Verdict,
 };
 use wedgeblock::crypto::Identity;
 use wedgeblock::sim::Clock;
@@ -20,11 +19,7 @@ struct Tenant {
     punishment: wedgeblock::chain::Address,
 }
 
-fn tenant(
-    chain: &Arc<Chain>,
-    tag: &str,
-    behavior: NodeBehavior,
-) -> Tenant {
+fn tenant(chain: &Arc<Chain>, tag: &str, behavior: NodeBehavior) -> Tenant {
     let node_id = Identity::from_seed(format!("tenant-node-{tag}").as_bytes());
     let client_id = Identity::from_seed(format!("tenant-client-{tag}").as_bytes());
     chain.fund(node_id.address(), Wei::from_eth(1000));
@@ -33,13 +28,13 @@ fn tenant(
         chain,
         &node_id,
         client_id.address(),
-        &ServiceConfig { escrow: Wei::from_eth(4), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(4),
+            payment_terms: None,
+        },
     )
     .unwrap();
-    let dir = std::env::temp_dir().join(format!(
-        "wedge-tenant-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("wedge-tenant-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let node = Arc::new(
         OffchainNode::start(
@@ -63,7 +58,11 @@ fn tenant(
         deployment.root_record,
         Some(deployment.punishment),
     );
-    Tenant { node, publisher, punishment: deployment.punishment }
+    Tenant {
+        node,
+        publisher,
+        punishment: deployment.punishment,
+    }
 }
 
 #[test]
@@ -75,7 +74,11 @@ fn tenants_share_the_chain_without_interference() {
     // Three tenants: two honest, one equivocating.
     let mut honest_a = tenant(&chain, "a", NodeBehavior::Honest);
     let mut honest_b = tenant(&chain, "b", NodeBehavior::Honest);
-    let mut evil = tenant(&chain, "evil", NodeBehavior::CommitWrongRoot { from_log: 0 });
+    let mut evil = tenant(
+        &chain,
+        "evil",
+        NodeBehavior::CommitWrongRoot { from_log: 0 },
+    );
 
     let data = |tag: &str| -> Vec<Vec<u8>> {
         (0..20).map(|i| format!("{tag}-{i}").into_bytes()).collect()
@@ -84,20 +87,34 @@ fn tenants_share_the_chain_without_interference() {
     let out_b = honest_b.publisher.append_batch(data("b")).unwrap();
     let out_evil = evil.publisher.append_batch(data("evil")).unwrap();
 
-    honest_a.node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
-    honest_b.node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
-    evil.node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
+    honest_a
+        .node
+        .wait_stage2_idle(Duration::from_secs(600))
+        .unwrap();
+    honest_b
+        .node
+        .wait_stage2_idle(Duration::from_secs(600))
+        .unwrap();
+    evil.node
+        .wait_stage2_idle(Duration::from_secs(600))
+        .unwrap();
 
     // Each tenant's log ids start at 0 on its own Root Record — identical
     // indices, different contracts, no collisions.
     assert_eq!(out_a.responses[0].entry_id.log_id, 0);
     assert_eq!(out_b.responses[0].entry_id.log_id, 0);
     assert_eq!(
-        honest_a.publisher.verify_blockchain_commit(&out_a.responses[0]).unwrap(),
+        honest_a
+            .publisher
+            .verify_blockchain_commit(&out_a.responses[0])
+            .unwrap(),
         Stage2Verdict::Committed
     );
     assert_eq!(
-        honest_b.publisher.verify_blockchain_commit(&out_b.responses[0]).unwrap(),
+        honest_b
+            .publisher
+            .verify_blockchain_commit(&out_b.responses[0])
+            .unwrap(),
         Stage2Verdict::Committed
     );
 
@@ -139,6 +156,9 @@ fn tenants_share_the_chain_without_interference() {
         )
         .unwrap();
     let receipt = chain.wait_for_receipt(tx).unwrap();
-    assert!(!receipt.status.is_success(), "cross-tenant evidence rejected");
+    assert!(
+        !receipt.status.is_success(),
+        "cross-tenant evidence rejected"
+    );
     assert_eq!(chain.balance(honest_b.punishment), Wei::from_eth(4));
 }

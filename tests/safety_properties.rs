@@ -40,7 +40,10 @@ fn world(tag: &str, behavior: NodeBehavior) -> World {
         &chain,
         &node_id,
         client_id.address(),
-        &ServiceConfig { escrow: Wei::from_eth(8), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(8),
+            payment_terms: None,
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("wedge-safety-{tag}-{}", std::process::id()));
@@ -78,7 +81,9 @@ fn world(tag: &str, behavior: NodeBehavior) -> World {
 }
 
 fn payloads(n: usize) -> Vec<Vec<u8>> {
-    (0..n).map(|i| format!("safety-entry-{i}").into_bytes()).collect()
+    (0..n)
+        .map(|i| format!("safety-entry-{i}").into_bytes())
+        .collect()
 }
 
 #[test]
@@ -92,7 +97,10 @@ fn definition_3_1_clause_1_honest_node() {
         // The on-chain digest at index i equals the signed digest for e.
         let out = w
             .chain
-            .view(w.root_record, &RootRecord::get_root_calldata(response.entry_id.log_id))
+            .view(
+                w.root_record,
+                &RootRecord::get_root_calldata(response.entry_id.log_id),
+            )
             .unwrap();
         assert_eq!(RootRecord::decode_root(&out), Some(response.merkle_root));
     }
@@ -107,13 +115,18 @@ fn definition_3_1_clause_2_lying_node_is_provable() {
     w.node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
     // The lie is visible...
     assert_eq!(
-        w.publisher.verify_blockchain_commit(&outcome.responses[0]).unwrap(),
+        w.publisher
+            .verify_blockchain_commit(&outcome.responses[0])
+            .unwrap(),
         Stage2Verdict::Mismatch
     );
     // ...and provable: the contract pays out on exactly this evidence.
     let receipt = w.publisher.punish(&outcome.responses[0]).unwrap();
     assert!(receipt.status.is_success());
-    assert_eq!(Punishment::decode_invoke_result(&receipt.output), Some(true));
+    assert_eq!(
+        Punishment::decode_invoke_result(&receipt.output),
+        Some(true)
+    );
     assert_eq!(w.chain.balance(w.punishment), Wei::ZERO);
 }
 
@@ -127,8 +140,15 @@ fn definition_3_1_fabricated_evidence_is_rejected() {
     // Honest response: the punishment call must NOT pay out.
     let receipt = w.publisher.punish(&outcome.responses[0]).unwrap();
     assert!(receipt.status.is_success());
-    assert_eq!(Punishment::decode_invoke_result(&receipt.output), Some(false));
-    assert_eq!(w.chain.balance(w.punishment), Wei::from_eth(8), "escrow untouched");
+    assert_eq!(
+        Punishment::decode_invoke_result(&receipt.output),
+        Some(false)
+    );
+    assert_eq!(
+        w.chain.balance(w.punishment),
+        Wei::from_eth(8),
+        "escrow untouched"
+    );
 }
 
 #[test]

@@ -34,7 +34,10 @@ fn end_to_end_logging_as_a_service() {
         &chain,
         &operator,
         dapp.address(),
-        &ServiceConfig { escrow: Wei::from_eth(10), payment_terms: Some(terms) },
+        &ServiceConfig {
+            escrow: Wei::from_eth(10),
+            payment_terms: Some(terms),
+        },
     )
     .unwrap();
     let payment = deployment.payment.expect("payment contract deployed");
@@ -54,7 +57,11 @@ fn end_to_end_logging_as_a_service() {
     let node = Arc::new(
         OffchainNode::start(
             operator.clone(),
-            NodeConfig { batch_size: 50, batch_linger: Duration::from_millis(5), ..Default::default() },
+            NodeConfig {
+                batch_size: 50,
+                batch_linger: Duration::from_millis(5),
+                ..Default::default()
+            },
             Arc::clone(&chain),
             deployment.root_record,
             &dir,
@@ -86,7 +93,10 @@ fn end_to_end_logging_as_a_service() {
             && earned <= Wei::from_gwei(1000 * (periods_elapsed as u128 + 20)),
         "expected ≈{periods_elapsed} periods of pay, got {earned}"
     );
-    assert!(earned >= Wei::from_gwei(10_000), "at least the 10 slept periods");
+    assert!(
+        earned >= Wei::from_gwei(10_000),
+        "at least the 10 slept periods"
+    );
 
     // 5. The dapp tops up and later terminates; everyone is settled.
     subscription.top_up(Wei::from_gwei(5000)).unwrap();
@@ -94,7 +104,10 @@ fn end_to_end_logging_as_a_service() {
     subscription.terminate().unwrap();
     let status = subscription.status().unwrap();
     assert!(status.terminated);
-    assert!(status.balance.is_zero(), "contract fully drained at settlement");
+    assert!(
+        status.balance.is_zero(),
+        "contract fully drained at settlement"
+    );
 
     // 6. The engagement ended cleanly — the operator reclaims its escrow.
     let tx = chain

@@ -34,7 +34,10 @@ fn auditor_watchdog_finds_and_monetizes_evidence() {
         &chain,
         &node_id,
         client_id.address(),
-        &ServiceConfig { escrow: Wei::from_eth(16), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(16),
+            payment_terms: None,
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("wedge-watchdog-{}", std::process::id()));
@@ -67,7 +70,11 @@ fn auditor_watchdog_finds_and_monetizes_evidence() {
     node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
 
     // An independent auditor (no punishment contract of its own) scans.
-    let auditor = Auditor::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    let auditor = Auditor::new(
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+    );
     let evidence = auditor
         .find_evidence(0, u64::MAX)
         .unwrap()
@@ -78,7 +85,11 @@ fn auditor_watchdog_finds_and_monetizes_evidence() {
     // The client (beneficiary of the punishment contract) cashes it in.
     let receipt = publisher.punish(&evidence.response).unwrap();
     assert!(receipt.status.is_success());
-    assert_eq!(chain.balance(deployment.punishment), Wei::ZERO, "escrow seized");
+    assert_eq!(
+        chain.balance(deployment.punishment),
+        Wei::ZERO,
+        "escrow seized"
+    );
 }
 
 #[test]
@@ -94,7 +105,10 @@ fn watchdog_finds_nothing_on_honest_node() {
         &chain,
         &node_id,
         client_id.address(),
-        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(1),
+            payment_terms: None,
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("wedge-honest-watch-{}", std::process::id()));
@@ -102,7 +116,11 @@ fn watchdog_finds_nothing_on_honest_node() {
     let node = Arc::new(
         OffchainNode::start(
             node_id,
-            NodeConfig { batch_size: 20, batch_linger: Duration::from_millis(5), ..Default::default() },
+            NodeConfig {
+                batch_size: 20,
+                batch_linger: Duration::from_millis(5),
+                ..Default::default()
+            },
             Arc::clone(&chain),
             deployment.root_record,
             &dir,
@@ -118,7 +136,11 @@ fn watchdog_finds_nothing_on_honest_node() {
     );
     publisher.append_batch(payloads(40)).unwrap();
     node.wait_stage2_idle(Duration::from_secs(600)).unwrap();
-    let auditor = Auditor::new(Arc::clone(&node), Arc::clone(&chain), deployment.root_record);
+    let auditor = Auditor::new(
+        Arc::clone(&node),
+        Arc::clone(&chain),
+        deployment.root_record,
+    );
     assert!(auditor.find_evidence(0, u64::MAX).unwrap().is_none());
 }
 
@@ -135,7 +157,10 @@ fn replica_promotion_survives_total_primary_loss() {
         &chain,
         &node_id,
         client_id.address(),
-        &ServiceConfig { escrow: Wei::from_eth(1), payment_terms: None },
+        &ServiceConfig {
+            escrow: Wei::from_eth(1),
+            payment_terms: None,
+        },
     )
     .unwrap();
     let dir = std::env::temp_dir().join(format!("wedge-failover-{}", std::process::id()));
@@ -201,7 +226,11 @@ fn replica_promotion_survives_total_primary_loss() {
 
     // Reads through the witness still verify as blockchain-committed: the
     // proofs check out against the digests the ORIGINAL node committed.
-    let reader = Reader::new(Arc::clone(&witness), Arc::clone(&chain), deployment.root_record);
+    let reader = Reader::new(
+        Arc::clone(&witness),
+        Arc::clone(&chain),
+        deployment.root_record,
+    );
     for (i, payload) in data.iter().enumerate().step_by(7) {
         let entry = reader
             .read(wedgeblock::core::EntryId {

@@ -1,0 +1,349 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! The build container has no network access, so this workspace vendors the
+//! slice of `rand` it uses: the [`RngCore`]/[`Rng`]/[`SeedableRng`] traits,
+//! integer/float `gen_range`, byte-slice `fill`, and the [`rngs::SmallRng`]
+//! / [`rngs::StdRng`] generators. Generators are xorshift64* seeded through
+//! splitmix64 — deterministic and statistically fine for tests, simulation
+//! jitter and benchmarks, but **not** cryptographically secure. Nothing in
+//! this workspace draws key material from `rand` (wedge-crypto derives keys
+//! from explicit seeds), so that trade-off is safe here.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Returns 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Deterministic seeding.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, i8, i16, i32);
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        start + f64::sample_standard(rng) * (end - start)
+    }
+}
+
+/// Buffers that [`Rng::fill`] can populate.
+pub trait Fill {
+    /// Fills `self` with uniform data.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns true with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+
+    /// Fills `dest` with uniform data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// splitmix64: expands a 64-bit seed into well-mixed initial state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// xorshift64* core shared by both generators.
+    #[derive(Clone, Debug)]
+    struct Xorshift64Star {
+        state: u64,
+    }
+
+    impl Xorshift64Star {
+        fn from_u64(seed: u64) -> Xorshift64Star {
+            let mut s = seed;
+            let mut state = splitmix64(&mut s);
+            if state == 0 {
+                state = 0x2545_F491_4F6C_DD1D; // xorshift state must be non-zero
+            }
+            Xorshift64Star { state }
+        }
+
+        fn next(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    macro_rules! define_rng {
+        ($(#[$doc:meta])* $name:ident) => {
+            $(#[$doc])*
+            #[derive(Clone, Debug)]
+            pub struct $name(Xorshift64Star);
+
+            impl SeedableRng for $name {
+                fn seed_from_u64(state: u64) -> $name {
+                    $name(Xorshift64Star::from_u64(state))
+                }
+            }
+
+            impl RngCore for $name {
+                fn next_u32(&mut self) -> u32 {
+                    (self.0.next() >> 32) as u32
+                }
+
+                fn next_u64(&mut self) -> u64 {
+                    self.0.next()
+                }
+
+                fn fill_bytes(&mut self, dest: &mut [u8]) {
+                    for chunk in dest.chunks_mut(8) {
+                        let word = self.0.next().to_le_bytes();
+                        chunk.copy_from_slice(&word[..chunk.len()]);
+                    }
+                }
+            }
+        };
+    }
+
+    define_rng! {
+        /// A small, fast, non-cryptographic generator.
+        SmallRng
+    }
+    define_rng! {
+        /// The "standard" generator. In this offline stand-in it is the
+        /// same xorshift64* construction as [`SmallRng`] — deterministic,
+        /// fast, and **not** cryptographically secure.
+        StdRng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let mut c = SmallRng::seed_from_u64(2);
+        let (xa, xb, xc) = (a.gen::<u64>(), b.gen::<u64>(), c.gen::<u64>());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5usize..=7);
+            assert!((5..=7).contains(&w));
+            let f = rng.gen_range(-0.5f64..=0.5);
+            assert!((-0.5..=0.5).contains(&f));
+            let i = rng.gen_range(-4i32..5);
+            assert!((-4..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn fill_covers_slice() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut buf = vec![0u8; 37];
+        rng.fill(buf.as_mut_slice());
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn rng_usable_through_mut_ref() {
+        fn draw<R: super::RngCore + ?Sized>(rng: &mut R) -> u64 {
+            use super::Rng as _;
+            rng.gen_range(0..=u64::MAX)
+        }
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = draw(&mut rng);
+    }
+}
