@@ -5,7 +5,8 @@
 //! cargo run -p wedge-bench --release --bin repro -- fig3
 //! ```
 //!
-//! Experiments: `fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 punish`.
+//! Experiments: `fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 punish latency
+//! faults`.
 //! Results are printed and also written to `results/<exp>.md`.
 
 use std::time::Instant;
@@ -34,6 +35,7 @@ fn run(name: &str, profile: Profile) {
         "table1" => harness::table1(profile),
         "punish" => harness::punishment_economics(),
         "latency" => harness::latency_ablation(profile),
+        "faults" => harness::fault_tolerance(profile),
         other => {
             eprintln!("unknown experiment: {other}");
             std::process::exit(2);
@@ -61,6 +63,7 @@ fn main() {
         .collect();
     let all = [
         "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "punish", "latency",
+        "faults",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets == ["all"] {
         all.to_vec()

@@ -594,6 +594,59 @@ pub fn latency_ablation(profile: Profile) -> Table {
     table
 }
 
+/// Extra (not in the paper): stage-2 resilience under chain fault bursts —
+/// how many retries/re-queues a burst of dropped submissions and forced
+/// reverts costs, and how far the stage-2 commit latency degrades, with no
+/// commitment ever lost.
+pub fn fault_tolerance(profile: Profile) -> Table {
+    let n = profile.scale(10_000, 2000);
+    let mut table = Table {
+        title: "Stage-2 fault tolerance (extension) — injected chain fault bursts".into(),
+        headers: vec![
+            "fault burst (drops + reverts)".into(),
+            "retries".into(),
+            "re-queued groups".into(),
+            "backoff histogram".into(),
+            "stage-2 mean (sim)".into(),
+            "committed / failed".into(),
+        ],
+        rows: Vec::new(),
+    };
+    for &(drops, reverts) in &[(0u64, 0u64), (2, 1), (4, 2), (8, 4)] {
+        let config = NodeConfig {
+            batch_size: 2000,
+            batch_linger: Duration::from_millis(30),
+            // A retry budget that outlasts the longest burst swept here
+            // (12 consecutive failures), so no row abandons its group.
+            stage2_retry: wedge_core::Stage2RetryPolicy {
+                max_attempts: 20,
+                base_backoff: Duration::from_secs(1),
+                max_backoff: Duration::from_secs(10),
+                jitter: 0.2,
+            },
+            ..Default::default()
+        };
+        let mut world = World::new(&format!("faults-{drops}-{reverts}"), config, 2000.0);
+        world.chain.faults().drop_next_submissions(drops);
+        world.chain.faults().revert_next_calls(reverts);
+        world
+            .publisher
+            .append_batch(kv_payloads(n, KEY_SIZE, VALUE_SIZE, 11))
+            .expect("append");
+        world.settle();
+        let stats = world.node.stats();
+        table.rows.push(vec![
+            format!("{drops} + {reverts}"),
+            stats.stage2_retries.to_string(),
+            stats.stage2_requeued.to_string(),
+            format!("{:?}", stats.stage2_backoff_hist),
+            fmt_dur(stats.mean_stage2_latency().unwrap_or_default()),
+            format!("{} / {}", stats.stage2_committed, stats.stage2_failed),
+        ]);
+    }
+    table
+}
+
 /// Extra (not in the paper): end-to-end punishment cost — what a client pays
 /// in gas to prove a lie, and what it recovers.
 pub fn punishment_economics() -> Table {

@@ -23,6 +23,7 @@ use wedge_sim::Clock;
 use crate::block::{Block, EventLog, ExecStatus, Receipt};
 use crate::contract::{CallContext, Contract, ContractRegistry, WorldState};
 use crate::error::ChainError;
+use crate::faults::ChainFaults;
 use crate::gas::{GasSchedule, DEFAULT_GAS_PRICE};
 use crate::tx::{contract_address, SignedTransaction, Transaction, TxKind};
 use crate::types::{Address, BlockNumber, Gas, TxHash, Wei};
@@ -94,6 +95,8 @@ pub struct Chain {
     subscribers: Mutex<Vec<Subscriber>>,
     /// Seeded RNG for gas-price jitter (deterministic across runs).
     price_rng: Mutex<rand::rngs::StdRng>,
+    /// Deterministic fault injection (drops, reverts, receipt delays).
+    faults: ChainFaults,
 }
 
 impl Chain {
@@ -124,6 +127,7 @@ impl Chain {
             price_rng: Mutex::new(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
                 0x5745_4447_4550_5243,
             )),
+            faults: ChainFaults::default(),
         })
     }
 
@@ -154,6 +158,11 @@ impl Chain {
         &self.config
     }
 
+    /// The chain's fault-injection hooks (see [`ChainFaults`]).
+    pub fn faults(&self) -> &ChainFaults {
+        &self.faults
+    }
+
     // ---------------------------------------------------------------- fund
 
     /// Genesis faucet: credits `addr` with `amount` (test/bench setup).
@@ -166,6 +175,9 @@ impl Chain {
     /// Validates and enqueues a signed transaction.
     pub fn submit(&self, signed: SignedTransaction) -> Result<TxHash, ChainError> {
         signed.verify()?;
+        if self.faults.take_submission_drop() {
+            return Err(ChainError::SubmissionDropped(signed.hash));
+        }
         let mut inner = self.inner.lock();
         let next = Self::next_nonce_locked(&inner, signed.from);
         if signed.tx.nonce < inner.state.nonce(signed.from) {
@@ -413,6 +425,13 @@ impl Chain {
                     ),
                 }
             }
+            TxKind::Call if self.faults.take_call_revert() => (
+                ExecStatus::Reverted("injected fault: forced revert".into()),
+                intrinsic,
+                Vec::new(),
+                Vec::new(),
+                None,
+            ),
             TxKind::Call => {
                 match inner.contracts.remove(&tx.to) {
                     None => (
@@ -668,13 +687,19 @@ impl Chain {
     pub fn wait_for_receipt(&self, hash: TxHash) -> Result<Receipt, ChainError> {
         let mut waited = Duration::ZERO;
         loop {
-            {
+            let confirmed = {
                 let inner = self.inner.lock();
-                if let Some(receipt) = inner.receipts.get(&hash) {
+                inner.receipts.get(&hash).and_then(|receipt| {
                     let head = inner.blocks.len() as BlockNumber - 1;
-                    if head >= receipt.block_number + self.config.confirmations {
-                        return Ok(receipt.clone());
-                    }
+                    (head >= receipt.block_number + self.config.confirmations)
+                        .then(|| receipt.clone())
+                })
+            };
+            if let Some(receipt) = confirmed {
+                // A delay fault hides the confirmed receipt for a while —
+                // from the caller's side the chain is simply congested.
+                if !self.faults.receipt_hidden(hash, self.clock.now()) {
+                    return Ok(receipt);
                 }
             }
             if waited >= self.config.receipt_timeout {

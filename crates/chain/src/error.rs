@@ -39,6 +39,10 @@ pub enum ChainError {
     },
     /// `wait_for_receipt` gave up (no miner running?).
     ReceiptTimeout(TxHash),
+    /// The transaction was rejected before reaching the mempool (injected
+    /// via [`crate::ChainFaults`], standing in for RPC outages and full
+    /// mempools).
+    SubmissionDropped(TxHash),
     /// A deploy transaction's predicted address did not match.
     DeployAddressMismatch,
 }
@@ -66,6 +70,9 @@ impl fmt::Display for ChainError {
                     f,
                     "timed out waiting for receipt of {tx} (is a miner running?)"
                 )
+            }
+            ChainError::SubmissionDropped(tx) => {
+                write!(f, "submission of {tx} dropped before the mempool")
             }
             ChainError::DeployAddressMismatch => write!(f, "deploy address mismatch"),
         }

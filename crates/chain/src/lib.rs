@@ -18,6 +18,7 @@ mod chain;
 mod contract;
 mod encoding;
 mod error;
+mod faults;
 mod gas;
 mod tx;
 mod types;
@@ -27,6 +28,7 @@ pub use chain::{Chain, ChainConfig, MinerHandle};
 pub use contract::{CallContext, Contract, ContractRegistry, Revert, WorldState};
 pub use encoding::{DecodeError, Decoder, Encoder};
 pub use error::ChainError;
+pub use faults::ChainFaults;
 pub use gas::{GasSchedule, DEFAULT_GAS_PRICE};
 pub use tx::{contract_address, SignedTransaction, Transaction, TxKind};
 pub use types::{Address, BlockNumber, Gas, Hash32, TxHash, Wei};

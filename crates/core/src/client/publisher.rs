@@ -128,17 +128,19 @@ impl Publisher {
         dir: impl AsRef<std::path::Path>,
     ) -> Result<Publisher, CoreError> {
         let store = super::receipts::ReceiptStore::open(dir)?;
-        // Resume sequence numbering after the newest stored receipt.
+        // Resume sequence numbering after the newest stored receipt —
+        // *not* the newest pending one: after a restart with every receipt
+        // already verified, the pending set is empty and resuming from it
+        // would restart at sequence 0, colliding with the publisher's own
+        // logged entries. The store length covers even receipts whose
+        // request bytes no longer decode.
         let resume = store
-            .pending()
+            .last()
             .ok()
-            .and_then(|pending| {
-                pending
-                    .iter()
-                    .filter_map(|r| r.request().ok().map(|q| q.sequence + 1))
-                    .max()
-            })
+            .flatten()
+            .and_then(|r| r.request().ok().map(|q| q.sequence + 1))
             .unwrap_or(0)
+            .max(store.len())
             .max(self.next_sequence);
         self.next_sequence = resume;
         self.receipts = Some(store);

@@ -79,6 +79,17 @@ impl ReceiptStore {
         Ok(out)
     }
 
+    /// The newest stored response, if any — verified or not. A restarting
+    /// publisher resumes sequence numbering after it; resuming from the
+    /// *pending* set alone would restart at 0 once every receipt has been
+    /// verified and collide with the publisher's own logged entries.
+    pub fn last(&self) -> Result<Option<SignedResponse>, CoreError> {
+        let Some(id) = self.store.len().checked_sub(1) else {
+            return Ok(None);
+        };
+        Ok(Some(SignedResponse::from_bytes(&self.store.read(id)?)?))
+    }
+
     /// Count of unverified responses.
     pub fn pending_count(&self) -> u64 {
         self.store.len() - self.watermark.load(Ordering::Acquire)

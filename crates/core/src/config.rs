@@ -50,6 +50,49 @@ impl NodeBehavior {
     }
 }
 
+/// Retry policy for the stage-2 committer.
+///
+/// A failed `Update-Records` transaction (dropped submission, revert,
+/// receipt timeout) is re-queued and re-submitted with bounded exponential
+/// backoff: attempt `k` waits `base_backoff × 2^(k-1)` of *simulated* time,
+/// capped at `max_backoff`, scaled by a deterministic ±`jitter` factor so
+/// co-located committers don't thunder. Only after `max_attempts`
+/// consecutive failures of the same group is the commitment abandoned and
+/// counted in `NodeStats::stage2_failed`.
+#[derive(Clone, Copy, Debug)]
+pub struct Stage2RetryPolicy {
+    /// Submission attempts per group before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Relative backoff jitter in `[0, 1)` (0.0 = deterministic delays).
+    pub jitter: f64,
+}
+
+impl Default for Stage2RetryPolicy {
+    fn default() -> Self {
+        Stage2RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_secs(2),
+            max_backoff: Duration::from_secs(60),
+            jitter: 0.2,
+        }
+    }
+}
+
+impl Stage2RetryPolicy {
+    /// The backoff before retry attempt `attempt` (1-based), without
+    /// jitter: `base × 2^(attempt-1)`, capped at `max_backoff`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(32);
+        self.base_backoff
+            .saturating_mul(1u32 << doublings.min(31))
+            .min(self.max_backoff)
+    }
+}
+
 /// Offchain Node configuration.
 #[derive(Clone, Debug)]
 pub struct NodeConfig {
@@ -67,6 +110,8 @@ pub struct NodeConfig {
     pub behavior: NodeBehavior,
     /// Maximum roots grouped into one `Update-Records` transaction.
     pub stage2_max_group: usize,
+    /// Retry policy for failed stage-2 commitments.
+    pub stage2_retry: Stage2RetryPolicy,
     /// Simulated network delay applied to each inbound request message.
     pub request_latency: LatencyModel,
     /// Simulated network delay applied to each outbound response batch.
@@ -91,6 +136,7 @@ impl Default for NodeConfig {
                 .unwrap_or(4),
             behavior: NodeBehavior::Honest,
             stage2_max_group: 16,
+            stage2_retry: Stage2RetryPolicy::default(),
             request_latency: LatencyModel::Zero,
             response_latency: LatencyModel::Zero,
             replicas: 0,
@@ -111,6 +157,21 @@ mod tests {
         assert!(!b.affects(4));
         assert!(b.affects(5));
         assert!(b.affects(100));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = Stage2RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_secs(2),
+            max_backoff: Duration::from_secs(30),
+            jitter: 0.0,
+        };
+        assert_eq!(p.backoff_for(1), Duration::from_secs(2));
+        assert_eq!(p.backoff_for(2), Duration::from_secs(4));
+        assert_eq!(p.backoff_for(4), Duration::from_secs(16));
+        assert_eq!(p.backoff_for(5), Duration::from_secs(30), "capped");
+        assert_eq!(p.backoff_for(u32::MAX), Duration::from_secs(30), "no wrap");
     }
 
     #[test]

@@ -308,12 +308,17 @@ impl OffchainNode {
                 log_id,
                 offset: start,
             }))?;
-        if start + count > meta.count || count == 0 {
-            return Err(CoreError::EntryNotFound(EntryId {
-                log_id,
-                offset: start + count,
-            }));
-        }
+        // `checked_add`: `start + count` wraps on u32 overflow in release
+        // builds, which would bypass the bounds check entirely.
+        let end = match start.checked_add(count) {
+            Some(end) if end <= meta.count && count != 0 => end,
+            _ => {
+                return Err(CoreError::EntryNotFound(EntryId {
+                    log_id,
+                    offset: start,
+                }))
+            }
+        };
         let proof =
             RangeProof::generate(&meta.tree, start as usize, count as usize).map_err(|_| {
                 CoreError::EntryNotFound(EntryId {
@@ -325,7 +330,7 @@ impl OffchainNode {
         let first = meta.first_record;
         drop(state);
         let mut leaves = Vec::with_capacity(count as usize);
-        for offset in start..start + count {
+        for offset in start..end {
             leaves.push(state::decode_leaf(
                 &self.shared.store.read(first + offset as u64)?,
             )?);

@@ -19,8 +19,25 @@ pub struct NodeStats {
     pub stage2_txs_submitted: u64,
     /// Log positions confirmed on-chain.
     pub stage2_committed: u64,
-    /// Stage-2 transactions that failed (reverted / timed out).
+    /// Log positions abandoned after the retry policy's `max_attempts`
+    /// consecutive failures — *not* first-attempt failures, which are
+    /// retried (see [`crate::Stage2RetryPolicy`]).
     pub stage2_failed: u64,
+    /// Stage-2 re-submissions performed (attempt ≥ 2 of a group).
+    pub stage2_retries: u64,
+    /// Log positions re-queued into the retry backlog (one position
+    /// counted once per failed attempt of its group).
+    pub stage2_requeued: u64,
+    /// Failed stage-2 submissions classified as submission errors
+    /// (transaction never reached the mempool).
+    pub stage2_submission_errors: u64,
+    /// Failed stage-2 submissions classified as on-chain reverts.
+    pub stage2_reverts: u64,
+    /// Failed stage-2 submissions classified as receipt timeouts.
+    pub stage2_timeouts: u64,
+    /// Per-attempt backoff histogram: `stage2_backoff_hist[k]` counts the
+    /// retries scheduled after attempt `k + 1` failed.
+    pub stage2_backoff_hist: Vec<u64>,
     /// Per-position simulated stage-1→stage-2 latencies.
     pub stage2_latencies: Vec<Duration>,
     /// Total gas spent on stage-2 commitments.
@@ -33,6 +50,16 @@ pub struct NodeStats {
 }
 
 impl NodeStats {
+    /// Records one scheduled retry after attempt `attempt` (1-based)
+    /// failed, growing the histogram as needed.
+    pub(crate) fn record_backoff(&mut self, attempt: u32) {
+        let idx = attempt.saturating_sub(1) as usize;
+        if self.stage2_backoff_hist.len() <= idx {
+            self.stage2_backoff_hist.resize(idx + 1, 0);
+        }
+        self.stage2_backoff_hist[idx] = self.stage2_backoff_hist[idx].saturating_add(1);
+    }
+
     /// Mean stage-2 latency (simulated), if any commitments completed.
     pub fn mean_stage2_latency(&self) -> Option<Duration> {
         if self.stage2_latencies.is_empty() {

@@ -231,7 +231,7 @@ impl LogService for RemoteNode {
 
     fn position_len(&self, log_id: u64) -> Option<u32> {
         match self.rpc(Request::Meta { log_id }) {
-            Ok(Reply::Meta { position_len, .. }) if position_len != u32::MAX => Some(position_len),
+            Ok(Reply::Meta { position_len, .. }) => position_len,
             _ => None,
         }
     }

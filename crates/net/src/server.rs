@@ -253,7 +253,7 @@ fn handle(
         Request::Meta { log_id } => Reply::Meta {
             positions: service.positions(),
             entries: service.entries(),
-            position_len: service.position_len(log_id).unwrap_or(u32::MAX),
+            position_len: service.position_len(log_id),
         },
     };
     let _ = reply_tx.send((req_id, reply));

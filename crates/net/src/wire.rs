@@ -78,8 +78,11 @@ pub enum Reply {
         positions: u64,
         /// Total entries.
         entries: u64,
-        /// Length of the requested position (`u32::MAX` if absent).
-        position_len: u32,
+        /// Length of the requested position, or `None` when it does not
+        /// exist. Encoded as an explicit presence flag on the wire — an
+        /// in-band `u32::MAX` sentinel would be indistinguishable from a
+        /// real (capped) length.
+        position_len: Option<u32>,
     },
     /// The operation failed.
     Error(String),
@@ -284,7 +287,11 @@ impl Reply {
                 entries,
                 position_len,
             } => {
-                enc.u64(*positions).u64(*entries).u64(*position_len as u64);
+                enc.u64(*positions).u64(*entries);
+                match position_len {
+                    Some(len) => enc.u8(1).u64(*len as u64),
+                    None => enc.u8(0),
+                };
                 kind::R_META
             }
             Reply::Error(message) => {
@@ -357,11 +364,20 @@ impl Reply {
                 }
                 Reply::ManyResults(results)
             }
-            kind::R_META => Reply::Meta {
-                positions: dec.u64().map_err(|_| io_err("positions"))?,
-                entries: dec.u64().map_err(|_| io_err("entries"))?,
-                position_len: dec.u64().map_err(|_| io_err("len"))? as u32,
-            },
+            kind::R_META => {
+                let positions = dec.u64().map_err(|_| io_err("positions"))?;
+                let entries = dec.u64().map_err(|_| io_err("entries"))?;
+                let position_len = match dec.u8().map_err(|_| io_err("len flag"))? {
+                    0 => None,
+                    1 => Some(dec.u64().map_err(|_| io_err("len"))? as u32),
+                    _ => return Err(io_err("bad len flag")),
+                };
+                Reply::Meta {
+                    positions,
+                    entries,
+                    position_len,
+                }
+            }
             kind::R_ERROR => {
                 let msg = dec.bytes().map_err(|_| io_err("error message"))?;
                 Reply::Error(String::from_utf8_lossy(msg).into_owned())
@@ -507,7 +523,19 @@ mod tests {
             Reply::Meta {
                 positions: 1,
                 entries: 2,
-                position_len: 2,
+                position_len: Some(2),
+            },
+            Reply::Meta {
+                positions: 1,
+                entries: 2,
+                position_len: None,
+            },
+            Reply::Meta {
+                positions: 1,
+                entries: 2,
+                // A real length of u32::MAX must survive the round trip —
+                // it used to be the in-band "absent" sentinel.
+                position_len: Some(u32::MAX),
             },
             Reply::Error("nope".into()),
         ];
@@ -547,9 +575,13 @@ mod tests {
                         position_len,
                     },
                 ) => {
-                    assert_eq!((positions, entries, position_len), (1, 2, 2));
+                    assert_eq!((positions, entries, position_len), (1, 2, Some(2)));
                 }
-                (5, Reply::Error(msg)) => assert_eq!(msg, "nope"),
+                (5, Reply::Meta { position_len, .. }) => assert_eq!(position_len, None),
+                (6, Reply::Meta { position_len, .. }) => {
+                    assert_eq!(position_len, Some(u32::MAX));
+                }
+                (7, Reply::Error(msg)) => assert_eq!(msg, "nope"),
                 (i, other) => panic!("reply {i} decoded wrong: {other:?}"),
             }
         }
