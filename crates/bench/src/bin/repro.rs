@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: `fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 punish latency
-//! faults`.
+//! faults reads`.
 //! Results are printed and also written to `results/<exp>.md`.
 
 use std::time::Instant;
@@ -36,6 +36,7 @@ fn run(name: &str, profile: Profile) {
         "punish" => harness::punishment_economics(),
         "latency" => harness::latency_ablation(profile),
         "faults" => harness::fault_tolerance(profile),
+        "reads" => harness::reads(profile),
         other => {
             eprintln!("unknown experiment: {other}");
             std::process::exit(2);
@@ -62,8 +63,8 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     let all = [
-        "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "punish", "latency",
-        "faults",
+        "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "reads", "punish",
+        "latency", "faults",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets == ["all"] {
         all.to_vec()

@@ -521,6 +521,131 @@ pub fn fig9(profile: Profile) -> Table {
     table
 }
 
+/// Percentile over a sorted latency sample (nearest-rank).
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn fmt_us(d: Duration) -> String {
+    format!("{:.1} µs", d.as_secs_f64() * 1e6)
+}
+
+/// Extra (not in the paper, companion to Figures 8–9): read latency
+/// percentiles on the snapshot read path — idle, and with stage-1 ingestion
+/// flushing concurrently. Every read loads one published snapshot (no lock
+/// guard on the hot path), so the percentiles should hold steady while the
+/// ingestion column shows the pipeline still sustaining its throughput.
+pub fn reads(profile: Profile) -> Table {
+    use rand::{Rng, SeedableRng};
+    let entries = profile.scale(500_000, 20_000);
+    let reads_per_thread = profile.scale(50_000, 4_000);
+    let ingest_n = profile.scale(100_000, 10_000);
+    let mut table = Table {
+        title: format!(
+            "Reads under ingestion (extension) — node-side read latency \
+             ({entries} entries preloaded, {reads_per_thread} reads/thread \
+             incl. proof + response signing)"
+        ),
+        headers: vec![
+            "scenario".into(),
+            "read p50".into(),
+            "read p90".into(),
+            "read p99".into(),
+            "read max".into(),
+            "read throughput (ops/s)".into(),
+            "concurrent stage-1 (ops/s)".into(),
+        ],
+        rows: Vec::new(),
+    };
+
+    let (world, publisher_id) = preloaded_world("reads", 2000, entries);
+    let publisher_address = publisher_id.address();
+    for (label, reader_threads, ingest) in [
+        ("1 reader, idle node", 1usize, false),
+        ("4 readers, idle node", 4, false),
+        ("4 readers + ingestion", 4, true),
+    ] {
+        let node = &world.node;
+        // Pre-signed ingestion workload from a second publisher (the node
+        // runs with request verification off, as in Figure 8's preload).
+        let ingest_requests: Vec<AppendRequest> = if ingest {
+            let ingest_id = Identity::from_seed(b"bench-reads-ingest");
+            let payloads = kv_payloads(ingest_n, KEY_SIZE, VALUE_SIZE, 0x8ead);
+            let items: Vec<(u64, Vec<u8>)> = (0..).zip(payloads).collect();
+            wedge_core::parallel_map(&items, 16, |(seq, payload)| {
+                AppendRequest::new(ingest_id.secret_key(), *seq, payload.clone())
+            })
+        } else {
+            Vec::new()
+        };
+
+        let mut stage1_rate = None;
+        let mut samples: Vec<Duration> = Vec::new();
+        let read_wall = crossbeam::thread::scope(|scope| {
+            let ingest_handle = (!ingest_requests.is_empty()).then(|| {
+                let requests = &ingest_requests;
+                scope.spawn(move |_| {
+                    let (tx, rx) = unbounded();
+                    let started = Instant::now();
+                    for request in requests.iter().cloned() {
+                        node.submit(request, tx.clone()).expect("submit");
+                    }
+                    for _ in 0..requests.len() {
+                        let _ = rx.recv_timeout(Duration::from_secs(120));
+                    }
+                    started.elapsed()
+                })
+            });
+            let started = Instant::now();
+            let reader_handles: Vec<_> = (0..reader_threads)
+                .map(|t| {
+                    scope.spawn(move |_| {
+                        let mut rng = rand::rngs::SmallRng::seed_from_u64(0x8ead + t as u64);
+                        let mut lat = Vec::with_capacity(reads_per_thread);
+                        for _ in 0..reads_per_thread {
+                            let seq = rng.gen_range(0..entries as u64);
+                            let read_started = Instant::now();
+                            let response = node
+                                .read_by_sequence(publisher_address, seq)
+                                .expect("preloaded sequence reads");
+                            lat.push(read_started.elapsed());
+                            std::hint::black_box(&response);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            for handle in reader_handles {
+                samples.extend(handle.join().expect("reader thread"));
+            }
+            let wall = started.elapsed();
+            if let Some(handle) = ingest_handle {
+                let ingest_elapsed = handle.join().expect("ingest thread");
+                stage1_rate = Some(ingest_n as f64 / ingest_elapsed.as_secs_f64().max(1e-9));
+            }
+            wall
+        })
+        .expect("read scenario threads");
+
+        samples.sort_unstable();
+        let total_reads = samples.len() as f64;
+        table.rows.push(vec![
+            label.into(),
+            fmt_us(percentile(&samples, 0.50)),
+            fmt_us(percentile(&samples, 0.90)),
+            fmt_us(percentile(&samples, 0.99)),
+            fmt_us(*samples.last().expect("non-empty sample")),
+            format!("{:.0}", total_reads / read_wall.as_secs_f64().max(1e-9)),
+            stage1_rate.map_or("—".into(), |r| format!("{r:.0}")),
+        ]);
+    }
+    table
+}
+
 /// Extra (not in the paper): how simulated network latency shifts the
 /// publisher-visible latencies — the term separating our in-process numbers
 /// from the paper's RPC numbers.

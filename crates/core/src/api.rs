@@ -61,6 +61,14 @@ pub trait LogService: Send + Sync {
 
     /// Total entries stored.
     fn entries(&self) -> u64;
+
+    /// One-call metadata read: `(positions, entries, position_len(log_id))`.
+    /// The default composes the individual accessors (three reads that may
+    /// straddle a flush); implementations override it to serve all three
+    /// from one consistent snapshot, or one network round trip.
+    fn meta(&self, log_id: u64) -> (u64, u64, Option<u32>) {
+        (self.positions(), self.entries(), self.position_len(log_id))
+    }
 }
 
 impl LogService for OffchainNode {
@@ -72,6 +80,10 @@ impl LogService for OffchainNode {
     }
     fn read_entry(&self, id: EntryId) -> Result<SignedResponse, CoreError> {
         self.read(id)
+    }
+    fn read_entries(&self, ids: &[EntryId]) -> Vec<Result<SignedResponse, CoreError>> {
+        // One snapshot for the whole group (not the default per-entry loop).
+        self.read_many(ids)
     }
     fn read_entry_by_sequence(
         &self,
@@ -99,5 +111,9 @@ impl LogService for OffchainNode {
     }
     fn entries(&self) -> u64 {
         self.entry_count()
+    }
+    fn meta(&self, log_id: u64) -> (u64, u64, Option<u32>) {
+        // All three values from one snapshot.
+        self.meta(log_id)
     }
 }

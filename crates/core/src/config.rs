@@ -106,6 +106,11 @@ pub struct NodeConfig {
     /// Worker threads for parallel signing/verification (the paper's
     /// prototype uses all cores).
     pub worker_threads: usize,
+    /// Bounded depth of the stage-1 flush pipeline's inter-stage queues
+    /// (≥ 1). Depth 1 still overlaps adjacent batches across the
+    /// verify → persist → deliver stages; larger depths absorb burstier
+    /// fsync/replication latencies at the cost of more in-flight batches.
+    pub pipeline_depth: usize,
     /// Behaviour (honest or one of the attack modes).
     pub behavior: NodeBehavior,
     /// Maximum roots grouped into one `Update-Records` transaction.
@@ -134,6 +139,7 @@ impl Default for NodeConfig {
             worker_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            pipeline_depth: 2,
             behavior: NodeBehavior::Honest,
             stage2_max_group: 16,
             stage2_retry: Stage2RetryPolicy::default(),

@@ -1,19 +1,30 @@
-//! The batching + stage-1 pipeline (paper §4.3, append requests).
+//! The stage-1 flush pipeline (paper §4.3, append requests).
 //!
 //! Requests accumulate into the *current batch*; a batch flushes when it
-//! reaches `batch_size` or after `batch_linger` of quiet. Flushing:
+//! reaches `batch_size` or after `batch_linger` of quiet. A flushed batch
+//! then flows through three pipelined stages connected by bounded channels
+//! (depth [`crate::NodeConfig::pipeline_depth`]), so batch N+1's signature
+//! verification overlaps batch N's fsync and replication:
 //!
-//! 1. verify publisher signatures (parallel),
-//! 2. build the batch's Merkle tree,
-//! 3. persist header + leaves to the local store (link #2 of Figure 2),
-//! 4. fan the batch out to replicas (if configured),
-//! 5. sign one response per request (parallel) and deliver them
-//!    (completing link #1 — stage-1 / off-chain commitment),
-//! 6. hand the `(log_id, MRoot)` pair to the stage-2 committer (link #3).
+//! 1. **collect** — batch requests, verify publisher signatures
+//!    (parallel), reject invalid ones;
+//! 2. **persist** — build the batch's Merkle tree, persist header + leaves
+//!    to the local store (link #2 of Figure 2), fan out to replicas;
+//! 3. **deliver** — sign one response per request (parallel), register the
+//!    batch in the write plane (publishing a new read snapshot), deliver
+//!    the replies (completing link #1 — stage-1 / off-chain commitment),
+//!    and hand the `(log_id, MRoot)` pair to the stage-2 committer
+//!    (link #3).
+//!
+//! Shutdown drains exactly-once by construction: when the ingest channel
+//! disconnects, collect flushes its partial batch and drops its sender;
+//! persist drains, exits, and drops *its* sender; deliver drains and exits.
+//! Every accepted request gets exactly one reply — success from deliver, or
+//! an error from deliver when its batch failed to persist.
 
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use wedge_merkle::MerkleTree;
@@ -26,43 +37,91 @@ use super::stage2::Stage2Task;
 use super::state::{encode_header, encode_leaf, BatchMeta};
 use super::{tamper, IngestMsg, Shared};
 
-/// Batcher main loop.
+/// A signature-verified batch, bound for the persist stage.
+struct VerifiedBatch {
+    msgs: Vec<IngestMsg>,
+    /// Leaf encodings, index-aligned with `msgs`.
+    leaves: Vec<Vec<u8>>,
+}
+
+/// A persist-stage outcome, bound for the deliver stage. Failures travel
+/// the same channel so replies stay in submission order.
+enum PersistOutcome {
+    /// Durable on the local store (and replicated, when configured).
+    Persisted {
+        msgs: Vec<IngestMsg>,
+        tree: MerkleTree,
+        log_id: u64,
+        first_record: u64,
+    },
+    /// The local append failed; `log_id` was not consumed.
+    Failed { msgs: Vec<IngestMsg>, error: String },
+}
+
+/// Batcher main loop: runs the three pipeline stages on scoped threads and
+/// returns once all of them have drained and exited.
 pub(crate) fn run(shared: Arc<Shared>, rx: Receiver<IngestMsg>, stage2: Sender<Stage2Task>) {
+    let depth = shared.config.pipeline_depth.max(1);
+    let (persist_tx, persist_rx) = bounded::<VerifiedBatch>(depth);
+    let (deliver_tx, deliver_rx) = bounded::<PersistOutcome>(depth);
+    let shared = &shared;
+    let _ = crossbeam::thread::scope(move |scope| {
+        scope.spawn(move |_| collect_stage(shared, rx, persist_tx));
+        scope.spawn(move |_| persist_stage(shared, persist_rx, deliver_tx));
+        scope.spawn(move |_| deliver_stage(shared, deliver_rx, stage2));
+    });
+}
+
+/// Hands a value downstream, counting a `pipeline_stalls` when the bounded
+/// queue is full and the send has to block. Returns the value when the
+/// receiving stage is gone (unreachable while the scope is alive — each
+/// receiver outlives its senders — but never silently dropped).
+fn send_downstream<T>(shared: &Shared, tx: &Sender<T>, value: T) -> Result<(), T> {
+    match tx.try_send(value) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(value)) => {
+            shared.stats.lock().pipeline_stalls += 1;
+            tx.send(value).map_err(|e| e.0)
+        }
+        Err(TrySendError::Disconnected(value)) => Err(value),
+    }
+}
+
+/// Stage 1: accumulate requests into batches, verify signatures, reject
+/// invalid requests, and hand verified batches to the persist stage.
+fn collect_stage(shared: &Shared, rx: Receiver<IngestMsg>, persist_tx: Sender<VerifiedBatch>) {
     let mut current: Vec<IngestMsg> = Vec::with_capacity(shared.config.batch_size);
-    let mut rng = SmallRng::seed_from_u64(0x5745_4447_4542_4c4b); // "WEDGEBLK"
     loop {
         match rx.recv_timeout(shared.config.batch_linger) {
             Ok(msg) => {
                 current.push(msg);
                 if current.len() >= shared.config.batch_size {
-                    flush(&shared, &mut current, &stage2, &mut rng);
+                    verify_and_forward(shared, &mut current, &persist_tx);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
                 if !current.is_empty() {
-                    flush(&shared, &mut current, &stage2, &mut rng);
+                    verify_and_forward(shared, &mut current, &persist_tx);
                 }
             }
             Err(RecvTimeoutError::Disconnected) => {
                 if !current.is_empty() {
-                    flush(&shared, &mut current, &stage2, &mut rng);
+                    verify_and_forward(shared, &mut current, &persist_tx);
                 }
-                break;
+                break; // drops persist_tx: the persist stage drains and exits
             }
         }
     }
 }
 
-/// Flushes one batch through the stage-1 pipeline.
-fn flush(
+/// Verifies one batch's publisher signatures (parallel), replies to the
+/// rejects, and forwards the survivors.
+fn verify_and_forward(
     shared: &Shared,
     current: &mut Vec<IngestMsg>,
-    stage2: &Sender<Stage2Task>,
-    rng: &mut SmallRng,
+    persist_tx: &Sender<VerifiedBatch>,
 ) {
     let mut batch = std::mem::take(current);
-
-    // 1. Verify publisher signatures in parallel; reject invalid requests.
     if shared.config.verify_requests {
         let requests: Vec<&crate::types::AppendRequest> =
             batch.iter().map(|m| &m.request).collect();
@@ -91,133 +150,202 @@ fn flush(
     if batch.is_empty() {
         return;
     }
-
-    // 2. Merkle tree over the leaf encodings.
     let leaves: Vec<Vec<u8>> = batch.iter().map(|m| m.request.leaf_bytes()).collect();
-    // lint: allow(panic) — `batch` (and hence `leaves`) was checked non-empty
-    // just above, the only failure mode of `from_leaves`
-    let tree = MerkleTree::from_leaves(&leaves).expect("non-empty batch");
-    let root = tree.root();
-
-    // Reserve the next log position.
-    let log_id = shared.state.read().batches.len() as u64;
-
-    // 3. Persist: header record first, then one record per leaf.
-    let mut records = Vec::with_capacity(leaves.len() + 1);
-    records.push(encode_header(log_id, leaves.len() as u32, &root));
-    records.extend(leaves.iter().map(|l| encode_leaf(l)));
-    let header_record = match shared.store.append_batch(&records) {
-        Ok(id) => id,
-        Err(err) => {
-            // Storage is the node's ground truth: without a durable copy no
-            // stage-1 response may be signed. Reject the batch instead of
-            // taking the node down.
-            shared.stats.lock().requests_rejected += batch.len() as u64;
-            for msg in batch {
-                (msg.reply)(Err(format!("local log append failed: {err}")));
-            }
-            return;
-        }
-    };
-    let first_record = header_record + 1;
-
-    // 4. Replicate before acknowledging (the paper's stronger-liveness
-    //    configuration waits for replica acks).
-    if let Some(replicator) = &shared.replicator {
-        let acked = replicator.replicate_sync(records);
-        if acked < replicator.replica_count() {
-            shared.stats.lock().replication_shortfalls += 1;
+    if let Err(lost) = send_downstream(
+        shared,
+        persist_tx,
+        VerifiedBatch {
+            msgs: batch,
+            leaves,
+        },
+    ) {
+        for msg in lost.msgs {
+            (msg.reply)(Err("node pipeline stopped".into()));
         }
     }
+}
 
-    // 5. Sign responses in parallel and deliver.
-    let tampering = matches!(shared.config.behavior, NodeBehavior::TamperResponses { .. })
-        && shared.config.behavior.affects(log_id);
-    let node_key = *shared.identity.secret_key();
-    let responses: Vec<SignedResponse> = {
-        let tree = &tree;
-        let items: Vec<(usize, &crate::types::AppendRequest)> =
-            batch.iter().map(|m| &m.request).enumerate().collect();
-        parallel_map(
-            &items,
-            shared.config.worker_threads,
-            move |(offset, request)| {
-                let mut leaf = request.leaf_bytes();
-                if tampering {
-                    tamper(&mut leaf);
+/// Stage 2: Merkle tree, durable local append, replica fan-out. Owns the
+/// log-position counter — a position is consumed only by a successful
+/// append, so a persist failure leaves the sequence gapless.
+fn persist_stage(
+    shared: &Shared,
+    persist_rx: Receiver<VerifiedBatch>,
+    deliver_tx: Sender<PersistOutcome>,
+) {
+    // The only writer of new positions; seeded once from the recovered
+    // state. Registration (deliver stage) trails this counter by at most
+    // the pipeline depth.
+    let mut next_log_id = shared.snapshot().batches.len() as u64;
+    while let Ok(VerifiedBatch { msgs, leaves }) = persist_rx.recv() {
+        // `msgs` was checked non-empty by the collect stage, the only
+        // failure mode of `from_leaves`.
+        // lint: allow(panic) — non-empty batch invariant upheld upstream
+        let tree = MerkleTree::from_leaves(&leaves).expect("non-empty batch");
+        let root = tree.root();
+        let log_id = next_log_id;
+
+        let mut records = Vec::with_capacity(leaves.len() + 1);
+        records.push(encode_header(log_id, leaves.len() as u32, &root));
+        records.extend(leaves.iter().map(|l| encode_leaf(l)));
+        let outcome = match shared.store.append_batch(&records) {
+            Ok(header_record) => {
+                next_log_id += 1;
+                // Replicate before acknowledging (the paper's
+                // stronger-liveness configuration waits for replica acks).
+                if let Some(replicator) = &shared.replicator {
+                    let acked = replicator.replicate_sync(records);
+                    if acked < replicator.replica_count() {
+                        shared.stats.lock().replication_shortfalls += 1;
+                    }
                 }
-                // lint: allow(panic) — `offset` enumerates the same batch the
-                // tree was built from, so it is always in range
-                let proof = tree.prove(*offset).expect("offset in range");
-                SignedResponse::sign(
-                    &node_key,
-                    EntryId {
-                        log_id,
-                        offset: *offset as u32,
-                    },
-                    root,
-                    proof,
-                    leaf,
-                )
-            },
-        )
-    };
-
-    // Optional simulated response-network delay (one message per flush).
-    let delay = {
-        use rand::Rng as _;
-        let _ = rng.gen::<u8>(); // keep rng state moving even for Zero
-        shared
-            .config
-            .response_latency
-            .sample(rng, responses.iter().map(|r| r.leaf.len()).sum())
-    };
-    if !delay.is_zero() {
-        std::thread::sleep(delay);
-    }
-
-    // 6. Register state BEFORE replying so reads issued immediately after a
-    //    response always succeed, and queue stage-2 work.
-    {
-        let mut state = shared.state.write();
-        for (offset, msg) in batch.iter().enumerate() {
-            state.seq_index.insert(
-                (msg.request.publisher, msg.request.sequence),
-                EntryId {
+                PersistOutcome::Persisted {
+                    msgs,
+                    tree,
                     log_id,
-                    offset: offset as u32,
-                },
-            );
+                    first_record: header_record + 1,
+                }
+            }
+            Err(err) => {
+                // Storage is the node's ground truth: without a durable copy
+                // no stage-1 response may be signed. Reject the batch (via
+                // the deliver stage, keeping reply order) instead of taking
+                // the node down.
+                PersistOutcome::Failed {
+                    msgs,
+                    error: format!("local log append failed: {err}"),
+                }
+            }
+        };
+        if let Err(lost) = send_downstream(shared, &deliver_tx, outcome) {
+            let (msgs, error) = match lost {
+                PersistOutcome::Persisted { msgs, .. } => (msgs, "node pipeline stopped".into()),
+                PersistOutcome::Failed { msgs, error } => (msgs, error),
+            };
+            for msg in msgs {
+                (msg.reply)(Err(error.clone()));
+            }
         }
-        state.batches.push(BatchMeta {
-            log_id,
-            first_record,
-            count: batch.len() as u32,
-            tree,
-        });
     }
-    {
-        let mut stats = shared.stats.lock();
-        stats.entries_ingested += batch.len() as u64;
-        stats.bytes_ingested += batch
+    // deliver_tx drops here: the deliver stage drains and exits.
+}
+
+/// Stage 3: sign responses, register the batch (publishing a new read
+/// snapshot *before* any reply goes out, so a read issued right after a
+/// response always succeeds), deliver replies, queue stage-2 work.
+fn deliver_stage(
+    shared: &Shared,
+    deliver_rx: Receiver<PersistOutcome>,
+    stage2: Sender<Stage2Task>,
+) {
+    let mut rng = SmallRng::seed_from_u64(0x5745_4447_4542_4c4b); // "WEDGEBLK"
+    while let Ok(outcome) = deliver_rx.recv() {
+        let (batch, tree, log_id, first_record) = match outcome {
+            PersistOutcome::Persisted {
+                msgs,
+                tree,
+                log_id,
+                first_record,
+            } => (msgs, tree, log_id, first_record),
+            PersistOutcome::Failed { msgs, error } => {
+                shared.stats.lock().requests_rejected += msgs.len() as u64;
+                for msg in msgs {
+                    (msg.reply)(Err(error.clone()));
+                }
+                continue;
+            }
+        };
+        let root = tree.root();
+
+        // Sign responses in parallel.
+        let tampering = matches!(shared.config.behavior, NodeBehavior::TamperResponses { .. })
+            && shared.config.behavior.affects(log_id);
+        let node_key = *shared.identity.secret_key();
+        let responses: Vec<SignedResponse> = {
+            let tree = &tree;
+            let items: Vec<(usize, &crate::types::AppendRequest)> =
+                batch.iter().map(|m| &m.request).enumerate().collect();
+            parallel_map(
+                &items,
+                shared.config.worker_threads,
+                move |(offset, request)| {
+                    let mut leaf = request.leaf_bytes();
+                    if tampering {
+                        tamper(&mut leaf);
+                    }
+                    // lint: allow(panic) — `offset` enumerates the same batch
+                    // the tree was built from, so it is always in range
+                    let proof = tree.prove(*offset).expect("offset in range");
+                    SignedResponse::sign(
+                        &node_key,
+                        EntryId {
+                            log_id,
+                            offset: *offset as u32,
+                        },
+                        root,
+                        proof,
+                        leaf,
+                    )
+                },
+            )
+        };
+
+        // Optional simulated response-network delay (one message per flush).
+        let delay = {
+            use rand::Rng as _;
+            let _ = rng.gen::<u8>(); // keep rng state moving even for Zero
+            shared
+                .config
+                .response_latency
+                .sample(&mut rng, responses.iter().map(|r| r.leaf.len()).sum())
+        };
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+
+        // Register the batch in the write plane — one publication makes the
+        // whole batch (metadata + sequence entries + entry count) visible
+        // atomically; readers see all of it or none of it.
+        let entries: Vec<((wedge_chain::Address, u64), u32)> = batch
             .iter()
-            .map(|m| m.request.payload.len() as u64)
-            .sum::<u64>();
-        stats.batches_flushed += 1;
-    }
+            .enumerate()
+            .map(|(offset, msg)| ((msg.request.publisher, msg.request.sequence), offset as u32))
+            .collect();
+        let count = batch.len() as u32;
+        shared.mutate(move |plane| {
+            plane.register_batch(
+                BatchMeta {
+                    log_id,
+                    first_record,
+                    count,
+                    tree,
+                },
+                entries,
+            );
+        });
+        {
+            let mut stats = shared.stats.lock();
+            stats.entries_ingested += batch.len() as u64;
+            stats.bytes_ingested += batch
+                .iter()
+                .map(|m| m.request.payload.len() as u64)
+                .sum::<u64>();
+            stats.batches_flushed += 1;
+        }
 
-    for (msg, response) in batch.into_iter().zip(responses) {
-        (msg.reply)(Ok(response));
-    }
+        for (msg, response) in batch.into_iter().zip(responses) {
+            (msg.reply)(Ok(response));
+        }
 
-    // Stage 2 hand-off (omitted under the omission attack).
-    let Some(stage2_root) = super::stage2::stage2_root_for(shared.config.behavior, log_id, root)
-    else {
-        return;
-    };
-    let _ = stage2.send(Stage2Task {
-        log_id,
-        root: stage2_root,
-        stage1_done: shared.chain.clock().now(),
-    });
+        // Stage 2 hand-off (omitted under the omission attack).
+        if let Some(stage2_root) =
+            super::stage2::stage2_root_for(shared.config.behavior, log_id, root)
+        {
+            let _ = stage2.send(Stage2Task {
+                log_id,
+                root: stage2_root,
+                stage1_done: shared.chain.clock().now(),
+            });
+        }
+    }
 }

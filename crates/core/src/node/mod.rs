@@ -1,7 +1,15 @@
 //! The Offchain Node (paper §4.3): batched stage-1 ingestion, asynchronous
 //! stage-2 digest commitment, and the verified read/audit service.
+//!
+//! State is split across two planes (see `docs/architecture.md`): readers
+//! load an immutable `Snapshot` with a single atomic version check — no
+//! `RwLock` read guard is held on any hot read path — while the stage-1
+//! pipeline and stage-2 committer mutate the write plane through
+//! `Shared::mutate`, which publishes a fresh snapshot exactly once per
+//! batch registration or group commit.
 
 mod batcher;
+mod snapshot;
 mod stage2;
 mod state;
 mod stats;
@@ -14,7 +22,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use wedge_chain::{Address, Chain};
 use wedge_crypto::signer::Identity;
 use wedge_crypto::PublicKey;
@@ -24,7 +32,8 @@ use wedge_storage::{LogStore, Replicator};
 use crate::config::{NodeBehavior, NodeConfig};
 use crate::error::CoreError;
 use crate::types::{AppendRequest, CommitPhase, EntryId, SignedResponse};
-use state::{CommitInfo, NodeState};
+use snapshot::{Snapshot, SnapshotCell, WritePlane};
+use state::CommitInfo;
 
 /// How a stage-1 outcome is delivered back to the submitter: invoked exactly
 /// once, either with the signed response or a rejection reason. A callback
@@ -43,11 +52,42 @@ pub(crate) struct Shared {
     pub identity: Identity,
     pub config: NodeConfig,
     pub store: LogStore,
-    pub state: RwLock<NodeState>,
+    /// Read plane: the current immutable snapshot. Load it once per
+    /// request; never hold any lock across store reads or proof generation.
+    pub read_plane: SnapshotCell,
+    /// Write plane: mutate only through [`Shared::mutate`] so every change
+    /// is published. The L6 lint forbids holding this guard across storage
+    /// I/O, signing, or channel sends.
+    pub write_plane: Mutex<WritePlane>,
     pub chain: Arc<Chain>,
     pub root_record: Address,
     pub stats: Mutex<NodeStats>,
     pub replicator: Option<Replicator>,
+}
+
+impl Shared {
+    /// The current read-plane snapshot (one atomic version load on the hot
+    /// path — see [`SnapshotCell::load`]).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.read_plane.load()
+    }
+
+    /// Applies `f` to the write plane and publishes the resulting snapshot.
+    ///
+    /// Publication happens *while the plane guard is still held*: the guard
+    /// serializes the two writers (stage-1 deliver stage, stage-2
+    /// committer), so an older snapshot can never overwrite a newer one.
+    /// `f` must not perform storage I/O, signing, or channel sends — the
+    /// guard would stall every other writer (enforced lexically by lint
+    /// L6 for closure bodies inside `.mutate(`).
+    pub fn mutate<R>(&self, f: impl FnOnce(&mut WritePlane) -> R) -> R {
+        let mut plane = self.write_plane.lock();
+        let out = f(&mut plane);
+        self.read_plane.publish(plane.freeze());
+        drop(plane);
+        self.stats.lock().snapshot_publishes += 1;
+        out
+    }
 }
 
 /// The Offchain Node. Create with [`OffchainNode::start`]; share via `Arc`.
@@ -56,14 +96,17 @@ pub(crate) struct Shared {
 /// and joins the worker threads.
 pub struct OffchainNode {
     shared: Arc<Shared>,
-    ingest: Option<Sender<IngestMsg>>,
+    /// `None` once shutdown has begun; behind a mutex so
+    /// [`OffchainNode::begin_shutdown`] works through a shared reference
+    /// (e.g. while reader threads still borrow the node).
+    ingest: Mutex<Option<Sender<IngestMsg>>>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl OffchainNode {
     /// Starts an Offchain Node: opens (or recovers) the store under
     /// `data_dir`, restores in-memory state from disk, and spawns the
-    /// batcher and stage-2 committer threads.
+    /// stage-1 pipeline and stage-2 committer threads.
     ///
     /// `root_record` must be a deployed [`wedge_contracts::RootRecord`]
     /// whose `offchain_address` is this node's identity.
@@ -76,7 +119,7 @@ impl OffchainNode {
     ) -> Result<OffchainNode, CoreError> {
         let data_dir = data_dir.as_ref();
         let store = LogStore::open(data_dir.join("log"), config.store.clone())?;
-        let state = state::rebuild_state(&store)?;
+        let mut plane = state::rebuild_state(&store)?;
         let replicator = if config.replicas > 0 {
             Some(Replicator::spawn(
                 data_dir.join("replicas"),
@@ -87,11 +130,55 @@ impl OffchainNode {
         } else {
             None
         };
+
+        // Stage-2 resynchronization after a restart: positions the Root
+        // Record already holds are marked committed; recovered-but-
+        // uncommitted positions are re-queued for commitment (without this,
+        // a crash between stage 1 and stage 2 would leave entries off-chain
+        // forever). The write plane is still thread-private here, so it is
+        // mutated directly; the first published snapshot below already
+        // carries the reconciled state.
+        let (stage2_tx, stage2_rx) = unbounded::<stage2::Stage2Task>();
+        {
+            use wedge_contracts::RootRecord;
+            let onchain_tail = chain
+                .view(root_record, &RootRecord::get_tail_calldata())
+                .ok()
+                .and_then(|out| RootRecord::decode_tail(&out))
+                .unwrap_or(0);
+            let now = chain.clock().now();
+            let recovered = plane.batches.len() as u64;
+            for log_id in 0..recovered.min(onchain_tail) {
+                plane.commits.insert_if_absent(
+                    log_id,
+                    CommitInfo {
+                        tx_hash: wedge_crypto::Hash32::ZERO, // pre-restart tx, unknown
+                        block_number: 0,
+                        stage2_latency: Duration::ZERO,
+                    },
+                );
+            }
+            for log_id in onchain_tail..recovered {
+                let Some(honest_root) = plane.batches.get(log_id as usize).map(|b| b.tree.root())
+                else {
+                    break;
+                };
+                if let Some(root) = stage2::stage2_root_for(config.behavior, log_id, honest_root) {
+                    let _ = stage2_tx.send(stage2::Stage2Task {
+                        log_id,
+                        root,
+                        stage1_done: now,
+                    });
+                }
+            }
+        }
+
         let shared = Arc::new(Shared {
             identity,
             config,
             store,
-            state: RwLock::new(state),
+            read_plane: SnapshotCell::new(plane.freeze()),
+            write_plane: Mutex::new(plane),
             chain,
             root_record,
             stats: Mutex::new(NodeStats::default()),
@@ -99,53 +186,6 @@ impl OffchainNode {
         });
 
         let (ingest_tx, ingest_rx) = unbounded::<IngestMsg>();
-        let (stage2_tx, stage2_rx) = unbounded::<stage2::Stage2Task>();
-
-        // Stage-2 resynchronization after a restart: positions the Root
-        // Record already holds are marked committed; recovered-but-
-        // uncommitted positions are re-queued for commitment (without this,
-        // a crash between stage 1 and stage 2 would leave entries off-chain
-        // forever).
-        {
-            use wedge_contracts::RootRecord;
-            let onchain_tail = shared
-                .chain
-                .view(root_record, &RootRecord::get_tail_calldata())
-                .ok()
-                .and_then(|out| RootRecord::decode_tail(&out))
-                .unwrap_or(0);
-            let now = shared.chain.clock().now();
-            // Collect the re-queue work under the state guard, but send only
-            // after it is released: a send while holding `Shared.state` can
-            // deadlock against the committer and blocks every reader.
-            let tasks: Vec<stage2::Stage2Task> = {
-                let mut state = shared.state.write();
-                let recovered = state.batches.len() as u64;
-                for log_id in 0..recovered.min(onchain_tail) {
-                    state.commits.entry(log_id).or_insert(state::CommitInfo {
-                        tx_hash: wedge_crypto::Hash32::ZERO, // pre-restart tx, unknown
-                        block_number: 0,
-                        stage2_latency: Duration::ZERO,
-                    });
-                }
-                (onchain_tail..recovered)
-                    .filter_map(|log_id| {
-                        let honest_root = state.batches[log_id as usize].tree.root();
-                        stage2::stage2_root_for(shared.config.behavior, log_id, honest_root).map(
-                            |root| stage2::Stage2Task {
-                                log_id,
-                                root,
-                                stage1_done: now,
-                            },
-                        )
-                    })
-                    .collect()
-            };
-            for task in tasks {
-                let _ = stage2_tx.send(task);
-            }
-        }
-
         let batcher_shared = Arc::clone(&shared);
         let batcher = std::thread::Builder::new()
             .name("wedge-batcher".into())
@@ -163,7 +203,7 @@ impl OffchainNode {
 
         Ok(OffchainNode {
             shared,
-            ingest: Some(ingest_tx),
+            ingest: Mutex::new(Some(ingest_tx)),
             handles: vec![batcher, committer],
         })
     }
@@ -197,18 +237,18 @@ impl OffchainNode {
     /// Submits one append request with an arbitrary reply continuation
     /// (invoked exactly once at flush time).
     pub fn submit_with(&self, request: AppendRequest, reply: ReplyFn) -> Result<(), CoreError> {
-        self.ingest
-            .as_ref()
-            .ok_or(CoreError::NodeStopped)?
+        // Clone the sender out of the guard so the send happens lock-free.
+        let sender = self.ingest.lock().clone().ok_or(CoreError::NodeStopped)?;
+        sender
             .send(IngestMsg { request, reply })
             .map_err(|_| CoreError::NodeStopped)
     }
 
-    /// Reads one entry, returning a freshly signed response (paper §4.3,
-    /// read requests carry the same tuple format as append responses).
-    pub fn read(&self, id: EntryId) -> Result<SignedResponse, CoreError> {
-        let state = self.shared.state.read();
-        let meta = state
+    /// Reads one entry from a given snapshot. All multi-entry read paths
+    /// funnel through this with a *single* snapshot so a batch can never
+    /// appear (or vanish) mid-iteration.
+    fn read_on(&self, snap: &Snapshot, id: EntryId) -> Result<SignedResponse, CoreError> {
+        let meta = snap
             .batches
             .get(id.log_id as usize)
             .ok_or(CoreError::EntryNotFound(id))?;
@@ -225,7 +265,6 @@ impl OffchainNode {
             .prove(id.offset as usize)
             .map_err(|_| CoreError::EntryNotFound(id))?;
         let root = meta.tree.root();
-        drop(state);
         if let NodeBehavior::TamperResponses { .. } = self.shared.config.behavior {
             if self.shared.config.behavior.affects(id.log_id) {
                 tamper(&mut leaf);
@@ -240,55 +279,72 @@ impl OffchainNode {
         ))
     }
 
+    /// Reads one entry, returning a freshly signed response (paper §4.3,
+    /// read requests carry the same tuple format as append responses).
+    pub fn read(&self, id: EntryId) -> Result<SignedResponse, CoreError> {
+        self.read_on(&self.shared.snapshot(), id)
+    }
+
     /// Reads a group of entries in one operation (paper §4.2: "a group of
-    /// indices together in one operation").
+    /// indices together in one operation"). The whole group is served from
+    /// one snapshot: entries visible to the first lookup stay visible to
+    /// the last, regardless of concurrent flushes.
     pub fn read_many(&self, ids: &[EntryId]) -> Vec<Result<SignedResponse, CoreError>> {
-        ids.iter().map(|id| self.read(*id)).collect()
+        let snap = self.shared.snapshot();
+        ids.iter().map(|id| self.read_on(&snap, *id)).collect()
     }
 
     /// Looks an entry up by `(publisher, sequence)` (the paper's sequence
-    /// number read path).
+    /// number read path). Lookup and read share one snapshot.
     pub fn read_by_sequence(
         &self,
         publisher: Address,
         sequence: u64,
     ) -> Result<SignedResponse, CoreError> {
-        let id = {
-            let state = self.shared.state.read();
-            *state
-                .seq_index
-                .get(&(publisher, sequence))
-                .ok_or(CoreError::SequenceNotFound {
-                    publisher,
-                    sequence,
-                })?
-        };
-        self.read(id)
+        let snap = self.shared.snapshot();
+        let id = snap
+            .seq
+            .get(publisher, sequence)
+            .ok_or(CoreError::SequenceNotFound {
+                publisher,
+                sequence,
+            })?;
+        self.read_on(&snap, id)
     }
 
-    /// Reads every entry of one log position (the auditor's scan unit).
+    /// Reads every entry of one log position (the auditor's scan unit)
+    /// against one snapshot.
     pub fn read_log_position(&self, log_id: u64) -> Result<Vec<SignedResponse>, CoreError> {
-        let count = {
-            let state = self.shared.state.read();
-            state
-                .batches
-                .get(log_id as usize)
-                .ok_or(CoreError::EntryNotFound(EntryId { log_id, offset: 0 }))?
-                .count
-        };
+        let snap = self.shared.snapshot();
+        let count = snap
+            .batches
+            .get(log_id as usize)
+            .ok_or(CoreError::EntryNotFound(EntryId { log_id, offset: 0 }))?
+            .count;
         (0..count)
-            .map(|offset| self.read(EntryId { log_id, offset }))
+            .map(|offset| self.read_on(&snap, EntryId { log_id, offset }))
             .collect()
     }
 
     /// Number of entries in one log position, if it exists.
     pub fn read_log_position_len(&self, log_id: u64) -> Option<u32> {
         self.shared
-            .state
-            .read()
+            .snapshot()
             .batches
             .get(log_id as usize)
             .map(|b| b.count)
+    }
+
+    /// One-snapshot metadata read: `(log positions, total entries, entry
+    /// count of `log_id` if it exists)`. Backs the wire `Meta` request so a
+    /// single reply is internally consistent.
+    pub fn meta(&self, log_id: u64) -> (u64, u64, Option<u32>) {
+        let snap = self.shared.snapshot();
+        (
+            snap.batches.len() as u64,
+            snap.entry_count,
+            snap.batches.get(log_id as usize).map(|b| b.count),
+        )
     }
 
     /// Extension API: scans `[start, start+count)` within one log position
@@ -300,8 +356,8 @@ impl OffchainNode {
         start: u32,
         count: u32,
     ) -> Result<(Vec<Vec<u8>>, RangeProof, wedge_crypto::Hash32), CoreError> {
-        let state = self.shared.state.read();
-        let meta = state
+        let snap = self.shared.snapshot();
+        let meta = snap
             .batches
             .get(log_id as usize)
             .ok_or(CoreError::EntryNotFound(EntryId {
@@ -328,7 +384,6 @@ impl OffchainNode {
             })?;
         let root = meta.tree.root();
         let first = meta.first_record;
-        drop(state);
         let mut leaves = Vec::with_capacity(count as usize);
         for offset in start..end {
             leaves.push(state::decode_leaf(
@@ -340,10 +395,10 @@ impl OffchainNode {
 
     /// The commit phase of a log position.
     pub fn commit_phase(&self, log_id: u64) -> CommitPhase {
-        let state = self.shared.state.read();
-        if state.commits.contains_key(&log_id) {
+        let snap = self.shared.snapshot();
+        if snap.commits.contains(log_id) {
             CommitPhase::BlockchainCommitted
-        } else if (log_id as usize) < state.batches.len() {
+        } else if (log_id as usize) < snap.batches.len() {
             CommitPhase::OffchainCommitted
         } else {
             CommitPhase::Pending
@@ -352,17 +407,18 @@ impl OffchainNode {
 
     /// Stage-2 info for a committed position.
     pub fn commit_info(&self, log_id: u64) -> Option<CommitInfo> {
-        self.shared.state.read().commits.get(&log_id).copied()
+        self.shared.snapshot().commits.get(log_id)
     }
 
     /// Number of flushed log positions.
     pub fn log_positions(&self) -> u64 {
-        self.shared.state.read().batches.len() as u64
+        self.shared.snapshot().batches.len() as u64
     }
 
-    /// Total entries stored.
+    /// Total entries stored (a running counter in the snapshot — O(1), not
+    /// a sum over batches).
     pub fn entry_count(&self) -> u64 {
-        self.shared.state.read().entry_count()
+        self.shared.snapshot().entry_count
     }
 
     /// The replica fan-out, when configured (exposed for liveness tests and
@@ -383,9 +439,9 @@ impl OffchainNode {
         let start = clock.now();
         loop {
             {
-                let state = self.shared.state.read();
-                let flushed = state.batches.len() as u64;
-                let committed = state.commits.len() as u64;
+                let snap = self.shared.snapshot();
+                let flushed = snap.batches.len() as u64;
+                let committed = snap.commits.len();
                 let omitted = match self.shared.config.behavior {
                     NodeBehavior::OmitStage2 { from_log } => flushed.saturating_sub(from_log),
                     _ => 0,
@@ -396,7 +452,7 @@ impl OffchainNode {
             }
             if clock.now().since(start) > timeout {
                 return Err(CoreError::NotYetBlockchainCommitted {
-                    log_id: self.shared.state.read().commits.len() as u64,
+                    log_id: self.shared.snapshot().commits.len(),
                 });
             }
             clock.sleep(Duration::from_millis(200));
@@ -406,30 +462,56 @@ impl OffchainNode {
     /// Simulates the paper's extreme omission attack (§4.7): destroys the
     /// newest `entries` from local storage and memory. For liveness tests.
     pub fn destroy_tail(&self, entries: u64) -> Result<(), CoreError> {
-        let mut state = self.shared.state.write();
-        let mut remaining = entries;
-        while remaining > 0 {
-            let Some((count, log_id)) = state.batches.last().map(|b| (b.count as u64, b.log_id))
-            else {
-                break;
-            };
-            let take = count.min(remaining);
-            // Partial destruction of a batch is modelled as dropping the
-            // whole batch (+1 for its header record) — simpler and strictly
-            // worse for the node.
-            self.shared.store.truncate_tail(count + 1)?;
-            state.batches.pop();
-            state.commits.remove(&log_id);
-            state.seq_index.retain(|_, id| id.log_id != log_id);
-            remaining = remaining.saturating_sub(take);
+        // Mutate (and publish) the plane first, truncate the store after:
+        // readers racing this call then see a snapshot whose batches are
+        // all still backed by store records. The guard is never held across
+        // the truncation (L6).
+        let records_to_drop = self.shared.mutate(|plane| {
+            let mut remaining = entries;
+            let mut records = 0u64;
+            while remaining > 0 {
+                let Some((count, log_id)) =
+                    plane.batches.last().map(|b| (b.count as u64, b.log_id))
+                else {
+                    break;
+                };
+                let take = count.min(remaining);
+                // Partial destruction of a batch is modelled as dropping the
+                // whole batch (+1 for its header record) — simpler and
+                // strictly worse for the node.
+                plane.batches.pop();
+                plane.entry_count = plane.entry_count.saturating_sub(count);
+                plane.commits.remove(log_id);
+                records += count + 1;
+                remaining = remaining.saturating_sub(take);
+            }
+            if records > 0 {
+                // Batches are popped from the tail, so survivors are exactly
+                // the log ids below the new length.
+                let kept = plane.batches.len() as u64;
+                plane.seq.retain(|id| id.log_id < kept);
+            }
+            records
+        });
+        if records_to_drop > 0 {
+            self.shared.store.truncate_tail(records_to_drop)?;
         }
         Ok(())
+    }
+
+    /// Closes the ingest channel through a shared reference: the stage-1
+    /// pipeline drains every queued request (delivering all replies exactly
+    /// once) and the workers exit. Safe to call while other threads still
+    /// read from the node; call [`OffchainNode::shutdown`] (or drop) to
+    /// join the workers afterwards. Idempotent.
+    pub fn begin_shutdown(&self) {
+        let _ = self.ingest.lock().take();
     }
 
     /// Stops the node: flushes the partial batch, completes queued stage-2
     /// work, joins threads. Called automatically on drop.
     pub fn shutdown(&mut self) {
-        self.ingest = None; // closes the channel; batcher drains and exits
+        self.begin_shutdown();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }

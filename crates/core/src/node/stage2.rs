@@ -228,10 +228,11 @@ impl Committer<'_> {
             .iter()
             .filter_map(|id| self.pending.remove(id))
             .collect();
-        {
-            let mut state = self.shared.state.write();
+        // One write-plane mutation (and one published snapshot) for the
+        // whole group.
+        self.shared.mutate(|plane| {
             for task in &tasks {
-                state.commits.insert(
+                plane.commits.insert(
                     task.log_id,
                     CommitInfo {
                         tx_hash: receipt.tx_hash,
@@ -240,7 +241,7 @@ impl Committer<'_> {
                     },
                 );
             }
-        }
+        });
         let mut stats = self.shared.stats.lock();
         stats.stage2_committed += tasks.len() as u64;
         if charge {

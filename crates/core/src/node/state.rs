@@ -1,17 +1,16 @@
-//! In-memory node state: per-batch metadata, the sequence index, and the
-//! on-disk batch encoding used for recovery.
+//! Per-batch metadata, the on-disk batch encoding, and recovery into the
+//! write plane (see [`super::snapshot`] for the two-plane state itself).
 
-use std::collections::HashMap;
 use std::time::Duration;
 
 use wedge_chain::{Decoder, Encoder, TxHash};
 use wedge_crypto::hash::Hash32;
-use wedge_crypto::keys::Address;
 use wedge_merkle::MerkleTree;
 use wedge_storage::LogStore;
 
+use super::snapshot::WritePlane;
 use crate::error::CoreError;
-use crate::types::{AppendRequest, EntryId};
+use crate::types::AppendRequest;
 
 /// Record-type tags in the backing store.
 const TAG_HEADER: u8 = 0x01;
@@ -39,24 +38,6 @@ pub struct CommitInfo {
     pub block_number: u64,
     /// Simulated latency from stage-1 completion to confirmed stage-2.
     pub stage2_latency: Duration,
-}
-
-/// Mutable node state behind the RwLock.
-#[derive(Default)]
-pub struct NodeState {
-    /// Batch metadata, indexed by `log_id`.
-    pub batches: Vec<BatchMeta>,
-    /// `(publisher, sequence)` → entry locator.
-    pub seq_index: HashMap<(Address, u64), EntryId>,
-    /// Blockchain-committed positions.
-    pub commits: HashMap<u64, CommitInfo>,
-}
-
-impl NodeState {
-    /// Total entries across all batches.
-    pub fn entry_count(&self) -> u64 {
-        self.batches.iter().map(|b| b.count as u64).sum()
-    }
 }
 
 /// Encodes a batch-header record: `(tag, log_id, count, root)`.
@@ -115,11 +96,11 @@ pub fn decode_header(record: &[u8]) -> Option<Header> {
     })
 }
 
-/// Rebuilds the in-memory state from a recovered [`LogStore`] (the node
-/// restart path). An incomplete trailing batch (header persisted, some
-/// leaves torn away) is dropped, mirroring the store's torn-tail semantics.
-pub fn rebuild_state(store: &LogStore) -> Result<NodeState, CoreError> {
-    let mut state = NodeState::default();
+/// Rebuilds the write plane from a recovered [`LogStore`] (the node restart
+/// path). An incomplete trailing batch (header persisted, some leaves torn
+/// away) is dropped, mirroring the store's torn-tail semantics.
+pub fn rebuild_state(store: &LogStore) -> Result<WritePlane, CoreError> {
+    let mut plane = WritePlane::default();
     let total = store.len();
     let mut cursor = 0u64;
     while cursor < total {
@@ -144,26 +125,27 @@ pub fn rebuild_state(store: &LogStore) -> Result<NodeState, CoreError> {
         if tree.root() != header.root {
             return Err(CoreError::RequestRejected("recovered root mismatch"));
         }
-        for (offset, leaf) in leaves.iter().enumerate() {
-            if let Ok(req) = AppendRequest::from_leaf_bytes(leaf) {
-                state.seq_index.insert(
-                    (req.publisher, req.sequence),
-                    EntryId {
-                        log_id: header.log_id,
-                        offset: offset as u32,
-                    },
-                );
-            }
-        }
-        state.batches.push(BatchMeta {
-            log_id: header.log_id,
-            first_record,
-            count: header.count,
-            tree,
-        });
+        let entries: Vec<_> = leaves
+            .iter()
+            .enumerate()
+            .filter_map(|(offset, leaf)| {
+                AppendRequest::from_leaf_bytes(leaf)
+                    .ok()
+                    .map(|req| ((req.publisher, req.sequence), offset as u32))
+            })
+            .collect();
+        plane.register_batch(
+            BatchMeta {
+                log_id: header.log_id,
+                first_record,
+                count: header.count,
+                tree,
+            },
+            entries,
+        );
         cursor = first_record + header.count as u64;
     }
-    Ok(state)
+    Ok(plane)
 }
 
 #[cfg(test)]

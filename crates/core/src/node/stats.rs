@@ -47,6 +47,14 @@ pub struct NodeStats {
     /// Batches that received fewer replica acknowledgements than
     /// configured (a replica is down or lagging).
     pub replication_shortfalls: u64,
+    /// Read-plane snapshots published (one per batch registration, stage-2
+    /// group commit, or destructive mutation).
+    pub snapshot_publishes: u64,
+    /// Times a stage-1 pipeline stage blocked handing a batch downstream
+    /// (the bounded inter-stage queue was full). A persistently high rate
+    /// means the persist/deliver stages are the bottleneck; consider a
+    /// deeper [`crate::NodeConfig::pipeline_depth`].
+    pub pipeline_stalls: u64,
 }
 
 impl NodeStats {

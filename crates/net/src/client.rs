@@ -269,6 +269,19 @@ impl LogService for RemoteNode {
             _ => 0,
         }
     }
+
+    fn meta(&self, log_id: u64) -> (u64, u64, Option<u32>) {
+        // One round trip instead of three; the server answers from one
+        // snapshot, so the triple is internally consistent.
+        match self.rpc(Request::Meta { log_id }) {
+            Ok(Reply::Meta {
+                positions,
+                entries,
+                position_len,
+            }) => (positions, entries, position_len),
+            _ => (0, 0, None),
+        }
+    }
 }
 
 impl Drop for RemoteNode {

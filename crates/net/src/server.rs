@@ -7,7 +7,7 @@
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -21,6 +21,7 @@ use crate::wire::{decode_request_frame, send_reply, Reply, Request};
 pub struct NodeServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    dropped_connections: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -32,6 +33,8 @@ impl NodeServer {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let dropped_connections = Arc::new(AtomicU64::new(0));
+        let dropped = Arc::clone(&dropped_connections);
         let accept_thread = std::thread::Builder::new()
             .name("wedge-net-accept".into())
             .spawn(move || {
@@ -41,12 +44,21 @@ impl NodeServer {
                         Ok((stream, _peer)) => {
                             let service = Arc::clone(&service);
                             let stop = Arc::clone(&stop_flag);
-                            workers.push(
-                                std::thread::Builder::new()
-                                    .name("wedge-net-conn".into())
-                                    .spawn(move || serve_connection(stream, service, stop))
-                                    .expect("spawn connection handler"),
-                            );
+                            let spawned = std::thread::Builder::new()
+                                .name("wedge-net-conn".into())
+                                .spawn(move || serve_connection(stream, service, stop));
+                            match spawned {
+                                Ok(handle) => workers.push(handle),
+                                Err(_) => {
+                                    // Thread spawn failed (resource
+                                    // exhaustion). Shed this connection —
+                                    // the stream closes on drop, the client
+                                    // sees EOF and can retry — instead of
+                                    // panicking the accept loop and taking
+                                    // the whole endpoint down.
+                                    dropped.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(10));
@@ -64,6 +76,7 @@ impl NodeServer {
         Ok(NodeServer {
             local_addr,
             stop,
+            dropped_connections,
             accept_thread: Some(accept_thread),
         })
     }
@@ -71,6 +84,12 @@ impl NodeServer {
     /// The bound address (with the resolved port).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Connections shed because their handler thread could not be spawned
+    /// (resource exhaustion on the serving host).
+    pub fn dropped_connections(&self) -> u64 {
+        self.dropped_connections.load(Ordering::Relaxed)
     }
 
     /// Stops accepting and joins the accept thread. Existing connections
@@ -250,11 +269,15 @@ fn handle(
             },
             Err(e) => Reply::Error(e.to_string()),
         },
-        Request::Meta { log_id } => Reply::Meta {
-            positions: service.positions(),
-            entries: service.entries(),
-            position_len: service.position_len(log_id),
-        },
+        Request::Meta { log_id } => {
+            // One `meta` call so the three values come from one snapshot.
+            let (positions, entries, position_len) = service.meta(log_id);
+            Reply::Meta {
+                positions,
+                entries,
+                position_len,
+            }
+        }
     };
     let _ = reply_tx.send((req_id, reply));
 }

@@ -16,13 +16,20 @@
 //!   [`ct_eq`](../wedge_crypto/ct/index.html); `==` short-circuits and
 //!   leaks timing.
 //! * **L4 `unsafe`** — every crate root carries `#![forbid(unsafe_code)]`.
-//! * **L5 `lock`** — no lock guard taken from `Shared.state`/`Shared.stats`
-//!   may be held across a channel `send()` in `crates/core/src/node/`
-//!   (deadlock/latency hazard in the batcher→stage2 pipeline).
+//! * **L5 `lock`** — no lock guard taken from `Shared.stats` may be held
+//!   across a channel `send()` in `crates/core/src/node/` (deadlock/latency
+//!   hazard in the stage-1→stage-2 pipeline).
+//! * **L6 `plane`** — no write-plane guard (a `Shared.write_plane` lock, or
+//!   the closure body of a `Shared::mutate(..)` call) may cover storage
+//!   I/O (`.store.`), replication (`.replicate_sync(`), signing
+//!   (`::sign(`), or a channel `send()` in `crates/core/src/node/`. The
+//!   write plane serializes snapshot publication; I/O under it stalls every
+//!   writer and delays what readers see.
 //!
 //! A finding is suppressed per-site with a trailing or preceding comment of
 //! the form `// lint: allow(<name>) — <reason>` where `<name>` is one of
-//! `panic`, `arith`, `ct`, `unsafe`, `lock` and the reason is mandatory.
+//! `panic`, `arith`, `ct`, `unsafe`, `lock`, `plane` and the reason is
+//! mandatory.
 //!
 //! Run with `cargo run -p xtask -- lint`.
 
@@ -46,12 +53,15 @@ pub enum Lint {
     ConstantTime,
     /// L4: `#![forbid(unsafe_code)]` on every crate root.
     ForbidUnsafe,
-    /// L5: no `Shared.state`/`Shared.stats` guard held across `send()`.
+    /// L5: no `Shared.stats` guard held across `send()`.
     LockAcrossSend,
+    /// L6: no write-plane guard (or `Shared::mutate` closure) covering
+    /// storage I/O, replication, signing, or a channel send.
+    WritePlaneAcrossIo,
 }
 
 impl Lint {
-    /// Short code used in diagnostics (`L1`..`L5`).
+    /// Short code used in diagnostics (`L1`..`L6`).
     pub fn code(self) -> &'static str {
         match self {
             Lint::Panic => "L1",
@@ -59,6 +69,7 @@ impl Lint {
             Lint::ConstantTime => "L3",
             Lint::ForbidUnsafe => "L4",
             Lint::LockAcrossSend => "L5",
+            Lint::WritePlaneAcrossIo => "L6",
         }
     }
 
@@ -70,6 +81,7 @@ impl Lint {
             Lint::ConstantTime => "ct",
             Lint::ForbidUnsafe => "unsafe",
             Lint::LockAcrossSend => "lock",
+            Lint::WritePlaneAcrossIo => "plane",
         }
     }
 }
@@ -614,11 +626,23 @@ pub fn lint_forbid_unsafe(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnostic> 
     }
 }
 
-/// L5: no `Shared.state`/`Shared.stats` guard held across a channel
-/// `send()` in the node pipeline.
-pub fn lint_lock_across_send(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnostic> {
+/// The shared L5/L6 engine: tracks *guard regions* — let-bound lock guards
+/// (`let g = <expr ending in a guard needle>;`), plus multi-line call
+/// regions opened by an `opener` needle (e.g. a `Shared::mutate(..)`
+/// closure body) — and flags any `op` needle occurring while a region is
+/// live. Regions retire on scope exit or explicit `drop(guard)`.
+#[allow(clippy::too_many_arguments)]
+fn lint_guard_regions(
+    file: &Path,
+    lines: &[MaskedLine],
+    lint: Lint,
+    guard_needles: &[&str],
+    openers: &[&str],
+    ops: &[&str],
+    message: &dyn Fn(&str, &str) -> String,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    // (guard name, brace depth where it was bound)
+    // (guard/region name, brace depth where it was bound)
     let mut live: Vec<(String, usize)> = Vec::new();
     let mut prev_depth = 0usize;
 
@@ -629,7 +653,7 @@ pub fn lint_lock_across_send(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnosti
         }
         let code = &line.code;
 
-        // Scope exit kills guards bound deeper than the current depth.
+        // Scope exit kills regions bound deeper than the current depth.
         live.retain(|(_, depth)| *depth <= line.depth_end.min(prev_depth));
 
         // Explicit `drop(guard)`.
@@ -639,36 +663,28 @@ pub fn lint_lock_across_send(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnosti
             }
         }
 
-        // A guard is only *held* when the lock call is the whole RHS
-        // (`let g = shared.state.write();`); with a trailing field/method
-        // access the guard is a temporary dropped at end of statement.
-        let takes_guard = [".state.read()", ".state.write()", ".stats.lock()"]
-            .iter()
-            .any(|needle| {
-                code.find(needle)
-                    .is_some_and(|pos| code[pos + needle.len()..].trim() == ";")
-            })
-            && code.trim_start().starts_with("let ");
-        let sends = code.contains(".send(");
-
-        if sends {
-            if let Some((name, _)) = live.first() {
-                if !allowed(lines, idx, Lint::LockAcrossSend) {
+        // Ops while a region is live (at most one finding per line).
+        if let Some((name, _)) = live.first() {
+            if let Some(op) = ops.iter().find(|op| code.contains(*op)) {
+                if !allowed(lines, idx, lint) {
                     diags.push(Diagnostic {
                         file: file.to_path_buf(),
                         line: idx + 1,
-                        lint: Lint::LockAcrossSend,
-                        message: format!(
-                            "channel `send()` while the `{name}` guard (Shared.state/\
-                             Shared.stats) is held risks deadlock and blocks readers; \
-                             drop the guard first (suppress with \
-                             `// lint: allow(lock) — <reason>`)"
-                        ),
+                        lint,
+                        message: message(name, op),
                     });
                 }
             }
         }
 
+        // A guard is only *held* when the lock call is the whole RHS
+        // (`let g = shared.write_plane.lock();`); with a trailing field/
+        // method access the guard is a temporary dropped at end of
+        // statement.
+        let takes_guard = guard_needles.iter().any(|needle| {
+            code.find(needle)
+                .is_some_and(|pos| code[pos + needle.len()..].trim() == ";")
+        }) && code.trim_start().starts_with("let ");
         if takes_guard {
             // `let mut name = ...` / `let name = ...`
             let after_let = code.trim_start().trim_start_matches("let ").trim_start();
@@ -682,9 +698,94 @@ pub fn lint_lock_across_send(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnosti
             }
         }
 
+        // Call regions: a call like `shared.mutate(|plane| {` that does not
+        // close on this line holds its implicit guard until the closure's
+        // braces unwind. A call closed on the same line is checked inline.
+        for opener in openers {
+            let Some(pos) = code.find(opener) else {
+                continue;
+            };
+            let after = &code[pos + opener.len()..];
+            let mut paren_depth = 1i32;
+            let mut close = None;
+            for (j, c) in after.char_indices() {
+                match c {
+                    '(' => paren_depth += 1,
+                    ')' => {
+                        paren_depth -= 1;
+                        if paren_depth == 0 {
+                            close = Some(j);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let region = opener.trim_matches(['.', '(']);
+            match close {
+                Some(j) => {
+                    // Single-line call: check the argument span directly.
+                    let span = &after[..j];
+                    if let Some(op) = ops.iter().find(|op| span.contains(*op)) {
+                        if !allowed(lines, idx, lint) {
+                            diags.push(Diagnostic {
+                                file: file.to_path_buf(),
+                                line: idx + 1,
+                                lint,
+                                message: message(region, op),
+                            });
+                        }
+                    }
+                }
+                None => live.push((region.to_string(), line.depth_end)),
+            }
+        }
+
         prev_depth = line.depth_end;
     }
     diags
+}
+
+/// L5: no `Shared.stats` guard held across a channel `send()` in the node
+/// pipeline.
+pub fn lint_lock_across_send(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnostic> {
+    lint_guard_regions(
+        file,
+        lines,
+        Lint::LockAcrossSend,
+        &[".stats.lock()"],
+        &[],
+        &[".send("],
+        &|name, _op| {
+            format!(
+                "channel `send()` while the `{name}` guard (Shared.stats) is held \
+                 risks deadlock and blocks readers; drop the guard first (suppress \
+                 with `// lint: allow(lock) — <reason>`)"
+            )
+        },
+    )
+}
+
+/// L6: no write-plane guard — a `Shared.write_plane` lock guard or the
+/// closure body of a `Shared::mutate(..)` call — may cover storage I/O,
+/// replication, signing, or a channel send. Publication of the read-plane
+/// snapshot is serialized by this guard; I/O under it stalls every writer.
+pub fn lint_write_plane_across_io(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnostic> {
+    lint_guard_regions(
+        file,
+        lines,
+        Lint::WritePlaneAcrossIo,
+        &[".write_plane.lock()"],
+        &[".mutate("],
+        &[".store.", ".replicate_sync(", "::sign(", ".send("],
+        &|name, op| {
+            format!(
+                "`{op}..` inside the write-plane region `{name}` stalls every writer \
+                 and delays snapshot publication; do the I/O before or after the \
+                 mutation (suppress with `// lint: allow(plane) — <reason>`)"
+            )
+        },
+    )
 }
 
 /// Which lints run on a file.
@@ -700,6 +801,8 @@ pub struct LintSet {
     pub ct: bool,
     /// Run L5.
     pub lock: bool,
+    /// Run L6.
+    pub plane: bool,
 }
 
 /// Lints one file's source text with the given lint set.
@@ -717,6 +820,9 @@ pub fn lint_source(file: &Path, text: &str, set: LintSet) -> Vec<Diagnostic> {
     }
     if set.lock {
         diags.extend(lint_lock_across_send(file, &lines));
+    }
+    if set.plane {
+        diags.extend(lint_write_plane_across_io(file, &lines));
     }
     diags
 }
@@ -758,6 +864,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
                 arith: *crate_name == "chain",
                 ct: *crate_name == "crypto",
                 lock: in_node,
+                plane: in_node,
             };
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
             diags.extend(lint_source(&rel, &text, set));
@@ -801,6 +908,7 @@ mod tests {
         arith: false,
         ct: false,
         lock: false,
+        plane: false,
     };
 
     #[test]
@@ -896,10 +1004,60 @@ mod tests {
             "fn f() {\n    let st = shared.stats.lock();\n    drop(st);\n    tx.send(1);\n}\n";
         assert!(lint_str(dropped, set).is_empty());
         let scoped =
-            "fn f() {\n    {\n        let st = shared.state.read();\n    }\n    tx.send(1);\n}\n";
+            "fn f() {\n    {\n        let st = shared.stats.lock();\n    }\n    tx.send(1);\n}\n";
         assert!(lint_str(scoped, set).is_empty());
         let temp = "fn f() {\n    shared.stats.lock().x += 1;\n    tx.send(1);\n}\n";
         assert!(lint_str(temp, set).is_empty());
+    }
+
+    #[test]
+    fn plane_rules_guard_bindings() {
+        let set = LintSet {
+            plane: true,
+            ..Default::default()
+        };
+        let bad = "fn f() {\n    let plane = shared.write_plane.lock();\n    \
+                   shared.store.append(x);\n}\n";
+        let diags = lint_str(bad, set);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint.code(), "L6");
+        let dropped = "fn f() {\n    let plane = shared.write_plane.lock();\n    \
+                       drop(plane);\n    shared.store.append(x);\n}\n";
+        assert!(lint_str(dropped, set).is_empty());
+        let temp = "fn f() {\n    let n = shared.write_plane.lock().batches.len();\n    \
+                    shared.store.append(x);\n}\n";
+        assert!(lint_str(temp, set).is_empty());
+        for op in ["r.replicate_sync(x);", "Resp::sign(k);", "tx.send(1);"] {
+            let src =
+                format!("fn f() {{\n    let plane = shared.write_plane.lock();\n    {op}\n}}\n");
+            assert_eq!(lint_str(&src, set).len(), 1, "op `{op}` must be flagged");
+        }
+    }
+
+    #[test]
+    fn plane_rules_mutate_regions() {
+        let set = LintSet {
+            plane: true,
+            ..Default::default()
+        };
+        // Multi-line mutate closure doing storage I/O.
+        let bad = "fn f() {\n    shared.mutate(|plane| {\n        \
+                   shared.store.truncate(n);\n    });\n}\n";
+        assert_eq!(lint_str(bad, set).len(), 1);
+        // I/O after the closure has closed is fine.
+        let after = "fn f() {\n    shared.mutate(|plane| {\n        plane.push(x);\n    });\n    \
+                     shared.store.truncate(n);\n}\n";
+        assert!(lint_str(after, set).is_empty());
+        // Single-line mutate calls are checked inline.
+        let inline_bad = "fn f() { shared.mutate(|plane| plane.set(shared.store.len())); }\n";
+        assert_eq!(lint_str(inline_bad, set).len(), 1);
+        let inline_ok = "fn f() { shared.mutate(|plane| plane.bump()); }\n";
+        assert!(lint_str(inline_ok, set).is_empty());
+        // The allow comment suppresses with a reason.
+        let allowed = "fn f() {\n    shared.mutate(|plane| {\n        \
+                       // lint: allow(plane) — test fixture\n        \
+                       shared.store.truncate(n);\n    });\n}\n";
+        assert!(lint_str(allowed, set).is_empty());
     }
 
     #[test]

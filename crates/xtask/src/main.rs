@@ -45,7 +45,7 @@ fn main() -> ExitCode {
                 println!("{diag}");
             }
             if diags.is_empty() {
-                println!("wedge-lint: clean (L1–L5)");
+                println!("wedge-lint: clean (L1–L6)");
                 ExitCode::SUCCESS
             } else {
                 eprintln!("wedge-lint: {} violation(s)", diags.len());
@@ -55,7 +55,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: cargo run -p xtask -- lint [--root <path>]");
             eprintln!();
-            eprintln!("  lint    run the wedge-lint static-analysis pass (L1–L5)");
+            eprintln!("  lint    run the wedge-lint static-analysis pass (L1–L6)");
             ExitCode::FAILURE
         }
     }

@@ -69,13 +69,19 @@ fn seeded_violations_fail_with_diagnostics() {
          \x20   balance + fee\n\
          }\n",
     );
-    // L5: channel send while a Shared.state guard is held, in the node dir.
+    // L5: channel send while a Shared.stats guard is held, in the node dir.
+    // L6: write-plane guard held across storage I/O, in the same file.
     write(
         &root,
         "crates/core/src/node/mod.rs",
         "fn requeue(shared: &Shared, tx: Sender<u64>) {\n\
-         \x20   let state = shared.state.write();\n\
-         \x20   let _ = tx.send(state.len() as u64);\n\
+         \x20   let stats = shared.stats.lock();\n\
+         \x20   let _ = tx.send(stats.flushed_batches);\n\
+         }\n\
+         fn persist(shared: &Shared) {\n\
+         \x20   let plane = shared.write_plane.lock();\n\
+         \x20   shared.store.sync();\n\
+         \x20   drop(plane);\n\
          }\n",
     );
 
@@ -83,7 +89,7 @@ fn seeded_violations_fail_with_diagnostics() {
     assert!(!out.status.success(), "seeded workspace must fail the lint");
     let stdout = String::from_utf8_lossy(&out.stdout);
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for code in ["[L1]", "[L2]", "[L3]", "[L4]", "[L5]"] {
+    for code in ["[L1]", "[L2]", "[L3]", "[L4]", "[L5]", "[L6]"] {
         assert!(
             stdout.contains(code),
             "missing {code} diagnostic in:\n{stdout}"
@@ -126,8 +132,14 @@ fn clean_fixture_passes() {
         &root,
         "crates/core/src/node/mod.rs",
         "fn requeue(shared: &Shared, tx: Sender<u64>) {\n\
-         \x20   let len = { shared.state.write().len() as u64 };\n\
+         \x20   let len = { shared.stats.lock().flushed_batches };\n\
          \x20   let _ = tx.send(len);\n\
+         }\n\
+         fn persist(shared: &Shared) {\n\
+         \x20   let plane = shared.write_plane.lock();\n\
+         \x20   drop(plane);\n\
+         \x20   shared.store.sync();\n\
+         \x20   shared.mutate(|plane| plane.entry_count += 1);\n\
          }\n",
     );
 

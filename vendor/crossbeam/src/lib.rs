@@ -104,6 +104,14 @@ pub mod channel {
     /// Carries the unsent message.
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]. Carries the unsent message.
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity; receivers still connected.
+        Full(T),
+        /// Every receiver dropped.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +138,24 @@ pub mod channel {
     impl<T> fmt::Debug for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
         }
     }
 
@@ -164,6 +190,7 @@ pub mod channel {
     }
 
     impl<T> std::error::Error for SendError<T> {}
+    impl<T> std::error::Error for TrySendError<T> {}
     impl std::error::Error for RecvError {}
     impl std::error::Error for TryRecvError {}
     impl std::error::Error for RecvTimeoutError {}
@@ -219,6 +246,21 @@ pub mod channel {
                     Err(poisoned) => poisoned.into_inner(),
                 };
             }
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] instead of
+        /// blocking when a bounded channel is at capacity.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = lock(&self.0);
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if state.cap.is_some_and(|c| state.items.len() >= c) {
+                return Err(TrySendError::Full(msg));
+            }
+            state.items.push_back(msg);
+            self.0.not_empty.notify_one();
+            Ok(())
         }
     }
 
@@ -383,6 +425,18 @@ mod tests {
         assert_eq!(rx.recv().expect("recv"), 1);
         handle.join().expect("no panic").expect("second sent");
         assert_eq!(rx.recv().expect("recv"), 2);
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        use crate::channel::TrySendError;
+        let (tx, rx) = crate::channel::bounded(1);
+        tx.try_send(1).expect("fits");
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv().expect("recv"), 1);
+        tx.try_send(3).expect("fits after drain");
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
     }
 
     #[test]
