@@ -5,8 +5,8 @@
 //! cargo run -p wedge-bench --release --bin repro -- fig3
 //! ```
 //!
-//! Experiments: `fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 punish latency
-//! faults reads`.
+//! Experiments: `fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 stage1 punish
+//! latency faults reads`.
 //! Results are printed and also written to `results/<exp>.md`.
 
 use std::time::Instant;
@@ -33,6 +33,7 @@ fn run(name: &str, profile: Profile) {
         "fig8" => harness::fig8(profile),
         "fig9" => harness::fig9(profile),
         "table1" => harness::table1(profile),
+        "stage1" => harness::stage1(profile),
         "punish" => harness::punishment_economics(),
         "latency" => harness::latency_ablation(profile),
         "faults" => harness::fault_tolerance(profile),
@@ -63,8 +64,8 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     let all = [
-        "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "reads", "punish",
-        "latency", "faults",
+        "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "reads", "stage1",
+        "punish", "latency", "faults",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets == ["all"] {
         all.to_vec()

@@ -772,6 +772,262 @@ pub fn fault_tolerance(profile: Profile) -> Table {
     table
 }
 
+/// One persist-path configuration for the `stage1` experiment.
+struct PersistPathConfig {
+    label: &'static str,
+    sync: wedge_storage::SyncPolicy,
+    overlap: bool,
+    merkle_cutoff: usize,
+}
+
+/// Drives the node's persist+deliver stages directly against a
+/// [`wedge_storage::LogStore`] + 2-replica [`wedge_storage::Replicator`]:
+/// a producer thread hashes (Merkle), replicates, and appends batches while
+/// a consumer thread enforces the reply-release rule (`ensure_durable`) a
+/// couple of batches behind, exactly like the pipelined deliver stage.
+/// Returns (records/s, sync stats).
+fn run_persist_path(
+    tag: &str,
+    batch_size: usize,
+    batches: usize,
+    cfg: &PersistPathConfig,
+) -> (f64, wedge_storage::SyncStats) {
+    use wedge_storage::{LogStore, Replicator, StoreConfig, SyncPolicy};
+
+    let dir = std::env::temp_dir().join(format!("wedge-stage1-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(
+        LogStore::open(
+            dir.join("store"),
+            StoreConfig {
+                sync: cfg.sync,
+                ..Default::default()
+            },
+        )
+        .expect("open store"),
+    );
+    let replicator = Replicator::spawn(
+        &dir,
+        2,
+        StoreConfig {
+            sync: SyncPolicy::Never,
+            ..Default::default()
+        },
+        Duration::from_micros(200),
+    )
+    .expect("spawn replicas");
+    let pool = wedge_pool::WorkPool::with_available_parallelism();
+    let payloads = Arc::new(kv_payloads(batch_size, KEY_SIZE, VALUE_SIZE, 0x57a6e1));
+    let total = batch_size * batches;
+
+    let (release_tx, release_rx) = crossbeam::channel::bounded::<u64>(2);
+    let started = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        let producer_store = Arc::clone(&store);
+        let payloads = Arc::clone(&payloads);
+        let replicator = &replicator;
+        let pool = &pool;
+        scope.spawn(move |_| {
+            for _ in 0..batches {
+                let tree = wedge_merkle::MerkleTree::from_leaves_parallel(
+                    &payloads[..],
+                    pool,
+                    cfg.merkle_cutoff,
+                )
+                .expect("non-empty batch");
+                std::hint::black_box(tree.root());
+                let first = if cfg.overlap {
+                    // Replicas chew on the batch while we pay the local
+                    // append (+ any covering fsync): cost = max, not sum.
+                    let handle = replicator.replicate_begin(Arc::clone(&payloads));
+                    let first = producer_store
+                        .append_batch(&payloads[..])
+                        .expect("append batch");
+                    handle.wait();
+                    first
+                } else {
+                    // Pre-PR shape: local persist, then replication, each
+                    // paid in full (including the per-batch clone the old
+                    // sequential path made for the replicas).
+                    let first = producer_store
+                        .append_batch(&payloads[..])
+                        .expect("append batch");
+                    replicator.replicate_sync((*payloads).clone());
+                    first
+                };
+                if release_tx.send(first + batch_size as u64 - 1).is_err() {
+                    return;
+                }
+            }
+        });
+        // Consumer (deliver stage): the reply-release gate.
+        while let Ok(last_record) = release_rx.recv() {
+            store.ensure_durable(last_record).expect("durability");
+        }
+    })
+    .expect("persist-path threads");
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let stats = store.sync_stats();
+    let _ = std::fs::remove_dir_all(&dir);
+    (total as f64 / elapsed, stats)
+}
+
+/// Extra (not in the paper): the stage-1 hardware-speed path introduced by
+/// this PR — parallel Merkle construction, replication overlapped with local
+/// durability, and fsync group-commit — measured two ways:
+///
+/// * **persist path** rows drive the storage + replication layers directly
+///   (no signing, no chain) and compare the pre-PR durable configuration
+///   (fsync per batch, sequential replication, serial Merkle) against the
+///   PR's (group commit, overlapped replication, parallel Merkle);
+/// * **end-to-end** rows run the full node + publisher and compare the
+///   pre-PR pipeline shape (sequential replication, serial Merkle) against
+///   the PR's, plus a durable-replies variant under group commit.
+pub fn stage1(profile: Profile) -> Table {
+    use wedge_storage::SyncPolicy;
+
+    let mut table = Table {
+        title: "Stage-1 hardware-speed path (extension) — parallel Merkle, \
+                overlapped replication, fsync group-commit"
+            .into(),
+        headers: vec![
+            "scenario".into(),
+            "batch".into(),
+            "throughput (ops/s)".into(),
+            "vs pre-PR".into(),
+            "fsyncs".into(),
+            "coalesced".into(),
+            "repl overlap (ms)".into(),
+            "merkle par chunks".into(),
+        ],
+        rows: Vec::new(),
+    };
+
+    let batch_sizes = [256usize, 1000, 2000];
+
+    // --- Persist-path rows: durable stage-1, storage layer head-to-head.
+    let pre = PersistPathConfig {
+        label: "persist path — pre-PR (fsync/batch, sequential repl, serial merkle)",
+        sync: SyncPolicy::Always,
+        overlap: false,
+        merkle_cutoff: usize::MAX,
+    };
+    let post = PersistPathConfig {
+        label: "persist path — this PR (group commit, overlapped repl, parallel merkle)",
+        sync: SyncPolicy::GroupCommit {
+            max_batches: 4,
+            max_delay: Duration::from_millis(2),
+        },
+        overlap: true,
+        merkle_cutoff: 256,
+    };
+    for &batch in &batch_sizes {
+        let batches = profile.scale(64, 12);
+        let (pre_rate, pre_stats) = run_persist_path(&format!("pre-{batch}"), batch, batches, &pre);
+        let (post_rate, post_stats) =
+            run_persist_path(&format!("post-{batch}"), batch, batches, &post);
+        table.rows.push(vec![
+            pre.label.into(),
+            batch.to_string(),
+            format!("{pre_rate:.0}"),
+            "1.00×".into(),
+            pre_stats.fsyncs.to_string(),
+            pre_stats.fsyncs_coalesced.to_string(),
+            "—".into(),
+            "—".into(),
+        ]);
+        table.rows.push(vec![
+            post.label.into(),
+            batch.to_string(),
+            format!("{post_rate:.0}"),
+            format!("{:.2}×", post_rate / pre_rate.max(1e-9)),
+            post_stats.fsyncs.to_string(),
+            post_stats.fsyncs_coalesced.to_string(),
+            "—".into(),
+            "—".into(),
+        ]);
+    }
+
+    // --- End-to-end rows: full node + publisher, stage-1 throughput.
+    for &batch in &batch_sizes {
+        let n = profile.scale(batch * 10, (batch * 2).max(2000));
+        let mut pre_rate = 0.0;
+        for (label, overlap, cutoff, sync) in [
+            (
+                "end-to-end — pre-PR (sequential repl, serial merkle)",
+                false,
+                usize::MAX,
+                SyncPolicy::OnRotate,
+            ),
+            (
+                "end-to-end — this PR (overlapped repl, parallel merkle)",
+                true,
+                256usize,
+                SyncPolicy::OnRotate,
+            ),
+            (
+                "end-to-end — this PR + durable replies (group commit)",
+                true,
+                256,
+                SyncPolicy::GroupCommit {
+                    max_batches: 8,
+                    max_delay: Duration::from_millis(2),
+                },
+            ),
+        ] {
+            let config = NodeConfig {
+                batch_size: batch,
+                batch_linger: Duration::from_millis(30),
+                verify_requests: false,
+                replicas: 2,
+                overlap_replication: overlap,
+                merkle_parallel_cutoff: cutoff,
+                store: wedge_storage::StoreConfig {
+                    sync,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            // Best-of-N: a shared box makes single runs noisy; the best run
+            // is the least-perturbed measurement of the pipeline itself.
+            let repeats = profile.scale(3, 2);
+            let mut rate = 0.0;
+            let mut stats = None;
+            for rep in 0..repeats {
+                let mut world = World::new(
+                    &format!("stage1-{batch}-{rep}-{label}"),
+                    config.clone(),
+                    2000.0,
+                );
+                let payloads = kv_payloads(n, KEY_SIZE, VALUE_SIZE, 0x57a6e2);
+                let outcome = world.publisher.append_batch(payloads).expect("append");
+                world.settle();
+                let elapsed = outcome.last_response.as_secs_f64().max(1e-9);
+                let rep_rate = n as f64 / elapsed;
+                if rep_rate > rate {
+                    rate = rep_rate;
+                    stats = Some(world.node.stats());
+                }
+            }
+            let stats = stats.expect("at least one repeat");
+            if pre_rate == 0.0 {
+                pre_rate = rate;
+            }
+            table.rows.push(vec![
+                label.into(),
+                batch.to_string(),
+                format!("{rate:.0}"),
+                format!("{:.2}×", rate / pre_rate.max(1e-9)),
+                "—".into(),
+                stats.fsyncs_coalesced.to_string(),
+                format!("{:.2}", stats.replication_overlap_ns as f64 / 1e6),
+                stats.merkle_par_chunks.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
 /// Extra (not in the paper): end-to-end punishment cost — what a client pays
 /// in gas to prove a lie, and what it recovers.
 pub fn punishment_economics() -> Table {

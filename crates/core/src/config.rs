@@ -126,6 +126,15 @@ pub struct NodeConfig {
     pub replicas: usize,
     /// Per-batch link delay towards each replica.
     pub replica_link_delay: Duration,
+    /// Start replica sends *before* the local `append_batch` + fsync and
+    /// join both afterwards, so the persist stage pays
+    /// max(local, replication) instead of the sum. Disable to reproduce the
+    /// sequential (pre-overlap) persist stage.
+    pub overlap_replication: bool,
+    /// Leaf/level count at or above which Merkle construction uses the
+    /// shared work pool; below it the serial builder wins on thread-spawn
+    /// overhead. `usize::MAX` forces the serial builder.
+    pub merkle_parallel_cutoff: usize,
     /// Storage engine settings.
     pub store: StoreConfig,
 }
@@ -147,6 +156,8 @@ impl Default for NodeConfig {
             response_latency: LatencyModel::Zero,
             replicas: 0,
             replica_link_delay: Duration::from_micros(200),
+            overlap_replication: true,
+            merkle_parallel_cutoff: 256,
             store: StoreConfig::default(),
         }
     }

@@ -8,13 +8,17 @@
 //!
 //! 1. **collect** — batch requests, verify publisher signatures
 //!    (parallel), reject invalid ones;
-//! 2. **persist** — build the batch's Merkle tree, persist header + leaves
-//!    to the local store (link #2 of Figure 2), fan out to replicas;
-//! 3. **deliver** — sign one response per request (parallel), register the
-//!    batch in the write plane (publishing a new read snapshot), deliver
-//!    the replies (completing link #1 — stage-1 / off-chain commitment),
-//!    and hand the `(log_id, MRoot)` pair to the stage-2 committer
-//!    (link #3).
+//! 2. **persist** — build the batch's Merkle tree (parallel above
+//!    [`crate::NodeConfig::merkle_parallel_cutoff`]), kick off the replica
+//!    fan-out, persist header + leaves to the local store (link #2 of
+//!    Figure 2) while the replicas work, then join both — the stage pays
+//!    max(local, replication) instead of the sum;
+//! 3. **deliver** — sign one response per request (parallel), wait for the
+//!    fsync covering the batch (instant except under
+//!    [`wedge_storage::SyncPolicy::GroupCommit`]), register the batch in
+//!    the write plane (publishing a new read snapshot), deliver the
+//!    replies (completing link #1 — stage-1 / off-chain commitment), and
+//!    hand the `(log_id, MRoot)` pair to the stage-2 committer (link #3).
 //!
 //! Shutdown drains exactly-once by construction: when the ingest channel
 //! disconnects, collect flushes its partial batch and drops its sender;
@@ -31,7 +35,6 @@ use wedge_merkle::MerkleTree;
 
 use crate::config::NodeBehavior;
 use crate::types::{EntryId, SignedResponse};
-use crate::util::parallel_map;
 
 use super::stage2::Stage2Task;
 use super::state::{encode_header, encode_leaf, BatchMeta};
@@ -125,9 +128,7 @@ fn verify_and_forward(
     if shared.config.verify_requests {
         let requests: Vec<&crate::types::AppendRequest> =
             batch.iter().map(|m| &m.request).collect();
-        let verdicts = parallel_map(&requests, shared.config.worker_threads, |req| {
-            req.verify().is_ok()
-        });
+        let verdicts = shared.pool.map(&requests, |req| req.verify().is_ok());
         let mut kept = Vec::with_capacity(batch.len());
         let mut rejected = Vec::new();
         for (msg, ok) in batch.into_iter().zip(verdicts) {
@@ -177,24 +178,51 @@ fn persist_stage(
     // state. Registration (deliver stage) trails this counter by at most
     // the pipeline depth.
     let mut next_log_id = shared.snapshot().batches.len() as u64;
+    let cutoff = shared.config.merkle_parallel_cutoff;
     while let Ok(VerifiedBatch { msgs, leaves }) = persist_rx.recv() {
         // `msgs` was checked non-empty by the collect stage, the only
-        // failure mode of `from_leaves`.
-        // lint: allow(panic) — non-empty batch invariant upheld upstream
-        let tree = MerkleTree::from_leaves(&leaves).expect("non-empty batch");
+        // failure mode of the builder.
+        let (tree, par_chunks) =
+            MerkleTree::from_leaves_parallel_counted(&leaves, &shared.pool, cutoff)
+                // lint: allow(panic) — non-empty batch invariant upheld upstream
+                .expect("non-empty batch");
         let root = tree.root();
         let log_id = next_log_id;
 
         let mut records = Vec::with_capacity(leaves.len() + 1);
         records.push(encode_header(log_id, leaves.len() as u32, &root));
         records.extend(leaves.iter().map(|l| encode_leaf(l)));
-        let outcome = match shared.store.append_batch(&records) {
+        let records = Arc::new(records);
+
+        // Overlap: hand the batch to the replicas *before* paying for local
+        // durability, then join both below — the stage costs
+        // max(local, replication) instead of the sum. Should the local
+        // append then fail, the replicas hold a superset of the primary
+        // log; they are crash-recovery copies, not the ground truth, so a
+        // never-acknowledged batch on a replica is harmless.
+        let overlapping = shared.config.overlap_replication && shared.replicator.is_some();
+        let handle = match &shared.replicator {
+            Some(replicator) if overlapping => {
+                Some(replicator.replicate_begin(Arc::clone(&records)))
+            }
+            _ => None,
+        };
+        let local_start = std::time::Instant::now();
+        let append_result = shared.store.append_batch(&records[..]);
+        let local_elapsed = local_start.elapsed();
+
+        let outcome = match append_result {
             Ok(header_record) => {
                 next_log_id += 1;
                 // Replicate before acknowledging (the paper's
                 // stronger-liveness configuration waits for replica acks).
                 if let Some(replicator) = &shared.replicator {
-                    let acked = replicator.replicate_sync(records);
+                    let acked = match handle {
+                        Some(handle) => handle.wait(),
+                        // Sequential (pre-overlap) path, kept selectable for
+                        // honest before/after benchmarking.
+                        None => replicator.replicate_begin(Arc::clone(&records)).wait(),
+                    };
                     if acked < replicator.replica_count() {
                         shared.stats.lock().replication_shortfalls += 1;
                     }
@@ -217,6 +245,15 @@ fn persist_stage(
                 }
             }
         };
+        if par_chunks > 0 || overlapping {
+            let mut stats = shared.stats.lock();
+            stats.merkle_par_chunks += par_chunks;
+            if overlapping {
+                // Local persistence time that ran concurrently with the
+                // in-flight replica sends.
+                stats.replication_overlap_ns += local_elapsed.as_nanos() as u64;
+            }
+        }
         if let Err(lost) = send_downstream(shared, &deliver_tx, outcome) {
             let (msgs, error) = match lost {
                 PersistOutcome::Persisted { msgs, .. } => (msgs, "node pipeline stopped".into()),
@@ -265,29 +302,25 @@ fn deliver_stage(
             let tree = &tree;
             let items: Vec<(usize, &crate::types::AppendRequest)> =
                 batch.iter().map(|m| &m.request).enumerate().collect();
-            parallel_map(
-                &items,
-                shared.config.worker_threads,
-                move |(offset, request)| {
-                    let mut leaf = request.leaf_bytes();
-                    if tampering {
-                        tamper(&mut leaf);
-                    }
-                    // lint: allow(panic) — `offset` enumerates the same batch
-                    // the tree was built from, so it is always in range
-                    let proof = tree.prove(*offset).expect("offset in range");
-                    SignedResponse::sign(
-                        &node_key,
-                        EntryId {
-                            log_id,
-                            offset: *offset as u32,
-                        },
-                        root,
-                        proof,
-                        leaf,
-                    )
-                },
-            )
+            shared.pool.map(&items, move |(offset, request)| {
+                let mut leaf = request.leaf_bytes();
+                if tampering {
+                    tamper(&mut leaf);
+                }
+                // lint: allow(panic) — `offset` enumerates the same batch
+                // the tree was built from, so it is always in range
+                let proof = tree.prove(*offset).expect("offset in range");
+                SignedResponse::sign(
+                    &node_key,
+                    EntryId {
+                        log_id,
+                        offset: *offset as u32,
+                    },
+                    root,
+                    proof,
+                    leaf,
+                )
+            })
         };
 
         // Optional simulated response-network delay (one message per flush).
@@ -302,6 +335,14 @@ fn deliver_stage(
         if !delay.is_zero() {
             std::thread::sleep(delay);
         }
+
+        // Group-commit reply-release rule: no reply (and no snapshot
+        // registration) may be released before the fsync covering the
+        // batch's records completed. Signing above already overlapped the
+        // wait; every policy except `GroupCommit` returns immediately
+        // because the persist stage provided its durability inline.
+        let last_record = first_record + batch.len() as u64 - 1;
+        let durable = shared.store.ensure_durable(last_record);
 
         // Register the batch in the write plane — one publication makes the
         // whole batch (metadata + sequence entries + entry count) visible
@@ -333,8 +374,24 @@ fn deliver_stage(
             stats.batches_flushed += 1;
         }
 
-        for (msg, response) in batch.into_iter().zip(responses) {
-            (msg.reply)(Ok(response));
+        match durable {
+            Ok(()) => {
+                for (msg, response) in batch.into_iter().zip(responses) {
+                    (msg.reply)(Ok(response));
+                }
+            }
+            Err(err) => {
+                // The batch stays registered (log positions must remain
+                // dense) but was never confirmed durable; acknowledging it
+                // would break the reply ⇒ durable invariant. Fail the
+                // replies instead — to a client this is indistinguishable
+                // from a node crash before the response.
+                let error = format!("durability sync failed: {err}");
+                shared.stats.lock().requests_rejected += batch.len() as u64;
+                for msg in batch {
+                    (msg.reply)(Err(error.clone()));
+                }
+            }
         }
 
         // Stage 2 hand-off (omitted under the omission attack).

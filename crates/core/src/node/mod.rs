@@ -63,6 +63,10 @@ pub(crate) struct Shared {
     pub root_record: Address,
     pub stats: Mutex<NodeStats>,
     pub replicator: Option<Replicator>,
+    /// Shared work pool for signature verification, Merkle construction,
+    /// and response signing — sized to `worker_threads`, capped at the
+    /// machine's parallelism.
+    pub pool: wedge_pool::WorkPool,
 }
 
 impl Shared {
@@ -173,6 +177,7 @@ impl OffchainNode {
             }
         }
 
+        let pool = wedge_pool::WorkPool::new(config.worker_threads);
         let shared = Arc::new(Shared {
             identity,
             config,
@@ -183,6 +188,7 @@ impl OffchainNode {
             root_record,
             stats: Mutex::new(NodeStats::default()),
             replicator,
+            pool,
         });
 
         let (ingest_tx, ingest_rx) = unbounded::<IngestMsg>();
@@ -427,9 +433,14 @@ impl OffchainNode {
         self.shared.replicator.as_ref()
     }
 
-    /// Snapshot of the node's metrics.
+    /// Snapshot of the node's metrics. The store- and pool-derived
+    /// counters (`fsyncs_coalesced`, `oversubscription_avoided`) are
+    /// sampled at call time.
     pub fn stats(&self) -> NodeStats {
-        self.shared.stats.lock().clone()
+        let mut stats = self.shared.stats.lock().clone();
+        stats.fsyncs_coalesced = self.shared.store.sync_stats().fsyncs_coalesced;
+        stats.oversubscription_avoided = wedge_pool::oversubscription_avoided();
+        stats
     }
 
     /// Blocks until every flushed log position up to the current tail is

@@ -55,6 +55,24 @@ pub struct NodeStats {
     /// means the persist/deliver stages are the bottleneck; consider a
     /// deeper [`crate::NodeConfig::pipeline_depth`].
     pub pipeline_stalls: u64,
+    /// Parallel chunks dispatched while building batch Merkle trees
+    /// (0 ⇒ every tree was built serially, e.g. below
+    /// [`crate::NodeConfig::merkle_parallel_cutoff`] or on a single-core
+    /// machine).
+    pub merkle_par_chunks: u64,
+    /// Batches whose durability rode a neighbouring batch's fsync under
+    /// [`wedge_storage::SyncPolicy::GroupCommit`] instead of paying their
+    /// own (sampled from the store when stats are read).
+    pub fsyncs_coalesced: u64,
+    /// Nanoseconds of local persistence (Merkle + `append_batch` + fsync)
+    /// that ran while replica sends were already in flight — the persist
+    /// stage's overlap win. 0 when `overlap_replication` is off or there
+    /// are no replicas.
+    pub replication_overlap_ns: u64,
+    /// Worker threads *not* spawned because the shared pool caps
+    /// parallelism at the machine's core count (process-wide, sampled from
+    /// [`wedge_pool::oversubscription_avoided`] when stats are read).
+    pub oversubscription_avoided: u64,
 }
 
 impl NodeStats {

@@ -1,38 +1,19 @@
 //! Small concurrency utilities.
 
-/// Applies `f` to every element of `items` across `threads` scoped workers,
+/// Applies `f` to every element of `items` across at most `threads` scoped
+/// workers (clamped to the machine's parallelism by [`wedge_pool`]),
 /// preserving order. Falls back to inline execution for tiny inputs.
 ///
 /// This is the parallel-ECDSA pattern of the paper's prototype ("executed
-/// concurrently using all available CPU cores", §5).
+/// concurrently using all available CPU cores", §5). A worker panic is
+/// re-raised on the calling thread.
 pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    if threads <= 1 || items.len() < 4 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (input, output) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (item, slot) in input.iter().zip(output.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    })
-    // lint: allow(panic) — re-raises a worker thread's panic on the caller
-    .expect("parallel_map worker panicked");
-    out.into_iter()
-        // lint: allow(panic) — every slot is zipped 1:1 with an input chunk
-        .map(|v| v.expect("all slots filled"))
-        .collect()
+    wedge_pool::WorkPool::new(threads).map(items, f)
 }
 
 #[cfg(test)]

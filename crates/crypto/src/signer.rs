@@ -27,7 +27,11 @@ pub fn recover_message_signer(message: &[u8], sig: &Signature) -> Result<Address
     recover_address(&keccak256(message), sig)
 }
 
-/// Signs many prehashed messages in parallel across `threads` workers.
+/// Signs many prehashed messages in parallel, using at most
+/// `min(threads, available_parallelism)` workers from a
+/// [`wedge_pool::WorkPool`] — the historical version spawned one thread
+/// per chunk regardless of core count; the trimmed excess shows up in
+/// [`wedge_pool::oversubscription_avoided`].
 ///
 /// Output order matches input order. With `threads <= 1` the work runs
 /// inline.
@@ -36,30 +40,11 @@ pub fn sign_batch_parallel(
     hashes: &[[u8; 32]],
     threads: usize,
 ) -> Vec<Signature> {
-    if threads <= 1 || hashes.len() < 2 {
-        return hashes.iter().map(|h| sign_prehashed(secret, h)).collect();
-    }
-    let chunk = hashes.len().div_ceil(threads);
-    let mut out: Vec<Option<Signature>> = vec![None; hashes.len()];
-    crossbeam::thread::scope(|scope| {
-        for (input, output) in hashes.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (h, slot) in input.iter().zip(output.iter_mut()) {
-                    *slot = Some(sign_prehashed(secret, h));
-                }
-            });
-        }
-    })
-    // lint: allow(panic) — re-raises a worker thread's panic in the caller;
-    // swallowing it would return signatures that were never computed
-    .expect("signing worker panicked");
-    out.into_iter()
-        // lint: allow(panic) — every slot is zipped 1:1 with an input chunk
-        .map(|s| s.expect("all slots filled"))
-        .collect()
+    wedge_pool::WorkPool::new(threads).map(hashes, |h| sign_prehashed(secret, h))
 }
 
-/// Verifies many prehashed signatures in parallel.
+/// Verifies many prehashed signatures in parallel (same worker cap as
+/// [`sign_batch_parallel`]).
 ///
 /// Returns `Ok(())` if every signature verifies, otherwise the index of the
 /// first (lowest-index) failure.
@@ -68,39 +53,9 @@ pub fn verify_batch_parallel(
     items: &[([u8; 32], Signature)],
     threads: usize,
 ) -> Result<(), usize> {
-    let check =
-        |(i, (h, sig)): (usize, &([u8; 32], Signature))| match verify_prehashed(public, h, sig) {
-            Ok(()) => None,
-            Err(_) => Some(i),
-        };
-    if threads <= 1 || items.len() < 2 {
-        match items.iter().enumerate().filter_map(check).next() {
-            None => return Ok(()),
-            Some(i) => return Err(i),
-        }
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut failures: Vec<Option<usize>> = vec![None; threads];
-    crossbeam::thread::scope(|scope| {
-        for (worker, (base, input)) in failures.iter_mut().zip(
-            items
-                .chunks(chunk)
-                .enumerate()
-                .map(|(ci, c)| (ci * chunk, c)),
-        ) {
-            scope.spawn(move |_| {
-                for (i, item) in input.iter().enumerate() {
-                    if check((base + i, item)).is_some() {
-                        *worker = Some(base + i);
-                        return;
-                    }
-                }
-            });
-        }
-    })
-    // lint: allow(panic) — re-raises a worker thread's panic in the caller
-    .expect("verification worker panicked");
-    match failures.into_iter().flatten().min() {
+    let verdicts = wedge_pool::WorkPool::new(threads)
+        .map(items, |(h, sig)| verify_prehashed(public, h, sig).is_ok());
+    match verdicts.iter().position(|ok| !ok) {
         None => Ok(()),
         Some(i) => Err(i),
     }

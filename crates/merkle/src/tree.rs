@@ -78,6 +78,94 @@ impl MerkleTree {
         Ok(MerkleTree { levels })
     }
 
+    /// Builds a tree from raw leaf data, hashing leaves and interior
+    /// levels on `pool` when a level holds at least `cutoff` nodes.
+    ///
+    /// Produces a tree **bit-identical** to [`MerkleTree::from_leaves`]:
+    /// same levels, same odd-node promotion, same root, same proofs. The
+    /// cutoff exists because below a few hundred nodes the serial builder
+    /// wins; `usize::MAX` forces the serial path through the same API.
+    pub fn from_leaves_parallel<D: AsRef<[u8]> + Sync>(
+        leaves: &[D],
+        pool: &wedge_pool::WorkPool,
+        cutoff: usize,
+    ) -> Result<MerkleTree, MerkleError> {
+        MerkleTree::from_leaves_parallel_counted(leaves, pool, cutoff).map(|(tree, _)| tree)
+    }
+
+    /// [`MerkleTree::from_leaves_parallel`] plus the number of parallel
+    /// chunks dispatched (0 means the build ran fully serial) — the raw
+    /// material for the node's `merkle_par_chunks` stat.
+    pub fn from_leaves_parallel_counted<D: AsRef<[u8]> + Sync>(
+        leaves: &[D],
+        pool: &wedge_pool::WorkPool,
+        cutoff: usize,
+    ) -> Result<(MerkleTree, u64), MerkleError> {
+        if leaves.is_empty() {
+            return Err(MerkleError::EmptyTree);
+        }
+        let mut chunks = 0u64;
+        let hashes: Vec<Hash32> = if leaves.len() >= cutoff.max(2) && pool.workers() > 1 {
+            chunks += pool.planned_chunks(leaves.len()) as u64;
+            pool.map(leaves, |d| hash_leaf(d.as_ref()))
+        } else {
+            leaves.iter().map(|d| hash_leaf(d.as_ref())).collect()
+        };
+        let (tree, level_chunks) = MerkleTree::build_parallel(hashes, pool, cutoff);
+        Ok((tree, chunks + level_chunks))
+    }
+
+    /// Builds a tree from precomputed leaf hashes, constructing each
+    /// interior level on `pool` while the level holds at least `cutoff`
+    /// nodes. Bit-identical to [`MerkleTree::from_leaf_hashes`].
+    pub fn from_leaf_hashes_parallel(
+        hashes: Vec<Hash32>,
+        pool: &wedge_pool::WorkPool,
+        cutoff: usize,
+    ) -> Result<MerkleTree, MerkleError> {
+        if hashes.is_empty() {
+            return Err(MerkleError::EmptyTree);
+        }
+        let (tree, _) = MerkleTree::build_parallel(hashes, pool, cutoff);
+        Ok(tree)
+    }
+
+    /// Level-by-level construction mirroring [`MerkleTree::from_leaf_hashes`]
+    /// exactly: full pairs are hashed (in parallel above the cutoff), an odd
+    /// trailing node is promoted unchanged. Returns the tree and how many
+    /// parallel chunks were dispatched across all levels.
+    fn build_parallel(
+        hashes: Vec<Hash32>,
+        pool: &wedge_pool::WorkPool,
+        cutoff: usize,
+    ) -> (MerkleTree, u64) {
+        let cutoff = cutoff.max(2);
+        let mut chunks_dispatched = 0u64;
+        let mut levels = Vec::new();
+        let mut current = hashes;
+        while current.len() > 1 {
+            let mut next = if current.len() >= cutoff && pool.workers() > 1 {
+                let pairs: Vec<&[Hash32]> = current.chunks_exact(2).collect();
+                chunks_dispatched += pool.planned_chunks(pairs.len()) as u64;
+                pool.map(&pairs, |pair| hash_node(&pair[0], &pair[1]))
+            } else {
+                current
+                    .chunks_exact(2)
+                    .map(|pair| hash_node(&pair[0], &pair[1]))
+                    .collect()
+            };
+            if let [odd] = current.chunks_exact(2).remainder() {
+                // Odd trailing node is promoted unchanged, as in the serial
+                // builder.
+                next.push(*odd);
+            }
+            levels.push(current);
+            current = next;
+        }
+        levels.push(current);
+        (MerkleTree { levels }, chunks_dispatched)
+    }
+
     /// The Merkle root (`MRoot`).
     pub fn root(&self) -> Hash32 {
         match self.levels.last().and_then(|top| top.first()) {

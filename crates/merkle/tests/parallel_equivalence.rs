@@ -1,0 +1,146 @@
+//! Equivalence suite: the parallel Merkle builders must be *bit-identical*
+//! to the serial builder — same root, same per-leaf proofs, same range
+//! (multi-leaf) proofs — for every leaf count and every cutoff, including
+//! non-power-of-two shapes and cutoffs that disable parallelism entirely.
+//!
+//! The parallel builder only changes *who* hashes each node, never *what*
+//! is hashed; these tests are the executable statement of that claim.
+
+use proptest::prelude::*;
+use wedge_merkle::{MerkleTree, RangeProof};
+use wedge_pool::WorkPool;
+
+/// Cutoffs exercised by every test: tiny (parallelism everywhere), odd and
+/// prime (non-power-of-two chunk boundaries), mid-size, and `usize::MAX`
+/// (parallel path fully disabled — must still equal serial).
+const CUTOFFS: &[usize] = &[0, 2, 3, 7, 100, 256, usize::MAX];
+
+fn leaves_of(count: usize, seed: u8) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| {
+            let mut leaf = vec![seed; 1 + i % 37];
+            leaf.extend_from_slice(&(i as u64).to_be_bytes());
+            leaf
+        })
+        .collect()
+}
+
+fn assert_equivalent(leaves: &[Vec<u8>], pool: &WorkPool, cutoff: usize) {
+    let serial = MerkleTree::from_leaves(leaves).unwrap();
+    let parallel = MerkleTree::from_leaves_parallel(leaves, pool, cutoff).unwrap();
+
+    // Roots bit-identical.
+    assert_eq!(
+        serial.root(),
+        parallel.root(),
+        "root mismatch at cutoff {cutoff}"
+    );
+
+    // Every level of the tree identical, not just the root.
+    assert_eq!(serial.height(), parallel.height());
+    for depth in 0..serial.height() {
+        assert_eq!(
+            serial.level(depth),
+            parallel.level(depth),
+            "level {depth} differs"
+        );
+    }
+
+    // Per-leaf proofs identical and mutually verifiable.
+    for (i, leaf) in leaves.iter().enumerate() {
+        let sp = serial.prove(i).unwrap();
+        let pp = parallel.prove(i).unwrap();
+        assert_eq!(sp, pp, "proof for leaf {i} differs at cutoff {cutoff}");
+        assert!(pp.verify(leaf, &serial.root()).is_ok());
+    }
+}
+
+#[test]
+fn fixed_shapes_match_serial() {
+    let pool = WorkPool::new(4);
+    // Leaf counts chosen to hit every structural case: single leaf, odd
+    // carries at multiple levels, exact powers of two, and just past them.
+    for &count in &[
+        1usize, 2, 3, 5, 7, 8, 9, 15, 16, 17, 33, 64, 100, 255, 256, 257, 1024,
+    ] {
+        let leaves = leaves_of(count, 0xA5);
+        for &cutoff in CUTOFFS {
+            assert_equivalent(&leaves, &pool, cutoff);
+        }
+    }
+}
+
+#[test]
+fn prehashed_entry_point_matches_serial() {
+    let pool = WorkPool::new(3);
+    for &count in &[1usize, 6, 31, 257] {
+        let leaves = leaves_of(count, 0x3C);
+        let hashes: Vec<_> = leaves.iter().map(|l| wedge_merkle::hash_leaf(l)).collect();
+        let serial = MerkleTree::from_leaf_hashes(hashes.clone()).unwrap();
+        for &cutoff in CUTOFFS {
+            let parallel =
+                MerkleTree::from_leaf_hashes_parallel(hashes.clone(), &pool, cutoff).unwrap();
+            assert_eq!(serial.root(), parallel.root());
+        }
+    }
+}
+
+#[test]
+fn counted_builder_reports_zero_chunks_when_disabled() {
+    let pool = WorkPool::new(4);
+    let leaves = leaves_of(512, 0x11);
+    let (_, chunks) = MerkleTree::from_leaves_parallel_counted(&leaves, &pool, usize::MAX).unwrap();
+    assert_eq!(chunks, 0, "cutoff usize::MAX must never dispatch chunks");
+    // With a single-worker pool the builder must also stay inline.
+    let solo = WorkPool::new(1);
+    let (_, chunks) = MerkleTree::from_leaves_parallel_counted(&leaves, &solo, 2).unwrap();
+    assert_eq!(chunks, 0, "single-worker pool must never dispatch chunks");
+}
+
+#[test]
+fn empty_leaves_rejected_like_serial() {
+    let pool = WorkPool::new(4);
+    let empty: Vec<Vec<u8>> = Vec::new();
+    assert!(MerkleTree::from_leaves_parallel(&empty, &pool, 2).is_err());
+    assert!(MerkleTree::from_leaf_hashes_parallel(Vec::new(), &pool, 2).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_leaves_roots_and_proofs_match(
+        leaves in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..1024),
+        cutoff_seed in any::<usize>(),
+        idx_seed in any::<usize>(),
+    ) {
+        let pool = WorkPool::new(4);
+        let cutoff = CUTOFFS[cutoff_seed % CUTOFFS.len()];
+        let serial = MerkleTree::from_leaves(&leaves).unwrap();
+        let parallel = MerkleTree::from_leaves_parallel(&leaves, &pool, cutoff).unwrap();
+        prop_assert_eq!(serial.root(), parallel.root());
+
+        let i = idx_seed % leaves.len();
+        prop_assert_eq!(serial.prove(i).unwrap(), parallel.prove(i).unwrap());
+    }
+
+    #[test]
+    fn random_range_proofs_match(
+        leaves in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..300),
+        cutoff_seed in any::<usize>(),
+        s_seed in any::<usize>(),
+        c_seed in any::<usize>(),
+    ) {
+        let pool = WorkPool::new(4);
+        let cutoff = CUTOFFS[cutoff_seed % CUTOFFS.len()];
+        let serial = MerkleTree::from_leaves(&leaves).unwrap();
+        let parallel = MerkleTree::from_leaves_parallel(&leaves, &pool, cutoff).unwrap();
+
+        let start = s_seed % leaves.len();
+        let count = 1 + c_seed % (leaves.len() - start);
+        let sp = RangeProof::generate(&serial, start, count).unwrap();
+        let pp = RangeProof::generate(&parallel, start, count).unwrap();
+        prop_assert_eq!(sp, pp.clone());
+        prop_assert!(pp.verify(&leaves[start..start + count], &serial.root()).is_ok());
+    }
+}

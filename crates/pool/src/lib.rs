@@ -1,0 +1,281 @@
+//! A small reusable work pool for data-parallel maps.
+//!
+//! Built on the vendored [`crossbeam`] scope — no registry dependencies.
+//! A [`WorkPool`] owns nothing at rest: it records how many workers a map
+//! may use (requested parallelism clamped to what the machine actually
+//! has) and spawns scoped threads per call. That keeps the crate trivially
+//! correct under fork/shutdown while still fixing the historical bug this
+//! crate exists for: callers spawning one thread per chunk regardless of
+//! core count.
+//!
+//! Panics raised inside worker tasks never hang the scope: [`WorkPool::map`]
+//! joins every worker and re-raises the first payload on the caller's
+//! thread, while [`WorkPool::try_map`] converts it into a [`PoolError`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Inputs shorter than this are always mapped inline; spawning threads for
+/// a handful of items costs more than it saves.
+const MIN_PARALLEL_ITEMS: usize = 4;
+
+/// Global count of worker slots trimmed by the available-parallelism cap
+/// (requested − granted, summed over every [`WorkPool::new`] call). This is
+/// the "oversubscription avoided" stat: before this crate, each trimmed
+/// slot would have been an ad-hoc thread spawned per batch call.
+static OVERSUBSCRIPTION_AVOIDED: AtomicU64 = AtomicU64::new(0);
+
+/// Worker slots trimmed by the available-parallelism cap since process
+/// start, across all pools.
+pub fn oversubscription_avoided() -> u64 {
+    OVERSUBSCRIPTION_AVOIDED.load(Ordering::Relaxed)
+}
+
+/// Error surfaced by [`WorkPool::try_map`] when a worker task panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A task panicked; the payload's message (when it was a string) is
+    /// preserved so callers can log the cause.
+    TaskPanicked(String),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::TaskPanicked(msg) => write!(f, "pool task panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+fn payload_message(payload: &PanicPayload) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// A fixed-width work pool: `map` fans a slice out over at most
+/// [`WorkPool::workers`] scoped threads and returns results in input order.
+#[derive(Debug)]
+pub struct WorkPool {
+    workers: usize,
+    chunks_dispatched: AtomicU64,
+}
+
+impl WorkPool {
+    /// Creates a pool with `requested` workers, clamped to the machine's
+    /// available parallelism (and to at least 1). The clamped-off excess is
+    /// added to the global [`oversubscription_avoided`] counter.
+    pub fn new(requested: usize) -> WorkPool {
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = requested.min(hardware).max(1);
+        if requested > workers {
+            OVERSUBSCRIPTION_AVOIDED.fetch_add((requested - workers) as u64, Ordering::Relaxed);
+        }
+        WorkPool {
+            workers,
+            chunks_dispatched: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a pool sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> WorkPool {
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        WorkPool::new(hardware)
+    }
+
+    /// Number of workers a map may use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Parallel chunks dispatched by this pool since creation (inline maps
+    /// dispatch none).
+    pub fn chunks_dispatched(&self) -> u64 {
+        self.chunks_dispatched.load(Ordering::Relaxed)
+    }
+
+    /// How many parallel chunks a `map` over `len` items would dispatch:
+    /// 0 when the map would run inline, the spawned-thread count otherwise.
+    pub fn planned_chunks(&self, len: usize) -> usize {
+        if self.workers <= 1 || len < MIN_PARALLEL_ITEMS {
+            return 0;
+        }
+        let chunk = len.div_ceil(self.workers);
+        len.div_ceil(chunk.max(1))
+    }
+
+    /// Maps `f` over `items` in input order, using up to
+    /// [`WorkPool::workers`] threads. A panic in a task is re-raised on the
+    /// calling thread after every worker has been joined — the scope never
+    /// hangs and no other task's panic is lost silently (the first payload
+    /// wins).
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        match self.run(items, &f, false) {
+            Ok(out) => out,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Like [`WorkPool::map`], but a panicking task yields
+    /// [`PoolError::TaskPanicked`] instead of propagating the panic —
+    /// including on the inline (single-worker) path.
+    pub fn try_map<T, U, F>(&self, items: &[T], f: F) -> Result<Vec<U>, PoolError>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.run(items, &f, true)
+            .map_err(|payload| PoolError::TaskPanicked(payload_message(&payload)))
+    }
+
+    /// Shared engine for `map`/`try_map`. `catch_inline` additionally wraps
+    /// the inline path in `catch_unwind` (only `try_map` wants that; `map`
+    /// lets an inline panic unwind naturally).
+    fn run<T, U, F>(&self, items: &[T], f: &F, catch_inline: bool) -> Result<Vec<U>, PanicPayload>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        if self.workers <= 1 || items.len() < MIN_PARALLEL_ITEMS {
+            return if catch_inline {
+                catch_unwind(AssertUnwindSafe(|| items.iter().map(f).collect()))
+            } else {
+                Ok(items.iter().map(f).collect())
+            };
+        }
+        let chunk = items.len().div_ceil(self.workers).max(1);
+        let dispatched = items.len().div_ceil(chunk) as u64;
+        self.chunks_dispatched
+            .fetch_add(dispatched, Ordering::Relaxed);
+        let scoped = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|input| scope.spawn(move |_| input.iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            let mut out: Vec<U> = Vec::with_capacity(items.len());
+            let mut first_panic: Option<PanicPayload> = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => out.extend(part),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            match first_panic {
+                None => Ok(out),
+                Some(payload) => Err(payload),
+            }
+        });
+        // The outer Err arm covers a panic escaping the scope closure
+        // itself, which cannot happen since every join is caught above;
+        // routing it through keeps this crate panic-free regardless.
+        match scoped {
+            Ok(inner) => inner,
+            Err(payload) => Err(payload),
+        }
+    }
+}
+
+impl Default for WorkPool {
+    fn default() -> WorkPool {
+        WorkPool::with_available_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let pool = WorkPool::new(8);
+        let items: Vec<u64> = (0..1000).collect();
+        let out = pool.map(&items, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clamps_to_available_parallelism() {
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let before = oversubscription_avoided();
+        let pool = WorkPool::new(hardware + 7);
+        assert_eq!(pool.workers(), hardware);
+        assert!(oversubscription_avoided() >= before + 7);
+        assert_eq!(WorkPool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn try_map_surfaces_panic_as_error() {
+        let pool = WorkPool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let err = pool
+            .try_map(&items, |x| {
+                assert!(*x != 13, "boom on 13");
+                *x
+            })
+            .unwrap_err();
+        let PoolError::TaskPanicked(msg) = err;
+        assert!(msg.contains("boom"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn try_map_catches_inline_panics_too() {
+        let pool = WorkPool::new(1);
+        let items = vec![1u32, 2, 3];
+        assert!(pool
+            .try_map(&items, |_| -> u32 { panic!("inline") })
+            .is_err());
+    }
+
+    #[test]
+    fn map_reraises_worker_panic() {
+        let pool = WorkPool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |x| {
+                assert!(*x != 40, "worker panic");
+                *x
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn planned_chunks_matches_dispatch() {
+        let pool = WorkPool::new(4);
+        let items: Vec<u32> = (0..100).collect();
+        let planned = pool.planned_chunks(items.len());
+        let before = pool.chunks_dispatched();
+        let _ = pool.map(&items, |x| *x);
+        assert_eq!(pool.chunks_dispatched() - before, planned as u64);
+        // Tiny inputs run inline and dispatch nothing.
+        assert_eq!(pool.planned_chunks(2), 0);
+    }
+}

@@ -16,5 +16,5 @@ mod store;
 
 pub use crc32::crc32;
 pub use error::StorageError;
-pub use replication::Replicator;
-pub use store::{LogStore, StoreConfig, SyncPolicy};
+pub use replication::{Batch, ReplicationHandle, Replicator};
+pub use store::{LogStore, StoreConfig, SyncPolicy, SyncStats};

@@ -18,7 +18,37 @@ use crate::error::StorageError;
 use crate::store::{LogStore, StoreConfig};
 
 /// A batch shipped to replicas: shared, immutable payloads.
-type Batch = Arc<Vec<Vec<u8>>>;
+pub type Batch = Arc<Vec<Vec<u8>>>;
+
+/// In-flight replication started by [`Replicator::replicate_begin`].
+///
+/// The sends have already been handed to every replica; [`wait`] collects
+/// the acknowledgements. Dropping the handle abandons the wait without
+/// cancelling the sends (the replicas still apply the batch).
+///
+/// [`wait`]: ReplicationHandle::wait
+#[must_use = "dropping the handle abandons the acknowledgements"]
+pub struct ReplicationHandle {
+    acks: Vec<Receiver<Result<(), String>>>,
+}
+
+impl ReplicationHandle {
+    /// Blocks until every replica has acknowledged (or hung up); returns
+    /// the number that confirmed the write.
+    pub fn wait(self) -> usize {
+        self.acks
+            .into_iter()
+            .filter(|rx| matches!(rx.recv(), Ok(Ok(()))))
+            .count()
+    }
+
+    /// Replicas the batch was handed to (upper bound on [`wait`]'s result).
+    ///
+    /// [`wait`]: ReplicationHandle::wait
+    pub fn expected(&self) -> usize {
+        self.acks.len()
+    }
+}
 
 enum Command {
     Replicate {
@@ -87,11 +117,13 @@ impl Replicator {
         })
     }
 
-    /// Ships a batch to every replica and waits for all acknowledgements.
+    /// Ships a batch to every replica and returns immediately with a
+    /// [`ReplicationHandle`] for collecting the acknowledgements later.
     ///
-    /// Returns the number of replicas that confirmed the write.
-    pub fn replicate_sync(&self, batch: Vec<Vec<u8>>) -> usize {
-        let batch: Batch = Arc::new(batch);
+    /// This is the overlap primitive: the caller can run its local
+    /// `append_batch` + fsync while the replicas work, then `wait`, paying
+    /// max(local, replication) instead of the sum.
+    pub fn replicate_begin(&self, batch: Batch) -> ReplicationHandle {
         let mut acks = Vec::with_capacity(self.replicas.len());
         for replica in &self.replicas {
             let (ack_tx, ack_rx) = bounded(1);
@@ -106,9 +138,14 @@ impl Replicator {
                 acks.push(ack_rx);
             }
         }
-        acks.into_iter()
-            .filter(|rx| matches!(rx.recv(), Ok(Ok(()))))
-            .count()
+        ReplicationHandle { acks }
+    }
+
+    /// Ships a batch to every replica and waits for all acknowledgements.
+    ///
+    /// Returns the number of replicas that confirmed the write.
+    pub fn replicate_sync(&self, batch: Vec<Vec<u8>>) -> usize {
+        self.replicate_begin(Arc::new(batch)).wait()
     }
 
     /// Ships a batch without waiting for acknowledgements (lazy fan-out).
@@ -189,6 +226,27 @@ mod tests {
         drop(repl); // drop joins threads, draining the queue
         let store = LogStore::open(dir.join("replica-0"), StoreConfig::default()).unwrap();
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn begin_then_wait_overlaps_with_local_work() {
+        let dir = tempdir("begin");
+        let repl =
+            Replicator::spawn(&dir, 2, StoreConfig::default(), Duration::from_millis(5)).unwrap();
+        let batch: Batch = Arc::new(vec![b"o0".to_vec(), b"o1".to_vec()]);
+        let handle = repl.replicate_begin(batch);
+        assert_eq!(handle.expected(), 2);
+        // "Local work" happens here while the replicas apply the batch.
+        let marker = std::time::Instant::now();
+        assert_eq!(handle.wait(), 2);
+        // wait() blocked at most ~link_delay + append, not per-replica sums.
+        assert!(marker.elapsed() < Duration::from_secs(2));
+        drop(repl);
+        for i in 0..2 {
+            let store =
+                LogStore::open(dir.join(format!("replica-{i}")), StoreConfig::default()).unwrap();
+            assert_eq!(store.len(), 2);
+        }
     }
 
     #[test]
