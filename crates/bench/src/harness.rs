@@ -1028,6 +1028,242 @@ pub fn stage1(profile: Profile) -> Table {
     table
 }
 
+/// Append burst size for the `net` experiment: clients submit this many
+/// requests, flush once, then await every reply.
+const NET_BURST: usize = 32;
+
+/// One client worker's latency samples from the `net` experiment.
+struct NetClientSamples {
+    append: Vec<Duration>,
+    read: Vec<Duration>,
+}
+
+/// Drives `clients` concurrent closed-loop workers against `service`:
+/// each appends `appends` pre-signed entries in bursts of `burst`
+/// (submit burst → flush → await every reply, timing each op from submit
+/// to callback), then reads its own entries back by sequence one at a
+/// time. Returns (append wall, read wall, merged samples).
+fn run_net_clients(
+    service: &Arc<dyn wedge_core::LogService>,
+    tag: &str,
+    clients: usize,
+    appends: usize,
+    reads: usize,
+    value_size: usize,
+) -> (Duration, Duration, NetClientSamples) {
+    use rand::{Rng, SeedableRng};
+    let burst = NET_BURST;
+    let mut merged = NetClientSamples {
+        append: Vec::new(),
+        read: Vec::new(),
+    };
+    let mut append_wall = Duration::ZERO;
+    let mut read_wall = Duration::ZERO;
+    crossbeam::thread::scope(|scope| {
+        let started = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = Arc::clone(service);
+                let tag = tag.to_string();
+                scope.spawn(move |_| {
+                    let identity = Identity::from_seed(format!("net-{tag}-{c}").as_bytes());
+                    let payloads = kv_payloads(appends, KEY_SIZE, value_size, c as u64);
+                    let requests: Vec<AppendRequest> = (0..)
+                        .zip(&payloads)
+                        .map(|(seq, p)| AppendRequest::new(identity.secret_key(), seq, p.clone()))
+                        .collect();
+                    let mut samples = NetClientSamples {
+                        append: Vec::with_capacity(appends),
+                        read: Vec::with_capacity(reads),
+                    };
+                    let (tx, rx) = crossbeam::channel::bounded::<Duration>(burst);
+                    for chunk in requests.chunks(burst) {
+                        for request in chunk {
+                            let tx = tx.clone();
+                            let submitted = Instant::now();
+                            service
+                                .submit_request(
+                                    request.clone(),
+                                    Box::new(move |result| {
+                                        result.expect("append reply");
+                                        let _ = tx.send(submitted.elapsed());
+                                    }),
+                                )
+                                .expect("submit");
+                        }
+                        // One flush per burst: buffered transports write the
+                        // whole burst out here; in-process/autoflush paths
+                        // already delivered and treat this as a no-op.
+                        service.flush();
+                        for _ in chunk {
+                            samples
+                                .append
+                                .push(rx.recv_timeout(Duration::from_secs(120)).expect("reply"));
+                        }
+                    }
+                    let append_done = Instant::now();
+                    let mut rng = rand::rngs::SmallRng::seed_from_u64(0x9e7 + c as u64);
+                    let address = identity.address();
+                    for _ in 0..reads {
+                        let seq = rng.gen_range(0..appends as u64);
+                        let read_started = Instant::now();
+                        let response = service
+                            .read_entry_by_sequence(address, seq)
+                            .expect("read own entry");
+                        samples.read.push(read_started.elapsed());
+                        std::hint::black_box(&response);
+                    }
+                    (samples, append_done)
+                })
+            })
+            .collect();
+        let mut last_append_done = started;
+        for handle in handles {
+            let (samples, append_done) = handle.join().expect("net client");
+            merged.append.extend(samples.append);
+            merged.read.extend(samples.read);
+            last_append_done = last_append_done.max(append_done);
+        }
+        append_wall = last_append_done - started;
+        read_wall = started.elapsed() - append_wall;
+    })
+    .expect("net client threads");
+    merged.append.sort_unstable();
+    merged.read.sort_unstable();
+    (append_wall, read_wall, merged)
+}
+
+/// Extra (not in the paper): the wire-speed RPC plane, old path vs new
+/// path in the same run. Both servers front the **same** node; only the
+/// transport differs:
+///
+/// * **old** — pre-PR wire shape: one reply per write (`coalesce = 1`),
+///   no frame-buffer pooling, every client sharing one `RemoteNode` whose
+///   appends flush per submission;
+/// * **new** — this PR: coalescing writers draining bounded reply queues
+///   into pooled buffers, and a striped [`RemoteNodePool`] client with
+///   buffered per-burst flushes.
+pub fn net(profile: Profile) -> Table {
+    use wedge_net::{NodeServer, PoolConfig, RemoteNode, RemoteNodePool, ServerConfig};
+
+    let mut table = Table {
+        title: "RPC plane (extension) — coalescing writers + striped client vs pre-PR wire path"
+            .into(),
+        headers: vec![
+            "clients".into(),
+            "payload (B)".into(),
+            "path".into(),
+            "append ops/s".into(),
+            "append p50".into(),
+            "append p99".into(),
+            "read ops/s".into(),
+            "read p50".into(),
+            "read p99".into(),
+            "replies/write".into(),
+            "coalesced".into(),
+            "pool hit".into(),
+            "shed".into(),
+        ],
+        rows: Vec::new(),
+    };
+    for &clients in &[1usize, 8, 64] {
+        for &value_size in &[256usize, 1024] {
+            let total_appends = profile.scale(24_576, 4_096).max(clients);
+            let appends = (total_appends / clients).max(NET_BURST);
+            let reads = appends;
+            let config = NodeConfig {
+                batch_size: 500,
+                batch_linger: Duration::from_millis(5),
+                verify_requests: false,
+                ..Default::default()
+            };
+            let world = World::new(&format!("net-{clients}-{value_size}"), config, 2000.0);
+            let node = Arc::clone(&world.node);
+
+            // Old wire shape: per-reply writes, no buffer pool, one shared
+            // connection with per-submit flushes.
+            let old_server = NodeServer::bind_with_config(
+                "127.0.0.1:0",
+                Arc::clone(&node) as _,
+                ServerConfig {
+                    coalesce_max_replies: 1,
+                    pool_max_buffers: 0,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind old-path server");
+            let old_client: Arc<dyn wedge_core::LogService> =
+                Arc::new(RemoteNode::connect(old_server.local_addr()).expect("connect old"));
+            let (old_aw, old_rw, old_samples) = run_net_clients(
+                &old_client,
+                &format!("old-{clients}-{value_size}"),
+                clients,
+                appends,
+                reads,
+                value_size,
+            );
+            drop(old_client);
+            let old_stats = old_server.stats();
+
+            // New wire shape: defaults (coalescing + pooling) and a striped
+            // client pool with buffered appends.
+            let new_server = NodeServer::bind_with_config(
+                "127.0.0.1:0",
+                Arc::clone(&node) as _,
+                ServerConfig::default(),
+            )
+            .expect("bind new-path server");
+            let new_client: Arc<dyn wedge_core::LogService> = Arc::new(
+                RemoteNodePool::connect_with_config(
+                    new_server.local_addr(),
+                    PoolConfig {
+                        stripes: clients.min(8),
+                        ..PoolConfig::default()
+                    },
+                )
+                .expect("connect pool"),
+            );
+            let (new_aw, new_rw, new_samples) = run_net_clients(
+                &new_client,
+                &format!("new-{clients}-{value_size}"),
+                clients,
+                appends,
+                reads,
+                value_size,
+            );
+            drop(new_client);
+            let new_stats = new_server.stats();
+
+            let total_ops = (appends * clients) as f64;
+            let total_reads = (reads * clients) as f64;
+            for (path, aw, rw, samples, stats) in [
+                ("old", old_aw, old_rw, &old_samples, &old_stats),
+                ("new", new_aw, new_rw, &new_samples, &new_stats),
+            ] {
+                table.rows.push(vec![
+                    clients.to_string(),
+                    value_size.to_string(),
+                    path.into(),
+                    format!("{:.0}", total_ops / aw.as_secs_f64().max(1e-9)),
+                    fmt_us(percentile(&samples.append, 0.50)),
+                    fmt_us(percentile(&samples.append, 0.99)),
+                    format!("{:.0}", total_reads / rw.as_secs_f64().max(1e-9)),
+                    fmt_us(percentile(&samples.read, 0.50)),
+                    fmt_us(percentile(&samples.read, 0.99)),
+                    format!(
+                        "{:.2}",
+                        stats.replies_sent as f64 / stats.writes_issued.max(1) as f64
+                    ),
+                    stats.replies_coalesced.to_string(),
+                    format!("{:.0}%", stats.buffer_pool_hit_rate() * 100.0),
+                    stats.queue_shed.to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
 /// Extra (not in the paper): end-to-end punishment cost — what a client pays
 /// in gas to prove a lie, and what it recovers.
 pub fn punishment_economics() -> Table {

@@ -25,10 +25,25 @@ impl Encoder {
         }
     }
 
+    /// Wraps an existing buffer, appending to whatever it already holds.
+    /// Lets callers encode into a reused (pooled) allocation; [`finish`]
+    /// returns the same buffer back.
+    ///
+    /// [`finish`]: Encoder::finish
+    pub fn from_vec(buf: Vec<u8>) -> Encoder {
+        Encoder { buf }
+    }
+
     /// Writes a length-prefixed byte string.
     pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
         self.buf.extend_from_slice(&(v.len() as u32).to_be_bytes());
         self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Writes a fixed-width u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
         self
     }
 
@@ -123,6 +138,11 @@ impl<'a> Decoder<'a> {
         let at = self.pos;
         let slice = self.bytes()?;
         slice.try_into().map_err(|_| DecodeError { at })
+    }
+
+    /// Reads a fixed-width u32.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take_array::<4>()?))
     }
 
     /// Reads a fixed-width u64.

@@ -25,6 +25,12 @@ pub trait LogService: Send + Sync {
     /// flushes (off-chain commitment).
     fn submit_request(&self, request: AppendRequest, reply: ReplyFn) -> Result<(), CoreError>;
 
+    /// Pushes any buffered submissions toward the node. In-process services
+    /// deliver immediately, so the default is a no-op; buffered network
+    /// transports override it to flush their write buffers. Callers that
+    /// submit a burst of requests should flush once after the burst.
+    fn flush(&self) {}
+
     /// Reads one entry as a freshly signed response.
     fn read_entry(&self, id: EntryId) -> Result<SignedResponse, CoreError>;
 

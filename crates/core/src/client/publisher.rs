@@ -237,6 +237,9 @@ impl Publisher {
             )?;
         }
         drop(reply_tx);
+        // Buffered transports hold append frames until flushed; one flush
+        // for the whole burst keeps it a single socket write.
+        self.service.flush();
 
         // Collect responses one by one, timing first and last arrivals.
         let mut responses = Vec::with_capacity(n);

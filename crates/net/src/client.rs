@@ -3,9 +3,9 @@
 //! networked Offchain Node exactly as they do in-process.
 
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,7 +18,7 @@ use wedge_crypto::keys::Address;
 use wedge_crypto::PublicKey;
 use wedge_merkle::RangeProof;
 
-use crate::wire::{recv_reply, send_request, Reply, Request};
+use crate::wire::{encode_request_into, recv_reply, Reply, Request, WireError};
 
 /// How a pending request wants its reply delivered.
 enum PendingSlot {
@@ -32,14 +32,32 @@ struct Shared {
     pending: Mutex<HashMap<u64, PendingSlot>>,
 }
 
+/// The `positions`/`entries` pair observed by the most recent `Meta` round
+/// trip, each consumable once. Serving the companion accessor from the
+/// cache halves the Meta RPC count for the common "read both" pattern;
+/// consume-once semantics mean polling the *same* accessor always refreshes.
+#[derive(Default)]
+struct MetaCache {
+    positions: Option<u64>,
+    entries: Option<u64>,
+}
+
 /// A connection to a remote WedgeBlock node.
 ///
 /// One TCP connection is multiplexed across all operations; a background
 /// reader thread dispatches tagged replies. Dropping the `RemoteNode`
 /// closes the connection (outstanding appends get an error reply).
+///
+/// Writes are buffered. By default every request is flushed immediately;
+/// [`RemoteNode::set_buffered_appends`] defers flushing of appends until
+/// [`LogService::flush`] (or any synchronous round trip), letting a batch
+/// of appends share one socket write.
 pub struct RemoteNode {
-    writer: Mutex<TcpStream>,
+    writer: Mutex<BufWriter<TcpStream>>,
+    /// When false, appends stay in the write buffer until a flush.
+    autoflush: AtomicBool,
     shared: Arc<Shared>,
+    meta_cache: Mutex<MetaCache>,
     next_id: AtomicU64,
     public_key: PublicKey,
     timeout: Duration,
@@ -78,7 +96,7 @@ impl RemoteNode {
                         }
                         Some(PendingSlot::Append(callback)) => match reply {
                             Reply::Response(response) => callback(Ok(response)),
-                            Reply::Error(message) => callback(Err(message)),
+                            Reply::Error(error) => callback(Err(error.to_string())),
                             other => callback(Err(format!("unexpected append reply: {other:?}"))),
                         },
                         None => {} // late reply for a timed-out caller
@@ -91,12 +109,13 @@ impl RemoteNode {
                         callback(Err("connection closed".into()));
                     }
                 }
-            })
-            .expect("spawn client reader");
+            })?;
 
         let mut node = RemoteNode {
-            writer: Mutex::new(stream),
+            writer: Mutex::new(BufWriter::new(stream)),
+            autoflush: AtomicBool::new(true),
             shared,
+            meta_cache: Mutex::new(MetaCache::default()),
             next_id: AtomicU64::new(1),
             // A syntactically valid placeholder; the handshake below
             // overwrites it before `connect` returns.
@@ -121,8 +140,28 @@ impl RemoteNode {
         Ok(node)
     }
 
+    /// Switches buffered-append mode: when buffered, append frames queue in
+    /// the write buffer until [`LogService::flush`] or the next synchronous
+    /// round trip, so a burst shares one socket write. Synchronous requests
+    /// always flush (they block on the reply).
+    pub fn set_buffered_appends(&self, buffered: bool) {
+        self.autoflush.store(!buffered, Ordering::Relaxed);
+    }
+
     fn next_id(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Encodes and writes one request frame; flushes when asked.
+    fn send(&self, req_id: u64, request: &Request, flush: bool) -> std::io::Result<()> {
+        let mut frame = Vec::new();
+        encode_request_into(&mut frame, req_id, request)?;
+        let mut writer = self.writer.lock();
+        writer.write_all(&frame)?;
+        if flush {
+            writer.flush()?;
+        }
+        Ok(())
     }
 
     /// Sends `request` and blocks for its tagged reply.
@@ -133,12 +172,11 @@ impl RemoteNode {
             .pending
             .lock()
             .insert(req_id, PendingSlot::Channel(tx));
-        {
-            let mut writer = self.writer.lock();
-            if let Err(e) = send_request(&mut *writer, req_id, &request) {
-                self.shared.pending.lock().remove(&req_id);
-                return Err(e);
-            }
+        // Synchronous callers always flush — any buffered appends ride
+        // along in the same write.
+        if let Err(e) = self.send(req_id, &request, true) {
+            self.shared.pending.lock().remove(&req_id);
+            return Err(e);
         }
         rx.recv_timeout(self.timeout).map_err(|_| {
             self.shared.pending.lock().remove(&req_id);
@@ -148,23 +186,30 @@ impl RemoteNode {
 
     fn rpc(&self, request: Request) -> Result<Reply, CoreError> {
         match self.round_trip(request) {
-            Ok(Reply::Error(message)) => Err(remote_error(message)),
+            Ok(Reply::Error(error)) => Err(remote_error(error)),
             Ok(reply) => Ok(reply),
             Err(_) => Err(CoreError::NodeStopped),
         }
     }
 }
 
-/// Maps a remote error string back into a client-side error. "Not found"
-/// errors keep their variant so callers can dispatch on them.
-fn remote_error(message: String) -> CoreError {
-    if message.contains("not found") {
-        CoreError::EntryNotFound(EntryId {
-            log_id: u64::MAX,
-            offset: u32::MAX,
-        })
-    } else {
-        CoreError::Remote(message)
+/// Maps a wire error back into a client-side error. Structured errors carry
+/// the real [`EntryId`]; plain-text errors from pre-structured peers fall
+/// back to the historical needle match (with a sentinel id, since the old
+/// wire format never carried one).
+fn remote_error(error: WireError) -> CoreError {
+    match error {
+        WireError::EntryNotFound { id, .. } => CoreError::EntryNotFound(id),
+        WireError::Generic(message) => {
+            if message.contains("not found") {
+                CoreError::EntryNotFound(EntryId {
+                    log_id: u64::MAX,
+                    offset: u32::MAX,
+                })
+            } else {
+                CoreError::Remote(message)
+            }
+        }
     }
 }
 
@@ -174,13 +219,15 @@ impl LogService for RemoteNode {
     }
 
     fn submit_request(&self, request: AppendRequest, reply: ReplyFn) -> Result<(), CoreError> {
+        // Appends change the log shape: the cached meta pair is stale.
+        *self.meta_cache.lock() = MetaCache::default();
         let req_id = self.next_id();
         self.shared
             .pending
             .lock()
             .insert(req_id, PendingSlot::Append(reply));
-        let mut writer = self.writer.lock();
-        if send_request(&mut *writer, req_id, &Request::Append(request)).is_err() {
+        let flush = self.autoflush.load(Ordering::Relaxed);
+        if self.send(req_id, &Request::Append(request), flush).is_err() {
             // Reclaim and fail the continuation.
             if let Some(PendingSlot::Append(callback)) = self.shared.pending.lock().remove(&req_id)
             {
@@ -189,6 +236,10 @@ impl LogService for RemoteNode {
             return Err(CoreError::NodeStopped);
         }
         Ok(())
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
     }
 
     fn read_entry(&self, id: EntryId) -> Result<SignedResponse, CoreError> {
@@ -257,15 +308,37 @@ impl LogService for RemoteNode {
     }
 
     fn positions(&self) -> u64 {
+        // Serve from the pair cached by a preceding `entries()` call —
+        // both values then come from one Meta round trip.
+        if let Some(positions) = self.meta_cache.lock().positions.take() {
+            return positions;
+        }
         match self.rpc(Request::Meta { log_id: u64::MAX }) {
-            Ok(Reply::Meta { positions, .. }) => positions,
+            Ok(Reply::Meta {
+                positions, entries, ..
+            }) => {
+                let mut cache = self.meta_cache.lock();
+                cache.positions = None;
+                cache.entries = Some(entries);
+                positions
+            }
             _ => 0,
         }
     }
 
     fn entries(&self) -> u64 {
+        if let Some(entries) = self.meta_cache.lock().entries.take() {
+            return entries;
+        }
         match self.rpc(Request::Meta { log_id: u64::MAX }) {
-            Ok(Reply::Meta { entries, .. }) => entries,
+            Ok(Reply::Meta {
+                positions, entries, ..
+            }) => {
+                let mut cache = self.meta_cache.lock();
+                cache.entries = None;
+                cache.positions = Some(positions);
+                entries
+            }
             _ => 0,
         }
     }
@@ -286,11 +359,43 @@ impl LogService for RemoteNode {
 
 impl Drop for RemoteNode {
     fn drop(&mut self) {
-        // Closing the write half drops the connection; the reader thread
-        // exits on EOF.
-        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+        // Flush buffered appends, then close the connection; the reader
+        // thread exits on EOF.
+        {
+            let mut writer = self.writer.lock();
+            let _ = writer.flush();
+            let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+        }
         if let Some(handle) = self.reader_thread.take() {
             let _ = handle.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structured_errors_carry_the_real_entry_id() {
+        let id = EntryId {
+            log_id: 6,
+            offset: 2,
+        };
+        let err = remote_error(WireError::EntryNotFound {
+            id,
+            message: "entry 6/2 not found".into(),
+        });
+        assert!(matches!(err, CoreError::EntryNotFound(got) if got == id));
+    }
+
+    #[test]
+    fn legacy_text_errors_still_dispatch_on_the_needle() {
+        // Pre-structured peers send plain text; the sentinel fallback keeps
+        // the variant (old behavior) even though the id is unknown.
+        let err = remote_error(WireError::Generic("entry 6/2 not found".into()));
+        assert!(matches!(err, CoreError::EntryNotFound(_)));
+        let err = remote_error(WireError::Generic("disk on fire".into()));
+        assert!(matches!(err, CoreError::Remote(_)));
     }
 }

@@ -1,0 +1,259 @@
+//! A striped client connection pool.
+//!
+//! A single [`RemoteNode`] serializes all traffic through one socket and
+//! one writer lock — under fan-out the lock convoy, not the network,
+//! bounds throughput. [`RemoteNodePool`] opens `stripes` independent
+//! connections and spreads requests across them round-robin; each stripe
+//! runs in buffered-append mode so bursts share socket writes, and a
+//! bounded in-flight append window provides client-side backpressure (a
+//! publisher can never buffer unboundedly ahead of the node).
+//!
+//! The pool implements [`LogService`], so `Publisher`/`Reader`/`Auditor`
+//! fan out across connections unchanged.
+
+use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use wedge_core::node::ReplyFn;
+use wedge_core::{AppendRequest, CoreError, EntryId, LogService, SignedResponse};
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::keys::Address;
+use wedge_crypto::PublicKey;
+use wedge_merkle::RangeProof;
+
+use crate::RemoteNode;
+
+/// Tuning for [`RemoteNodePool`].
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Independent connections to open.
+    pub stripes: usize,
+    /// Maximum appends in flight (submitted, reply not yet delivered)
+    /// across the whole pool; further submissions block.
+    pub inflight_window: usize,
+    /// Per-operation timeout for every stripe.
+    pub timeout: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            stripes: 4,
+            inflight_window: 4096,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counts in-flight appends; acquire blocks while the window is full.
+struct WindowGate {
+    cap: usize,
+    inflight: Mutex<usize>,
+    released: Condvar,
+}
+
+impl WindowGate {
+    /// Claims a slot if one is free, without blocking.
+    fn try_acquire(&self) -> bool {
+        let mut inflight = self.inflight.lock();
+        if *inflight >= self.cap {
+            return false;
+        }
+        *inflight += 1;
+        true
+    }
+
+    fn acquire(&self) {
+        let mut inflight = self.inflight.lock();
+        while *inflight >= self.cap {
+            self.released.wait(&mut inflight);
+        }
+        *inflight += 1;
+    }
+
+    fn release(&self) {
+        let mut inflight = self.inflight.lock();
+        *inflight = inflight.saturating_sub(1);
+        drop(inflight);
+        self.released.notify_one();
+    }
+}
+
+/// N multiplexed connections to one node, striped round-robin.
+pub struct RemoteNodePool {
+    stripes: Vec<RemoteNode>,
+    next: AtomicU64,
+    window: Arc<WindowGate>,
+}
+
+impl RemoteNodePool {
+    /// Opens `stripes` connections to `addr` with default tuning.
+    pub fn connect(
+        addr: impl ToSocketAddrs + Clone,
+        stripes: usize,
+    ) -> std::io::Result<RemoteNodePool> {
+        RemoteNodePool::connect_with_config(
+            addr,
+            PoolConfig {
+                stripes,
+                ..PoolConfig::default()
+            },
+        )
+    }
+
+    /// Opens the pool with explicit tuning.
+    pub fn connect_with_config(
+        addr: impl ToSocketAddrs + Clone,
+        config: PoolConfig,
+    ) -> std::io::Result<RemoteNodePool> {
+        let mut stripes = Vec::with_capacity(config.stripes.max(1));
+        for _ in 0..config.stripes.max(1) {
+            let node = RemoteNode::connect_with_timeout(addr.clone(), config.timeout)?;
+            node.set_buffered_appends(true);
+            stripes.push(node);
+        }
+        // Every stripe handshook with the same endpoint; a key mismatch
+        // means the "node" is not one node.
+        let key = stripes
+            .first()
+            .map(|s| s.node_public_key())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no stripes"))?;
+        if stripes.iter().any(|s| s.node_public_key() != key) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "stripes reached nodes with different identities",
+            ));
+        }
+        Ok(RemoteNodePool {
+            stripes,
+            next: AtomicU64::new(0),
+            window: Arc::new(WindowGate {
+                cap: config.inflight_window.max(1),
+                inflight: Mutex::new(0),
+                released: Condvar::new(),
+            }),
+        })
+    }
+
+    /// Number of connections in the pool.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Round-robin stripe selection: request-id striping without any
+    /// shared lock on the hot path.
+    fn stripe(&self) -> &RemoteNode {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) as usize;
+        // Non-empty by construction.
+        &self.stripes[i % self.stripes.len()]
+    }
+}
+
+impl LogService for RemoteNodePool {
+    fn node_public_key(&self) -> PublicKey {
+        // All stripes verified identical at connect time.
+        self.stripe().node_public_key()
+    }
+
+    fn submit_request(&self, request: AppendRequest, reply: ReplyFn) -> Result<(), CoreError> {
+        // Bounded in-flight window: blocks (backpressure) when the node or
+        // network falls behind, releases when the reply lands. Before
+        // blocking, push every buffered request out — the submissions that
+        // will free the window may still be sitting in stripe buffers, and
+        // waiting on them unflushed would deadlock a burst larger than the
+        // window.
+        if !self.window.try_acquire() {
+            self.flush();
+            self.window.acquire();
+        }
+        let gate = Arc::clone(&self.window);
+        let wrapped: ReplyFn = Box::new(move |result| {
+            gate.release();
+            reply(result);
+        });
+        // On error the stripe has already invoked the callback (releasing
+        // the window slot); just propagate.
+        self.stripe().submit_request(request, wrapped)
+    }
+
+    fn flush(&self) {
+        for stripe in &self.stripes {
+            stripe.flush();
+        }
+    }
+
+    fn read_entry(&self, id: EntryId) -> Result<SignedResponse, CoreError> {
+        self.stripe().read_entry(id)
+    }
+
+    fn read_entries(&self, ids: &[EntryId]) -> Vec<Result<SignedResponse, CoreError>> {
+        self.stripe().read_entries(ids)
+    }
+
+    fn read_entry_by_sequence(
+        &self,
+        publisher: Address,
+        sequence: u64,
+    ) -> Result<SignedResponse, CoreError> {
+        self.stripe().read_entry_by_sequence(publisher, sequence)
+    }
+
+    fn read_position(&self, log_id: u64) -> Result<Vec<SignedResponse>, CoreError> {
+        self.stripe().read_position(log_id)
+    }
+
+    fn position_len(&self, log_id: u64) -> Option<u32> {
+        self.stripe().position_len(log_id)
+    }
+
+    fn scan(
+        &self,
+        log_id: u64,
+        start: u32,
+        count: u32,
+    ) -> Result<(Vec<Vec<u8>>, RangeProof, Hash32), CoreError> {
+        self.stripe().scan(log_id, start, count)
+    }
+
+    fn positions(&self) -> u64 {
+        self.stripe().positions()
+    }
+
+    fn entries(&self) -> u64 {
+        self.stripe().entries()
+    }
+
+    fn meta(&self, log_id: u64) -> (u64, u64, Option<u32>) {
+        self.stripe().meta(log_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_gate_blocks_at_capacity_and_releases() {
+        let gate = Arc::new(WindowGate {
+            cap: 2,
+            inflight: Mutex::new(0),
+            released: Condvar::new(),
+        });
+        gate.acquire();
+        gate.acquire();
+        let blocked = Arc::clone(&gate);
+        let t = std::thread::spawn(move || {
+            blocked.acquire(); // blocks until a release
+            blocked.release();
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!t.is_finished(), "third acquire must block at cap 2");
+        gate.release();
+        t.join().expect("gated thread");
+        gate.release();
+        assert_eq!(*gate.inflight.lock(), 0);
+    }
+}

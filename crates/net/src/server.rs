@@ -1,83 +1,173 @@
-//! The node-side TCP server: exposes a [`LogService`] to remote clients.
+//! The node-side TCP server: a fixed-size connection worker pool with
+//! coalescing writers and pooled frame buffers.
 //!
-//! One thread per connection reads request frames; replies go out through a
-//! per-connection writer thread so that asynchronous append replies (which
-//! fire at batch-flush time, from the node's batcher thread) interleave
-//! safely with synchronous read replies.
+//! Topology: one blocking accept thread feeds accepted sockets into a
+//! bounded channel; `workers` persistent (reader, writer) thread pairs take
+//! connections from it, so serving a connection costs no thread spawn. The
+//! reader parses request frames into pooled buffers and dispatches them;
+//! all replies — synchronous reads and asynchronous append callbacks alike
+//! — go through a **bounded** per-session reply queue to the pair's
+//! coalescing writer, which drains every ready reply into one pooled
+//! egress buffer and ships the batch in a single socket write. When a
+//! client stops draining and its queue stays full, further replies are
+//! shed ([`NetStats::queue_shed`]) instead of growing node memory; healthy
+//! connections on other worker pairs are unaffected.
+//!
+//! The reply-release rule from the durability plane is preserved: replies
+//! reach this layer only after the entry is durable, and this layer only
+//! ever delays or drops them — it never invents one.
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::Write as _;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use wedge_core::LogService;
 
-use crate::wire::{decode_request_frame, send_reply, Reply, Request};
+use crate::buffer::BufferPool;
+use crate::stats::{NetCounters, NetStats};
+use crate::wire::{decode_request_frame, encode_reply_into, Reply, Request, WireError};
+
+/// Tuning for [`NodeServer`]. The defaults suit tests and production; the
+/// bench pins individual fields to compare the old and new write paths in
+/// one run.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connection worker pairs (one reader + one writer thread each).
+    /// `0` means one pair per available core, clamped to `[8, 16]` — the
+    /// floor guarantees a default server can host a default-sized
+    /// [`crate::RemoteNodePool`] (4 stripes) with headroom even on small
+    /// machines, since a connection beyond the pool waits for a pair to
+    /// free up.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a free worker pair; beyond
+    /// this the accept loop sheds the connection.
+    pub pending_connections: usize,
+    /// Depth of each session's bounded reply queue. When a client stops
+    /// draining and the queue stays full, replies are shed.
+    pub reply_queue_depth: usize,
+    /// Maximum replies coalesced into one socket write. `1` restores the
+    /// old write-per-reply behavior.
+    pub coalesce_max_replies: usize,
+    /// Soft cap on a coalesced egress batch, in bytes.
+    pub coalesce_max_bytes: usize,
+    /// Frame buffers retained by the shared pool. `0` disables pooling
+    /// (every acquisition allocates).
+    pub pool_max_buffers: usize,
+    /// Buffers grown beyond this many bytes are not returned to the pool.
+    pub pool_max_retained: usize,
+    /// A writer stalled on one socket write longer than this kills the
+    /// connection instead of holding its worker pair hostage.
+    pub write_stall_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 0,
+            pending_connections: 128,
+            reply_queue_depth: 1024,
+            coalesce_max_replies: 64,
+            coalesce_max_bytes: 1 << 20,
+            pool_max_buffers: 64,
+            pool_max_retained: 1 << 20,
+            write_stall_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8)
+            .clamp(8, 16)
+    }
+}
+
+/// State shared by the accept loop, the worker pairs, and the handle.
+struct ServerShared {
+    service: Arc<dyn LogService>,
+    stop: AtomicBool,
+    counters: NetCounters,
+    pool: BufferPool,
+    config: ServerConfig,
+}
+
+/// One connection handed from a reader worker to its writer mate.
+struct WriterSession {
+    stream: TcpStream,
+    reply_rx: Receiver<(u64, Reply)>,
+}
 
 /// A running WedgeBlock TCP endpoint. Stops (and joins its threads) on drop.
 pub struct NodeServer {
     local_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    dropped_connections: Arc<AtomicU64>,
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl NodeServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and serves `service`.
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves `service`
+    /// with the default [`ServerConfig`].
     pub fn bind(addr: &str, service: Arc<dyn LogService>) -> std::io::Result<NodeServer> {
+        NodeServer::bind_with_config(addr, service, ServerConfig::default())
+    }
+
+    /// Binds with explicit tuning.
+    pub fn bind_with_config(
+        addr: &str,
+        service: Arc<dyn LogService>,
+        config: ServerConfig,
+    ) -> std::io::Result<NodeServer> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
-        let dropped_connections = Arc::new(AtomicU64::new(0));
-        let dropped = Arc::clone(&dropped_connections);
+        let accept_listener = listener.try_clone()?;
+        let shared = Arc::new(ServerShared {
+            service,
+            stop: AtomicBool::new(false),
+            counters: NetCounters::default(),
+            pool: BufferPool::new(config.pool_max_buffers, config.pool_max_retained),
+            config: config.clone(),
+        });
+        let (conn_tx, conn_rx) = bounded::<TcpStream>(config.pending_connections.max(1));
+        let mut workers = Vec::new();
+        for i in 0..config.effective_workers() {
+            let (session_tx, session_rx) = bounded::<WriterSession>(1);
+            let (ack_tx, ack_rx) = bounded::<()>(1);
+            let writer_shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("wedge-net-writer-{i}"))
+                    .spawn(move || writer_worker(session_rx, ack_tx, writer_shared))?,
+            );
+            let reader_shared = Arc::clone(&shared);
+            let reader_rx = conn_rx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("wedge-net-conn-{i}"))
+                    .spawn(move || reader_worker(reader_rx, session_tx, ack_rx, reader_shared))?,
+            );
+        }
+        drop(conn_rx);
+        let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("wedge-net-accept".into())
-            .spawn(move || {
-                let mut workers: Vec<JoinHandle<()>> = Vec::new();
-                while !stop_flag.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let service = Arc::clone(&service);
-                            let stop = Arc::clone(&stop_flag);
-                            let spawned = std::thread::Builder::new()
-                                .name("wedge-net-conn".into())
-                                .spawn(move || serve_connection(stream, service, stop));
-                            match spawned {
-                                Ok(handle) => workers.push(handle),
-                                Err(_) => {
-                                    // Thread spawn failed (resource
-                                    // exhaustion). Shed this connection —
-                                    // the stream closes on drop, the client
-                                    // sees EOF and can retry — instead of
-                                    // panicking the accept loop and taking
-                                    // the whole endpoint down.
-                                    dropped.fetch_add(1, Ordering::Relaxed);
-                                }
-                            }
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                        Err(_) => break,
-                    }
-                    // Reap finished workers.
-                    workers.retain(|w| !w.is_finished());
-                }
-                for worker in workers {
-                    let _ = worker.join();
-                }
-            })
-            .expect("spawn accept thread");
+            .spawn(move || accept_loop(accept_listener, conn_tx, accept_shared))?;
         Ok(NodeServer {
             local_addr,
-            stop,
-            dropped_connections,
+            listener,
+            shared,
             accept_thread: Some(accept_thread),
+            workers,
         })
     }
 
@@ -86,17 +176,43 @@ impl NodeServer {
         self.local_addr
     }
 
-    /// Connections shed because their handler thread could not be spawned
-    /// (resource exhaustion on the serving host).
-    pub fn dropped_connections(&self) -> u64 {
-        self.dropped_connections.load(Ordering::Relaxed)
+    /// A snapshot of the RPC-plane counters.
+    pub fn stats(&self) -> NetStats {
+        self.shared.counters.snapshot(&self.shared.pool)
     }
 
-    /// Stops accepting and joins the accept thread. Existing connections
-    /// close once their clients hang up.
+    /// Connections shed because every worker pair was busy and the pending
+    /// queue was full.
+    pub fn dropped_connections(&self) -> u64 {
+        self.shared
+            .counters
+            .connections_shed
+            .load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting and joins all server threads. Sessions mid-flight
+    /// notice the stop flag at their next read-timeout check point.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // The accept thread blocks in `accept()`. Flip the listener to
+        // non-blocking (so any future accept returns instead of parking)
+        // and poke the port with a throwaway connection to unblock the
+        // call already in flight.
+        let _ = self.listener.set_nonblocking(true);
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(200));
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // The accept loop owned `conn_tx`; its exit disconnects the reader
+        // workers, whose exits disconnect their writer mates.
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -108,57 +224,189 @@ impl Drop for NodeServer {
     }
 }
 
-/// Handles one client connection until EOF or shutdown.
-fn serve_connection(stream: TcpStream, service: Arc<dyn LogService>, stop: Arc<AtomicBool>) {
+/// Accepts connections and feeds them to the worker pool, shedding when the
+/// pending queue is full. Blocking accept: no sleep-poll, so connection
+/// establishment costs no added latency.
+fn accept_loop(listener: TcpListener, conn_tx: Sender<TcpStream>, shared: Arc<ServerShared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    break; // the shutdown wake-up connection
+                }
+                shared
+                    .counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        // Every worker busy and the backlog full: shed.
+                        // The client sees EOF and can retry.
+                        shared
+                            .counters
+                            .connections_shed
+                            .fetch_add(1, Ordering::Relaxed);
+                        drop(stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Only reachable after shutdown flipped the listener to
+                // non-blocking.
+                if shared.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// A persistent reader worker: serves connections from the queue, one at a
+/// time, handing each session's write half to its dedicated writer mate.
+fn reader_worker(
+    conn_rx: Receiver<TcpStream>,
+    session_tx: Sender<WriterSession>,
+    ack_rx: Receiver<()>,
+    shared: Arc<ServerShared>,
+) {
+    while let Ok(stream) = conn_rx.recv() {
+        shared.counters.connection_opened();
+        serve_session(stream, &session_tx, &ack_rx, &shared);
+        shared.counters.connection_closed();
+    }
+}
+
+/// Serves one connection until EOF, protocol violation, or shutdown.
+fn serve_session(
+    stream: TcpStream,
+    session_tx: &Sender<WriterSession>,
+    ack_rx: &Receiver<()>,
+    shared: &Arc<ServerShared>,
+) {
     let _ = stream.set_nodelay(true);
-    // Reads time out periodically so the handler notices shutdown.
+    // Reads time out periodically so the session notices shutdown.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let writer_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    // All replies (sync and async) funnel through one writer thread.
-    let (reply_tx, reply_rx) = unbounded::<(u64, Reply)>();
-    let writer = std::thread::Builder::new()
-        .name("wedge-net-writer".into())
-        .spawn(move || {
-            let mut w = writer_stream;
-            while let Ok((req_id, reply)) = reply_rx.recv() {
-                if send_reply(&mut w, req_id, &reply).is_err() {
-                    break;
-                }
-            }
+    let _ = writer_stream.set_write_timeout(Some(shared.config.write_stall_timeout));
+    // The bounded reply queue: sync reads and async append callbacks all
+    // funnel through it to the coalescing writer.
+    let (reply_tx, reply_rx) = bounded::<(u64, Reply)>(shared.config.reply_queue_depth.max(1));
+    if session_tx
+        .send(WriterSession {
+            stream: writer_stream,
+            reply_rx,
         })
-        .expect("spawn writer");
-
-    let mut reader = BufReader::new(stream);
+        .is_err()
+    {
+        return; // writer mate gone: shutdown in progress
+    }
+    let mut reader = std::io::BufReader::new(stream);
     loop {
-        let frame = match read_frame_interruptible(&mut reader, &stop) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => break, // clean shutdown between frames
-            Err(_) => break,   // EOF or protocol violation
-        };
+        let mut frame = shared.pool.get();
+        match read_frame_interruptible(&mut reader, &shared.stop, &mut frame) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break, // shutdown, EOF, or violation
+        }
+        shared.counters.frames_rx.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .rx_bytes
+            .fetch_add(frame.len() as u64 + 4, Ordering::Relaxed);
         let (req_id, request) = match decode_request_frame(&frame) {
             Ok(decoded) => decoded,
             Err(_) => break,
         };
-        handle(&service, req_id, request, &reply_tx);
+        // The decoded request owns its data; return the rx buffer to the
+        // pool before dispatching.
+        drop(frame);
+        handle(shared, req_id, request, &reply_tx);
     }
-    drop(reply_tx); // writer drains and exits
-    let _ = writer.join();
+    drop(reply_tx);
+    // The writer exits once every reply sender — including clones held by
+    // pending append callbacks — has dropped, so no durable reply that can
+    // still be delivered is abandoned. Its ack bounds the session.
+    let _ = ack_rx.recv();
 }
 
-/// Reads one length-prefixed frame. Read timeouts *between* frames are
-/// shutdown-check points (returning `Ok(None)` once `stop` is set); a
-/// timeout mid-frame never desynchronizes — partial bytes are retained and
-/// the read resumes.
+/// A persistent writer worker: runs the coalescing writer for each session
+/// its reader mate hands over, acking completion in between.
+fn writer_worker(
+    session_rx: Receiver<WriterSession>,
+    ack_tx: Sender<()>,
+    shared: Arc<ServerShared>,
+) {
+    while let Ok(session) = session_rx.recv() {
+        run_coalescing_writer(session, &shared);
+        if ack_tx.send(()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Drains the session's reply queue: every ready reply is encoded into one
+/// pooled egress buffer and the batch ships in a single socket write.
+fn run_coalescing_writer(session: WriterSession, shared: &ServerShared) {
+    let WriterSession {
+        mut stream,
+        reply_rx,
+    } = session;
+    let max_replies = shared.config.coalesce_max_replies.max(1) as u64;
+    let max_bytes = shared.config.coalesce_max_bytes.max(1);
+    // recv() returns Err only once the reader and every pending append
+    // callback have dropped their senders — the session is over.
+    'session: while let Ok((req_id, reply)) = reply_rx.recv() {
+        let mut batch = shared.pool.get();
+        if encode_reply_into(&mut batch, req_id, &reply).is_err() {
+            break 'session; // oversized reply: unrecoverable for this peer
+        }
+        let mut encoded = 1u64;
+        while encoded < max_replies && batch.len() < max_bytes {
+            match reply_rx.try_recv() {
+                Ok((id, next)) => {
+                    if encode_reply_into(&mut batch, id, &next).is_err() {
+                        break 'session;
+                    }
+                    encoded += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        if stream.write_all(&batch).is_err() {
+            break 'session;
+        }
+        let c = &shared.counters;
+        c.writes_issued.fetch_add(1, Ordering::Relaxed);
+        c.replies_sent.fetch_add(encoded, Ordering::Relaxed);
+        c.replies_coalesced
+            .fetch_add(encoded - 1, Ordering::Relaxed);
+        c.tx_bytes.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+    // Kill both halves so a reader blocked mid-frame on this peer notices.
+    // Late replies from still-pending append callbacks hit a disconnected
+    // queue once `reply_rx` drops here and are discarded: the entry is
+    // already durable, the peer is gone.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Reads one length-prefixed frame into `frame` (a pooled buffer). Read
+/// timeouts *between* frames are shutdown-check points (returning
+/// `Ok(false)` once `stop` is set); a timeout mid-frame never
+/// desynchronizes — partial bytes are retained and the read resumes.
 fn read_frame_interruptible(
     reader: &mut impl std::io::Read,
     stop: &AtomicBool,
-) -> std::io::Result<Option<Vec<u8>>> {
+    frame: &mut Vec<u8>,
+) -> std::io::Result<bool> {
     let mut len_bytes = [0u8; 4];
     if !read_full(reader, &mut len_bytes, stop, true)? {
-        return Ok(None);
+        return Ok(false);
     }
     let len = u32::from_be_bytes(len_bytes) as usize;
     if !(9..=crate::wire::MAX_FRAME).contains(&len) {
@@ -167,10 +415,11 @@ fn read_frame_interruptible(
             "bad frame length",
         ));
     }
-    let mut frame = vec![0u8; len];
+    frame.clear();
+    frame.resize(len, 0);
     // Mid-frame: ignore the stop flag so framing stays intact.
-    read_full(reader, &mut frame, stop, false)?;
-    Ok(Some(frame))
+    read_full(reader, frame, stop, false)?;
+    Ok(true)
 }
 
 /// Fills `buf`, tolerating timeouts. With `abortable` set, a timeout before
@@ -206,55 +455,71 @@ fn read_full(
     Ok(true)
 }
 
+/// Queues one reply, shedding (never blocking) when the bounded queue is
+/// full — the slow-client policy. Both the reader and the node's batcher
+/// thread (through append callbacks) deliver replies this way, so a stalled
+/// peer can never stall the durability plane.
+fn deliver(shared: &ServerShared, reply_tx: &Sender<(u64, Reply)>, req_id: u64, reply: Reply) {
+    match reply_tx.try_send((req_id, reply)) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.counters.queue_shed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(TrySendError::Disconnected(_)) => {} // session already over
+    }
+}
+
 /// Dispatches one request; errors become [`Reply::Error`] frames.
 fn handle(
-    service: &Arc<dyn LogService>,
+    shared: &Arc<ServerShared>,
     req_id: u64,
     request: Request,
     reply_tx: &Sender<(u64, Reply)>,
 ) {
+    let service = &shared.service;
     let reply = match request {
         Request::Hello => Reply::Hello {
             public_key: service.node_public_key().to_bytes(),
         },
         Request::Append(append) => {
             // Asynchronous: the callback fires at batch flush, on the
-            // batcher thread, and routes through the writer channel.
+            // batcher thread, and routes through the bounded reply queue.
             let tx = reply_tx.clone();
+            let callback_shared = Arc::clone(shared);
             let outcome = service.submit_request(
                 append,
                 Box::new(move |result| {
                     let reply = match result {
                         Ok(response) => Reply::Response(response),
-                        Err(message) => Reply::Error(message),
+                        Err(message) => Reply::Error(WireError::generic(message)),
                     };
-                    let _ = tx.send((req_id, reply));
+                    deliver(&callback_shared, &tx, req_id, reply);
                 }),
             );
             match outcome {
                 Ok(()) => return, // reply comes later
-                Err(e) => Reply::Error(e.to_string()),
+                Err(e) => Reply::Error(WireError::from_service_error(&e)),
             }
         }
         Request::Read(id) => match service.read_entry(id) {
             Ok(response) => Reply::Response(response),
-            Err(e) => Reply::Error(e.to_string()),
+            Err(e) => Reply::Error(WireError::from_service_error(&e)),
         },
         Request::ReadSeq(publisher, sequence) => {
             match service.read_entry_by_sequence(publisher, sequence) {
                 Ok(response) => Reply::Response(response),
-                Err(e) => Reply::Error(e.to_string()),
+                Err(e) => Reply::Error(WireError::from_service_error(&e)),
             }
         }
         Request::ReadPosition(log_id) => match service.read_position(log_id) {
             Ok(responses) => Reply::Responses(responses),
-            Err(e) => Reply::Error(e.to_string()),
+            Err(e) => Reply::Error(WireError::from_service_error(&e)),
         },
         Request::ReadMany(ids) => Reply::ManyResults(
             service
                 .read_entries(&ids)
                 .into_iter()
-                .map(|r| r.map_err(|e| e.to_string()))
+                .map(|r| r.map_err(|e| WireError::from_service_error(&e)))
                 .collect(),
         ),
         Request::Scan {
@@ -267,7 +532,7 @@ fn handle(
                 proof,
                 root,
             },
-            Err(e) => Reply::Error(e.to_string()),
+            Err(e) => Reply::Error(WireError::from_service_error(&e)),
         },
         Request::Meta { log_id } => {
             // One `meta` call so the three values come from one snapshot.
@@ -279,5 +544,5 @@ fn handle(
             }
         }
     };
-    let _ = reply_tx.send((req_id, reply));
+    deliver(shared, reply_tx, req_id, reply);
 }

@@ -6,11 +6,19 @@
 //! including append replies, which arrive asynchronously at batch-flush
 //! time — can be routed back to their callers over one multiplexed
 //! connection.
+//!
+//! Frames are built in one contiguous buffer and shipped with a single
+//! `write_all` (the pre-coalescing path issued four). The
+//! [`encode_request_into`]/[`encode_reply_into`] entry points append a
+//! complete frame to a caller-supplied buffer, so pooled allocations can be
+//! reused across frames and several replies can share one egress buffer.
+//! The on-wire bytes are unchanged — `tests/wire_compat.rs` proves both
+//! directions against a replica of the old encoder.
 
 use std::io::{self, Read, Write};
 
 use wedge_chain::{Decoder, Encoder};
-use wedge_core::{AppendRequest, EntryId, SignedResponse};
+use wedge_core::{AppendRequest, CoreError, EntryId, SignedResponse};
 use wedge_crypto::hash::Hash32;
 use wedge_crypto::keys::Address;
 use wedge_merkle::RangeProof;
@@ -62,7 +70,7 @@ pub enum Reply {
     /// A batch of signed responses (read-position).
     Responses(Vec<SignedResponse>),
     /// Per-entry results of a `ReadMany`.
-    ManyResults(Vec<Result<SignedResponse, String>>),
+    ManyResults(Vec<Result<SignedResponse, WireError>>),
     /// A range scan result.
     Scan {
         /// The raw leaves.
@@ -85,7 +93,140 @@ pub enum Reply {
         position_len: Option<u32>,
     },
     /// The operation failed.
-    Error(String),
+    Error(WireError),
+}
+
+/// A remote failure, carried inside the `R_ERROR` (and `R_MANY` error-arm)
+/// message byte string.
+///
+/// The encoding is backward and forward compatible with the plain-text
+/// errors of earlier peers: a generic error is the raw UTF-8 message —
+/// byte-identical to the old format — while structured errors start with a
+/// `0x00` byte (which cannot open legitimate UTF-8 error text) followed by
+/// a code byte and fixed-width fields, then the human-readable message.
+/// Old clients that lossily decode the whole byte string still see the
+/// message text (including the `"not found"` needle they dispatch on); new
+/// clients recover the real [`EntryId`] instead of fabricating a sentinel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// An uncategorized failure, carried as text.
+    Generic(String),
+    /// The requested entry does not exist.
+    EntryNotFound {
+        /// The id the failing request named.
+        id: EntryId,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Structured-error escape byte: legitimate UTF-8 error text never starts
+/// with NUL.
+const ERR_ESCAPE: u8 = 0x00;
+/// Structured code: generic message that happens to start with NUL.
+const ERR_CODE_GENERIC: u8 = 0x00;
+/// Structured code: entry not found, fields `log_id u64 BE || offset u32 BE`.
+const ERR_CODE_NOT_FOUND: u8 = 0x01;
+
+impl WireError {
+    /// Builds a generic (text-only) error.
+    pub fn generic(message: impl Into<String>) -> WireError {
+        WireError::Generic(message.into())
+    }
+
+    /// Maps a service-side error, preserving structure where the protocol
+    /// has a code for it.
+    pub fn from_service_error(e: &CoreError) -> WireError {
+        match e {
+            CoreError::EntryNotFound(id) => WireError::EntryNotFound {
+                id: *id,
+                message: e.to_string(),
+            },
+            other => WireError::Generic(other.to_string()),
+        }
+    }
+
+    /// The message byte string carried on the wire.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        match self {
+            WireError::Generic(message) => {
+                if message.as_bytes().first() == Some(&ERR_ESCAPE) {
+                    // Defensive: escape a message that would otherwise be
+                    // mistaken for a structured error.
+                    let mut out = Vec::with_capacity(2 + message.len());
+                    out.push(ERR_ESCAPE);
+                    out.push(ERR_CODE_GENERIC);
+                    out.extend_from_slice(message.as_bytes());
+                    out
+                } else {
+                    message.as_bytes().to_vec()
+                }
+            }
+            WireError::EntryNotFound { id, message } => {
+                let mut out = Vec::with_capacity(14 + message.len());
+                out.push(ERR_ESCAPE);
+                out.push(ERR_CODE_NOT_FOUND);
+                out.extend_from_slice(&id.log_id.to_be_bytes());
+                out.extend_from_slice(&id.offset.to_be_bytes());
+                out.extend_from_slice(message.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses a message byte string. Unknown structured codes and malformed
+    /// field blocks degrade to [`WireError::Generic`] with the lossy text,
+    /// so a newer peer never makes an older one error out.
+    pub fn from_wire_bytes(bytes: &[u8]) -> WireError {
+        let fallback = || WireError::Generic(String::from_utf8_lossy(bytes).into_owned());
+        if bytes.first() != Some(&ERR_ESCAPE) {
+            return fallback();
+        }
+        match bytes.get(1) {
+            Some(&ERR_CODE_GENERIC) => WireError::Generic(
+                String::from_utf8_lossy(bytes.get(2..).unwrap_or(&[])).into_owned(),
+            ),
+            Some(&ERR_CODE_NOT_FOUND) => {
+                let (Some(log_bytes), Some(off_bytes)) = (bytes.get(2..10), bytes.get(10..14))
+                else {
+                    return fallback();
+                };
+                let mut log = [0u8; 8];
+                log.copy_from_slice(log_bytes);
+                let mut off = [0u8; 4];
+                off.copy_from_slice(off_bytes);
+                WireError::EntryNotFound {
+                    id: EntryId {
+                        log_id: u64::from_be_bytes(log),
+                        offset: u32::from_be_bytes(off),
+                    },
+                    message: String::from_utf8_lossy(bytes.get(14..).unwrap_or(&[])).into_owned(),
+                }
+            }
+            _ => fallback(),
+        }
+    }
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Generic(message) => f.write_str(message),
+            WireError::EntryNotFound { id, message } => {
+                if message.is_empty() {
+                    write!(f, "entry {id} not found")
+                } else {
+                    f.write_str(message)
+                }
+            }
+        }
+    }
+}
+
+impl From<String> for WireError {
+    fn from(message: String) -> WireError {
+        WireError::Generic(message)
+    }
 }
 
 mod kind {
@@ -142,10 +283,9 @@ fn decode_range_proof(dec: &mut Decoder<'_>) -> io::Result<RangeProof> {
 }
 
 impl Request {
-    /// Encodes kind + body (without the frame header).
-    fn encode(&self) -> (u8, Vec<u8>) {
-        let mut enc = Encoder::new();
-        let kind = match self {
+    /// Encodes the body into `enc`, returning the frame kind.
+    fn encode_body(&self, enc: &mut Encoder) -> u8 {
+        match self {
             Request::Hello => kind::HELLO,
             Request::Append(request) => {
                 enc.bytes(&request.leaf_bytes());
@@ -182,8 +322,7 @@ impl Request {
                 enc.u64(*log_id);
                 kind::META
             }
-        };
-        (kind, enc.finish())
+        }
     }
 
     /// Decodes from kind + body.
@@ -237,9 +376,9 @@ impl Request {
 }
 
 impl Reply {
-    fn encode(&self) -> (u8, Vec<u8>) {
-        let mut enc = Encoder::new();
-        let kind = match self {
+    /// Encodes the body into `enc`, returning the frame kind.
+    fn encode_body(&self, enc: &mut Encoder) -> u8 {
+        match self {
             Reply::Hello { public_key } => {
                 enc.bytes(public_key);
                 kind::R_HELLO
@@ -262,8 +401,8 @@ impl Reply {
                         Ok(response) => {
                             enc.u8(1).bytes(&response.to_bytes());
                         }
-                        Err(message) => {
-                            enc.u8(0).bytes(message.as_bytes());
+                        Err(error) => {
+                            enc.u8(0).bytes(&error.to_wire_bytes());
                         }
                     }
                 }
@@ -278,7 +417,7 @@ impl Reply {
                 for leaf in leaves {
                     enc.bytes(leaf);
                 }
-                encode_range_proof(&mut enc, proof);
+                encode_range_proof(enc, proof);
                 enc.bytes(root.as_bytes());
                 kind::R_SCAN
             }
@@ -294,12 +433,11 @@ impl Reply {
                 };
                 kind::R_META
             }
-            Reply::Error(message) => {
-                enc.bytes(message.as_bytes());
+            Reply::Error(error) => {
+                enc.bytes(&error.to_wire_bytes());
                 kind::R_ERROR
             }
-        };
-        (kind, enc.finish())
+        }
     }
 
     fn decode(kind: u8, body: &[u8]) -> io::Result<Reply> {
@@ -358,7 +496,7 @@ impl Reply {
                     results.push(match ok {
                         1 => Ok(SignedResponse::from_bytes(body)
                             .map_err(|_| io_err("response body"))?),
-                        0 => Err(String::from_utf8_lossy(body).into_owned()),
+                        0 => Err(WireError::from_wire_bytes(body)),
                         _ => return Err(io_err("bad result flag")),
                     });
                 }
@@ -380,7 +518,7 @@ impl Reply {
             }
             kind::R_ERROR => {
                 let msg = dec.bytes().map_err(|_| io_err("error message"))?;
-                Reply::Error(String::from_utf8_lossy(msg).into_owned())
+                Reply::Error(WireError::from_wire_bytes(msg))
             }
             other => return Err(io_err(&format!("unknown reply kind 0x{other:02x}"))),
         };
@@ -389,17 +527,56 @@ impl Reply {
     }
 }
 
-/// Writes one frame.
-fn write_frame(w: &mut impl Write, kind: u8, req_id: u64, body: &[u8]) -> io::Result<()> {
-    let len = 1 + 8 + body.len();
+/// Appends one complete frame (`len || kind || req_id || body`) to `buf`,
+/// encoding the body in place — no intermediate allocation. On a too-large
+/// frame the buffer is rolled back to its prior length.
+fn encode_frame_into(
+    buf: &mut Vec<u8>,
+    req_id: u64,
+    encode_body: impl FnOnce(&mut Encoder) -> u8,
+) -> io::Result<()> {
+    let start = buf.len();
+    let mut enc = Encoder::from_vec(std::mem::take(buf));
+    // Length and kind are patched once the body size is known.
+    enc.u32(0);
+    enc.u8(0);
+    enc.u64(req_id);
+    let kind = encode_body(&mut enc);
+    let mut out = enc.finish();
+    let len = out.len() - start - 4;
     if len > MAX_FRAME {
+        out.truncate(start);
+        *buf = out;
         return Err(io_err("frame too large"));
     }
-    w.write_all(&(len as u32).to_be_bytes())?;
-    w.write_all(&[kind])?;
-    w.write_all(&req_id.to_be_bytes())?;
-    w.write_all(body)?;
-    w.flush()
+    out[start..start + 4].copy_from_slice(&(len as u32).to_be_bytes());
+    out[start + 4] = kind;
+    *buf = out;
+    Ok(())
+}
+
+/// Appends a request frame to `buf`.
+pub fn encode_request_into(buf: &mut Vec<u8>, req_id: u64, request: &Request) -> io::Result<()> {
+    encode_frame_into(buf, req_id, |enc| request.encode_body(enc))
+}
+
+/// Appends a reply frame to `buf`. Several replies can be encoded into one
+/// buffer and shipped with a single socket write.
+pub fn encode_reply_into(buf: &mut Vec<u8>, req_id: u64, reply: &Reply) -> io::Result<()> {
+    encode_frame_into(buf, req_id, |enc| reply.encode_body(enc))
+}
+
+/// Splits a raw frame (everything after the length prefix) into
+/// `(kind, req_id, body)`.
+fn split_frame(frame: &[u8]) -> io::Result<(u8, u64, &[u8])> {
+    let (Some(&kind), Some(id_bytes), Some(body)) =
+        (frame.first(), frame.get(1..9), frame.get(9..))
+    else {
+        return Err(io_err("frame too short"));
+    };
+    let mut id = [0u8; 8];
+    id.copy_from_slice(id_bytes);
+    Ok((kind, u64::from_be_bytes(id), body))
 }
 
 /// Reads one frame: `(kind, req_id, body)`.
@@ -412,27 +589,24 @@ fn read_frame(r: &mut impl Read) -> io::Result<(u8, u64, Vec<u8>)> {
     }
     let mut frame = vec![0u8; len];
     r.read_exact(&mut frame)?;
-    let kind = frame[0];
-    let req_id = u64::from_be_bytes(frame[1..9].try_into().expect("8 bytes"));
-    Ok((kind, req_id, frame[9..].to_vec()))
+    let (kind, req_id, body) = split_frame(&frame)?;
+    Ok((kind, req_id, body.to_vec()))
 }
 
 /// Decodes a request from a raw frame (everything after the length prefix):
 /// `kind (1) || req_id (8) || body`. Used by servers that manage framing
-/// themselves (e.g. with interruptible reads).
+/// themselves (e.g. with interruptible reads into pooled buffers).
 pub fn decode_request_frame(frame: &[u8]) -> io::Result<(u64, Request)> {
-    if frame.len() < 9 {
-        return Err(io_err("frame too short"));
-    }
-    let kind = frame[0];
-    let req_id = u64::from_be_bytes(frame[1..9].try_into().expect("8 bytes"));
-    Ok((req_id, Request::decode(kind, &frame[9..])?))
+    let (kind, req_id, body) = split_frame(frame)?;
+    Ok((req_id, Request::decode(kind, body)?))
 }
 
-/// Sends a request frame.
+/// Sends a request frame: one buffer, one write.
 pub fn send_request(w: &mut impl Write, req_id: u64, request: &Request) -> io::Result<()> {
-    let (kind, body) = request.encode();
-    write_frame(w, kind, req_id, &body)
+    let mut frame = Vec::new();
+    encode_request_into(&mut frame, req_id, request)?;
+    w.write_all(&frame)?;
+    w.flush()
 }
 
 /// Receives a request frame.
@@ -441,10 +615,12 @@ pub fn recv_request(r: &mut impl Read) -> io::Result<(u64, Request)> {
     Ok((req_id, Request::decode(kind, &body)?))
 }
 
-/// Sends a reply frame.
+/// Sends a reply frame: one buffer, one write.
 pub fn send_reply(w: &mut impl Write, req_id: u64, reply: &Reply) -> io::Result<()> {
-    let (kind, body) = reply.encode();
-    write_frame(w, kind, req_id, &body)
+    let mut frame = Vec::new();
+    encode_reply_into(&mut frame, req_id, reply)?;
+    w.write_all(&frame)?;
+    w.flush()
 }
 
 /// Receives a reply frame.
@@ -459,11 +635,45 @@ mod tests {
     use wedge_crypto::Keypair;
     use wedge_merkle::MerkleTree;
 
-    #[test]
-    fn request_frames_roundtrip() {
+    /// The pre-coalescing frame writer: four `write_all` calls. Kept as a
+    /// test replica to prove the single-buffer path is byte-identical.
+    fn legacy_write_frame(
+        w: &mut impl Write,
+        kind: u8,
+        req_id: u64,
+        body: &[u8],
+    ) -> io::Result<()> {
+        let len = 1 + 8 + body.len();
+        if len > MAX_FRAME {
+            return Err(io_err("frame too large"));
+        }
+        w.write_all(&(len as u32).to_be_bytes())?;
+        w.write_all(&[kind])?;
+        w.write_all(&req_id.to_be_bytes())?;
+        w.write_all(body)?;
+        w.flush()
+    }
+
+    fn legacy_request_frame(req_id: u64, request: &Request) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        let kind = request.encode_body(&mut enc);
+        let mut out = Vec::new();
+        legacy_write_frame(&mut out, kind, req_id, &enc.finish()).unwrap();
+        out
+    }
+
+    fn legacy_reply_frame(req_id: u64, reply: &Reply) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        let kind = reply.encode_body(&mut enc);
+        let mut out = Vec::new();
+        legacy_write_frame(&mut out, kind, req_id, &enc.finish()).unwrap();
+        out
+    }
+
+    fn sample_requests() -> Vec<Request> {
         let kp = Keypair::from_seed(b"wire");
         let append = AppendRequest::new(&kp.secret, 7, b"wire-payload".to_vec());
-        let requests = [
+        vec![
             Request::Hello,
             Request::Append(append),
             Request::Read(EntryId {
@@ -472,27 +682,26 @@ mod tests {
             }),
             Request::ReadSeq(kp.address, 42),
             Request::ReadPosition(5),
+            Request::ReadMany(vec![
+                EntryId {
+                    log_id: 1,
+                    offset: 0,
+                },
+                EntryId {
+                    log_id: 2,
+                    offset: 4,
+                },
+            ]),
             Request::Scan {
                 log_id: 1,
                 start: 2,
                 count: 3,
             },
             Request::Meta { log_id: u64::MAX },
-        ];
-        let mut buf = Vec::new();
-        for (i, request) in requests.iter().enumerate() {
-            send_request(&mut buf, i as u64, request).unwrap();
-        }
-        let mut cursor = std::io::Cursor::new(buf);
-        for (i, original) in requests.iter().enumerate() {
-            let (req_id, decoded) = recv_request(&mut cursor).unwrap();
-            assert_eq!(req_id, i as u64);
-            assert_eq!(format!("{decoded:?}"), format!("{original:?}"));
-        }
+        ]
     }
 
-    #[test]
-    fn reply_frames_roundtrip() {
+    fn sample_replies() -> Vec<Reply> {
         let node = Keypair::from_seed(b"wire-node");
         let kp = Keypair::from_seed(b"wire-pub");
         let request = AppendRequest::new(&kp.secret, 0, b"x".to_vec());
@@ -509,12 +718,13 @@ mod tests {
             leaves[0].clone(),
         );
         let scan_proof = RangeProof::generate(&tree, 0, 2).unwrap();
-        let replies = [
+        vec![
             Reply::Hello {
                 public_key: node.public.to_bytes(),
             },
             Reply::Response(response.clone()),
             Reply::Responses(vec![response.clone(), response.clone()]),
+            Reply::ManyResults(vec![Ok(response), Err(WireError::generic("read failed"))]),
             Reply::Scan {
                 leaves: leaves.clone(),
                 proof: scan_proof,
@@ -537,14 +747,35 @@ mod tests {
                 // it used to be the in-band "absent" sentinel.
                 position_len: Some(u32::MAX),
             },
-            Reply::Error("nope".into()),
-        ];
+            Reply::Error(WireError::generic("nope")),
+        ]
+    }
+
+    #[test]
+    fn request_frames_roundtrip() {
+        let requests = sample_requests();
+        let mut buf = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            send_request(&mut buf, i as u64, request).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for (i, original) in requests.iter().enumerate() {
+            let (req_id, decoded) = recv_request(&mut cursor).unwrap();
+            assert_eq!(req_id, i as u64);
+            assert_eq!(format!("{decoded:?}"), format!("{original:?}"));
+        }
+    }
+
+    #[test]
+    fn reply_frames_roundtrip() {
+        let node = Keypair::from_seed(b"wire-node");
+        let replies = sample_replies();
         let mut buf = Vec::new();
         for (i, reply) in replies.iter().enumerate() {
             send_reply(&mut buf, i as u64, reply).unwrap();
         }
         let mut cursor = std::io::Cursor::new(buf);
-        for (i, _) in replies.iter().enumerate() {
+        for (i, original) in replies.iter().enumerate() {
             let (req_id, decoded) = recv_reply(&mut cursor).unwrap();
             assert_eq!(req_id, i as u64);
             // Deep checks for the interesting ones.
@@ -554,36 +785,126 @@ mod tests {
                 }
                 (1, Reply::Response(r)) => {
                     r.verify(&node.public).unwrap();
-                    assert_eq!(r.leaf, leaves[0]);
                 }
                 (2, Reply::Responses(rs)) => assert_eq!(rs.len(), 2),
+                (3, Reply::ManyResults(rs)) => {
+                    assert!(rs[0].is_ok());
+                    assert_eq!(
+                        rs[1].as_ref().err(),
+                        Some(&WireError::generic("read failed"))
+                    );
+                }
                 (
-                    3,
+                    4,
                     Reply::Scan {
-                        leaves: l,
+                        leaves,
                         proof,
                         root,
                     },
                 ) => {
-                    proof.verify(&l, &root).unwrap();
+                    proof.verify(&leaves, &root).unwrap();
                 }
-                (
-                    4,
-                    Reply::Meta {
-                        positions,
-                        entries,
-                        position_len,
-                    },
-                ) => {
-                    assert_eq!((positions, entries, position_len), (1, 2, Some(2)));
-                }
-                (5, Reply::Meta { position_len, .. }) => assert_eq!(position_len, None),
-                (6, Reply::Meta { position_len, .. }) => {
+                (5, Reply::Meta { position_len, .. }) => assert_eq!(position_len, Some(2)),
+                (6, Reply::Meta { position_len, .. }) => assert_eq!(position_len, None),
+                (7, Reply::Meta { position_len, .. }) => {
                     assert_eq!(position_len, Some(u32::MAX));
                 }
-                (7, Reply::Error(msg)) => assert_eq!(msg, "nope"),
-                (i, other) => panic!("reply {i} decoded wrong: {other:?}"),
+                (8, Reply::Error(err)) => {
+                    assert_eq!(err, WireError::generic("nope"));
+                }
+                (i, other) => panic!("reply {i} ({original:?}) decoded wrong: {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn single_write_frames_match_legacy_bytes() {
+        // Every frame kind: the one-buffer encoder must be byte-identical
+        // to the old four-write path.
+        for (i, request) in sample_requests().iter().enumerate() {
+            let mut new = Vec::new();
+            send_request(&mut new, i as u64, request).unwrap();
+            assert_eq!(new, legacy_request_frame(i as u64, request), "request {i}");
+        }
+        for (i, reply) in sample_replies().iter().enumerate() {
+            let mut new = Vec::new();
+            send_reply(&mut new, i as u64, reply).unwrap();
+            assert_eq!(new, legacy_reply_frame(i as u64, reply), "reply {i}");
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_and_rolls_back() {
+        // Frames append after existing content (coalescing), and an
+        // oversized frame rolls the buffer back untouched.
+        let mut buf = b"prefix".to_vec();
+        encode_reply_into(&mut buf, 9, &Reply::Error(WireError::generic("x"))).unwrap();
+        assert_eq!(&buf[..6], b"prefix");
+        let mut single = Vec::new();
+        send_reply(&mut single, 9, &Reply::Error(WireError::generic("x"))).unwrap();
+        assert_eq!(&buf[6..], &single[..]);
+
+        let before = buf.clone();
+        // An over-limit body must error and roll the buffer back.
+        let oversized = encode_frame_into(&mut buf, 0, |enc| {
+            enc.bytes(&vec![0u8; MAX_FRAME]);
+            0x42
+        });
+        assert!(oversized.is_err());
+        assert_eq!(buf, before, "failed encode must not leave partial bytes");
+    }
+
+    #[test]
+    fn structured_errors_roundtrip_with_real_entry_id() {
+        let id = EntryId {
+            log_id: 12,
+            offset: 34,
+        };
+        let err = WireError::from_service_error(&CoreError::EntryNotFound(id));
+        let mut buf = Vec::new();
+        send_reply(&mut buf, 1, &Reply::Error(err.clone())).unwrap();
+        let (_, decoded) = recv_reply(&mut std::io::Cursor::new(buf)).unwrap();
+        match decoded {
+            Reply::Error(WireError::EntryNotFound { id: got, message }) => {
+                assert_eq!(got, id);
+                assert!(message.contains("not found"));
+            }
+            other => panic!("structured error lost: {other:?}"),
+        }
+        // Old peers lossily decode the message byte string and dispatch on
+        // the "not found" needle — the structured bytes must keep it.
+        let wire = err.to_wire_bytes();
+        assert!(String::from_utf8_lossy(&wire).contains("not found"));
+        // And plain-text errors stay byte-identical to the old encoding.
+        let generic = WireError::generic("remote node error: boom");
+        assert_eq!(generic.to_wire_bytes(), b"remote node error: boom");
+    }
+
+    #[test]
+    fn legacy_plain_text_errors_decode_as_generic() {
+        // A frame from an old peer: R_ERROR body is just the UTF-8 text.
+        let mut enc = Encoder::new();
+        enc.bytes(b"entry 3/7 not found");
+        let mut frame = Vec::new();
+        legacy_write_frame(&mut frame, 0xFF, 5, &enc.finish()).unwrap();
+        let (req_id, decoded) = recv_reply(&mut std::io::Cursor::new(frame)).unwrap();
+        assert_eq!(req_id, 5);
+        assert_eq!(
+            decoded_error(decoded),
+            WireError::Generic("entry 3/7 not found".into())
+        );
+        // Defensive escape: a generic message starting with NUL survives.
+        let nul = WireError::generic("\0weird");
+        assert_eq!(WireError::from_wire_bytes(&nul.to_wire_bytes()), nul);
+        // Unknown structured code degrades to generic, not an error.
+        let unknown = WireError::from_wire_bytes(&[0x00, 0x7F, b'h', b'i']);
+        assert!(matches!(unknown, WireError::Generic(_)));
+    }
+
+    fn decoded_error(reply: Reply) -> WireError {
+        match reply {
+            Reply::Error(err) => err,
+            other => panic!("expected error reply, got {other:?}"),
         }
     }
 
@@ -596,7 +917,7 @@ mod tests {
         assert!(recv_request(&mut std::io::Cursor::new(buf)).is_err());
         // Unknown kind.
         let mut buf = Vec::new();
-        write_frame(&mut buf, 0x77, 0, b"").unwrap();
+        legacy_write_frame(&mut buf, 0x77, 0, b"").unwrap();
         assert!(recv_request(&mut std::io::Cursor::new(buf)).is_err());
         // Truncated body.
         let mut buf = Vec::new();

@@ -847,7 +847,12 @@ fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// Crates whose library code must be panic-free (L1). `pool` is included
 /// so no panic path can escape a pool worker unawares: the pool re-raises
 /// or converts worker panics, and its own plumbing must not add new ones.
-const PANIC_FREE_CRATES: &[&str] = &["crypto", "core", "chain", "storage", "merkle", "pool"];
+/// `net` is included because a hostile peer controls every byte its
+/// decoders and connection workers see: a reachable panic there is a
+/// remote crash of the node process.
+const PANIC_FREE_CRATES: &[&str] = &[
+    "crypto", "core", "chain", "storage", "merkle", "pool", "net",
+];
 
 /// Runs the whole pass over a workspace rooted at `root`.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
