@@ -1141,8 +1141,8 @@ fn run_net_clients(
 ///   no frame-buffer pooling, every client sharing one `RemoteNode` whose
 ///   appends flush per submission;
 /// * **new** — this PR: coalescing writers draining bounded reply queues
-///   into pooled buffers, and a striped [`RemoteNodePool`] client with
-///   buffered per-burst flushes.
+///   into pooled buffers, and a striped [`wedge_net::RemoteNodePool`]
+///   client with buffered per-burst flushes.
 pub fn net(profile: Profile) -> Table {
     use wedge_net::{NodeServer, PoolConfig, RemoteNode, RemoteNodePool, ServerConfig};
 

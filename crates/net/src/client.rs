@@ -36,8 +36,18 @@ struct Shared {
 /// trip, each consumable once. Serving the companion accessor from the
 /// cache halves the Meta RPC count for the common "read both" pattern;
 /// consume-once semantics mean polling the *same* accessor always refreshes.
+///
+/// The cache is guarded by a generation number: every append bumps the
+/// connection's `meta_gen`, and a cached pair is honored only while its
+/// recorded generation still matches. This closes two staleness holes —
+/// a Meta reply racing a concurrent append must not repopulate the cache
+/// with pre-append values, and a pool can invalidate *all* of its stripes
+/// on append (see [`RemoteNode::invalidate_meta_cache`]) without a value
+/// cached on an idle stripe surviving.
 #[derive(Default)]
 struct MetaCache {
+    /// The `meta_gen` observed when the pair was cached.
+    gen: u64,
     positions: Option<u64>,
     entries: Option<u64>,
 }
@@ -56,8 +66,15 @@ pub struct RemoteNode {
     writer: Mutex<BufWriter<TcpStream>>,
     /// When false, appends stay in the write buffer until a flush.
     autoflush: AtomicBool,
+    /// Set on the first write/flush failure. A failed write can leave half
+    /// a frame in the buffer or on the socket, so no later frame may
+    /// follow it — every subsequent send fails fast instead of
+    /// desynchronizing the stream's framing.
+    poisoned: AtomicBool,
     shared: Arc<Shared>,
     meta_cache: Mutex<MetaCache>,
+    /// Bumped by every append; validates [`MetaCache`] entries.
+    meta_gen: AtomicU64,
     next_id: AtomicU64,
     public_key: PublicKey,
     timeout: Duration,
@@ -114,8 +131,10 @@ impl RemoteNode {
         let mut node = RemoteNode {
             writer: Mutex::new(BufWriter::new(stream)),
             autoflush: AtomicBool::new(true),
+            poisoned: AtomicBool::new(false),
             shared,
             meta_cache: Mutex::new(MetaCache::default()),
+            meta_gen: AtomicU64::new(0),
             next_id: AtomicU64::new(1),
             // A syntactically valid placeholder; the handshake below
             // overwrites it before `connect` returns.
@@ -152,16 +171,38 @@ impl RemoteNode {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Encodes and writes one request frame; flushes when asked.
+    /// Invalidates the cached Meta pair: entries cached before this call
+    /// are never served again. Lock-free — safe to call on every stripe of
+    /// a pool from the append hot path.
+    pub(crate) fn invalidate_meta_cache(&self) {
+        self.meta_gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Encodes and writes one request frame; flushes when asked. Any
+    /// write/flush failure is fatal for the connection: the stream may hold
+    /// a half-written frame, so the connection is poisoned (all later sends
+    /// fail fast) and shut down rather than left to desynchronize framing.
     fn send(&self, req_id: u64, request: &Request, flush: bool) -> std::io::Result<()> {
         let mut frame = Vec::new();
         encode_request_into(&mut frame, req_id, request)?;
         let mut writer = self.writer.lock();
-        writer.write_all(&frame)?;
-        if flush {
-            writer.flush()?;
+        // Checked under the lock: a sender that lost the race to a failing
+        // sender must not append after its partial frame.
+        if self.poisoned.load(Ordering::Relaxed) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "connection poisoned by an earlier write failure",
+            ));
         }
-        Ok(())
+        let outcome =
+            writer
+                .write_all(&frame)
+                .and_then(|()| if flush { writer.flush() } else { Ok(()) });
+        if outcome.is_err() {
+            self.poisoned.store(true, Ordering::Relaxed);
+            let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+        }
+        outcome
     }
 
     /// Sends `request` and blocks for its tagged reply.
@@ -220,7 +261,7 @@ impl LogService for RemoteNode {
 
     fn submit_request(&self, request: AppendRequest, reply: ReplyFn) -> Result<(), CoreError> {
         // Appends change the log shape: the cached meta pair is stale.
-        *self.meta_cache.lock() = MetaCache::default();
+        self.invalidate_meta_cache();
         let req_id = self.next_id();
         self.shared
             .pending
@@ -239,7 +280,13 @@ impl LogService for RemoteNode {
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().flush();
+        let mut writer = self.writer.lock();
+        if writer.flush().is_err() {
+            // Same rule as `send`: a failed flush may leave a partial
+            // frame behind; nothing may be written after it.
+            self.poisoned.store(true, Ordering::Relaxed);
+            let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+        }
     }
 
     fn read_entry(&self, id: EntryId) -> Result<SignedResponse, CoreError> {
@@ -309,17 +356,33 @@ impl LogService for RemoteNode {
 
     fn positions(&self) -> u64 {
         // Serve from the pair cached by a preceding `entries()` call —
-        // both values then come from one Meta round trip.
-        if let Some(positions) = self.meta_cache.lock().positions.take() {
+        // both values then come from one Meta round trip. The generation
+        // sampled *before* the RPC gates both the cache hit and the store:
+        // an append landing anywhere in between leaves the pre-append pair
+        // unusable instead of letting it repopulate the cache.
+        let gen = self.meta_gen.load(Ordering::Acquire);
+        let cached = {
+            let mut cache = self.meta_cache.lock();
+            if cache.gen == gen {
+                cache.positions.take()
+            } else {
+                None
+            }
+        };
+        if let Some(positions) = cached {
             return positions;
         }
         match self.rpc(Request::Meta { log_id: u64::MAX }) {
             Ok(Reply::Meta {
                 positions, entries, ..
             }) => {
-                let mut cache = self.meta_cache.lock();
-                cache.positions = None;
-                cache.entries = Some(entries);
+                if self.meta_gen.load(Ordering::Acquire) == gen {
+                    *self.meta_cache.lock() = MetaCache {
+                        gen,
+                        positions: None,
+                        entries: Some(entries),
+                    };
+                }
                 positions
             }
             _ => 0,
@@ -327,16 +390,29 @@ impl LogService for RemoteNode {
     }
 
     fn entries(&self) -> u64 {
-        if let Some(entries) = self.meta_cache.lock().entries.take() {
+        let gen = self.meta_gen.load(Ordering::Acquire);
+        let cached = {
+            let mut cache = self.meta_cache.lock();
+            if cache.gen == gen {
+                cache.entries.take()
+            } else {
+                None
+            }
+        };
+        if let Some(entries) = cached {
             return entries;
         }
         match self.rpc(Request::Meta { log_id: u64::MAX }) {
             Ok(Reply::Meta {
                 positions, entries, ..
             }) => {
-                let mut cache = self.meta_cache.lock();
-                cache.entries = None;
-                cache.positions = Some(positions);
+                if self.meta_gen.load(Ordering::Acquire) == gen {
+                    *self.meta_cache.lock() = MetaCache {
+                        gen,
+                        positions: Some(positions),
+                        entries: None,
+                    };
+                }
                 entries
             }
             _ => 0,

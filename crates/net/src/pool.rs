@@ -159,6 +159,13 @@ impl LogService for RemoteNodePool {
     }
 
     fn submit_request(&self, request: AppendRequest, reply: ReplyFn) -> Result<(), CoreError> {
+        // The append is routed to one stripe, but it stales the Meta pair
+        // cached on *every* stripe — a later positions()/entries() call is
+        // round-robined independently of this append and must not read a
+        // pre-append value off an idle stripe.
+        for stripe in &self.stripes {
+            stripe.invalidate_meta_cache();
+        }
         // Bounded in-flight window: blocks (backpressure) when the node or
         // network falls behind, releases when the reply lands. Before
         // blocking, push every buffered request out — the submissions that

@@ -9,9 +9,12 @@
 //! — go through a **bounded** per-session reply queue to the pair's
 //! coalescing writer, which drains every ready reply into one pooled
 //! egress buffer and ships the batch in a single socket write. When a
-//! client stops draining and its queue stays full, further replies are
-//! shed ([`NetStats::queue_shed`]) instead of growing node memory; healthy
-//! connections on other worker pairs are unaffected.
+//! client stops draining and its queue stays full, synchronous replies are
+//! shed ([`NetStats::queue_shed`]) instead of growing node memory, while an
+//! undeliverable **append** reply kills the connection after a bounded
+//! grace period ([`NetStats::slow_client_kills`]) — append callers block
+//! without a timeout, so they must see a reply or a dead socket, never
+//! silence. Healthy connections on other worker pairs are unaffected.
 //!
 //! The reply-release rule from the durability plane is preserved: replies
 //! reach this layer only after the entry is durable, and this layer only
@@ -24,7 +27,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, SendTimeoutError, Sender, TrySendError};
 use wedge_core::LogService;
 
 use crate::buffer::BufferPool;
@@ -47,8 +50,14 @@ pub struct ServerConfig {
     /// this the accept loop sheds the connection.
     pub pending_connections: usize,
     /// Depth of each session's bounded reply queue. When a client stops
-    /// draining and the queue stays full, replies are shed.
+    /// draining and the queue stays full, synchronous replies are shed;
+    /// append replies kill the connection after [`ServerConfig::append_reply_grace`].
     pub reply_queue_depth: usize,
+    /// How long an append reply may wait for queue space before the
+    /// connection is declared dead and killed. Appends cannot be silently
+    /// shed (the client blocks on them without a timeout), so this bounds
+    /// both the batcher-thread stall and the client's worst-case hang.
+    pub append_reply_grace: Duration,
     /// Maximum replies coalesced into one socket write. `1` restores the
     /// old write-per-reply behavior.
     pub coalesce_max_replies: usize,
@@ -70,6 +79,7 @@ impl Default for ServerConfig {
             workers: 0,
             pending_connections: 128,
             reply_queue_depth: 1024,
+            append_reply_grace: Duration::from_millis(250),
             coalesce_max_replies: 64,
             coalesce_max_bytes: 1 << 20,
             pool_max_buffers: 64,
@@ -104,6 +114,19 @@ struct ServerShared {
 struct WriterSession {
     stream: TcpStream,
     reply_rx: Receiver<(u64, Reply)>,
+}
+
+/// The reply-delivery side of one session, shared with every pending append
+/// callback. Besides the bounded queue it carries a kill handle: an append
+/// reply that cannot be queued within the grace period kills the connection
+/// (see [`deliver_append`]) instead of being silently shed.
+struct SessionSender {
+    tx: Sender<(u64, Reply)>,
+    /// Socket handle used only to shut the connection down.
+    kill: TcpStream,
+    /// Set once the session has been killed; later replies drop instantly
+    /// instead of waiting out the grace period again.
+    dead: AtomicBool,
 }
 
 /// A running WedgeBlock TCP endpoint. Stops (and joins its threads) on drop.
@@ -194,10 +217,12 @@ impl NodeServer {
     /// notice the stop flag at their next read-timeout check point.
     pub fn shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
-        // The accept thread blocks in `accept()`. Flip the listener to
-        // non-blocking (so any future accept returns instead of parking)
-        // and poke the port with a throwaway connection to unblock the
-        // call already in flight.
+        // The accept thread blocks in `accept()`. Flipping the listener to
+        // non-blocking only affects *future* accept calls — on Linux it
+        // does not interrupt one already parked — so the wake connection
+        // below is load-bearing, and it is retried: a single failed
+        // connect (transient SYN-queue pressure, odd routing) must not
+        // wedge shutdown/Drop on an unjoinable thread forever.
         let _ = self.listener.set_nonblocking(true);
         let mut wake = self.local_addr;
         if wake.ip().is_unspecified() {
@@ -206,7 +231,26 @@ impl NodeServer {
                 IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
             });
         }
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(200));
+        let mut woken = false;
+        for attempt in 0..5 {
+            if TcpStream::connect_timeout(&wake, Duration::from_millis(200)).is_ok() {
+                woken = true;
+                break;
+            }
+            if attempt + 1 < 5 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        if !woken {
+            // The host cannot reach its own listener: the accept thread may
+            // still be parked, and joining it (or the workers fed by its
+            // channel) could hang forever. Detach instead — the threads die
+            // with the process; a wedged Drop would take the caller with
+            // them.
+            self.accept_thread.take();
+            self.workers.drain(..);
+            return;
+        }
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
@@ -294,6 +338,10 @@ fn serve_session(
         Ok(s) => s,
         Err(_) => return,
     };
+    let kill_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
     let _ = writer_stream.set_write_timeout(Some(shared.config.write_stall_timeout));
     // The bounded reply queue: sync reads and async append callbacks all
     // funnel through it to the coalescing writer.
@@ -307,6 +355,11 @@ fn serve_session(
     {
         return; // writer mate gone: shutdown in progress
     }
+    let session = Arc::new(SessionSender {
+        tx: reply_tx,
+        kill: kill_stream,
+        dead: AtomicBool::new(false),
+    });
     let mut reader = std::io::BufReader::new(stream);
     loop {
         let mut frame = shared.pool.get();
@@ -326,9 +379,9 @@ fn serve_session(
         // The decoded request owns its data; return the rx buffer to the
         // pool before dispatching.
         drop(frame);
-        handle(shared, req_id, request, &reply_tx);
+        handle(shared, req_id, request, &session);
     }
-    drop(reply_tx);
+    drop(session);
     // The writer exits once every reply sender — including clones held by
     // pending append callbacks — has dropped, so no durable reply that can
     // still be delivered is abandoned. Its ack bounds the session.
@@ -363,30 +416,52 @@ fn run_coalescing_writer(session: WriterSession, shared: &ServerShared) {
     // callback have dropped their senders — the session is over.
     'session: while let Ok((req_id, reply)) = reply_rx.recv() {
         let mut batch = shared.pool.get();
+        // An oversized reply cannot be framed for this peer: count it and
+        // tear the session down — but only after flushing whatever was
+        // already encoded into the batch, so durable replies queued ahead
+        // of the bad one still reach the peer. `encode_reply_into` rolls
+        // the buffer back on failure, so the batch stays frame-aligned.
+        let mut fatal_encode = false;
+        let mut encoded = 0u64;
         if encode_reply_into(&mut batch, req_id, &reply).is_err() {
-            break 'session; // oversized reply: unrecoverable for this peer
-        }
-        let mut encoded = 1u64;
-        while encoded < max_replies && batch.len() < max_bytes {
-            match reply_rx.try_recv() {
-                Ok((id, next)) => {
-                    if encode_reply_into(&mut batch, id, &next).is_err() {
-                        break 'session;
+            shared
+                .counters
+                .encode_failures
+                .fetch_add(1, Ordering::Relaxed);
+            fatal_encode = true;
+        } else {
+            encoded = 1;
+            while encoded < max_replies && batch.len() < max_bytes {
+                match reply_rx.try_recv() {
+                    Ok((id, next)) => {
+                        if encode_reply_into(&mut batch, id, &next).is_err() {
+                            shared
+                                .counters
+                                .encode_failures
+                                .fetch_add(1, Ordering::Relaxed);
+                            fatal_encode = true;
+                            break;
+                        }
+                        encoded += 1;
                     }
-                    encoded += 1;
+                    Err(_) => break,
                 }
-                Err(_) => break,
             }
         }
-        if stream.write_all(&batch).is_err() {
+        if !batch.is_empty() {
+            if stream.write_all(&batch).is_err() {
+                break 'session;
+            }
+            let c = &shared.counters;
+            c.writes_issued.fetch_add(1, Ordering::Relaxed);
+            c.replies_sent.fetch_add(encoded, Ordering::Relaxed);
+            c.replies_coalesced
+                .fetch_add(encoded.saturating_sub(1), Ordering::Relaxed);
+            c.tx_bytes.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        if fatal_encode {
             break 'session;
         }
-        let c = &shared.counters;
-        c.writes_issued.fetch_add(1, Ordering::Relaxed);
-        c.replies_sent.fetch_add(encoded, Ordering::Relaxed);
-        c.replies_coalesced
-            .fetch_add(encoded - 1, Ordering::Relaxed);
-        c.tx_bytes.fetch_add(batch.len() as u64, Ordering::Relaxed);
     }
     // Kill both halves so a reader blocked mid-frame on this peer notices.
     // Late replies from still-pending append callbacks hit a disconnected
@@ -455,12 +530,14 @@ fn read_full(
     Ok(true)
 }
 
-/// Queues one reply, shedding (never blocking) when the bounded queue is
-/// full — the slow-client policy. Both the reader and the node's batcher
-/// thread (through append callbacks) deliver replies this way, so a stalled
-/// peer can never stall the durability plane.
-fn deliver(shared: &ServerShared, reply_tx: &Sender<(u64, Reply)>, req_id: u64, reply: Reply) {
-    match reply_tx.try_send((req_id, reply)) {
+/// Queues one **synchronous** reply, shedding (never blocking) when the
+/// bounded queue is full — the slow-client policy. Shedding is safe here
+/// because the caller blocks with its own request timeout and recovers.
+fn deliver(shared: &ServerShared, session: &SessionSender, req_id: u64, reply: Reply) {
+    if session.dead.load(Ordering::Relaxed) {
+        return; // connection already killed
+    }
+    match session.tx.try_send((req_id, reply)) {
         Ok(()) => {}
         Err(TrySendError::Full(_)) => {
             shared.counters.queue_shed.fetch_add(1, Ordering::Relaxed);
@@ -469,13 +546,47 @@ fn deliver(shared: &ServerShared, reply_tx: &Sender<(u64, Reply)>, req_id: u64, 
     }
 }
 
+/// Queues one **append** reply. Unlike synchronous replies these must never
+/// be silently shed on a live connection: the client's append continuation
+/// fires only on reply or connection close (no timeout), and pooled clients
+/// hold an in-flight window slot until it does — one dropped reply would
+/// hang the publisher forever and leak the slot. So on queue-full the
+/// batcher blocks for a bounded grace period, and if the writer still has
+/// not drained, the connection is killed: the client's reader then fails
+/// every pending append at once ("connection closed"), releasing all slots.
+/// The `dead` flag makes the grace period a once-per-connection cost.
+fn deliver_append(shared: &ServerShared, session: &SessionSender, req_id: u64, reply: Reply) {
+    if session.dead.load(Ordering::Relaxed) {
+        return; // connection already killed: the client has been failed
+    }
+    match session.tx.try_send((req_id, reply)) {
+        Ok(()) => {}
+        Err(TrySendError::Full(item)) => {
+            match session
+                .tx
+                .send_timeout(item, shared.config.append_reply_grace)
+            {
+                Ok(()) => {}
+                Err(SendTimeoutError::Timeout(_)) => {
+                    session.dead.store(true, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .slow_client_kills
+                        .fetch_add(1, Ordering::Relaxed);
+                    // Killing both halves errors the writer's in-flight
+                    // write and EOFs the client's reader, which fails all
+                    // of the peer's pending callbacks.
+                    let _ = session.kill.shutdown(Shutdown::Both);
+                }
+                Err(SendTimeoutError::Disconnected(_)) => {} // session over
+            }
+        }
+        Err(TrySendError::Disconnected(_)) => {} // session already over
+    }
+}
+
 /// Dispatches one request; errors become [`Reply::Error`] frames.
-fn handle(
-    shared: &Arc<ServerShared>,
-    req_id: u64,
-    request: Request,
-    reply_tx: &Sender<(u64, Reply)>,
-) {
+fn handle(shared: &Arc<ServerShared>, req_id: u64, request: Request, session: &Arc<SessionSender>) {
     let service = &shared.service;
     let reply = match request {
         Request::Hello => Reply::Hello {
@@ -484,7 +595,10 @@ fn handle(
         Request::Append(append) => {
             // Asynchronous: the callback fires at batch flush, on the
             // batcher thread, and routes through the bounded reply queue.
-            let tx = reply_tx.clone();
+            // All append outcomes — including the synchronous rejection
+            // below — go through `deliver_append`: a client blocked on an
+            // append must get a reply or a dead connection, never silence.
+            let callback_session = Arc::clone(session);
             let callback_shared = Arc::clone(shared);
             let outcome = service.submit_request(
                 append,
@@ -493,12 +607,16 @@ fn handle(
                         Ok(response) => Reply::Response(response),
                         Err(message) => Reply::Error(WireError::generic(message)),
                     };
-                    deliver(&callback_shared, &tx, req_id, reply);
+                    deliver_append(&callback_shared, &callback_session, req_id, reply);
                 }),
             );
             match outcome {
                 Ok(()) => return, // reply comes later
-                Err(e) => Reply::Error(WireError::from_service_error(&e)),
+                Err(e) => {
+                    let reply = Reply::Error(WireError::from_service_error(&e));
+                    deliver_append(shared, session, req_id, reply);
+                    return;
+                }
             }
         }
         Request::Read(id) => match service.read_entry(id) {
@@ -544,5 +662,5 @@ fn handle(
             }
         }
     };
-    deliver(shared, reply_tx, req_id, reply);
+    deliver(shared, session, req_id, reply);
 }

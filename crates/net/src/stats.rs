@@ -18,6 +18,8 @@ pub(crate) struct NetCounters {
     pub replies_coalesced: AtomicU64,
     pub writes_issued: AtomicU64,
     pub queue_shed: AtomicU64,
+    pub slow_client_kills: AtomicU64,
+    pub encode_failures: AtomicU64,
 }
 
 impl NetCounters {
@@ -47,6 +49,8 @@ impl NetCounters {
             replies_coalesced: self.replies_coalesced.load(Ordering::Relaxed),
             writes_issued: self.writes_issued.load(Ordering::Relaxed),
             queue_shed: self.queue_shed.load(Ordering::Relaxed),
+            slow_client_kills: self.slow_client_kills.load(Ordering::Relaxed),
+            encode_failures: self.encode_failures.load(Ordering::Relaxed),
             buffer_pool_hits: pool.hits(),
             buffer_pool_misses: pool.misses(),
         }
@@ -79,9 +83,22 @@ pub struct NetStats {
     /// Socket writes issued by the coalescing writers. Under load this is
     /// strictly less than `replies_sent`.
     pub writes_issued: u64,
-    /// Replies dropped because a connection's bounded reply queue was full
-    /// (the slow-client shedding policy).
+    /// Synchronous replies dropped because a connection's bounded reply
+    /// queue was full (the slow-client shedding policy). Append replies are
+    /// never counted here: an undeliverable append reply kills the
+    /// connection instead ([`NetStats::slow_client_kills`]).
     pub queue_shed: u64,
+    /// Connections killed because an append reply could not be queued
+    /// within the grace period. Append replies must never be silently shed
+    /// on a live connection — the client blocks on them with no timeout and
+    /// holds an in-flight window slot until one arrives — so the server
+    /// fails the whole connection, which fails every pending append on the
+    /// client at once.
+    pub slow_client_kills: u64,
+    /// Replies dropped because they failed to encode (oversized frame).
+    /// The connection is torn down afterwards, but replies already encoded
+    /// into the same batch are flushed first.
+    pub encode_failures: u64,
     /// Frame-buffer acquisitions served from the pool.
     pub buffer_pool_hits: u64,
     /// Frame-buffer acquisitions that had to allocate.

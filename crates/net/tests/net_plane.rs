@@ -9,8 +9,8 @@ use std::time::{Duration, Instant};
 
 use wedge_chain::{Chain, ChainConfig, Wei};
 use wedge_core::{
-    deploy_service, CoreError, EntryId, LogService, NodeConfig, OffchainNode, Publisher,
-    ServiceConfig,
+    deploy_service, AppendRequest, CoreError, EntryId, LogService, NodeConfig, OffchainNode,
+    Publisher, ServiceConfig,
 };
 use wedge_crypto::signer::Identity;
 use wedge_net::wire::{send_request, Request};
@@ -189,6 +189,49 @@ fn slow_client_sheds_replies_without_hurting_others() {
     let _ = std::fs::remove_dir_all(&w.dir);
 }
 
+/// An append reply that cannot be queued must kill the connection, not be
+/// silently shed: the client's append continuation fires only on reply or
+/// connection close, so a shed reply on a live connection would hang the
+/// publisher forever (and leak a pool window slot). The kill fails every
+/// pending append on the peer at once; other connections are unaffected.
+#[test]
+fn undeliverable_append_reply_kills_connection_instead_of_hanging() {
+    let server_config = ServerConfig {
+        workers: 2,
+        reply_queue_depth: 2,
+        append_reply_grace: Duration::from_millis(100),
+        write_stall_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let w = net_world("appendkill", quick_node_config(), server_config);
+    let addr = w.server.local_addr();
+    // A raw publisher that floods signed appends and never reads a single
+    // reply: the kernel buffers fill, the depth-2 reply queue fills, and
+    // the next undeliverable append reply must kill the connection.
+    let key = *w.client_identity.secret_key();
+    let mut slow = std::net::TcpStream::connect(addr).expect("raw connect");
+    for seq in 0..600u64 {
+        let request = AppendRequest::new(&key, seq, vec![0xCD; 16 * 1024]);
+        send_request(&mut slow, seq + 1, &Request::Append(request)).expect("send append");
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while w.server.stats().slow_client_kills == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "append flood never killed the connection: {:?}",
+            w.server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // A healthy client is unaffected by the dead peer.
+    let healthy =
+        RemoteNode::connect_with_timeout(addr, Duration::from_secs(5)).expect("healthy connect");
+    assert_eq!(healthy.entries(), w.node.entry_count());
+    drop(healthy);
+    let _ = slow.shutdown(std::net::Shutdown::Both);
+    let _ = std::fs::remove_dir_all(&w.dir);
+}
+
 /// `positions()` + `entries()` must cost one Meta round trip for the pair,
 /// not one each — counted as frames actually received by the server.
 #[test]
@@ -215,6 +258,37 @@ fn meta_pair_is_one_round_trip() {
     let entries_again = remote.entries();
     assert_eq!(entries_again, w.node.entry_count());
     assert_eq!(w.server.stats().frames_rx - base, 2);
+    let _ = std::fs::remove_dir_all(&w.dir);
+}
+
+/// An append routed to one pool stripe must invalidate the Meta pair
+/// cached on *every* stripe: positions()/entries() are round-robined
+/// independently of the append, so a value cached on an idle stripe before
+/// the append must never be served after it.
+#[test]
+fn pool_meta_cache_is_invalidated_on_every_stripe() {
+    let w = net_world("poolmeta", quick_node_config(), ServerConfig::default());
+    let pool = Arc::new(RemoteNodePool::connect(w.server.local_addr(), 2).expect("pool connect"));
+    let mut p = publisher(&w, Arc::clone(&pool));
+    p.append_batch(payloads(4, 64)).expect("seed append");
+    for round in 1..5 {
+        // Prime: caches the companion `positions` value on whichever
+        // stripe served this call.
+        let _ = pool.entries();
+        // Append through the pool — a different stripe than the cache
+        // holder, with high probability, under round-robin striping.
+        p.append_batch(payloads(4, 64)).expect("append");
+        assert_eq!(
+            pool.positions(),
+            w.node.log_positions(),
+            "round {round}: stale cached positions served after an append"
+        );
+        assert_eq!(
+            pool.entries(),
+            w.node.entry_count(),
+            "round {round}: stale cached entries served after an append"
+        );
+    }
     let _ = std::fs::remove_dir_all(&w.dir);
 }
 

@@ -112,6 +112,16 @@ pub mod channel {
         Disconnected(T),
     }
 
+    /// Error returned by [`Sender::send_timeout`]. Carries the unsent
+    /// message.
+    pub enum SendTimeoutError<T> {
+        /// Bounded channel stayed full for the whole timeout; receivers
+        /// still connected.
+        Timeout(T),
+        /// Every receiver dropped.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +175,28 @@ pub mod channel {
         }
     }
 
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("SendTimeoutError::Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("SendTimeoutError::Disconnected(..)")
+                }
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("send timed out"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     impl fmt::Display for RecvError {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("receiving on an empty, disconnected channel")
@@ -191,6 +223,7 @@ pub mod channel {
 
     impl<T> std::error::Error for SendError<T> {}
     impl<T> std::error::Error for TrySendError<T> {}
+    impl<T> std::error::Error for SendTimeoutError<T> {}
     impl std::error::Error for RecvError {}
     impl std::error::Error for TryRecvError {}
     impl std::error::Error for RecvTimeoutError {}
@@ -261,6 +294,34 @@ pub mod channel {
             state.items.push_back(msg);
             self.0.not_empty.notify_one();
             Ok(())
+        }
+
+        /// Sends with an upper bound on the wait: blocks while a bounded
+        /// channel is full, up to `timeout`, then fails returning the
+        /// message.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut state = lock(&self.0);
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                let full = state.cap.is_some_and(|c| state.items.len() >= c);
+                if !full {
+                    state.items.push_back(msg);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(msg));
+                }
+                let (guard, _result) = match self.0.not_full.wait_timeout(state, deadline - now) {
+                    Ok(pair) => pair,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                state = guard;
+            }
         }
     }
 
@@ -437,6 +498,23 @@ mod tests {
         tx.try_send(3).expect("fits after drain");
         drop(rx);
         assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+    }
+
+    #[test]
+    fn send_timeout_times_out_and_succeeds_after_drain() {
+        use crate::channel::SendTimeoutError;
+        let (tx, rx) = crate::channel::bounded(1);
+        tx.send(1).expect("fits");
+        // Full for the whole timeout: the message comes back.
+        let err = tx.send_timeout(2, Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, SendTimeoutError::Timeout(2)));
+        // A concurrent drain lets a blocked send_timeout through.
+        let handle = std::thread::spawn(move || tx.send_timeout(3, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().expect("recv"), 1);
+        handle.join().expect("no panic").expect("sent after drain");
+        assert_eq!(rx.recv().expect("recv"), 3);
+        drop(rx);
     }
 
     #[test]
