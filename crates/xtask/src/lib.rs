@@ -26,15 +26,31 @@
 //!   write plane serializes snapshot publication; I/O under it stalls every
 //!   writer and delays what readers see.
 //!
+//! On top of the line-oriented rules, the token-tree engine ([`tree`])
+//! powers three concurrency-graph lints ([`graph`]):
+//!
+//! * **L7 `lockorder`** — no cycle in the union lock-acquisition order
+//!   across `crates/core/src/node/` and `crates/net/src/` (one call level
+//!   of inlining).
+//! * **L8 `chan`** — no ring of bounded channels whose sends all block:
+//!   one full queue on such a ring wedges every thread on it.
+//! * **L9 `blocking`** — no storage durability, blocking connect, or sleep
+//!   inside a coalescing-writer or accept-loop region.
+//!
 //! A finding is suppressed per-site with a trailing or preceding comment of
-//! the form `// lint: allow(<name>) — <reason>` where `<name>` is one of
-//! `panic`, `arith`, `ct`, `unsafe`, `lock`, `plane` and the reason is
-//! mandatory.
+//! the form `// lint: allow(<name>) — <reason>`, or for a whole file with
+//! `// lint: allow-file(<name>) — <reason>`, where `<name>` is one of
+//! `panic`, `arith`, `ct`, `lock`, `plane`, `lockorder`, `chan`,
+//! `blocking` and the reason is mandatory. `cargo run -p xtask -- lint
+//! --allows` audits every marker and fails on stale ones.
 //!
 //! Run with `cargo run -p xtask -- lint`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod graph;
+pub mod tree;
 
 use std::fmt;
 use std::fs;
@@ -58,6 +74,12 @@ pub enum Lint {
     /// L6: no write-plane guard (or `Shared::mutate` closure) covering
     /// storage I/O, replication, signing, or a channel send.
     WritePlaneAcrossIo,
+    /// L7: no cycle in the lock-acquisition order graph.
+    LockOrder,
+    /// L8: no ring of bounded channels whose sends all block.
+    ChannelCycle,
+    /// L9: no blocking call inside a writer/accept worker region.
+    BlockingInWorker,
 }
 
 impl Lint {
@@ -70,6 +92,9 @@ impl Lint {
             Lint::ForbidUnsafe => "L4",
             Lint::LockAcrossSend => "L5",
             Lint::WritePlaneAcrossIo => "L6",
+            Lint::LockOrder => "L7",
+            Lint::ChannelCycle => "L8",
+            Lint::BlockingInWorker => "L9",
         }
     }
 
@@ -82,7 +107,25 @@ impl Lint {
             Lint::ForbidUnsafe => "unsafe",
             Lint::LockAcrossSend => "lock",
             Lint::WritePlaneAcrossIo => "plane",
+            Lint::LockOrder => "lockorder",
+            Lint::ChannelCycle => "chan",
+            Lint::BlockingInWorker => "blocking",
         }
+    }
+
+    /// Every lint that has a usable allow name (L4 has none: the fix is to
+    /// add the header, not to suppress the finding).
+    pub fn all_allowable() -> &'static [Lint] {
+        &[
+            Lint::Panic,
+            Lint::Arith,
+            Lint::ConstantTime,
+            Lint::LockAcrossSend,
+            Lint::WritePlaneAcrossIo,
+            Lint::LockOrder,
+            Lint::ChannelCycle,
+            Lint::BlockingInWorker,
+        ]
     }
 }
 
@@ -97,6 +140,11 @@ pub struct Diagnostic {
     pub lint: Lint,
     /// Human-readable description.
     pub message: String,
+    /// When an allow marker suppresses this finding: the 1-based line of
+    /// the marker. `lint_workspace` filters suppressed findings out; the
+    /// `--allows` audit uses them to prove each marker still earns its
+    /// keep.
+    pub suppressed_by: Option<usize>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -332,42 +380,61 @@ fn annotate_regions(lines: &mut [MaskedLine]) {
     }
 }
 
-/// True when the finding on `idx` is suppressed by an
-/// `// lint: allow(<name>) — reason` comment on the same or previous line.
-fn allowed(lines: &[MaskedLine], idx: usize, lint: Lint) -> bool {
-    let matches_allow = |comment: &str| -> bool {
-        let needle = format!("lint: allow({})", lint.allow_name());
-        match comment.find(&needle) {
-            Some(pos) => {
-                let rest = comment[pos + needle.len()..].trim_start_matches([' ', '—', '-', ':']);
-                !rest.trim().is_empty()
-            }
-            None => false,
+/// True when `comment` carries the marker `lint: allow{suffix}(<name>)`
+/// with a non-empty reason after it.
+fn comment_has_marker(comment: &str, name: &str, file_level: bool) -> bool {
+    let kind = if file_level { "allow-file" } else { "allow" };
+    let needle = format!("lint: {kind}({name})");
+    match comment.find(&needle) {
+        Some(pos) => {
+            let rest = comment[pos + needle.len()..].trim_start_matches([' ', '—', '-', ':']);
+            !rest.trim().is_empty()
         }
-    };
-    if matches_allow(&lines[idx].comment) {
-        return true;
+        None => false,
+    }
+}
+
+/// When the finding on 0-based line `idx` is suppressed by an
+/// `// lint: allow(<name>) — reason` comment on the same or previous
+/// line(s), or a file-wide `// lint: allow-file(<name>) — reason` marker,
+/// returns the marker's **1-based** line.
+pub(crate) fn suppressor(lines: &[MaskedLine], idx: usize, lint: Lint) -> Option<usize> {
+    let name = lint.allow_name();
+    let site = |comment: &str| comment_has_marker(comment, name, false);
+    if site(&lines[idx].comment) {
+        return Some(idx + 1);
     }
     // Scan upward through the contiguous block of comment-only lines
     // immediately above the flagged line, so a wrapped allow comment
     // (marker on its first line) still suppresses.
     let mut i = idx;
-    while i > 0 {
+    let mut found = None;
+    while i > 0 && found.is_none() {
         i -= 1;
         let line = &lines[i];
         if !line.code.trim().is_empty() {
             // A line with code ends the comment block, but its trailing
             // comment still counts (allow on the previous statement's line).
-            return matches_allow(&line.comment);
+            if site(&line.comment) {
+                found = Some(i + 1);
+            }
+            break;
         }
         if line.comment.is_empty() {
-            return false; // blank line ends the block
+            break; // blank line ends the block
         }
-        if matches_allow(&line.comment) {
-            return true;
+        if site(&line.comment) {
+            found = Some(i + 1);
         }
     }
-    false
+    if found.is_some() {
+        return found;
+    }
+    // File-level marker anywhere in the file.
+    lines
+        .iter()
+        .position(|l| comment_has_marker(&l.comment, name, true))
+        .map(|i| i + 1)
 }
 
 fn is_ident_char(c: char) -> bool {
@@ -414,14 +481,13 @@ pub fn lint_panic(file: &Path, lines: &[MaskedLine], check_indexing: bool) -> Ve
         }
 
         for message in findings {
-            if !allowed(lines, idx, Lint::Panic) {
-                diags.push(Diagnostic {
-                    file: file.to_path_buf(),
-                    line: idx + 1,
-                    lint: Lint::Panic,
-                    message,
-                });
-            }
+            diags.push(Diagnostic {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                lint: Lint::Panic,
+                message,
+                suppressed_by: suppressor(lines, idx, Lint::Panic),
+            });
         }
     }
     diags
@@ -503,18 +569,17 @@ pub fn lint_arith(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnostic> {
             continue;
         }
         if let Some(op) = find_bare_arith(code) {
-            if !allowed(lines, idx, Lint::Arith) {
-                diags.push(Diagnostic {
-                    file: file.to_path_buf(),
-                    line: idx + 1,
-                    lint: Lint::Arith,
-                    message: format!(
-                        "bare `{op}` on balance/gas values can overflow silently; use \
-                         `checked_*`/`saturating_*` (suppress with \
-                         `// lint: allow(arith) — <reason>`)"
-                    ),
-                });
-            }
+            diags.push(Diagnostic {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                lint: Lint::Arith,
+                message: format!(
+                    "bare `{op}` on balance/gas values can overflow silently; use \
+                     `checked_*`/`saturating_*` (suppress with \
+                     `// lint: allow(arith) — <reason>`)"
+                ),
+                suppressed_by: suppressor(lines, idx, Lint::Arith),
+            });
         }
     }
     diags
@@ -568,7 +633,7 @@ pub fn lint_ct(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnostic> {
                 .skip(idx + 1)
                 .take(3)
                 .any(|l| l.code.contains("struct Secret"));
-            if names_secret && !allowed(lines, idx, Lint::ConstantTime) {
+            if names_secret {
                 diags.push(Diagnostic {
                     file: file.to_path_buf(),
                     line: idx + 1,
@@ -577,6 +642,7 @@ pub fn lint_ct(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnostic> {
                               variable-time; implement it via `ct_eq` (suppress with \
                               `// lint: allow(ct) — <reason>`)"
                         .to_string(),
+                    suppressed_by: suppressor(lines, idx, Lint::ConstantTime),
                 });
             }
             continue;
@@ -593,7 +659,7 @@ pub fn lint_ct(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnostic> {
         let touches_secret = SECRET_KEYWORDS.iter().any(|k| lower.contains(k))
             || lower.contains("sig.r")
             || lower.contains("sig.s");
-        if touches_secret && !allowed(lines, idx, Lint::ConstantTime) {
+        if touches_secret {
             diags.push(Diagnostic {
                 file: file.to_path_buf(),
                 line: idx + 1,
@@ -602,6 +668,7 @@ pub fn lint_ct(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnostic> {
                           timing; compare through `ct_eq` (suppress with \
                           `// lint: allow(ct) — <reason>`)"
                     .to_string(),
+                suppressed_by: suppressor(lines, idx, Lint::ConstantTime),
             });
         }
     }
@@ -622,6 +689,7 @@ pub fn lint_forbid_unsafe(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnostic> 
             line: 1,
             lint: Lint::ForbidUnsafe,
             message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            suppressed_by: None,
         }]
     }
 }
@@ -666,14 +734,13 @@ fn lint_guard_regions(
         // Ops while a region is live (at most one finding per line).
         if let Some((name, _)) = live.first() {
             if let Some(op) = ops.iter().find(|op| code.contains(*op)) {
-                if !allowed(lines, idx, lint) {
-                    diags.push(Diagnostic {
-                        file: file.to_path_buf(),
-                        line: idx + 1,
-                        lint,
-                        message: message(name, op),
-                    });
-                }
+                diags.push(Diagnostic {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    lint,
+                    message: message(name, op),
+                    suppressed_by: suppressor(lines, idx, lint),
+                });
             }
         }
 
@@ -727,14 +794,13 @@ fn lint_guard_regions(
                     // Single-line call: check the argument span directly.
                     let span = &after[..j];
                     if let Some(op) = ops.iter().find(|op| span.contains(*op)) {
-                        if !allowed(lines, idx, lint) {
-                            diags.push(Diagnostic {
-                                file: file.to_path_buf(),
-                                line: idx + 1,
-                                lint,
-                                message: message(region, op),
-                            });
-                        }
+                        diags.push(Diagnostic {
+                            file: file.to_path_buf(),
+                            line: idx + 1,
+                            lint,
+                            message: message(region, op),
+                            suppressed_by: suppressor(lines, idx, lint),
+                        });
                     }
                 }
                 None => live.push((region.to_string(), line.depth_end)),
@@ -805,8 +871,9 @@ pub struct LintSet {
     pub plane: bool,
 }
 
-/// Lints one file's source text with the given lint set.
-pub fn lint_source(file: &Path, text: &str, set: LintSet) -> Vec<Diagnostic> {
+/// Lints one file's source text with the given lint set, returning every
+/// finding — including suppressed ones, with `suppressed_by` set.
+pub fn lint_source_all(file: &Path, text: &str, set: LintSet) -> Vec<Diagnostic> {
     let lines = mask_source(text);
     let mut diags = Vec::new();
     if set.panic {
@@ -825,6 +892,15 @@ pub fn lint_source(file: &Path, text: &str, set: LintSet) -> Vec<Diagnostic> {
         diags.extend(lint_write_plane_across_io(file, &lines));
     }
     diags
+}
+
+/// Lints one file's source text with the given lint set (suppressed
+/// findings filtered out).
+pub fn lint_source(file: &Path, text: &str, set: LintSet) -> Vec<Diagnostic> {
+    lint_source_all(file, text, set)
+        .into_iter()
+        .filter(|d| d.suppressed_by.is_none())
+        .collect()
 }
 
 fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -849,14 +925,43 @@ fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// or converts worker panics, and its own plumbing must not add new ones.
 /// `net` is included because a hostile peer controls every byte its
 /// decoders and connection workers see: a reachable panic there is a
-/// remote crash of the node process.
+/// remote crash of the node process. `sim`, `bench`, `baselines`, and
+/// `contracts` are harness/reference code, but a panic there still aborts
+/// an experiment mid-run — their escapes go through the reasoned allow
+/// hatch. `check` is excluded: a model checker *reports* bugs by
+/// panicking the failing schedule.
 const PANIC_FREE_CRATES: &[&str] = &[
-    "crypto", "core", "chain", "storage", "merkle", "pool", "net",
+    "crypto",
+    "core",
+    "chain",
+    "storage",
+    "merkle",
+    "pool",
+    "net",
+    "sim",
+    "bench",
+    "baselines",
+    "contracts",
 ];
 
-/// Runs the whole pass over a workspace rooted at `root`.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+/// Directories whose files feed the L7–L9 concurrency-graph analyses.
+const CONCURRENCY_CORPUS: &[&str] = &["crates/core/src/node", "crates/net/src"];
+
+/// Everything one pass over the workspace produces: the full diagnostic
+/// list (suppressed findings included) and every scanned file, for the
+/// allow audit.
+pub struct WorkspaceScan {
+    /// All findings, suppressed ones carrying their marker line.
+    pub diags: Vec<Diagnostic>,
+    /// Every `(workspace-relative path, source text)` the pass read.
+    pub files: Vec<(PathBuf, String)>,
+}
+
+/// Runs every rule over a workspace rooted at `root`, keeping suppressed
+/// findings (tagged with their marker) and the scanned file list.
+pub fn scan_workspace(root: &Path) -> io::Result<WorkspaceScan> {
     let mut diags = Vec::new();
+    let mut scanned: Vec<(PathBuf, String)> = Vec::new();
 
     for crate_name in PANIC_FREE_CRATES {
         let src = root.join("crates").join(crate_name).join("src");
@@ -874,9 +979,23 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
                 plane: in_node,
             };
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            diags.extend(lint_source(&rel, &text, set));
+            diags.extend(lint_source_all(&rel, &text, set));
+            scanned.push((rel, text));
         }
     }
+
+    // L7–L9 over the concurrency corpus.
+    let mut corpus = Vec::new();
+    for dir in CONCURRENCY_CORPUS {
+        let mut files = Vec::new();
+        walk_rs_files(&root.join(dir), &mut files)?;
+        for file in files {
+            let text = fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            corpus.push(graph::SourceFile::parse(rel, text.as_str()));
+        }
+    }
+    diags.extend(graph::lint_concurrency(&corpus));
 
     // L4 on every workspace crate root (vendored stand-ins included via
     // their own headers; they are not walked here).
@@ -896,9 +1015,122 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         let lines = mask_source(&text);
         let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
         diags.extend(lint_forbid_unsafe(&rel, &lines));
+        if !scanned.iter().any(|(p, _)| *p == rel) {
+            scanned.push((rel, text));
+        }
     }
 
-    Ok(diags)
+    Ok(WorkspaceScan {
+        diags,
+        files: scanned,
+    })
+}
+
+/// Runs the whole pass over a workspace rooted at `root`, returning only
+/// unsuppressed findings.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    Ok(scan_workspace(root)?
+        .diags
+        .into_iter()
+        .filter(|d| d.suppressed_by.is_none())
+        .collect())
+}
+
+/// One `lint: allow(...)` / `lint: allow-file(...)` marker found in the
+/// workspace, with its audit verdict.
+#[derive(Clone, Debug)]
+pub struct AllowMarker {
+    /// File the marker is in (workspace-relative).
+    pub file: PathBuf,
+    /// 1-based line of the marker.
+    pub line: usize,
+    /// True for the file-wide `allow-file` form.
+    pub file_level: bool,
+    /// The rule name inside the parentheses.
+    pub name: String,
+    /// The reason text after the marker (may be empty — which is itself a
+    /// defect: reason-less markers never suppress anything).
+    pub reason: String,
+    /// True when at least one finding is currently suppressed by this
+    /// marker. A marker that suppresses nothing is stale and must go.
+    pub used: bool,
+    /// True when the name matches a rule with a working escape hatch.
+    pub known: bool,
+}
+
+impl AllowMarker {
+    /// Stale markers fail the audit: unknown rule, missing reason, or no
+    /// finding left to suppress.
+    pub fn stale(&self) -> bool {
+        !self.used
+    }
+}
+
+/// Extracts every allow marker from one comment line.
+fn markers_in_comment(comment: &str) -> Vec<(bool, String, String)> {
+    let mut out = Vec::new();
+    for (needle, file_level) in [("lint: allow-file(", true), ("lint: allow(", false)] {
+        let mut from = 0;
+        while let Some(pos) = comment[from..].find(needle) {
+            let start = from + pos + needle.len();
+            let Some(close) = comment[start..].find(')') else {
+                break;
+            };
+            let name = comment[start..start + close].trim().to_string();
+            let reason = comment[start + close + 1..]
+                .trim_start_matches([' ', '—', '-', ':'])
+                .trim()
+                .to_string();
+            out.push((file_level, name, reason));
+            from = start + close + 1;
+        }
+    }
+    out
+}
+
+/// Audits every allow marker in the workspace: lists each with its rule
+/// and reason, and checks that each still suppresses at least one finding
+/// (markers whose target stopped triggering are stale — the escape hatch
+/// must not rot).
+pub fn audit_allows(root: &Path) -> io::Result<Vec<AllowMarker>> {
+    let scan = scan_workspace(root)?;
+    let known_names: Vec<&str> = Lint::all_allowable()
+        .iter()
+        .map(|l| l.allow_name())
+        .collect();
+    let mut markers = Vec::new();
+    for (rel, text) in &scan.files {
+        let lines = mask_source(text);
+        for (idx, line) in lines.iter().enumerate() {
+            for (file_level, name, reason) in markers_in_comment(&line.comment) {
+                // Placeholders in prose — "allow(<name>)", "allow(...)" —
+                // are documentation, not markers: a real allow name is a
+                // plain identifier.
+                if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    continue;
+                }
+                let known = known_names.contains(&name.as_str());
+                let used = known
+                    && !reason.is_empty()
+                    && scan.diags.iter().any(|d| {
+                        d.file == *rel
+                            && d.suppressed_by == Some(idx + 1)
+                            && d.lint.allow_name() == name
+                    });
+                markers.push(AllowMarker {
+                    file: rel.clone(),
+                    line: idx + 1,
+                    file_level,
+                    name,
+                    reason,
+                    used,
+                    known,
+                });
+            }
+        }
+    }
+    markers.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(markers)
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
-//! CLI entry point: `cargo run -p xtask -- lint [--root <path>]`.
+//! CLI entry point: `cargo run -p xtask -- lint [--root <path>] [--allows]`.
 
 #![forbid(unsafe_code)]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn workspace_root() -> PathBuf {
@@ -12,6 +12,83 @@ fn workspace_root() -> PathBuf {
         .nth(2)
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn run_lint(root: &Path) -> ExitCode {
+    let diags = match xtask::lint_workspace(root) {
+        Ok(diags) => diags,
+        Err(err) => {
+            eprintln!(
+                "error: failed to read sources under {}: {err}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    for diag in &diags {
+        println!("{diag}");
+    }
+    if diags.is_empty() {
+        println!("wedge-lint: clean (L1–L9)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("wedge-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn run_allows_audit(root: &Path) -> ExitCode {
+    let markers = match xtask::audit_allows(root) {
+        Ok(markers) => markers,
+        Err(err) => {
+            eprintln!(
+                "error: failed to read sources under {}: {err}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stale = 0usize;
+    for m in &markers {
+        let kind = if m.file_level { "allow-file" } else { "allow" };
+        let verdict = if m.used {
+            "used"
+        } else {
+            stale += 1;
+            if !m.known {
+                "STALE (unknown rule)"
+            } else if m.reason.is_empty() {
+                "STALE (missing reason)"
+            } else {
+                "STALE (suppresses nothing)"
+            }
+        };
+        let reason = if m.reason.is_empty() {
+            "<no reason>".to_string()
+        } else {
+            m.reason.clone()
+        };
+        println!(
+            "{}:{}: {kind}({}) — {reason} [{verdict}]",
+            m.file.display(),
+            m.line,
+            m.name,
+        );
+    }
+    if stale == 0 {
+        println!(
+            "wedge-lint: {} allow marker(s), all still earning their keep",
+            markers.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "wedge-lint: {} allow marker(s), {stale} stale — remove the marker or \
+             restore the code it justified",
+            markers.len()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -28,34 +105,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let allows = if let Some(pos) = rest.iter().position(|a| a == "--allows") {
+        rest.remove(pos);
+        true
+    } else {
+        false
+    };
 
     match command.as_deref() {
-        Some("lint") => {
-            let diags = match xtask::lint_workspace(&root) {
-                Ok(diags) => diags,
-                Err(err) => {
-                    eprintln!(
-                        "error: failed to read sources under {}: {err}",
-                        root.display()
-                    );
-                    return ExitCode::FAILURE;
-                }
-            };
-            for diag in &diags {
-                println!("{diag}");
-            }
-            if diags.is_empty() {
-                println!("wedge-lint: clean (L1–L6)");
-                ExitCode::SUCCESS
-            } else {
-                eprintln!("wedge-lint: {} violation(s)", diags.len());
-                ExitCode::FAILURE
-            }
-        }
+        Some("lint") if allows => run_allows_audit(&root),
+        Some("lint") => run_lint(&root),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--root <path>]");
+            eprintln!("usage: cargo run -p xtask -- lint [--root <path>] [--allows]");
             eprintln!();
-            eprintln!("  lint    run the wedge-lint static-analysis pass (L1–L6)");
+            eprintln!("  lint           run the wedge-lint static-analysis pass (L1–L9)");
+            eprintln!("  lint --allows  audit every allow marker; fail on stale ones");
             ExitCode::FAILURE
         }
     }

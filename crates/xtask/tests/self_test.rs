@@ -34,6 +34,14 @@ fn run_lint(root: &Path) -> Output {
         .unwrap()
 }
 
+fn run_allows(root: &Path) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--allows", "--root"])
+        .arg(root)
+        .output()
+        .unwrap()
+}
+
 const FORBID: &str = "#![forbid(unsafe_code)]\n";
 
 /// Lays down a workspace skeleton where every linted crate root exists and
@@ -85,11 +93,61 @@ fn seeded_violations_fail_with_diagnostics() {
          }\n",
     );
 
+    // L7: two functions acquiring write_plane and stats in opposite orders.
+    write(
+        &root,
+        "crates/core/src/node/order.rs",
+        "fn publish(shared: &Shared) {\n\
+         \x20   let plane = shared.write_plane.lock();\n\
+         \x20   let stats = shared.stats.lock();\n\
+         \x20   drop(stats);\n\
+         \x20   drop(plane);\n\
+         }\n\
+         fn report(shared: &Shared) {\n\
+         \x20   let stats = shared.stats.lock();\n\
+         \x20   let plane = shared.write_plane.lock();\n\
+         \x20   drop(plane);\n\
+         \x20   drop(stats);\n\
+         }\n",
+    );
+    // L8: the PR 5 slow-client shape — two spawned workers joined by a ring
+    // of bounded channels where every send blocks.
+    write(
+        &root,
+        "crates/net/src/ring.rs",
+        "fn spawn_pair() {\n\
+         \x20   let (req_tx, req_rx) = bounded::<u64>(4);\n\
+         \x20   let (rsp_tx, rsp_rx) = bounded::<u64>(4);\n\
+         \x20   std::thread::spawn(move || reader(req_rx, rsp_tx));\n\
+         \x20   std::thread::spawn(move || writer(rsp_rx, req_tx));\n\
+         }\n\
+         fn reader(req_rx: Receiver<u64>, rsp_tx: Sender<u64>) {\n\
+         \x20   while let Ok(v) = req_rx.recv() {\n\
+         \x20       let _ = rsp_tx.send(v);\n\
+         \x20   }\n\
+         }\n\
+         fn writer(rsp_rx: Receiver<u64>, req_tx: Sender<u64>) {\n\
+         \x20   while let Ok(v) = rsp_rx.recv() {\n\
+         \x20       let _ = req_tx.send(v);\n\
+         \x20   }\n\
+         }\n",
+    );
+    // L9: a durability call inside a coalescing-writer region.
+    write(
+        &root,
+        "crates/net/src/wr.rs",
+        "fn run_coalescing_writer(store: &Store) {\n\
+         \x20   store.ensure_durable();\n\
+         }\n",
+    );
+
     let out = run_lint(&root);
     assert!(!out.status.success(), "seeded workspace must fail the lint");
     let stdout = String::from_utf8_lossy(&out.stdout);
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for code in ["[L1]", "[L2]", "[L3]", "[L4]", "[L5]", "[L6]"] {
+    for code in [
+        "[L1]", "[L2]", "[L3]", "[L4]", "[L5]", "[L6]", "[L7]", "[L8]", "[L9]",
+    ] {
         assert!(
             stdout.contains(code),
             "missing {code} diagnostic in:\n{stdout}"
@@ -180,6 +238,318 @@ fn missing_allow_reason_is_rejected() {
     );
 
     fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn concurrency_clean_fixture_passes() {
+    let root = fixture_dir("conc-clean");
+    skeleton(&root);
+    // The same three shapes as the seeded L7/L8/L9 fixtures, written the way
+    // the lints demand: one global lock order, a shed edge breaking the
+    // channel ring, and durability work kept off the writer thread.
+    write(
+        &root,
+        "crates/core/src/node/order.rs",
+        "fn publish(shared: &Shared) {\n\
+         \x20   let plane = shared.write_plane.lock();\n\
+         \x20   let stats = shared.stats.lock();\n\
+         \x20   drop(stats);\n\
+         \x20   drop(plane);\n\
+         }\n\
+         fn report(shared: &Shared) {\n\
+         \x20   let plane = shared.write_plane.lock();\n\
+         \x20   let stats = shared.stats.lock();\n\
+         \x20   drop(stats);\n\
+         \x20   drop(plane);\n\
+         }\n",
+    );
+    write(
+        &root,
+        "crates/net/src/ring.rs",
+        "fn spawn_pair() {\n\
+         \x20   let (req_tx, req_rx) = bounded::<u64>(4);\n\
+         \x20   let (rsp_tx, rsp_rx) = bounded::<u64>(4);\n\
+         \x20   std::thread::spawn(move || reader(req_rx, rsp_tx));\n\
+         \x20   std::thread::spawn(move || writer(rsp_rx, req_tx));\n\
+         }\n\
+         fn reader(req_rx: Receiver<u64>, rsp_tx: Sender<u64>) {\n\
+         \x20   while let Ok(v) = req_rx.recv() {\n\
+         \x20       let _ = rsp_tx.send(v);\n\
+         \x20   }\n\
+         }\n\
+         fn writer(rsp_rx: Receiver<u64>, req_tx: Sender<u64>) {\n\
+         \x20   while let Ok(v) = rsp_rx.recv() {\n\
+         \x20       let _ = req_tx.try_send(v);\n\
+         \x20   }\n\
+         }\n",
+    );
+    write(
+        &root,
+        "crates/net/src/wr.rs",
+        "fn run_coalescing_writer(tx: &Sender<u64>) {\n\
+         \x20   let _ = tx.try_send(7);\n\
+         }\n\
+         fn persist_stage(store: &Store) {\n\
+         \x20   store.ensure_durable();\n\
+         }\n",
+    );
+
+    let out = run_lint(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "clean concurrency fixture must pass, got:\n{stdout}"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn seeded_lock_order_inversion_names_the_cycle() {
+    let root = fixture_dir("l7-cycle");
+    skeleton(&root);
+    write(
+        &root,
+        "crates/core/src/node/order.rs",
+        "fn publish(shared: &Shared) {\n\
+         \x20   let plane = shared.write_plane.lock();\n\
+         \x20   let stats = shared.stats.lock();\n\
+         \x20   drop(stats);\n\
+         \x20   drop(plane);\n\
+         }\n\
+         fn report(shared: &Shared) {\n\
+         \x20   let stats = shared.stats.lock();\n\
+         \x20   let plane = shared.write_plane.lock();\n\
+         \x20   drop(plane);\n\
+         \x20   drop(stats);\n\
+         }\n",
+    );
+    let out = run_lint(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success());
+    assert!(
+        stdout.contains("[L7]") && stdout.contains("lock-order cycle"),
+        "expected a named lock-order cycle:\n{stdout}"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn raw_strings_do_not_trigger_lints() {
+    let root = fixture_dir("rawstr");
+    skeleton(&root);
+    // A raw string full of needle text must be invisible to every rule,
+    // including across embedded quotes and fake comment closers.
+    write(
+        &root,
+        "crates/core/src/node/doc.rs",
+        "pub fn doc() -> &'static str {\n\
+         \x20   r#\"call .unwrap() or panic!(); secret == other; \"quoted\" */ text\n\
+         spanning lines with stats.lock() and tx.send(x) inside\"#\n\
+         }\n",
+    );
+    let out = run_lint(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "raw-string contents must not be linted:\n{stdout}"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn nested_macro_bodies_are_still_linted() {
+    let root = fixture_dir("macrobody");
+    skeleton(&root);
+    // A violation nested two brace levels deep inside a macro definition
+    // must still be found — the token-tree pass descends into every group.
+    write(
+        &root,
+        "crates/core/src/node/mac.rs",
+        "macro_rules! bump {\n\
+         \x20   ($shared:expr) => {{\n\
+         \x20       let stats = $shared.stats.lock();\n\
+         \x20       let plane = $shared.write_plane.lock();\n\
+         \x20       drop(plane);\n\
+         \x20       drop(stats);\n\
+         \x20   }};\n\
+         }\n\
+         fn publish(shared: &Shared) {\n\
+         \x20   let plane = shared.write_plane.lock();\n\
+         \x20   let stats = shared.stats.lock();\n\
+         \x20   drop(stats);\n\
+         \x20   drop(plane);\n\
+         }\n",
+    );
+    let out = run_lint(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success() && stdout.contains("[L7]"),
+        "inversion inside a macro body must be found:\n{stdout}"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn multi_line_method_chain_locks_are_tracked() {
+    let root = fixture_dir("chainwrap");
+    skeleton(&root);
+    // The old line-oriented engine could not connect a lock call wrapped
+    // across lines to its binding; the token-tree pass must.
+    write(
+        &root,
+        "crates/core/src/node/wrap.rs",
+        "fn publish(shared: &Shared) {\n\
+         \x20   let plane = shared\n\
+         \x20       .write_plane\n\
+         \x20       .lock();\n\
+         \x20   let stats = shared.stats.lock();\n\
+         \x20   drop(stats);\n\
+         \x20   drop(plane);\n\
+         }\n\
+         fn report(shared: &Shared) {\n\
+         \x20   let stats = shared\n\
+         \x20       .stats\n\
+         \x20       .lock();\n\
+         \x20   let plane = shared.write_plane.lock();\n\
+         \x20   drop(plane);\n\
+         \x20   drop(stats);\n\
+         }\n",
+    );
+    let out = run_lint(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success() && stdout.contains("[L7]"),
+        "wrapped-chain locks must still form edges:\n{stdout}"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn allow_comment_inside_macro_body_suppresses() {
+    let root = fixture_dir("macroallow");
+    skeleton(&root);
+    write(
+        &root,
+        "crates/merkle/src/mac.rs",
+        "macro_rules! take {\n\
+         \x20   ($x:expr) => {\n\
+         \x20       // lint: allow(panic) — fixture: macro expands only over known-Some values\n\
+         \x20       $x.unwrap()\n\
+         \x20   };\n\
+         }\n",
+    );
+    let out = run_lint(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "allow marker inside a macro body must suppress:\n{stdout}"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn allows_audit_lists_markers_and_flags_stale() {
+    let root = fixture_dir("allows");
+    skeleton(&root);
+    // One live marker, one marker whose violation has since been fixed, and
+    // one file-level marker covering two sites.
+    write(
+        &root,
+        "crates/merkle/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn live(x: Option<u8>) -> u8 {\n\
+         \x20   // lint: allow(panic) — fixture: input validated by caller\n\
+         \x20   x.unwrap()\n\
+         }\n\
+         pub fn fixed(x: Option<u8>) -> u8 {\n\
+         \x20   // lint: allow(panic) — fixture: this marker no longer suppresses anything\n\
+         \x20   x.unwrap_or(0)\n\
+         }\n",
+    );
+    write(
+        &root,
+        "crates/storage/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         //! lint: allow-file(panic) — fixture: scratch tool, aborting is fine\n\
+         pub fn a(x: Option<u8>) -> u8 {\n\
+         \x20   x.unwrap()\n\
+         }\n\
+         pub fn b(x: Option<u8>) -> u8 {\n\
+         \x20   x.expect(\"b\")\n\
+         }\n",
+    );
+
+    // The lint itself passes: every violation is suppressed.
+    let lint = run_lint(&root);
+    assert!(
+        lint.status.success(),
+        "suppressed fixture must lint clean:\n{}",
+        String::from_utf8_lossy(&lint.stdout)
+    );
+
+    // The audit fails: the marker in `fixed` suppresses nothing.
+    let out = run_allows(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "stale marker must fail the audit");
+    assert!(
+        stdout.contains("STALE (suppresses nothing)"),
+        "stale marker must be called out:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("allow-file(panic)") && stdout.contains("[used]"),
+        "file-level marker must be listed as used:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("input validated by caller"),
+        "reasons must be listed:\n{stdout}"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn allows_audit_rejects_unknown_rule_names() {
+    let root = fixture_dir("allows-unknown");
+    skeleton(&root);
+    write(
+        &root,
+        "crates/storage/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn f() {\n\
+         \x20   // lint: allow(panics) — typo'd rule name\n\
+         \x20   let _ = 1;\n\
+         }\n",
+    );
+    let out = run_allows(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "unknown rule name must fail");
+    assert!(
+        stdout.contains("STALE (unknown rule)"),
+        "unknown rule must be called out:\n{stdout}"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn this_workspace_allows_are_all_used() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap();
+    let out = run_allows(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "every allow marker in the repository must still suppress something:\n{stdout}"
+    );
 }
 
 #[test]
