@@ -113,6 +113,7 @@ impl OclSystem {
             if !receipt.status.is_success() {
                 return Err(CoreError::RequestRejected("OCL append reverted"));
             }
+            // lint: allow(panic) — u128 fee accumulator cannot overflow before the simulated chain runs out of Wei; aborting the experiment is correct if it somehow does
             costs.fees = costs.fees.checked_add(receipt.fee).expect("fee overflow");
         }
         Ok(OclOutcome {

@@ -4,6 +4,8 @@
 //! plots, and prints nothing itself; the `repro` binary handles output.
 //! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured results.
+//!
+//! lint: allow-file(panic) — measurement harness: a failed experiment setup must abort loudly, not limp on and publish skewed numbers
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};

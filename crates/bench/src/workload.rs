@@ -1,4 +1,6 @@
 //! Workload generation and world setup shared by every experiment.
+//!
+//! lint: allow-file(panic) — workload setup runs before any measurement; aborting on a malformed world is the correct failure mode for a bench tool
 
 use std::sync::Arc;
 use std::time::Duration;

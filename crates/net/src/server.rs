@@ -302,6 +302,7 @@ fn accept_loop(listener: TcpListener, conn_tx: Sender<TcpStream>, shared: Arc<Se
                 if shared.stop.load(Ordering::Relaxed) {
                     break;
                 }
+                // lint: allow(blocking) — shutdown-only drain poll: the listener is non-blocking here and no client traffic flows any more
                 std::thread::sleep(Duration::from_millis(1));
             }
             Err(_) => break,
@@ -346,7 +347,13 @@ fn serve_session(
     // The bounded reply queue: sync reads and async append callbacks all
     // funnel through it to the coalescing writer.
     let (reply_tx, reply_rx) = bounded::<(u64, Reply)>(shared.config.reply_queue_depth.max(1));
+    // Handing the write half to the writer mate closes a bounded(1) ring
+    // (session out, ack back), but the pair runs in strict lockstep: this
+    // thread never sends a second session before draining the previous ack
+    // (`ack_rx.recv()` below), so neither queue can be full at a send.
+    // `crates/check`'s slow-client model explores this handoff exhaustively.
     if session_tx
+        // lint: allow(chan) — session/ack pair alternates in strict lockstep; one session in flight, ack drained before the next send
         .send(WriterSession {
             stream: writer_stream,
             reply_rx,
@@ -397,6 +404,7 @@ fn writer_worker(
 ) {
     while let Ok(session) = session_rx.recv() {
         run_coalescing_writer(session, &shared);
+        // lint: allow(chan) — ack half of the strictly-alternating session/ack ring; the reader drained the previous ack before this session existed
         if ack_tx.send(()).is_err() {
             break;
         }

@@ -136,6 +136,7 @@ impl Clock {
                 *state.lock() += d;
                 waiters.notify_all();
             }
+            // lint: allow(panic) — documented `# Panics` contract: advancing a wall clock is a caller logic error, not a runtime condition
             Inner::Scaled { .. } => panic!("advance() requires a manual clock"),
         }
     }
