@@ -1,0 +1,180 @@
+//! Model-checked MPMC channels mirroring the crossbeam API the node uses:
+//! `bounded`/`unbounded`, blocking and `try_` sends/receives, and
+//! disconnect-on-last-drop — every operation (including endpoint drops,
+//! which change disconnect state) is a scheduling point.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use crate::rt::{current, ObjState, Op, Outcome, Runtime};
+
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    Full(T),
+    Disconnected(T),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+struct Shared<T> {
+    rt: Arc<Runtime>,
+    id: usize,
+    queue: StdMutex<VecDeque<T>>,
+}
+
+/// Creates a channel with capacity `cap` (blocking sends park when full).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    make(cap.max(1))
+}
+
+/// Creates a channel that never applies backpressure.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    make(usize::MAX)
+}
+
+fn make<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (rt, _) = current();
+    let id = rt.register_object(ObjState::Chan {
+        len: 0,
+        cap,
+        senders: 1,
+        receivers: 1,
+    });
+    let shared = Arc::new(Shared {
+        rt,
+        id,
+        queue: StdMutex::new(VecDeque::new()),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+fn push<T>(shared: &Shared<T>, value: T) {
+    shared
+        .queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push_back(value);
+}
+
+fn pop<T>(shared: &Shared<T>) -> Option<T> {
+    shared
+        .queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .pop_front()
+}
+
+impl<T> Sender<T> {
+    /// Blocks (in model time) until there is room or every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let (_, me) = current();
+        match self.shared.rt.sched_point(me, Op::Send(self.shared.id)) {
+            Outcome::Ok => {
+                push(&self.shared, value);
+                Ok(())
+            }
+            _ => Err(SendError(value)),
+        }
+    }
+
+    /// Never blocks: sheds when the queue is full.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let (_, me) = current();
+        match self.shared.rt.sched_point(me, Op::TrySend(self.shared.id)) {
+            Outcome::Ok => {
+                push(&self.shared, value);
+                Ok(())
+            }
+            Outcome::Full => Err(TrySendError::Full(value)),
+            _ => Err(TrySendError::Disconnected(value)),
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.rt.chan_clone(self.shared.id, true);
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        // Dropping the last sender flips receivers to "disconnected", which
+        // is exactly the kind of ordering the shutdown model checks — so
+        // the drop itself is a visible, schedulable event.
+        let (_, me) = current();
+        let _ = self
+            .shared
+            .rt
+            .sched_point(me, Op::Disconnect(self.shared.id));
+        self.shared.rt.chan_drop(self.shared.id, true);
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks (in model time) until a message arrives or all senders drop.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let (_, me) = current();
+        match self.shared.rt.sched_point(me, Op::Recv(self.shared.id)) {
+            Outcome::Ok => pop(&self.shared).ok_or(RecvError),
+            _ => Err(RecvError),
+        }
+    }
+
+    /// Never blocks: reports an empty queue instead.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let (_, me) = current();
+        match self.shared.rt.sched_point(me, Op::TryRecv(self.shared.id)) {
+            Outcome::Ok => pop(&self.shared).ok_or(TryRecvError::Disconnected),
+            Outcome::Empty => Err(TryRecvError::Empty),
+            _ => Err(TryRecvError::Disconnected),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.rt.chan_clone(self.shared.id, false);
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let (_, me) = current();
+        let _ = self
+            .shared
+            .rt
+            .sched_point(me, Op::Disconnect(self.shared.id));
+        self.shared.rt.chan_drop(self.shared.id, false);
+    }
+}

@@ -1,0 +1,141 @@
+//! `deliver_append` grace-then-kill vs. the coalescing writer's drain.
+//!
+//! Mirrors the RPC plane in `crates/net/src/server.rs`: append callbacks
+//! `try_send` replies into the session's bounded reply queue; when the
+//! queue is full (a peer too slow to drain its socket), the session is
+//! marked dead and the writer is kicked so it stops waiting on the stalled
+//! socket and drains what is left. The PR 5 slow-client hang — a blocking
+//! `send` into a full queue whose consumer is itself stuck on the slow
+//! socket — is the exact wedge this protocol exists to prevent.
+//!
+//! Invariants asserted in every interleaving:
+//! - **no wedge**: callbacks, writer, and the session owner always
+//!   terminate (a wedge is a deadlock, which the checker reports);
+//! - **no reply lost silently**: every reply is either delivered or
+//!   counted as shed — `delivered + shed` equals the replies produced;
+//! - **no invented reply**: the writer delivers each callback worker's
+//!   replies as a strictly increasing subsequence, nothing else.
+//!
+//! `broken: true` re-creates the PR 5 bug: callbacks use a blocking `send`
+//! with no kill path, so a stalled writer wedges the whole plane.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::channel::{bounded, Sender, TrySendError};
+use crate::sync::atomic::AtomicBool;
+use crate::{explore, nondet_bool, thread, Config, Report};
+
+/// Replies each callback worker completes toward the session.
+const REPLIES_PER_WORKER: u64 = 2;
+/// Value bases keeping the two workers' replies disjoint (1,2 vs 11,12).
+const BASES: [u64; 2] = [0, 10];
+
+fn model(broken: bool) {
+    // The session's bounded reply queue (depth 1, like a minimal
+    // reply_queue_depth) and the kill path that pokes a writer stuck in a
+    // write to a slow peer, the way `SessionSender::kill` shuts the socket
+    // down. The `dead` flag is the session tombstone callbacks check.
+    let (reply_tx, reply_rx) = bounded::<u64>(1);
+    let (kill_tx, kill_rx) = bounded::<()>(1);
+    let dead = Arc::new(AtomicBool::new(false));
+
+    // The coalescing writer: always delivers the first reply, then the
+    // peer either drains promptly or stalls (both worlds are explored).
+    let writer = thread::spawn(move || {
+        let mut delivered = Vec::new();
+        let slow_peer = nondet_bool();
+        if !slow_peer {
+            // Fast peer: drain the queue until the callbacks hang up.
+            while let Ok(v) = reply_rx.recv() {
+                delivered.push(v);
+            }
+            return delivered;
+        }
+        if let Ok(v) = reply_rx.recv() {
+            delivered.push(v);
+        }
+        // Stuck writing to the slow peer until the kill path fires (or the
+        // callbacks finish and drop their kill handles).
+        let _ = kill_rx.recv();
+        // Killed: drain whatever is still queued, then hang up.
+        while let Ok(v) = reply_rx.try_recv() {
+            delivered.push(v);
+        }
+        delivered
+    });
+
+    // Two append-callback workers completing replies toward the same
+    // session concurrently — they race on the reply queue, the tombstone,
+    // and the kill path, exactly like parallel stage-2 completions.
+    let spawn_worker = |base: u64| {
+        let dead = dead.clone();
+        let reply_tx: Sender<u64> = reply_tx.clone();
+        let kill_tx = kill_tx.clone();
+        thread::spawn(move || {
+            let mut shed = 0u64;
+            for i in 1..=REPLIES_PER_WORKER {
+                let v = base + i;
+                if dead.load(Ordering::Acquire) {
+                    shed += 1; // session already killed: reply discarded
+                    continue;
+                }
+                if broken {
+                    // The PR 5 bug: block on a full queue whose consumer is
+                    // stuck on the peer this queue is backed up behind.
+                    if reply_tx.send(v).is_err() {
+                        shed += 1;
+                    }
+                } else {
+                    match reply_tx.try_send(v) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(_)) => {
+                            // Grace exhausted: mark dead, kick the writer.
+                            dead.store(true, Ordering::Release);
+                            let _ = kill_tx.try_send(());
+                            shed += 1;
+                        }
+                        Err(TrySendError::Disconnected(_)) => shed += 1,
+                    }
+                }
+            }
+            shed
+        })
+    };
+    let worker_a = spawn_worker(BASES[0]);
+    let worker_b = spawn_worker(BASES[1]);
+    // Only the workers may keep the reply/kill channels open: the writer's
+    // drain-to-disconnect path relies on the sender count hitting zero.
+    drop(reply_tx);
+    drop(kill_tx);
+
+    let shed = worker_a.join().unwrap_or(0) + worker_b.join().unwrap_or(0);
+    let delivered = writer.join().unwrap_or_default();
+    assert_eq!(
+        delivered.len() as u64 + shed,
+        2 * REPLIES_PER_WORKER,
+        "replies neither delivered nor accounted as shed: {delivered:?} + {shed}"
+    );
+    assert!(
+        delivered.iter().all(|v| BASES
+            .iter()
+            .any(|b| (b + 1..=b + REPLIES_PER_WORKER).contains(v))),
+        "invented reply: {delivered:?}"
+    );
+    for base in BASES {
+        let sub: Vec<u64> = delivered
+            .iter()
+            .copied()
+            .filter(|v| (base + 1..=base + REPLIES_PER_WORKER).contains(v))
+            .collect();
+        assert!(
+            sub.windows(2).all(|w| w[0] < w[1]),
+            "duplicated or reordered reply from worker base {base}: {delivered:?}"
+        );
+    }
+}
+
+/// Explores the grace-then-kill model under `config`.
+pub fn run(broken: bool, config: Config) -> Report {
+    explore(config, move || model(broken))
+}

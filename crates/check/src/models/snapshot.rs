@@ -1,0 +1,116 @@
+//! Snapshot publication vs. hot readers.
+//!
+//! Mirrors `SnapshotCell` in `crates/core/src/node/snapshot.rs`: the
+//! publisher (holding the write-plane mutex) installs a new snapshot into
+//! the cold slot and *then* bumps the version counter; readers do one
+//! atomic version load and refresh from the slot only when the version
+//! moved, otherwise serving a per-reader cache.
+//!
+//! Invariants asserted in every interleaving:
+//! - **no torn snapshot**: the two fields of a snapshot are always
+//!   mutually consistent (`derived == 10 * publication`);
+//! - **no stale-beyond-current read**: a reader that observed version `v`
+//!   never gets a snapshot older than `v` (slot-before-version ordering);
+//! - **per-reader monotonicity**: repeated loads never go backwards.
+//!
+//! `broken: true` swaps the publication order — version bump *before* the
+//! slot write — which lets a reader observe a fresh version with the old
+//! snapshot still in the slot.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::sync::atomic::AtomicU64;
+use crate::sync::Mutex;
+use crate::{explore, thread, Config, Report};
+
+/// The published state: `(publication number, derived value)` — readers
+/// must never see the pair disagree.
+type Snap = (u64, u64);
+
+struct Cell {
+    version: AtomicU64,
+    slot: Mutex<Snap>,
+    write_plane: Mutex<()>,
+}
+
+impl Cell {
+    fn publish(&self, publication: u64, broken: bool) {
+        let _plane = self.write_plane.lock();
+        if broken {
+            // The hazard: readers can now observe `version == publication`
+            // while the slot still holds the previous snapshot.
+            self.version.fetch_add(1, Ordering::Release);
+            *self.slot.lock() = (publication, publication * 10);
+        } else {
+            *self.slot.lock() = (publication, publication * 10);
+            self.version.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// One hot-path read with the per-reader cache, returning the snapshot
+    /// and asserting the freshness invariant.
+    fn load(&self, cache: &mut Option<(u64, Snap)>) -> Snap {
+        let v = self.version.load(Ordering::Acquire);
+        let snap = match cache {
+            Some((cached_v, cached_snap)) if *cached_v == v => *cached_snap,
+            _ => {
+                let snap = *self.slot.lock();
+                *cache = Some((v, snap));
+                snap
+            }
+        };
+        assert_eq!(snap.1, snap.0 * 10, "torn snapshot: {snap:?}");
+        assert!(
+            snap.0 >= v,
+            "stale snapshot: observed version {v} but slot publication {}",
+            snap.0
+        );
+        snap
+    }
+}
+
+const PUBLICATIONS: u64 = 2;
+const READERS: usize = 2;
+
+fn model(broken: bool) {
+    let cell = Arc::new(Cell {
+        version: AtomicU64::new(0),
+        slot: Mutex::new((0, 0)),
+        write_plane: Mutex::new(()),
+    });
+
+    let publisher = {
+        let cell = cell.clone();
+        thread::spawn(move || {
+            for p in 1..=PUBLICATIONS {
+                cell.publish(p, broken);
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let cell = cell.clone();
+            thread::spawn(move || {
+                let mut cache = None;
+                let first = cell.load(&mut cache);
+                let second = cell.load(&mut cache);
+                assert!(
+                    second.0 >= first.0,
+                    "reader went backwards: {first:?} then {second:?}"
+                );
+            })
+        })
+        .collect();
+
+    publisher.join();
+    for r in readers {
+        r.join();
+    }
+}
+
+/// Explores the snapshot-publication model under `config`.
+pub fn run(broken: bool, config: Config) -> Report {
+    explore(config, move || model(broken))
+}

@@ -1,0 +1,51 @@
+//! Model threads: real OS threads driven one-at-a-time by the scheduler.
+
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use crate::rt::{current, run_model_thread, Op};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    rt: Arc<crate::rt::Runtime>,
+    tid: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+}
+
+/// Spawns a model thread. The closure runs under the deterministic
+/// scheduler like every other model thread; its first action is a `start`
+/// scheduling point, so the explorer also interleaves thread startup.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (rt, _) = current();
+    let tid = rt.register_thread();
+    let slot = Arc::new(StdMutex::new(None));
+    let rt2 = rt.clone();
+    let slot2 = slot.clone();
+    let h = std::thread::Builder::new()
+        .name(format!("model-t{tid}"))
+        .spawn(move || run_model_thread(rt2, tid, slot2, f))
+        .expect("spawn model thread");
+    rt.stash_handle(h);
+    JoinHandle { rt, tid, slot }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (in model time) for the thread to finish and returns its
+    /// value. `None` only during tear-down or if the thread panicked —
+    /// both of which already recorded a failure.
+    pub fn join(self) -> Option<T> {
+        let (_, me) = current();
+        let _ = self.rt.sched_point(me, Op::Join(self.tid));
+        self.slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+}
+
+/// A pure scheduling point, re-exported here to mirror `std::thread`.
+pub use crate::rt::yield_now;
