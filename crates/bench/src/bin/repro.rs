@@ -5,8 +5,8 @@
 //! cargo run -p wedge-bench --release --bin repro -- fig3
 //! ```
 //!
-//! Experiments: `fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 stage1 net
-//! punish latency faults reads`.
+//! Experiments: `fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 stage1 signing
+//! net punish latency faults reads`.
 //! Results are printed and also written to `results/<exp>.md`.
 
 use std::time::Instant;
@@ -34,6 +34,7 @@ fn run(name: &str, profile: Profile) {
         "fig9" => harness::fig9(profile),
         "table1" => harness::table1(profile),
         "stage1" => harness::stage1(profile),
+        "signing" => harness::signing(profile),
         "net" => harness::net(profile),
         "punish" => harness::punishment_economics(),
         "latency" => harness::latency_ablation(profile),
@@ -65,8 +66,8 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     let all = [
-        "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "reads", "stage1", "net",
-        "punish", "latency", "faults",
+        "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "reads", "stage1",
+        "signing", "net", "punish", "latency", "faults",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets == ["all"] {
         all.to_vec()

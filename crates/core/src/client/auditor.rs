@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 use wedge_chain::{Address, Chain};
 use wedge_contracts::RootRecord;
 use wedge_crypto::hash::Hash32;
+use wedge_crypto::secp256k1::AffineTable;
 use wedge_crypto::PublicKey;
 
 use crate::api::LogService;
@@ -66,6 +67,10 @@ impl AuditReport {
 pub struct Auditor {
     service: Arc<dyn LogService>,
     node_public: PublicKey,
+    /// Precomputed odd-multiples table for the node key: built once at
+    /// construction so every audited response shares it instead of
+    /// rebuilding the table per signature.
+    node_table: AffineTable,
     chain: Arc<Chain>,
     root_record: Address,
 }
@@ -79,9 +84,11 @@ impl Auditor {
     ) -> Auditor {
         let service: Arc<dyn LogService> = service;
         let node_public = service.node_public_key();
+        let node_table = AffineTable::new(node_public.point());
         Auditor {
             service,
             node_public,
+            node_table,
             chain,
             root_record,
         }
@@ -112,7 +119,7 @@ impl Auditor {
                 if report.entries_checked >= entry_budget {
                     break;
                 }
-                let ok = response.verify(&self.node_public).is_ok()
+                let ok = response.verify_with_table(&self.node_table).is_ok()
                     && response
                         .request()
                         .map(|r| r.verify().is_ok())

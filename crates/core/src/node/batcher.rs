@@ -294,7 +294,10 @@ fn deliver_stage(
         };
         let root = tree.root();
 
-        // Sign responses in parallel.
+        // Assemble proofs and leaves in parallel, then batch-sign the
+        // response digests — the batch path shares one scalar and one field
+        // inversion per chunk and emits signature bytes identical to
+        // per-item signing.
         let tampering = matches!(shared.config.behavior, NodeBehavior::TamperResponses { .. })
             && shared.config.behavior.affects(log_id);
         let node_key = *shared.identity.secret_key();
@@ -302,7 +305,7 @@ fn deliver_stage(
             let tree = &tree;
             let items: Vec<(usize, &crate::types::AppendRequest)> =
                 batch.iter().map(|m| &m.request).enumerate().collect();
-            shared.pool.map(&items, move |(offset, request)| {
+            let prepared = shared.pool.map(&items, move |(offset, request)| {
                 let mut leaf = request.leaf_bytes();
                 if tampering {
                     tamper(&mut leaf);
@@ -310,8 +313,7 @@ fn deliver_stage(
                 // lint: allow(panic) — `offset` enumerates the same batch
                 // the tree was built from, so it is always in range
                 let proof = tree.prove(*offset).expect("offset in range");
-                SignedResponse::sign(
-                    &node_key,
+                (
                     EntryId {
                         log_id,
                         offset: *offset as u32,
@@ -320,7 +322,8 @@ fn deliver_stage(
                     proof,
                     leaf,
                 )
-            })
+            });
+            SignedResponse::sign_batch(&node_key, prepared, shared.pool.workers())
         };
 
         // Optional simulated response-network delay (one message per flush).

@@ -14,7 +14,10 @@ use wedge_contracts::response_digest;
 use wedge_crypto::ecdsa::Signature;
 use wedge_crypto::hash::{keccak256, Hash32};
 use wedge_crypto::keys::Address;
-use wedge_crypto::{recover_prehashed, sign_prehashed, verify_prehashed, PublicKey, SecretKey};
+use wedge_crypto::secp256k1::AffineTable;
+use wedge_crypto::{
+    recover_prehashed, sign_prehashed, verify_prehashed_with_table, PublicKey, SecretKey,
+};
 use wedge_merkle::MerkleProof;
 
 use crate::error::CoreError;
@@ -177,12 +180,53 @@ impl SignedResponse {
         }
     }
 
+    /// Signs one response per prepared `(entry_id, merkle_root, proof,
+    /// leaf)` tuple, amortizing the expensive per-signature inversions
+    /// across the whole batch via
+    /// [`wedge_crypto::sign_batch_parallel`]. Signature bytes are identical
+    /// to calling [`SignedResponse::sign`] on each tuple.
+    pub fn sign_batch(
+        node_key: &SecretKey,
+        items: Vec<(EntryId, Hash32, MerkleProof, Vec<u8>)>,
+        threads: usize,
+    ) -> Vec<SignedResponse> {
+        let digests: Vec<[u8; 32]> = items
+            .iter()
+            .map(|(id, root, proof, leaf)| {
+                response_digest(id.log_id, root, &proof.to_bytes(), leaf)
+            })
+            .collect();
+        let signatures = wedge_crypto::sign_batch_parallel(node_key, &digests, threads);
+        items
+            .into_iter()
+            .zip(signatures)
+            .map(
+                |((entry_id, merkle_root, proof, leaf), signature)| SignedResponse {
+                    entry_id,
+                    merkle_root,
+                    proof,
+                    leaf,
+                    signature,
+                },
+            )
+            .collect()
+    }
+
     /// Full client-side stage-1 verification:
     /// 1. the node's signature is valid,
     /// 2. the proof reproduces the signed root from the leaf,
     /// 3. the proof's position matches the claimed entry id.
     pub fn verify(&self, node_public: &PublicKey) -> Result<(), CoreError> {
-        verify_prehashed(node_public, &self.digest(), &self.signature).map_err(|_| {
+        self.verify_with_table(&AffineTable::new(node_public.point()))
+    }
+
+    /// Like [`SignedResponse::verify`], but against a prebuilt
+    /// odd-multiples table for the node's public key — clients and auditors
+    /// checking many responses under the same node key build the table once
+    /// (see [`wedge_crypto::secp256k1::AffineTable`]) instead of once per
+    /// response.
+    pub fn verify_with_table(&self, node_table: &AffineTable) -> Result<(), CoreError> {
+        verify_prehashed_with_table(node_table, &self.digest(), &self.signature).map_err(|_| {
             CoreError::BadResponseSignature {
                 entry_id: self.entry_id,
             }

@@ -10,7 +10,10 @@ use crate::error::CryptoError;
 use crate::hash::HmacSha256;
 use crate::keys::{Address, PublicKey, SecretKey};
 use crate::secp256k1::scalar::N;
-use crate::secp256k1::{mul_generator, mul_point, Affine, Fe, Scalar};
+use crate::secp256k1::{
+    batch_normalize, mul_double, mul_double_with_table, mul_generator, Affine, AffineTable, Fe,
+    Jacobian, Scalar,
+};
 
 /// A recoverable ECDSA signature `(r, s, v)` with `s` normalized to the low
 /// half of the order (malleability protection, as enforced by Ethereum).
@@ -39,6 +42,17 @@ impl Signature {
     }
 
     /// Parses from 65 bytes, enforcing canonical (low-s, in-range) form.
+    ///
+    /// Rejected as [`CryptoError::InvalidSignature`]:
+    /// - `r = 0` or `r ≥ n` (r is the nonce x mod n, never zero for a valid
+    ///   signature, and any 32-byte encoding ≥ n is non-canonical);
+    /// - `s = 0` or `s ≥ n` (same range rule);
+    /// - `s > n/2` — **high-s policy**: for every valid `(r, s, v)` the twin
+    ///   `(r, n - s, v ^ 1)` also verifies, so accepting both makes
+    ///   signatures malleable. Like Ethereum (EIP-2), only the low half is
+    ///   canonical; [`sign_prehashed`] always emits low s, and both this
+    ///   parser and [`verify_prehashed`] reject the high twin.
+    /// - `v > 3` (recovery id has only two meaningful bits).
     pub fn from_bytes(bytes: &[u8; 65]) -> Result<Signature, CryptoError> {
         let mut rb = [0u8; 32];
         let mut sb = [0u8; 32];
@@ -153,9 +167,107 @@ pub fn sign_prehashed(secret: &SecretKey, msg_hash: &[u8; 32]) -> Signature {
     }
 }
 
+/// Signs a batch of prehashed messages, amortizing the expensive per-item
+/// inversions: the nonce-point affine conversions collapse into one shared
+/// field inversion ([`batch_normalize`]) and the nonce inverses into one
+/// shared scalar inversion ([`Scalar::batch_invert`]).
+///
+/// Output is **byte-identical** to calling [`sign_prehashed`] per item: the
+/// fast path uses the same first RFC 6979 nonce candidate, and any
+/// astronomically rare edge case (rejected nonce, `r = 0`, `s = 0`) falls
+/// back to the per-item loop for that message.
+pub fn sign_prehashed_batch(secret: &SecretKey, msg_hashes: &[[u8; 32]]) -> Vec<Signature> {
+    let d = secret.scalar();
+    let mut nonces = Vec::with_capacity(msg_hashes.len());
+    let mut points = Vec::with_capacity(msg_hashes.len());
+    for h in msg_hashes {
+        match Rfc6979::new(secret, h).next() {
+            Some(k) => {
+                points.push(mul_generator(&k));
+                nonces.push(Some(k));
+            }
+            None => {
+                points.push(Jacobian::INFINITY);
+                nonces.push(None);
+            }
+        }
+    }
+    let affines = batch_normalize(&points);
+    let mut k_invs: Vec<Scalar> = nonces.iter().map(|k| k.unwrap_or(Scalar::ZERO)).collect();
+    Scalar::batch_invert(&mut k_invs);
+    msg_hashes
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            // Any deviation from the happy path defers to the per-item
+            // signer so batch output stays bit-for-bit identical.
+            if nonces[i].is_none() || affines[i].infinity || k_invs[i].is_zero() {
+                return sign_prehashed(secret, h);
+            }
+            let point = affines[i];
+            let x_int = point.x.to_u256();
+            let r = Scalar::from_u256(x_int);
+            if r.is_zero() {
+                return sign_prehashed(secret, h);
+            }
+            let z = Scalar::from_be_bytes_reduced(h);
+            let mut s = k_invs[i].mul(&z.add(&r.mul(d)));
+            if s.is_zero() {
+                return sign_prehashed(secret, h);
+            }
+            let mut v = point.y.is_odd() as u8;
+            if x_int >= N {
+                v |= 2;
+            }
+            if s.is_high() {
+                s = s.neg();
+                v ^= 1;
+            }
+            Signature { r, s, v }
+        })
+        .collect()
+}
+
+/// Checks whether a Jacobian point's affine x-coordinate is congruent to
+/// `r` mod n **without leaving projective coordinates**: `x ≡ r (mod n)`
+/// iff `X = x_cand · Z²` for `x_cand ∈ {r, r + n}` (the second candidate
+/// only exists when `r + n < p`). Replaces the field inversion the old
+/// affine comparison needed; the accepted set is unchanged.
+fn proj_x_matches_r(point: &Jacobian, r: &Scalar) -> bool {
+    let z2 = point.proj_z().square();
+    let x = point.proj_x().to_be_bytes();
+    let r_int = r.to_u256();
+    if crate::ct::ct_eq(&x, &Fe::from_u256(r_int).mul(&z2).to_be_bytes()) {
+        return true;
+    }
+    let (sum, carry) = r_int.overflowing_add(&N);
+    if carry || sum >= crate::secp256k1::field::P {
+        return false;
+    }
+    crate::ct::ct_eq(&x, &Fe::from_u256(sum).mul(&z2).to_be_bytes())
+}
+
 /// Verifies a signature over a prehashed message against a public key.
+///
+/// High-s signatures are rejected (see [`Signature::from_bytes`] for the
+/// malleability policy). One-off verification; callers checking many
+/// signatures under the same key should build an [`AffineTable`] for the
+/// key once and use [`verify_prehashed_with_table`].
 pub fn verify_prehashed(
     public: &PublicKey,
+    msg_hash: &[u8; 32],
+    sig: &Signature,
+) -> Result<(), CryptoError> {
+    verify_prehashed_with_table(&AffineTable::new(public.point()), msg_hash, sig)
+}
+
+/// Verifies a signature using a prebuilt odd-multiples table for the public
+/// key, so the per-key precomputation is paid once per batch instead of
+/// once per signature. The verification combination `u1·G + u2·Q` runs as
+/// one Strauss–Shamir/GLV interleaved multiplication and the final
+/// x-coordinate check stays projective (no inversion).
+pub fn verify_prehashed_with_table(
+    key_table: &AffineTable,
     msg_hash: &[u8; 32],
     sig: &Signature,
 ) -> Result<(), CryptoError> {
@@ -166,22 +278,55 @@ pub fn verify_prehashed(
     let s_inv = sig.s.invert().ok_or(CryptoError::InvalidSignature)?;
     let u1 = z.mul(&s_inv);
     let u2 = sig.r.mul(&s_inv);
-    let point = mul_generator(&u1)
-        .add(&mul_point(public.point(), &u2))
-        .to_affine();
-    if point.infinity {
+    let point = mul_double_with_table(&u1, &u2, key_table);
+    if point.is_infinity() {
         return Err(CryptoError::VerificationFailed);
     }
-    let r_candidate = Scalar::from_u256(point.x.to_u256());
-    if crate::ct::ct_eq(&r_candidate.to_be_bytes(), &sig.r.to_be_bytes()) {
+    if proj_x_matches_r(&point, &sig.r) {
         Ok(())
     } else {
         Err(CryptoError::VerificationFailed)
     }
 }
 
+/// Verifies a batch of signatures under **one** public key, amortizing the
+/// per-signature `s⁻¹` Fermat ladder into a single shared
+/// [`Scalar::batch_invert`] on top of the cached-table savings of
+/// [`verify_prehashed_with_table`].
+///
+/// Returns `Ok(())` if every signature verifies, otherwise the index of
+/// the first (lowest-index) failure. Accept/reject decisions are identical
+/// to calling [`verify_prehashed_with_table`] per item.
+pub fn verify_prehashed_batch(
+    key_table: &AffineTable,
+    items: &[([u8; 32], Signature)],
+) -> Result<(), usize> {
+    let mut s_invs: Vec<Scalar> = items.iter().map(|(_, sig)| sig.s).collect();
+    Scalar::batch_invert(&mut s_invs);
+    for (i, ((msg_hash, sig), s_inv)) in items.iter().zip(&s_invs).enumerate() {
+        // batch_invert leaves zero elements zero, so a zero s surfaces
+        // here exactly like the per-item `invert()` failure.
+        if sig.r.is_zero() || sig.s.is_zero() || sig.s.is_high() || s_inv.is_zero() {
+            return Err(i);
+        }
+        let z = Scalar::from_be_bytes_reduced(msg_hash);
+        let u1 = z.mul(s_inv);
+        let u2 = sig.r.mul(s_inv);
+        let point = mul_double_with_table(&u1, &u2, key_table);
+        if point.is_infinity() || !proj_x_matches_r(&point, &sig.r) {
+            return Err(i);
+        }
+    }
+    Ok(())
+}
+
 /// Recovers the signer's public key from a signature over a prehashed
 /// message.
+///
+/// When the recovery id carries bit 1 (`v` in `2..=3`), the nonce point's x
+/// overflowed the group order — `x = r + n` rather than `x = r` — which is
+/// only representable when `r < p - n`. Both candidates are honored here;
+/// signatures produced by [`sign_prehashed`] set the bit automatically.
 pub fn recover_prehashed(msg_hash: &[u8; 32], sig: &Signature) -> Result<PublicKey, CryptoError> {
     if sig.r.is_zero() || sig.s.is_zero() || sig.v > 3 {
         return Err(CryptoError::InvalidSignature);
@@ -199,14 +344,17 @@ pub fn recover_prehashed(msg_hash: &[u8; 32], sig: &Signature) -> Result<PublicK
         x_int = sum;
     }
     let x = Fe::from_u256(x_int);
+    // lint: allow(ct) — recovery consumes a *public* signature: the v bit
+    // tested here is attacker-supplied input, not secret material, and the
+    // recovered nonce point is derived entirely from public (r, s, v, hash).
     let nonce_point = Affine::lift_x(x, sig.v & 1 == 1).ok_or(CryptoError::RecoveryFailed)?;
     let z = Scalar::from_be_bytes_reduced(msg_hash);
     let r_inv = sig.r.invert().ok_or(CryptoError::InvalidSignature)?;
-    // Q = r^-1 (s*R - z*G)
-    let s_r = mul_point(&nonce_point, &sig.s);
-    let z_g = mul_generator(&z.neg());
-    let q = s_r.add(&z_g);
-    let q_affine = mul_point(&q.to_affine(), &r_inv).to_affine();
+    // Q = r^-1 (s*R - z*G) = (-z*r^-1)*G + (s*r^-1)*R — one Strauss–Shamir
+    // double multiplication instead of two full multiplications.
+    let u1 = z.mul(&r_inv).neg();
+    let u2 = sig.s.mul(&r_inv);
+    let q_affine = mul_double(&u1, &u2, &nonce_point).to_affine();
     if q_affine.infinity {
         return Err(CryptoError::RecoveryFailed);
     }
@@ -216,6 +364,84 @@ pub fn recover_prehashed(msg_hash: &[u8; 32], sig: &Signature) -> Result<PublicK
 /// Recovers the signer's address — the on-chain `recoverSigner` primitive.
 pub fn recover_address(msg_hash: &[u8; 32], sig: &Signature) -> Result<Address, CryptoError> {
     Ok(recover_prehashed(msg_hash, sig)?.address())
+}
+
+pub mod reference {
+    //! Pre-optimization ECDSA baselines built on the frozen 4-bit window
+    //! paths in [`crate::secp256k1::point::reference`]: per-call Fermat
+    //! inversions, two independent multiplications per verification, and an
+    //! affine final comparison. Differential tests assert the fast paths
+    //! produce **byte-identical signatures** and the **same accept/reject
+    //! decisions**; the `repro -- signing` experiment measures these as the
+    //! honest pre-PR baseline.
+
+    use super::{CryptoError, PublicKey, Rfc6979, Scalar, SecretKey, Signature, N};
+    use crate::secp256k1::point::reference as point_ref;
+
+    /// [`super::sign_prehashed`] as it was before the comb table and batch
+    /// inversion: 4-bit windowed `k·G`, one field inversion for the affine
+    /// conversion, one Fermat scalar inversion per signature.
+    pub fn sign_prehashed(secret: &SecretKey, msg_hash: &[u8; 32]) -> Signature {
+        let z = Scalar::from_be_bytes_reduced(msg_hash);
+        let d = secret.scalar();
+        let mut nonce_gen = Rfc6979::new(secret, msg_hash);
+        loop {
+            let Some(k) = nonce_gen.next() else { continue };
+            let point = point_ref::mul_generator(&k).to_affine();
+            if point.infinity {
+                continue;
+            }
+            let x_int = point.x.to_u256();
+            let r = Scalar::from_u256(x_int);
+            if r.is_zero() {
+                continue;
+            }
+            let Some(k_inv) = k.invert() else { continue };
+            let mut s = k_inv.mul(&z.add(&r.mul(d)));
+            if s.is_zero() {
+                continue;
+            }
+            let mut v = point.y.is_odd() as u8;
+            if x_int >= N {
+                v |= 2;
+            }
+            if s.is_high() {
+                // Normalizing s to the low half negates the nonce point's y.
+                s = s.neg();
+                v ^= 1;
+            }
+            return Signature { r, s, v };
+        }
+    }
+
+    /// [`super::verify_prehashed`] as it was before Strauss–Shamir: two
+    /// independent scalar multiplications (the key's window table rebuilt
+    /// per call) and an affine conversion for the final x comparison.
+    pub fn verify_prehashed(
+        public: &PublicKey,
+        msg_hash: &[u8; 32],
+        sig: &Signature,
+    ) -> Result<(), CryptoError> {
+        if sig.r.is_zero() || sig.s.is_zero() || sig.s.is_high() {
+            return Err(CryptoError::InvalidSignature);
+        }
+        let z = Scalar::from_be_bytes_reduced(msg_hash);
+        let s_inv = sig.s.invert().ok_or(CryptoError::InvalidSignature)?;
+        let u1 = z.mul(&s_inv);
+        let u2 = sig.r.mul(&s_inv);
+        let point = point_ref::mul_generator(&u1)
+            .add(&point_ref::mul_point(public.point(), &u2))
+            .to_affine();
+        if point.infinity {
+            return Err(CryptoError::VerificationFailed);
+        }
+        let r_candidate = Scalar::from_u256(point.x.to_u256());
+        if crate::ct::ct_eq(&r_candidate.to_be_bytes(), &sig.r.to_be_bytes()) {
+            Ok(())
+        } else {
+            Err(CryptoError::VerificationFailed)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -378,5 +604,166 @@ mod tests {
         let sig = sign_prehashed(&sk, &h);
         verify_prehashed(&pk, &h, &sig).unwrap();
         assert_eq!(recover_prehashed(&h, &sig).unwrap(), pk);
+    }
+
+    /// Re-encodes a valid signature with one component replaced, returning
+    /// the parse result.
+    fn parse_with(sig: &Signature, r: Option<&[u8; 32]>, s: Option<&[u8; 32]>) -> bool {
+        let mut bytes = sig.to_bytes();
+        if let Some(rb) = r {
+            bytes[..32].copy_from_slice(rb);
+        }
+        if let Some(sb) = s {
+            bytes[32..64].copy_from_slice(sb);
+        }
+        Signature::from_bytes(&bytes).is_ok()
+    }
+
+    #[test]
+    fn boundary_values_rejected_on_parse() {
+        let kp = Keypair::from_seed(b"bounds");
+        let sig = sign_prehashed(&kp.secret, &hash(b"boundary"));
+        let zero = [0u8; 32];
+        let n_bytes = N.to_be_bytes();
+        let n_minus_1 = N.wrapping_sub(&crate::uint::U256::ONE).to_be_bytes();
+        let n_plus_1 = N.wrapping_add(&crate::uint::U256::ONE).to_be_bytes();
+        // r boundaries: 0, n, n+1 rejected; n-1 is in range and accepted.
+        assert!(!parse_with(&sig, Some(&zero), None), "r = 0");
+        assert!(!parse_with(&sig, Some(&n_bytes), None), "r = n");
+        assert!(!parse_with(&sig, Some(&n_plus_1), None), "r = n + 1");
+        assert!(parse_with(&sig, Some(&n_minus_1), None), "r = n - 1");
+        // s boundaries: 0, n, n+1 rejected; n-1 is in range but HIGH, so the
+        // malleability policy rejects it too.
+        assert!(!parse_with(&sig, None, Some(&zero)), "s = 0");
+        assert!(!parse_with(&sig, None, Some(&n_bytes)), "s = n");
+        assert!(!parse_with(&sig, None, Some(&n_plus_1)), "s = n + 1");
+        assert!(
+            !parse_with(&sig, None, Some(&n_minus_1)),
+            "s = n - 1 (high)"
+        );
+        // The original signature still parses.
+        assert!(parse_with(&sig, None, None));
+    }
+
+    #[test]
+    fn verify_rejects_zero_and_high_components() {
+        let kp = Keypair::from_seed(b"vrej");
+        let h = hash(b"m");
+        let sig = sign_prehashed(&kp.secret, &h);
+        for bad in [
+            Signature {
+                r: Scalar::ZERO,
+                ..sig
+            },
+            Signature {
+                s: Scalar::ZERO,
+                ..sig
+            },
+            Signature {
+                s: sig.s.neg(), // high twin
+                ..sig
+            },
+        ] {
+            assert_eq!(
+                verify_prehashed(&kp.public, &h, &bad),
+                Err(CryptoError::InvalidSignature)
+            );
+        }
+    }
+
+    /// Finds a curve point whose x-coordinate lies in `[n, p)` — the range
+    /// where the nonce x overflows the group order, forcing recovery ids
+    /// 2/3. Such points exist for roughly `(p - n) / 2 ≈ 2^128` x values,
+    /// so scanning from n finds one immediately.
+    fn overflowing_nonce_point() -> Affine {
+        for t in 1u64..1000 {
+            let x_int = N.wrapping_add(&crate::uint::U256::from_u64(t));
+            if let Some(p) = Affine::lift_x(Fe::from_u256(x_int), false) {
+                return p;
+            }
+        }
+        unreachable!("a curve point with x in [n, p) exists within 1000 tries");
+    }
+
+    #[test]
+    fn recovery_selects_second_x_candidate() {
+        // Construct the edge-case vector directly: a nonce point R with
+        // x = r + n. The verification equation defines the recovered key
+        // Q = r^-1(sR - zG); recovery with v bit 1 set must reproduce it,
+        // and verification must accept x ≡ r (mod n) via the second
+        // candidate.
+        let nonce_point = overflowing_nonce_point();
+        let x_int = nonce_point.x.to_u256();
+        assert!(x_int >= N, "vector must overflow the order");
+        let r = Scalar::from_u256(x_int);
+        assert!(!r.is_zero());
+        let s = {
+            let cand = Scalar::from_be_bytes_reduced(&hash(b"edge s"));
+            if cand.is_high() {
+                cand.neg()
+            } else {
+                cand
+            }
+        };
+        let h = hash(b"overflowing nonce");
+        let v = nonce_point.y.is_odd() as u8 | 2;
+        let sig = Signature { r, s, v };
+        // Recovery honors the second candidate…
+        let recovered = recover_prehashed(&h, &sig).expect("recovery ids 2/3 select x = r + n");
+        // …the recovered key verifies the signature (exercising the r + n
+        // branch of the projective x check)…
+        verify_prehashed(&recovered, &h, &sig).unwrap();
+        assert_eq!(
+            reference::verify_prehashed(&recovered, &h, &sig),
+            Ok(()),
+            "old affine check agrees"
+        );
+        // …and recover_address round-trips to the same signer.
+        assert_eq!(recover_address(&h, &sig).unwrap(), recovered.address());
+        // Without bit 1 the nonce x is taken as r itself, which names a
+        // different (or no) nonce point — never the same key.
+        if let Ok(other) = recover_prehashed(&h, &Signature { v: v & 1, ..sig }) {
+            assert_ne!(other, recovered);
+        }
+    }
+
+    #[test]
+    fn batch_sign_matches_sequential() {
+        let kp = Keypair::from_seed(b"batchsig");
+        for len in [0usize, 1, 2, 7, 33] {
+            let hashes: Vec<[u8; 32]> = (0..len).map(|i| hash(&(i as u64).to_be_bytes())).collect();
+            let batch = sign_prehashed_batch(&kp.secret, &hashes);
+            assert_eq!(batch.len(), len);
+            for (h, sig) in hashes.iter().zip(&batch) {
+                assert_eq!(
+                    sig.to_bytes(),
+                    sign_prehashed(&kp.secret, h).to_bytes(),
+                    "batch output must be byte-identical"
+                );
+                assert_eq!(
+                    sig.to_bytes(),
+                    reference::sign_prehashed(&kp.secret, h).to_bytes(),
+                    "and identical to the pre-optimization signer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_verify_matches_plain_and_reference() {
+        let kp = Keypair::from_seed(b"tblver");
+        let other = Keypair::from_seed(b"not the signer");
+        let table = AffineTable::new(kp.public.point());
+        for i in 0..8u8 {
+            let h = hash(&[i]);
+            let sig = sign_prehashed(&kp.secret, &h);
+            verify_prehashed_with_table(&table, &h, &sig).unwrap();
+            let wrong = hash(&[i, 0xFF]);
+            assert_eq!(
+                verify_prehashed_with_table(&table, &wrong, &sig),
+                reference::verify_prehashed(&kp.public, &wrong, &sig)
+            );
+            assert!(verify_prehashed(&other.public, &h, &sig).is_err());
+        }
     }
 }

@@ -44,7 +44,10 @@ pub mod signer;
 pub mod uint;
 
 pub use ct::ct_eq;
-pub use ecdsa::{recover_address, recover_prehashed, sign_prehashed, verify_prehashed, Signature};
+pub use ecdsa::{
+    recover_address, recover_prehashed, sign_prehashed, sign_prehashed_batch, verify_prehashed,
+    verify_prehashed_batch, verify_prehashed_with_table, Signature,
+};
 pub use error::CryptoError;
 pub use hash::{keccak256, sha256, Hash32};
 pub use keys::{Address, Keypair, PublicKey, SecretKey};

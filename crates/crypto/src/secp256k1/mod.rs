@@ -7,5 +7,8 @@ pub mod point;
 pub mod scalar;
 
 pub use field::Fe;
-pub use point::{mul_double, mul_generator, mul_point, Affine, Jacobian};
+pub use point::{
+    batch_normalize, mul_double, mul_double_with_table, mul_generator, mul_point, Affine,
+    AffineTable, Jacobian,
+};
 pub use scalar::Scalar;

@@ -2,19 +2,44 @@
 //!
 //! Points are manipulated in Jacobian projective coordinates
 //! (`x = X/Z^2, y = Y/Z^3`) to avoid per-operation field inversions; a single
-//! inversion converts back to affine. Scalar multiplication uses a 4-bit
-//! fixed window; multiplications by the generator use a lazily built
-//! precomputed window table.
+//! inversion converts back to affine, and [`batch_normalize`] amortizes that
+//! inversion across many points via Montgomery's trick.
+//!
+//! Scalar multiplication comes in three speeds:
+//!
+//! - **Fixed base** ([`mul_generator`]): an 8-bit comb table (32 windows ×
+//!   255 affine entries, built lazily with one shared inversion) reduces
+//!   `k·G` to at most 32 mixed additions and zero doublings.
+//! - **Variable base** ([`mul_point`], [`AffineTable`]): the scalar is split
+//!   with the GLV endomorphism (`λ·(x, y) = (β·x, y)`) into two half-width
+//!   parts, each driven through width-5 wNAF over a shared 8-entry
+//!   odd-multiples table — ~129 doublings and ~43 additions instead of 256
+//!   doublings and 64 additions.
+//! - **Double-scalar** ([`mul_double`], [`mul_double_with_table`]):
+//!   Strauss–Shamir interleaving shares one doubling run across all four
+//!   GLV half-scalars of `a·G + b·Q`, which is the shape ECDSA verification
+//!   and recovery need. Callers that verify many signatures under one key
+//!   should build the key's [`AffineTable`] once and reuse it.
+//!
+//! The pre-existing 4-bit fixed-window implementations are preserved in
+//! [`reference`] as differential baselines; property tests pin the fast
+//! paths to them bit-for-bit.
 
 use std::sync::OnceLock;
 
 use super::field::Fe;
-use super::scalar::Scalar;
+use super::scalar::{wnaf_digits, Scalar};
+use crate::uint::U256;
 
 /// Generator x-coordinate.
 const GX: Fe = Fe::from_be_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
 /// Generator y-coordinate.
 const GY: Fe = Fe::from_be_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+
+/// β — the cube root of unity in GF(p) that realizes the GLV endomorphism:
+/// `λ·(x, y) = (β·x, y)` for the [`Scalar::LAMBDA`] cube root of unity mod n.
+const BETA: Fe =
+    Fe::from_be_hex("7ae96a2b657c07106e64479eac3434e99cf0497512f58995c1396c28719501ee");
 
 /// A point in affine coordinates, or the point at infinity.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -99,6 +124,16 @@ impl Affine {
         }
     }
 
+    /// The GLV endomorphism `φ(x, y) = (β·x, y)`, equal to `λ·P` for one
+    /// field multiplication instead of a scalar multiplication.
+    pub fn endo(&self) -> Affine {
+        Affine {
+            x: self.x.mul(&BETA),
+            y: self.y,
+            infinity: self.infinity,
+        }
+    }
+
     /// Serializes as 64 uncompressed bytes `x || y` (no 0x04 prefix, the
     /// Ethereum convention for address derivation).
     pub fn to_bytes_uncompressed(&self) -> [u8; 64] {
@@ -162,6 +197,16 @@ impl Jacobian {
     /// True iff the identity.
     pub fn is_infinity(&self) -> bool {
         self.z.is_zero()
+    }
+
+    /// The projective X coordinate (`x_affine = X / Z²`).
+    pub(crate) fn proj_x(&self) -> Fe {
+        self.x
+    }
+
+    /// The projective Z coordinate.
+    pub(crate) fn proj_z(&self) -> Fe {
+        self.z
     }
 
     /// Converts back to affine (one field inversion).
@@ -270,87 +315,259 @@ impl Jacobian {
     }
 }
 
-/// Window width (bits) for scalar multiplication.
-const WINDOW: usize = 4;
-/// Table entries per window: odd multiples not needed for fixed window —
-/// we store 1..=15 multiples.
-const TABLE_LEN: usize = (1 << WINDOW) - 1;
-
-/// Multiplies an arbitrary point by a scalar (4-bit fixed window).
-pub fn mul_point(point: &Affine, k: &Scalar) -> Jacobian {
-    if point.infinity || k.is_zero() {
-        return Jacobian::INFINITY;
-    }
-    // Build 1P..15P on the fly.
-    let mut table = [Jacobian::INFINITY; TABLE_LEN];
-    table[0] = point.to_jacobian();
-    for i in 1..TABLE_LEN {
-        table[i] = table[i - 1].add_affine(point);
-    }
-    let bytes = k.to_be_bytes();
-    let mut acc = Jacobian::INFINITY;
-    for byte in bytes {
-        for nibble in [byte >> 4, byte & 0x0F] {
-            for _ in 0..WINDOW {
-                acc = acc.double();
+/// Converts a slice of Jacobian points to affine with **one** shared field
+/// inversion (Montgomery's trick via [`Fe::batch_invert`]) instead of one
+/// inversion per point. Infinity inputs map to [`Affine::INFINITY`].
+pub fn batch_normalize(points: &[Jacobian]) -> Vec<Affine> {
+    let mut z_invs: Vec<Fe> = points.iter().map(|p| p.z).collect();
+    Fe::batch_invert(&mut z_invs);
+    points
+        .iter()
+        .zip(&z_invs)
+        .map(|(p, z_inv)| {
+            if z_inv.is_zero() {
+                Affine::INFINITY
+            } else {
+                let z_inv2 = z_inv.square();
+                Affine {
+                    x: p.x.mul(&z_inv2),
+                    y: p.y.mul(&z_inv2.mul(z_inv)),
+                    infinity: false,
+                }
             }
-            if nibble != 0 {
-                acc = acc.add(&table[(nibble - 1) as usize]);
-            }
-        }
-    }
-    acc
+        })
+        .collect()
 }
 
-/// Precomputed window table for the generator: for each of the 64 nibble
-/// positions, the affine points `d * 16^w * G` for digit `d` in 1..=15.
-struct GenTable {
-    windows: Vec<[Affine; TABLE_LEN]>,
+/// Comb window width in bits for the fixed-base generator table.
+const COMB_WINDOW: usize = 8;
+/// Number of comb windows covering a 256-bit scalar.
+const COMB_WINDOWS: usize = 256 / COMB_WINDOW;
+/// Entries per comb window: multiples `1..=255` of the window base.
+const COMB_TABLE_LEN: usize = (1 << COMB_WINDOW) - 1;
+
+/// Precomputed comb table for the generator: for each of the 32 byte
+/// positions `w`, the affine points `d · 256^w · G` for digit `d` in
+/// `1..=255`. ~570 KiB, built once on first use; construction runs entirely
+/// in Jacobian coordinates and normalizes all 8160 entries with a single
+/// shared inversion via [`batch_normalize`].
+struct CombTable {
+    windows: Vec<[Affine; COMB_TABLE_LEN]>,
 }
 
-fn gen_table() -> &'static GenTable {
-    static TABLE: OnceLock<GenTable> = OnceLock::new();
+fn comb_table() -> &'static CombTable {
+    static TABLE: OnceLock<CombTable> = OnceLock::new();
     TABLE.get_or_init(|| {
-        let mut windows = Vec::with_capacity(64);
+        let mut jac = Vec::with_capacity(COMB_WINDOWS * COMB_TABLE_LEN);
         let mut base = Affine::GENERATOR.to_jacobian();
-        for _ in 0..64 {
-            let mut entries = [Affine::INFINITY; TABLE_LEN];
+        for _ in 0..COMB_WINDOWS {
             let mut acc = base;
-            for slot in entries.iter_mut() {
-                *slot = acc.to_affine();
+            for _ in 0..COMB_TABLE_LEN {
+                jac.push(acc);
                 acc = acc.add(&base);
             }
-            // Advance base to 16 * base: acc currently is 16*base.
+            // acc is now 256 * base: the next window's base.
             base = acc;
-            windows.push(entries);
         }
-        GenTable { windows }
+        let affine = batch_normalize(&jac);
+        let windows = affine
+            .chunks_exact(COMB_TABLE_LEN)
+            .map(|chunk| {
+                let mut entries = [Affine::INFINITY; COMB_TABLE_LEN];
+                entries.copy_from_slice(chunk);
+                entries
+            })
+            .collect();
+        CombTable { windows }
     })
 }
 
-/// Multiplies the generator by a scalar using the precomputed table
-/// (64 mixed additions, no doublings).
+/// Multiplies the generator by a scalar using the precomputed comb table:
+/// at most 32 mixed additions and no doublings.
 pub fn mul_generator(k: &Scalar) -> Jacobian {
     if k.is_zero() {
         return Jacobian::INFINITY;
     }
-    let table = gen_table();
+    let table = comb_table();
     let bytes = k.to_be_bytes();
     let mut acc = Jacobian::INFINITY;
-    // Window w covers nibble w counting from the least-significant nibble.
-    for w in 0..64 {
-        let byte = bytes[31 - w / 2];
-        let nibble = if w % 2 == 0 { byte & 0x0F } else { byte >> 4 };
-        if nibble != 0 {
-            acc = acc.add_affine(&table.windows[w][(nibble - 1) as usize]);
+    // Window w covers byte w counting from the least-significant byte.
+    for (w, window) in table.windows.iter().enumerate() {
+        let byte = bytes[31 - w];
+        if byte != 0 {
+            acc = acc.add_affine(&window[(byte - 1) as usize]);
         }
     }
     acc
 }
 
-/// Computes `a*G + b*Q` (the ECDSA verification combination).
+/// wNAF window width for variable-base multiplication: odd digits
+/// `|d| ≤ 2^(width-1) - 1`.
+const WNAF_WIDTH: u32 = 5;
+/// Odd multiples stored per table: `1P, 3P, …, (2^(width-1) - 1)P`.
+const ODD_ENTRIES: usize = 1 << (WNAF_WIDTH - 2);
+
+/// Precomputed odd multiples of a point in affine form, plus their images
+/// under the GLV endomorphism — everything a width-5 wNAF walk over a
+/// GLV-split scalar needs.
+///
+/// Building the table costs one doubling, seven additions, and one shared
+/// field inversion. Verifiers processing many signatures under the same
+/// public key should build this once and call
+/// [`mul_double_with_table`] per signature.
+pub struct AffineTable {
+    /// `(2i+1)·P` for `i` in `0..ODD_ENTRIES`.
+    plain: [Affine; ODD_ENTRIES],
+    /// `φ((2i+1)·P) = λ·(2i+1)·P` (one field mul per entry: x → β·x).
+    endo: [Affine; ODD_ENTRIES],
+    /// Whether the base point was the identity.
+    infinity: bool,
+}
+
+impl AffineTable {
+    /// Precomputes the odd-multiples table for `point`.
+    pub fn new(point: &Affine) -> AffineTable {
+        if point.infinity {
+            return AffineTable {
+                plain: [Affine::INFINITY; ODD_ENTRIES],
+                endo: [Affine::INFINITY; ODD_ENTRIES],
+                infinity: true,
+            };
+        }
+        let twice = point.to_jacobian().double();
+        let mut jac = Vec::with_capacity(ODD_ENTRIES);
+        jac.push(point.to_jacobian());
+        for i in 1..ODD_ENTRIES {
+            jac.push(jac[i - 1].add(&twice));
+        }
+        let normalized = batch_normalize(&jac);
+        let mut plain = [Affine::INFINITY; ODD_ENTRIES];
+        plain.copy_from_slice(&normalized);
+        let mut endo = plain;
+        for entry in endo.iter_mut() {
+            *entry = entry.endo();
+        }
+        AffineTable {
+            plain,
+            endo,
+            infinity: false,
+        }
+    }
+
+    /// Looks up the table entry for a signed odd wNAF digit, optionally
+    /// under the endomorphism, with an extra negation for GLV half-scalars
+    /// whose magnitude was sign-flipped.
+    fn entry(&self, endo: bool, digit: i32, negate: bool) -> Affine {
+        let idx = digit.unsigned_abs() as usize / 2;
+        let entry = if endo {
+            self.endo[idx]
+        } else {
+            self.plain[idx]
+        };
+        if (digit < 0) != negate {
+            entry.neg()
+        } else {
+            entry
+        }
+    }
+
+    /// Computes `k·P` via GLV splitting and interleaved width-5 wNAF:
+    /// the two half-width scalars share one ~129-step doubling run.
+    pub fn mul(&self, k: &Scalar) -> Jacobian {
+        if self.infinity || k.is_zero() {
+            return Jacobian::INFINITY;
+        }
+        let split = k.split_glv();
+        let d1 = wnaf_digits(&split.k1.1, WNAF_WIDTH);
+        let d2 = wnaf_digits(&split.k2.1, WNAF_WIDTH);
+        let len = d1.len().max(d2.len());
+        let mut acc = Jacobian::INFINITY;
+        for i in (0..len).rev() {
+            acc = acc.double();
+            if let Some(&d) = d1.get(i) {
+                if d != 0 {
+                    acc = acc.add_affine(&self.entry(false, d, split.k1.0));
+                }
+            }
+            if let Some(&d) = d2.get(i) {
+                if d != 0 {
+                    acc = acc.add_affine(&self.entry(true, d, split.k2.0));
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Lazily built odd-multiples table for the generator, used to interleave
+/// the fixed-base half of Strauss–Shamir double multiplications.
+fn gen_wnaf_table() -> &'static AffineTable {
+    static TABLE: OnceLock<AffineTable> = OnceLock::new();
+    TABLE.get_or_init(|| AffineTable::new(&Affine::GENERATOR))
+}
+
+/// Multiplies an arbitrary point by a scalar (GLV split + width-5 wNAF over
+/// a batch-normalized affine odd-multiples table).
+pub fn mul_point(point: &Affine, k: &Scalar) -> Jacobian {
+    if point.infinity || k.is_zero() {
+        return Jacobian::INFINITY;
+    }
+    AffineTable::new(point).mul(k)
+}
+
+/// Computes `a·G + b·Q` (the ECDSA verification combination) with a
+/// freshly built table for `Q`. Verifying many signatures under the same
+/// key? Build [`AffineTable::new`] once and call [`mul_double_with_table`].
 pub fn mul_double(a: &Scalar, b: &Scalar, q: &Affine) -> Jacobian {
-    mul_generator(a).add(&mul_point(q, b))
+    mul_double_with_table(a, b, &AffineTable::new(q))
+}
+
+/// Computes `a·G + b·Q` as ECDSA verification needs it.
+///
+/// The variable-base half `b·Q` runs as a Strauss–Shamir interleave of the
+/// two GLV half-scalars over the caller's table (one shared ~129-step
+/// doubling run); the fixed-base half `a·G` comes from the comb table,
+/// which needs **no doublings at all** — so folding it in with one final
+/// addition is strictly cheaper than interleaving it into the doubling
+/// run.
+pub fn mul_double_with_table(a: &Scalar, b: &Scalar, table: &AffineTable) -> Jacobian {
+    if table.infinity || b.is_zero() {
+        return mul_generator(a);
+    }
+    if a.is_zero() {
+        return table.mul(b);
+    }
+    table.mul(b).add(&mul_generator(a))
+}
+
+/// Computes `a·G + b·Q` by Strauss–Shamir interleaving **without** the GLV
+/// split: both full-width scalars share one 256-step doubling run. Slower
+/// than [`mul_double_with_table`]; kept as an intermediate differential
+/// baseline between [`reference::mul_double`] and the GLV path.
+pub fn mul_double_strauss(a: &Scalar, b: &Scalar, q: &Affine) -> Jacobian {
+    if q.infinity || b.is_zero() {
+        return mul_generator(a);
+    }
+    let table = AffineTable::new(q);
+    let gt = gen_wnaf_table();
+    let da = wnaf_digits(&U256::from_be_bytes(&a.to_be_bytes()), WNAF_WIDTH);
+    let db = wnaf_digits(&U256::from_be_bytes(&b.to_be_bytes()), WNAF_WIDTH);
+    let len = da.len().max(db.len());
+    let mut acc = Jacobian::INFINITY;
+    for i in (0..len).rev() {
+        acc = acc.double();
+        if let Some(&d) = da.get(i) {
+            if d != 0 {
+                acc = acc.add_affine(&gt.entry(false, d, false));
+            }
+        }
+        if let Some(&d) = db.get(i) {
+            if d != 0 {
+                acc = acc.add_affine(&table.entry(false, d, false));
+            }
+        }
+    }
+    acc
 }
 
 /// Returns the generator order-related helper: x-coordinate of `k*G` as an
@@ -364,6 +581,104 @@ pub fn generator_x(k: &Scalar) -> Option<(Fe, bool, bool)> {
     let x_int = point.x.to_u256();
     let overflow = x_int >= super::scalar::N;
     Some((point.x, point.y.is_odd(), overflow))
+}
+
+pub mod reference {
+    //! The pre-wNAF scalar-multiplication paths, frozen as differential
+    //! baselines: a 4-bit fixed window over a per-call Jacobian table
+    //! ([`mul_point`]), a 4-bit fixed-window generator table built with one
+    //! inversion per entry ([`mul_generator`]), and the naive two-multiply
+    //! [`mul_double`]. Property tests assert the optimized paths in the
+    //! parent module match these bit-for-bit; the `repro -- signing`
+    //! experiment uses them as the honest pre-optimization baseline.
+
+    use std::sync::OnceLock;
+
+    use super::{Affine, Jacobian, Scalar};
+
+    /// Window width (bits) for scalar multiplication.
+    const WINDOW: usize = 4;
+    /// Table entries per window: we store the multiples 1..=15.
+    const TABLE_LEN: usize = (1 << WINDOW) - 1;
+
+    /// Multiplies an arbitrary point by a scalar (4-bit fixed window over a
+    /// Jacobian table rebuilt on every call).
+    pub fn mul_point(point: &Affine, k: &Scalar) -> Jacobian {
+        if point.infinity || k.is_zero() {
+            return Jacobian::INFINITY;
+        }
+        // Build 1P..15P on the fly.
+        let mut table = [Jacobian::INFINITY; TABLE_LEN];
+        table[0] = point.to_jacobian();
+        for i in 1..TABLE_LEN {
+            table[i] = table[i - 1].add_affine(point);
+        }
+        let bytes = k.to_be_bytes();
+        let mut acc = Jacobian::INFINITY;
+        for byte in bytes {
+            for nibble in [byte >> 4, byte & 0x0F] {
+                for _ in 0..WINDOW {
+                    acc = acc.double();
+                }
+                if nibble != 0 {
+                    acc = acc.add(&table[(nibble - 1) as usize]);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Precomputed window table for the generator: for each of the 64 nibble
+    /// positions, the affine points `d * 16^w * G` for digit `d` in 1..=15.
+    struct GenTable {
+        windows: Vec<[Affine; TABLE_LEN]>,
+    }
+
+    fn gen_table() -> &'static GenTable {
+        static TABLE: OnceLock<GenTable> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut windows = Vec::with_capacity(64);
+            let mut base = Affine::GENERATOR.to_jacobian();
+            for _ in 0..64 {
+                let mut entries = [Affine::INFINITY; TABLE_LEN];
+                let mut acc = base;
+                for slot in entries.iter_mut() {
+                    *slot = acc.to_affine();
+                    acc = acc.add(&base);
+                }
+                // Advance base to 16 * base: acc currently is 16*base.
+                base = acc;
+                windows.push(entries);
+            }
+            GenTable { windows }
+        })
+    }
+
+    /// Multiplies the generator by a scalar using the 4-bit precomputed
+    /// table (64 mixed additions, no doublings).
+    pub fn mul_generator(k: &Scalar) -> Jacobian {
+        if k.is_zero() {
+            return Jacobian::INFINITY;
+        }
+        let table = gen_table();
+        let bytes = k.to_be_bytes();
+        let mut acc = Jacobian::INFINITY;
+        // Window w covers nibble w counting from the least-significant nibble.
+        for w in 0..64 {
+            let byte = bytes[31 - w / 2];
+            let nibble = if w % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+            if nibble != 0 {
+                acc = acc.add_affine(&table.windows[w][(nibble - 1) as usize]);
+            }
+        }
+        acc
+    }
+
+    /// Computes `a*G + b*Q` as two independent multiplications plus an
+    /// addition — no shared doublings, no endomorphism.
+    pub fn mul_double(a: &Scalar, b: &Scalar, q: &Affine) -> Jacobian {
+        mul_generator(a).add(&mul_point(q, b))
+    }
 }
 
 #[cfg(test)]
@@ -487,10 +802,121 @@ mod tests {
     #[test]
     fn infinity_handling() {
         assert!(mul_point(&Affine::INFINITY, &Scalar::from_u64(3)).is_infinity());
+        assert!(mul_point(&Affine::GENERATOR, &Scalar::ZERO).is_infinity());
         assert!(mul_generator(&Scalar::ZERO).is_infinity());
         let g = Affine::GENERATOR.to_jacobian();
         assert_eq!(g.add(&Jacobian::INFINITY).to_affine(), Affine::GENERATOR);
         assert_eq!(Jacobian::INFINITY.add(&g).to_affine(), Affine::GENERATOR);
         assert_eq!(Jacobian::INFINITY.to_affine(), Affine::INFINITY);
+    }
+
+    fn sample_scalars() -> Vec<Scalar> {
+        vec![
+            Scalar::from_u64(1),
+            Scalar::from_u64(2),
+            Scalar::from_u64(0xDEAD_BEEF),
+            Scalar::from_be_bytes_reduced(&[0xA5; 32]),
+            Scalar::from_be_bytes_reduced(&[0x5A; 32]),
+            Scalar::from_u64(1).neg(), // n - 1
+            Scalar::LAMBDA,
+            Scalar::LAMBDA.neg(),
+        ]
+    }
+
+    #[test]
+    fn batch_normalize_matches_to_affine() {
+        let mut points: Vec<Jacobian> = sample_scalars()
+            .iter()
+            .map(|s| mul_generator(s).double())
+            .collect();
+        points.insert(1, Jacobian::INFINITY);
+        points.push(Jacobian::INFINITY);
+        let expect: Vec<Affine> = points.iter().map(|p| p.to_affine()).collect();
+        assert_eq!(batch_normalize(&points), expect);
+        assert!(batch_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn comb_generator_matches_reference_table() {
+        for s in sample_scalars() {
+            assert_eq!(
+                mul_generator(&s).to_affine(),
+                reference::mul_generator(&s).to_affine(),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn glv_wnaf_mul_point_matches_reference() {
+        let base = mul_generator(&Scalar::from_u64(31337)).to_affine();
+        for s in sample_scalars() {
+            assert_eq!(
+                mul_point(&base, &s).to_affine(),
+                reference::mul_point(&base, &s).to_affine(),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn endomorphism_is_lambda_multiplication() {
+        let p = mul_generator(&Scalar::from_u64(777)).to_affine();
+        let via_endo = p.endo();
+        let via_scalar = mul_point(&p, &Scalar::LAMBDA).to_affine();
+        assert_eq!(via_endo, via_scalar);
+        assert!(via_endo.is_on_curve());
+        assert_eq!(Affine::INFINITY.endo(), Affine::INFINITY);
+    }
+
+    #[test]
+    fn mul_double_variants_agree() {
+        let q = mul_generator(&Scalar::from_be_bytes_reduced(&[0x77; 32])).to_affine();
+        let scalars = sample_scalars();
+        for a in &scalars {
+            for b in &scalars {
+                let expect = reference::mul_double(a, b, &q).to_affine();
+                assert_eq!(mul_double(a, b, &q).to_affine(), expect, "glv {a:?} {b:?}");
+                assert_eq!(
+                    mul_double_strauss(a, b, &q).to_affine(),
+                    expect,
+                    "strauss {a:?} {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_double_handles_zero_and_infinity() {
+        let q = mul_generator(&Scalar::from_u64(99)).to_affine();
+        let a = Scalar::from_u64(41);
+        let b = Scalar::from_u64(43);
+        assert_eq!(
+            mul_double(&a, &Scalar::ZERO, &q).to_affine(),
+            mul_generator(&a).to_affine()
+        );
+        assert_eq!(
+            mul_double(&Scalar::ZERO, &b, &q).to_affine(),
+            mul_point(&q, &b).to_affine()
+        );
+        assert!(mul_double(&Scalar::ZERO, &Scalar::ZERO, &q).is_infinity());
+        assert_eq!(
+            mul_double(&a, &b, &Affine::INFINITY).to_affine(),
+            mul_generator(&a).to_affine()
+        );
+    }
+
+    #[test]
+    fn cached_table_reuse_matches_fresh() {
+        let q = mul_generator(&Scalar::from_u64(1234567)).to_affine();
+        let table = AffineTable::new(&q);
+        for s in sample_scalars() {
+            assert_eq!(table.mul(&s).to_affine(), mul_point(&q, &s).to_affine());
+            let a = s.add(&Scalar::from_u64(17));
+            assert_eq!(
+                mul_double_with_table(&a, &s, &table).to_affine(),
+                mul_double(&a, &s, &q).to_affine()
+            );
+        }
     }
 }

@@ -132,6 +132,131 @@ impl Scalar {
         }
         Some(self.pow(&N.wrapping_sub(&U256::from_u64(2))))
     }
+
+    /// Montgomery batch inversion: inverts every non-zero scalar in place
+    /// for one Fermat ladder plus `3(n-1)` multiplications — the
+    /// amortization that removes the per-signature `k⁻¹` ladder from the
+    /// batch signing path. Zero entries are left as zero.
+    pub fn batch_invert(elems: &mut [Scalar]) {
+        let mut prefix = Vec::with_capacity(elems.len());
+        let mut acc = Scalar::ONE;
+        for e in elems.iter() {
+            prefix.push(acc);
+            if !e.is_zero() {
+                acc = acc.mul(e);
+            }
+        }
+        let Some(mut inv) = acc.invert() else {
+            return;
+        };
+        for (e, pre) in elems.iter_mut().zip(prefix).rev() {
+            if e.is_zero() {
+                continue;
+            }
+            let e_inv = inv.mul(&pre);
+            inv = inv.mul(e);
+            *e = e_inv;
+        }
+    }
+
+    /// The GLV endomorphism eigenvalue λ: `λ·(x, y) = (β·x, y)` for every
+    /// curve point, with λ³ = 1 (mod n).
+    pub const LAMBDA: Scalar = Scalar(U256::from_be_hex(
+        "5363ad4cc05c30e0a5261c028812645a122e22ea20816678df02967c1b23bd72",
+    ));
+
+    /// Splits `k` into `(k1, k2)` with `k = k1 + λ·k2 (mod n)` and both
+    /// magnitudes ≈ 128 bits, halving the doubling count of a scalar
+    /// multiplication that exploits the endomorphism. Returns the two
+    /// components as `(negated, magnitude)` pairs; the magnitudes are
+    /// guaranteed < 2^129.
+    ///
+    /// Decomposition follows the lattice method with the canonical
+    /// secp256k1 basis: `c_i = round(k·g_i / 2^384)`, `k2 = c1·(-b1) +
+    /// c2·(-b2)`, `k1 = k - k2·λ`.
+    pub fn split_glv(&self) -> GlvSplit {
+        const G1: U256 =
+            U256::from_be_hex("3086d221a7d46bcde86c90e49284eb153daa8a1471e8ca7fe893209a45dbb031");
+        const G2: U256 =
+            U256::from_be_hex("e4437ed6010e88286f547fa90abfe4c4221208ac9df506c61571b4ae8ac47f71");
+        const MINUS_B1: Scalar = Scalar(U256::from_be_hex(
+            "00000000000000000000000000000000e4437ed6010e88286f547fa90abfe4c3",
+        ));
+        const MINUS_B2: Scalar = Scalar(U256::from_be_hex(
+            "fffffffffffffffffffffffffffffffe8a280ac50774346dd765cda83db1562c",
+        ));
+        let c1 = Scalar::from_u256(mul_shift_384(&self.0, &G1)).mul(&MINUS_B1);
+        let c2 = Scalar::from_u256(mul_shift_384(&self.0, &G2)).mul(&MINUS_B2);
+        let k2 = c1.add(&c2);
+        let k1 = self.sub(&k2.mul(&Scalar::LAMBDA));
+        GlvSplit {
+            k1: signed_magnitude(&k1),
+            k2: signed_magnitude(&k2),
+        }
+    }
+}
+
+/// A GLV decomposition `k = ±|k1| + λ·(±|k2|)` with both magnitudes
+/// ≈ 128 bits.
+#[derive(Clone, Copy, Debug)]
+pub struct GlvSplit {
+    /// `(negated, magnitude)` of the λ⁰ component.
+    pub k1: (bool, U256),
+    /// `(negated, magnitude)` of the λ¹ component.
+    pub k2: (bool, U256),
+}
+
+/// Interprets a reduced scalar as a signed value (negative when above
+/// `n/2`) and returns `(negated, magnitude)`.
+fn signed_magnitude(s: &Scalar) -> (bool, U256) {
+    if s.is_high() {
+        (true, s.neg().0)
+    } else {
+        (false, s.0)
+    }
+}
+
+/// `round(a·b / 2^384)` — the lattice-rounding primitive of
+/// [`Scalar::split_glv`]. The result fits well inside 129 bits for the
+/// constants it is used with.
+fn mul_shift_384(a: &U256, b: &U256) -> U256 {
+    let product = a.mul_wide(b);
+    let shifted = U256::from_limbs([product.limbs[6], product.limbs[7], 0, 0]);
+    let round = (product.limbs[5] >> 63) & 1;
+    shifted.wrapping_add(&U256::from_u64(round))
+}
+
+/// Width-`w` non-adjacent form: returns little-endian digits, each either
+/// zero or odd with `|d| < 2^(w-1)`, such that `v = Σ dᵢ·2^i`. At most one
+/// of any `w` consecutive digits is non-zero, so a scalar multiplication
+/// pays ~`bits/(w+1)` additions.
+pub(crate) fn wnaf_digits(v: &U256, width: u32) -> Vec<i32> {
+    debug_assert!((2..=8).contains(&width));
+    let window = 1u64 << width;
+    let half = 1u64 << (width - 1);
+    let mut v = *v;
+    let mut digits = Vec::with_capacity(260);
+    while !v.is_zero() {
+        if v.is_odd() {
+            let m = v.limbs[0] & (window - 1);
+            let d = if m >= half {
+                m as i64 - window as i64
+            } else {
+                m as i64
+            };
+            if d > 0 {
+                v = v.wrapping_sub(&U256::from_u64(d as u64));
+            } else {
+                // |d| < 2^(w-1) and v < n keeps this far from wrapping.
+                v = v.wrapping_add(&U256::from_u64((-d) as u64));
+            }
+            digits.push(d as i32);
+        } else {
+            digits.push(0);
+        }
+        v = v.shr(1);
+    }
+    digits
 }
 
 /// Reduces a 512-bit product modulo n by folding the high half.
@@ -238,6 +363,98 @@ mod tests {
         assert!(Scalar::from_be_bytes_checked(&N.to_be_bytes()).is_none());
         let n_minus_1 = N.wrapping_sub(&U256::ONE);
         assert!(Scalar::from_be_bytes_checked(&n_minus_1.to_be_bytes()).is_some());
+    }
+
+    #[test]
+    fn batch_invert_matches_invert() {
+        let mut elems: Vec<Scalar> = (1u64..40).map(Scalar::from_u64).collect();
+        elems.push(Scalar::from_u256(N.wrapping_sub(&U256::ONE)));
+        let expect: Vec<Scalar> = elems.iter().map(|e| e.invert().unwrap()).collect();
+        Scalar::batch_invert(&mut elems);
+        assert_eq!(elems, expect);
+    }
+
+    #[test]
+    fn batch_invert_skips_zeros() {
+        let mut elems = vec![Scalar::from_u64(5), Scalar::ZERO, Scalar::from_u64(7)];
+        Scalar::batch_invert(&mut elems);
+        assert_eq!(elems[0], Scalar::from_u64(5).invert().unwrap());
+        assert_eq!(elems[1], Scalar::ZERO);
+        assert_eq!(elems[2], Scalar::from_u64(7).invert().unwrap());
+        let mut zeros = vec![Scalar::ZERO; 2];
+        Scalar::batch_invert(&mut zeros);
+        assert_eq!(zeros, vec![Scalar::ZERO; 2]);
+    }
+
+    #[test]
+    fn lambda_is_cube_root_of_unity() {
+        let l = Scalar::LAMBDA;
+        assert_eq!(l.mul(&l).mul(&l), Scalar::ONE);
+        assert_ne!(l, Scalar::ONE);
+    }
+
+    fn reassemble(split: &GlvSplit) -> Scalar {
+        let part = |&(neg, mag): &(bool, U256)| {
+            let s = Scalar::from_u256(mag);
+            if neg {
+                s.neg()
+            } else {
+                s
+            }
+        };
+        part(&split.k1).add(&part(&split.k2).mul(&Scalar::LAMBDA))
+    }
+
+    #[test]
+    fn glv_split_reconstructs_and_is_short() {
+        let samples = [
+            Scalar::from_u64(1),
+            Scalar::from_u64(0xDEAD_BEEF),
+            Scalar::from_be_bytes_reduced(&[0xA7; 32]),
+            Scalar::from_be_bytes_reduced(&[0x13; 32]),
+            Scalar::from_u256(N.wrapping_sub(&U256::ONE)),
+            Scalar::LAMBDA,
+            Scalar::ZERO,
+        ];
+        let bound = U256::ONE.shl(129);
+        for k in samples {
+            let split = k.split_glv();
+            assert_eq!(reassemble(&split), k, "{k:?}");
+            assert!(split.k1.1 < bound, "k1 magnitude too large for {k:?}");
+            assert!(split.k2.1 < bound, "k2 magnitude too large for {k:?}");
+        }
+    }
+
+    #[test]
+    fn wnaf_digits_reconstruct_value() {
+        for (label, v) in [
+            ("small", U256::from_u64(12345)),
+            ("large", N.wrapping_sub(&U256::from_u64(3))),
+            ("alternating", U256::from_be_bytes(&[0x55; 32])),
+        ] {
+            for width in [4u32, 5, 6] {
+                let digits = wnaf_digits(&v, width);
+                // Reconstruct Σ d_i 2^i in the scalar ring (values < n here).
+                let mut acc = Scalar::ZERO;
+                for &d in digits.iter().rev() {
+                    acc = acc.add(&acc);
+                    if d > 0 {
+                        acc = acc.add(&Scalar::from_u64(d as u64));
+                    } else if d < 0 {
+                        acc = acc.sub(&Scalar::from_u64((-d) as u64));
+                    }
+                }
+                assert_eq!(acc, Scalar::from_u256(v), "{label} w={width}");
+                let half = 1i32 << (width - 1);
+                for &d in &digits {
+                    assert!(
+                        d == 0 || (d % 2 != 0 && d.abs() < half),
+                        "{label} digit {d}"
+                    );
+                }
+            }
+        }
+        assert!(wnaf_digits(&U256::ZERO, 5).is_empty());
     }
 
     #[test]

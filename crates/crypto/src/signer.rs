@@ -3,10 +3,14 @@
 //! independently to a large number of data objects so they are executed
 //! concurrently using all available CPU cores" — paper §5).
 
-use crate::ecdsa::{recover_address, sign_prehashed, verify_prehashed, Signature};
+use crate::ecdsa::{
+    recover_address, sign_prehashed, sign_prehashed_batch, verify_prehashed,
+    verify_prehashed_batch, Signature,
+};
 use crate::error::CryptoError;
 use crate::hash::keccak256;
 use crate::keys::{Address, Keypair, PublicKey, SecretKey};
+use crate::secp256k1::AffineTable;
 
 /// Signs an arbitrary message: the signature covers `keccak256(message)`.
 pub fn sign_message(secret: &SecretKey, message: &[u8]) -> Signature {
@@ -35,16 +39,35 @@ pub fn recover_message_signer(message: &[u8], sig: &Signature) -> Result<Address
 ///
 /// Output order matches input order. With `threads <= 1` the work runs
 /// inline.
+///
+/// Each worker signs a contiguous chunk via
+/// [`sign_prehashed_batch`], which shares one field inversion (nonce-point
+/// normalization) and one scalar inversion (nonce inverses) across the
+/// whole chunk — so the batch API is faster than per-item signing even on
+/// one thread. Output bytes are identical to [`sign_prehashed`] per item.
 pub fn sign_batch_parallel(
     secret: &SecretKey,
     hashes: &[[u8; 32]],
     threads: usize,
 ) -> Vec<Signature> {
-    wedge_pool::WorkPool::new(threads).map(hashes, |h| sign_prehashed(secret, h))
+    let pool = wedge_pool::WorkPool::new(threads);
+    // One chunk per worker: the batch-inversion savings grow with chunk
+    // length, so chunks are made as large as the parallelism allows.
+    let chunk_len = hashes.len().div_ceil(pool.workers()).max(1);
+    let chunks: Vec<&[[u8; 32]]> = hashes.chunks(chunk_len).collect();
+    pool.map(&chunks, |chunk| sign_prehashed_batch(secret, chunk))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Verifies many prehashed signatures in parallel (same worker cap as
 /// [`sign_batch_parallel`]).
+///
+/// The public key's odd-multiples table is precomputed **once** and shared
+/// by every worker, and each worker's chunk runs through
+/// [`verify_prehashed_batch`], which amortizes the per-signature `s⁻¹`
+/// inversions into one shared ladder.
 ///
 /// Returns `Ok(())` if every signature verifies, otherwise the index of the
 /// first (lowest-index) failure.
@@ -53,12 +76,17 @@ pub fn verify_batch_parallel(
     items: &[([u8; 32], Signature)],
     threads: usize,
 ) -> Result<(), usize> {
-    let verdicts = wedge_pool::WorkPool::new(threads)
-        .map(items, |(h, sig)| verify_prehashed(public, h, sig).is_ok());
-    match verdicts.iter().position(|ok| !ok) {
-        None => Ok(()),
-        Some(i) => Err(i),
+    let key_table = AffineTable::new(public.point());
+    let pool = wedge_pool::WorkPool::new(threads);
+    let chunk_len = items.len().div_ceil(pool.workers()).max(1);
+    let chunks: Vec<&[([u8; 32], Signature)]> = items.chunks(chunk_len).collect();
+    let results = pool.map(&chunks, |chunk| verify_prehashed_batch(&key_table, chunk));
+    for (chunk_idx, result) in results.iter().enumerate() {
+        if let Err(local) = result {
+            return Err(chunk_idx * chunk_len + local);
+        }
     }
+    Ok(())
 }
 
 /// A signing identity: keypair plus message-level convenience methods.
@@ -150,6 +178,23 @@ mod tests {
         items[13].1 = sign_message(&kp.secret, b"corrupted");
         assert_eq!(verify_batch_parallel(&kp.public, &items, 4), Err(13));
         assert_eq!(verify_batch_parallel(&kp.public, &items, 1), Err(13));
+    }
+
+    #[test]
+    fn chunked_batch_identical_across_thread_counts() {
+        let kp = Keypair::from_seed(b"chunks");
+        let hashes: Vec<[u8; 32]> = (0..23u32).map(|i| keccak256(&i.to_le_bytes())).collect();
+        let expect: Vec<[u8; 65]> = hashes
+            .iter()
+            .map(|h| sign_prehashed(&kp.secret, h).to_bytes())
+            .collect();
+        for threads in [1usize, 2, 3, 5, 8] {
+            let got: Vec<[u8; 65]> = sign_batch_parallel(&kp.secret, &hashes, threads)
+                .iter()
+                .map(|s| s.to_bytes())
+                .collect();
+            assert_eq!(got, expect, "threads = {threads}");
+        }
     }
 
     #[test]

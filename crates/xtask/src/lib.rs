@@ -613,7 +613,18 @@ fn find_bare_arith(code: &str) -> Option<char> {
     None
 }
 
-const SECRET_KEYWORDS: &[&str] = &["secret", "tag", "mac", "hmac", "signature"];
+const SECRET_KEYWORDS: &[&str] = &[
+    "secret",
+    "tag",
+    "mac",
+    "hmac",
+    "signature",
+    // The signing-wall paths: RFC 6979 nonces and the wNAF digit streams
+    // derived from them are secret-dependent, so equality tests on them
+    // must not short-circuit either.
+    "nonce",
+    "wnaf",
+];
 
 /// L3: constant-time comparison of secret material in `wedge-crypto`.
 pub fn lint_ct(file: &Path, lines: &[MaskedLine]) -> Vec<Diagnostic> {
@@ -1229,6 +1240,14 @@ mod tests {
             1
         );
         assert!(lint_str("fn f() { if count == 3 { } }", set).is_empty());
+        // Signing-wall material: nonce and wNAF-stream comparisons are
+        // secret-dependent too.
+        assert_eq!(lint_str("fn f() { if nonce == other { } }", set).len(), 1);
+        assert_eq!(
+            lint_str("fn f() { if wnaf_digit != expected { } }", set).len(),
+            1
+        );
+        assert!(lint_str("fn f() { if ct_eq(&nonce_bytes, &other) { } }", set).is_empty());
     }
 
     #[test]
