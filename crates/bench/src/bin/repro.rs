@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: `fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 stage1 signing
-//! net punish latency faults reads`.
+//! net punish latency faults reads tiers`.
 //! Results are printed and also written to `results/<exp>.md`.
 
 use std::time::Instant;
@@ -40,6 +40,7 @@ fn run(name: &str, profile: Profile) {
         "latency" => harness::latency_ablation(profile),
         "faults" => harness::fault_tolerance(profile),
         "reads" => harness::reads(profile),
+        "tiers" => harness::tiers(profile),
         other => {
             eprintln!("unknown experiment: {other}");
             std::process::exit(2);
@@ -67,7 +68,7 @@ fn main() {
         .collect();
     let all = [
         "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "reads", "stage1",
-        "signing", "net", "punish", "latency", "faults",
+        "signing", "net", "punish", "latency", "faults", "tiers",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets == ["all"] {
         all.to_vec()

@@ -1430,3 +1430,187 @@ pub fn punishment_economics() -> Table {
         ],
     }
 }
+
+/// Per-entry payload for the tiered-storage experiment: large enough that
+/// per-byte work (hashing, I/O) dominates per-entry fixed costs.
+const TIER_PAYLOAD: usize = 64 * 1024;
+
+/// Hot-vs-cold scan throughput at the storage layer: fill a store, scan it
+/// while every segment is hot, seal everything below the tail, scan again.
+/// Returns (hot MB/s, cold MB/s, cold segment count).
+fn tier_scan_rates(tag: &str, total_bytes: u64) -> (f64, f64, u64) {
+    use wedge_storage::{LogStore, StoreConfig, SyncPolicy};
+    let dir = std::env::temp_dir().join(format!("wedge-tiers-scan-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = LogStore::open(
+        &dir,
+        StoreConfig {
+            max_segment_bytes: 4 * 1024 * 1024,
+            sync: SyncPolicy::OnRotate,
+            ..Default::default()
+        },
+    )
+    .expect("open scan store");
+    let record = vec![0xA5u8; TIER_PAYLOAD];
+    let mut written = 0u64;
+    while written < total_bytes {
+        let batch: Vec<Vec<u8>> = (0..16).map(|_| record.clone()).collect();
+        store.append_batch(&batch).expect("append");
+        written += (record.len() * 16) as u64;
+    }
+    store.sync().expect("sync");
+
+    let scan = |label: &str| -> f64 {
+        let started = Instant::now();
+        let mut bytes = 0u64;
+        for rec in store.iter() {
+            bytes += rec.expect(label).len() as u64;
+        }
+        bytes as f64 / 1e6 / started.elapsed().as_secs_f64().max(1e-9)
+    };
+    let hot = scan("hot record");
+    let sealed = store.seal_up_to(store.len()).expect("seal") as u64;
+    let cold = scan("cold record");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    (hot, cold, sealed)
+}
+
+/// Tiered storage & two-plane checkpoints: restart time and replayed
+/// records with a checkpoint vs a full log replay, plus cold-vs-hot scan
+/// throughput, as the log grows.
+pub fn tiers(profile: Profile) -> Table {
+    use wedge_chain::{Chain, ChainConfig};
+    use wedge_core::{deploy_service, OffchainNode, Publisher, ServiceConfig, TierConfig};
+    use wedge_sim::Clock;
+    use wedge_storage::{StoreConfig, SyncPolicy};
+
+    let sizes_mb: &[u64] = match profile {
+        Profile::Quick => &[8, 16, 32],
+        Profile::Full => &[64, 128, 256],
+    };
+    let mut table = Table {
+        title: "Tiered storage: O(tail) restart and cold scans".into(),
+        headers: vec![
+            "log MB".into(),
+            "records".into(),
+            "restart (ckpt)".into(),
+            "replayed (ckpt)".into(),
+            "restart (full replay)".into(),
+            "replayed (full)".into(),
+            "hot scan MB/s".into(),
+            "cold scan MB/s".into(),
+            "cold segments".into(),
+        ],
+        rows: Vec::new(),
+    };
+
+    for &mb in sizes_mb {
+        let total_bytes = mb * 1024 * 1024;
+        let tag = format!("tiers-{mb}");
+
+        // Node-level restart measurement over a persistent directory.
+        let clock = Clock::compressed(2000.0);
+        let chain = Chain::new(clock, ChainConfig::default());
+        let node_identity = Identity::from_seed(format!("tiers-node-{mb}").as_bytes());
+        let client_identity = Identity::from_seed(format!("tiers-client-{mb}").as_bytes());
+        chain.fund(node_identity.address(), Wei::from_eth(1_000_000));
+        chain.fund(client_identity.address(), Wei::from_eth(1_000_000));
+        let miner = chain.start_miner();
+        let deployment = deploy_service(
+            &chain,
+            &node_identity,
+            client_identity.address(),
+            &ServiceConfig {
+                escrow: Wei::from_eth(32),
+                payment_terms: None,
+            },
+        )
+        .expect("deploy service");
+        let dir = std::env::temp_dir().join(format!("wedge-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = NodeConfig {
+            batch_size: 16,
+            batch_linger: Duration::from_millis(5),
+            verify_requests: false,
+            stage2_max_group: 4,
+            tier: TierConfig {
+                seal_on_commit: true,
+                checkpoint_every_groups: 2,
+                ..Default::default()
+            },
+            store: StoreConfig {
+                max_segment_bytes: 4 * 1024 * 1024,
+                sync: SyncPolicy::GroupCommit {
+                    max_batches: 4,
+                    max_delay: Duration::from_millis(2),
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let start_node = |chain: &Arc<Chain>| {
+            Arc::new(
+                OffchainNode::start(
+                    node_identity.clone(),
+                    config.clone(),
+                    Arc::clone(chain),
+                    deployment.root_record,
+                    &dir,
+                )
+                .expect("start node"),
+            )
+        };
+
+        let node = start_node(&chain);
+        {
+            let mut publisher = Publisher::new(
+                client_identity.clone(),
+                Arc::clone(&node),
+                Arc::clone(&chain),
+                deployment.root_record,
+                None,
+            );
+            let entries = (total_bytes as usize).div_ceil(TIER_PAYLOAD);
+            let payloads: Vec<Vec<u8>> = (0..entries).map(|_| vec![0x5Au8; TIER_PAYLOAD]).collect();
+            publisher.append_batch(payloads).expect("append");
+            node.wait_stage2_idle(Duration::from_secs(3600))
+                .expect("settle");
+        }
+        let records = node.entry_count() + node.log_positions();
+        drop(node); // clean shutdown: final checkpoint + store sync
+
+        // Restart with the checkpoint in place: O(tail).
+        let started = Instant::now();
+        let node = start_node(&chain);
+        let restart_ckpt = started.elapsed();
+        let replayed_ckpt = node.stats().restart_replayed_records;
+        drop(node);
+
+        // Delete the checkpoints and restart again: full O(log) replay.
+        let _ = std::fs::remove_dir_all(dir.join("checkpoints"));
+        let started = Instant::now();
+        let node = start_node(&chain);
+        let restart_full = started.elapsed();
+        let replayed_full = node.stats().restart_replayed_records;
+        drop(node);
+        drop(miner);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Storage-level scan throughput over the same byte volume.
+        let (hot, cold, cold_segments) = tier_scan_rates(&tag, total_bytes);
+
+        table.rows.push(vec![
+            mb.to_string(),
+            records.to_string(),
+            fmt_dur(restart_ckpt),
+            replayed_ckpt.to_string(),
+            fmt_dur(restart_full),
+            replayed_full.to_string(),
+            fmt_rate(hot),
+            fmt_rate(cold),
+            cold_segments.to_string(),
+        ]);
+    }
+    table
+}

@@ -93,6 +93,45 @@ impl Stage2RetryPolicy {
     }
 }
 
+/// Tiered-storage and checkpoint policy (see `docs/architecture.md`,
+/// "Tiered storage & checkpoints").
+///
+/// Once a log position is blockchain-committed its records are immutable:
+/// segments wholly below the committed frontier are sealed into read-only
+/// cold segments, the two-plane state is periodically checkpointed so a
+/// restart replays only the uncheckpointed tail, and cold segments that
+/// age past the punishment window can be deleted outright.
+#[derive(Clone, Copy, Debug)]
+pub struct TierConfig {
+    /// Seal hot segments into cold ones as stage-2 group commits advance
+    /// the blockchain-committed frontier.
+    pub seal_on_commit: bool,
+    /// Write a two-plane checkpoint every N stage-2 group commits
+    /// (0 disables the group-count trigger).
+    pub checkpoint_every_groups: u64,
+    /// Also checkpoint when this much simulated time has passed since the
+    /// last one (evaluated at group-commit time).
+    pub checkpoint_interval: Duration,
+    /// Retention: delete cold segments holding only log positions more
+    /// than this many positions behind the committed frontier — they have
+    /// outlived the punishment window. `None` keeps everything (the
+    /// default: retention is an explicit operator opt-in). Retirement
+    /// never outruns the kept checkpoints, so a restart can always rebuild
+    /// its state.
+    pub retain_groups: Option<u64>,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            seal_on_commit: true,
+            checkpoint_every_groups: 8,
+            checkpoint_interval: Duration::from_secs(60),
+            retain_groups: None,
+        }
+    }
+}
+
 /// Offchain Node configuration.
 #[derive(Clone, Debug)]
 pub struct NodeConfig {
@@ -135,6 +174,8 @@ pub struct NodeConfig {
     /// shared work pool; below it the serial builder wins on thread-spawn
     /// overhead. `usize::MAX` forces the serial builder.
     pub merkle_parallel_cutoff: usize,
+    /// Tiered-storage and checkpoint policy.
+    pub tier: TierConfig,
     /// Storage engine settings.
     pub store: StoreConfig,
 }
@@ -158,6 +199,7 @@ impl Default for NodeConfig {
             replica_link_delay: Duration::from_micros(200),
             overlap_replication: true,
             merkle_parallel_cutoff: 256,
+            tier: TierConfig::default(),
             store: StoreConfig::default(),
         }
     }

@@ -32,7 +32,7 @@ pub use client::{
     AppendOutcome, AuditReport, Auditor, Evidence, EvidenceKind, PendingSweep, Publisher, Reader,
     ReceiptStore, Stage2Verdict, VerifiedEntry,
 };
-pub use config::{NodeBehavior, NodeConfig, Stage2RetryPolicy};
+pub use config::{NodeBehavior, NodeConfig, Stage2RetryPolicy, TierConfig};
 pub use error::CoreError;
 pub use node::{NodeStats, OffchainNode};
 pub use service::{deploy_service, ServiceConfig, ServiceDeployment, Subscription};

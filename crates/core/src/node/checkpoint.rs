@@ -1,0 +1,420 @@
+//! Durable checkpoints of the node's two-plane state, the other half of the
+//! O(tail) restart story (the store's locator sidecar being the first).
+//!
+//! A checkpoint captures everything [`super::state::replay_tail`] would
+//! otherwise have to re-derive from the log: per-batch metadata (log id,
+//! record range, Merkle root *and leaf hashes* — the tree is rebuilt from
+//! the hashes without touching a single record), the `(publisher, sequence)`
+//! index, and the stage-2 commit index. On restart the node restores the
+//! newest valid checkpoint and replays only records past its cursor.
+//!
+//! # Format (`checkpoint-<cursor>.wckp`)
+//!
+//! One [`wedge_chain::Encoder`] stream followed by a CRC32:
+//!
+//! ```text
+//! u64 magic+version         0x5743_4B50_0000_0001 ("WCKP", v1)
+//! u64 cursor                store records below this are captured
+//! u64 entry_count
+//! u64 batch_count
+//!   per batch: u64 log_id | u64 first_record | u64 count
+//!              | bytes root (32) | u64 leaf_count | bytes leaf hashes
+//! u64 seq_count
+//!   per entry: bytes publisher (20) | u64 sequence | u64 log_id | u64 offset
+//! u64 commit_count
+//!   per commit: u64 log_id | bytes tx_hash (32) | u64 block | u64 latency_ns
+//! u32 crc32 (big-endian, over everything above)
+//! ```
+//!
+//! Files are written atomically (temp + rename + directory fsync); the two
+//! newest are kept so one torn or corrupt file never strands the node. Any
+//! validation failure — CRC, magic, root mismatch against the rebuilt tree,
+//! cursor outside the store's live range — makes [`restore`] fall back to
+//! the next-older file, and ultimately to a full replay.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wedge_chain::{Decoder, Encoder};
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::keys::Address;
+use wedge_merkle::MerkleTree;
+use wedge_storage::{crc32, LogStore, StorageError};
+
+use super::snapshot::{Snapshot, WritePlane};
+use super::state::{BatchMeta, CommitInfo};
+use crate::error::CoreError;
+use crate::types::EntryId;
+
+/// "WCKP" + format version 1.
+const MAGIC: u64 = 0x5743_4B50_0000_0001;
+
+/// Checkpoint files kept on disk (newest first). Two, so one corrupt or
+/// torn write never strands the node — and the *older* kept cursor is the
+/// retention floor ([`floor`]).
+const KEEP: usize = 2;
+
+/// A checkpoint restored from disk.
+pub(crate) struct Restored {
+    /// The reconstructed write plane (batches, seq index, commits).
+    pub plane: WritePlane,
+    /// First store record *not* covered: replay starts here.
+    pub cursor: u64,
+}
+
+fn checkpoint_path(dir: &Path, cursor: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{cursor:020}.wckp"))
+}
+
+fn io_err(e: std::io::Error) -> CoreError {
+    CoreError::Storage(StorageError::from(e))
+}
+
+/// Existing checkpoint files as `(cursor, path)`, ascending by cursor.
+fn list(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut found = Vec::new();
+    for entry in entries.flatten() {
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        if let Some(cursor) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|rest| rest.strip_suffix(".wckp"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            found.push((cursor, entry.path()));
+        }
+    }
+    found.sort_unstable_by_key(|(cursor, _)| *cursor);
+    found
+}
+
+/// The record cursor every kept checkpoint can restore from — the oldest
+/// kept file's cursor (0 when none exist). Retention must never delete
+/// records at or above any kept cursor, or a restart could find its best
+/// checkpoint pointing into retired territory.
+pub(crate) fn floor(dir: &Path) -> u64 {
+    list(dir).first().map(|(cursor, _)| *cursor).unwrap_or(0)
+}
+
+/// Serializes a snapshot; returns `(cursor, bytes)`.
+fn encode(snap: &Snapshot) -> (u64, Vec<u8>) {
+    let cursor = snap
+        .batches
+        .last()
+        .map(|b| b.first_record + b.count as u64)
+        .unwrap_or(0);
+    let mut enc = Encoder::new();
+    enc.u64(MAGIC).u64(cursor).u64(snap.entry_count);
+    enc.u64(snap.batches.len() as u64);
+    for batch in &snap.batches {
+        enc.u64(batch.log_id)
+            .u64(batch.first_record)
+            .u64(batch.count as u64)
+            .bytes(batch.tree.root().as_bytes());
+        let leaf_count = batch.tree.leaf_count();
+        let mut hashes = Vec::with_capacity(leaf_count * 32);
+        for i in 0..leaf_count {
+            if let Some(hash) = batch.tree.leaf_hash(i) {
+                hashes.extend_from_slice(hash.as_bytes());
+            }
+        }
+        enc.u64(leaf_count as u64).bytes(&hashes);
+    }
+    let seq = snap.seq.entries();
+    enc.u64(seq.len() as u64);
+    for ((publisher, sequence), id) in &seq {
+        enc.bytes(&publisher.0)
+            .u64(*sequence)
+            .u64(id.log_id)
+            .u64(id.offset as u64);
+    }
+    let commits = snap.commits.entries();
+    enc.u64(commits.len() as u64);
+    for (log_id, info) in &commits {
+        let latency = info.stage2_latency.as_nanos().min(u64::MAX as u128) as u64;
+        enc.u64(*log_id)
+            .bytes(info.tx_hash.as_bytes())
+            .u64(info.block_number)
+            .u64(latency);
+    }
+    let mut body = enc.finish();
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_be_bytes());
+    (cursor, body)
+}
+
+/// Parses and validates checkpoint bytes. `None` on any inconsistency —
+/// including a stored root that the tree rebuilt from the leaf hashes does
+/// not reproduce.
+fn decode(bytes: &[u8]) -> Option<Restored> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_be_bytes(crc_bytes.try_into().ok()?);
+    if crc32(body) != expected {
+        return None;
+    }
+    let mut dec = Decoder::new(body);
+    if dec.u64().ok()? != MAGIC {
+        return None;
+    }
+    let cursor = dec.u64().ok()?;
+    let entry_count = dec.u64().ok()?;
+    let batch_count = dec.u64().ok()?;
+    let mut plane = WritePlane::default();
+    let mut expect_first = 1u64; // record 0 is batch 0's header
+    for expect_id in 0..batch_count {
+        let log_id = dec.u64().ok()?;
+        if log_id != expect_id {
+            return None; // batches must be dense from 0
+        }
+        let first_record = dec.u64().ok()?;
+        let count = dec.u64().ok()?;
+        if first_record != expect_first {
+            return None; // batches must tile the log: header, leaves, header…
+        }
+        expect_first = first_record + count + 1;
+        let root: [u8; 32] = dec.bytes_fixed().ok()?;
+        let leaf_count = dec.u64().ok()? as usize;
+        let hash_bytes = dec.bytes().ok()?;
+        if leaf_count as u64 != count || hash_bytes.len() != leaf_count.checked_mul(32)? {
+            return None;
+        }
+        let mut hashes = Vec::with_capacity(leaf_count);
+        for chunk in hash_bytes.chunks_exact(32) {
+            hashes.push(Hash32(chunk.try_into().ok()?));
+        }
+        let tree = MerkleTree::from_leaf_hashes(hashes).ok()?;
+        if tree.root() != Hash32(root) {
+            return None; // checkpointed root does not match its own leaves
+        }
+        plane.batches.push(Arc::new(BatchMeta {
+            log_id,
+            first_record,
+            count: count as u32,
+            tree,
+        }));
+    }
+    // The cursor must be exactly what the batches cover.
+    let covered = plane
+        .batches
+        .last()
+        .map(|b| b.first_record + b.count as u64)
+        .unwrap_or(0);
+    if covered != cursor {
+        return None;
+    }
+    plane.entry_count = entry_count;
+    let seq_count = dec.u64().ok()?;
+    let mut delta: HashMap<(Address, u64), EntryId> = HashMap::with_capacity(seq_count as usize);
+    for _ in 0..seq_count {
+        let publisher: [u8; 20] = dec.bytes_fixed().ok()?;
+        let sequence = dec.u64().ok()?;
+        let log_id = dec.u64().ok()?;
+        let offset = dec.u64().ok()?;
+        delta.insert(
+            (Address(publisher), sequence),
+            EntryId {
+                log_id,
+                offset: u32::try_from(offset).ok()?,
+            },
+        );
+    }
+    plane.seq.insert_batch(delta);
+    let commit_count = dec.u64().ok()?;
+    for _ in 0..commit_count {
+        let log_id = dec.u64().ok()?;
+        let tx_hash: [u8; 32] = dec.bytes_fixed().ok()?;
+        let block_number = dec.u64().ok()?;
+        let latency_ns = dec.u64().ok()?;
+        plane.commits.insert(
+            log_id,
+            CommitInfo {
+                tx_hash: Hash32(tx_hash),
+                block_number,
+                stage2_latency: Duration::from_nanos(latency_ns),
+            },
+        );
+    }
+    dec.finish().ok()?;
+    Some(Restored { plane, cursor })
+}
+
+/// Writes a checkpoint of `snap` atomically and prunes to the newest
+/// [`KEEP`] files. Returns the checkpoint's cursor.
+pub(crate) fn write(dir: &Path, snap: &Snapshot) -> Result<u64, CoreError> {
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+    let (cursor, bytes) = encode(snap);
+    let tmp = dir.join("checkpoint.wckp.tmp");
+    {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(io_err)?;
+        file.write_all(&bytes).map_err(io_err)?;
+        file.sync_all().map_err(io_err)?;
+    }
+    std::fs::rename(&tmp, checkpoint_path(dir, cursor)).map_err(io_err)?;
+    // Make the rename itself durable before pruning older files.
+    if let Ok(dir_handle) = std::fs::File::open(dir) {
+        let _ = dir_handle.sync_all();
+    }
+    let existing = list(dir);
+    for (_, path) in existing.iter().take(existing.len().saturating_sub(KEEP)) {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(cursor)
+}
+
+/// Restores the newest checkpoint consistent with `store`: the cursor must
+/// lie within the store's live record range (a checkpoint pointing past a
+/// truncated tail, or below the retention frontier, is skipped). Falls back
+/// file-by-file; `None` means "replay everything from scratch".
+pub(crate) fn restore(dir: &Path, store: &LogStore) -> Option<Restored> {
+    for (_, path) in list(dir).into_iter().rev() {
+        let Ok(bytes) = std::fs::read(&path) else {
+            continue;
+        };
+        let Some(restored) = decode(&bytes) else {
+            continue;
+        };
+        if restored.cursor > store.len() || restored.cursor < store.oldest() {
+            continue;
+        }
+        return Some(restored);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wedge_merkle::hash_leaf;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wedge-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_plane(batches: u64, per_batch: u32) -> WritePlane {
+        let mut plane = WritePlane::default();
+        let mut record = 0u64;
+        for log_id in 0..batches {
+            let leaves: Vec<Vec<u8>> = (0..per_batch)
+                .map(|i| format!("leaf-{log_id}-{i}").into_bytes())
+                .collect();
+            let tree = MerkleTree::from_leaf_hashes(leaves.iter().map(|l| hash_leaf(l)).collect())
+                .unwrap();
+            let meta = BatchMeta {
+                log_id,
+                first_record: record + 1, // +1 for the header record
+                count: per_batch,
+                tree,
+            };
+            let entries =
+                (0..per_batch).map(|off| ((Address([7; 20]), log_id * 100 + off as u64), off));
+            plane.register_batch(meta, entries);
+            record += 1 + per_batch as u64;
+        }
+        for log_id in 0..batches.saturating_sub(1) {
+            plane.commits.insert(
+                log_id,
+                CommitInfo {
+                    tx_hash: Hash32([log_id as u8; 32]),
+                    block_number: log_id + 10,
+                    stage2_latency: Duration::from_millis(log_id),
+                },
+            );
+        }
+        plane
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_the_planes() {
+        let dir = tempdir("rt");
+        let plane = sample_plane(4, 3);
+        let snap = plane.freeze();
+        let cursor = write(&dir, &snap).unwrap();
+        assert_eq!(cursor, 4 * 4); // 4 batches × (1 header + 3 leaves)
+
+        let bytes = std::fs::read(checkpoint_path(&dir, cursor)).unwrap();
+        let restored = decode(&bytes).expect("valid checkpoint");
+        assert_eq!(restored.cursor, cursor);
+        assert_eq!(restored.plane.batches.len(), 4);
+        assert_eq!(restored.plane.entry_count, 12);
+        for (orig, back) in plane.batches.iter().zip(&restored.plane.batches) {
+            assert_eq!(orig.log_id, back.log_id);
+            assert_eq!(orig.first_record, back.first_record);
+            assert_eq!(orig.count, back.count);
+            assert_eq!(orig.tree.root(), back.tree.root());
+            // Proof generation works on the rebuilt tree.
+            assert!(back.tree.prove(0).is_ok());
+        }
+        assert_eq!(
+            restored.plane.seq.get(Address([7; 20]), 201),
+            Some(EntryId {
+                log_id: 2,
+                offset: 1
+            })
+        );
+        assert_eq!(restored.plane.commits.len(), 3);
+        assert_eq!(restored.plane.commits.contiguous(), 3);
+        assert_eq!(
+            restored.plane.commits.get(1).map(|i| i.block_number),
+            Some(11)
+        );
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        let dir = tempdir("bad");
+        let snap = sample_plane(2, 2).freeze();
+        let cursor = write(&dir, &snap).unwrap();
+        let path = checkpoint_path(&dir, cursor);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(decode(&bytes).is_none(), "flipped byte must fail the CRC");
+        // A CRC-valid file whose root does not match its leaves is also
+        // rejected: re-CRC the tampered body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let body_len = bytes.len() - 4;
+        bytes[40] ^= 0x01; // inside the first batch's fields
+        let crc = crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_be_bytes());
+        assert!(decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_two_and_floor_tracks_the_oldest() {
+        let dir = tempdir("prune");
+        assert_eq!(floor(&dir), 0);
+        let mut cursors = Vec::new();
+        for n in 1..=4u64 {
+            let snap = sample_plane(n, 2).freeze();
+            cursors.push(write(&dir, &snap).unwrap());
+        }
+        let kept = list(&dir);
+        assert_eq!(kept.len(), KEEP);
+        assert_eq!(kept[0].0, cursors[2]);
+        assert_eq!(kept[1].0, cursors[3]);
+        assert_eq!(floor(&dir), cursors[2]);
+        assert!(!dir.join("checkpoint.wckp.tmp").exists());
+    }
+}

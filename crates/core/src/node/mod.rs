@@ -9,6 +9,7 @@
 //! batch registration or group commit.
 
 mod batcher;
+mod checkpoint;
 mod snapshot;
 mod stage2;
 mod state;
@@ -16,7 +17,8 @@ mod stats;
 
 pub use stats::NodeStats;
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -63,6 +65,12 @@ pub(crate) struct Shared {
     pub root_record: Address,
     pub stats: Mutex<NodeStats>,
     pub replicator: Option<Replicator>,
+    /// Directory holding the two-plane checkpoints (`<data_dir>/checkpoints`).
+    pub ckpt_dir: PathBuf,
+    /// Oldest record cursor still covered by a kept checkpoint file — the
+    /// retention policy never deletes records at or above this, so a
+    /// restart can always restore from what is on disk.
+    pub ckpt_floor: AtomicU64,
     /// Shared work pool for signature verification, Merkle construction,
     /// and response signing — sized to `worker_threads`, capped at the
     /// machine's parallelism.
@@ -91,6 +99,20 @@ impl Shared {
         drop(plane);
         self.stats.lock().snapshot_publishes += 1;
         out
+    }
+
+    /// Writes a durable checkpoint of the current snapshot (plus the
+    /// store's locator-index sidecar) so the next restart replays only
+    /// records past the checkpoint cursor. Works off the read plane — no
+    /// write-plane lock is held across the file I/O.
+    pub fn write_checkpoint(&self) -> Result<(), CoreError> {
+        self.store.write_index_checkpoint()?;
+        let snap = self.snapshot();
+        checkpoint::write(&self.ckpt_dir, &snap)?;
+        self.ckpt_floor
+            .store(checkpoint::floor(&self.ckpt_dir), Ordering::Release);
+        self.stats.lock().checkpoint_writes += 1;
+        Ok(())
     }
 }
 
@@ -123,7 +145,30 @@ impl OffchainNode {
     ) -> Result<OffchainNode, CoreError> {
         let data_dir = data_dir.as_ref();
         let store = LogStore::open(data_dir.join("log"), config.store.clone())?;
-        let mut plane = state::rebuild_state(&store)?;
+        let ckpt_dir = data_dir.join("checkpoints");
+        // O(tail) restart: restore the newest valid checkpoint and replay
+        // only the records past its cursor. Without one, replay everything
+        // (only valid while retention has not yet deleted any records —
+        // retention is floor-bounded by the kept checkpoints, so reaching
+        // this fallback with a retired prefix means the checkpoint files
+        // were lost).
+        let (mut plane, replayed) = match checkpoint::restore(&ckpt_dir, &store) {
+            Some(restored) => {
+                let mut plane = restored.plane;
+                let replayed = state::replay_tail(&store, &mut plane, restored.cursor)?;
+                (plane, replayed)
+            }
+            None => {
+                if store.oldest() > 0 {
+                    return Err(CoreError::RequestRejected(
+                        "retention deleted records but no valid checkpoint covers them",
+                    ));
+                }
+                let mut plane = WritePlane::default();
+                let replayed = state::replay_tail(&store, &mut plane, 0)?;
+                (plane, replayed)
+            }
+        };
         let replicator = if config.replicas > 0 {
             Some(Replicator::spawn(
                 data_dir.join("replicas"),
@@ -178,6 +223,11 @@ impl OffchainNode {
         }
 
         let pool = wedge_pool::WorkPool::new(config.worker_threads);
+        let ckpt_floor = AtomicU64::new(checkpoint::floor(&ckpt_dir));
+        let stats = NodeStats {
+            restart_replayed_records: replayed,
+            ..NodeStats::default()
+        };
         let shared = Arc::new(Shared {
             identity,
             config,
@@ -186,8 +236,10 @@ impl OffchainNode {
             write_plane: Mutex::new(plane),
             chain,
             root_record,
-            stats: Mutex::new(NodeStats::default()),
+            stats: Mutex::new(stats),
             replicator,
+            ckpt_dir,
+            ckpt_floor,
             pool,
         });
 
@@ -440,6 +492,9 @@ impl OffchainNode {
         let mut stats = self.shared.stats.lock().clone();
         stats.fsyncs_coalesced = self.shared.store.sync_stats().fsyncs_coalesced;
         stats.oversubscription_avoided = wedge_pool::oversubscription_avoided();
+        let tier = self.shared.store.tier_stats();
+        stats.segments_sealed = tier.segments_sealed;
+        stats.gc_deleted_segments = tier.segments_retired;
         stats
     }
 
@@ -520,13 +575,18 @@ impl OffchainNode {
     }
 
     /// Stops the node: flushes the partial batch, completes queued stage-2
-    /// work, joins threads. Called automatically on drop.
+    /// work, joins threads, and writes a final checkpoint so the next start
+    /// replays nothing. Called automatically on drop.
     pub fn shutdown(&mut self) {
         self.begin_shutdown();
+        let had_workers = !self.handles.is_empty();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
         let _ = self.shared.store.sync();
+        if had_workers {
+            let _ = self.shared.write_checkpoint();
+        }
     }
 }
 

@@ -170,6 +170,19 @@ impl SeqIndex {
         }
     }
 
+    /// Every indexed entry, newest insertion winning on (theoretical) key
+    /// collisions. `O(n)` — used by the checkpoint writer, never on the
+    /// flush or read paths.
+    pub fn entries(&self) -> Vec<((Address, u64), EntryId)> {
+        let mut merged: HashMap<(Address, u64), EntryId> = HashMap::new();
+        for level in &self.levels {
+            for (key, id) in level.iter() {
+                merged.insert(*key, *id);
+            }
+        }
+        merged.into_iter().collect()
+    }
+
     /// Keeps only entries whose locator satisfies `keep`, collapsing all
     /// levels into one. `O(n)` — used by the destructive-attack simulation
     /// path, never on the flush path.
@@ -198,6 +211,10 @@ impl SeqIndex {
 pub(crate) struct CommitIndex {
     chunks: Vec<Arc<Vec<Option<CommitInfo>>>>,
     committed: u64,
+    /// Smallest log id *not* yet committed: positions `[0, contiguous)`
+    /// are all committed. Maintained incrementally on insert/remove
+    /// (amortized O(1)) — this is the frontier that gates segment sealing.
+    contiguous: u64,
 }
 
 impl CommitIndex {
@@ -220,6 +237,27 @@ impl CommitIndex {
         self.committed
     }
 
+    /// The committed frontier: the smallest log id not yet committed
+    /// (positions `[0, contiguous)` all are). Records of those positions
+    /// are immutable and eligible for sealing into the cold tier.
+    pub fn contiguous(&self) -> u64 {
+        self.contiguous
+    }
+
+    /// Every committed position. `O(n)` — used by the checkpoint writer,
+    /// never on the commit or read paths.
+    pub fn entries(&self) -> Vec<(u64, CommitInfo)> {
+        let mut out = Vec::with_capacity(self.committed as usize);
+        for (chunk_idx, chunk) in self.chunks.iter().enumerate() {
+            for (offset, slot) in chunk.iter().enumerate() {
+                if let Some(info) = slot {
+                    out.push(((chunk_idx * COMMIT_CHUNK + offset) as u64, *info));
+                }
+            }
+        }
+        out
+    }
+
     /// Records a commitment, overwriting any existing record.
     pub fn insert(&mut self, log_id: u64, info: CommitInfo) {
         let chunk_idx = (log_id / COMMIT_CHUNK as u64) as usize;
@@ -238,6 +276,12 @@ impl CommitIndex {
             self.committed = self.committed.saturating_add(1);
         }
         *slot = Some(info);
+        // Advance the frontier over every now-contiguous position. Each
+        // position is crossed at most once over the index's lifetime, so
+        // the total cost is O(1) amortized per insert.
+        while self.contains(self.contiguous) {
+            self.contiguous = self.contiguous.saturating_add(1);
+        }
     }
 
     /// Records a commitment only when the position has none yet (the
@@ -263,6 +307,10 @@ impl CommitIndex {
             self.committed = self.committed.saturating_sub(1);
         }
         *slot = None;
+        // The frontier can only shrink back to the removed position.
+        if log_id < self.contiguous {
+            self.contiguous = log_id;
+        }
     }
 }
 
@@ -436,6 +484,27 @@ mod tests {
         assert!(!commits.contains(1));
         commits.insert_if_absent(0, info(7));
         assert_eq!(commits.get(0).map(|i| i.block_number), Some(9), "kept");
+    }
+
+    #[test]
+    fn commit_index_contiguous_frontier() {
+        let mut commits = CommitIndex::default();
+        assert_eq!(commits.contiguous(), 0);
+        commits.insert(1, info(1));
+        commits.insert(2, info(1));
+        assert_eq!(commits.contiguous(), 0, "gap at 0 pins the frontier");
+        commits.insert(0, info(1));
+        assert_eq!(commits.contiguous(), 3, "filling the gap jumps past 1,2");
+        commits.insert(5, info(1));
+        assert_eq!(commits.contiguous(), 3);
+        // entries() reflects everything, ordered by log id.
+        let ids: Vec<u64> = commits.entries().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 5]);
+        // Removal (destructive-attack path) pulls the frontier back.
+        commits.remove(1);
+        assert_eq!(commits.contiguous(), 1);
+        commits.insert(1, info(2));
+        assert_eq!(commits.contiguous(), 3, "re-insert restores the run");
     }
 
     fn batch_meta(log_id: u64, count: u32) -> BatchMeta {

@@ -96,13 +96,18 @@ pub fn decode_header(record: &[u8]) -> Option<Header> {
     })
 }
 
-/// Rebuilds the write plane from a recovered [`LogStore`] (the node restart
-/// path). An incomplete trailing batch (header persisted, some leaves torn
-/// away) is dropped, mirroring the store's torn-tail semantics.
-pub fn rebuild_state(store: &LogStore) -> Result<WritePlane, CoreError> {
-    let mut plane = WritePlane::default();
+/// Replays records `[from, store.len())` into `plane` — the node restart
+/// path. With `from = 0` and an empty plane this rebuilds the entire state
+/// from the log; with a restored checkpoint, `from` is the checkpoint's
+/// record cursor and only the uncheckpointed tail is read and hashed
+/// (O(tail) restart). Returns the number of records replayed.
+///
+/// `from` must sit on a batch-header boundary (0 and checkpoint cursors
+/// always do). An incomplete trailing batch (header persisted, some leaves
+/// torn away) is dropped, mirroring the store's torn-tail semantics.
+pub fn replay_tail(store: &LogStore, plane: &mut WritePlane, from: u64) -> Result<u64, CoreError> {
     let total = store.len();
-    let mut cursor = 0u64;
+    let mut cursor = from;
     while cursor < total {
         let record = store.read(cursor)?;
         let Some(header) = decode_header(&record) else {
@@ -115,8 +120,8 @@ pub fn rebuild_state(store: &LogStore) -> Result<WritePlane, CoreError> {
             break; // incomplete trailing batch
         }
         let mut leaves = Vec::with_capacity(header.count as usize);
-        for i in 0..header.count as u64 {
-            leaves.push(decode_leaf(&store.read(first_record + i)?)?);
+        for record in store.read_range(first_record, header.count as u64)? {
+            leaves.push(decode_leaf(&record)?);
         }
         let tree = MerkleTree::from_leaf_hashes(
             leaves.iter().map(|l| wedge_merkle::hash_leaf(l)).collect(),
@@ -145,7 +150,7 @@ pub fn rebuild_state(store: &LogStore) -> Result<WritePlane, CoreError> {
         );
         cursor = first_record + header.count as u64;
     }
-    Ok(plane)
+    Ok(total.saturating_sub(from))
 }
 
 #[cfg(test)]

@@ -73,6 +73,18 @@ pub struct NodeStats {
     /// parallelism at the machine's core count (process-wide, sampled from
     /// [`wedge_pool::oversubscription_avoided`] when stats are read).
     pub oversubscription_avoided: u64,
+    /// Hot segments sealed into read-only cold segments since this node
+    /// started (sampled from the store when stats are read).
+    pub segments_sealed: u64,
+    /// Two-plane checkpoints written (periodic and final-on-shutdown).
+    pub checkpoint_writes: u64,
+    /// Store records replayed during this node's start — records past the
+    /// newest valid checkpoint's cursor, or the whole log when no
+    /// checkpoint was usable. The observable measure of O(tail) restart.
+    pub restart_replayed_records: u64,
+    /// Cold segments deleted by the retention policy since this node
+    /// started (sampled from the store when stats are read).
+    pub gc_deleted_segments: u64,
 }
 
 impl NodeStats {

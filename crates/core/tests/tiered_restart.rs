@@ -1,0 +1,322 @@
+//! Kill-and-recover test for tiered storage + two-plane checkpoints.
+//!
+//! A child process (this binary re-executed with `WEDGE_TIER_CRASH_DIR`
+//! set) runs a full node under `SyncPolicy::GroupCommit` with aggressive
+//! sealing and checkpointing, streaming large entries until the parent
+//! SIGKILLs it mid-flight — after the log has grown past a configurable
+//! floor (`WEDGE_TIER_TARGET_MB`, default 100). The child records each
+//! batch in `released.txt` only after `append_batch` returned, i.e. after
+//! the node *replied* — a durability promise under the protocol.
+//!
+//! The parent then restarts a node over the same directory and asserts the
+//! tentpole properties end to end:
+//!
+//! - **reply ⇒ durable**: every released entry survives the kill;
+//! - **gapless positions**: log positions `0..log_positions()` all read
+//!   back, payloads intact, entry counts summing to `entry_count()`;
+//! - **O(tail) restart**: `restart_replayed_records` is a small fraction of
+//!   the store's record count — the node restored a checkpoint and replayed
+//!   only the uncheckpointed tail instead of re-reading ~100 MB;
+//! - **sealing happened and survived**: cold (`.wcold`) segments exist on
+//!   disk after recovery.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wedge_chain::{Chain, ChainConfig, Wei};
+use wedge_core::{deploy_service, NodeConfig, OffchainNode, Publisher, ServiceConfig, TierConfig};
+use wedge_crypto::signer::Identity;
+use wedge_sim::Clock;
+use wedge_storage::{StoreConfig, SyncPolicy};
+
+const CRASH_DIR_VAR: &str = "WEDGE_TIER_CRASH_DIR";
+const TARGET_MB_VAR: &str = "WEDGE_TIER_TARGET_MB";
+
+/// Entries per `append_batch` call (= one released durability promise).
+const BATCH: usize = 4;
+/// Payload bytes per entry: big, so the log reaches 100 MB on ~100 entries
+/// and hashing stays the bottleneck, not per-entry fixed costs (per-entry
+/// ECDSA sign/verify is the dominant term in unoptimized builds).
+const PAYLOAD: usize = 1024 * 1024;
+
+fn target_bytes(default_mb: u64) -> u64 {
+    let mb = std::env::var(TARGET_MB_VAR)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default_mb);
+    mb * 1024 * 1024
+}
+
+fn tier_config() -> NodeConfig {
+    NodeConfig {
+        batch_size: BATCH,
+        batch_linger: Duration::from_millis(5),
+        verify_requests: false,
+        stage2_max_group: 4,
+        tier: TierConfig {
+            seal_on_commit: true,
+            // Checkpoint after every stage-2 group so the replayed tail is
+            // bounded by one group's worth of batches plus whatever stage-1
+            // had in flight.
+            checkpoint_every_groups: 1,
+            checkpoint_interval: Duration::from_secs(3600),
+            retain_groups: None,
+        },
+        store: StoreConfig {
+            // Rotate every ~4 MB so the sealing pass has segments to retire
+            // into the cold tier throughout the run.
+            max_segment_bytes: 4 * 1024 * 1024,
+            sync: SyncPolicy::GroupCommit {
+                max_batches: 4,
+                max_delay: Duration::from_millis(2),
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn payload(seq: u64) -> Vec<u8> {
+    let mut p = format!("tier-{seq:08}-").into_bytes();
+    p.resize(PAYLOAD, 0xAB);
+    p
+}
+
+struct World {
+    chain: Arc<Chain>,
+    node_identity: Identity,
+    client_identity: Identity,
+    root_record: wedge_chain::Address,
+    _miner: wedge_chain::MinerHandle,
+}
+
+/// Chain + contracts from fixed seeds: the child and the restarting parent
+/// build identical worlds around the same on-disk node directory.
+fn world() -> World {
+    let clock = Clock::compressed(2000.0);
+    let chain = Chain::new(clock, ChainConfig::default());
+    let node_identity = Identity::from_seed(b"tier-crash-node");
+    let client_identity = Identity::from_seed(b"tier-crash-client");
+    chain.fund(node_identity.address(), Wei::from_eth(1000));
+    chain.fund(client_identity.address(), Wei::from_eth(1000));
+    let miner = chain.start_miner();
+    let deployment = deploy_service(
+        &chain,
+        &node_identity,
+        client_identity.address(),
+        &ServiceConfig {
+            escrow: Wei::from_eth(32),
+            payment_terms: None,
+        },
+    )
+    .expect("deploy contracts");
+    World {
+        chain,
+        node_identity,
+        client_identity,
+        root_record: deployment.root_record,
+        _miner: miner,
+    }
+}
+
+fn start_node(w: &World, dir: &Path) -> Arc<OffchainNode> {
+    Arc::new(
+        OffchainNode::start(
+            w.node_identity.clone(),
+            tier_config(),
+            Arc::clone(&w.chain),
+            w.root_record,
+            dir,
+        )
+        .expect("start node"),
+    )
+}
+
+/// Child mode: stream batches forever, recording each one as released only
+/// after the node replied (append_batch returned). Runs until SIGKILLed.
+fn crash_workload(dir: &Path) -> ! {
+    let w = world();
+    let node = start_node(&w, &dir.join("node"));
+    let mut p = Publisher::new(
+        w.client_identity.clone(),
+        Arc::clone(&node),
+        Arc::clone(&w.chain),
+        w.root_record,
+        None,
+    );
+    let mut released = std::fs::File::create(dir.join("released.txt")).unwrap();
+    let mut next = 0u64;
+    loop {
+        let batch: Vec<Vec<u8>> = (next..next + BATCH as u64).map(payload).collect();
+        p.append_batch(batch).expect("append");
+        next += BATCH as u64;
+        // The node replied to every entry below `next`: record the promise
+        // durably before the next batch so the parent can hold it to it.
+        writeln!(released, "{next}").unwrap();
+        released.sync_data().unwrap();
+    }
+}
+
+fn dir_bytes(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .map(|e| match e.metadata() {
+            Ok(m) if m.is_dir() => dir_bytes(&e.path()),
+            Ok(m) => m.len(),
+            Err(_) => 0,
+        })
+        .sum()
+}
+
+fn count_files_with_ext(dir: &Path, ext: &str) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|e| e.path().extension().map(|x| x == ext).unwrap_or(false))
+        .count()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wedge-tier-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Fraction of the store's records the restart is allowed to replay:
+/// `replayed * strictness < total` must hold. The 100 MB run uses 4 (the
+/// tail is a handful of batches out of ~25); the quick run only requires
+/// the checkpoint to have engaged at all (`> 1`).
+fn kill_and_recover(test_name: &str, tag: &str, default_mb: u64, strictness: u64) {
+    if let Ok(dir) = std::env::var(CRASH_DIR_VAR) {
+        crash_workload(Path::new(&dir));
+    }
+
+    let dir = scratch(tag);
+    let log_dir = dir.join("node").join("log");
+    let ckpt_dir = dir.join("node").join("checkpoints");
+    let target = target_bytes(default_mb);
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .arg(test_name)
+        .arg("--exact")
+        .arg("--include-ignored")
+        .arg("--nocapture")
+        .arg("--test-threads=1")
+        .env(CRASH_DIR_VAR, &dir)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Wait for the log to grow past the target — with at least one batch
+    // released and one checkpoint written so the recovery path has both
+    // promises to honour — then SIGKILL mid-flight: no destructors, no
+    // final checkpoint, exactly like a power cut.
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        if dir_bytes(&log_dir) >= target
+            && dir.join("released.txt").exists()
+            && count_files_with_ext(&ckpt_dir, "wckp") > 0
+        {
+            break;
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("child exited early ({status}) before reaching {target} log bytes");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child never reached {target} log bytes (at {})",
+            dir_bytes(&log_dir)
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let released: u64 = std::fs::read_to_string(dir.join("released.txt"))
+        .unwrap()
+        .lines()
+        .filter_map(|line| line.parse().ok())
+        .max()
+        .expect("child released at least one batch");
+
+    // Sealing ran in the child and its cold segments survived the kill.
+    assert!(
+        count_files_with_ext(&log_dir, "wcold") > 0,
+        "no cold segments on disk after the kill"
+    );
+
+    // Recover: a fresh world around the child's on-disk state.
+    let w = world();
+    let node = start_node(&w, &dir.join("node"));
+    let stats = node.stats();
+
+    // Reply ⇒ durable: every entry the child was promised is present.
+    assert!(
+        node.entry_count() >= released,
+        "lost replied-to entries: recovered {} < released {released}",
+        node.entry_count()
+    );
+
+    // O(tail) restart: the store holds one header record per position plus
+    // one per entry; a full replay would touch all of them. Restoring from
+    // the newest checkpoint must leave only a small tail.
+    let total_records = node.entry_count() + node.log_positions();
+    assert!(
+        stats.restart_replayed_records * strictness < total_records,
+        "restart replayed {} of {} records — checkpoint restore did not engage",
+        stats.restart_replayed_records,
+        total_records
+    );
+
+    // Gapless positions: every position reads back, payloads intact, and
+    // the per-position counts account for every entry.
+    let mut entries_seen = 0u64;
+    for log_id in 0..node.log_positions() {
+        let responses = node
+            .read_log_position(log_id)
+            .unwrap_or_else(|e| panic!("position {log_id} unreadable after recovery: {e:?}"));
+        assert!(!responses.is_empty(), "position {log_id} is empty");
+        for resp in &responses {
+            let req = resp.request().expect("payload decodes");
+            assert!(
+                req.payload.starts_with(b"tier-"),
+                "position {log_id} holds a foreign payload"
+            );
+            assert_eq!(req.payload.len(), PAYLOAD);
+        }
+        entries_seen += responses.len() as u64;
+    }
+    assert_eq!(entries_seen, node.entry_count(), "positions have gaps");
+
+    drop(node);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Quick tier-1 variant: a ~16 MB log, enough for a couple of seals and
+/// checkpoints, killed and recovered in well under a minute.
+#[test]
+fn tiered_node_kill_recover_quick() {
+    kill_and_recover("tiered_node_kill_recover_quick", "quick", 16, 2);
+}
+
+/// The full acceptance run: a ≥100 MB log (protocol hashing makes this a
+/// multi-minute test in unoptimized builds, so it is ignored by default and
+/// run explicitly by the CI analysis job).
+#[test]
+#[ignore = "multi-minute: ≥100 MB through three keccak passes per byte in dev builds"]
+fn tiered_node_survives_sigkill_and_restarts_from_checkpoint() {
+    kill_and_recover(
+        "tiered_node_survives_sigkill_and_restarts_from_checkpoint",
+        "full",
+        100,
+        4,
+    );
+}

@@ -1,0 +1,18 @@
+//! Minimal panic-free big-endian field readers for the cold-segment and
+//! sidecar parsers: every access goes through `.get(..)`, so a truncated
+//! file yields `None` instead of an index panic.
+
+pub(crate) fn be_u16_at(bytes: &[u8], at: usize) -> Option<u16> {
+    let field: [u8; 2] = bytes.get(at..at.checked_add(2)?)?.try_into().ok()?;
+    Some(u16::from_be_bytes(field))
+}
+
+pub(crate) fn be_u32_at(bytes: &[u8], at: usize) -> Option<u32> {
+    let field: [u8; 4] = bytes.get(at..at.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_be_bytes(field))
+}
+
+pub(crate) fn be_u64_at(bytes: &[u8], at: usize) -> Option<u64> {
+    let field: [u8; 8] = bytes.get(at..at.checked_add(8)?)?.try_into().ok()?;
+    Some(u64::from_be_bytes(field))
+}

@@ -1,0 +1,435 @@
+//! Cold segments: sealed, checksummed, read-only log segments.
+//!
+//! Once every record in a segment is below the blockchain-committed
+//! frontier the segment is immutable and auditable (the paper's stage-2
+//! guarantee), so the node seals it: the record bytes are copied verbatim
+//! into a `.wcold` file with an embedded locator block and a CRC'd footer,
+//! and the original `.wlog` is deleted. Sealed segments are self-describing
+//! — restart reads one footer per cold segment instead of scanning every
+//! record — and are served through a cached `pread` handle, so cold reads
+//! never touch the tail lock and never re-open the file.
+//!
+//! On-disk layout of `seg-NNNNNNNNNN.wcold` (all integers big-endian):
+//!
+//! ```text
+//! +--------------------------------------------+
+//! | data region: the segment's framed records, |
+//! | byte-identical to the original .wlog       |
+//! +--------------------------------------------+
+//! | locator block:                             |
+//! |   count      u32                           |
+//! |   first_seq  u64                           |
+//! |   offsets    count x u64 (ascending)       |
+//! +--------------------------------------------+
+//! | footer:                                    |
+//! |   locator_off u64  (= data region length)  |
+//! |   locator_crc u32  (crc32 of the block)    |
+//! |   magic       u16  ("WC")                  |
+//! +--------------------------------------------+
+//! ```
+//!
+//! Because the data region is byte-identical to the `.wlog`, a cold segment
+//! can be "unsealed" (for tail truncation across the cold boundary) by
+//! copying a prefix of the data region back to a `.wlog` file.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::bytes::{be_u16_at, be_u32_at, be_u64_at};
+use crate::crc32::crc32;
+use crate::error::StorageError;
+use crate::segment::{pread_exact, scan_segment, segment_path, SegmentId, HEADER_LEN, MAGIC};
+
+/// Footer magic ("WC").
+pub const COLD_MAGIC: u16 = 0x5743;
+/// Bytes of footer at the end of a cold segment file.
+pub const FOOTER_LEN: usize = 8 + 4 + 2;
+
+/// Builds the file path for cold segment `id` under `dir`.
+pub fn cold_path(dir: &Path, id: SegmentId) -> PathBuf {
+    dir.join(format!("seg-{id:010}.wcold"))
+}
+
+/// Fsyncs a directory so renames/unlinks inside it are durable. A no-op on
+/// platforms where directories cannot be opened.
+pub fn sync_dir(dir: &Path) -> Result<(), StorageError> {
+    if let Ok(handle) = File::open(dir) {
+        handle.sync_all()?;
+    }
+    Ok(())
+}
+
+/// A sealed, read-only segment with its locator block resident and a cached
+/// read handle.
+pub struct ColdSegment {
+    id: SegmentId,
+    first_seq: u64,
+    /// Record start offsets within the data region, ascending.
+    offsets: Vec<u64>,
+    /// Length of the data region (= locator block offset).
+    data_len: u64,
+    /// Cached `pread` handle; holding it also keeps the data readable after
+    /// the retention policy unlinks the file.
+    file: File,
+    path: PathBuf,
+}
+
+impl ColdSegment {
+    /// Segment id.
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// Sequence number of the first record.
+    pub fn first_seq(&self) -> u64 {
+        self.first_seq
+    }
+
+    /// Number of records.
+    pub fn record_count(&self) -> u64 {
+        self.offsets.len() as u64
+    }
+
+    /// One past the last sequence number held.
+    pub fn end_seq(&self) -> u64 {
+        self.first_seq + self.record_count()
+    }
+
+    /// Length of the data region in bytes.
+    pub fn data_len(&self) -> u64 {
+        self.data_len
+    }
+
+    /// Path of the cold file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Seals `seg-{id}.wlog` into `seg-{id}.wcold`.
+    ///
+    /// The source segment is scanned first (verifying every CRC — sealing
+    /// must never launder corruption into the cold tier), the cold file is
+    /// written to a temp name, fsynced, renamed into place, and the
+    /// directory fsynced. The caller deletes the `.wlog` once readers have
+    /// been switched over. A crash at any point leaves either a stray
+    /// `.tmp` (removed at open) or both files (the cold one wins at open).
+    pub fn seal(dir: &Path, id: SegmentId, first_seq: u64) -> Result<ColdSegment, StorageError> {
+        let scan = scan_segment(dir, id)?;
+        if scan.has_trailing_bytes() {
+            return Err(StorageError::CorruptRecord {
+                id: id as u64,
+                what: "trailing bytes in a segment being sealed",
+            });
+        }
+        let src_path = segment_path(dir, id);
+        let tmp_path = dir.join(format!("seg-{id:010}.wcold.tmp"));
+        {
+            let mut src = File::open(&src_path)?;
+            let tmp = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            let mut out = std::io::BufWriter::new(tmp);
+            let copied = std::io::copy(&mut src, &mut out)?;
+            if copied != scan.valid_len {
+                return Err(StorageError::CorruptRecord {
+                    id: id as u64,
+                    what: "segment changed size while being sealed",
+                });
+            }
+            let mut block = Vec::with_capacity(4 + 8 + 8 * scan.records.len());
+            block.extend_from_slice(&(scan.records.len() as u32).to_be_bytes());
+            block.extend_from_slice(&first_seq.to_be_bytes());
+            for &(offset, _) in &scan.records {
+                block.extend_from_slice(&offset.to_be_bytes());
+            }
+            out.write_all(&block)?;
+            out.write_all(&scan.valid_len.to_be_bytes())?;
+            out.write_all(&crc32(&block).to_be_bytes())?;
+            out.write_all(&COLD_MAGIC.to_be_bytes())?;
+            out.flush()?;
+            out.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp_path, cold_path(dir, id))?;
+        sync_dir(dir)?;
+        ColdSegment::open(dir, id)
+    }
+
+    /// Opens an existing cold segment, parsing and validating its footer and
+    /// locator block. Record payloads are *not* scanned — their CRCs are
+    /// verified lazily on read, which is what makes restart O(tail).
+    pub fn open(dir: &Path, id: SegmentId) -> Result<ColdSegment, StorageError> {
+        let path = cold_path(dir, id);
+        let file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        let corrupt = |what| StorageError::CorruptRecord {
+            id: id as u64,
+            what,
+        };
+        if file_len < FOOTER_LEN as u64 {
+            return Err(corrupt("cold segment shorter than its footer"));
+        }
+        let mut footer = [0u8; FOOTER_LEN];
+        pread_exact(&file, &mut footer, file_len - FOOTER_LEN as u64)?;
+        let magic = be_u16_at(&footer, 12).ok_or_else(|| corrupt("bad cold footer"))?;
+        if magic != COLD_MAGIC {
+            return Err(corrupt("bad cold footer magic"));
+        }
+        let data_len = be_u64_at(&footer, 0).ok_or_else(|| corrupt("bad cold footer"))?;
+        let expected_crc = be_u32_at(&footer, 8).ok_or_else(|| corrupt("bad cold footer"))?;
+        let block_end = file_len - FOOTER_LEN as u64;
+        if data_len > block_end {
+            return Err(corrupt("cold locator offset past end of file"));
+        }
+        let block_len = (block_end - data_len) as usize;
+        if block_len < 4 + 8 {
+            return Err(corrupt("cold locator block truncated"));
+        }
+        let mut block = vec![0u8; block_len];
+        pread_exact(&file, &mut block, data_len)?;
+        if crc32(&block) != expected_crc {
+            return Err(corrupt("cold locator block checksum mismatch"));
+        }
+        let short = || corrupt("cold locator block truncated");
+        let count = be_u32_at(&block, 0).ok_or_else(short)? as usize;
+        let first_seq = be_u64_at(&block, 4).ok_or_else(short)?;
+        if block_len != 4 + 8 + 8 * count {
+            return Err(corrupt("cold locator count disagrees with block size"));
+        }
+        let mut offsets = Vec::with_capacity(count);
+        let mut prev: Option<u64> = None;
+        for i in 0..count {
+            let offset = be_u64_at(&block, 12 + 8 * i).ok_or_else(short)?;
+            if offset >= data_len || prev.is_some_and(|p| offset <= p) {
+                return Err(corrupt("cold locator offsets out of order"));
+            }
+            prev = Some(offset);
+            offsets.push(offset);
+        }
+        if count > 0 && offsets.first() != Some(&0) {
+            return Err(corrupt("cold locator does not start at offset zero"));
+        }
+        Ok(ColdSegment {
+            id,
+            first_seq,
+            offsets,
+            data_len,
+            file,
+            path,
+        })
+    }
+
+    /// True when `seq` falls inside this segment.
+    pub fn contains(&self, seq: u64) -> bool {
+        seq >= self.first_seq && seq < self.end_seq()
+    }
+
+    /// Byte offset of record `seq` within the data region.
+    pub fn offset_of(&self, seq: u64) -> Option<u64> {
+        self.offsets
+            .get(usize::try_from(seq.checked_sub(self.first_seq)?).ok()?)
+            .copied()
+    }
+
+    /// Reads record `seq` through the cached handle (one `pread` for the
+    /// header, one for the payload; the CRC is verified here since sealed
+    /// payloads are only checked lazily).
+    pub fn read(&self, seq: u64) -> Result<Vec<u8>, StorageError> {
+        let offset = self.offset_of(seq).ok_or(StorageError::RecordNotFound {
+            id: seq,
+            len: self.end_seq(),
+        })?;
+        let mut header = [0u8; HEADER_LEN];
+        pread_exact(&self.file, &mut header, offset)?;
+        let magic = u16::from_be_bytes([header[0], header[1]]);
+        if magic != MAGIC {
+            return Err(StorageError::CorruptRecord {
+                id: seq,
+                what: "bad magic",
+            });
+        }
+        let len = u32::from_be_bytes([header[2], header[3], header[4], header[5]]) as usize;
+        let expected_crc = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
+        if offset + (HEADER_LEN + len) as u64 > self.data_len {
+            return Err(StorageError::CorruptRecord {
+                id: seq,
+                what: "cold record runs past the data region",
+            });
+        }
+        let mut payload = vec![0u8; len];
+        pread_exact(&self.file, &mut payload, offset + HEADER_LEN as u64)?;
+        if crc32(&payload) != expected_crc {
+            return Err(StorageError::CorruptRecord {
+                id: seq,
+                what: "checksum mismatch",
+            });
+        }
+        Ok(payload)
+    }
+
+    /// Copies the first `keep` bytes of the data region back to
+    /// `seg-{id}.wlog` — the unseal path for tail truncation across the
+    /// cold boundary. The caller deletes the `.wcold` afterwards.
+    pub fn unseal_prefix(&self, dir: &Path) -> Result<(), StorageError> {
+        self.unseal_prefix_len(dir, self.data_len)
+    }
+
+    /// Like [`ColdSegment::unseal_prefix`] but keeping only the first
+    /// `keep` bytes.
+    pub fn unseal_prefix_len(&self, dir: &Path, keep: u64) -> Result<(), StorageError> {
+        let mut out = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(segment_path(dir, self.id))?;
+        let mut remaining = keep.min(self.data_len);
+        let mut offset = 0u64;
+        let mut buf = vec![0u8; 256 * 1024];
+        while remaining > 0 {
+            let chunk = remaining.min(buf.len() as u64) as usize;
+            let (window, _) = buf.split_at_mut(chunk);
+            pread_exact(&self.file, window, offset)?;
+            out.write_all(window)?;
+            offset += chunk as u64;
+            remaining -= chunk as u64;
+        }
+        out.flush()?;
+        out.sync_all()?;
+        sync_dir(dir)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentWriter;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wedge-cold-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_segment(dir: &Path, id: SegmentId, n: u32) -> Vec<Vec<u8>> {
+        let mut w = SegmentWriter::create(dir, id).unwrap();
+        let mut payloads = Vec::new();
+        for i in 0..n {
+            let p = format!("cold-record-{i:04}").into_bytes();
+            w.append(&p).unwrap();
+            payloads.push(p);
+        }
+        w.sync().unwrap();
+        payloads
+    }
+
+    #[test]
+    fn seal_roundtrips_every_record() {
+        let dir = tempdir("seal-rt");
+        let payloads = write_segment(&dir, 7, 25);
+        let cold = ColdSegment::seal(&dir, 7, 100).unwrap();
+        assert_eq!(cold.first_seq(), 100);
+        assert_eq!(cold.record_count(), 25);
+        assert_eq!(cold.end_seq(), 125);
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(&cold.read(100 + i as u64).unwrap(), p);
+        }
+        assert!(cold.read(99).is_err());
+        assert!(cold.read(125).is_err());
+        // Reopen parses the embedded locator without scanning records.
+        let reopened = ColdSegment::open(&dir, 7).unwrap();
+        assert_eq!(reopened.record_count(), 25);
+        assert_eq!(&reopened.read(113).unwrap(), &payloads[13]);
+    }
+
+    #[test]
+    fn sealed_data_region_is_byte_identical_to_the_wlog() {
+        let dir = tempdir("seal-bytes");
+        write_segment(&dir, 0, 9);
+        let original = std::fs::read(segment_path(&dir, 0)).unwrap();
+        let cold = ColdSegment::seal(&dir, 0, 0).unwrap();
+        let sealed = std::fs::read(cold.path()).unwrap();
+        assert_eq!(&sealed[..original.len()], &original[..]);
+        assert_eq!(cold.data_len(), original.len() as u64);
+    }
+
+    #[test]
+    fn corrupt_footer_fails_open() {
+        let dir = tempdir("seal-foot");
+        write_segment(&dir, 1, 4);
+        let cold = ColdSegment::seal(&dir, 1, 0).unwrap();
+        let path = cold.path().to_path_buf();
+        drop(cold);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 3; // inside the magic/crc
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ColdSegment::open(&dir, 1),
+            Err(StorageError::CorruptRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_is_caught_lazily_on_read() {
+        let dir = tempdir("seal-lazy");
+        write_segment(&dir, 2, 6);
+        let cold = ColdSegment::seal(&dir, 2, 0).unwrap();
+        let path = cold.path().to_path_buf();
+        let victim_off = cold.offset_of(3).unwrap() as usize + HEADER_LEN;
+        drop(cold);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[victim_off] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        // Open succeeds (locator block intact) — the damage surfaces on read.
+        let cold = ColdSegment::open(&dir, 2).unwrap();
+        assert!(cold.read(0).is_ok());
+        assert!(matches!(
+            cold.read(3),
+            Err(StorageError::CorruptRecord {
+                id: 3,
+                what: "checksum mismatch"
+            })
+        ));
+    }
+
+    #[test]
+    fn sealing_a_corrupt_segment_is_refused() {
+        let dir = tempdir("seal-refuse");
+        write_segment(&dir, 3, 5);
+        let path = segment_path(&dir, 3);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(ColdSegment::seal(&dir, 3, 0).is_err());
+        assert!(!cold_path(&dir, 3).exists());
+    }
+
+    #[test]
+    fn unseal_prefix_restores_a_readable_wlog() {
+        let dir = tempdir("unseal");
+        let payloads = write_segment(&dir, 4, 10);
+        let cold = ColdSegment::seal(&dir, 4, 0).unwrap();
+        std::fs::remove_file(segment_path(&dir, 4)).unwrap();
+        // Keep the first 6 records.
+        let cut = cold.offset_of(6).unwrap();
+        cold.unseal_prefix_len(&dir, cut).unwrap();
+        let scan = scan_segment(&dir, 4).unwrap();
+        assert_eq!(scan.records.len(), 6);
+        assert!(!scan.has_trailing_bytes());
+        for (i, &(offset, _)) in scan.records.iter().enumerate() {
+            assert_eq!(
+                crate::segment::read_record_at(&dir, 4, offset).unwrap(),
+                payloads[i]
+            );
+        }
+    }
+}

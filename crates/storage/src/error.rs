@@ -32,6 +32,16 @@ pub enum StorageError {
         /// Configured ceiling.
         max: usize,
     },
+    /// The record existed once but its cold segment was deleted by the
+    /// retention policy (it aged past the punishment window). Distinct from
+    /// [`StorageError::RecordNotFound`]: the id is below the tail, not
+    /// beyond it.
+    RecordRetired {
+        /// Requested record id.
+        id: u64,
+        /// Oldest sequence number still held by the store.
+        oldest: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -46,6 +56,12 @@ impl fmt::Display for StorageError {
             }
             StorageError::RecordTooLarge { size, max } => {
                 write!(f, "record of {size} bytes exceeds the {max}-byte limit")
+            }
+            StorageError::RecordRetired { id, oldest } => {
+                write!(
+                    f,
+                    "record {id} was retired by the retention policy (oldest live record is {oldest})"
+                )
             }
         }
     }

@@ -1,20 +1,31 @@
 //! # wedge-storage
 //!
 //! Durable storage substrate for the Offchain Node: a segmented, CRC-checked
-//! append-only record log with crash recovery ([`LogStore`]), plus the
-//! replica fan-out used for the paper's replicated-liveness experiments
-//! ([`Replicator`]).
+//! append-only record log with crash recovery and a hot/cold tiered layout
+//! ([`LogStore`]), plus the replica fan-out used for the paper's
+//! replicated-liveness experiments ([`Replicator`]).
+//!
+//! Segments below the blockchain-committed frontier can be sealed into
+//! read-only, checksummed cold segments ([`LogStore::seal_up_to`]) with an
+//! embedded locator block, read through cached `pread` handles, and
+//! eventually deleted by the retention policy once they age past the
+//! punishment window ([`LogStore::retire_up_to`]). A locator-index sidecar
+//! ([`LogStore::write_index_checkpoint`]) makes reopening O(tail).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytes;
+mod cold;
 mod crc32;
 mod error;
 mod replication;
 mod segment;
+mod sidecar;
 mod store;
 
+pub use cold::ColdSegment;
 pub use crc32::crc32;
 pub use error::StorageError;
 pub use replication::{Batch, ReplicationHandle, Replicator};
-pub use store::{LogStore, StoreConfig, SyncPolicy, SyncStats};
+pub use store::{LogStore, RecoveryStats, StoreConfig, SyncPolicy, SyncStats, TierStats};

@@ -132,12 +132,35 @@ impl SegmentWriter {
     }
 }
 
+/// Positional read that never moves a shared cursor, so one cached handle
+/// can serve concurrent readers.
+#[cfg(unix)]
+pub(crate) fn pread_exact(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+pub(crate) fn pread_exact(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    // Fallback: clone the handle so the shared reader's cursor is untouched.
+    let mut clone = file.try_clone()?;
+    clone.seek(SeekFrom::Start(offset))?;
+    clone.read_exact(buf)
+}
+
 /// Reads one record at a known offset in a segment.
 pub fn read_record_at(dir: &Path, id: SegmentId, offset: u64) -> Result<Vec<u8>, StorageError> {
-    let mut file = File::open(segment_path(dir, id))?;
-    file.seek(SeekFrom::Start(offset))?;
+    let file = File::open(segment_path(dir, id))?;
+    read_record_from(&file, offset)
+}
+
+/// Reads one record at a known offset through an already-open handle
+/// (positional reads; the handle's cursor is untouched). This is what lets
+/// `read_range`/`iter` reuse one handle per segment instead of re-opening
+/// the file per record.
+pub fn read_record_from(file: &File, offset: u64) -> Result<Vec<u8>, StorageError> {
     let mut header = [0u8; HEADER_LEN];
-    file.read_exact(&mut header)?;
+    pread_exact(file, &mut header, offset)?;
     let magic = u16::from_be_bytes([header[0], header[1]]);
     if magic != MAGIC {
         return Err(StorageError::CorruptRecord {
@@ -148,7 +171,7 @@ pub fn read_record_at(dir: &Path, id: SegmentId, offset: u64) -> Result<Vec<u8>,
     let len = u32::from_be_bytes([header[2], header[3], header[4], header[5]]) as usize;
     let expected_crc = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
     let mut payload = vec![0u8; len];
-    file.read_exact(&mut payload)?;
+    pread_exact(file, &mut payload, offset + HEADER_LEN as u64)?;
     if crc32(&payload) != expected_crc {
         return Err(StorageError::CorruptRecord {
             id: offset,

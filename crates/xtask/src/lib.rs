@@ -504,17 +504,24 @@ fn find_panicky_indexing(code: &str) -> Vec<String> {
             let prev = prev_non_space(code, prefix_end);
             let is_index = matches!(prev, Some(p) if is_ident_char(p) || p == ')' || p == ']');
             // `&'a [u8]` is a type, not an indexing expression: the token
-            // before the bracket is a lifetime.
-            let after_lifetime = {
+            // before the bracket is a lifetime. Likewise a keyword before
+            // the bracket (`&mut [u8]`, `return [a, b]`, `as [T; 2]`)
+            // starts a type or an array literal, never an index.
+            let (after_lifetime, after_keyword) = {
                 let before: Vec<char> = code[..prefix_end]
                     .chars()
                     .rev()
                     .skip_while(|c| c.is_whitespace())
                     .collect();
                 let ident_len = before.iter().take_while(|c| is_ident_char(**c)).count();
-                before.get(ident_len) == Some(&'\'')
+                let word: String = before[..ident_len].iter().rev().collect();
+                let keyword = matches!(
+                    word.as_str(),
+                    "mut" | "dyn" | "impl" | "as" | "in" | "return" | "break" | "else" | "match"
+                );
+                (before.get(ident_len) == Some(&'\''), keyword)
             };
-            if is_index && !after_lifetime {
+            if is_index && !after_lifetime && !after_keyword {
                 // Find the matching close bracket on this line.
                 let mut depth = 1;
                 let mut j = i + 1;
@@ -1203,6 +1210,10 @@ mod tests {
         assert!(lint_str("fn f() { let x: [u8; 32] = [0u8; 32]; }", set).is_empty());
         assert!(lint_str("#[derive(Debug)]\nstruct S;", set).is_empty());
         assert!(lint_str("fn f() { let v = vec![0u8; n]; }", set).is_empty());
+        // Keywords before a bracket start a type or array literal.
+        assert!(lint_str("fn f(buf: &mut [u8]) {}", set).is_empty());
+        assert!(lint_str("fn f() -> [u8; 2] { return [a, b]; }", set).is_empty());
+        assert!(lint_str("fn f(x: &dyn Fn(&mut [u8])) {}", set).is_empty());
     }
 
     #[test]
