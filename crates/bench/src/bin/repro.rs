@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: `fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 stage1 signing
-//! net punish latency faults reads tiers`.
+//! net punish latency faults reads tiers cluster`.
 //! Results are printed and also written to `results/<exp>.md`.
 
 use std::time::Instant;
@@ -41,6 +41,7 @@ fn run(name: &str, profile: Profile) {
         "faults" => harness::fault_tolerance(profile),
         "reads" => harness::reads(profile),
         "tiers" => harness::tiers(profile),
+        "cluster" => harness::cluster(profile),
         other => {
             eprintln!("unknown experiment: {other}");
             std::process::exit(2);
@@ -68,7 +69,7 @@ fn main() {
         .collect();
     let all = [
         "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "reads", "stage1",
-        "signing", "net", "punish", "latency", "faults", "tiers",
+        "signing", "net", "punish", "latency", "faults", "tiers", "cluster",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets == ["all"] {
         all.to_vec()

@@ -1614,3 +1614,177 @@ pub fn tiers(profile: Profile) -> Table {
     }
     table
 }
+
+/// Entry payload bytes for the `cluster` experiment (1 KB values, as in
+/// the paper's workload).
+const CLUSTER_VALUE_SIZE: usize = VALUE_SIZE;
+
+/// Extension (not in the paper): sharded cluster scaling with a
+/// root-of-roots commit. Sweeps the shard count with the *total* workload
+/// held constant and reports aggregate stage-1 append throughput, the
+/// epoch/transaction economics (one on-chain tx per epoch regardless of
+/// N), and an end-to-end two-level proof check against the on-chain
+/// cluster root.
+///
+/// The run is latency-bound by design: every shard's deliver stage pays a
+/// constant simulated response-network delay per flushed batch, so the
+/// single-shard row serializes those delays while an N-shard cluster pays
+/// them in parallel — the same reason a real multi-node deployment scales
+/// before it saturates CPU.
+pub fn cluster(profile: Profile) -> Table {
+    use wedge_cluster::{identity_on_shard, ClusterConfig, LocalCluster};
+    use wedge_sim::LatencyModel;
+
+    let total = profile.scale(16_384, 4_096);
+    let batch = 64;
+    let mut table = Table {
+        title: format!(
+            "Cluster scaling (extension) — {total} appends total, root-of-roots commit per epoch"
+        ),
+        headers: vec![
+            "shards".into(),
+            "per-shard appends".into(),
+            "append wall".into(),
+            "aggregate ops/s".into(),
+            "speedup vs 1".into(),
+            "epochs".into(),
+            "on-chain txs".into(),
+            "txs / epoch".into(),
+            "groups folded".into(),
+            "gas / entry".into(),
+            "two-level proof".into(),
+        ],
+        rows: Vec::new(),
+    };
+    let mut base_rate: Option<f64> = None;
+    for shards in [1usize, 2, 4, 8] {
+        let per_shard = (total / shards).max(batch);
+        let config = ClusterConfig {
+            shards,
+            node: NodeConfig {
+                batch_size: batch,
+                batch_linger: Duration::from_millis(10),
+                verify_requests: false,
+                // The per-batch response link every shard pays; batches on
+                // different shards pay it concurrently.
+                response_latency: LatencyModel::Constant(Duration::from_millis(15)),
+                ..Default::default()
+            },
+            epoch_max_group: 32,
+            ..Default::default()
+        };
+        let mut cluster =
+            LocalCluster::start(&format!("bench-{shards}"), config).expect("cluster start");
+
+        // Pre-sign every request outside the timed region: one publisher
+        // pinned per shard, sequences contiguous within its shard log.
+        let payloads = kv_payloads(per_shard, KEY_SIZE, CLUSTER_VALUE_SIZE, 77);
+        let publishers: Vec<Identity> = (0..shards)
+            .map(|shard| {
+                identity_on_shard(
+                    cluster.router.shard_map(),
+                    shard,
+                    &format!("cluster-bench-{shards}"),
+                )
+            })
+            .collect();
+        let requests: Vec<Vec<AppendRequest>> = publishers
+            .iter()
+            .map(|publisher| {
+                payloads
+                    .iter()
+                    .enumerate()
+                    .map(|(seq, payload)| {
+                        AppendRequest::new(publisher.secret_key(), seq as u64, payload.clone())
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let (reply_tx, reply_rx) = unbounded();
+        let sent = shards * per_shard;
+        let started = Instant::now();
+        for shard_requests in requests {
+            for request in shard_requests {
+                let reply_tx = reply_tx.clone();
+                cluster
+                    .router
+                    .submit(
+                        request,
+                        Box::new(move |result| {
+                            let _ = reply_tx.send(result.map(|_| ()));
+                        }),
+                    )
+                    .expect("route append");
+            }
+        }
+        cluster.router.flush();
+        for _ in 0..sent {
+            reply_rx
+                .recv_timeout(Duration::from_secs(600))
+                .expect("stage-1 reply")
+                .expect("stage-1 response");
+        }
+        let elapsed = started.elapsed();
+
+        // Epoch commits run on the compressed simulated chain and are not
+        // part of the stage-1 measurement.
+        cluster.settle(Duration::from_secs(36_000)).expect("settle");
+        let stats = cluster.coordinator.stats();
+        let groups: usize = cluster
+            .coordinator
+            .records()
+            .iter()
+            .map(|record| {
+                record
+                    .shards
+                    .iter()
+                    .map(|slice| slice.roots.len())
+                    .sum::<usize>()
+            })
+            .sum();
+
+        // End-to-end: one entry proven against the *on-chain* cluster root.
+        let sample = cluster
+            .router
+            .read_by_sequence(publishers[0].address(), 0)
+            .expect("read sample entry");
+        let proof = cluster
+            .coordinator
+            .prove(&cluster.router, 0, sample.entry_id)
+            .expect("assemble cluster proof");
+        let on_chain = cluster
+            .coordinator
+            .on_chain_root(proof.epoch)
+            .expect("on-chain cluster root");
+        proof
+            .verify(&cluster.router.node_public_key(0), &on_chain)
+            .expect("two-level proof verifies against chain");
+
+        let rate = sent as f64 / elapsed.as_secs_f64().max(1e-9);
+        let speedup = rate / base_rate.unwrap_or(rate);
+        if base_rate.is_none() {
+            base_rate = Some(rate);
+        }
+        table.rows.push(vec![
+            shards.to_string(),
+            per_shard.to_string(),
+            fmt_dur(elapsed),
+            fmt_rate(rate),
+            format!("{speedup:.2}×"),
+            stats.epochs_committed.to_string(),
+            stats.txs_submitted.to_string(),
+            format!(
+                "{:.2}",
+                stats.txs_submitted as f64 / stats.epochs_committed.max(1) as f64
+            ),
+            groups.to_string(),
+            format!(
+                "{:.1}",
+                stats.gas_total as f64 / (shards as f64 * per_shard as f64)
+            ),
+            "verified ✓".into(),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,121 @@
+//! Epoch root-collection: coordinator vs. late shard reports.
+//!
+//! Mirrors the cluster epoch protocol (`crates/cluster/src/epoch.rs` +
+//! `crates/core/src/node/epoch.rs`): each epoch the coordinator asks every
+//! shard for its pending batch roots, folds the shard roots into one
+//! cluster root, and commits it on-chain. Reports travel over an async
+//! reply channel, and a shard retried near an epoch boundary can put *two*
+//! reports in flight — one tagged with the previous epoch still sitting in
+//! the channel when the next epoch starts collecting.
+//!
+//! The real protocol defends by tagging every report with the epoch it was
+//! produced for and having the coordinator discard any reply whose tag is
+//! not the epoch being folded (the shard side independently guards with
+//! `epoch_seen` against stale *commits*). Invariants asserted in every
+//! interleaving:
+//! - **no stale fold**: every root folded into epoch `e`'s cluster root is
+//!   tagged `e`;
+//! - **per-shard exactly-once**: each shard contributes exactly one root
+//!   per epoch it reported for.
+//!
+//! `broken: true` drops the tag check — the coordinator folds the first
+//! `SHARDS` replies it pops, so a duplicated epoch-0 report can displace a
+//! shard's epoch-1 root and a stale shard root lands under the on-chain
+//! cluster root.
+
+use crate::channel::{unbounded, Receiver, Sender};
+use crate::{explore, thread, Config, Report};
+
+const SHARDS: usize = 2;
+const EPOCHS: u64 = 3;
+
+/// A shard's reply: (shard id, epoch the report was produced for, the
+/// shard root — encoded so stale and fresh roots are distinguishable).
+type ShardReport = (usize, u64, u64);
+
+fn shard_root(shard: usize, epoch: u64) -> u64 {
+    (shard as u64 + 1) * 100 + epoch
+}
+
+/// One shard: answers each epoch request with a tagged report. Shard 0
+/// models the retry hazard by re-sending its epoch-0 report — the
+/// duplicate stays in flight and can arrive during epoch 1's collection.
+fn shard(id: usize, requests: Receiver<u64>, replies: Sender<ShardReport>) {
+    while let Ok(epoch) = requests.recv() {
+        let _ = replies.send((id, epoch, shard_root(id, epoch)));
+        if id == 0 && epoch == 0 {
+            thread::yield_now();
+            let _ = replies.send((id, epoch, shard_root(id, epoch)));
+        }
+    }
+}
+
+/// The coordinator: per epoch, request every shard's report and fold the
+/// collected roots, asserting freshness and per-shard exactly-once.
+fn coordinator(requests: Vec<Sender<u64>>, replies: Receiver<ShardReport>, broken: bool) {
+    for epoch in 0..EPOCHS {
+        for tx in &requests {
+            let _ = tx.send(epoch);
+        }
+        let mut fold: Vec<Option<u64>> = vec![None; SHARDS];
+        let mut collected = 0;
+        while collected < SHARDS {
+            let Ok((shard, tag, root)) = replies.recv() else {
+                // Only happens when the explorer aborts a redundant
+                // schedule mid-run; bail out without tripping the fold
+                // asserts below on a half-collected epoch.
+                return;
+            };
+            if !broken && tag != epoch {
+                // The fix: a report is only valid for the epoch it was
+                // produced for; anything else is a stale retry in flight.
+                continue;
+            }
+            if fold[shard].is_none() {
+                fold[shard] = Some(root);
+                collected += 1;
+            }
+            // Invariant: nothing stale is ever folded into this epoch's
+            // cluster root.
+            assert_eq!(
+                tag, epoch,
+                "stale shard root folded: epoch {epoch} accepted shard {shard}'s report tagged {tag}"
+            );
+        }
+        for (shard, root) in fold.iter().enumerate() {
+            assert_eq!(
+                *root,
+                Some(shard_root(shard, epoch)),
+                "epoch {epoch} folded the wrong root for shard {shard}"
+            );
+        }
+    }
+}
+
+fn model(broken: bool) {
+    let (reply_tx, reply_rx) = unbounded();
+    let mut request_txs = Vec::new();
+    let mut workers = Vec::new();
+    for id in 0..SHARDS {
+        let (tx, rx) = unbounded();
+        request_txs.push(tx);
+        let replies = reply_tx.clone();
+        workers.push(thread::spawn(move || shard(id, rx, replies)));
+    }
+    drop(reply_tx);
+
+    let driver = {
+        let requests = request_txs.clone();
+        thread::spawn(move || coordinator(requests, reply_rx, broken))
+    };
+    driver.join();
+    drop(request_txs);
+    for w in workers {
+        w.join();
+    }
+}
+
+/// Explores the epoch root-collection model under `config`.
+pub fn run(broken: bool, config: Config) -> Report {
+    explore(config, move || model(broken))
+}

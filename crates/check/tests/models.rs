@@ -1,4 +1,4 @@
-//! Drives the three protocol models through the explorer: the fixed
+//! Drives the protocol models through the explorer: the fixed
 //! protocols must hold their invariants across every explored interleaving
 //! (>1,000 of them), and each deliberately broken variant must fail —
 //! proving the checker can actually find the bugs it exists to find.
@@ -72,4 +72,28 @@ fn slow_client_blocking_send_wedges() {
     println!("slow_client(broken): {report}");
     let failure = report.failure.expect("the PR 5 blocking send must wedge");
     assert!(failure.contains("deadlock"), "wrong failure: {failure}");
+}
+
+#[test]
+fn epoch_collection_holds_in_every_interleaving() {
+    let report = check::models::epoch::run(false, cfg());
+    println!("epoch: {report}");
+    assert!(report.failure.is_none(), "{report}");
+    assert!(
+        report.explored > 1_000,
+        "state space too small to be meaningful: {report}"
+    );
+}
+
+#[test]
+fn epoch_untagged_collection_folds_stale_roots() {
+    let report = check::models::epoch::run(true, cfg());
+    println!("epoch(broken): {report}");
+    let failure = report
+        .failure
+        .expect("dropping the epoch-tag check must fold a stale root");
+    assert!(
+        failure.contains("stale shard root"),
+        "wrong failure: {failure}"
+    );
 }

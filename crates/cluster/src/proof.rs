@@ -1,0 +1,85 @@
+//! Two-level cluster proofs: entry → shard epoch root → cluster root.
+//!
+//! A committed cluster entry is bound to the on-chain root-of-roots by a
+//! chain of three Merkle links:
+//!
+//! 1. the **entry proof** inside the node's [`SignedResponse`] — leaf bytes
+//!    up to the batch root the shard signed at stage 1;
+//! 2. the **shard proof** — that batch root as a leaf of the shard's epoch
+//!    tree (one leaf per batch root the shard reported this epoch);
+//! 3. the **cluster proof** — the shard's epoch root as leaf `shard` of
+//!    the cluster tree the `ClusterRoot` contract recomputed on-chain.
+//!
+//! [`ClusterProof::verify`] checks the node signature and the whole chain;
+//! [`ClusterProof::composed`] exposes the same chain as a generic
+//! [`ComposedProof`] for serialization.
+
+use wedge_core::{CoreError, SignedResponse};
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::PublicKey;
+use wedge_merkle::{ComposedProof, MerkleProof};
+
+/// Proof that one entry is covered by an on-chain cluster root-of-roots.
+#[derive(Clone, Debug)]
+pub struct ClusterProof {
+    /// The epoch whose root-of-roots covers the entry.
+    pub epoch: u64,
+    /// The shard holding the entry (must equal the cluster proof's leaf
+    /// index — the shard binding).
+    pub shard: u64,
+    /// The shard's signed stage-1 response (entry proof inside).
+    pub response: SignedResponse,
+    /// Batch root → shard epoch root.
+    pub shard_proof: MerkleProof,
+    /// The shard's epoch root (the intermediate the two upper proofs
+    /// share).
+    pub shard_root: Hash32,
+    /// Shard epoch root → cluster root-of-roots.
+    pub cluster_proof: MerkleProof,
+}
+
+impl ClusterProof {
+    /// Full verification against the shard node's key and the **on-chain**
+    /// cluster root:
+    ///
+    /// 1. the node's signature over the response is valid (and the entry
+    ///    proof reproduces the signed batch root),
+    /// 2. the batch root is a leaf of `shard_root`,
+    /// 3. the proof claims the right shard (`cluster_proof.leaf_index`),
+    /// 4. `shard_root` is leaf `shard` of `cluster_root`.
+    pub fn verify(&self, node_key: &PublicKey, cluster_root: &Hash32) -> Result<(), CoreError> {
+        self.response.verify(node_key)?;
+        self.shard_proof
+            .verify(self.response.merkle_root.as_bytes(), &self.shard_root)
+            .map_err(|_| CoreError::ProofInvalid {
+                entry_id: self.response.entry_id,
+            })?;
+        if self.cluster_proof.leaf_index != self.shard {
+            return Err(CoreError::ProofPositionMismatch {
+                entry_id: self.response.entry_id,
+                proof_index: self.cluster_proof.leaf_index,
+            });
+        }
+        self.cluster_proof
+            .verify(self.shard_root.as_bytes(), cluster_root)
+            .map_err(|_| CoreError::ProofInvalid {
+                entry_id: self.response.entry_id,
+            })?;
+        Ok(())
+    }
+
+    /// The same chain as a generic three-level [`ComposedProof`] (entry →
+    /// batch root → shard root → cluster root), e.g. for wire
+    /// serialization. `ComposedProof::verify(leaf, cluster_root)` accepts
+    /// exactly when [`ClusterProof::verify`] does, minus the signature and
+    /// shard-binding checks that need the surrounding context.
+    pub fn composed(&self) -> ComposedProof {
+        ComposedProof {
+            levels: vec![
+                self.response.proof.clone(),
+                self.shard_proof.clone(),
+                self.cluster_proof.clone(),
+            ],
+        }
+    }
+}

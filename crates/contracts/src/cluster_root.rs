@@ -1,0 +1,427 @@
+//! The Cluster Root contract: one root-of-roots commit per epoch.
+//!
+//! A sharded deployment runs N Offchain Nodes, each producing batch roots
+//! at stage-1 speed. Instead of N `RootRecord` transactions per group, the
+//! epoch coordinator folds every shard's epoch root into a single Merkle
+//! *root-of-roots* and commits it here — one transaction per epoch
+//! regardless of shard count, amortizing the on-chain base cost N×.
+//!
+//! Invariants, mirroring [`RootRecord`](crate::RootRecord)'s Definition
+//! 3.2 discipline:
+//!
+//! 1. only the configured `coordinator` address may commit,
+//! 2. epochs commit strictly sequentially (`epoch == tail_epoch`),
+//! 3. each epoch is written **at most once** — there is no update path,
+//! 4. the stored digest is *recomputed on-chain* from the submitted shard
+//!    roots, so the coordinator cannot record a root that disagrees with
+//!    the shard roots it claims to aggregate.
+//!
+//! Calldata carries the full shard-root vector (32 bytes per shard) — the
+//! per-shard marginal cost is calldata + hashing, not storage, which is
+//! where the N× amortization comes from.
+
+use std::collections::HashMap;
+
+use wedge_chain::{CallContext, Contract, Decoder, Encoder, Gas, Revert};
+use wedge_crypto::hash::Hash32;
+use wedge_crypto::keys::Address;
+use wedge_merkle::MerkleTree;
+
+/// Method selectors.
+mod selector {
+    /// `Commit-Epoch(epoch, shard_roots)`.
+    pub const COMMIT_EPOCH: u8 = 0x01;
+    /// `Get-Epoch-Root(epoch)`.
+    pub const GET_EPOCH_ROOT: u8 = 0x02;
+    /// Returns `tail_epoch`.
+    pub const GET_TAIL_EPOCH: u8 = 0x03;
+    /// `Get-Shard-Count(epoch)`.
+    pub const GET_SHARD_COUNT: u8 = 0x04;
+}
+
+/// Modeled keccak cost per shard root folded into the root-of-roots
+/// (one leaf hash plus amortized interior nodes).
+const HASH_GAS_PER_SHARD: u64 = 72;
+
+/// The Cluster Root contract state.
+#[derive(Clone)]
+pub struct ClusterRoot {
+    /// The only address allowed to commit epochs (immutable).
+    coordinator: Address,
+    /// epoch → root-of-roots digest.
+    epoch_roots: HashMap<u64, Hash32>,
+    /// epoch → number of shard leaves under that digest.
+    shard_counts: HashMap<u64, u64>,
+    /// Next epoch to be committed.
+    tail_epoch: u64,
+}
+
+impl ClusterRoot {
+    /// Notional deployed-code size, for deploy-gas realism (the on-chain
+    /// Merkle fold makes it a little larger than `RootRecord`).
+    pub const CODE_LEN: usize = 1_700;
+
+    /// Creates the contract bound to its epoch coordinator.
+    pub fn new(coordinator: Address) -> ClusterRoot {
+        ClusterRoot {
+            coordinator,
+            epoch_roots: HashMap::new(),
+            shard_counts: HashMap::new(),
+            tail_epoch: 0,
+        }
+    }
+
+    /// Recomputes the root-of-roots exactly as the contract does: a Merkle
+    /// tree whose leaf `i` is shard `i`'s epoch root bytes. Coordinators
+    /// use this off-chain to build matching proofs.
+    pub fn fold_roots(shard_roots: &[Hash32]) -> Option<Hash32> {
+        let leaves: Vec<&[u8]> = shard_roots
+            .iter()
+            .map(|r| r.as_bytes().as_slice())
+            .collect();
+        MerkleTree::from_leaves(&leaves).ok().map(|t| t.root())
+    }
+
+    /// Encodes `Commit-Epoch(epoch, shard_roots)` calldata.
+    pub fn commit_epoch_calldata(epoch: u64, shard_roots: &[Hash32]) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(17 + shard_roots.len() * 36);
+        enc.u8(selector::COMMIT_EPOCH)
+            .u64(epoch)
+            .u64(shard_roots.len() as u64);
+        for root in shard_roots {
+            enc.bytes(root.as_bytes());
+        }
+        enc.finish()
+    }
+
+    /// Encodes `Get-Epoch-Root(epoch)` calldata.
+    pub fn get_epoch_root_calldata(epoch: u64) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(9);
+        enc.u8(selector::GET_EPOCH_ROOT).u64(epoch);
+        enc.finish()
+    }
+
+    /// Encodes `tail_epoch` getter calldata.
+    pub fn get_tail_epoch_calldata() -> Vec<u8> {
+        vec![selector::GET_TAIL_EPOCH]
+    }
+
+    /// Encodes `Get-Shard-Count(epoch)` calldata.
+    pub fn get_shard_count_calldata(epoch: u64) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(9);
+        enc.u8(selector::GET_SHARD_COUNT).u64(epoch);
+        enc.finish()
+    }
+
+    /// Decodes `Get-Epoch-Root` output: `None` when the epoch has no
+    /// digest yet.
+    pub fn decode_root(output: &[u8]) -> Option<Hash32> {
+        if output.len() != 32 {
+            return None;
+        }
+        let mut h = [0u8; 32];
+        h.copy_from_slice(output);
+        let h = Hash32(h);
+        if h.is_zero() {
+            None
+        } else {
+            Some(h)
+        }
+    }
+
+    /// Decodes the tail-epoch / shard-count getters.
+    pub fn decode_u64(output: &[u8]) -> Option<u64> {
+        Some(u64::from_be_bytes(output.try_into().ok()?))
+    }
+
+    /// `Commit-Epoch`: sequential, single-write, root recomputed on-chain.
+    fn commit_epoch(
+        &mut self,
+        ctx: &mut CallContext<'_>,
+        input: &mut Decoder<'_>,
+    ) -> Result<Vec<u8>, Revert> {
+        if ctx.sender != self.coordinator {
+            return Err(Revert::new("caller is not the epoch coordinator"));
+        }
+        let epoch = input.u64().map_err(|e| Revert::new(e.to_string()))?;
+        if epoch != self.tail_epoch {
+            return Err(Revert::new(format!(
+                "non-sequential epoch: {epoch} != tail_epoch {}",
+                self.tail_epoch
+            )));
+        }
+        let count = input.u64().map_err(|e| Revert::new(e.to_string()))?;
+        if count == 0 {
+            return Err(Revert::new("epoch with zero shards"));
+        }
+        // Every shard root consumes >= 36 calldata bytes, so a count beyond
+        // the remaining input is hostile.
+        if count > input.remaining() as u64 {
+            return Err(Revert::new("shard count exceeds calldata"));
+        }
+        let mut shard_roots = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let root: [u8; 32] = input
+                .bytes_fixed()
+                .map_err(|e| Revert::new(e.to_string()))?;
+            shard_roots.push(Hash32(root));
+        }
+        input.finish().map_err(|e| Revert::new(e.to_string()))?;
+        // The fold itself is metered: one leaf hash per shard plus the
+        // interior nodes, modeled as a flat per-shard keccak cost.
+        ctx.charge(Gas(HASH_GAS_PER_SHARD * count))?;
+        let root = ClusterRoot::fold_roots(&shard_roots)
+            .ok_or_else(|| Revert::new("root-of-roots fold failed"))?;
+        // Two fresh storage words (digest + shard count), one rewritten
+        // (tail) — constant regardless of shard count.
+        ctx.charge_storage_set(2)?;
+        ctx.charge_storage_reset(1)?;
+        debug_assert!(
+            !self.epoch_roots.contains_key(&epoch),
+            "single-write invariant"
+        );
+        self.epoch_roots.insert(epoch, root);
+        self.shard_counts.insert(epoch, count);
+        self.tail_epoch = epoch + 1;
+        ctx.emit("EpochCommitted", {
+            let mut enc = Encoder::with_capacity(48);
+            enc.u64(epoch).u64(count).bytes(root.as_bytes());
+            enc.finish()
+        })?;
+        Ok(root.as_bytes().to_vec())
+    }
+}
+
+impl Contract for ClusterRoot {
+    fn type_name(&self) -> &'static str {
+        "ClusterRoot"
+    }
+
+    fn call(&mut self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, Revert> {
+        let mut dec = Decoder::new(input);
+        let selector = dec.u8().map_err(|_| Revert::new("empty calldata"))?;
+        match selector {
+            selector::COMMIT_EPOCH => self.commit_epoch(ctx, &mut dec),
+            selector::GET_EPOCH_ROOT => {
+                let epoch = dec.u64().map_err(|e| Revert::new(e.to_string()))?;
+                ctx.charge_storage_read(1)?;
+                let root = self
+                    .epoch_roots
+                    .get(&epoch)
+                    .copied()
+                    .unwrap_or(Hash32::ZERO);
+                Ok(root.as_bytes().to_vec())
+            }
+            selector::GET_TAIL_EPOCH => {
+                ctx.charge_storage_read(1)?;
+                Ok(self.tail_epoch.to_be_bytes().to_vec())
+            }
+            selector::GET_SHARD_COUNT => {
+                let epoch = dec.u64().map_err(|e| Revert::new(e.to_string()))?;
+                ctx.charge_storage_read(1)?;
+                let count = self.shard_counts.get(&epoch).copied().unwrap_or(0);
+                Ok(count.to_be_bytes().to_vec())
+            }
+            other => Err(Revert::new(format!("unknown selector 0x{other:02x}"))),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Contract> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wedge_chain::{Chain, Wei};
+    use wedge_crypto::Keypair;
+    use wedge_sim::Clock;
+
+    fn setup() -> (Arc<Chain>, Keypair, Keypair, Address) {
+        let chain = Chain::with_defaults(Clock::manual());
+        let coordinator = Keypair::from_seed(b"epoch-coordinator");
+        let stranger = Keypair::from_seed(b"stranger");
+        chain.fund(coordinator.address, Wei::from_eth(100));
+        chain.fund(stranger.address, Wei::from_eth(100));
+        let (addr, _) = chain
+            .deploy(
+                &coordinator.secret,
+                Box::new(ClusterRoot::new(coordinator.address)),
+                Wei::ZERO,
+                ClusterRoot::CODE_LEN,
+            )
+            .unwrap();
+        chain.mine_block();
+        (chain, coordinator, stranger, addr)
+    }
+
+    fn shard_roots(n: u8) -> Vec<Hash32> {
+        (1..=n).map(|i| Hash32([i; 32])).collect()
+    }
+
+    #[test]
+    fn sequential_epochs_accepted_and_root_recomputed() {
+        let (chain, coord, _, addr) = setup();
+        for epoch in 0..3u64 {
+            let roots = shard_roots(4);
+            let tx = chain
+                .call_contract(
+                    &coord.secret,
+                    addr,
+                    Wei::ZERO,
+                    ClusterRoot::commit_epoch_calldata(epoch, &roots),
+                    Gas(400_000),
+                )
+                .unwrap();
+            chain.mine_block();
+            assert!(chain.receipt(tx).unwrap().status.is_success());
+            let out = chain
+                .view(addr, &ClusterRoot::get_epoch_root_calldata(epoch))
+                .unwrap();
+            assert_eq!(
+                ClusterRoot::decode_root(&out),
+                ClusterRoot::fold_roots(&roots),
+                "on-chain digest is the Merkle fold of the shard roots"
+            );
+            let count = chain
+                .view(addr, &ClusterRoot::get_shard_count_calldata(epoch))
+                .unwrap();
+            assert_eq!(ClusterRoot::decode_u64(&count), Some(4));
+        }
+        let tail = chain
+            .view(addr, &ClusterRoot::get_tail_epoch_calldata())
+            .unwrap();
+        assert_eq!(ClusterRoot::decode_u64(&tail), Some(3));
+    }
+
+    #[test]
+    fn non_coordinator_rejected() {
+        let (chain, _, stranger, addr) = setup();
+        let tx = chain
+            .call_contract(
+                &stranger.secret,
+                addr,
+                Wei::ZERO,
+                ClusterRoot::commit_epoch_calldata(0, &shard_roots(2)),
+                Gas(400_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        assert!(!chain.receipt(tx).unwrap().status.is_success());
+        let out = chain
+            .view(addr, &ClusterRoot::get_epoch_root_calldata(0))
+            .unwrap();
+        assert_eq!(ClusterRoot::decode_root(&out), None);
+    }
+
+    #[test]
+    fn epoch_gap_and_replay_rejected() {
+        let (chain, coord, _, addr) = setup();
+        // Gap: epoch 2 before 0/1.
+        let gap = chain
+            .call_contract(
+                &coord.secret,
+                addr,
+                Wei::ZERO,
+                ClusterRoot::commit_epoch_calldata(2, &shard_roots(2)),
+                Gas(400_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        assert!(!chain.receipt(gap).unwrap().status.is_success());
+        // Commit epoch 0, then try to rewrite it (stale replay).
+        chain
+            .call_contract(
+                &coord.secret,
+                addr,
+                Wei::ZERO,
+                ClusterRoot::commit_epoch_calldata(0, &shard_roots(2)),
+                Gas(400_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        let replay = chain
+            .call_contract(
+                &coord.secret,
+                addr,
+                Wei::ZERO,
+                ClusterRoot::commit_epoch_calldata(0, &[Hash32([0xEE; 32])]),
+                Gas(400_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        assert!(!chain.receipt(replay).unwrap().status.is_success());
+        let out = chain
+            .view(addr, &ClusterRoot::get_epoch_root_calldata(0))
+            .unwrap();
+        assert_eq!(
+            ClusterRoot::decode_root(&out),
+            ClusterRoot::fold_roots(&shard_roots(2)),
+            "original digest intact"
+        );
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let (chain, coord, _, addr) = setup();
+        let tx = chain
+            .call_contract(
+                &coord.secret,
+                addr,
+                Wei::ZERO,
+                ClusterRoot::commit_epoch_calldata(0, &[]),
+                Gas(400_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        assert!(!chain.receipt(tx).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn storage_cost_constant_in_shard_count() {
+        // The amortization claim: marginal cost per extra shard is calldata
+        // + hashing only, far below one RootRecord storage word.
+        let (chain, coord, _, addr) = setup();
+        let one = chain
+            .call_contract(
+                &coord.secret,
+                addr,
+                Wei::ZERO,
+                ClusterRoot::commit_epoch_calldata(0, &shard_roots(1)),
+                Gas(10_000_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        let g1 = chain.receipt(one).unwrap().gas_used.0;
+        let sixteen = chain
+            .call_contract(
+                &coord.secret,
+                addr,
+                Wei::ZERO,
+                ClusterRoot::commit_epoch_calldata(1, &shard_roots(16)),
+                Gas(10_000_000),
+            )
+            .unwrap();
+        chain.mine_block();
+        let g16 = chain.receipt(sixteen).unwrap().gas_used.0;
+        let marginal = (g16 - g1) / 15;
+        assert!(
+            marginal < 5_000,
+            "marginal per-shard gas {marginal} should be calldata+hash only (g1={g1}, g16={g16})"
+        );
+    }
+
+    #[test]
+    fn malformed_calldata_reverts() {
+        let (chain, _, _, addr) = setup();
+        assert!(chain.view(addr, &[]).is_err());
+        assert!(chain.view(addr, &[0x99]).is_err());
+        assert!(chain.view(addr, &[selector::GET_EPOCH_ROOT, 1]).is_err());
+        // Hostile shard count far beyond calldata.
+        let mut enc = Encoder::with_capacity(32);
+        enc.u8(selector::COMMIT_EPOCH).u64(0).u64(u64::MAX);
+        assert!(chain.view(addr, &enc.finish()).is_err());
+    }
+}

@@ -8,6 +8,8 @@
 //!   (Algorithm 2).
 //! - [`Payment`] — the logging-as-a-service subscription stream
 //!   (Algorithm 3).
+//! - [`ClusterRoot`] — the sharded cluster's per-epoch root-of-roots
+//!   commit (one transaction covers every shard's group).
 //!
 //! Plus the two baseline contracts the evaluation compares against:
 //!
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster_root;
 mod digest;
 mod ocl_log;
 mod payment;
@@ -28,6 +31,7 @@ mod punishment;
 mod rhl_rollup;
 mod root_record;
 
+pub use cluster_root::ClusterRoot;
 pub use digest::response_digest;
 pub use ocl_log::OclLog;
 pub use payment::{Payment, PaymentStatus, PaymentTerms};

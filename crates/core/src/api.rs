@@ -13,7 +13,7 @@ use wedge_merkle::RangeProof;
 
 use crate::error::CoreError;
 use crate::node::{OffchainNode, ReplyFn};
-use crate::types::{AppendRequest, EntryId, SignedResponse};
+use crate::types::{AppendRequest, EntryId, EpochCommit, ShardGroup, SignedResponse};
 
 /// The WedgeBlock logging service: append (stage-1 commit) plus the read
 /// and audit paths.
@@ -75,6 +75,26 @@ pub trait LogService: Send + Sync {
     fn meta(&self, log_id: u64) -> (u64, u64, Option<u32>) {
         (self.positions(), self.entries(), self.position_len(log_id))
     }
+
+    /// Cluster epoch collection: the shard's pending batch-root group (see
+    /// [`crate::Stage2Mode::Epoch`]). The default rejects — only shard
+    /// nodes (and transports fronting them) participate in epochs.
+    fn epoch_report(&self, max_group: usize) -> Result<ShardGroup, CoreError> {
+        let _ = max_group;
+        Err(CoreError::RequestRejected(
+            "epoch coordination unsupported by this service",
+        ))
+    }
+
+    /// Cluster epoch acknowledgement: marks the reported group as covered
+    /// by a confirmed root-of-roots transaction, returning the number of
+    /// newly committed positions. The default rejects.
+    fn epoch_commit(&self, commit: EpochCommit) -> Result<u64, CoreError> {
+        let _ = commit;
+        Err(CoreError::RequestRejected(
+            "epoch coordination unsupported by this service",
+        ))
+    }
 }
 
 impl LogService for OffchainNode {
@@ -121,5 +141,11 @@ impl LogService for OffchainNode {
     fn meta(&self, log_id: u64) -> (u64, u64, Option<u32>) {
         // All three values from one snapshot.
         self.meta(log_id)
+    }
+    fn epoch_report(&self, max_group: usize) -> Result<ShardGroup, CoreError> {
+        self.epoch_report(max_group)
+    }
+    fn epoch_commit(&self, commit: EpochCommit) -> Result<u64, CoreError> {
+        self.epoch_commit(commit)
     }
 }

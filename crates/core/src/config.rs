@@ -50,6 +50,21 @@ impl NodeBehavior {
     }
 }
 
+/// How the node's flushed batch roots reach the blockchain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Stage2Mode {
+    /// The node runs its own stage-2 committer and writes every group to
+    /// its `RootRecord` contract (the paper's single-node protocol).
+    #[default]
+    Direct,
+    /// The node is one shard of a cluster: it never submits transactions
+    /// itself. An epoch coordinator pulls pending batch roots via
+    /// `epoch_report`, folds every shard's roots into one on-chain
+    /// root-of-roots, and acknowledges with `epoch_commit` — one
+    /// transaction per epoch for the whole cluster.
+    Epoch,
+}
+
 /// Retry policy for the stage-2 committer.
 ///
 /// A failed `Update-Records` transaction (dropped submission, revert,
@@ -152,6 +167,9 @@ pub struct NodeConfig {
     pub pipeline_depth: usize,
     /// Behaviour (honest or one of the attack modes).
     pub behavior: NodeBehavior,
+    /// How batch roots reach the blockchain: the node's own committer, or
+    /// a cluster epoch coordinator.
+    pub stage2_mode: Stage2Mode,
     /// Maximum roots grouped into one `Update-Records` transaction.
     pub stage2_max_group: usize,
     /// Retry policy for failed stage-2 commitments.
@@ -191,6 +209,7 @@ impl Default for NodeConfig {
                 .unwrap_or(4),
             pipeline_depth: 2,
             behavior: NodeBehavior::Honest,
+            stage2_mode: Stage2Mode::default(),
             stage2_max_group: 16,
             stage2_retry: Stage2RetryPolicy::default(),
             request_latency: LatencyModel::Zero,

@@ -32,9 +32,11 @@ pub use client::{
     AppendOutcome, AuditReport, Auditor, Evidence, EvidenceKind, PendingSweep, Publisher, Reader,
     ReceiptStore, Stage2Verdict, VerifiedEntry,
 };
-pub use config::{NodeBehavior, NodeConfig, Stage2RetryPolicy, TierConfig};
+pub use config::{NodeBehavior, NodeConfig, Stage2Mode, Stage2RetryPolicy, TierConfig};
 pub use error::CoreError;
 pub use node::{NodeStats, OffchainNode};
 pub use service::{deploy_service, ServiceConfig, ServiceDeployment, Subscription};
-pub use types::{AppendRequest, CommitPhase, EntryId, SignedResponse, Stage2Record};
+pub use types::{
+    AppendRequest, CommitPhase, EntryId, EpochCommit, ShardGroup, SignedResponse, Stage2Record,
+};
 pub use util::parallel_map;

@@ -10,6 +10,7 @@
 
 mod batcher;
 mod checkpoint;
+mod epoch;
 mod snapshot;
 mod stage2;
 mod state;
@@ -31,7 +32,7 @@ use wedge_crypto::PublicKey;
 use wedge_merkle::RangeProof;
 use wedge_storage::{LogStore, Replicator};
 
-use crate::config::{NodeBehavior, NodeConfig};
+use crate::config::{NodeBehavior, NodeConfig, Stage2Mode};
 use crate::error::CoreError;
 use crate::types::{AppendRequest, CommitPhase, EntryId, SignedResponse};
 use snapshot::{Snapshot, SnapshotCell, WritePlane};
@@ -75,6 +76,15 @@ pub(crate) struct Shared {
     /// and response signing — sized to `worker_threads`, capped at the
     /// machine's parallelism.
     pub pool: wedge_pool::WorkPool,
+    /// Tier maintenance cadence (seal/checkpoint/retire), driven by
+    /// whichever path advances the blockchain-committed frontier: the
+    /// direct stage-2 committer or the cluster `epoch_commit` path.
+    pub maintenance: Mutex<stage2::TierMaintenance>,
+    /// Stale-epoch guard for cluster mode: `last acknowledged epoch + 1`
+    /// (0 = none yet). An `epoch_commit` for an older epoch is rejected —
+    /// its group was re-reported under a newer epoch and acknowledging it
+    /// would bind those positions to a superseded root-of-roots.
+    pub epoch_seen: AtomicU64,
 }
 
 impl Shared {
@@ -187,8 +197,14 @@ impl OffchainNode {
         // forever). The write plane is still thread-private here, so it is
         // mutated directly; the first published snapshot below already
         // carries the reconciled state.
+        //
+        // In `Stage2Mode::Epoch` there is no per-node committer and the
+        // node's RootRecord is not written: commits restore from the
+        // checkpoint, and recovered-but-uncommitted positions simply stay
+        // pending — the epoch coordinator re-collects them with the next
+        // `epoch_report`, which derives the group from the same snapshot.
         let (stage2_tx, stage2_rx) = unbounded::<stage2::Stage2Task>();
-        {
+        if config.stage2_mode == Stage2Mode::Direct {
             use wedge_contracts::RootRecord;
             let onchain_tail = chain
                 .view(root_record, &RootRecord::get_tail_calldata())
@@ -224,6 +240,7 @@ impl OffchainNode {
 
         let pool = wedge_pool::WorkPool::new(config.worker_threads);
         let ckpt_floor = AtomicU64::new(checkpoint::floor(&ckpt_dir));
+        let maintenance = Mutex::new(stage2::TierMaintenance::new(chain.clock().now()));
         let stats = NodeStats {
             restart_replayed_records: replayed,
             ..NodeStats::default()
@@ -241,6 +258,8 @@ impl OffchainNode {
             ckpt_dir,
             ckpt_floor,
             pool,
+            maintenance,
+            epoch_seen: AtomicU64::new(0),
         });
 
         let (ingest_tx, ingest_rx) = unbounded::<IngestMsg>();
@@ -251,18 +270,27 @@ impl OffchainNode {
             // lint: allow(panic) — thread spawn fails only under resource
             // exhaustion during node startup
             .expect("spawn batcher");
-        let committer_shared = Arc::clone(&shared);
-        let committer = std::thread::Builder::new()
-            .name("wedge-stage2".into())
-            .spawn(move || stage2::run(committer_shared, stage2_rx))
-            // lint: allow(panic) — thread spawn fails only under resource
-            // exhaustion during node startup
-            .expect("spawn committer");
+        let mut handles = vec![batcher];
+        if shared.config.stage2_mode == Stage2Mode::Direct {
+            let committer_shared = Arc::clone(&shared);
+            let committer = std::thread::Builder::new()
+                .name("wedge-stage2".into())
+                .spawn(move || stage2::run(committer_shared, stage2_rx))
+                // lint: allow(panic) — thread spawn fails only under resource
+                // exhaustion during node startup
+                .expect("spawn committer");
+            handles.push(committer);
+        } else {
+            // Epoch mode: no committer thread. Dropping the receiver makes
+            // the batcher's stage-2 hand-off a no-op (its send result is
+            // ignored); pending roots are pulled via `epoch_report` instead.
+            drop(stage2_rx);
+        }
 
         Ok(OffchainNode {
             shared,
             ingest: Mutex::new(Some(ingest_tx)),
-            handles: vec![batcher, committer],
+            handles,
         })
     }
 

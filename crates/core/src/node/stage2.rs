@@ -106,10 +106,76 @@ struct Committer<'a> {
     next_due: SimInstant,
     /// Seeded jitter source (deterministic across runs).
     rng: SmallRng,
+}
+
+/// Post-group-commit tier maintenance state, shared by the direct stage-2
+/// committer and the cluster `epoch_commit` path (whichever advances the
+/// blockchain-committed frontier drives sealing/checkpoint/retention).
+pub(crate) struct TierMaintenance {
     /// Group commits since the last two-plane checkpoint.
     groups_since_ckpt: u64,
     /// When the last checkpoint was written (simulated time).
     last_ckpt: SimInstant,
+}
+
+impl TierMaintenance {
+    pub(crate) fn new(now: SimInstant) -> TierMaintenance {
+        TierMaintenance {
+            groups_since_ckpt: 0,
+            last_ckpt: now,
+        }
+    }
+
+    /// Every blockchain-committed position's records are immutable (the
+    /// paper's two-plane commitment makes the frontier explicit), so this
+    /// is where hot segments are sealed cold, the two-plane checkpoint
+    /// cadence ticks, and cold segments past the punishment window are
+    /// retired. All I/O happens on the calling (committer or epoch-commit)
+    /// thread — never under the write-plane guard, never on the stage-1 or
+    /// read paths.
+    pub(crate) fn after_group_commit(&mut self, shared: &Shared) {
+        let tier = shared.config.tier;
+        let snap = shared.snapshot();
+        // The committed frontier in *record* space: every record of every
+        // contiguously-committed position is immutable.
+        let frontier_log = snap.commits.contiguous();
+        let frontier_record = match frontier_log
+            .checked_sub(1)
+            .and_then(|id| snap.batches.get(id as usize))
+        {
+            Some(batch) => batch.first_record + batch.count as u64,
+            None => 0,
+        };
+        if tier.seal_on_commit && frontier_record > 0 {
+            // Sealing verifies CRCs as it copies; an error here is a disk
+            // problem the next group commit will retry.
+            let _ = shared.store.seal_up_to(frontier_record);
+        }
+        self.groups_since_ckpt += 1;
+        let now = shared.chain.clock().now();
+        let due_by_groups = tier.checkpoint_every_groups > 0
+            && self.groups_since_ckpt >= tier.checkpoint_every_groups;
+        let due_by_time = now.since(self.last_ckpt) >= tier.checkpoint_interval;
+        if (due_by_groups || due_by_time) && shared.write_checkpoint().is_ok() {
+            self.groups_since_ckpt = 0;
+            self.last_ckpt = now;
+        }
+        if let Some(retain) = tier.retain_groups {
+            // Retire records of positions more than `retain` groups behind
+            // the frontier — but never past what the kept checkpoints can
+            // restore (a restart must always find its state on disk).
+            let keep_from_log = frontier_log.saturating_sub(retain);
+            let retain_record = snap
+                .batches
+                .get(keep_from_log as usize)
+                .map(|batch| batch.first_record)
+                .unwrap_or(0);
+            let upto = retain_record.min(shared.ckpt_floor.load(Ordering::Acquire));
+            if upto > 0 {
+                let _ = shared.store.retire_up_to(upto);
+            }
+        }
+    }
 }
 
 /// Committer main loop: exits when the batcher hangs up, the queue is
@@ -122,8 +188,6 @@ pub(crate) fn run(shared: Arc<Shared>, rx: Receiver<Stage2Task>) {
         attempt_head: None,
         next_due: shared.chain.clock().now(),
         rng: SmallRng::seed_from_u64(0x5354_4147_4532_5254), // "STAGE2RT"
-        groups_since_ckpt: 0,
-        last_ckpt: shared.chain.clock().now(),
     };
     let mut rx_open = true;
     loop {
@@ -262,58 +326,10 @@ impl Committer<'_> {
                     .push(committed_at.since(task.stage1_done));
             }
         }
-        self.maintain();
-    }
-
-    /// Post-group-commit tier maintenance: every blockchain-committed
-    /// position's records are immutable (the paper's two-plane commitment
-    /// makes the frontier explicit), so this is where hot segments are
-    /// sealed cold, the two-plane checkpoint cadence ticks, and cold
-    /// segments past the punishment window are retired. All I/O happens on
-    /// the committer thread — never under the write-plane guard, never on
-    /// the stage-1 or read paths.
-    fn maintain(&mut self) {
-        let tier = self.shared.config.tier;
-        let snap = self.shared.snapshot();
-        // The committed frontier in *record* space: every record of every
-        // contiguously-committed position is immutable.
-        let frontier_log = snap.commits.contiguous();
-        let frontier_record = match frontier_log
-            .checked_sub(1)
-            .and_then(|id| snap.batches.get(id as usize))
-        {
-            Some(batch) => batch.first_record + batch.count as u64,
-            None => 0,
-        };
-        if tier.seal_on_commit && frontier_record > 0 {
-            // Sealing verifies CRCs as it copies; an error here is a disk
-            // problem the next group commit will retry.
-            let _ = self.shared.store.seal_up_to(frontier_record);
-        }
-        self.groups_since_ckpt += 1;
-        let now = self.shared.chain.clock().now();
-        let due_by_groups = tier.checkpoint_every_groups > 0
-            && self.groups_since_ckpt >= tier.checkpoint_every_groups;
-        let due_by_time = now.since(self.last_ckpt) >= tier.checkpoint_interval;
-        if (due_by_groups || due_by_time) && self.shared.write_checkpoint().is_ok() {
-            self.groups_since_ckpt = 0;
-            self.last_ckpt = now;
-        }
-        if let Some(retain) = tier.retain_groups {
-            // Retire records of positions more than `retain` groups behind
-            // the frontier — but never past what the kept checkpoints can
-            // restore (a restart must always find its state on disk).
-            let keep_from_log = frontier_log.saturating_sub(retain);
-            let retain_record = snap
-                .batches
-                .get(keep_from_log as usize)
-                .map(|batch| batch.first_record)
-                .unwrap_or(0);
-            let upto = retain_record.min(self.shared.ckpt_floor.load(Ordering::Acquire));
-            if upto > 0 {
-                let _ = self.shared.store.retire_up_to(upto);
-            }
-        }
+        self.shared
+            .maintenance
+            .lock()
+            .after_group_commit(self.shared);
     }
 
     /// Classifies a failed attempt, reconciles against the on-chain tail

@@ -85,6 +85,15 @@ pub struct NodeStats {
     /// Cold segments deleted by the retention policy since this node
     /// started (sampled from the store when stats are read).
     pub gc_deleted_segments: u64,
+    /// Non-empty `epoch_report` groups handed to a cluster epoch
+    /// coordinator (shard nodes in [`crate::Stage2Mode::Epoch`] only).
+    pub epoch_reports: u64,
+    /// Cluster epoch acknowledgements applied via `epoch_commit`.
+    pub epoch_commits: u64,
+    /// `epoch_commit` calls rejected because a later epoch was already
+    /// acknowledged — the stale-epoch guard the cluster protocol model
+    /// checks.
+    pub epoch_stale_rejected: u64,
 }
 
 impl NodeStats {

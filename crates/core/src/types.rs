@@ -318,6 +318,42 @@ pub struct Stage2Record {
     pub merkle_root: Hash32,
 }
 
+/// One shard's pending contribution to a cluster epoch: the contiguous run
+/// of flushed-but-uncommitted batch roots starting at the shard's
+/// blockchain-committed frontier. Returned by `epoch_report`; an empty
+/// `roots` means the shard has nothing pending.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ShardGroup {
+    /// First uncommitted log position (the shard's committed frontier).
+    pub start: u64,
+    /// Batch roots for positions `start..start + roots.len()`.
+    pub roots: Vec<Hash32>,
+}
+
+impl ShardGroup {
+    /// Whether the shard reported nothing pending.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+}
+
+/// The coordinator's acknowledgement closing a cluster epoch for one shard:
+/// the group it reported is now covered by the on-chain root-of-roots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EpochCommit {
+    /// The cluster epoch that covered the group (strictly increasing).
+    pub epoch: u64,
+    /// First log position of the covered group.
+    pub start: u64,
+    /// Number of covered positions.
+    pub count: u64,
+    /// The root-of-roots transaction hash (zero when recovered without
+    /// provenance).
+    pub tx_hash: Hash32,
+    /// Block that mined the root-of-roots transaction.
+    pub block_number: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,7 +22,7 @@
 //!   should build the key's [`AffineTable`] once and reuse it.
 //!
 //! The pre-existing 4-bit fixed-window implementations are preserved in
-//! [`reference`] as differential baselines; property tests pin the fast
+//! [`mod@reference`] as differential baselines; property tests pin the fast
 //! paths to them bit-for-bit.
 
 use std::sync::OnceLock;

@@ -1,0 +1,234 @@
+//! Multi-level (composed) inclusion proofs for sharded deployments.
+//!
+//! A sharded cluster commits one *root-of-roots* on-chain per epoch: each
+//! shard folds the batch roots it flushed that epoch into a shard root, and
+//! the coordinator folds the shard roots into a single cluster root. An
+//! entry is then proven against the on-chain digest by chaining ordinary
+//! [`MerkleProof`]s: the entry's leaf under its batch root, the batch
+//! root's bytes (as a leaf) under the shard root, and the shard root's
+//! bytes under the cluster root.
+//!
+//! [`ComposedProof`] captures exactly that chain: level 0 proves the raw
+//! leaf data; every level `k ≥ 1` proves `hash_leaf(root_{k-1}.as_bytes())`
+//! under `root_k`. Verification succeeds only when the final recomputed
+//! root equals the trusted (on-chain) root — any mutated sibling, flipped
+//! side, or wrong index at *any* level changes the final digest.
+
+use wedge_crypto::hash::Hash32;
+
+use crate::proof::MerkleProof;
+use crate::MerkleError;
+
+/// A chain of inclusion proofs, leaf level first.
+///
+/// The two-level cluster path is `[entry→batch root, batch root→shard
+/// root, shard root→cluster root]`, but any depth ≥ 1 composes the same
+/// way.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ComposedProof {
+    /// The per-level proofs, innermost (raw leaf) first.
+    pub levels: Vec<MerkleProof>,
+}
+
+impl ComposedProof {
+    /// Chains the levels: the root recomputed at level `k` becomes the
+    /// leaf *data* (root bytes, hashed with the leaf domain separator) of
+    /// level `k + 1`.
+    pub fn compute_root(&self, leaf_data: &[u8]) -> Result<Hash32, MerkleError> {
+        let Some((first, rest)) = self.levels.split_first() else {
+            return Err(MerkleError::MalformedProof("composed proof has no levels"));
+        };
+        let mut acc = first.compute_root(leaf_data);
+        for level in rest {
+            acc = level.compute_root(acc.as_bytes());
+        }
+        Ok(acc)
+    }
+
+    /// Verifies `leaf_data` against the trusted outermost root (for the
+    /// cluster path: the root-of-roots recorded on-chain).
+    pub fn verify(&self, leaf_data: &[u8], root: &Hash32) -> Result<(), MerkleError> {
+        let computed = self.compute_root(leaf_data)?;
+        if computed == *root {
+            Ok(())
+        } else {
+            Err(MerkleError::RootMismatch {
+                computed,
+                expected: *root,
+            })
+        }
+    }
+
+    /// The leaf index claimed at `level` (e.g. level 2's index is the
+    /// shard id in the cluster layout), if the level exists.
+    pub fn index_at(&self, level: usize) -> Option<u64> {
+        self.levels.get(level).map(|p| p.leaf_index)
+    }
+
+    /// Serialized byte length.
+    pub fn encoded_len(&self) -> usize {
+        1 + self
+            .levels
+            .iter()
+            .map(|p| 4 + p.encoded_len())
+            .sum::<usize>()
+    }
+
+    /// Serializes to `level_count (1) || (proof_len (4 BE) || proof)*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.push(self.levels.len() as u8);
+        for level in &self.levels {
+            let bytes = level.to_bytes();
+            out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Parses the serialized form.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ComposedProof, MerkleError> {
+        let Some((&count, mut rest)) = bytes.split_first() else {
+            return Err(MerkleError::MalformedProof("empty composed proof"));
+        };
+        if count == 0 {
+            return Err(MerkleError::MalformedProof("composed proof has no levels"));
+        }
+        let mut levels = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let Some(len_bytes) = rest.get(..4) else {
+                return Err(MerkleError::MalformedProof("level header truncated"));
+            };
+            let len = u32::from_be_bytes(
+                len_bytes
+                    .try_into()
+                    .map_err(|_| MerkleError::MalformedProof("level header truncated"))?,
+            ) as usize;
+            let Some(body) = rest.get(4..4 + len) else {
+                return Err(MerkleError::MalformedProof("level body truncated"));
+            };
+            levels.push(MerkleProof::from_bytes(body)?);
+            rest = rest.get(4 + len..).unwrap_or_default();
+        }
+        if !rest.is_empty() {
+            return Err(MerkleError::MalformedProof("trailing bytes"));
+        }
+        Ok(ComposedProof { levels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::MerkleTree;
+
+    /// Builds the cluster shape: entries per batch, batch roots per shard,
+    /// shard roots under one cluster root; returns the composed proof for
+    /// `(shard, batch, entry)` plus the cluster root.
+    fn cluster_fixture(
+        shards: usize,
+        batches: usize,
+        entries: usize,
+        pick: (usize, usize, usize),
+    ) -> (Vec<u8>, ComposedProof, Hash32) {
+        let (s, b, e) = pick;
+        let mut shard_roots = Vec::new();
+        let mut picked = None;
+        for shard in 0..shards {
+            let mut batch_roots = Vec::new();
+            for batch in 0..batches {
+                let leaves: Vec<Vec<u8>> = (0..entries)
+                    .map(|i| format!("s{shard}-b{batch}-e{i}").into_bytes())
+                    .collect();
+                let tree = MerkleTree::from_leaves(&leaves).unwrap();
+                if shard == s && batch == b {
+                    picked = Some((leaves[e].clone(), tree.prove(e).unwrap()));
+                }
+                batch_roots.push(tree.root());
+            }
+            let shard_leaves: Vec<Vec<u8>> =
+                batch_roots.iter().map(|r| r.as_bytes().to_vec()).collect();
+            let shard_tree = MerkleTree::from_leaves(&shard_leaves).unwrap();
+            shard_roots.push((shard_tree.root(), shard_tree.prove(b).unwrap()));
+        }
+        let cluster_leaves: Vec<Vec<u8>> = shard_roots
+            .iter()
+            .map(|(r, _)| r.as_bytes().to_vec())
+            .collect();
+        let cluster_tree = MerkleTree::from_leaves(&cluster_leaves).unwrap();
+        let (leaf, entry_proof) = picked.unwrap();
+        let proof = ComposedProof {
+            levels: vec![
+                entry_proof,
+                shard_roots[s].1.clone(),
+                cluster_tree.prove(s).unwrap(),
+            ],
+        };
+        (leaf, proof, cluster_tree.root())
+    }
+
+    #[test]
+    fn three_level_proof_verifies() {
+        for pick in [(0, 0, 0), (1, 2, 3), (3, 1, 4)] {
+            let (leaf, proof, root) = cluster_fixture(4, 3, 5, pick);
+            proof.verify(&leaf, &root).unwrap();
+            assert_eq!(proof.index_at(2), Some(pick.0 as u64), "shard index");
+        }
+    }
+
+    #[test]
+    fn mutated_level_fails() {
+        let (leaf, proof, root) = cluster_fixture(4, 3, 5, (2, 1, 2));
+        for level in 0..3 {
+            for node in 0..proof.levels[level].path.len() {
+                let mut bad = proof.clone();
+                bad.levels[level].path[node].hash = Hash32([0xCC; 32]);
+                assert!(
+                    bad.verify(&leaf, &root).is_err(),
+                    "mutation at level {level} node {node} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_swap_fails() {
+        let (leaf_a, proof_a, root) = cluster_fixture(4, 3, 5, (0, 1, 2));
+        let (_, proof_b, _) = cluster_fixture(4, 3, 5, (3, 1, 2));
+        // Entry A with shard 3's upper levels: indexes and digests disagree.
+        let franken = ComposedProof {
+            levels: vec![
+                proof_a.levels[0].clone(),
+                proof_b.levels[1].clone(),
+                proof_b.levels[2].clone(),
+            ],
+        };
+        assert!(franken.verify(&leaf_a, &root).is_err());
+    }
+
+    #[test]
+    fn empty_composed_proof_rejected() {
+        let empty = ComposedProof { levels: vec![] };
+        assert!(empty.compute_root(b"x").is_err());
+        assert!(ComposedProof::from_bytes(&[0]).is_err());
+        assert!(ComposedProof::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let (leaf, proof, root) = cluster_fixture(3, 2, 4, (1, 1, 3));
+        let bytes = proof.to_bytes();
+        assert_eq!(bytes.len(), proof.encoded_len());
+        let parsed = ComposedProof::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, proof);
+        parsed.verify(&leaf, &root).unwrap();
+        // Truncations must be rejected, never panic.
+        for cut in [0, 1, 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(ComposedProof::from_bytes(&bytes[..cut]).is_err());
+        }
+        // Trailing garbage rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(ComposedProof::from_bytes(&padded).is_err());
+    }
+}

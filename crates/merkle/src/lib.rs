@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod composed;
 mod multiproof;
 mod proof;
 mod tree;
 
 pub use builder::TreeBuilder;
+pub use composed::ComposedProof;
 pub use multiproof::RangeProof;
 pub use proof::{MerkleProof, ProofNode, Side};
 pub use tree::{hash_leaf, hash_node, MerkleTree};

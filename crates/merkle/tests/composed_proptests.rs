@@ -1,0 +1,156 @@
+//! Property-based tests for composed (multi-level) proofs in the cluster
+//! shape: entry → batch root → shard root → cluster root. Any honest pick
+//! verifies; any mutated sibling, wrong shard index, or cross-shard level
+//! swap is rejected.
+
+use proptest::prelude::*;
+use wedge_crypto::hash::Hash32;
+use wedge_merkle::{ComposedProof, MerkleTree};
+
+/// The full cluster fixture: per-shard batch trees folded into shard
+/// trees folded into one cluster tree.
+struct ClusterShape {
+    /// `leaves[shard][batch][entry]`
+    leaves: Vec<Vec<Vec<Vec<u8>>>>,
+    shard_trees: Vec<MerkleTree>,
+    batch_trees: Vec<Vec<MerkleTree>>,
+    cluster_tree: MerkleTree,
+}
+
+impl ClusterShape {
+    fn build(shards: usize, batches: usize, entries: usize, salt: u8) -> ClusterShape {
+        let mut leaves = Vec::new();
+        let mut batch_trees = Vec::new();
+        let mut shard_trees = Vec::new();
+        for shard in 0..shards {
+            let mut shard_leaves = Vec::new();
+            let mut shard_batches = Vec::new();
+            let mut batch_roots = Vec::new();
+            for batch in 0..batches {
+                let entry_leaves: Vec<Vec<u8>> = (0..entries)
+                    .map(|i| format!("{salt}-s{shard}-b{batch}-e{i}").into_bytes())
+                    .collect();
+                let tree = MerkleTree::from_leaves(&entry_leaves).unwrap();
+                batch_roots.push(tree.root().as_bytes().to_vec());
+                shard_leaves.push(entry_leaves);
+                shard_batches.push(tree);
+            }
+            shard_trees.push(MerkleTree::from_leaves(&batch_roots).unwrap());
+            leaves.push(shard_leaves);
+            batch_trees.push(shard_batches);
+        }
+        let cluster_leaves: Vec<Vec<u8>> = shard_trees
+            .iter()
+            .map(|t| t.root().as_bytes().to_vec())
+            .collect();
+        ClusterShape {
+            leaves,
+            shard_trees,
+            batch_trees,
+            cluster_tree: MerkleTree::from_leaves(&cluster_leaves).unwrap(),
+        }
+    }
+
+    fn prove(&self, shard: usize, batch: usize, entry: usize) -> (Vec<u8>, ComposedProof) {
+        let proof = ComposedProof {
+            levels: vec![
+                self.batch_trees[shard][batch].prove(entry).unwrap(),
+                self.shard_trees[shard].prove(batch).unwrap(),
+                self.cluster_tree.prove(shard).unwrap(),
+            ],
+        };
+        (self.leaves[shard][batch][entry].clone(), proof)
+    }
+}
+
+/// (shards, batches, entries) dimensions plus a pick inside them.
+fn arb_shape() -> impl Strategy<Value = (usize, usize, usize, usize, usize, usize, u8)> {
+    (
+        (1usize..6, 1usize..5, 1usize..9),
+        (any::<usize>(), any::<usize>(), any::<usize>(), any::<u8>()),
+    )
+        .prop_map(|((s, b, e), (ps, pb, pe, salt))| (s, b, e, ps % s, pb % b, pe % e, salt))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn honest_composed_proof_verifies(shape_pick in arb_shape()) {
+        let (s, b, e, ps, pb, pe, salt) = shape_pick;
+        let shape = ClusterShape::build(s, b, e, salt);
+        let (leaf, proof) = shape.prove(ps, pb, pe);
+        prop_assert!(proof.verify(&leaf, &shape.cluster_tree.root()).is_ok());
+        // The outermost level's index is the shard id — the binding the
+        // cluster verifier checks against the claimed shard.
+        prop_assert_eq!(proof.index_at(2), Some(ps as u64));
+        // Round-trips through bytes without weakening.
+        let parsed = ComposedProof::from_bytes(&proof.to_bytes()).unwrap();
+        prop_assert_eq!(&parsed, &proof);
+        prop_assert!(parsed.verify(&leaf, &shape.cluster_tree.root()).is_ok());
+    }
+
+    #[test]
+    fn mutated_node_rejected(
+        shape_pick in arb_shape(),
+        level_seed in any::<usize>(),
+        node_seed in any::<usize>(),
+        byte in any::<u8>(),
+    ) {
+        let (s, b, e, ps, pb, pe, salt) = shape_pick;
+        let shape = ClusterShape::build(s, b, e, salt);
+        let (leaf, proof) = shape.prove(ps, pb, pe);
+        let level = level_seed % proof.levels.len();
+        prop_assume!(!proof.levels[level].path.is_empty());
+        let node = node_seed % proof.levels[level].path.len();
+        let mut bad = proof.clone();
+        let mut digest = *bad.levels[level].path[node].hash.as_bytes();
+        digest[byte as usize % 32] ^= 0x01 | byte;
+        bad.levels[level].path[node].hash = Hash32(digest);
+        prop_assert!(bad.verify(&leaf, &shape.cluster_tree.root()).is_err());
+    }
+
+    #[test]
+    fn wrong_shard_index_rejected(shape_pick in arb_shape(), off in any::<usize>()) {
+        let (s, b, e, ps, pb, pe, salt) = shape_pick;
+        prop_assume!(s >= 2);
+        let shape = ClusterShape::build(s, b, e, salt);
+        let (leaf, proof) = shape.prove(ps, pb, pe);
+        // Claim a different shard's slot in the cluster tree: the proof's
+        // top level is replaced by a valid proof for the *wrong* leaf index.
+        let other = (ps + 1 + off % (s - 1)) % s;
+        let mut bad = proof.clone();
+        bad.levels[2] = shape.cluster_tree.prove(other).unwrap();
+        prop_assert_eq!(bad.index_at(2), Some(other as u64));
+        prop_assert!(bad.verify(&leaf, &shape.cluster_tree.root()).is_err());
+    }
+
+    #[test]
+    fn cross_shard_swap_rejected(shape_pick in arb_shape(), off in any::<usize>()) {
+        let (s, b, e, ps, pb, pe, salt) = shape_pick;
+        prop_assume!(s >= 2);
+        let shape = ClusterShape::build(s, b, e, salt);
+        let (leaf, proof) = shape.prove(ps, pb, pe);
+        let other = (ps + 1 + off % (s - 1)) % s;
+        let (_, donor) = shape.prove(other, pb % shape.batch_trees[other].len().max(1), 0);
+        // Entry from shard `ps` under shard `other`'s upper levels.
+        let franken = ComposedProof {
+            levels: vec![
+                proof.levels[0].clone(),
+                donor.levels[1].clone(),
+                donor.levels[2].clone(),
+            ],
+        };
+        prop_assert!(franken.verify(&leaf, &shape.cluster_tree.root()).is_err());
+    }
+
+    #[test]
+    fn truncated_bytes_never_panic(shape_pick in arb_shape(), cut_seed in any::<usize>()) {
+        let (s, b, e, ps, pb, pe, salt) = shape_pick;
+        let shape = ClusterShape::build(s, b, e, salt);
+        let (_, proof) = shape.prove(ps, pb, pe);
+        let bytes = proof.to_bytes();
+        let cut = cut_seed % bytes.len();
+        prop_assert!(ComposedProof::from_bytes(&bytes[..cut]).is_err());
+    }
+}

@@ -12,7 +12,9 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 use wedge_core::node::ReplyFn;
-use wedge_core::{AppendRequest, CoreError, EntryId, LogService, SignedResponse};
+use wedge_core::{
+    AppendRequest, CoreError, EntryId, EpochCommit, LogService, ShardGroup, SignedResponse,
+};
 use wedge_crypto::hash::Hash32;
 use wedge_crypto::keys::Address;
 use wedge_crypto::PublicKey;
@@ -429,6 +431,22 @@ impl LogService for RemoteNode {
                 position_len,
             }) => (positions, entries, position_len),
             _ => (0, 0, None),
+        }
+    }
+
+    fn epoch_report(&self, max_group: usize) -> Result<ShardGroup, CoreError> {
+        match self.rpc(Request::EpochReport {
+            max_group: max_group as u64,
+        })? {
+            Reply::EpochGroup(group) => Ok(group),
+            _ => Err(CoreError::RequestRejected("unexpected reply")),
+        }
+    }
+
+    fn epoch_commit(&self, commit: EpochCommit) -> Result<u64, CoreError> {
+        match self.rpc(Request::EpochCommit(commit))? {
+            Reply::EpochCommitted { newly } => Ok(newly),
+            _ => Err(CoreError::RequestRejected("unexpected reply")),
         }
     }
 }

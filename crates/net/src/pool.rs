@@ -18,7 +18,9 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use wedge_core::node::ReplyFn;
-use wedge_core::{AppendRequest, CoreError, EntryId, LogService, SignedResponse};
+use wedge_core::{
+    AppendRequest, CoreError, EntryId, EpochCommit, LogService, ShardGroup, SignedResponse,
+};
 use wedge_crypto::hash::Hash32;
 use wedge_crypto::keys::Address;
 use wedge_crypto::PublicKey;
@@ -235,6 +237,14 @@ impl LogService for RemoteNodePool {
 
     fn meta(&self, log_id: u64) -> (u64, u64, Option<u32>) {
         self.stripe().meta(log_id)
+    }
+
+    fn epoch_report(&self, max_group: usize) -> Result<ShardGroup, CoreError> {
+        self.stripe().epoch_report(max_group)
+    }
+
+    fn epoch_commit(&self, commit: EpochCommit) -> Result<u64, CoreError> {
+        self.stripe().epoch_commit(commit)
     }
 }
 

@@ -669,6 +669,14 @@ fn handle(shared: &Arc<ServerShared>, req_id: u64, request: Request, session: &A
                 position_len,
             }
         }
+        Request::EpochReport { max_group } => match service.epoch_report(max_group as usize) {
+            Ok(group) => Reply::EpochGroup(group),
+            Err(e) => Reply::Error(WireError::from_service_error(&e)),
+        },
+        Request::EpochCommit(commit) => match service.epoch_commit(commit) {
+            Ok(newly) => Reply::EpochCommitted { newly },
+            Err(e) => Reply::Error(WireError::from_service_error(&e)),
+        },
     };
     deliver(shared, session, req_id, reply);
 }

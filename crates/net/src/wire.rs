@@ -18,7 +18,7 @@
 use std::io::{self, Read, Write};
 
 use wedge_chain::{Decoder, Encoder};
-use wedge_core::{AppendRequest, CoreError, EntryId, SignedResponse};
+use wedge_core::{AppendRequest, CoreError, EntryId, EpochCommit, ShardGroup, SignedResponse};
 use wedge_crypto::hash::Hash32;
 use wedge_crypto::keys::Address;
 use wedge_merkle::RangeProof;
@@ -55,6 +55,15 @@ pub enum Request {
         /// Position whose length to report (`u64::MAX` for none).
         log_id: u64,
     },
+    /// Cluster epoch collection: ask the shard for its pending batch-root
+    /// group (coordinator → shard).
+    EpochReport {
+        /// Maximum roots to report.
+        max_group: u64,
+    },
+    /// Cluster epoch acknowledgement: the reported group is covered by a
+    /// confirmed root-of-roots transaction (coordinator → shard).
+    EpochCommit(EpochCommit),
 }
 
 /// Server → client messages.
@@ -91,6 +100,13 @@ pub enum Reply {
         /// in-band `u32::MAX` sentinel would be indistinguishable from a
         /// real (capped) length.
         position_len: Option<u32>,
+    },
+    /// The shard's pending batch-root group.
+    EpochGroup(ShardGroup),
+    /// Epoch acknowledgement applied: newly committed position count.
+    EpochCommitted {
+        /// Positions newly marked blockchain-committed.
+        newly: u64,
     },
     /// The operation failed.
     Error(WireError),
@@ -238,6 +254,8 @@ mod kind {
     pub const READ_MANY: u8 = 0x08;
     pub const SCAN: u8 = 0x06;
     pub const META: u8 = 0x07;
+    pub const EPOCH_REPORT: u8 = 0x09;
+    pub const EPOCH_COMMIT: u8 = 0x0A;
 
     pub const R_HELLO: u8 = 0x81;
     pub const R_RESPONSE: u8 = 0x82;
@@ -245,6 +263,8 @@ mod kind {
     pub const R_SCAN: u8 = 0x84;
     pub const R_META: u8 = 0x85;
     pub const R_MANY: u8 = 0x86;
+    pub const R_EPOCH_GROUP: u8 = 0x87;
+    pub const R_EPOCH_COMMITTED: u8 = 0x88;
     pub const R_ERROR: u8 = 0xFF;
 }
 
@@ -322,6 +342,18 @@ impl Request {
                 enc.u64(*log_id);
                 kind::META
             }
+            Request::EpochReport { max_group } => {
+                enc.u64(*max_group);
+                kind::EPOCH_REPORT
+            }
+            Request::EpochCommit(commit) => {
+                enc.u64(commit.epoch)
+                    .u64(commit.start)
+                    .u64(commit.count)
+                    .bytes(commit.tx_hash.as_bytes())
+                    .u64(commit.block_number);
+                kind::EPOCH_COMMIT
+            }
         }
     }
 
@@ -368,6 +400,23 @@ impl Request {
             kind::META => Request::Meta {
                 log_id: dec.u64().map_err(|_| io_err("log_id"))?,
             },
+            kind::EPOCH_REPORT => Request::EpochReport {
+                max_group: dec.u64().map_err(|_| io_err("max_group"))?,
+            },
+            kind::EPOCH_COMMIT => {
+                let epoch = dec.u64().map_err(|_| io_err("epoch"))?;
+                let start = dec.u64().map_err(|_| io_err("start"))?;
+                let count = dec.u64().map_err(|_| io_err("count"))?;
+                let tx: [u8; 32] = dec.bytes_fixed().map_err(|_| io_err("tx_hash"))?;
+                let block_number = dec.u64().map_err(|_| io_err("block"))?;
+                Request::EpochCommit(EpochCommit {
+                    epoch,
+                    start,
+                    count,
+                    tx_hash: Hash32(tx),
+                    block_number,
+                })
+            }
             other => return Err(io_err(&format!("unknown request kind 0x{other:02x}"))),
         };
         dec.finish().map_err(|_| io_err("trailing bytes"))?;
@@ -432,6 +481,17 @@ impl Reply {
                     None => enc.u8(0),
                 };
                 kind::R_META
+            }
+            Reply::EpochGroup(group) => {
+                enc.u64(group.start).u64(group.roots.len() as u64);
+                for root in &group.roots {
+                    enc.bytes(root.as_bytes());
+                }
+                kind::R_EPOCH_GROUP
+            }
+            Reply::EpochCommitted { newly } => {
+                enc.u64(*newly);
+                kind::R_EPOCH_COMMITTED
             }
             Reply::Error(error) => {
                 enc.bytes(&error.to_wire_bytes());
@@ -516,6 +576,22 @@ impl Reply {
                     position_len,
                 }
             }
+            kind::R_EPOCH_GROUP => {
+                let start = dec.u64().map_err(|_| io_err("start"))?;
+                let n = dec.u64().map_err(|_| io_err("root count"))?;
+                if n > dec.remaining() as u64 {
+                    return Err(io_err("count exceeds frame"));
+                }
+                let mut roots = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let h: [u8; 32] = dec.bytes_fixed().map_err(|_| io_err("root"))?;
+                    roots.push(Hash32(h));
+                }
+                Reply::EpochGroup(ShardGroup { start, roots })
+            }
+            kind::R_EPOCH_COMMITTED => Reply::EpochCommitted {
+                newly: dec.u64().map_err(|_| io_err("newly"))?,
+            },
             kind::R_ERROR => {
                 let msg = dec.bytes().map_err(|_| io_err("error message"))?;
                 Reply::Error(WireError::from_wire_bytes(msg))
@@ -698,6 +774,14 @@ mod tests {
                 count: 3,
             },
             Request::Meta { log_id: u64::MAX },
+            Request::EpochReport { max_group: 16 },
+            Request::EpochCommit(EpochCommit {
+                epoch: 3,
+                start: 12,
+                count: 4,
+                tx_hash: Hash32([0xAB; 32]),
+                block_number: 77,
+            }),
         ]
     }
 
@@ -747,6 +831,12 @@ mod tests {
                 // it used to be the in-band "absent" sentinel.
                 position_len: Some(u32::MAX),
             },
+            Reply::EpochGroup(ShardGroup {
+                start: 12,
+                roots: vec![Hash32([0x11; 32]), Hash32([0x22; 32])],
+            }),
+            Reply::EpochGroup(ShardGroup::default()),
+            Reply::EpochCommitted { newly: 4 },
             Reply::Error(WireError::generic("nope")),
         ]
     }
@@ -809,7 +899,16 @@ mod tests {
                 (7, Reply::Meta { position_len, .. }) => {
                     assert_eq!(position_len, Some(u32::MAX));
                 }
-                (8, Reply::Error(err)) => {
+                (8, Reply::EpochGroup(group)) => {
+                    assert_eq!(group.start, 12);
+                    assert_eq!(group.roots, vec![Hash32([0x11; 32]), Hash32([0x22; 32])]);
+                }
+                (9, Reply::EpochGroup(group)) => {
+                    assert!(group.is_empty());
+                    assert_eq!(group.start, 0);
+                }
+                (10, Reply::EpochCommitted { newly }) => assert_eq!(newly, 4),
+                (11, Reply::Error(err)) => {
                     assert_eq!(err, WireError::generic("nope"));
                 }
                 (i, other) => panic!("reply {i} ({original:?}) decoded wrong: {other:?}"),

@@ -946,8 +946,11 @@ fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// remote crash of the node process. `sim`, `bench`, `baselines`, and
 /// `contracts` are harness/reference code, but a panic there still aborts
 /// an experiment mid-run — their escapes go through the reasoned allow
-/// hatch. `check` is excluded: a model checker *reports* bugs by
-/// panicking the failing schedule.
+/// hatch. `cluster` is included because the router and epoch coordinator
+/// sit on the serving path of every shard at once: a panic there takes
+/// down the whole cluster's front door, not one node. `check` is
+/// excluded: a model checker *reports* bugs by panicking the failing
+/// schedule.
 const PANIC_FREE_CRATES: &[&str] = &[
     "crypto",
     "core",
@@ -960,10 +963,15 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "bench",
     "baselines",
     "contracts",
+    "cluster",
 ];
 
 /// Directories whose files feed the L7–L9 concurrency-graph analyses.
-const CONCURRENCY_CORPUS: &[&str] = &["crates/core/src/node", "crates/net/src"];
+const CONCURRENCY_CORPUS: &[&str] = &[
+    "crates/core/src/node",
+    "crates/net/src",
+    "crates/cluster/src",
+];
 
 /// Everything one pass over the workspace produces: the full diagnostic
 /// list (suppressed findings included) and every scanned file, for the
