@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: `fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 stage1 signing
-//! net punish latency faults reads tiers cluster`.
+//! hashing net punish latency faults reads tiers cluster`.
 //! Results are printed and also written to `results/<exp>.md`.
 
 use std::time::Instant;
@@ -35,6 +35,7 @@ fn run(name: &str, profile: Profile) {
         "table1" => harness::table1(profile),
         "stage1" => harness::stage1(profile),
         "signing" => harness::signing(profile),
+        "hashing" => harness::hashing(profile),
         "net" => harness::net(profile),
         "punish" => harness::punishment_economics(),
         "latency" => harness::latency_ablation(profile),
@@ -69,7 +70,7 @@ fn main() {
         .collect();
     let all = [
         "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "reads", "stage1",
-        "signing", "net", "punish", "latency", "faults", "tiers", "cluster",
+        "signing", "hashing", "net", "punish", "latency", "faults", "tiers", "cluster",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets == ["all"] {
         all.to_vec()

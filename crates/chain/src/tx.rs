@@ -1,7 +1,7 @@
 //! Transactions: signed, nonce-ordered state transitions.
 
 use wedge_crypto::ecdsa::{recover_prehashed, sign_prehashed, Signature};
-use wedge_crypto::hash::{keccak256, Hash32};
+use wedge_crypto::hash::{keccak256, keccak256_fixed, Hash32};
 use wedge_crypto::keys::{Address, SecretKey};
 
 use crate::encoding::Encoder;
@@ -69,10 +69,12 @@ impl Transaction {
         let signing_hash = self.signing_hash();
         let signature = sign_prehashed(key, &signing_hash);
         let from = key.public_key().address();
-        // The tx hash commits to the signature as well.
+        // The tx hash commits to the signature as well. Its preimage
+        // (32-byte hash + 65-byte signature + length framing) is always
+        // sub-rate, so this is a single fused Keccak permutation.
         let mut enc = Encoder::with_capacity(96);
         enc.bytes(&signing_hash).bytes(&signature.to_bytes());
-        let hash = Hash32(keccak256(&enc.finish()));
+        let hash = Hash32(keccak256_fixed(&enc.finish()));
         SignedTransaction {
             tx: self,
             signature,
@@ -114,7 +116,8 @@ impl SignedTransaction {
 pub fn contract_address(deployer: Address, nonce: u64) -> Address {
     let mut enc = Encoder::with_capacity(32);
     enc.bytes(deployer.as_bytes()).u64(nonce);
-    let digest = keccak256(&enc.finish());
+    // Always sub-rate: one fused permutation.
+    let digest = keccak256_fixed(&enc.finish());
     let mut out = [0u8; 20];
     // lint: allow(panic) — a keccak digest is always exactly 32 bytes
     out.copy_from_slice(&digest[12..]);

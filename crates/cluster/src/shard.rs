@@ -8,7 +8,7 @@
 //! audit paths unchanged inside a shard.
 
 use wedge_core::EntryId;
-use wedge_crypto::hash::keccak256;
+use wedge_crypto::hash::keccak256_fixed;
 use wedge_crypto::keys::Address;
 
 /// The cluster's stateless placement function.
@@ -40,7 +40,8 @@ impl ShardMap {
     /// than taking address bytes directly) spreads adversarially chosen
     /// addresses evenly.
     pub fn shard_of(&self, publisher: Address) -> usize {
-        let digest = keccak256(publisher.as_bytes());
+        // A 20-byte address is always sub-rate: one fused permutation.
+        let digest = keccak256_fixed(publisher.as_bytes());
         let mut word = [0u8; 8];
         word.copy_from_slice(&digest[..8]);
         (u64::from_be_bytes(word) % self.shards as u64) as usize

@@ -74,12 +74,18 @@ impl ClusterRoot {
     /// Recomputes the root-of-roots exactly as the contract does: a Merkle
     /// tree whose leaf `i` is shard `i`'s epoch root bytes. Coordinators
     /// use this off-chain to build matching proofs.
+    ///
+    /// The 32-byte shard-root leaves are hashed through the ×4 batch path
+    /// (`wedge_merkle::hash_leaves`) and folded by the ×4-aware builder —
+    /// byte-identical to the pre-rework per-leaf sponge.
     pub fn fold_roots(shard_roots: &[Hash32]) -> Option<Hash32> {
         let leaves: Vec<&[u8]> = shard_roots
             .iter()
             .map(|r| r.as_bytes().as_slice())
             .collect();
-        MerkleTree::from_leaves(&leaves).ok().map(|t| t.root())
+        MerkleTree::from_leaf_hashes(wedge_merkle::hash_leaves(&leaves))
+            .ok()
+            .map(|t| t.root())
     }
 
     /// Encodes `Commit-Epoch(epoch, shard_roots)` calldata.

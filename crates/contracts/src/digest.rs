@@ -19,12 +19,30 @@ pub fn response_digest(
     proof_bytes: &[u8],
     raw_data: &[u8],
 ) -> [u8; 32] {
+    keccak256(&response_digest_bytes(
+        index,
+        merkle_root,
+        proof_bytes,
+        raw_data,
+    ))
+}
+
+/// The exact preimage [`response_digest`] hashes. Exposed so callers
+/// producing many responses at once (the stage-1 batcher) can encode every
+/// preimage first and push them through the ×4 `keccak256_batch` path
+/// instead of hashing one response at a time.
+pub fn response_digest_bytes(
+    index: u64,
+    merkle_root: &Hash32,
+    proof_bytes: &[u8],
+    raw_data: &[u8],
+) -> Vec<u8> {
     let mut enc = Encoder::with_capacity(64 + proof_bytes.len() + raw_data.len());
     enc.u64(index)
         .bytes(merkle_root.as_bytes())
         .bytes(proof_bytes)
         .bytes(raw_data);
-    keccak256(&enc.finish())
+    enc.finish()
 }
 
 #[cfg(test)]

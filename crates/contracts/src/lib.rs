@@ -32,7 +32,7 @@ mod rhl_rollup;
 mod root_record;
 
 pub use cluster_root::ClusterRoot;
-pub use digest::response_digest;
+pub use digest::{response_digest, response_digest_bytes};
 pub use ocl_log::OclLog;
 pub use payment::{Payment, PaymentStatus, PaymentTerms};
 pub use punishment::{Punishment, PunishmentStatus};

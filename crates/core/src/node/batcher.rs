@@ -182,10 +182,12 @@ fn persist_stage(
     while let Ok(VerifiedBatch { msgs, leaves }) = persist_rx.recv() {
         // `msgs` was checked non-empty by the collect stage, the only
         // failure mode of the builder.
+        let merkle_start = std::time::Instant::now();
         let (tree, par_chunks) =
             MerkleTree::from_leaves_parallel_counted(&leaves, &shared.pool, cutoff)
                 // lint: allow(panic) — non-empty batch invariant upheld upstream
                 .expect("non-empty batch");
+        let merkle_elapsed = merkle_start.elapsed();
         let root = tree.root();
         let log_id = next_log_id;
 
@@ -245,9 +247,10 @@ fn persist_stage(
                 }
             }
         };
-        if par_chunks > 0 || overlapping {
+        {
             let mut stats = shared.stats.lock();
             stats.merkle_par_chunks += par_chunks;
+            stats.merkle_hash_ns += merkle_elapsed.as_nanos() as u64;
             if overlapping {
                 // Local persistence time that ran concurrently with the
                 // in-flight replica sends.

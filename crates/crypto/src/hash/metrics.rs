@@ -1,0 +1,33 @@
+//! Process-wide digest-work counters.
+//!
+//! Relaxed atomics incremented by the Keccak one-shot and ×4 batch paths;
+//! `wedge-core` samples them into `NodeStats` (the same pattern as
+//! `wedge_pool::oversubscription_avoided`). Relaxed ordering is fine: these
+//! are monotone telemetry counters, never synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HASHES_COMPUTED: AtomicU64 = AtomicU64::new(0);
+static HASH_BATCHES_X4: AtomicU64 = AtomicU64::new(0);
+
+/// Records `n` Keccak-256 digests completed (any path).
+#[inline]
+pub(crate) fn count_hashes(n: u64) {
+    HASHES_COMPUTED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records one ×4 lane-interleaved permutation group (four digests).
+#[inline]
+pub(crate) fn count_x4_batch() {
+    HASH_BATCHES_X4.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total Keccak-256 digests computed by this process (all paths).
+pub fn hashes_computed() -> u64 {
+    HASHES_COMPUTED.load(Ordering::Relaxed)
+}
+
+/// Total ×4 lane-interleaved groups executed (each covers four digests).
+pub fn hash_batches_x4() -> u64 {
+    HASH_BATCHES_X4.load(Ordering::Relaxed)
+}

@@ -49,7 +49,10 @@ pub use ecdsa::{
     verify_prehashed_batch, verify_prehashed_with_table, Signature,
 };
 pub use error::CryptoError;
-pub use hash::{keccak256, sha256, Hash32};
+pub use hash::{
+    keccak256, keccak256_batch, keccak256_batch_prefixed, keccak256_fixed, keccak256_fixed_x4,
+    keccak256_prefixed, keccak256_x4_prefixed, sha256, Hash32,
+};
 pub use keys::{Address, Keypair, PublicKey, SecretKey};
 pub use signer::{
     recover_message_signer, sign_batch_parallel, sign_message, verify_batch_parallel,

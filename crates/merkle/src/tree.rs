@@ -9,10 +9,16 @@
 //! for internal nodes) to rule out second-preimage splices between levels.
 //! An odd trailing node is promoted unchanged to the next level.
 
-use wedge_crypto::hash::{Hash32, Keccak256};
+use wedge_crypto::hash::{
+    keccak256_batch_prefixed, keccak256_prefixed, keccak256_x4_prefixed, Hash32,
+};
 
 use crate::proof::{MerkleProof, ProofNode, Side};
 use crate::MerkleError;
+
+/// Leaves per parallel work item: big enough that each pool task runs
+/// several ×4 permutation groups, small enough to spread across workers.
+const LEAF_GROUP: usize = 32;
 
 /// Domain tag for leaf hashes.
 pub(crate) const LEAF_TAG: u8 = 0x00;
@@ -20,20 +26,69 @@ pub(crate) const LEAF_TAG: u8 = 0x00;
 pub(crate) const NODE_TAG: u8 = 0x01;
 
 /// Hashes a leaf's raw data.
+///
+/// The tagged message `0x00 || data` takes the fused single-permutation
+/// path whenever it fits inside the Keccak rate (any leaf under 135 bytes
+/// — every fixed digest in the workspace), falling back to the streaming
+/// sponge above that.
 pub fn hash_leaf(data: &[u8]) -> Hash32 {
-    let mut h = Keccak256::new();
-    h.update(&[LEAF_TAG]);
-    h.update(data);
-    Hash32(h.finalize())
+    Hash32(keccak256_prefixed(&[LEAF_TAG], data))
 }
 
 /// Hashes two child digests into their parent.
+///
+/// The 65-byte preimage `0x01 || left || right` is always sub-rate, so
+/// this is exactly one Keccak permutation — no sponge state machine.
 pub fn hash_node(left: &Hash32, right: &Hash32) -> Hash32 {
-    let mut h = Keccak256::new();
-    h.update(&[NODE_TAG]);
-    h.update(left.as_bytes());
-    h.update(right.as_bytes());
-    Hash32(h.finalize())
+    let mut buf = [0u8; 64];
+    let (l, r) = buf.split_at_mut(32);
+    l.copy_from_slice(left.as_bytes());
+    r.copy_from_slice(right.as_bytes());
+    Hash32(keccak256_prefixed(&[NODE_TAG], &buf))
+}
+
+/// Hashes four sibling pairs (eight child digests, `pairs.len() == 8`)
+/// with one ×4 lane-interleaved permutation — four parents for the price
+/// of roughly one scalar [`hash_node`]. Byte-identical to calling
+/// [`hash_node`] on each pair.
+pub fn hash_node_x4(pairs: &[Hash32]) -> [Hash32; 4] {
+    debug_assert_eq!(pairs.len(), 8, "hash_node_x4 takes four sibling pairs");
+    let mut bufs = [[0u8; 64]; 4];
+    for (buf, pair) in bufs.iter_mut().zip(pairs.chunks_exact(2)) {
+        let (l, r) = buf.split_at_mut(32);
+        l.copy_from_slice(pair[0].as_bytes());
+        r.copy_from_slice(pair[1].as_bytes());
+    }
+    let d = keccak256_x4_prefixed(&[NODE_TAG], [&bufs[0], &bufs[1], &bufs[2], &bufs[3]]);
+    [Hash32(d[0]), Hash32(d[1]), Hash32(d[2]), Hash32(d[3])]
+}
+
+/// Hashes a slice of raw leaves through the ×4 batch path (groups of four
+/// same-block-count leaves per permutation, scalar remainder), preserving
+/// order. Byte-identical to mapping [`hash_leaf`].
+pub fn hash_leaves<D: AsRef<[u8]>>(leaves: &[D]) -> Vec<Hash32> {
+    let refs: Vec<&[u8]> = leaves.iter().map(|d| d.as_ref()).collect();
+    keccak256_batch_prefixed(&[LEAF_TAG], &refs)
+}
+
+/// Folds an even-length run of sibling nodes into their parents: full
+/// octets (four pairs) go through the ×4 permutation, the remaining ≤ 3
+/// pairs through scalar [`hash_node`]. This is the shared level-fold core
+/// of the serial and pool-parallel builders.
+pub(crate) fn fold_pairs(nodes: &[Hash32]) -> Vec<Hash32> {
+    debug_assert!(
+        nodes.len().is_multiple_of(2),
+        "fold_pairs takes whole pairs"
+    );
+    let mut out = Vec::with_capacity(nodes.len() / 2);
+    let mut octets = nodes.chunks_exact(8);
+    for oct in octets.by_ref() {
+        out.extend_from_slice(&hash_node_x4(oct));
+    }
+    for pair in octets.remainder().chunks_exact(2) {
+        out.push(hash_node(&pair[0], &pair[1]));
+    }
+    out
 }
 
 /// An immutable Merkle tree with all levels retained.
@@ -50,8 +105,7 @@ impl MerkleTree {
     /// Returns [`MerkleError::EmptyTree`] for an empty batch — WedgeBlock
     /// never commits an empty log position.
     pub fn from_leaves<D: AsRef<[u8]>>(leaves: &[D]) -> Result<MerkleTree, MerkleError> {
-        let hashes: Vec<Hash32> = leaves.iter().map(|d| hash_leaf(d.as_ref())).collect();
-        MerkleTree::from_leaf_hashes(hashes)
+        MerkleTree::from_leaf_hashes(hash_leaves(leaves))
     }
 
     /// Builds a tree from precomputed leaf hashes.
@@ -62,14 +116,13 @@ impl MerkleTree {
         let mut levels = Vec::new();
         let mut current = hashes;
         while current.len() > 1 {
-            let mut next = Vec::with_capacity(current.len().div_ceil(2));
-            let mut chunks = current.chunks_exact(2);
-            for pair in chunks.by_ref() {
-                next.push(hash_node(&pair[0], &pair[1]));
-            }
-            if let [odd] = chunks.remainder() {
-                // Odd trailing node is promoted unchanged.
-                next.push(*odd);
+            // Fold the even prefix (×4 octets + scalar remainder pairs);
+            // an odd trailing node is promoted unchanged.
+            let even_len = current.len() & !1;
+            let (even, odd) = current.split_at(even_len);
+            let mut next = fold_pairs(even);
+            if let [promoted] = odd {
+                next.push(*promoted);
             }
             levels.push(current);
             current = next;
@@ -106,10 +159,15 @@ impl MerkleTree {
         }
         let mut chunks = 0u64;
         let hashes: Vec<Hash32> = if leaves.len() >= cutoff.max(2) && pool.workers() > 1 {
-            chunks += pool.planned_chunks(leaves.len()) as u64;
-            pool.map(leaves, |d| hash_leaf(d.as_ref()))
+            // Map over *groups* of leaves so each worker drives the ×4
+            // batch path instead of one scalar digest per item. Groups
+            // are contiguous and order-preserving, so the concatenation
+            // is byte-identical to the serial hash_leaves.
+            let groups: Vec<&[D]> = leaves.chunks(LEAF_GROUP).collect();
+            chunks += pool.planned_chunks(groups.len()) as u64;
+            pool.map(&groups, |group| hash_leaves(group)).concat()
         } else {
-            leaves.iter().map(|d| hash_leaf(d.as_ref())).collect()
+            hash_leaves(leaves)
         };
         let (tree, level_chunks) = MerkleTree::build_parallel(hashes, pool, cutoff);
         Ok((tree, chunks + level_chunks))
@@ -144,20 +202,22 @@ impl MerkleTree {
         let mut levels = Vec::new();
         let mut current = hashes;
         while current.len() > 1 {
+            let even_len = current.len() & !1;
+            let (even, odd) = current.split_at(even_len);
             let mut next = if current.len() >= cutoff && pool.workers() > 1 {
-                let pairs: Vec<&[Hash32]> = current.chunks_exact(2).collect();
-                chunks_dispatched += pool.planned_chunks(pairs.len()) as u64;
-                pool.map(&pairs, |pair| hash_node(&pair[0], &pair[1]))
+                // Map over octets (four sibling pairs) so each worker runs
+                // the ×4 node permutation; an even-length ragged tail
+                // chunk folds its pairs serially inside fold_pairs.
+                let octets: Vec<&[Hash32]> = even.chunks(8).collect();
+                chunks_dispatched += pool.planned_chunks(octets.len()) as u64;
+                pool.map(&octets, |oct| fold_pairs(oct)).concat()
             } else {
-                current
-                    .chunks_exact(2)
-                    .map(|pair| hash_node(&pair[0], &pair[1]))
-                    .collect()
+                fold_pairs(even)
             };
-            if let [odd] = current.chunks_exact(2).remainder() {
+            if let [promoted] = odd {
                 // Odd trailing node is promoted unchanged, as in the serial
                 // builder.
-                next.push(*odd);
+                next.push(*promoted);
             }
             levels.push(current);
             current = next;

@@ -5,10 +5,49 @@
 //!
 //! The parallel builder only changes *who* hashes each node, never *what*
 //! is hashed; these tests are the executable statement of that claim.
+//! Since the hashing-wall rework, *both* builders also route through the
+//! ×4 interleaved and fused fixed-shape Keccak paths, so this suite now
+//! additionally pins them (and the public `hash_leaf`/`hash_node`/
+//! `hash_node_x4`/`hash_leaves` helpers) to a naive tree built directly on
+//! the frozen `wedge_crypto::hash::reference` sponge.
 
 use proptest::prelude::*;
-use wedge_merkle::{MerkleTree, RangeProof};
+use wedge_crypto::hash::{reference, Hash32};
+use wedge_merkle::{hash_leaf, hash_leaves, hash_node, hash_node_x4, MerkleTree, RangeProof};
 use wedge_pool::WorkPool;
+
+/// Leaf digest computed straight on the frozen reference sponge.
+fn ref_leaf(data: &[u8]) -> Hash32 {
+    let mut msg = vec![0x00u8];
+    msg.extend_from_slice(data);
+    Hash32(reference::keccak256(&msg))
+}
+
+/// Node digest computed straight on the frozen reference sponge.
+fn ref_node(left: &Hash32, right: &Hash32) -> Hash32 {
+    let mut msg = vec![0x01u8];
+    msg.extend_from_slice(left.as_bytes());
+    msg.extend_from_slice(right.as_bytes());
+    Hash32(reference::keccak256(&msg))
+}
+
+/// A naive Merkle root folded with the frozen reference hash only:
+/// pairwise parents, odd node promoted.
+fn ref_root(leaves: &[Vec<u8>]) -> Hash32 {
+    let mut level: Vec<Hash32> = leaves.iter().map(|l| ref_leaf(l)).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut pairs = level.chunks_exact(2);
+        for pair in pairs.by_ref() {
+            next.push(ref_node(&pair[0], &pair[1]));
+        }
+        if let [odd] = pairs.remainder() {
+            next.push(*odd);
+        }
+        level = next;
+    }
+    level[0]
+}
 
 /// Cutoffs exercised by every test: tiny (parallelism everywhere), odd and
 /// prime (non-power-of-two chunk boundaries), mid-size, and `usize::MAX`
@@ -105,8 +144,78 @@ fn empty_leaves_rejected_like_serial() {
     assert!(MerkleTree::from_leaf_hashes_parallel(Vec::new(), &pool, 2).is_err());
 }
 
+/// Satellite regression: `hash_leaf` and `hash_node` stay byte-identical
+/// to the frozen reference sponge for every sub-rate payload length
+/// (0..=136 covers the fused path and its boundary fallback), and
+/// `hash_node_x4`/`hash_leaves` agree with their scalar counterparts.
+#[test]
+fn tagged_hashes_match_reference_across_lengths() {
+    for len in 0..=136usize {
+        let data: Vec<u8> = (0..len).map(|i| (i * 13 + len) as u8).collect();
+        assert_eq!(hash_leaf(&data), ref_leaf(&data), "leaf len {len}");
+    }
+    let children: Vec<Hash32> = (0..8u8).map(|i| hash_leaf(&[i; 40])).collect();
+    for pair in children.chunks_exact(2) {
+        assert_eq!(hash_node(&pair[0], &pair[1]), ref_node(&pair[0], &pair[1]));
+    }
+    let x4 = hash_node_x4(&children);
+    for (pair, parent) in children.chunks_exact(2).zip(x4.iter()) {
+        assert_eq!(*parent, ref_node(&pair[0], &pair[1]), "x4 parent");
+    }
+    let raw: Vec<Vec<u8>> = (0..13usize).map(|i| vec![i as u8; i * 11]).collect();
+    let batched = hash_leaves(&raw);
+    for (leaf, digest) in raw.iter().zip(batched.iter()) {
+        assert_eq!(*digest, ref_leaf(leaf), "batched leaf");
+    }
+}
+
+/// Serial, pool-parallel, and the naive reference-hash fold all agree on
+/// the root for structurally interesting shapes (×4 octet boundaries at
+/// 8/9, ragged tails, odd promotions at several levels).
+#[test]
+fn roots_match_naive_reference_tree() {
+    let pool = WorkPool::new(4);
+    for &count in &[
+        1usize, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 31, 33, 100, 257,
+    ] {
+        let leaves = leaves_of(count, 0x77);
+        let expect = ref_root(&leaves);
+        assert_eq!(
+            MerkleTree::from_leaves(&leaves).unwrap().root(),
+            expect,
+            "serial root, {count} leaves"
+        );
+        for &cutoff in CUTOFFS {
+            assert_eq!(
+                MerkleTree::from_leaves_parallel(&leaves, &pool, cutoff)
+                    .unwrap()
+                    .root(),
+                expect,
+                "parallel root, {count} leaves, cutoff {cutoff}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random shapes: serial, parallel, and the naive reference tree all
+    /// produce the same root (so the ×4/fixed paths can never skew the
+    /// on-chain commitment), and proofs verify against it.
+    #[test]
+    fn random_roots_match_naive_reference(
+        leaves in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..160), 1..200),
+        cutoff_seed in any::<usize>(),
+    ) {
+        let pool = WorkPool::new(4);
+        let cutoff = CUTOFFS[cutoff_seed % CUTOFFS.len()];
+        let expect = ref_root(&leaves);
+        let serial = MerkleTree::from_leaves(&leaves).unwrap();
+        let parallel = MerkleTree::from_leaves_parallel(&leaves, &pool, cutoff).unwrap();
+        prop_assert_eq!(serial.root(), expect);
+        prop_assert_eq!(parallel.root(), expect);
+    }
 
     #[test]
     fn random_leaves_roots_and_proofs_match(
